@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the on-device training substrate: LeNet forward /
+//! forward+backward throughput and the parameter arithmetic used for the
+//! 2.5 MB model exchange and the gradient-gap metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fedco_neural::data::SyntheticCifarConfig;
+use fedco_neural::lenet::LeNetConfig;
+use fedco_neural::loss::SoftmaxCrossEntropy;
+use fedco_neural::optimizer::Sgd;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_lenet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lenet");
+    group.sample_size(10);
+    for (name, cfg) in [("tiny", LeNetConfig::tiny()), ("compact", LeNetConfig::compact())] {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut net = cfg.build(&mut rng);
+        let data = SyntheticCifarConfig {
+            image_size: cfg.image_size,
+            channels: cfg.channels,
+            classes: cfg.classes,
+            examples: 64,
+            noise_std: 0.3,
+            seed: 1,
+        }
+        .generate();
+        let (x, y) = data.batch(0, 20).unwrap();
+        group.bench_with_input(BenchmarkId::new("forward", name), &(), |b, _| {
+            b.iter(|| black_box(net.forward(black_box(&x), false).unwrap()))
+        });
+        let loss = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::with_learning_rate(0.05);
+        group.bench_with_input(BenchmarkId::new("train_batch", name), &(), |b, _| {
+            b.iter(|| black_box(net.train_batch(&x, &y, &loss, &mut opt).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_param_vector(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let cfg = LeNetConfig::lenet5();
+    let net = cfg.build(&mut rng);
+    let params = net.parameters();
+    let other = params.scale(0.99);
+    c.bench_function("param_vector_distance_lenet5", |b| {
+        b.iter(|| black_box(params.distance_l2(black_box(&other)).unwrap()))
+    });
+    c.bench_function("param_vector_average_lenet5", |b| {
+        b.iter(|| {
+            black_box(
+                fedco_neural::ParamVector::weighted_average(
+                    &[params.clone(), other.clone()],
+                    &[1.0, 1.0],
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_lenet, bench_param_vector);
+criterion_main!(benches);

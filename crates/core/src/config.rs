@@ -1,0 +1,108 @@
+//! Configuration of the energy-aware schedulers.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters shared by the offline and online schedulers.
+///
+/// The defaults follow the paper's evaluation settings (Section VII-B):
+/// 1-second slots, `L_b = 1000`, `V = 4000`, a 500-second look-ahead window
+/// for the offline knapsack, and a small per-slot idle gap increment `ε`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Lyapunov control knob `V` trading energy against staleness.
+    pub v: f64,
+    /// Long-term staleness (gradient-gap) bound `L_b` of Eq. (6)/(14).
+    pub staleness_bound: f64,
+    /// Per-idle-slot gradient-gap increment `ε` of Eq. (12).
+    pub epsilon: f64,
+    /// Slot length `t_d` in seconds.
+    pub slot_seconds: f64,
+    /// Look-ahead window (seconds) between offline knapsack invocations.
+    pub lookahead_window_s: f64,
+    /// Learning rate `η` used in the weight predictor (Eq. 4).
+    pub learning_rate: f32,
+    /// Momentum coefficient `β` used in the weight predictor (Eq. 4).
+    pub momentum_beta: f32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            v: 4000.0,
+            staleness_bound: 1000.0,
+            epsilon: 0.05,
+            slot_seconds: 1.0,
+            lookahead_window_s: 500.0,
+            learning_rate: 0.05,
+            momentum_beta: 0.9,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Returns a copy with a different `V`.
+    #[must_use]
+    pub fn with_v(mut self, v: f64) -> Self {
+        self.v = v.max(0.0);
+        self
+    }
+
+    /// Returns a copy with a different staleness bound `L_b`.
+    #[must_use]
+    pub fn with_staleness_bound(mut self, lb: f64) -> Self {
+        self.staleness_bound = lb.max(0.0);
+        self
+    }
+
+    /// Returns a copy with a different idle increment `ε`.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon.max(0.0);
+        self
+    }
+
+    /// Basic sanity check of the configuration.
+    pub fn is_valid(&self) -> bool {
+        self.v >= 0.0
+            && self.staleness_bound >= 0.0
+            && self.epsilon >= 0.0
+            && self.slot_seconds > 0.0
+            && self.lookahead_window_s > 0.0
+            && self.learning_rate > 0.0
+            && (0.0..1.0).contains(&self.momentum_beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = SchedulerConfig::default();
+        assert_eq!(c.v, 4000.0);
+        assert_eq!(c.staleness_bound, 1000.0);
+        assert_eq!(c.slot_seconds, 1.0);
+        assert_eq!(c.lookahead_window_s, 500.0);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn builders_clamp_negative_values() {
+        let c = SchedulerConfig::default().with_v(-1.0).with_staleness_bound(-2.0).with_epsilon(-3.0);
+        assert_eq!(c.v, 0.0);
+        assert_eq!(c.staleness_bound, 0.0);
+        assert_eq!(c.epsilon, 0.0);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn invalid_configs_are_detected() {
+        let mut c = SchedulerConfig::default();
+        c.slot_seconds = 0.0;
+        assert!(!c.is_valid());
+        let mut c2 = SchedulerConfig::default();
+        c2.momentum_beta = 1.5;
+        assert!(!c2.is_valid());
+    }
+}

@@ -1,0 +1,129 @@
+//! Drift-plus-penalty bounds: the constant `B` of Lemma 2 and the
+//! `[O(1/V), O(V)]` performance bounds of Theorem 1.
+
+use serde::{Deserialize, Serialize};
+
+/// The system-wide maxima entering the Lemma-2 constant
+/// `B = ½(A²_max + B²_max + G²_max + L²_b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftBound {
+    /// Maximum per-slot arrival count `A_max`.
+    pub max_arrivals: f64,
+    /// Maximum per-slot service count `B_max`.
+    pub max_service: f64,
+    /// Maximum per-slot total gradient gap `G_max`.
+    pub max_gap: f64,
+    /// The staleness bound `L_b`.
+    pub staleness_bound: f64,
+}
+
+impl DriftBound {
+    /// Creates the bound description.
+    pub fn new(max_arrivals: f64, max_service: f64, max_gap: f64, staleness_bound: f64) -> Self {
+        DriftBound {
+            max_arrivals: max_arrivals.max(0.0),
+            max_service: max_service.max(0.0),
+            max_gap: max_gap.max(0.0),
+            staleness_bound: staleness_bound.max(0.0),
+        }
+    }
+
+    /// A natural bound for an `n`-user system: at most `n` arrivals and
+    /// services per slot, and the per-slot gap bounded by `max_gap`.
+    pub fn for_system(num_users: usize, max_gap: f64, staleness_bound: f64) -> Self {
+        DriftBound::new(num_users as f64, num_users as f64, max_gap, staleness_bound)
+    }
+
+    /// The constant `B` of Lemma 2.
+    pub fn b_constant(&self) -> f64 {
+        0.5 * (self.max_arrivals.powi(2)
+            + self.max_service.powi(2)
+            + self.max_gap.powi(2)
+            + self.staleness_bound.powi(2))
+    }
+
+    /// The Theorem-1 bound on the time-averaged power (Eq. 24):
+    /// `P̄ ≤ B/V + P*`.
+    pub fn energy_bound(&self, v: f64, optimal_power: f64) -> f64 {
+        if v <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.b_constant() / v + optimal_power
+    }
+
+    /// The Theorem-1 bound on the time-averaged queue backlog (Eq. 25):
+    /// `Θ̄ ≤ (B + V·(P* − P̄)) / ε₁`, where `slack` is the ε₁ arrival/service
+    /// slack and `power_gap = P* − P̄ ≥ 0` (the achieved power can be below
+    /// the worst admissible one).
+    pub fn queue_bound(&self, v: f64, power_gap: f64, slack: f64) -> f64 {
+        if slack <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.b_constant() + v * power_gap.max(0.0)) / slack
+    }
+}
+
+/// Evaluates the realised drift-plus-penalty value of one slot, the quantity
+/// the online controller greedily minimises (Eq. 19 with expectations
+/// replaced by realised values).
+pub fn drift_plus_penalty(drift: f64, power_w: f64, v: f64) -> f64 {
+    drift + v * power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b_constant_matches_formula() {
+        let b = DriftBound::new(25.0, 25.0, 100.0, 1000.0);
+        let expected = 0.5 * (625.0 + 625.0 + 10_000.0 + 1_000_000.0);
+        assert!((b.b_constant() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_system_uses_user_count() {
+        let b = DriftBound::for_system(10, 50.0, 500.0);
+        assert_eq!(b.max_arrivals, 10.0);
+        assert_eq!(b.max_service, 10.0);
+        assert_eq!(b.max_gap, 50.0);
+    }
+
+    #[test]
+    fn energy_bound_decreases_in_v() {
+        // The O(1/V) side of the trade-off.
+        let b = DriftBound::for_system(25, 100.0, 1000.0);
+        let p_star = 10.0;
+        let small = b.energy_bound(100.0, p_star);
+        let large = b.energy_bound(100_000.0, p_star);
+        assert!(small > large);
+        assert!(large >= p_star);
+        assert!((b.energy_bound(f64::MAX, p_star) - p_star).abs() < 1e-6);
+        assert!(b.energy_bound(0.0, p_star).is_infinite());
+    }
+
+    #[test]
+    fn queue_bound_grows_linearly_in_v() {
+        // The O(V) side of the trade-off.
+        let b = DriftBound::for_system(25, 100.0, 1000.0);
+        let q1 = b.queue_bound(1_000.0, 2.0, 0.5);
+        let q2 = b.queue_bound(2_000.0, 2.0, 0.5);
+        assert!(q2 > q1);
+        assert!((q2 - q1 - 1_000.0 * 2.0 / 0.5).abs() < 1e-6);
+        assert!(b.queue_bound(1_000.0, 2.0, 0.0).is_infinite());
+        // Negative power gap is clamped.
+        assert!(b.queue_bound(1_000.0, -5.0, 0.5) >= b.b_constant() / 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let b = DriftBound::new(-1.0, -2.0, -3.0, -4.0);
+        assert_eq!(b.b_constant(), 0.0);
+    }
+
+    #[test]
+    fn drift_plus_penalty_combines_terms() {
+        assert_eq!(drift_plus_penalty(5.0, 2.0, 10.0), 25.0);
+        assert_eq!(drift_plus_penalty(-5.0, 1.0, 2.0), -3.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! The offline scheduling problem (Section IV): a knapsack over co-running
+//! opportunities solved with dynamic programming (Algorithm 1), using the
+//! Lemma-1 bound on the lag of each user.
+//!
+//! Given all application arrivals inside a look-ahead window, the scheduler
+//! decides for every user whether to co-run training with the upcoming
+//! application (`x_i = 1`, earning energy saving `s_i`) or to execute
+//! training separately (`x_i = 0`, earning nothing), subject to the sum of
+//! gradient gaps of the co-runners staying within the staleness budget `L_b`
+//! (Eq. 5–7).
+
+use serde::{Deserialize, Serialize};
+
+use fedco_fl::staleness::{Lag, WeightPredictor};
+
+/// One user's scheduling situation inside the look-ahead window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfflineUser {
+    /// User identifier.
+    pub id: usize,
+    /// Time (s, absolute) at which the user became ready to train (`t_i`).
+    pub ready_time_s: f64,
+    /// Arrival time (s, absolute) of the user's application inside the
+    /// window (`t^a_i`), if any.
+    pub app_arrival_s: Option<f64>,
+    /// Training duration `d_i` in seconds.
+    pub duration_s: f64,
+    /// Energy saving `s_i` (J) earned if the user co-runs.
+    pub energy_saving_j: f64,
+}
+
+impl OfflineUser {
+    /// The two candidate execution intervals of Lemma 1: `[t_i, t_i + d_i]`
+    /// (separate execution) and `[t^a_i, t^a_i + d_i]` (co-running), the
+    /// latter only when an application arrival exists.
+    fn intervals(&self) -> [(f64, f64); 2] {
+        let separate = (self.ready_time_s, self.ready_time_s + self.duration_s);
+        match self.app_arrival_s {
+            Some(ta) => [separate, (ta, ta + self.duration_s)],
+            None => [separate, separate],
+        }
+    }
+
+    /// The candidate end times of this user's training (Lemma 1).
+    fn end_times(&self) -> [f64; 2] {
+        let e1 = self.ready_time_s + self.duration_s;
+        match self.app_arrival_s {
+            Some(ta) => [e1, ta + self.duration_s],
+            None => [e1, e1],
+        }
+    }
+}
+
+/// The Lemma-1 upper bound on the lag of user `i`: the number of other users
+/// whose training could end inside one of user `i`'s candidate execution
+/// intervals, whichever scheduling decisions are taken.
+pub fn lag_bound(users: &[OfflineUser], i: usize) -> Lag {
+    if i >= users.len() {
+        return Lag::ZERO;
+    }
+    let me = &users[i];
+    let my_intervals = me.intervals();
+    let mut count = 0u64;
+    for (j, other) in users.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let ends = other.end_times();
+        let overlaps = ends.iter().any(|&e| {
+            my_intervals.iter().any(|&(start, stop)| e >= start && e <= stop)
+        });
+        if overlaps {
+            count += 1;
+        }
+    }
+    Lag(count)
+}
+
+/// A knapsack item: one co-running opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnapsackItem {
+    /// The user this item belongs to.
+    pub user_id: usize,
+    /// The value: energy saving `s_i` in joules.
+    pub value: f64,
+    /// The weight: the estimated gradient gap `g_i(t_i, t_i + τ_i)`.
+    pub weight: f64,
+}
+
+/// The solution of the offline problem for one window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OfflineSolution {
+    /// Users selected to co-run (`x_i = 1`), by user id.
+    pub selected: Vec<usize>,
+    /// Total energy saving of the selected set (J).
+    pub total_saving_j: f64,
+    /// Total gradient-gap weight of the selected set.
+    pub total_gap: f64,
+}
+
+impl OfflineSolution {
+    /// Whether a user was selected to co-run.
+    pub fn is_selected(&self, user_id: usize) -> bool {
+        self.selected.contains(&user_id)
+    }
+
+    /// An empty solution (nothing selected).
+    pub fn empty() -> Self {
+        OfflineSolution { selected: Vec::new(), total_saving_j: 0.0, total_gap: 0.0 }
+    }
+}
+
+/// The offline knapsack scheduler (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfflineScheduler {
+    /// Staleness budget `L_b`.
+    pub staleness_bound: f64,
+    /// Gap discretisation step used by the DP table (the paper indexes the
+    /// table directly by integer gap units).
+    pub gap_resolution: f64,
+    /// Weight predictor used to turn lag bounds into gradient gaps (Eq. 4).
+    pub predictor: WeightPredictor,
+}
+
+impl OfflineScheduler {
+    /// Creates a scheduler with the given staleness budget and predictor.
+    pub fn new(staleness_bound: f64, predictor: WeightPredictor) -> Self {
+        OfflineScheduler { staleness_bound: staleness_bound.max(0.0), gap_resolution: 1.0, predictor }
+    }
+
+    /// Overrides the DP discretisation resolution (finer = more precise,
+    /// larger table). Values ≤ 0 are clamped to a small positive step.
+    #[must_use]
+    pub fn with_gap_resolution(mut self, resolution: f64) -> Self {
+        self.gap_resolution = if resolution > 0.0 { resolution } else { 1e-3 };
+        self
+    }
+
+    /// Builds the knapsack items for a window: every user with an application
+    /// arrival becomes an item whose weight is the Eq.-4 gap estimated from
+    /// the Lemma-1 lag bound and whose value is its energy saving.
+    pub fn build_items(&self, users: &[OfflineUser], velocity_norm: f32) -> Vec<KnapsackItem> {
+        users
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.app_arrival_s.is_some())
+            .map(|(i, u)| KnapsackItem {
+                user_id: u.id,
+                value: u.energy_saving_j,
+                weight: self.predictor.predict_gap(lag_bound(users, i), velocity_norm).value(),
+            })
+            .collect()
+    }
+
+    /// Solves the 0-1 knapsack with dynamic programming (Algorithm 1):
+    /// maximise total value subject to the total weight staying within
+    /// `L_b`. Items with non-positive value are never selected (co-running
+    /// them would waste energy — the Nexus 6 / Candy Crush case); items with
+    /// (numerically) zero weight and positive value are always selected.
+    pub fn solve(&self, items: &[KnapsackItem]) -> OfflineSolution {
+        let capacity_units = (self.staleness_bound / self.gap_resolution).floor() as usize;
+        let mut zero_weight: Vec<usize> = Vec::new();
+        let mut dp_items: Vec<(usize, f64, usize)> = Vec::new(); // (index, value, weight_units)
+        for (idx, item) in items.iter().enumerate() {
+            if item.value <= 0.0 {
+                continue;
+            }
+            let units = (item.weight / self.gap_resolution).ceil() as usize;
+            if units == 0 {
+                zero_weight.push(idx);
+            } else if units <= capacity_units {
+                dp_items.push((idx, item.value, units));
+            }
+        }
+        // DP table S_k(y) of Eq. (8): best value over the first k items with
+        // gap budget y. Stored row-major as (k, y) -> value.
+        let n = dp_items.len();
+        let width = capacity_units + 1;
+        let mut table = vec![0.0f64; (n + 1) * width];
+        for k in 1..=n {
+            let (_, value, weight) = dp_items[k - 1];
+            for y in 0..=capacity_units {
+                let without = table[(k - 1) * width + y];
+                let with = if y >= weight {
+                    table[(k - 1) * width + (y - weight)] + value
+                } else {
+                    f64::NEG_INFINITY
+                };
+                table[k * width + y] = without.max(with);
+            }
+        }
+        // Backtrack through the table to recover the selected set.
+        let mut selected_idx: Vec<usize> = zero_weight.clone();
+        let mut y = capacity_units;
+        for k in (1..=n).rev() {
+            if table[k * width + y] != table[(k - 1) * width + y] {
+                selected_idx.push(dp_items[k - 1].0);
+                y -= dp_items[k - 1].2;
+            }
+        }
+        selected_idx.sort_unstable();
+        let total_saving_j: f64 = selected_idx.iter().map(|&i| items[i].value).sum();
+        let total_gap: f64 = selected_idx.iter().map(|&i| items[i].weight).sum();
+        OfflineSolution {
+            selected: selected_idx.into_iter().map(|i| items[i].user_id).collect(),
+            total_saving_j,
+            total_gap,
+        }
+    }
+
+    /// Convenience wrapper: builds items from the window description and
+    /// solves the knapsack in one call.
+    pub fn schedule_window(&self, users: &[OfflineUser], velocity_norm: f32) -> OfflineSolution {
+        let items = self.build_items(users, velocity_norm);
+        self.solve(&items)
+    }
+}
+
+/// A greedy value-density heuristic used as a comparison baseline in tests
+/// and ablation benches: picks items by value/weight ratio until the budget
+/// is exhausted.
+pub fn greedy_solution(items: &[KnapsackItem], budget: f64) -> OfflineSolution {
+    let mut order: Vec<usize> = (0..items.len()).filter(|&i| items[i].value > 0.0).collect();
+    order.sort_by(|&a, &b| {
+        let da = items[a].value / items[a].weight.max(1e-12);
+        let db = items[b].value / items[b].weight.max(1e-12);
+        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut used = 0.0;
+    let mut selected = Vec::new();
+    let mut total_saving_j = 0.0;
+    for i in order {
+        if used + items[i].weight <= budget {
+            used += items[i].weight;
+            total_saving_j += items[i].value;
+            selected.push(items[i].user_id);
+        }
+    }
+    selected.sort_unstable();
+    OfflineSolution { selected, total_saving_j, total_gap: used }
+}
+
+/// The number of updates within a window observed by an exhaustive check of
+/// all decision combinations would be exponential; the DP solution instead
+/// runs in `O(n · L_b)` as stated after Algorithm 1. This helper exposes the
+/// DP table size for the complexity benchmarks.
+pub fn dp_table_cells(num_items: usize, staleness_bound: f64, gap_resolution: f64) -> usize {
+    let capacity_units = (staleness_bound / gap_resolution.max(1e-12)).floor() as usize;
+    num_items * (capacity_units + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictor() -> WeightPredictor {
+        WeightPredictor::new(0.05, 0.9)
+    }
+
+    fn user(id: usize, ready: f64, arrival: Option<f64>, dur: f64, saving: f64) -> OfflineUser {
+        OfflineUser {
+            id,
+            ready_time_s: ready,
+            app_arrival_s: arrival,
+            duration_s: dur,
+            energy_saving_j: saving,
+        }
+    }
+
+    #[test]
+    fn lag_bound_counts_overlapping_users() {
+        // Three users as in Fig. 3: i waits for its app; j and k train right
+        // away and finish inside i's execution window.
+        let users = vec![
+            user(0, 0.0, Some(100.0), 200.0, 150.0), // i co-runs over [100, 300]
+            user(1, 0.0, None, 150.0, 0.0),          // j ends at 150 ∈ [0,200] and [100,300]
+            user(2, 50.0, None, 100.0, 0.0),         // k ends at 150 as well
+        ];
+        assert_eq!(lag_bound(&users, 0), Lag(2));
+        // A user far in the future does not count.
+        let mut users2 = users.clone();
+        users2.push(user(3, 10_000.0, None, 100.0, 0.0));
+        assert_eq!(lag_bound(&users2, 0), Lag(2));
+        assert_eq!(lag_bound(&users2, 99), Lag::ZERO);
+    }
+
+    #[test]
+    fn lag_bound_is_at_most_n_minus_1() {
+        let users: Vec<OfflineUser> =
+            (0..10).map(|i| user(i, 0.0, Some(10.0), 100.0, 1.0)).collect();
+        for i in 0..10 {
+            assert!(lag_bound(&users, i).value() <= 9);
+        }
+    }
+
+    #[test]
+    fn knapsack_prefers_high_value_within_budget() {
+        let sched = OfflineScheduler::new(10.0, predictor());
+        let items = vec![
+            KnapsackItem { user_id: 0, value: 100.0, weight: 6.0 },
+            KnapsackItem { user_id: 1, value: 90.0, weight: 5.0 },
+            KnapsackItem { user_id: 2, value: 80.0, weight: 5.0 },
+        ];
+        // Optimal picks users 1+2 (value 170, weight 10) over user 0 alone.
+        let sol = sched.solve(&items);
+        assert_eq!(sol.selected, vec![1, 2]);
+        assert!((sol.total_saving_j - 170.0).abs() < 1e-9);
+        assert!(sol.total_gap <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn knapsack_beats_or_matches_greedy() {
+        let sched = OfflineScheduler::new(10.0, predictor());
+        let items = vec![
+            KnapsackItem { user_id: 0, value: 60.0, weight: 10.0 },
+            KnapsackItem { user_id: 1, value: 50.0, weight: 6.0 },
+            KnapsackItem { user_id: 2, value: 50.0, weight: 4.0 },
+        ];
+        let dp = sched.solve(&items);
+        let greedy = greedy_solution(&items, 10.0);
+        assert!(dp.total_saving_j >= greedy.total_saving_j);
+        assert!((dp.total_saving_j - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_value_items_are_never_selected() {
+        let sched = OfflineScheduler::new(100.0, predictor());
+        let items = vec![
+            KnapsackItem { user_id: 0, value: -50.0, weight: 1.0 },
+            KnapsackItem { user_id: 1, value: 10.0, weight: 1.0 },
+        ];
+        let sol = sched.solve(&items);
+        assert_eq!(sol.selected, vec![1]);
+        assert!(!sol.is_selected(0));
+    }
+
+    #[test]
+    fn zero_budget_selects_only_zero_weight_items() {
+        let sched = OfflineScheduler::new(0.0, predictor());
+        let items = vec![
+            KnapsackItem { user_id: 0, value: 10.0, weight: 0.0 },
+            KnapsackItem { user_id: 1, value: 100.0, weight: 1.0 },
+        ];
+        let sol = sched.solve(&items);
+        assert_eq!(sol.selected, vec![0]);
+    }
+
+    #[test]
+    fn build_items_skips_users_without_arrivals() {
+        let sched = OfflineScheduler::new(1000.0, predictor());
+        let users = vec![
+            user(7, 0.0, Some(50.0), 200.0, 300.0),
+            user(8, 0.0, None, 200.0, 300.0),
+        ];
+        let items = sched.build_items(&users, 2.0);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].user_id, 7);
+        assert!(items[0].weight > 0.0);
+        // Full pipeline.
+        let sol = sched.schedule_window(&users, 2.0);
+        assert_eq!(sol.selected, vec![7]);
+    }
+
+    #[test]
+    fn relaxed_budget_acts_greedily_scarce_budget_prunes() {
+        // Paper, Fig. 4(a): with relaxed L_b = 1000 the offline solution
+        // selects essentially every co-running opportunity; shrinking L_b
+        // prunes selections.
+        let sched_relaxed = OfflineScheduler::new(1000.0, predictor());
+        let sched_tight = OfflineScheduler::new(5.0, predictor());
+        let users: Vec<OfflineUser> =
+            (0..20).map(|i| user(i, 0.0, Some(10.0 * i as f64), 200.0, 100.0)).collect();
+        let relaxed = sched_relaxed.schedule_window(&users, 3.0);
+        let tight = sched_tight.schedule_window(&users, 3.0);
+        assert_eq!(relaxed.selected.len(), 20);
+        assert!(tight.selected.len() < relaxed.selected.len());
+        assert!(tight.total_gap <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn resolution_and_table_size() {
+        let sched = OfflineScheduler::new(10.0, predictor()).with_gap_resolution(0.5);
+        assert_eq!(sched.gap_resolution, 0.5);
+        let clamped = OfflineScheduler::new(10.0, predictor()).with_gap_resolution(-1.0);
+        assert!(clamped.gap_resolution > 0.0);
+        assert_eq!(dp_table_cells(10, 1000.0, 1.0), 10 * 1001);
+        assert_eq!(OfflineSolution::empty().selected.len(), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Scheduling policies: the paper's online controller plus the three
+//! baselines it is evaluated against (immediate scheduling, Sync-SGD and the
+//! offline knapsack).
+
+use std::collections::HashMap;
+
+use fedco_device::power::{AppStatus, SlotDecision};
+
+use crate::config::SchedulerConfig;
+use crate::online::{OnlineDecisionInput, OnlineScheduler, SlotOutcome};
+
+/// Identifies which scheduling scheme a policy implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// Run training immediately whenever a device is available, regardless of
+    /// application arrivals (the paper's energy upper bound).
+    Immediate,
+    /// Synchronous FedAvg rounds (all devices train immediately, the server
+    /// waits for every participant before aggregating).
+    SyncSgd,
+    /// The offline knapsack scheduler with a look-ahead window (Section IV).
+    Offline,
+    /// The online Lyapunov scheduler (Section V).
+    Online,
+}
+
+impl PolicyKind {
+    /// A short label used in reports and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Immediate => "Immediate",
+            PolicyKind::SyncSgd => "Sync-SGD",
+            PolicyKind::Offline => "Offline",
+            PolicyKind::Online => "Online",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The per-user, per-slot context handed to a policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserSlotContext {
+    /// The user being decided for.
+    pub user_id: usize,
+    /// The current slot index.
+    pub slot: u64,
+    /// The application status of the device this slot.
+    pub app_status: AppStatus,
+    /// The Eq.-21 decision input (powers and staleness estimates).
+    pub input: OnlineDecisionInput,
+}
+
+/// A per-slot scheduling policy deciding, for each *waiting* user, whether to
+/// start training this slot.
+pub trait SchedulingPolicy: std::fmt::Debug + Send {
+    /// Which scheme this policy implements.
+    fn kind(&self) -> PolicyKind;
+
+    /// Decides for one waiting user in the current slot.
+    fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision;
+
+    /// Observes the end of a slot (arrivals, scheduled users, gap sum) so
+    /// stateful policies can advance their queues.
+    fn end_of_slot(&mut self, outcome: &SlotOutcome);
+
+    /// The task-queue backlog `Q(t)` (zero for stateless policies).
+    fn queue_backlog(&self) -> f64 {
+        0.0
+    }
+
+    /// The virtual-queue backlog `H(t)` (zero for stateless policies).
+    fn virtual_backlog(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Immediate scheduling: always train as soon as the device is available.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ImmediatePolicy;
+
+impl ImmediatePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        ImmediatePolicy
+    }
+}
+
+impl SchedulingPolicy for ImmediatePolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Immediate
+    }
+
+    fn decide(&mut self, _ctx: &UserSlotContext) -> SlotDecision {
+        SlotDecision::Schedule
+    }
+
+    fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+}
+
+/// Sync-SGD: devices train immediately, but the surrounding simulation holds
+/// a barrier until every participant of the round has uploaded. The per-slot
+/// decision is therefore identical to [`ImmediatePolicy`]; the round
+/// structure is enforced by the engine based on [`PolicyKind::SyncSgd`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SyncSgdPolicy;
+
+impl SyncSgdPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        SyncSgdPolicy
+    }
+}
+
+impl SchedulingPolicy for SyncSgdPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::SyncSgd
+    }
+
+    fn decide(&mut self, _ctx: &UserSlotContext) -> SlotDecision {
+        SlotDecision::Schedule
+    }
+
+    fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+}
+
+/// The offline policy executes a plan computed by the knapsack scheduler for
+/// the current look-ahead window: selected users start training at their
+/// application arrival (co-run); users whose opportunity was rejected start
+/// at the slot recorded in the plan (separate execution); users without an
+/// entry keep waiting.
+#[derive(Debug, Default, Clone)]
+pub struct OfflinePolicy {
+    plan: HashMap<usize, u64>,
+}
+
+impl OfflinePolicy {
+    /// Creates an empty policy (everyone waits until a plan is installed).
+    pub fn new() -> Self {
+        OfflinePolicy { plan: HashMap::new() }
+    }
+
+    /// Installs (or replaces) the start slot planned for a user.
+    pub fn set_start_slot(&mut self, user_id: usize, slot: u64) {
+        self.plan.insert(user_id, slot);
+    }
+
+    /// Removes a user's plan entry (after their training started).
+    pub fn clear_user(&mut self, user_id: usize) {
+        self.plan.remove(&user_id);
+    }
+
+    /// Clears the whole plan (at window boundaries).
+    pub fn clear(&mut self) {
+        self.plan.clear();
+    }
+
+    /// The planned start slot for a user, if any.
+    pub fn planned_slot(&self, user_id: usize) -> Option<u64> {
+        self.plan.get(&user_id).copied()
+    }
+
+    /// Number of planned users.
+    pub fn planned_len(&self) -> usize {
+        self.plan.len()
+    }
+}
+
+impl SchedulingPolicy for OfflinePolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Offline
+    }
+
+    fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision {
+        match self.plan.get(&ctx.user_id) {
+            Some(&start) if ctx.slot >= start => SlotDecision::Schedule,
+            _ => SlotDecision::Idle,
+        }
+    }
+
+    fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+}
+
+/// The online Lyapunov policy (Algorithm 2) wrapping [`OnlineScheduler`].
+#[derive(Debug, Clone)]
+pub struct OnlinePolicy {
+    scheduler: OnlineScheduler,
+}
+
+impl OnlinePolicy {
+    /// Creates the policy with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        OnlinePolicy { scheduler: OnlineScheduler::new(config) }
+    }
+
+    /// Access to the underlying scheduler (for thresholds and diagnostics).
+    pub fn scheduler(&self) -> &OnlineScheduler {
+        &self.scheduler
+    }
+}
+
+impl SchedulingPolicy for OnlinePolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Online
+    }
+
+    fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision {
+        self.scheduler.decide(&ctx.input)
+    }
+
+    fn end_of_slot(&mut self, outcome: &SlotOutcome) {
+        self.scheduler.end_of_slot(outcome);
+    }
+
+    fn queue_backlog(&self) -> f64 {
+        self.scheduler.queue_backlog()
+    }
+
+    fn virtual_backlog(&self) -> f64 {
+        self.scheduler.virtual_backlog()
+    }
+}
+
+/// Builds a boxed policy of the given kind with the given configuration.
+pub fn build_policy(kind: PolicyKind, config: SchedulerConfig) -> Box<dyn SchedulingPolicy> {
+    match kind {
+        PolicyKind::Immediate => Box::new(ImmediatePolicy::new()),
+        PolicyKind::SyncSgd => Box::new(SyncSgdPolicy::new()),
+        PolicyKind::Offline => Box::new(OfflinePolicy::new()),
+        PolicyKind::Online => Box::new(OnlinePolicy::new(config)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedco_device::apps::AppKind;
+    use fedco_device::profiles::DeviceKind;
+    use fedco_fl::staleness::GradientGap;
+
+    fn ctx(user_id: usize, slot: u64) -> UserSlotContext {
+        let profile = DeviceKind::Pixel2.profile();
+        let status = AppStatus::App(AppKind::Map);
+        UserSlotContext {
+            user_id,
+            slot,
+            app_status: status,
+            input: OnlineDecisionInput::from_profile(
+                &profile,
+                status,
+                GradientGap(1.0),
+                GradientGap(0.5),
+            ),
+        }
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(PolicyKind::Immediate.label(), "Immediate");
+        assert_eq!(PolicyKind::SyncSgd.to_string(), "Sync-SGD");
+        assert_eq!(PolicyKind::Offline.to_string(), "Offline");
+        assert_eq!(PolicyKind::Online.label(), "Online");
+    }
+
+    #[test]
+    fn immediate_always_schedules() {
+        let mut p = ImmediatePolicy::new();
+        assert_eq!(p.kind(), PolicyKind::Immediate);
+        assert_eq!(p.decide(&ctx(0, 0)), SlotDecision::Schedule);
+        p.end_of_slot(&SlotOutcome::default());
+        assert_eq!(p.queue_backlog(), 0.0);
+        assert_eq!(p.virtual_backlog(), 0.0);
+    }
+
+    #[test]
+    fn sync_policy_schedules_like_immediate() {
+        let mut p = SyncSgdPolicy::new();
+        assert_eq!(p.kind(), PolicyKind::SyncSgd);
+        assert_eq!(p.decide(&ctx(1, 5)), SlotDecision::Schedule);
+        p.end_of_slot(&SlotOutcome::default());
+    }
+
+    #[test]
+    fn offline_policy_follows_plan() {
+        let mut p = OfflinePolicy::new();
+        assert_eq!(p.kind(), PolicyKind::Offline);
+        // No plan: wait.
+        assert_eq!(p.decide(&ctx(4, 10)), SlotDecision::Idle);
+        p.set_start_slot(4, 20);
+        assert_eq!(p.planned_slot(4), Some(20));
+        assert_eq!(p.planned_len(), 1);
+        assert_eq!(p.decide(&ctx(4, 10)), SlotDecision::Idle);
+        assert_eq!(p.decide(&ctx(4, 20)), SlotDecision::Schedule);
+        assert_eq!(p.decide(&ctx(4, 30)), SlotDecision::Schedule);
+        p.clear_user(4);
+        assert_eq!(p.decide(&ctx(4, 30)), SlotDecision::Idle);
+        p.set_start_slot(5, 1);
+        p.clear();
+        assert_eq!(p.planned_len(), 0);
+        p.end_of_slot(&SlotOutcome::default());
+    }
+
+    #[test]
+    fn online_policy_delegates_to_scheduler() {
+        let mut p = OnlinePolicy::new(SchedulerConfig::default());
+        assert_eq!(p.kind(), PolicyKind::Online);
+        // Empty queues: waits.
+        assert_eq!(p.decide(&ctx(0, 0)), SlotDecision::Idle);
+        p.end_of_slot(&SlotOutcome { arrivals: 5, scheduled: 0, gap_sum: 2000.0 });
+        assert_eq!(p.queue_backlog(), 5.0);
+        assert!(p.virtual_backlog() > 0.0);
+        assert!(p.scheduler().config().is_valid());
+    }
+
+    #[test]
+    fn build_policy_constructs_each_kind() {
+        for kind in [PolicyKind::Immediate, PolicyKind::SyncSgd, PolicyKind::Offline, PolicyKind::Online] {
+            let p = build_policy(kind, SchedulerConfig::default());
+            assert_eq!(p.kind(), kind);
+        }
+    }
+}

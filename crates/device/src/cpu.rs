@@ -1,0 +1,172 @@
+//! big.LITTLE CPU topology and utilisation model.
+//!
+//! The paper's energy saving stems from the asymmetric ARM microarchitecture:
+//! background training threads are dispatched by the kernel scheduler to the
+//! LITTLE cores (the cpuset in `/dev/cpuset/background/cpus`), while the
+//! foreground application occupies the big cores. This module models the
+//! cluster layout of each testbed device and the utilisation figures reported
+//! in Observation 1 (95–98 % on the little cores during training, 30–50 % on
+//! the big cores depending on the application).
+
+use serde::{Deserialize, Serialize};
+
+use crate::apps::AppKind;
+use crate::profiles::DeviceKind;
+
+/// A CPU cluster (one half of a big.LITTLE pair, or the single cluster of a
+/// homogeneous chipset).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuCluster {
+    /// Number of cores in the cluster.
+    pub cores: usize,
+    /// Maximum frequency in MHz.
+    pub max_freq_mhz: u32,
+    /// Whether this is the high-performance ("big") cluster.
+    pub is_big: bool,
+}
+
+/// The CPU topology of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuTopology {
+    /// The high-performance cluster (equal to `little` on homogeneous chips).
+    pub big: CpuCluster,
+    /// The energy-efficient cluster.
+    pub little: CpuCluster,
+    /// Number of little cores in the vendor's background cpuset
+    /// (`/dev/cpuset/background/cpus`), i.e. how many cores the background
+    /// training service may use.
+    pub background_cores: usize,
+    /// Whether the chip actually has asymmetric clusters.
+    pub heterogeneous: bool,
+}
+
+impl CpuTopology {
+    /// The topology of one of the testbed devices.
+    pub fn for_device(kind: DeviceKind) -> Self {
+        match kind {
+            // Snapdragon 805: four homogeneous Krait cores.
+            DeviceKind::Nexus6 => CpuTopology {
+                big: CpuCluster { cores: 4, max_freq_mhz: 2700, is_big: true },
+                little: CpuCluster { cores: 4, max_freq_mhz: 2700, is_big: false },
+                background_cores: 1,
+                heterogeneous: false,
+            },
+            // Snapdragon 810: 4×A57 + 4×A53; one little core for background.
+            DeviceKind::Nexus6P => CpuTopology {
+                big: CpuCluster { cores: 4, max_freq_mhz: 1958, is_big: true },
+                little: CpuCluster { cores: 4, max_freq_mhz: 1555, is_big: false },
+                background_cores: 1,
+                heterogeneous: true,
+            },
+            // Kirin 970: 4×A73 + 4×A53; one little core for background.
+            DeviceKind::Hikey970 => CpuTopology {
+                big: CpuCluster { cores: 4, max_freq_mhz: 2360, is_big: true },
+                little: CpuCluster { cores: 4, max_freq_mhz: 1840, is_big: false },
+                background_cores: 1,
+                heterogeneous: true,
+            },
+            // Snapdragon 835: 4×Kryo-big + 4×Kryo-little; two background cores.
+            DeviceKind::Pixel2 => CpuTopology {
+                big: CpuCluster { cores: 4, max_freq_mhz: 2450, is_big: true },
+                little: CpuCluster { cores: 4, max_freq_mhz: 1900, is_big: false },
+                background_cores: 2,
+                heterogeneous: true,
+            },
+        }
+    }
+
+    /// Number of training threads the vendor configuration allows: the paper
+    /// sets the thread count to the background cpuset size (2 on Pixel 2,
+    /// 1 on Nexus 6P and HiKey 970) to avoid cache-coherence contention.
+    pub fn training_threads(&self) -> usize {
+        self.background_cores.max(1)
+    }
+
+    /// Total number of cores.
+    pub fn total_cores(&self) -> usize {
+        if self.heterogeneous {
+            self.big.cores + self.little.cores
+        } else {
+            self.big.cores
+        }
+    }
+}
+
+/// Utilisation snapshot of the two clusters, as a fraction in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpuUtilization {
+    /// Utilisation of the big cluster.
+    pub big: f64,
+    /// Utilisation of the little cluster.
+    pub little: f64,
+}
+
+impl CpuUtilization {
+    /// Utilisation while training runs in the background and `app` (if any)
+    /// runs in the foreground, following Observation 1: the little cores
+    /// designated for training sit at 95–98 %, the big cores at 30–50 %
+    /// depending on the foreground application.
+    pub fn during(training: bool, app: Option<AppKind>) -> Self {
+        let little = if training { 0.965 } else { 0.05 };
+        let big = match app {
+            None => 0.03,
+            Some(a) if a.is_intensive() => 0.50,
+            Some(AppKind::Youtube) | Some(AppKind::Tiktok) | Some(AppKind::Zoom) => 0.42,
+            Some(_) => 0.32,
+        };
+        CpuUtilization { big, little }
+    }
+
+    /// Clamps both utilisations into `[0, 1]`.
+    pub fn clamped(self) -> Self {
+        CpuUtilization { big: self.big.clamp(0.0, 1.0), little: self.little.clamp(0.0, 1.0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matches_vendor_cpusets() {
+        assert_eq!(CpuTopology::for_device(DeviceKind::Pixel2).background_cores, 2);
+        assert_eq!(CpuTopology::for_device(DeviceKind::Nexus6P).background_cores, 1);
+        assert_eq!(CpuTopology::for_device(DeviceKind::Hikey970).background_cores, 1);
+        assert_eq!(CpuTopology::for_device(DeviceKind::Pixel2).training_threads(), 2);
+        assert_eq!(CpuTopology::for_device(DeviceKind::Hikey970).training_threads(), 1);
+    }
+
+    #[test]
+    fn nexus6_is_homogeneous() {
+        let t = CpuTopology::for_device(DeviceKind::Nexus6);
+        assert!(!t.heterogeneous);
+        assert_eq!(t.total_cores(), 4);
+        let t2 = CpuTopology::for_device(DeviceKind::Pixel2);
+        assert!(t2.heterogeneous);
+        assert_eq!(t2.total_cores(), 8);
+    }
+
+    #[test]
+    fn training_utilisation_matches_observation_1() {
+        let u = CpuUtilization::during(true, Some(AppKind::News));
+        assert!(u.little > 0.95 && u.little < 0.98);
+        assert!(u.big >= 0.3 && u.big <= 0.5);
+        let idle = CpuUtilization::during(false, None);
+        assert!(idle.little < 0.1);
+        assert!(idle.big < 0.1);
+    }
+
+    #[test]
+    fn intensive_apps_load_big_cores_more() {
+        let game = CpuUtilization::during(true, Some(AppKind::Angrybird));
+        let news = CpuUtilization::during(true, Some(AppKind::News));
+        assert!(game.big > news.big);
+    }
+
+    #[test]
+    fn clamping_works() {
+        let u = CpuUtilization { big: 1.5, little: -0.2 }.clamped();
+        assert_eq!(u.big, 1.0);
+        assert_eq!(u.little, 0.0);
+    }
+}

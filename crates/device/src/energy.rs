@@ -1,0 +1,262 @@
+//! Units of power, energy and time used by the device models.
+//!
+//! Newtypes keep Watts, Joules and seconds from being mixed up in the energy
+//! accounting: `Watts * Seconds = Joules` is the only way to produce energy.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Average electrical power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Watts(pub f64);
+
+/// Energy in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Joules(pub f64);
+
+/// A duration in seconds (the paper's slot length is one second).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Seconds(pub f64);
+
+impl Watts {
+    /// The numeric value in watts.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Clamps to a non-negative value.
+    pub fn max_zero(self) -> Watts {
+        Watts(self.0.max(0.0))
+    }
+}
+
+impl Joules {
+    /// A zero energy amount.
+    pub const ZERO: Joules = Joules(0.0);
+
+    /// The numeric value in joules.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value expressed in kilojoules.
+    pub fn kilojoules(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Clamps to a non-negative value.
+    pub fn max_zero(self) -> Joules {
+        Joules(self.0.max(0.0))
+    }
+}
+
+impl Seconds {
+    /// The numeric value in seconds.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value expressed in hours.
+    pub fn hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W", self.0)
+    }
+}
+
+impl fmt::Display for Joules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1000.0 {
+            write!(f, "{:.2} kJ", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.2} J", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} s", self.0)
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Add for Joules {
+    type Output = Joules;
+    fn add(self, rhs: Joules) -> Joules {
+        Joules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Joules {
+    fn add_assign(&mut self, rhs: Joules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Joules {
+    type Output = Joules;
+    fn sub(self, rhs: Joules) -> Joules {
+        Joules(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Joules {
+    type Output = Joules;
+    fn neg(self) -> Joules {
+        Joules(-self.0)
+    }
+}
+
+impl Mul<f64> for Joules {
+    type Output = Joules;
+    fn mul(self, rhs: f64) -> Joules {
+        Joules(self.0 * rhs)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(if rhs.0 != 0.0 { self.0 / rhs.0 } else { 0.0 })
+    }
+}
+
+impl Sum for Joules {
+    fn sum<I: Iterator<Item = Joules>>(iter: I) -> Joules {
+        Joules(iter.map(|j| j.0).sum())
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts(2.0) * Seconds(10.0);
+        assert_eq!(e, Joules(20.0));
+        let e2 = Seconds(10.0) * Watts(2.0);
+        assert_eq!(e2, Joules(20.0));
+    }
+
+    #[test]
+    fn energy_divided_by_time_is_power() {
+        assert_eq!(Joules(20.0) / Seconds(10.0), Watts(2.0));
+        assert_eq!(Joules(20.0) / Seconds(0.0), Watts(0.0));
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        assert_eq!(Watts(1.0) + Watts(2.0), Watts(3.0));
+        assert_eq!(Watts(5.0) - Watts(2.0), Watts(3.0));
+        assert_eq!(Joules(2.0) + Joules(3.0), Joules(5.0));
+        assert_eq!(Joules(5.0) - Joules(3.0), Joules(2.0));
+        assert_eq!(Joules(5.0) * 2.0, Joules(10.0));
+        assert_eq!(Seconds(5.0) + Seconds(1.0), Seconds(6.0));
+        assert_eq!(Seconds(5.0) - Seconds(1.0), Seconds(4.0));
+        assert_eq!(format!("{}", Watts(1.2345)), "1.234 W");
+        assert_eq!(format!("{}", Joules(1500.0)), "1.50 kJ");
+        assert_eq!(format!("{}", Joules(15.0)), "15.00 J");
+        assert_eq!(format!("{}", Seconds(3.25)), "3.2 s");
+    }
+
+    #[test]
+    fn accumulation_and_sums() {
+        let mut total = Joules::ZERO;
+        total += Joules(5.0);
+        total += Joules(2.5);
+        assert_eq!(total, Joules(7.5));
+        let sum: Joules = vec![Joules(1.0), Joules(2.0)].into_iter().sum();
+        assert_eq!(sum, Joules(3.0));
+        let time: Seconds = vec![Seconds(1.0), Seconds(2.0)].into_iter().sum();
+        assert_eq!(time, Seconds(3.0));
+    }
+
+    #[test]
+    fn conversions_and_clamps() {
+        assert_eq!(Joules(2500.0).kilojoules(), 2.5);
+        assert_eq!(Seconds(7200.0).hours(), 2.0);
+        assert_eq!(Watts(-1.0).max_zero(), Watts(0.0));
+        assert_eq!(Joules(-1.0).max_zero(), Joules(0.0));
+        assert_eq!((-Joules(2.0)).value(), -2.0);
+        assert_eq!(Watts(3.0).value(), 3.0);
+        assert_eq!(Seconds(3.0).value(), 3.0);
+        assert_eq!(Seconds(2.0) * 3.0, Seconds(6.0));
+        assert_eq!(Watts(2.0) * 3.0, Watts(6.0));
+    }
+}

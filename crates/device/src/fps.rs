@@ -1,0 +1,174 @@
+//! Foreground frame-rate model (Fig. 2 of the paper).
+//!
+//! Observation 3: co-running the background training task does not noticeably
+//! slow foreground rendering — average FPS stays at the application's target
+//! (≈60 FPS for Angry Birds, ≈30 FPS for TikTok). The model produces an FPS
+//! trace with small jitter around the target, an occasional dropped-frame
+//! dip, and a slightly larger jitter while co-running, matching the shape of
+//! the measured traces without changing the mean.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::apps::AppKind;
+
+/// Configuration of the FPS trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpsModelConfig {
+    /// Standard deviation of per-second jitter as a fraction of target FPS
+    /// when the app runs alone.
+    pub base_jitter: f64,
+    /// Additional jitter fraction while co-running with training.
+    pub corun_extra_jitter: f64,
+    /// Probability of a transient dropped-frame dip in any given second.
+    pub dip_probability: f64,
+    /// Depth of a dip as a fraction of the target FPS.
+    pub dip_depth: f64,
+}
+
+impl Default for FpsModelConfig {
+    fn default() -> Self {
+        FpsModelConfig {
+            base_jitter: 0.04,
+            corun_extra_jitter: 0.03,
+            dip_probability: 0.02,
+            dip_depth: 0.5,
+        }
+    }
+}
+
+/// A per-second FPS sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpsSample {
+    /// Time offset in seconds from the start of the trace.
+    pub t: f64,
+    /// Frames rendered in this second.
+    pub fps: f64,
+}
+
+/// Generates FPS traces for an application with and without co-running.
+#[derive(Debug, Clone)]
+pub struct FpsModel {
+    app: AppKind,
+    config: FpsModelConfig,
+    rng: SmallRng,
+}
+
+impl FpsModel {
+    /// Creates a model for an application with a deterministic seed.
+    pub fn new(app: AppKind, seed: u64) -> Self {
+        FpsModel { app, config: FpsModelConfig::default(), rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Creates a model with a custom configuration.
+    pub fn with_config(app: AppKind, config: FpsModelConfig, seed: u64) -> Self {
+        FpsModel { app, config, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The application being modelled.
+    pub fn app(&self) -> AppKind {
+        self.app
+    }
+
+    /// Generates a trace of `duration_s` one-second samples.
+    ///
+    /// `corunning` selects whether the background training task is active.
+    pub fn trace(&mut self, duration_s: usize, corunning: bool) -> Vec<FpsSample> {
+        let target = self.app.target_fps();
+        let jitter = if corunning {
+            self.config.base_jitter + self.config.corun_extra_jitter
+        } else {
+            self.config.base_jitter
+        };
+        (0..duration_s)
+            .map(|t| {
+                let noise: f64 = (self.rng.gen::<f64>() - 0.5) * 2.0 * jitter * target;
+                let mut fps = target + noise;
+                if self.rng.gen::<f64>() < self.config.dip_probability {
+                    fps *= 1.0 - self.config.dip_depth;
+                }
+                FpsSample { t: t as f64, fps: fps.max(0.0) }
+            })
+            .collect()
+    }
+
+    /// Mean FPS of a trace (zero for an empty trace).
+    pub fn mean_fps(trace: &[FpsSample]) -> f64 {
+        if trace.is_empty() {
+            return 0.0;
+        }
+        trace.iter().map(|s| s.fps).sum::<f64>() / trace.len() as f64
+    }
+
+    /// Relative difference between mean FPS with and without co-running, as
+    /// observed by the user: `(alone - corun) / alone`.
+    pub fn perceived_slowdown(&mut self, duration_s: usize) -> f64 {
+        let alone = Self::mean_fps(&self.trace(duration_s, false));
+        let corun = Self::mean_fps(&self.trace(duration_s, true));
+        if alone <= 0.0 {
+            return 0.0;
+        }
+        (alone - corun) / alone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_stays_at_target_when_corunning() {
+        // Observation 3: no noticeable slowdown for the foreground app.
+        for app in [AppKind::Angrybird, AppKind::Tiktok] {
+            let mut model = FpsModel::new(app, 1);
+            let alone = FpsModel::mean_fps(&model.trace(250, false));
+            let corun = FpsModel::mean_fps(&model.trace(250, true));
+            let target = app.target_fps();
+            assert!((alone - target).abs() / target < 0.05, "{app:?} alone {alone}");
+            assert!((corun - target).abs() / target < 0.05, "{app:?} corun {corun}");
+        }
+    }
+
+    #[test]
+    fn perceived_slowdown_is_negligible() {
+        let mut model = FpsModel::new(AppKind::Angrybird, 7);
+        let slowdown = model.perceived_slowdown(200);
+        assert!(slowdown.abs() < 0.05, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn trace_has_requested_length_and_valid_values() {
+        let mut model = FpsModel::new(AppKind::Tiktok, 3);
+        let trace = model.trace(100, true);
+        assert_eq!(trace.len(), 100);
+        for (i, s) in trace.iter().enumerate() {
+            assert_eq!(s.t, i as f64);
+            assert!(s.fps >= 0.0 && s.fps <= 80.0);
+        }
+        assert_eq!(FpsModel::mean_fps(&[]), 0.0);
+    }
+
+    #[test]
+    fn corunning_increases_jitter_but_not_mean() {
+        let mut model = FpsModel::new(AppKind::Angrybird, 11);
+        let alone = model.trace(500, false);
+        let corun = model.trace(500, true);
+        let var = |t: &[FpsSample]| {
+            let m = FpsModel::mean_fps(t);
+            t.iter().map(|s| (s.fps - m) * (s.fps - m)).sum::<f64>() / t.len() as f64
+        };
+        assert!(var(&corun) > var(&alone) * 0.9);
+    }
+
+    #[test]
+    fn custom_config_is_respected() {
+        let cfg = FpsModelConfig { base_jitter: 0.0, corun_extra_jitter: 0.0, dip_probability: 0.0, dip_depth: 0.0 };
+        let mut model = FpsModel::with_config(AppKind::Zoom, cfg, 5);
+        let trace = model.trace(10, true);
+        for s in trace {
+            assert_eq!(s.fps, AppKind::Zoom.target_fps());
+        }
+        assert_eq!(model.app(), AppKind::Zoom);
+    }
+}

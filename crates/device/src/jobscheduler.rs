@@ -1,0 +1,255 @@
+//! Background-job constraint model (the Android `JobScheduler`).
+//!
+//! The paper implements training as a background service registered with the
+//! Android JobScheduler: it only runs once a set of conditions is met
+//! (network connectivity, charging/battery status, an execution window), and
+//! the OS may kill long-running background jobs to reclaim memory. This
+//! module models those gates so the simulator can reproduce device
+//! availability ("a device pulls the current model from the parameter server
+//! when it becomes available depending on the network condition or battery
+//! energy").
+
+use serde::{Deserialize, Serialize};
+
+use crate::battery::Battery;
+
+/// Network connectivity states relevant to the job constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkState {
+    /// Connected over Wi-Fi (unmetered).
+    Wifi,
+    /// Connected over cellular (metered).
+    Cellular,
+    /// No connectivity.
+    Offline,
+}
+
+/// Constraints a background training job must satisfy before it may run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobConstraints {
+    /// Require an unmetered (Wi-Fi) connection.
+    pub require_unmetered: bool,
+    /// Require any connectivity at all (model download/upload).
+    pub require_network: bool,
+    /// Require the charger to be connected.
+    pub require_charging: bool,
+    /// Minimum state of charge in `[0, 1]` when not charging.
+    pub min_state_of_charge: f64,
+    /// Optional execution window `[start, end)` in seconds of simulated time
+    /// (e.g. a nightly window); `None` means any time.
+    pub window: Option<(f64, f64)>,
+}
+
+impl Default for JobConstraints {
+    fn default() -> Self {
+        JobConstraints {
+            require_unmetered: true,
+            require_network: true,
+            require_charging: false,
+            min_state_of_charge: 0.2,
+            window: None,
+        }
+    }
+}
+
+/// The current device conditions evaluated against [`JobConstraints`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConditions {
+    /// Current network connectivity.
+    pub network: NetworkState,
+    /// Whether the charger is connected.
+    pub charging: bool,
+    /// Current state of charge in `[0, 1]`.
+    pub state_of_charge: f64,
+    /// Current simulated time in seconds.
+    pub now_s: f64,
+}
+
+impl DeviceConditions {
+    /// Builds conditions from a battery and a network state.
+    pub fn from_battery(battery: &Battery, network: NetworkState, now_s: f64) -> Self {
+        DeviceConditions {
+            network,
+            charging: battery.is_charging(),
+            state_of_charge: battery.state_of_charge(),
+            now_s,
+        }
+    }
+}
+
+/// Why a job is not allowed to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobBlocked {
+    /// No network but one is required.
+    NoNetwork,
+    /// Metered network but an unmetered one is required.
+    MeteredNetwork,
+    /// Charger required but not connected.
+    NotCharging,
+    /// Battery below the configured threshold.
+    LowBattery,
+    /// Outside the configured execution window.
+    OutsideWindow,
+}
+
+/// A background training job with JobScheduler-style constraints and the
+/// Android background-limitation (OOM-kill) risk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundJob {
+    constraints: JobConstraints,
+    /// Probability per invocation that the OS kills the background service
+    /// (the paper observed this for larger-than-LeNet models; for LeNet-5 it
+    /// never happened, so the default is zero).
+    kill_probability: f64,
+}
+
+impl BackgroundJob {
+    /// Creates a job with the given constraints and no kill risk.
+    pub fn new(constraints: JobConstraints) -> Self {
+        BackgroundJob { constraints, kill_probability: 0.0 }
+    }
+
+    /// Sets the per-invocation OS kill probability (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_kill_probability(mut self, p: f64) -> Self {
+        self.kill_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The job constraints.
+    pub fn constraints(&self) -> &JobConstraints {
+        &self.constraints
+    }
+
+    /// The configured kill probability.
+    pub fn kill_probability(&self) -> f64 {
+        self.kill_probability
+    }
+
+    /// Evaluates whether the job may run under the given conditions.
+    ///
+    /// Returns `Ok(())` when every constraint is satisfied, otherwise the
+    /// first violated constraint.
+    pub fn check(&self, conditions: &DeviceConditions) -> Result<(), JobBlocked> {
+        let c = &self.constraints;
+        if c.require_network && conditions.network == NetworkState::Offline {
+            return Err(JobBlocked::NoNetwork);
+        }
+        if c.require_unmetered && conditions.network == NetworkState::Cellular {
+            return Err(JobBlocked::MeteredNetwork);
+        }
+        if c.require_charging && !conditions.charging {
+            return Err(JobBlocked::NotCharging);
+        }
+        if !conditions.charging && conditions.state_of_charge < c.min_state_of_charge {
+            return Err(JobBlocked::LowBattery);
+        }
+        if let Some((start, end)) = c.window {
+            if conditions.now_s < start || conditions.now_s >= end {
+                return Err(JobBlocked::OutsideWindow);
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper returning a boolean.
+    pub fn can_run(&self, conditions: &DeviceConditions) -> bool {
+        self.check(conditions).is_ok()
+    }
+}
+
+impl Default for BackgroundJob {
+    fn default() -> Self {
+        BackgroundJob::new(JobConstraints::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::Joules;
+
+    fn good_conditions() -> DeviceConditions {
+        DeviceConditions { network: NetworkState::Wifi, charging: false, state_of_charge: 0.8, now_s: 0.0 }
+    }
+
+    #[test]
+    fn default_job_runs_on_wifi_with_healthy_battery() {
+        let job = BackgroundJob::default();
+        assert!(job.can_run(&good_conditions()));
+        assert_eq!(job.kill_probability(), 0.0);
+    }
+
+    #[test]
+    fn offline_blocks() {
+        let job = BackgroundJob::default();
+        let mut c = good_conditions();
+        c.network = NetworkState::Offline;
+        assert_eq!(job.check(&c), Err(JobBlocked::NoNetwork));
+    }
+
+    #[test]
+    fn metered_blocks_when_unmetered_required() {
+        let job = BackgroundJob::default();
+        let mut c = good_conditions();
+        c.network = NetworkState::Cellular;
+        assert_eq!(job.check(&c), Err(JobBlocked::MeteredNetwork));
+        // Allowing metered lifts the block.
+        let job2 = BackgroundJob::new(JobConstraints { require_unmetered: false, ..JobConstraints::default() });
+        assert!(job2.can_run(&c));
+    }
+
+    #[test]
+    fn low_battery_blocks_unless_charging() {
+        let job = BackgroundJob::default();
+        let mut c = good_conditions();
+        c.state_of_charge = 0.1;
+        assert_eq!(job.check(&c), Err(JobBlocked::LowBattery));
+        c.charging = true;
+        assert!(job.can_run(&c));
+    }
+
+    #[test]
+    fn charging_requirement() {
+        let job = BackgroundJob::new(JobConstraints { require_charging: true, ..JobConstraints::default() });
+        let mut c = good_conditions();
+        assert_eq!(job.check(&c), Err(JobBlocked::NotCharging));
+        c.charging = true;
+        assert!(job.can_run(&c));
+    }
+
+    #[test]
+    fn execution_window_is_enforced() {
+        let job = BackgroundJob::new(JobConstraints {
+            window: Some((100.0, 200.0)),
+            ..JobConstraints::default()
+        });
+        let mut c = good_conditions();
+        c.now_s = 50.0;
+        assert_eq!(job.check(&c), Err(JobBlocked::OutsideWindow));
+        c.now_s = 150.0;
+        assert!(job.can_run(&c));
+        c.now_s = 200.0;
+        assert_eq!(job.check(&c), Err(JobBlocked::OutsideWindow));
+    }
+
+    #[test]
+    fn conditions_from_battery() {
+        let mut b = Battery::new(Joules(100.0));
+        b.drain(Joules(50.0));
+        b.set_charging(true);
+        let c = DeviceConditions::from_battery(&b, NetworkState::Wifi, 12.0);
+        assert!(c.charging);
+        assert!((c.state_of_charge - 0.5).abs() < 1e-9);
+        assert_eq!(c.now_s, 12.0);
+    }
+
+    #[test]
+    fn kill_probability_is_clamped() {
+        let job = BackgroundJob::default().with_kill_probability(2.0);
+        assert_eq!(job.kill_probability(), 1.0);
+        let job2 = BackgroundJob::default().with_kill_probability(-1.0);
+        assert_eq!(job2.kill_probability(), 0.0);
+        assert!(job.constraints().require_network);
+    }
+}

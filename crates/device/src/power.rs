@@ -1,0 +1,246 @@
+//! The four-state power model of Eq. (10).
+//!
+//! Per time slot, a device is in one of four power states determined by the
+//! scheduling decision `α(t) ∈ {schedule, idle}` and the application status
+//! `s(t) ∈ {app, no app}`:
+//!
+//! | decision  | app status | power          |
+//! |-----------|-----------|-----------------|
+//! | schedule  | app       | `P_a'` (co-run) |
+//! | schedule  | no app    | `P_b` (train)   |
+//! | idle      | app       | `P_a` (app)     |
+//! | idle      | no app    | `P_d` (idle)    |
+//!
+//! The measurements in Table II satisfy `P_a' > P_a > P_b > P_d` on average.
+
+use serde::{Deserialize, Serialize};
+
+use crate::apps::AppKind;
+use crate::energy::{Joules, Seconds, Watts};
+use crate::profiles::DeviceProfile;
+
+/// The scheduling decision of the controller for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotDecision {
+    /// Run (or keep running) the background training task this slot.
+    Schedule,
+    /// Keep the training task deferred this slot.
+    Idle,
+}
+
+/// The foreground-application status of a device in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppStatus {
+    /// A foreground application is running.
+    App(AppKind),
+    /// No foreground application is running.
+    NoApp,
+}
+
+impl AppStatus {
+    /// Whether an application is present.
+    pub fn is_app(self) -> bool {
+        matches!(self, AppStatus::App(_))
+    }
+
+    /// The application, if any.
+    pub fn app(self) -> Option<AppKind> {
+        match self {
+            AppStatus::App(a) => Some(a),
+            AppStatus::NoApp => None,
+        }
+    }
+}
+
+/// The power state a device ends up in for a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Training co-running with an application (`P_a'`).
+    CoRunning(AppKind),
+    /// Training alone in the background (`P_b`).
+    TrainingOnly,
+    /// Application alone (`P_a`).
+    AppOnly(AppKind),
+    /// Idle (`P_d`).
+    Idle,
+}
+
+impl PowerState {
+    /// Resolves the power state from a decision and an application status,
+    /// i.e. the case analysis of Eq. (10).
+    pub fn from_decision(decision: SlotDecision, status: AppStatus) -> Self {
+        match (decision, status) {
+            (SlotDecision::Schedule, AppStatus::App(a)) => PowerState::CoRunning(a),
+            (SlotDecision::Schedule, AppStatus::NoApp) => PowerState::TrainingOnly,
+            (SlotDecision::Idle, AppStatus::App(a)) => PowerState::AppOnly(a),
+            (SlotDecision::Idle, AppStatus::NoApp) => PowerState::Idle,
+        }
+    }
+
+    /// Whether training makes progress in this state.
+    pub fn training_active(self) -> bool {
+        matches!(self, PowerState::CoRunning(_) | PowerState::TrainingOnly)
+    }
+}
+
+/// The power model of one device: maps power states to average power draw and
+/// slot energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    profile: DeviceProfile,
+}
+
+impl PowerModel {
+    /// Creates a power model from a device profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        PowerModel { profile }
+    }
+
+    /// The underlying device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Average power drawn in a given power state (Eq. 10).
+    pub fn power(&self, state: PowerState) -> Watts {
+        match state {
+            PowerState::CoRunning(app) => self.profile.corun_power(app),
+            PowerState::TrainingOnly => self.profile.training_power(),
+            PowerState::AppOnly(app) => self.profile.app_power(app),
+            PowerState::Idle => self.profile.idle_power(),
+        }
+    }
+
+    /// Power for a decision/status pair.
+    pub fn power_for(&self, decision: SlotDecision, status: AppStatus) -> Watts {
+        self.power(PowerState::from_decision(decision, status))
+    }
+
+    /// Energy consumed over a slot of length `slot` in a given state,
+    /// `P_i(t) · t_d`.
+    pub fn slot_energy(&self, state: PowerState, slot: Seconds) -> Joules {
+        self.power(state) * slot
+    }
+
+    /// Energy of the *training component only* over a slot: the marginal
+    /// energy attributable to the training task on top of what the device
+    /// would have consumed anyway (app or idle). This is what the paper's
+    /// objective P2 minimises ("energy consumption of training tasks").
+    pub fn training_marginal_energy(&self, state: PowerState, slot: Seconds) -> Joules {
+        let baseline = match state {
+            PowerState::CoRunning(app) => self.profile.app_power(app),
+            PowerState::TrainingOnly => self.profile.idle_power(),
+            PowerState::AppOnly(app) => self.profile.app_power(app),
+            PowerState::Idle => self.profile.idle_power(),
+        };
+        ((self.power(state) - baseline).max_zero()) * slot
+    }
+
+    /// Per-slot energy saving of co-running with `app` instead of running
+    /// training and the app separately: `s_i = P_b + P_a − P_a'` (Eq. 5).
+    pub fn corun_saving(&self, app: AppKind) -> Watts {
+        self.profile.corun_saving_power(app)
+    }
+
+    /// Verifies the ordering `P_a' > P_a > P_b > P_d` claimed after Eq. (10),
+    /// returning `true` when it holds for the given application.
+    pub fn ordering_holds(&self, app: AppKind) -> bool {
+        let pa_prime = self.profile.corun_power(app).value();
+        let pa = self.profile.app_power(app).value();
+        let pb = self.profile.training_power().value();
+        let pd = self.profile.idle_power().value();
+        pa_prime > pa && pb > pd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DeviceKind;
+
+    fn pixel2() -> PowerModel {
+        PowerModel::new(DeviceKind::Pixel2.profile())
+    }
+
+    #[test]
+    fn power_state_case_analysis() {
+        assert_eq!(
+            PowerState::from_decision(SlotDecision::Schedule, AppStatus::App(AppKind::Map)),
+            PowerState::CoRunning(AppKind::Map)
+        );
+        assert_eq!(
+            PowerState::from_decision(SlotDecision::Schedule, AppStatus::NoApp),
+            PowerState::TrainingOnly
+        );
+        assert_eq!(
+            PowerState::from_decision(SlotDecision::Idle, AppStatus::App(AppKind::Zoom)),
+            PowerState::AppOnly(AppKind::Zoom)
+        );
+        assert_eq!(PowerState::from_decision(SlotDecision::Idle, AppStatus::NoApp), PowerState::Idle);
+        assert!(PowerState::TrainingOnly.training_active());
+        assert!(PowerState::CoRunning(AppKind::Map).training_active());
+        assert!(!PowerState::Idle.training_active());
+        assert!(!PowerState::AppOnly(AppKind::Map).training_active());
+    }
+
+    #[test]
+    fn app_status_helpers() {
+        assert!(AppStatus::App(AppKind::Map).is_app());
+        assert!(!AppStatus::NoApp.is_app());
+        assert_eq!(AppStatus::App(AppKind::Map).app(), Some(AppKind::Map));
+        assert_eq!(AppStatus::NoApp.app(), None);
+    }
+
+    #[test]
+    fn power_values_come_from_table_ii() {
+        let pm = pixel2();
+        assert_eq!(pm.power(PowerState::TrainingOnly).value(), 1.35);
+        assert_eq!(pm.power(PowerState::Idle).value(), 0.689);
+        assert_eq!(pm.power(PowerState::AppOnly(AppKind::Tiktok)).value(), 2.37);
+        assert_eq!(pm.power(PowerState::CoRunning(AppKind::Tiktok)).value(), 2.52);
+        assert_eq!(
+            pm.power_for(SlotDecision::Schedule, AppStatus::App(AppKind::Tiktok)).value(),
+            2.52
+        );
+    }
+
+    #[test]
+    fn slot_energy_is_power_times_time() {
+        let pm = pixel2();
+        let e = pm.slot_energy(PowerState::TrainingOnly, Seconds(10.0));
+        assert!((e.value() - 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_training_energy_is_cheaper_when_corunning() {
+        let pm = pixel2();
+        let slot = Seconds(1.0);
+        let corun = pm.training_marginal_energy(PowerState::CoRunning(AppKind::Map), slot);
+        let alone = pm.training_marginal_energy(PowerState::TrainingOnly, slot);
+        // Marginal cost of training on top of Map (2.20-1.60=0.6 W) is less
+        // than on top of idle (1.35-0.689=0.661 W).
+        assert!(corun.value() < alone.value());
+        // Non-training states have zero marginal training energy.
+        assert_eq!(pm.training_marginal_energy(PowerState::Idle, slot), Joules::ZERO);
+        assert_eq!(
+            pm.training_marginal_energy(PowerState::AppOnly(AppKind::Map), slot),
+            Joules::ZERO
+        );
+    }
+
+    #[test]
+    fn ordering_mostly_holds_on_modern_devices() {
+        let pm = pixel2();
+        for app in AppKind::ALL {
+            assert!(pm.ordering_holds(app), "{app:?}");
+        }
+    }
+
+    #[test]
+    fn corun_saving_positive_on_pixel2() {
+        let pm = pixel2();
+        for app in AppKind::ALL {
+            assert!(pm.corun_saving(app).value() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Energy profiler: integrates the power model over a recorded schedule.
+//!
+//! This replaces the Trepn / Snapdragon Profiler / Monsoon power monitor used
+//! on the paper's testbed: the simulator records which power state a device
+//! occupied in each interval, and the profiler integrates power over time,
+//! keeping a per-state breakdown so figures like Fig. 1 (separate vs
+//! co-running energy) can be reproduced.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::{Joules, Seconds, Watts};
+use crate::power::{PowerModel, PowerState};
+
+/// One measured segment: a power state held for a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSegment {
+    /// The state the device was in.
+    pub state: PowerState,
+    /// How long the state was held.
+    pub duration: Seconds,
+}
+
+/// A label used in energy breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EnergyComponent {
+    /// Energy spent co-running training with an application.
+    CoRunning,
+    /// Energy spent training alone in the background.
+    TrainingOnly,
+    /// Energy spent running applications without training.
+    AppOnly,
+    /// Energy spent idling.
+    Idle,
+}
+
+impl EnergyComponent {
+    fn of(state: PowerState) -> Self {
+        match state {
+            PowerState::CoRunning(_) => EnergyComponent::CoRunning,
+            PowerState::TrainingOnly => EnergyComponent::TrainingOnly,
+            PowerState::AppOnly(_) => EnergyComponent::AppOnly,
+            PowerState::Idle => EnergyComponent::Idle,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyComponent::CoRunning => "co-running",
+            EnergyComponent::TrainingOnly => "training",
+            EnergyComponent::AppOnly => "app",
+            EnergyComponent::Idle => "idle",
+        }
+    }
+}
+
+/// Accumulates energy from power segments for a single device.
+#[derive(Debug, Clone)]
+pub struct EnergyProfiler {
+    model: PowerModel,
+    total: Joules,
+    total_time: Seconds,
+    by_component: BTreeMap<EnergyComponent, Joules>,
+    segments: Vec<PowerSegment>,
+}
+
+impl EnergyProfiler {
+    /// Creates a profiler bound to a device power model.
+    pub fn new(model: PowerModel) -> Self {
+        EnergyProfiler {
+            model,
+            total: Joules::ZERO,
+            total_time: Seconds(0.0),
+            by_component: BTreeMap::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// The underlying power model.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Records a segment and returns the energy it consumed.
+    pub fn record(&mut self, state: PowerState, duration: Seconds) -> Joules {
+        let energy = self.model.slot_energy(state, duration);
+        self.total += energy;
+        self.total_time += duration;
+        *self.by_component.entry(EnergyComponent::of(state)).or_insert(Joules::ZERO) += energy;
+        self.segments.push(PowerSegment { state, duration });
+        energy
+    }
+
+    /// Records an extra, explicitly-computed energy amount (e.g. the online
+    /// controller's decision overhead) under a component label.
+    pub fn record_extra(&mut self, component: EnergyComponent, energy: Joules) {
+        self.total += energy;
+        *self.by_component.entry(component).or_insert(Joules::ZERO) += energy;
+    }
+
+    /// Total energy recorded so far.
+    pub fn total_energy(&self) -> Joules {
+        self.total
+    }
+
+    /// Total time recorded so far.
+    pub fn total_time(&self) -> Seconds {
+        self.total_time
+    }
+
+    /// Mean power over the recorded period.
+    pub fn mean_power(&self) -> Watts {
+        self.total / self.total_time
+    }
+
+    /// Energy attributed to one component.
+    pub fn component_energy(&self, component: EnergyComponent) -> Joules {
+        self.by_component.get(&component).copied().unwrap_or(Joules::ZERO)
+    }
+
+    /// The full per-component breakdown, sorted by component.
+    pub fn breakdown(&self) -> Vec<(EnergyComponent, Joules)> {
+        self.by_component.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// The recorded segments.
+    pub fn segments(&self) -> &[PowerSegment] {
+        &self.segments
+    }
+
+    /// Clears all recorded data (the model is kept).
+    pub fn reset(&mut self) {
+        self.total = Joules::ZERO;
+        self.total_time = Seconds(0.0);
+        self.by_component.clear();
+        self.segments.clear();
+    }
+}
+
+/// Compares the energy of the two schedules of the motivating experiment
+/// (Fig. 1): running training and an application separately (back to back)
+/// versus co-running them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleComparison {
+    /// Energy of executing the training task alone (`P_b · t_b`).
+    pub training_separate: Joules,
+    /// Energy of executing the application alone (`P_a · t_a`).
+    pub app_separate: Joules,
+    /// Energy of co-running both (`P_a' · t_a`).
+    pub corun: Joules,
+}
+
+impl ScheduleComparison {
+    /// Computes the comparison for one device and application using the
+    /// Table II calibration.
+    pub fn compute(model: &PowerModel, app: crate::apps::AppKind) -> Self {
+        let profile = model.profile();
+        let t_train = profile.training_time();
+        let t_corun = profile.corun_time(app);
+        ScheduleComparison {
+            training_separate: profile.training_power() * t_train,
+            app_separate: profile.app_power(app) * t_corun,
+            corun: profile.corun_power(app) * t_corun,
+        }
+    }
+
+    /// Total energy of the separate schedule.
+    pub fn separate_total(&self) -> Joules {
+        self.training_separate + self.app_separate
+    }
+
+    /// Fraction of energy saved by co-running (the Table II "saving" column).
+    pub fn saving_fraction(&self) -> f64 {
+        let sep = self.separate_total().value();
+        if sep <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.corun.value() / sep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppKind;
+    use crate::profiles::DeviceKind;
+
+    fn profiler() -> EnergyProfiler {
+        EnergyProfiler::new(PowerModel::new(DeviceKind::Pixel2.profile()))
+    }
+
+    #[test]
+    fn records_accumulate_energy_and_time() {
+        let mut p = profiler();
+        let e1 = p.record(PowerState::TrainingOnly, Seconds(10.0));
+        assert!((e1.value() - 13.5).abs() < 1e-9);
+        p.record(PowerState::Idle, Seconds(10.0));
+        assert!((p.total_energy().value() - (13.5 + 6.89)).abs() < 1e-9);
+        assert_eq!(p.total_time(), Seconds(20.0));
+        assert!((p.mean_power().value() - (13.5 + 6.89) / 20.0).abs() < 1e-9);
+        assert_eq!(p.segments().len(), 2);
+    }
+
+    #[test]
+    fn breakdown_by_component() {
+        let mut p = profiler();
+        p.record(PowerState::CoRunning(AppKind::Map), Seconds(5.0));
+        p.record(PowerState::AppOnly(AppKind::Map), Seconds(5.0));
+        p.record(PowerState::TrainingOnly, Seconds(5.0));
+        p.record(PowerState::Idle, Seconds(5.0));
+        assert_eq!(p.breakdown().len(), 4);
+        assert!(p.component_energy(EnergyComponent::CoRunning).value() > 0.0);
+        assert!(
+            p.component_energy(EnergyComponent::CoRunning).value()
+                > p.component_energy(EnergyComponent::Idle).value()
+        );
+        assert_eq!(EnergyComponent::CoRunning.label(), "co-running");
+    }
+
+    #[test]
+    fn record_extra_adds_overhead() {
+        let mut p = profiler();
+        p.record_extra(EnergyComponent::Idle, Joules(2.0));
+        assert_eq!(p.total_energy(), Joules(2.0));
+        assert_eq!(p.component_energy(EnergyComponent::Idle), Joules(2.0));
+        // Time is unaffected by extras.
+        assert_eq!(p.total_time(), Seconds(0.0));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut p = profiler();
+        p.record(PowerState::Idle, Seconds(5.0));
+        p.reset();
+        assert_eq!(p.total_energy(), Joules::ZERO);
+        assert_eq!(p.total_time(), Seconds(0.0));
+        assert!(p.segments().is_empty());
+        assert!(p.breakdown().is_empty());
+        assert_eq!(p.model().profile().kind, DeviceKind::Pixel2);
+    }
+
+    #[test]
+    fn schedule_comparison_matches_table_ii_saving() {
+        let model = PowerModel::new(DeviceKind::Pixel2.profile());
+        let cmp = ScheduleComparison::compute(&model, AppKind::Map);
+        assert!((cmp.saving_fraction() - 0.30).abs() < 0.03);
+        assert!(cmp.corun.value() < cmp.separate_total().value());
+        // Fig. 1 shape: co-running bar is below the stacked separate bars.
+        let hikey = PowerModel::new(DeviceKind::Hikey970.profile());
+        for app in AppKind::ALL {
+            let c = ScheduleComparison::compute(&hikey, app);
+            assert!(c.corun.value() < c.separate_total().value(), "{app:?}");
+        }
+    }
+
+    #[test]
+    fn nexus6_candycrush_surges() {
+        let model = PowerModel::new(DeviceKind::Nexus6.profile());
+        let cmp = ScheduleComparison::compute(&model, AppKind::CandyCrush);
+        assert!(cmp.saving_fraction() < 0.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Device profiles calibrated to the paper's Table II and Table III.
+//!
+//! Four device models were used on the paper's testbed: Nexus 6, Nexus 6P,
+//! the HiKey 970 development board and Pixel 2. Each profile records the
+//! measured average power of training alone (`P_b`), idling (`P_d`), the
+//! decision-computation power of the online controller (Table III), the
+//! training execution time, and the per-application power/time entries of
+//! Table II (`P_a`, `P_a'`, co-run time).
+
+use serde::{Deserialize, Serialize};
+
+use crate::apps::{AppKind, AppMeasurement};
+use crate::cpu::CpuTopology;
+use crate::energy::{Seconds, Watts};
+
+/// The device models of the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Nexus 6 — older chipset with four homogeneous cores.
+    Nexus6,
+    /// Nexus 6P — big.LITTLE, one little core reserved for background work.
+    Nexus6P,
+    /// HiKey 970 development board — 4×A73 + 4×A53, powered via 12 V DC.
+    Hikey970,
+    /// Pixel 2 — big.LITTLE, two little cores in the background cpuset.
+    Pixel2,
+}
+
+impl DeviceKind {
+    /// All device kinds in the order used by Table II.
+    pub const ALL: [DeviceKind; 4] =
+        [DeviceKind::Nexus6, DeviceKind::Nexus6P, DeviceKind::Hikey970, DeviceKind::Pixel2];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Nexus6 => "Nexus6",
+            DeviceKind::Nexus6P => "Nexus6P",
+            DeviceKind::Hikey970 => "Hikey970",
+            DeviceKind::Pixel2 => "Pixel2",
+        }
+    }
+
+    /// The calibrated profile for this device.
+    pub fn profile(self) -> DeviceProfile {
+        DeviceProfile::for_device(self)
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full power/time calibration of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Which device this profile describes.
+    pub kind: DeviceKind,
+    /// Average power of background training alone, `P_b` (W).
+    pub training_power_w: f64,
+    /// Training execution time without co-running interference (s).
+    pub training_time_s: f64,
+    /// Idle power, `P_d` (W).
+    pub idle_power_w: f64,
+    /// Power while evaluating the online decision rule (Table III), in W.
+    pub decision_power_w: f64,
+    /// CPU topology (big.LITTLE clusters and background cpuset).
+    pub topology: CpuTopology,
+    /// Per-application measurements in [`AppKind::ALL`] order.
+    app_measurements: [AppMeasurement; 8],
+}
+
+impl DeviceProfile {
+    /// Builds the calibrated profile for a device.
+    pub fn for_device(kind: DeviceKind) -> Self {
+        // Values transcribed from Table II (power in W, time in s) and
+        // Table III (idle / decision-computation power). The HiKey 970 idle
+        // and decision powers are not reported in Table III; the bare board
+        // idles at roughly 1.2 W from its 12 V bench supply, and we assume
+        // the same ~6 % decision overhead ratio as the phones.
+        let (training_power_w, training_time_s, idle_power_w, decision_power_w) = match kind {
+            DeviceKind::Nexus6 => (1.8, 204.0, 0.238, 0.245),
+            DeviceKind::Nexus6P => (0.9, 211.0, 0.486, 0.525),
+            DeviceKind::Hikey970 => (7.87, 213.0, 1.2, 1.27),
+            DeviceKind::Pixel2 => (1.35, 223.0, 0.689, 0.736),
+        };
+        let m = AppMeasurement::new;
+        let app_measurements = match kind {
+            DeviceKind::Nexus6 => [
+                m(3.4, 3.5, 274.0),  // Map
+                m(1.7, 2.2, 239.0),  // News
+                m(1.4, 2.4, 236.0),  // Etrade
+                m(0.5, 1.9, 284.0),  // Youtube
+                m(1.6, 2.3, 296.0),  // Tiktok
+                m(1.2, 2.1, 370.0),  // Zoom
+                m(1.3, 2.3, 997.0),  // CandyCrush
+                m(2.5, 2.8, 400.0),  // Angrybird
+            ],
+            DeviceKind::Nexus6P => [
+                m(0.5, 1.3, 225.0),
+                m(0.44, 1.2, 362.0),
+                m(0.48, 0.96, 228.0),
+                m(0.53, 1.2, 220.0),
+                m(1.0, 1.1, 675.0),
+                m(1.4, 1.6, 340.0),
+                m(0.7, 1.3, 280.0),
+                m(1.1, 1.2, 620.0),
+            ],
+            DeviceKind::Hikey970 => [
+                m(8.82, 9.42, 186.0),
+                m(9.17, 9.76, 210.0),
+                m(8.50, 9.15, 195.0),
+                m(9.15, 11.45, 210.0),
+                m(11.0, 11.2, 271.0),
+                m(7.89, 8.53, 209.0),
+                m(11.1, 11.26, 233.0),
+                m(10.1, 10.7, 200.0),
+            ],
+            DeviceKind::Pixel2 => [
+                m(1.60, 2.20, 196.0),
+                m(1.82, 2.40, 197.0),
+                m(1.72, 2.23, 206.0),
+                m(2.04, 2.21, 226.0),
+                m(2.37, 2.52, 212.0),
+                m(2.57, 3.11, 206.0),
+                m(2.89, 2.92, 199.0),
+                m(2.86, 2.88, 285.0),
+            ],
+        };
+        DeviceProfile {
+            kind,
+            training_power_w,
+            training_time_s,
+            idle_power_w,
+            decision_power_w,
+            topology: CpuTopology::for_device(kind),
+            app_measurements,
+        }
+    }
+
+    /// The Table II entry for an application on this device.
+    pub fn app_measurement(&self, app: AppKind) -> AppMeasurement {
+        self.app_measurements[app.index()]
+    }
+
+    /// Background-training power `P_b`.
+    pub fn training_power(&self) -> Watts {
+        Watts(self.training_power_w)
+    }
+
+    /// Idle power `P_d`.
+    pub fn idle_power(&self) -> Watts {
+        Watts(self.idle_power_w)
+    }
+
+    /// App-only power `P_a`.
+    pub fn app_power(&self, app: AppKind) -> Watts {
+        Watts(self.app_measurement(app).app_power_w)
+    }
+
+    /// Co-running power `P_a'`.
+    pub fn corun_power(&self, app: AppKind) -> Watts {
+        Watts(self.app_measurement(app).corun_power_w)
+    }
+
+    /// Training duration when executed alone.
+    pub fn training_time(&self) -> Seconds {
+        Seconds(self.training_time_s)
+    }
+
+    /// Training duration when co-running with `app` (Table II "time" column).
+    pub fn corun_time(&self, app: AppKind) -> Seconds {
+        Seconds(self.app_measurement(app).corun_time_s)
+    }
+
+    /// Relative slowdown of training caused by co-running with `app`
+    /// (Observation 2): `corun_time / training_time - 1`, clamped at zero.
+    pub fn corun_slowdown(&self, app: AppKind) -> f64 {
+        (self.corun_time(app).value() / self.training_time_s - 1.0).max(0.0)
+    }
+
+    /// Energy-saving percentage of co-running versus separate execution,
+    /// computed exactly as in Section VII-A of the paper:
+    /// `1 − P_a'·t_a / (P_b·t_b + P_a·t_a)`.
+    pub fn corun_saving_fraction(&self, app: AppKind) -> f64 {
+        let m = self.app_measurement(app);
+        let corun = m.corun_power_w * m.corun_time_s;
+        let separate = self.training_power_w * self.training_time_s + m.app_power_w * m.corun_time_s;
+        if separate <= 0.0 {
+            return 0.0;
+        }
+        1.0 - corun / separate
+    }
+
+    /// Per-slot energy saving `s_i = P_b + P_a − P_a'` (W) used by the
+    /// offline knapsack objective (Eq. 5). Negative values mean co-running
+    /// costs more than separate execution (e.g. Nexus 6 with Candy Crush).
+    pub fn corun_saving_power(&self, app: AppKind) -> Watts {
+        let m = self.app_measurement(app);
+        Watts(self.training_power_w + m.app_power_w - m.corun_power_w)
+    }
+
+    /// Decision-rule energy overhead fraction versus idle, as in Table III:
+    /// `(P_comp − P_idle) / P_idle` would overstate it; the paper reports the
+    /// relative increase of average power, `P_comp / P_idle − 1`.
+    pub fn decision_overhead_fraction(&self) -> f64 {
+        if self.idle_power_w <= 0.0 {
+            return 0.0;
+        }
+        self.decision_power_w / self.idle_power_w - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_have_profiles() {
+        for kind in DeviceKind::ALL {
+            let p = kind.profile();
+            assert_eq!(p.kind, kind);
+            assert!(p.training_power_w > 0.0);
+            assert!(p.training_time_s > 100.0);
+            assert!(p.idle_power_w > 0.0);
+            assert!(p.idle_power_w < p.training_power_w);
+            for app in AppKind::ALL {
+                let m = p.app_measurement(app);
+                assert!(m.app_power_w > 0.0);
+                assert!(m.corun_power_w >= m.app_power_w, "{kind:?}/{app:?}");
+                assert!(m.corun_time_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pixel2_map_matches_table_ii() {
+        let p = DeviceKind::Pixel2.profile();
+        let m = p.app_measurement(AppKind::Map);
+        assert_eq!(m.app_power_w, 1.60);
+        assert_eq!(m.corun_power_w, 2.20);
+        assert_eq!(m.corun_time_s, 196.0);
+        assert_eq!(p.training_power_w, 1.35);
+        assert_eq!(p.training_time_s, 223.0);
+    }
+
+    #[test]
+    fn saving_fraction_reproduces_table_ii_percentages() {
+        // Spot-check the "saving %" column for several (device, app) pairs.
+        let cases = [
+            (DeviceKind::Pixel2, AppKind::Map, 0.30),
+            (DeviceKind::Pixel2, AppKind::Youtube, 0.35),
+            (DeviceKind::Hikey970, AppKind::Map, 0.47),
+            (DeviceKind::Hikey970, AppKind::Zoom, 0.46),
+            (DeviceKind::Nexus6, AppKind::News, 0.32),
+            (DeviceKind::Nexus6P, AppKind::Etrade, 0.27),
+        ];
+        for (device, app, expected) in cases {
+            let got = device.profile().corun_saving_fraction(app);
+            assert!(
+                (got - expected).abs() < 0.03,
+                "{device:?}/{app:?}: computed {got:.3}, Table II says {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_savings_exist_on_old_homogeneous_chipset() {
+        // Nexus 6 + Candy Crush is the paper's example of an energy surge
+        // from cache contention on homogeneous cores (-39 %).
+        let p = DeviceKind::Nexus6.profile();
+        assert!(p.corun_saving_fraction(AppKind::CandyCrush) < -0.2);
+        // Nexus 6P + News is also negative (-24 %).
+        let p6p = DeviceKind::Nexus6P.profile();
+        assert!(p6p.corun_saving_fraction(AppKind::News) < -0.1);
+    }
+
+    #[test]
+    fn newer_devices_offer_30_to_50_percent_savings() {
+        // Observation 1: newer devices save 30-50 % across applications.
+        for app in AppKind::ALL {
+            let saving = DeviceKind::Hikey970.profile().corun_saving_fraction(app);
+            assert!(saving > 0.3 && saving < 0.55, "{app:?}: {saving}");
+        }
+        let mean_pixel2: f64 = AppKind::ALL
+            .iter()
+            .map(|&a| DeviceKind::Pixel2.profile().corun_saving_fraction(a))
+            .sum::<f64>()
+            / 8.0;
+        assert!(mean_pixel2 > 0.25 && mean_pixel2 < 0.40, "{mean_pixel2}");
+    }
+
+    #[test]
+    fn corun_slowdown_is_bounded_for_light_apps() {
+        let p = DeviceKind::Pixel2.profile();
+        assert!(p.corun_slowdown(AppKind::News) < 0.05);
+        // Angrybird on Pixel2: 285 s vs 223 s => ~28 % slowdown.
+        assert!(p.corun_slowdown(AppKind::Angrybird) > 0.2);
+    }
+
+    #[test]
+    fn decision_overhead_matches_table_iii() {
+        assert!((DeviceKind::Nexus6.profile().decision_overhead_fraction() - 0.03).abs() < 0.005);
+        assert!((DeviceKind::Nexus6P.profile().decision_overhead_fraction() - 0.08).abs() < 0.01);
+        assert!((DeviceKind::Pixel2.profile().decision_overhead_fraction() - 0.068).abs() < 0.01);
+    }
+
+    #[test]
+    fn saving_power_sign_matches_saving_fraction_sign_mostly() {
+        // s_i = P_b + P_a - P_a' is the per-slot form used by the knapsack;
+        // it is positive for all Pixel2/Hikey entries.
+        for app in AppKind::ALL {
+            assert!(DeviceKind::Pixel2.profile().corun_saving_power(app).value() > 0.0);
+            assert!(DeviceKind::Hikey970.profile().corun_saving_power(app).value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeviceKind::Hikey970.to_string(), "Hikey970");
+        assert_eq!(DeviceKind::ALL.len(), 4);
+    }
+}

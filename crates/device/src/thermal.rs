@@ -1,0 +1,191 @@
+//! Thermal throttling model.
+//!
+//! Section VII-A notes that on the older Nexus 6 (four homogeneous cores)
+//! co-running can cause cache contention, CPU throttling and an elongated
+//! training time — occasionally even an energy *surge* (Candy Crush: −39 %).
+//! This model tracks a simple thermal state: sustained high load heats the
+//! die, heat above a threshold throttles the clock (slowing training), and
+//! idle slots cool it back down.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profiles::DeviceKind;
+
+/// Configuration of the thermal model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Ambient / resting temperature in °C.
+    pub ambient_c: f64,
+    /// Temperature at which throttling starts.
+    pub throttle_threshold_c: f64,
+    /// Maximum junction temperature (hard cap).
+    pub max_temp_c: f64,
+    /// Heating rate in °C per second of full load.
+    pub heating_rate: f64,
+    /// Cooling rate in °C per second when idle.
+    pub cooling_rate: f64,
+    /// Maximum slowdown factor applied when fully throttled (e.g. 0.4 means
+    /// the effective speed drops to 60 %).
+    pub max_slowdown: f64,
+}
+
+impl ThermalConfig {
+    /// Default thermal behaviour for a device class. Homogeneous chips
+    /// (Nexus 6) throttle earlier and harder because foreground and training
+    /// threads contend on the same cluster.
+    pub fn for_device(kind: DeviceKind) -> Self {
+        match kind {
+            DeviceKind::Nexus6 => ThermalConfig {
+                ambient_c: 30.0,
+                throttle_threshold_c: 55.0,
+                max_temp_c: 85.0,
+                heating_rate: 0.12,
+                cooling_rate: 0.06,
+                max_slowdown: 0.45,
+            },
+            DeviceKind::Nexus6P => ThermalConfig {
+                ambient_c: 30.0,
+                throttle_threshold_c: 60.0,
+                max_temp_c: 85.0,
+                heating_rate: 0.08,
+                cooling_rate: 0.07,
+                max_slowdown: 0.30,
+            },
+            DeviceKind::Hikey970 => ThermalConfig {
+                // The dev board has a heat sink and no enclosure.
+                ambient_c: 28.0,
+                throttle_threshold_c: 70.0,
+                max_temp_c: 95.0,
+                heating_rate: 0.05,
+                cooling_rate: 0.10,
+                max_slowdown: 0.15,
+            },
+            DeviceKind::Pixel2 => ThermalConfig {
+                ambient_c: 30.0,
+                throttle_threshold_c: 62.0,
+                max_temp_c: 85.0,
+                heating_rate: 0.07,
+                cooling_rate: 0.08,
+                max_slowdown: 0.25,
+            },
+        }
+    }
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig::for_device(DeviceKind::Pixel2)
+    }
+}
+
+/// Current thermal state of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalState {
+    config: ThermalConfig,
+    temp_c: f64,
+}
+
+impl ThermalState {
+    /// Creates a state at ambient temperature.
+    pub fn new(config: ThermalConfig) -> Self {
+        ThermalState { config, temp_c: config.ambient_c }
+    }
+
+    /// Current die temperature in °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Whether the device is currently throttling.
+    pub fn is_throttling(&self) -> bool {
+        self.temp_c > self.config.throttle_threshold_c
+    }
+
+    /// Effective speed factor in `(0, 1]`: 1.0 when cool, decreasing linearly
+    /// to `1 - max_slowdown` as the temperature approaches the maximum.
+    pub fn speed_factor(&self) -> f64 {
+        if !self.is_throttling() {
+            return 1.0;
+        }
+        let span = (self.config.max_temp_c - self.config.throttle_threshold_c).max(1e-9);
+        let excess = ((self.temp_c - self.config.throttle_threshold_c) / span).clamp(0.0, 1.0);
+        1.0 - self.config.max_slowdown * excess
+    }
+
+    /// Advances the thermal state by `seconds`, with `load` in `[0, 1]`
+    /// describing how hard the CPU worked during that interval.
+    pub fn advance(&mut self, seconds: f64, load: f64) {
+        let load = load.clamp(0.0, 1.0);
+        let seconds = seconds.max(0.0);
+        let heating = self.config.heating_rate * load * seconds;
+        let cooling = self.config.cooling_rate * (1.0 - load) * seconds;
+        self.temp_c = (self.temp_c + heating - cooling)
+            .clamp(self.config.ambient_c, self.config.max_temp_c);
+    }
+}
+
+impl Default for ThermalState {
+    fn default() -> Self {
+        ThermalState::new(ThermalConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_ambient_and_cool() {
+        let s = ThermalState::default();
+        assert_eq!(s.temperature_c(), 30.0);
+        assert!(!s.is_throttling());
+        assert_eq!(s.speed_factor(), 1.0);
+    }
+
+    #[test]
+    fn sustained_load_triggers_throttling() {
+        let mut s = ThermalState::new(ThermalConfig::for_device(DeviceKind::Nexus6));
+        s.advance(600.0, 1.0);
+        assert!(s.is_throttling());
+        assert!(s.speed_factor() < 1.0);
+        assert!(s.speed_factor() >= 1.0 - 0.45 - 1e-9);
+    }
+
+    #[test]
+    fn idling_cools_back_down() {
+        let mut s = ThermalState::new(ThermalConfig::for_device(DeviceKind::Nexus6));
+        s.advance(600.0, 1.0);
+        let hot = s.temperature_c();
+        s.advance(2000.0, 0.0);
+        assert!(s.temperature_c() < hot);
+        assert_eq!(s.temperature_c(), 30.0);
+        assert_eq!(s.speed_factor(), 1.0);
+    }
+
+    #[test]
+    fn temperature_never_exceeds_max() {
+        let mut s = ThermalState::new(ThermalConfig::for_device(DeviceKind::Nexus6));
+        s.advance(1e6, 1.0);
+        assert!(s.temperature_c() <= 85.0 + 1e-9);
+        assert!(s.speed_factor() >= 0.55 - 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_chip_throttles_harder_than_dev_board() {
+        let mut n6 = ThermalState::new(ThermalConfig::for_device(DeviceKind::Nexus6));
+        let mut hk = ThermalState::new(ThermalConfig::for_device(DeviceKind::Hikey970));
+        n6.advance(400.0, 1.0);
+        hk.advance(400.0, 1.0);
+        assert!(n6.speed_factor() <= hk.speed_factor());
+    }
+
+    #[test]
+    fn load_is_clamped() {
+        let mut s = ThermalState::default();
+        s.advance(10.0, 5.0);
+        let t1 = s.temperature_c();
+        let mut s2 = ThermalState::default();
+        s2.advance(10.0, 1.0);
+        assert_eq!(t1, s2.temperature_c());
+    }
+}

@@ -1,0 +1,108 @@
+//! Aggregation rules for asynchronous updates.
+
+use serde::{Deserialize, Serialize};
+
+use fedco_neural::model::ParamVector;
+use fedco_neural::tensor::TensorError;
+
+use crate::staleness::Lag;
+
+/// How the parameter server merges an asynchronously arriving local model
+/// into the global model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AsyncUpdateRule {
+    /// Replace the global copy with the uploaded model — exactly what the
+    /// paper's implementation does ("The server replaces the current copy of
+    /// the global model upon receiving it", Section VI).
+    Replace,
+    /// Mix the uploaded model into the global one with a staleness-dependent
+    /// weight `α / (1 + lag)` (the regularised rule of asynchronous federated
+    /// optimisation, used here for ablations).
+    StalenessWeighted {
+        /// Base mixing coefficient `α ∈ (0, 1]`.
+        alpha: f32,
+    },
+}
+
+impl AsyncUpdateRule {
+    /// Merges `local` into `global` given the observed `lag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the vectors differ in
+    /// length.
+    pub fn merge(
+        &self,
+        global: &ParamVector,
+        local: &ParamVector,
+        lag: Lag,
+    ) -> Result<ParamVector, TensorError> {
+        if global.len() != local.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![global.len()],
+                rhs: vec![local.len()],
+                op: "async_merge",
+            });
+        }
+        match *self {
+            AsyncUpdateRule::Replace => Ok(local.clone()),
+            AsyncUpdateRule::StalenessWeighted { alpha } => {
+                let alpha = alpha.clamp(0.0, 1.0);
+                let weight = alpha / (1.0 + lag.value() as f32);
+                let mut out = global.scale(1.0 - weight);
+                out.add_scaled(local, weight)?;
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl Default for AsyncUpdateRule {
+    fn default() -> Self {
+        AsyncUpdateRule::Replace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_returns_local() {
+        let g = ParamVector::new(vec![1.0, 1.0]);
+        let l = ParamVector::new(vec![5.0, -5.0]);
+        let merged = AsyncUpdateRule::Replace.merge(&g, &l, Lag(3)).unwrap();
+        assert_eq!(merged, l);
+    }
+
+    #[test]
+    fn staleness_weighted_interpolates() {
+        let g = ParamVector::new(vec![0.0]);
+        let l = ParamVector::new(vec![10.0]);
+        let rule = AsyncUpdateRule::StalenessWeighted { alpha: 1.0 };
+        // lag 0 -> weight 1.0 -> local
+        assert_eq!(rule.merge(&g, &l, Lag(0)).unwrap().values(), &[10.0]);
+        // lag 1 -> weight 0.5
+        assert_eq!(rule.merge(&g, &l, Lag(1)).unwrap().values(), &[5.0]);
+        // lag 9 -> weight 0.1
+        let merged = rule.merge(&g, &l, Lag(9)).unwrap();
+        assert!((merged.values()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn higher_lag_moves_less() {
+        let g = ParamVector::new(vec![0.0, 0.0]);
+        let l = ParamVector::new(vec![1.0, 1.0]);
+        let rule = AsyncUpdateRule::StalenessWeighted { alpha: 0.5 };
+        let fresh = rule.merge(&g, &l, Lag(0)).unwrap();
+        let stale = rule.merge(&g, &l, Lag(10)).unwrap();
+        assert!(fresh.norm_l2() > stale.norm_l2());
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let g = ParamVector::zeros(2);
+        let l = ParamVector::zeros(3);
+        assert!(AsyncUpdateRule::default().merge(&g, &l, Lag(0)).is_err());
+    }
+}

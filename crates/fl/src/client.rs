@@ -1,0 +1,254 @@
+//! The on-device federated-learning client.
+//!
+//! A client owns a local replica of the network, a shard of the training
+//! data and an SGD-with-momentum optimiser. A *local epoch* (the unit of work
+//! scheduled by the paper's controller) is one pass over the local shard in
+//! mini-batches; it produces a [`LocalUpdate`] that is uploaded to the
+//! parameter server when the epoch finishes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use fedco_neural::data::Dataset;
+use fedco_neural::lenet::LeNetConfig;
+use fedco_neural::loss::SoftmaxCrossEntropy;
+use fedco_neural::model::Sequential;
+use fedco_neural::optimizer::{LrSchedule, Sgd, SgdConfig};
+use fedco_neural::tensor::TensorError;
+
+use crate::model_state::{LocalUpdate, ModelSnapshot, ModelVersion};
+
+/// Configuration of a federated client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientConfig {
+    /// Mini-batch size (the paper retrieves CIFAR-10 in batches of 20).
+    pub batch_size: usize,
+    /// Learning rate `η`.
+    pub learning_rate: f32,
+    /// Momentum coefficient `β`.
+    pub momentum: f32,
+    /// Number of passes over the local shard per scheduled local epoch.
+    pub local_passes: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { batch_size: 20, learning_rate: 0.05, momentum: 0.9, local_passes: 1 }
+    }
+}
+
+/// A federated client with its local model replica and data shard.
+#[derive(Debug)]
+pub struct FlClient {
+    id: usize,
+    config: ClientConfig,
+    network: Sequential,
+    optimizer: Sgd,
+    shard: Dataset,
+    base_version: ModelVersion,
+    epochs_completed: usize,
+}
+
+impl FlClient {
+    /// Creates a client with a freshly initialised network of the given
+    /// architecture. The initial parameters are immediately overwritten by
+    /// the first [`FlClient::receive_model`] call in normal operation.
+    pub fn new(id: usize, architecture: LeNetConfig, shard: Dataset, config: ClientConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(0xF3DC0 ^ id as u64);
+        let network = architecture.build(&mut rng);
+        let optimizer = Sgd::new(SgdConfig {
+            learning_rate: config.learning_rate,
+            momentum: config.momentum,
+            weight_decay: 0.0,
+            schedule: LrSchedule::Constant,
+        });
+        FlClient { id, config, network, optimizer, shard, base_version: ModelVersion::INITIAL, epochs_completed: 0 }
+    }
+
+    /// The client identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The client configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Number of examples in the local shard.
+    pub fn shard_size(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Number of local epochs completed so far.
+    pub fn epochs_completed(&self) -> usize {
+        self.epochs_completed
+    }
+
+    /// The global version the client last downloaded.
+    pub fn base_version(&self) -> ModelVersion {
+        self.base_version
+    }
+
+    /// Installs a downloaded global-model snapshot as the starting point of
+    /// the next local epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the snapshot does not
+    /// match the client's architecture.
+    pub fn receive_model(&mut self, snapshot: &ModelSnapshot) -> Result<(), TensorError> {
+        self.network.set_parameters(&snapshot.params)?;
+        self.base_version = snapshot.version;
+        Ok(())
+    }
+
+    /// Runs one scheduled local epoch over the local shard and returns the
+    /// resulting update, ready to be uploaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the training loop (which indicate a
+    /// mismatch between the dataset geometry and the architecture).
+    pub fn local_epoch(&mut self) -> Result<LocalUpdate, TensorError> {
+        let loss = SoftmaxCrossEntropy::new();
+        let mut total_loss = 0.0f32;
+        let mut total_acc = 0.0f32;
+        let mut batches = 0usize;
+        for _ in 0..self.config.local_passes.max(1) {
+            for (images, labels) in self.shard.epoch_batches(self.config.batch_size) {
+                let step = self.network.train_batch(&images, &labels, &loss, &mut self.optimizer)?;
+                total_loss += step.loss;
+                total_acc += step.accuracy;
+                batches += 1;
+            }
+        }
+        let denom = batches.max(1) as f32;
+        self.epochs_completed += 1;
+        Ok(LocalUpdate {
+            client_id: self.id,
+            params: self.network.parameters(),
+            base_version: self.base_version,
+            num_samples: self.shard.len() * self.config.local_passes.max(1),
+            train_loss: total_loss / denom,
+            train_accuracy: total_acc / denom,
+        })
+    }
+
+    /// Evaluates the *current local replica* on an external test set,
+    /// returning classification accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors when the test set geometry mismatches.
+    pub fn evaluate(&mut self, test_set: &Dataset, max_examples: usize) -> Result<f32, TensorError> {
+        evaluate_network(&mut self.network, test_set, max_examples)
+    }
+}
+
+/// Evaluates a network on up to `max_examples` examples of a dataset.
+///
+/// # Errors
+///
+/// Propagates shape errors from the forward pass.
+pub fn evaluate_network(
+    network: &mut Sequential,
+    test_set: &Dataset,
+    max_examples: usize,
+) -> Result<f32, TensorError> {
+    if test_set.is_empty() || max_examples == 0 {
+        return Ok(0.0);
+    }
+    let n = max_examples.min(test_set.len());
+    let (images, labels) = test_set.batch(0, n)?;
+    network.evaluate(&images, &labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedco_neural::data::SyntheticCifarConfig;
+    use fedco_neural::model::ParamVector;
+
+    fn tiny_setup() -> (FlClient, Dataset) {
+        let arch = LeNetConfig::tiny();
+        let data = SyntheticCifarConfig {
+            image_size: arch.image_size,
+            channels: arch.channels,
+            classes: arch.classes,
+            examples: 48,
+            noise_std: 0.3,
+            seed: 5,
+        }
+        .generate();
+        let (train, test) = data.train_test_split(0.25);
+        let client = FlClient::new(
+            3,
+            arch,
+            train,
+            ClientConfig { batch_size: 8, learning_rate: 0.05, momentum: 0.9, local_passes: 1 },
+        );
+        (client, test)
+    }
+
+    #[test]
+    fn client_reports_identity_and_shard() {
+        let (client, _) = tiny_setup();
+        assert_eq!(client.id(), 3);
+        assert_eq!(client.shard_size(), 36);
+        assert_eq!(client.epochs_completed(), 0);
+        assert_eq!(client.base_version(), ModelVersion::INITIAL);
+        assert_eq!(client.config().batch_size, 8);
+    }
+
+    #[test]
+    fn receive_model_sets_base_version() {
+        let (mut client, _) = tiny_setup();
+        let params = client.local_epoch().unwrap().params;
+        let snap = ModelSnapshot::new(params, ModelVersion(7));
+        client.receive_model(&snap).unwrap();
+        assert_eq!(client.base_version(), ModelVersion(7));
+        // Wrong-size snapshot is rejected.
+        let bad = ModelSnapshot::new(ParamVector::zeros(10), ModelVersion(8));
+        assert!(client.receive_model(&bad).is_err());
+        assert_eq!(client.base_version(), ModelVersion(7));
+    }
+
+    #[test]
+    fn local_epoch_produces_update_and_counts() {
+        let (mut client, _) = tiny_setup();
+        let update = client.local_epoch().unwrap();
+        assert_eq!(update.client_id, 3);
+        assert_eq!(update.num_samples, 36);
+        assert!(update.train_loss.is_finite());
+        assert!(update.train_accuracy >= 0.0 && update.train_accuracy <= 1.0);
+        assert_eq!(client.epochs_completed(), 1);
+        assert_eq!(update.params.len(), client.local_epoch().unwrap().params.len());
+    }
+
+    #[test]
+    fn training_several_epochs_improves_loss() {
+        let (mut client, test) = tiny_setup();
+        let first = client.local_epoch().unwrap();
+        let mut last = first.clone();
+        for _ in 0..8 {
+            last = client.local_epoch().unwrap();
+        }
+        assert!(
+            last.train_loss < first.train_loss,
+            "loss did not improve: {} -> {}",
+            first.train_loss,
+            last.train_loss
+        );
+        let acc = client.evaluate(&test, 12).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn evaluate_on_empty_test_set_is_zero() {
+        let (mut client, _) = tiny_setup();
+        assert_eq!(client.evaluate(&Dataset::default(), 10).unwrap(), 0.0);
+        let (_, test) = tiny_setup();
+        assert_eq!(client.evaluate(&test, 0).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # fedco-fl
+//!
+//! Federated-learning substrate for the `fedco` reproduction of *"Energy
+//! Minimization for Federated Asynchronous Learning on Battery-Powered
+//! Mobile Devices via Application Co-running"* (ICDCS 2022).
+//!
+//! The crate provides the pieces the paper's system builds on top of:
+//!
+//! * a versioned [`ParameterServer`](server::ParameterServer) with both the
+//!   asynchronous replace-on-receive rule the paper implements and FedAvg
+//!   aggregation for the Sync-SGD baseline,
+//! * [`FlClient`](client::FlClient) — an on-device trainer running local
+//!   epochs of LeNet on its data shard,
+//! * the staleness machinery of Section III: lag (Definition 1), gradient
+//!   gap (Definition 2), momentum tracking (Eq. 1) and the linear weight
+//!   prediction of Eq. (3)–(4),
+//! * a transport model for the 2.5 MB model uploads, and
+//! * IID / label-skew data partitioning across users.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregation;
+pub mod client;
+pub mod model_state;
+pub mod momentum;
+pub mod partition;
+pub mod server;
+pub mod staleness;
+pub mod transport;
+
+pub use aggregation::AsyncUpdateRule;
+pub use client::{ClientConfig, FlClient};
+pub use model_state::{LocalUpdate, ModelSnapshot, ModelVersion};
+pub use momentum::MomentumTracker;
+pub use partition::{partition_dataset, PartitionStrategy};
+pub use server::{ParameterServer, ServerStats};
+pub use staleness::{GapAccumulator, GradientGap, Lag, WeightPredictor};
+pub use transport::{TransportModel, PAPER_MODEL_BYTES};

@@ -1,0 +1,109 @@
+//! Versioned global-model state shared through the parameter server.
+
+use serde::{Deserialize, Serialize};
+
+use fedco_neural::model::ParamVector;
+
+/// A monotonically increasing global-model version: the number of updates
+/// that have been applied to the global model since training began. The
+/// difference of two versions is exactly the paper's *lag* (Definition 1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ModelVersion(pub u64);
+
+impl ModelVersion {
+    /// The initial version before any update.
+    pub const INITIAL: ModelVersion = ModelVersion(0);
+
+    /// The next version.
+    pub fn next(self) -> ModelVersion {
+        ModelVersion(self.0 + 1)
+    }
+
+    /// Number of updates between this (later) version and an earlier one,
+    /// saturating at zero.
+    pub fn updates_since(self, earlier: ModelVersion) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl std::fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A snapshot of the global model: flat parameters plus the version they
+/// correspond to. This is what a device downloads at the start of a local
+/// epoch and what it holds while waiting for a co-running opportunity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// The flat parameter vector.
+    pub params: ParamVector,
+    /// The version of the global model the parameters correspond to.
+    pub version: ModelVersion,
+}
+
+impl ModelSnapshot {
+    /// Creates a snapshot.
+    pub fn new(params: ParamVector, version: ModelVersion) -> Self {
+        ModelSnapshot { params, version }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the snapshot holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Serialised size in bytes (the paper's LeNet-5 snapshot is ~2.5 MB).
+    pub fn size_bytes(&self) -> usize {
+        self.params.size_bytes()
+    }
+}
+
+/// A local update produced by one device after finishing a local epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalUpdate {
+    /// Identifier of the contributing device.
+    pub client_id: usize,
+    /// The new local parameters after the local epoch.
+    pub params: ParamVector,
+    /// The global version the local epoch started from.
+    pub base_version: ModelVersion,
+    /// Number of training examples used (FedAvg weighting).
+    pub num_samples: usize,
+    /// Mean training loss over the local epoch.
+    pub train_loss: f32,
+    /// Mean training accuracy over the local epoch.
+    pub train_accuracy: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_increment_and_diff() {
+        let v0 = ModelVersion::INITIAL;
+        let v3 = v0.next().next().next();
+        assert_eq!(v3, ModelVersion(3));
+        assert_eq!(v3.updates_since(v0), 3);
+        assert_eq!(v0.updates_since(v3), 0);
+        assert_eq!(format!("{v3}"), "v3");
+    }
+
+    #[test]
+    fn snapshot_size_matches_param_count() {
+        let snap = ModelSnapshot::new(ParamVector::zeros(1000), ModelVersion(5));
+        assert_eq!(snap.len(), 1000);
+        assert_eq!(snap.size_bytes(), 4000);
+        assert!(!snap.is_empty());
+        assert!(ModelSnapshot::new(ParamVector::zeros(0), ModelVersion(0)).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Momentum-vector tracking (Eq. 1), used by the gradient-gap estimator.
+//!
+//! The paper's staleness metric predicts how far the global parameters will
+//! have drifted while a device waits: `θ_{t+τ} = θ_t − η (1−β^{l_τ})/(1−β) v_t`
+//! (Eq. 3). The momentum vector `v_t` is maintained here from the sequence of
+//! global-model updates, exactly as Eq. (1) defines it:
+//! `v_t = β v_{t−1} + (1 − β) s_t` where `s_t` is the latest gradient-like
+//! step (the parameter change scaled by `1/η`).
+
+use serde::{Deserialize, Serialize};
+
+use fedco_neural::model::ParamVector;
+use fedco_neural::tensor::TensorError;
+
+/// Tracks the exponentially weighted momentum of global-model movement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MomentumTracker {
+    beta: f32,
+    learning_rate: f32,
+    velocity: Option<ParamVector>,
+    updates: u64,
+}
+
+impl MomentumTracker {
+    /// Creates a tracker with momentum coefficient `beta` (clamped into
+    /// `[0, 0.999]`) and the learning rate `η` used by the clients.
+    pub fn new(beta: f32, learning_rate: f32) -> Self {
+        MomentumTracker {
+            beta: beta.clamp(0.0, 0.999),
+            learning_rate: learning_rate.max(f32::MIN_POSITIVE),
+            velocity: None,
+            updates: 0,
+        }
+    }
+
+    /// The momentum coefficient `β`.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// The learning rate `η`.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Number of updates observed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The current momentum vector `v_t`, or `None` before the first update.
+    pub fn velocity(&self) -> Option<&ParamVector> {
+        self.velocity.as_ref()
+    }
+
+    /// L2 norm of the current momentum vector (zero before any update).
+    pub fn velocity_norm(&self) -> f32 {
+        self.velocity.as_ref().map(|v| v.norm_l2()).unwrap_or(0.0)
+    }
+
+    /// Observes a transition of the global model from `old` to `new`
+    /// parameters and updates `v_t` per Eq. (1). The implied step is
+    /// `s_t = (old − new) / η`, i.e. the gradient-like direction the update
+    /// moved along.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the two vectors (or the
+    /// running velocity) have different lengths.
+    pub fn observe_transition(
+        &mut self,
+        old: &ParamVector,
+        new: &ParamVector,
+    ) -> Result<(), TensorError> {
+        let step = old.sub(new)?.scale(1.0 / self.learning_rate);
+        self.observe_step(&step)
+    }
+
+    /// Observes a raw gradient-like step `s_t` directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the step length differs
+    /// from the running velocity.
+    pub fn observe_step(&mut self, step: &ParamVector) -> Result<(), TensorError> {
+        match &mut self.velocity {
+            None => {
+                // v_1 = (1 - beta) * s_1  (v_0 = 0)
+                self.velocity = Some(step.scale(1.0 - self.beta));
+            }
+            Some(v) => {
+                if v.len() != step.len() {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: vec![v.len()],
+                        rhs: vec![step.len()],
+                        op: "momentum_observe",
+                    });
+                }
+                let mut next = v.scale(self.beta);
+                next.add_scaled(step, 1.0 - self.beta)?;
+                *v = next;
+            }
+        }
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// Resets the tracker to its initial state.
+    pub fn reset(&mut self) {
+        self.velocity = None;
+        self.updates = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_update_initialises_velocity() {
+        let mut m = MomentumTracker::new(0.9, 0.1);
+        assert_eq!(m.velocity_norm(), 0.0);
+        m.observe_step(&ParamVector::new(vec![1.0, 0.0])).unwrap();
+        let v = m.velocity().unwrap();
+        assert!((v.values()[0] - 0.1).abs() < 1e-6);
+        assert_eq!(m.updates(), 1);
+    }
+
+    #[test]
+    fn update_follows_eq1() {
+        let mut m = MomentumTracker::new(0.5, 1.0);
+        m.observe_step(&ParamVector::new(vec![1.0])).unwrap();
+        // v1 = 0.5 * 1 = 0.5
+        assert!((m.velocity().unwrap().values()[0] - 0.5).abs() < 1e-6);
+        m.observe_step(&ParamVector::new(vec![1.0])).unwrap();
+        // v2 = 0.5*0.5 + 0.5*1 = 0.75
+        assert!((m.velocity().unwrap().values()[0] - 0.75).abs() < 1e-6);
+        // Converges towards the steady-state step value 1.0.
+        for _ in 0..20 {
+            m.observe_step(&ParamVector::new(vec![1.0])).unwrap();
+        }
+        assert!((m.velocity().unwrap().values()[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transition_divides_by_learning_rate() {
+        let mut m = MomentumTracker::new(0.0, 0.1);
+        let old = ParamVector::new(vec![1.0, 1.0]);
+        let new = ParamVector::new(vec![0.9, 1.1]);
+        m.observe_transition(&old, &new).unwrap();
+        let v = m.velocity().unwrap();
+        // step = (old - new)/eta = [1.0, -1.0]; beta=0 keeps it as-is.
+        assert!((v.values()[0] - 1.0).abs() < 1e-5);
+        assert!((v.values()[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let mut m = MomentumTracker::new(0.9, 0.1);
+        m.observe_step(&ParamVector::new(vec![1.0, 2.0])).unwrap();
+        assert!(m.observe_step(&ParamVector::new(vec![1.0])).is_err());
+        assert!(m
+            .observe_transition(&ParamVector::new(vec![1.0]), &ParamVector::new(vec![1.0, 2.0]))
+            .is_err());
+    }
+
+    #[test]
+    fn reset_and_accessors() {
+        let mut m = MomentumTracker::new(2.0, 0.0);
+        // beta clamped, lr floored above zero
+        assert!(m.beta() <= 0.999);
+        assert!(m.learning_rate() > 0.0);
+        m.observe_step(&ParamVector::new(vec![1.0])).unwrap();
+        m.reset();
+        assert_eq!(m.updates(), 0);
+        assert!(m.velocity().is_none());
+    }
+}

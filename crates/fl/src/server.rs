@@ -1,0 +1,258 @@
+//! The parameter server.
+//!
+//! The paper's server is a small Python HTTP service: devices upload a 2.5 MB
+//! model file after each local epoch and the server *replaces* its current
+//! copy of the global model (ASync-SGD); for the Sync-SGD baseline the server
+//! averages the parameters of all participants (FedAvg). The server also
+//! supplies each device with its current lag, which is the only piece of
+//! cross-device information the distributed online scheduler needs
+//! (Algorithm 2, line 4).
+
+use parking_lot::Mutex;
+
+use fedco_neural::model::ParamVector;
+use fedco_neural::tensor::TensorError;
+
+use crate::aggregation::AsyncUpdateRule;
+use crate::model_state::{LocalUpdate, ModelSnapshot, ModelVersion};
+use crate::momentum::MomentumTracker;
+use crate::staleness::Lag;
+
+/// Statistics the server keeps about applied updates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Total number of asynchronous updates applied.
+    pub async_updates: u64,
+    /// Total number of synchronous aggregation rounds.
+    pub sync_rounds: u64,
+    /// Sum of lags of all applied asynchronous updates.
+    pub total_lag: u64,
+    /// Largest lag observed.
+    pub max_lag: u64,
+}
+
+impl ServerStats {
+    /// Mean lag over the applied asynchronous updates.
+    pub fn mean_lag(&self) -> f64 {
+        if self.async_updates == 0 {
+            0.0
+        } else {
+            self.total_lag as f64 / self.async_updates as f64
+        }
+    }
+}
+
+/// A thread-safe parameter server.
+#[derive(Debug)]
+pub struct ParameterServer {
+    inner: Mutex<ServerInner>,
+}
+
+#[derive(Debug)]
+struct ServerInner {
+    params: ParamVector,
+    version: ModelVersion,
+    rule: AsyncUpdateRule,
+    momentum: MomentumTracker,
+    stats: ServerStats,
+}
+
+impl ParameterServer {
+    /// Creates a server holding the initial global model.
+    ///
+    /// `learning_rate` and `beta` parameterise the momentum tracker used for
+    /// weight prediction (Eq. 3); they should match the clients' optimiser.
+    pub fn new(initial: ParamVector, rule: AsyncUpdateRule, learning_rate: f32, beta: f32) -> Self {
+        ParameterServer {
+            inner: Mutex::new(ServerInner {
+                params: initial,
+                version: ModelVersion::INITIAL,
+                rule,
+                momentum: MomentumTracker::new(beta, learning_rate),
+                stats: ServerStats::default(),
+            }),
+        }
+    }
+
+    /// The current global version.
+    pub fn version(&self) -> ModelVersion {
+        self.inner.lock().version
+    }
+
+    /// Downloads the current global model (what `FileDownloadService` does in
+    /// the paper's implementation).
+    pub fn download(&self) -> ModelSnapshot {
+        let inner = self.inner.lock();
+        ModelSnapshot::new(inner.params.clone(), inner.version)
+    }
+
+    /// The lag a device that downloaded version `base` would incur if it
+    /// uploaded right now (Definition 1). Supplied to devices by the server
+    /// in the distributed implementation of the online algorithm.
+    pub fn lag_since(&self, base: ModelVersion) -> Lag {
+        Lag::between(base, self.inner.lock().version)
+    }
+
+    /// The L2 norm of the server-side momentum vector `v_t` (Eq. 1), used by
+    /// devices to evaluate the gradient-gap prediction of Eq. (4).
+    pub fn momentum_norm(&self) -> f32 {
+        self.inner.lock().momentum.velocity_norm()
+    }
+
+    /// Applies one asynchronous update (ASync-SGD): the global copy is
+    /// replaced (or staleness-weighted mixed) with the uploaded parameters
+    /// and the version is bumped.
+    ///
+    /// Returns the lag the update experienced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the uploaded vector has the
+    /// wrong length.
+    pub fn apply_async(&self, update: &LocalUpdate) -> Result<Lag, TensorError> {
+        let mut inner = self.inner.lock();
+        if update.params.len() != inner.params.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![update.params.len()],
+                rhs: vec![inner.params.len()],
+                op: "server_apply_async",
+            });
+        }
+        let lag = Lag::between(update.base_version, inner.version);
+        let old = inner.params.clone();
+        let new_params = inner.rule.merge(&inner.params, &update.params, lag)?;
+        inner.params = new_params;
+        let new = inner.params.clone();
+        inner.momentum.observe_transition(&old, &new)?;
+        inner.version = inner.version.next();
+        inner.stats.async_updates += 1;
+        inner.stats.total_lag += lag.value();
+        inner.stats.max_lag = inner.stats.max_lag.max(lag.value());
+        Ok(lag)
+    }
+
+    /// Applies one synchronous aggregation round (FedAvg): the global model
+    /// becomes the sample-weighted average of the submitted local models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] when no updates are supplied or lengths
+    /// mismatch.
+    pub fn apply_sync_round(&self, updates: &[LocalUpdate]) -> Result<(), TensorError> {
+        if updates.is_empty() {
+            return Err(TensorError::LengthMismatch { expected: 1, actual: 0 });
+        }
+        let vectors: Vec<ParamVector> = updates.iter().map(|u| u.params.clone()).collect();
+        let weights: Vec<f32> = updates.iter().map(|u| u.num_samples.max(1) as f32).collect();
+        let averaged = ParamVector::weighted_average(&vectors, &weights)?;
+        let mut inner = self.inner.lock();
+        if averaged.len() != inner.params.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![averaged.len()],
+                rhs: vec![inner.params.len()],
+                op: "server_apply_sync",
+            });
+        }
+        let old = inner.params.clone();
+        inner.params = averaged;
+        let new = inner.params.clone();
+        inner.momentum.observe_transition(&old, &new)?;
+        inner.version = inner.version.next();
+        inner.stats.sync_rounds += 1;
+        Ok(())
+    }
+
+    /// A copy of the current statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(id: usize, params: Vec<f32>, base: ModelVersion, samples: usize) -> LocalUpdate {
+        LocalUpdate {
+            client_id: id,
+            params: ParamVector::new(params),
+            base_version: base,
+            num_samples: samples,
+            train_loss: 1.0,
+            train_accuracy: 0.5,
+        }
+    }
+
+    fn server() -> ParameterServer {
+        ParameterServer::new(ParamVector::zeros(3), AsyncUpdateRule::Replace, 0.1, 0.9)
+    }
+
+    #[test]
+    fn download_returns_initial_model() {
+        let s = server();
+        let snap = s.download();
+        assert_eq!(snap.version, ModelVersion::INITIAL);
+        assert_eq!(snap.params, ParamVector::zeros(3));
+        assert_eq!(s.momentum_norm(), 0.0);
+    }
+
+    #[test]
+    fn async_update_replaces_and_bumps_version() {
+        let s = server();
+        let base = s.version();
+        let lag = s.apply_async(&update(0, vec![1.0, 2.0, 3.0], base, 10)).unwrap();
+        assert_eq!(lag, Lag::ZERO);
+        assert_eq!(s.version(), ModelVersion(1));
+        assert_eq!(s.download().params.values(), &[1.0, 2.0, 3.0]);
+        assert!(s.momentum_norm() > 0.0);
+    }
+
+    #[test]
+    fn lag_counts_interleaved_updates() {
+        let s = server();
+        let base_i = s.version();
+        // Two other users (j, k) update while user i is waiting — Fig. 3.
+        s.apply_async(&update(1, vec![1.0, 0.0, 0.0], s.version(), 10)).unwrap();
+        s.apply_async(&update(2, vec![0.0, 1.0, 0.0], s.version(), 10)).unwrap();
+        assert_eq!(s.lag_since(base_i), Lag(2));
+        let lag_i = s.apply_async(&update(0, vec![0.0, 0.0, 1.0], base_i, 10)).unwrap();
+        assert_eq!(lag_i, Lag(2));
+        let stats = s.stats();
+        assert_eq!(stats.async_updates, 3);
+        assert_eq!(stats.max_lag, 2);
+        assert!((stats.mean_lag() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_round_averages_by_samples() {
+        let s = server();
+        let base = s.version();
+        s.apply_sync_round(&[
+            update(0, vec![0.0, 0.0, 0.0], base, 10),
+            update(1, vec![4.0, 4.0, 4.0], base, 30),
+        ])
+        .unwrap();
+        assert_eq!(s.download().params.values(), &[3.0, 3.0, 3.0]);
+        assert_eq!(s.version(), ModelVersion(1));
+        assert_eq!(s.stats().sync_rounds, 1);
+    }
+
+    #[test]
+    fn empty_sync_round_is_rejected() {
+        let s = server();
+        assert!(s.apply_sync_round(&[]).is_err());
+    }
+
+    #[test]
+    fn wrong_length_updates_are_rejected() {
+        let s = server();
+        let bad = update(0, vec![1.0], s.version(), 10);
+        assert!(s.apply_async(&bad).is_err());
+        assert!(s.apply_sync_round(&[bad]).is_err());
+    }
+
+    #[test]
+    fn stats_default_mean_lag_is_zero() {
+        assert_eq!(ServerStats::default().mean_lag(), 0.0);
+    }
+}

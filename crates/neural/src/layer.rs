@@ -1,0 +1,105 @@
+//! The [`Layer`] trait implemented by every network building block.
+
+use std::fmt::Debug;
+
+use crate::tensor::{Tensor, TensorError};
+
+/// A differentiable network layer.
+///
+/// Layers operate on batched tensors whose first dimension is the batch
+/// size. `forward` caches whatever it needs for the subsequent `backward`
+/// call; a `backward` without a preceding `forward` returns an error-free
+/// zero gradient for stateless layers and is documented per implementation
+/// otherwise.
+pub trait Layer: Debug + Send {
+    /// A short, human-readable layer name (e.g. `"dense"`, `"conv2d"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the forward pass.
+    ///
+    /// `train` selects training-time behaviour (e.g. dropout masking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if the input shape is incompatible with the
+    /// layer configuration.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, TensorError>;
+
+    /// Runs the backward pass, accumulating parameter gradients and
+    /// returning the gradient with respect to the layer input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if `grad_output` does not match the shape
+    /// produced by the last `forward` call.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError>;
+
+    /// Immutable views of the trainable parameters (possibly empty).
+    fn params(&self) -> Vec<&Tensor>;
+
+    /// Mutable views of the trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Tensor>;
+
+    /// Immutable views of the accumulated parameter gradients, in the same
+    /// order as [`Layer::params`].
+    fn grads(&self) -> Vec<&Tensor>;
+
+    /// Resets the accumulated parameter gradients to zero.
+    fn zero_grads(&mut self);
+
+    /// Number of scalar trainable parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Computes the output shape for a given input shape (excluding the
+    /// batch dimension handling: both shapes include the batch dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if the input shape is incompatible.
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TensorError>;
+}
+
+/// Helper for layers that carry a weight/bias pair and their gradients.
+#[derive(Debug, Clone)]
+pub(crate) struct ParamPair {
+    pub weight: Tensor,
+    pub bias: Tensor,
+    pub grad_weight: Tensor,
+    pub grad_bias: Tensor,
+}
+
+impl ParamPair {
+    pub fn new(weight: Tensor, bias: Tensor) -> Self {
+        let grad_weight = Tensor::zeros(weight.shape());
+        let grad_bias = Tensor::zeros(bias.shape());
+        ParamPair { weight, bias, grad_weight, grad_bias }
+    }
+
+    pub fn zero_grads(&mut self) {
+        self.grad_weight = Tensor::zeros(self.weight.shape());
+        self.grad_bias = Tensor::zeros(self.bias.shape());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn param_pair_grads_start_zeroed() {
+        let pair = ParamPair::new(Tensor::ones(&[2, 2]), Tensor::ones(&[2]));
+        assert!(pair.grad_weight.data().iter().all(|&v| v == 0.0));
+        assert!(pair.grad_bias.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn param_pair_zero_grads_resets() {
+        let mut pair = ParamPair::new(Tensor::ones(&[2, 2]), Tensor::ones(&[2]));
+        pair.grad_weight = Tensor::ones(&[2, 2]);
+        pair.zero_grads();
+        assert!(pair.grad_weight.data().iter().all(|&v| v == 0.0));
+    }
+}

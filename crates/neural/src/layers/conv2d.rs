@@ -1,0 +1,369 @@
+//! 2-D convolution layer (direct, nested-loop implementation).
+
+use rand::Rng;
+
+use crate::init::Initializer;
+use crate::layer::{Layer, ParamPair};
+use crate::tensor::{Tensor, TensorError};
+
+/// 2-D convolution over `[batch, in_channels, height, width]` inputs.
+///
+/// Weights have shape `[out_channels, in_channels, kernel, kernel]`, biases
+/// `[out_channels]`. Square kernels, symmetric zero padding and a single
+/// stride value cover the LeNet-5 configuration used by the paper.
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    params: ParamPair,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-initialised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Initializer::HeNormal.init(
+            rng,
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+        );
+        let bias = Tensor::zeros(&[out_channels]);
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            params: ParamPair::new(weight, bias),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input spatial size.
+    fn out_dim(&self, input: usize) -> Option<usize> {
+        let padded = input + 2 * self.padding;
+        if padded < self.kernel {
+            return None;
+        }
+        Some((padded - self.kernel) / self.stride + 1)
+    }
+
+    fn check_input(&self, shape: &[usize]) -> Result<(usize, usize, usize, usize), TensorError> {
+        if shape.len() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: shape.len(),
+                op: "conv2d",
+            });
+        }
+        if shape[1] != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                lhs: shape.to_vec(),
+                rhs: vec![0, self.in_channels, 0, 0],
+                op: "conv2d_channels",
+            });
+        }
+        let (h, w) = (shape[2], shape[3]);
+        let oh = self.out_dim(h).ok_or(TensorError::ShapeMismatch {
+            lhs: shape.to_vec(),
+            rhs: vec![self.kernel],
+            op: "conv2d_kernel_larger_than_input",
+        })?;
+        let ow = self.out_dim(w).ok_or(TensorError::ShapeMismatch {
+            lhs: shape.to_vec(),
+            rhs: vec![self.kernel],
+            op: "conv2d_kernel_larger_than_input",
+        })?;
+        Ok((shape[0], shape[1], oh, ow))
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding applied on each border.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, TensorError> {
+        let (batch, _c, oh, ow) = self.check_input(input.shape())?;
+        let (h, w) = (input.shape()[2], input.shape()[3]);
+        let k = self.kernel;
+        let mut out = Tensor::zeros(&[batch, self.out_channels, oh, ow]);
+        let in_data = input.data();
+        let w_data = self.params.weight.data();
+        let b_data = self.params.bias.data();
+        let out_data = out.data_mut();
+        for b in 0..batch {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b_data[oc];
+                        let iy0 = oy * self.stride;
+                        let ix0 = ox * self.stride;
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                let iy = iy0 + ky;
+                                if iy < self.padding || iy >= h + self.padding {
+                                    continue;
+                                }
+                                let iy = iy - self.padding;
+                                for kx in 0..k {
+                                    let ix = ix0 + kx;
+                                    if ix < self.padding || ix >= w + self.padding {
+                                        continue;
+                                    }
+                                    let ix = ix - self.padding;
+                                    let xin = in_data[((b * self.in_channels + ic) * h + iy) * w + ix];
+                                    let wv = w_data
+                                        [((oc * self.in_channels + ic) * k + ky) * k + kx];
+                                    acc += xin * wv;
+                                }
+                            }
+                        }
+                        out_data[((b * self.out_channels + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let input = self.cached_input.as_ref().ok_or(TensorError::ShapeMismatch {
+            lhs: vec![],
+            rhs: vec![],
+            op: "conv2d_backward_without_forward",
+        })?;
+        let (batch, _c, oh, ow) = self.check_input(input.shape())?;
+        if grad_output.shape() != [batch, self.out_channels, oh, ow] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: vec![batch, self.out_channels, oh, ow],
+                op: "conv2d_backward",
+            });
+        }
+        let (h, w) = (input.shape()[2], input.shape()[3]);
+        let k = self.kernel;
+        let mut grad_input = Tensor::zeros(input.shape());
+        let in_data = input.data();
+        let w_data = self.params.weight.data().to_vec();
+        let go = grad_output.data();
+        {
+            let gw = self.params.grad_weight.data_mut();
+            let gb = self.params.grad_bias.data_mut();
+            let gi = grad_input.data_mut();
+            for b in 0..batch {
+                for oc in 0..self.out_channels {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = go[((b * self.out_channels + oc) * oh + oy) * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            gb[oc] += g;
+                            let iy0 = oy * self.stride;
+                            let ix0 = ox * self.stride;
+                            for ic in 0..self.in_channels {
+                                for ky in 0..k {
+                                    let iy = iy0 + ky;
+                                    if iy < self.padding || iy >= h + self.padding {
+                                        continue;
+                                    }
+                                    let iy = iy - self.padding;
+                                    for kx in 0..k {
+                                        let ix = ix0 + kx;
+                                        if ix < self.padding || ix >= w + self.padding {
+                                            continue;
+                                        }
+                                        let ix = ix - self.padding;
+                                        let in_idx =
+                                            ((b * self.in_channels + ic) * h + iy) * w + ix;
+                                        let w_idx =
+                                            ((oc * self.in_channels + ic) * k + ky) * k + kx;
+                                        gw[w_idx] += g * in_data[in_idx];
+                                        gi[in_idx] += g * w_data[w_idx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.params.weight, &self.params.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.params.weight, &mut self.params.bias]
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        vec![&self.params.grad_weight, &self.params.grad_bias]
+    }
+
+    fn zero_grads(&mut self) {
+        self.params.zero_grads();
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TensorError> {
+        let (batch, _c, oh, ow) = self.check_input(input_shape)?;
+        Ok(vec![batch, self.out_channels, oh, ow])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        *conv.params_mut()[0] = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]).unwrap();
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng);
+        // Kernel [[1, 0], [0, 1]] sums the main diagonal of each 2x2 patch.
+        *conv.params_mut()[0] = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[1, 1, 2, 2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3])
+            .unwrap();
+        let y = conv.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[1.0 + 5.0, 2.0 + 6.0, 4.0 + 8.0, 5.0 + 9.0]);
+    }
+
+    #[test]
+    fn padding_expands_output() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        assert_eq!(conv.output_shape(&[4, 1, 8, 8]).unwrap(), vec![4, 2, 8, 8]);
+        let conv2 = Conv2d::new(1, 2, 5, 1, 0, &mut rng);
+        assert_eq!(conv2.output_shape(&[1, 1, 32, 32]).unwrap(), vec![1, 2, 28, 28]);
+    }
+
+    #[test]
+    fn stride_reduces_output() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let conv = Conv2d::new(3, 4, 3, 2, 0, &mut rng);
+        assert_eq!(conv.output_shape(&[2, 3, 9, 9]).unwrap(), vec![2, 4, 4, 4]);
+        assert_eq!(conv.kernel(), 3);
+        assert_eq!(conv.stride(), 2);
+        assert_eq!(conv.padding(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 4, 3, 1, 0, &mut rng);
+        assert!(conv.forward(&Tensor::ones(&[1, 2, 8, 8]), true).is_err());
+        assert!(conv.forward(&Tensor::ones(&[1, 3, 2, 2]), true).is_err());
+        assert!(conv.forward(&Tensor::ones(&[3, 8, 8]), true).is_err());
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(2, 2, 2, 1, 1, &mut rng);
+        let x = Initializer::Uniform(1.0).init(&mut rng, &[1, 2, 3, 3], 1, 1);
+        let y = conv.forward(&x, true).unwrap();
+        let g = Tensor::ones(y.shape());
+        let gx = conv.backward(&g).unwrap();
+        let gw = conv.grads()[0].clone();
+        let eps = 1e-2f32;
+        // Check a sample of weight gradients.
+        for idx in [0usize, 3, 7, 12, 15] {
+            let orig = conv.params()[0].data()[idx];
+            conv.params_mut()[0].data_mut()[idx] = orig + eps;
+            let fp = conv.forward(&x, true).unwrap().sum();
+            conv.params_mut()[0].data_mut()[idx] = orig - eps;
+            let fm = conv.forward(&x, true).unwrap().sum();
+            conv.params_mut()[0].data_mut()[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - gw.data()[idx]).abs() < 2e-2,
+                "weight {idx}: numeric {numeric} vs {}",
+                gw.data()[idx]
+            );
+        }
+        // Check a sample of input gradients.
+        for idx in [0usize, 5, 9, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp = conv.forward(&xp, true).unwrap().sum();
+            let fm = conv.forward(&xm, true).unwrap().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[idx]).abs() < 2e-2,
+                "input {idx}: numeric {numeric} vs {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_output_elements() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng);
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, true).unwrap();
+        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        // 2x2 output positions each contribute 1.
+        assert_eq!(conv.grads()[1].data(), &[4.0]);
+    }
+
+    #[test]
+    fn param_count_is_correct() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let conv = Conv2d::new(3, 6, 5, 1, 0, &mut rng);
+        assert_eq!(conv.param_count(), 6 * 3 * 5 * 5 + 6);
+    }
+}

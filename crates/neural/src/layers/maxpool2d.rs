@@ -1,0 +1,209 @@
+//! 2-D max-pooling layer.
+
+use crate::layer::Layer;
+use crate::tensor::{Tensor, TensorError};
+
+/// Max pooling over non-overlapping (or strided) square windows of a
+/// `[batch, channels, height, width]` tensor.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_input_shape: Option<Vec<usize>>,
+    cached_argmax: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with a square window and the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        MaxPool2d { kernel, stride, cached_input_shape: None, cached_argmax: None }
+    }
+
+    /// Window size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    fn out_spatial(&self, dim: usize) -> Option<usize> {
+        if dim < self.kernel {
+            return None;
+        }
+        Some((dim - self.kernel) / self.stride + 1)
+    }
+
+    fn check(&self, shape: &[usize]) -> Result<(usize, usize, usize, usize), TensorError> {
+        if shape.len() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: shape.len(),
+                op: "maxpool2d",
+            });
+        }
+        let oh = self.out_spatial(shape[2]).ok_or(TensorError::ShapeMismatch {
+            lhs: shape.to_vec(),
+            rhs: vec![self.kernel],
+            op: "maxpool2d_window_too_large",
+        })?;
+        let ow = self.out_spatial(shape[3]).ok_or(TensorError::ShapeMismatch {
+            lhs: shape.to_vec(),
+            rhs: vec![self.kernel],
+            op: "maxpool2d_window_too_large",
+        })?;
+        Ok((shape[0], shape[1], oh, ow))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, TensorError> {
+        let (batch, channels, oh, ow) = self.check(input.shape())?;
+        let (h, w) = (input.shape()[2], input.shape()[3]);
+        let mut out = Tensor::zeros(&[batch, channels, oh, ow]);
+        let mut argmax = vec![0usize; batch * channels * oh * ow];
+        let data = input.data();
+        let out_data = out.data_mut();
+        for b in 0..batch {
+            for c in 0..channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = ((b * channels + c) * h + iy) * w + ix;
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = ((b * channels + c) * oh + oy) * ow + ox;
+                        out_data[oidx] = best;
+                        argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_input_shape = Some(input.shape().to_vec());
+        self.cached_argmax = Some(argmax);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let shape = self.cached_input_shape.as_ref().ok_or(TensorError::ShapeMismatch {
+            lhs: vec![],
+            rhs: vec![],
+            op: "maxpool2d_backward_without_forward",
+        })?;
+        let argmax = self.cached_argmax.as_ref().expect("argmax cached with shape");
+        if grad_output.len() != argmax.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: shape.clone(),
+                op: "maxpool2d_backward",
+            });
+        }
+        let mut grad_input = Tensor::zeros(shape);
+        let gi = grad_input.data_mut();
+        for (o, &src) in argmax.iter().enumerate() {
+            gi[src] += grad_output.data()[o];
+        }
+        Ok(grad_input)
+    }
+
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    fn grads(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>, TensorError> {
+        let (b, c, oh, ow) = self.check(input_shape)?;
+        Ok(vec![b, c, oh, ow])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maximum_of_each_window() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, 9.0, 10.0, 13.0, 14.0, 11.0, 12.0, 15.0,
+                 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x, true).unwrap();
+        let g = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
+        let gx = pool.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn output_shape_matches_lenet_stages() {
+        let pool = MaxPool2d::new(2, 2);
+        assert_eq!(pool.output_shape(&[1, 6, 28, 28]).unwrap(), vec![1, 6, 14, 14]);
+        assert_eq!(pool.output_shape(&[1, 16, 10, 10]).unwrap(), vec![1, 16, 5, 5]);
+        assert_eq!(pool.kernel(), 2);
+        assert_eq!(pool.stride(), 2);
+    }
+
+    #[test]
+    fn rejects_small_inputs_and_wrong_rank() {
+        let mut pool = MaxPool2d::new(3, 3);
+        assert!(pool.forward(&Tensor::ones(&[1, 1, 2, 2]), true).is_err());
+        assert!(pool.forward(&Tensor::ones(&[1, 2, 2]), true).is_err());
+        assert!(pool.backward(&Tensor::ones(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn overlapping_stride_accumulates_gradients() {
+        let mut pool = MaxPool2d::new(2, 1);
+        // Max element (4.0) is in every window.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[1, 1, 3, 3])
+            .unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let gx = pool.backward(&g).unwrap();
+        // 9.0 at flat index 3 is the max of the two top windows.
+        assert_eq!(gx.data()[3], 2.0);
+        assert_eq!(gx.sum(), 4.0);
+    }
+}

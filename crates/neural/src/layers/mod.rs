@@ -1,0 +1,17 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod conv2d;
+mod dense;
+mod dropout;
+mod flatten;
+mod maxpool2d;
+mod softmax;
+
+pub use activation::{Activation, ActivationKind};
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use maxpool2d::MaxPool2d;
+pub use softmax::Softmax;

@@ -1,0 +1,65 @@
+//! # fedco-neural
+//!
+//! Minimal, dependency-light neural-network training substrate used as the
+//! on-device workload in the `fedco` reproduction of *"Energy Minimization
+//! for Federated Asynchronous Learning on Battery-Powered Mobile Devices via
+//! Application Co-running"* (ICDCS 2022).
+//!
+//! The paper runs LeNet-5 on CIFAR-10 with DL4J/OpenBLAS on Android; this
+//! crate provides the same ingredients in pure Rust: dense tensors, the
+//! layers needed by LeNet-5 (convolution, max-pooling, dense, activations),
+//! softmax cross-entropy, SGD with momentum (whose velocity vector feeds the
+//! paper's gradient-gap estimator), a synthetic CIFAR-like dataset and
+//! evaluation metrics.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fedco_neural::lenet::LeNetConfig;
+//! use fedco_neural::data::SyntheticCifarConfig;
+//! use fedco_neural::loss::SoftmaxCrossEntropy;
+//! use fedco_neural::optimizer::Sgd;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let cfg = LeNetConfig::tiny();
+//! let mut net = cfg.build(&mut rng);
+//! let data = SyntheticCifarConfig {
+//!     image_size: cfg.image_size,
+//!     channels: cfg.channels,
+//!     classes: cfg.classes,
+//!     examples: 32,
+//!     ..Default::default()
+//! }
+//! .generate();
+//! let (x, y) = data.batch(0, 8)?;
+//! let mut opt = Sgd::with_learning_rate(0.05);
+//! let step = net.train_batch(&x, &y, &SoftmaxCrossEntropy::new(), &mut opt)?;
+//! assert!(step.loss.is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod init;
+pub mod layer;
+pub mod layers;
+pub mod lenet;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod optimizer;
+pub mod tensor;
+
+pub use data::{Dataset, Example, SyntheticCifarConfig};
+pub use layer::Layer;
+pub use lenet::LeNetConfig;
+pub use loss::{Loss, SoftmaxCrossEntropy};
+pub use model::{ParamVector, Sequential, TrainStep};
+pub use optimizer::{Sgd, SgdConfig};
+pub use tensor::{Tensor, TensorError};

@@ -1,0 +1,236 @@
+//! Loss functions.
+
+use crate::layers::Softmax;
+use crate::tensor::{Tensor, TensorError};
+
+/// Result of evaluating a loss: the scalar loss value averaged over the batch
+/// and the gradient with respect to the network output (logits).
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits.
+    pub grad: Tensor,
+}
+
+/// A differentiable loss over batched predictions and integer class labels
+/// (for classification) or target tensors (for regression).
+pub trait Loss: std::fmt::Debug + Send {
+    /// Computes the loss and its gradient for classification targets.
+    ///
+    /// `logits` has shape `[batch, classes]`, `targets` holds one class index
+    /// per batch element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] when shapes are inconsistent with the targets.
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> Result<LossOutput, TensorError>;
+}
+
+/// Softmax followed by cross-entropy, fused for numerical stability.
+///
+/// The gradient with respect to the logits is `(softmax(z) - onehot(y)) / batch`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+}
+
+impl Loss for SoftmaxCrossEntropy {
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> Result<LossOutput, TensorError> {
+        if logits.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: logits.rank(),
+                op: "softmax_cross_entropy",
+            });
+        }
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        if targets.len() != batch {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![targets.len()],
+                rhs: vec![batch],
+                op: "softmax_cross_entropy_targets",
+            });
+        }
+        for &t in targets {
+            if t >= classes {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: vec![t],
+                    shape: vec![classes],
+                });
+            }
+        }
+        let probs = Softmax::apply(logits)?;
+        let mut loss = 0.0f32;
+        let mut grad = probs.clone();
+        for (b, &t) in targets.iter().enumerate() {
+            let p = probs.data()[b * classes + t].max(1e-12);
+            loss -= p.ln();
+            grad.data_mut()[b * classes + t] -= 1.0;
+        }
+        let scale = 1.0 / batch as f32;
+        grad.scale_in_place(scale);
+        Ok(LossOutput { loss: loss * scale, grad })
+    }
+}
+
+/// Mean-squared error against a one-hot encoding of the targets.
+///
+/// Provided mainly for tests and ablations; the paper's workload uses
+/// cross-entropy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MeanSquaredError;
+
+impl MeanSquaredError {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        MeanSquaredError
+    }
+
+    /// MSE between two arbitrary tensors of identical shape, with gradient
+    /// with respect to `prediction`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn between(prediction: &Tensor, target: &Tensor) -> Result<LossOutput, TensorError> {
+        let diff = prediction.sub(target)?;
+        let n = diff.len().max(1) as f32;
+        let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+        let grad = diff.scale(2.0 / n);
+        Ok(LossOutput { loss, grad })
+    }
+}
+
+impl Loss for MeanSquaredError {
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> Result<LossOutput, TensorError> {
+        if logits.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: logits.rank(),
+                op: "mse",
+            });
+        }
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        if targets.len() != batch {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![targets.len()],
+                rhs: vec![batch],
+                op: "mse_targets",
+            });
+        }
+        let mut onehot = Tensor::zeros(&[batch, classes]);
+        for (b, &t) in targets.iter().enumerate() {
+            if t >= classes {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: vec![t],
+                    shape: vec![classes],
+                });
+            }
+            onehot.data_mut()[b * classes + t] = 1.0;
+        }
+        Self::between(logits, &onehot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]).unwrap();
+        let out = loss.forward(&logits, &[0]).unwrap();
+        assert!(out.loss < 1e-3, "loss {}", out.loss);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_prediction_is_log_classes() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[2, 10]);
+        let out = loss.forward(&logits, &[3, 7]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 1.0, 2.0, 0.0, -1.0], &[2, 3]).unwrap();
+        let out = loss.forward(&logits, &[2, 0]).unwrap();
+        for b in 0..2 {
+            let s: f32 = out.grad.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.8, 0.1, 0.9], &[1, 4]).unwrap();
+        let targets = [2usize];
+        let out = loss.forward(&logits, &targets).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fp = loss.forward(&lp, &targets).unwrap().loss;
+            let fm = loss.forward(&lm, &targets).unwrap().loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - out.grad.data()[i]).abs() < 1e-3, "idx {i}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_inputs() {
+        let loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(loss.forward(&logits, &[0]).is_err());
+        assert!(loss.forward(&logits, &[0, 5]).is_err());
+        assert!(loss.forward(&Tensor::zeros(&[3]), &[0]).is_err());
+    }
+
+    #[test]
+    fn mse_between_identical_tensors_is_zero() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let out = MeanSquaredError::between(&a, &a).unwrap();
+        assert_eq!(out.loss, 0.0);
+        assert!(out.grad.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_classification_path() {
+        let loss = MeanSquaredError::new();
+        let logits = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]).unwrap();
+        let out = loss.forward(&logits, &[0]).unwrap();
+        assert_eq!(out.loss, 0.0);
+        let out2 = loss.forward(&logits, &[1]).unwrap();
+        assert!(out2.loss > 0.0);
+        assert!(loss.forward(&logits, &[2]).is_err());
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = Tensor::from_slice(&[0.2, -0.5, 1.4]);
+        let target = Tensor::from_slice(&[0.0, 0.0, 1.0]);
+        let out = MeanSquaredError::between(&pred, &target).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut pp = pred.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = pred.clone();
+            pm.data_mut()[i] -= eps;
+            let fp = MeanSquaredError::between(&pp, &target).unwrap().loss;
+            let fm = MeanSquaredError::between(&pm, &target).unwrap().loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - out.grad.data()[i]).abs() < 1e-3);
+        }
+    }
+}

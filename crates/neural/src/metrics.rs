@@ -1,0 +1,208 @@
+//! Classification metrics: accuracy, top-k accuracy and confusion matrices.
+
+use crate::tensor::Tensor;
+
+/// Running accuracy accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Accuracy {
+    correct: usize,
+    total: usize,
+}
+
+impl Accuracy {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accuracy::default()
+    }
+
+    /// Records a batch of predictions against targets (extra elements in the
+    /// longer slice are ignored).
+    pub fn update(&mut self, predictions: &[usize], targets: &[usize]) {
+        for (p, t) in predictions.iter().zip(targets) {
+            if p == t {
+                self.correct += 1;
+            }
+            self.total += 1;
+        }
+    }
+
+    /// The accuracy so far, or zero if nothing was recorded.
+    pub fn value(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f32 / self.total as f32
+        }
+    }
+
+    /// Number of examples recorded.
+    pub fn count(&self) -> usize {
+        self.total
+    }
+}
+
+/// Top-k accuracy from raw logits.
+///
+/// Returns the fraction of rows whose target label appears among the `k`
+/// highest logits. Rows beyond `targets.len()` are ignored.
+pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f32 {
+    if logits.rank() != 2 || targets.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    let rows = batch.min(targets.len());
+    let mut correct = 0usize;
+    for (b, &target) in targets.iter().enumerate().take(rows) {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let target_value = row.get(target).copied().unwrap_or(f32::NEG_INFINITY);
+        // Count how many entries strictly exceed the target's logit.
+        let higher = row.iter().filter(|&&v| v > target_value).count();
+        if higher < k {
+            correct += 1;
+        }
+    }
+    correct as f32 / rows as f32
+}
+
+/// A square confusion matrix indexed as `[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an all-zero matrix for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one prediction; out-of-range labels are ignored.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        if actual < self.classes && predicted < self.classes {
+            self.counts[actual * self.classes + predicted] += 1;
+        }
+    }
+
+    /// Records a batch of predictions.
+    pub fn record_batch(&mut self, actual: &[usize], predicted: &[usize]) {
+        for (&a, &p) in actual.iter().zip(predicted) {
+            self.record(a, p);
+        }
+    }
+
+    /// The count at `[actual][predicted]`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        if actual < self.classes && predicted < self.classes {
+            self.counts[actual * self.classes + predicted]
+        } else {
+            0
+        }
+    }
+
+    /// Total number of recorded predictions.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let trace: usize = (0..self.classes).map(|i| self.counts[i * self.classes + i]).sum();
+        trace as f32 / total as f32
+    }
+
+    /// Per-class recall (diagonal / row sum), zero for unseen classes.
+    pub fn recall(&self) -> Vec<f32> {
+        (0..self.classes)
+            .map(|i| {
+                let row: usize = self.counts[i * self.classes..(i + 1) * self.classes].iter().sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.counts[i * self.classes + i] as f32 / row as f32
+                }
+            })
+            .collect()
+    }
+
+    /// Per-class precision (diagonal / column sum), zero for never-predicted
+    /// classes.
+    pub fn precision(&self) -> Vec<f32> {
+        (0..self.classes)
+            .map(|j| {
+                let col: usize = (0..self.classes).map(|i| self.counts[i * self.classes + j]).sum();
+                if col == 0 {
+                    0.0
+                } else {
+                    self.counts[j * self.classes + j] as f32 / col as f32
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_accumulates() {
+        let mut acc = Accuracy::new();
+        assert_eq!(acc.value(), 0.0);
+        acc.update(&[1, 2, 3], &[1, 0, 3]);
+        assert!((acc.value() - 2.0 / 3.0).abs() < 1e-6);
+        acc.update(&[5], &[5]);
+        assert_eq!(acc.count(), 4);
+        assert!((acc.value() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_k_behaviour() {
+        let logits =
+            Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.3, 0.2, 0.1, 0.6, 0.05], &[2, 4]).unwrap();
+        // Row 0: ranking is [1, 2, 3, 0]; row 1: [2, 0, 1, 3].
+        assert_eq!(top_k_accuracy(&logits, &[1, 2], 1), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[2, 0], 2), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[3, 3], 3), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &[], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[1, 2], 0), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_metrics() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record_batch(&[0, 0, 1, 2, 2, 2], &[0, 1, 1, 2, 2, 0]);
+        assert_eq!(cm.total(), 6);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(2, 2), 2);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-6);
+        let recall = cm.recall();
+        assert!((recall[0] - 0.5).abs() < 1e-6);
+        assert!((recall[1] - 1.0).abs() < 1e-6);
+        assert!((recall[2] - 2.0 / 3.0).abs() < 1e-6);
+        let precision = cm.precision();
+        assert!((precision[0] - 0.5).abs() < 1e-6);
+        assert!((precision[2] - 1.0).abs() < 1e-6);
+        assert_eq!(cm.classes(), 3);
+    }
+
+    #[test]
+    fn confusion_matrix_ignores_out_of_range() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(5, 0);
+        cm.record(0, 5);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.count(5, 5), 0);
+    }
+}

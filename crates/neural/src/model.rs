@@ -1,0 +1,507 @@
+//! The [`Sequential`] network container and flat parameter vectors.
+
+use crate::layer::Layer;
+use crate::loss::{Loss, LossOutput};
+use crate::optimizer::Sgd;
+use crate::tensor::{Tensor, TensorError};
+
+/// A flat, serialisable snapshot of all trainable parameters of a network.
+///
+/// This is the "model" that federated clients upload to / download from the
+/// parameter server (2.5 MB for LeNet-5 in the paper). Norm arithmetic on
+/// these vectors backs the gradient-gap staleness metric.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ParamVector {
+    values: Vec<f32>,
+}
+
+impl ParamVector {
+    /// Wraps a raw flat parameter buffer.
+    pub fn new(values: Vec<f32>) -> Self {
+        ParamVector { values }
+    }
+
+    /// Creates a zero vector of the given length.
+    pub fn zeros(len: usize) -> Self {
+        ParamVector { values: vec![0.0; len] }
+    }
+
+    /// The underlying values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable access to the underlying values.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Euclidean norm.
+    pub fn norm_l2(&self) -> f32 {
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Euclidean distance to another vector of identical length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the lengths differ.
+    pub fn distance_l2(&self, other: &ParamVector) -> Result<f32, TensorError> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![self.len()],
+                rhs: vec![other.len()],
+                op: "param_vector_distance",
+            });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum::<f32>()
+            .sqrt())
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the lengths differ.
+    pub fn sub(&self, other: &ParamVector) -> Result<ParamVector, TensorError> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![self.len()],
+                rhs: vec![other.len()],
+                op: "param_vector_sub",
+            });
+        }
+        Ok(ParamVector {
+            values: self.values.iter().zip(&other.values).map(|(a, b)| a - b).collect(),
+        })
+    }
+
+    /// In-place axpy: `self += other * scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the lengths differ.
+    pub fn add_scaled(&mut self, other: &ParamVector, scale: f32) -> Result<(), TensorError> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![self.len()],
+                rhs: vec![other.len()],
+                op: "param_vector_add_scaled",
+            });
+        }
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Returns a scaled copy.
+    pub fn scale(&self, factor: f32) -> ParamVector {
+        ParamVector { values: self.values.iter().map(|v| v * factor).collect() }
+    }
+
+    /// Averages a non-empty set of vectors with the given non-negative
+    /// weights (FedAvg-style aggregation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the inputs are empty,
+    /// lengths differ, or the weights do not match the number of vectors.
+    pub fn weighted_average(
+        vectors: &[ParamVector],
+        weights: &[f32],
+    ) -> Result<ParamVector, TensorError> {
+        if vectors.is_empty() || vectors.len() != weights.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: vec![vectors.len()],
+                rhs: vec![weights.len()],
+                op: "weighted_average",
+            });
+        }
+        let total: f32 = weights.iter().sum();
+        let mut out = ParamVector::zeros(vectors[0].len());
+        for (v, &w) in vectors.iter().zip(weights) {
+            out.add_scaled(v, if total > 0.0 { w / total } else { 1.0 / vectors.len() as f32 })?;
+        }
+        Ok(out)
+    }
+
+    /// Consumes the vector and returns the raw values.
+    pub fn into_values(self) -> Vec<f32> {
+        self.values
+    }
+
+    /// Approximate serialised size in bytes (4 bytes per `f32`), used by the
+    /// transport model.
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f32>()
+    }
+}
+
+impl From<Vec<f32>> for ParamVector {
+    fn from(values: Vec<f32>) -> Self {
+        ParamVector::new(values)
+    }
+}
+
+/// Outcome of training on one mini-batch.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainStep {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Fraction of correctly classified examples in the batch.
+    pub accuracy: f32,
+}
+
+/// A feed-forward network: an ordered stack of [`Layer`]s.
+#[derive(Debug)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with_layer(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a layer in place.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer names in order, useful for debugging and reports.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Total number of scalar trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Runs the forward pass through every layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from any layer.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, TensorError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train)?;
+        }
+        Ok(x)
+    }
+
+    /// Runs the backward pass through every layer (in reverse), accumulating
+    /// parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from any layer.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Trains on one mini-batch: forward, loss, backward, optimiser step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers, the loss, or the optimiser.
+    pub fn train_batch(
+        &mut self,
+        input: &Tensor,
+        targets: &[usize],
+        loss: &dyn Loss,
+        optimizer: &mut Sgd,
+    ) -> Result<TrainStep, TensorError> {
+        self.zero_grads();
+        let logits = self.forward(input, true)?;
+        let LossOutput { loss: loss_value, grad } = loss.forward(&logits, targets)?;
+        self.backward(&grad)?;
+        let mut params: Vec<&mut Tensor> = Vec::new();
+        let mut grads: Vec<&Tensor> = Vec::new();
+        // Split borrows: gather raw pointers first to satisfy the borrow
+        // checker without unsafe by re-walking the layers in two passes.
+        // First collect gradients (immutable), cloned references are fine.
+        let grad_clones: Vec<Tensor> =
+            self.layers.iter().flat_map(|l| l.grads().into_iter().cloned()).collect();
+        for layer in &mut self.layers {
+            params.extend(layer.params_mut());
+        }
+        grads.extend(grad_clones.iter());
+        optimizer.step(&mut params, &grads)?;
+        let accuracy = batch_accuracy(&logits, targets);
+        Ok(TrainStep { loss: loss_value, accuracy })
+    }
+
+    /// Computes class predictions (argmax of the logits) for a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>, TensorError> {
+        let logits = self.forward(input, false)?;
+        if logits.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: logits.rank(),
+                op: "predict",
+            });
+        }
+        let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+        let mut preds = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let row = &logits.data()[b * classes..(b + 1) * classes];
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            preds.push(best);
+        }
+        Ok(preds)
+    }
+
+    /// Evaluates classification accuracy on a batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the layers.
+    pub fn evaluate(&mut self, input: &Tensor, targets: &[usize]) -> Result<f32, TensorError> {
+        let preds = self.predict(input)?;
+        if preds.is_empty() {
+            return Ok(0.0);
+        }
+        let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+        Ok(correct as f32 / preds.len() as f32)
+    }
+
+    /// Extracts all parameters as a single flat vector.
+    pub fn parameters(&self) -> ParamVector {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for p in layer.params() {
+                out.extend_from_slice(p.data());
+            }
+        }
+        ParamVector::new(out)
+    }
+
+    /// Loads all parameters from a flat vector produced by
+    /// [`Sequential::parameters`] on a network with identical architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the vector length differs
+    /// from the network's parameter count.
+    pub fn set_parameters(&mut self, params: &ParamVector) -> Result<(), TensorError> {
+        let expected = self.param_count();
+        if params.len() != expected {
+            return Err(TensorError::LengthMismatch { expected, actual: params.len() });
+        }
+        let mut offset = 0usize;
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                let len = p.len();
+                p.data_mut().copy_from_slice(&params.values()[offset..offset + len]);
+                offset += len;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Sequential::new()
+    }
+}
+
+/// Fraction of rows of `logits` whose argmax equals the target label.
+pub fn batch_accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    if logits.rank() != 2 || targets.is_empty() {
+        return 0.0;
+    }
+    let (batch, classes) = (logits.shape()[0], logits.shape()[1]);
+    if batch != targets.len() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (b, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        if best == t {
+            correct += 1;
+        }
+    }
+    correct as f32 / batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Dense};
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::optimizer::{Sgd, SgdConfig};
+    use crate::optimizer::LrSchedule;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_mlp(seed: u64) -> Sequential {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Sequential::new()
+            .with_layer(Box::new(Dense::new(4, 16, &mut rng)))
+            .with_layer(Box::new(Activation::relu()))
+            .with_layer(Box::new(Dense::new(16, 3, &mut rng)))
+    }
+
+    #[test]
+    fn forward_shapes_flow_through() {
+        let mut net = small_mlp(0);
+        let x = Tensor::ones(&[5, 4]);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[5, 3]);
+        assert_eq!(net.num_layers(), 3);
+        assert_eq!(net.layer_names(), vec!["dense", "relu", "dense"]);
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let net = small_mlp(1);
+        let params = net.parameters();
+        assert_eq!(params.len(), net.param_count());
+        let mut net2 = small_mlp(2);
+        assert_ne!(net2.parameters(), params);
+        net2.set_parameters(&params).unwrap();
+        assert_eq!(net2.parameters(), params);
+        // Wrong length is rejected.
+        assert!(net2.set_parameters(&ParamVector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn identical_params_give_identical_outputs() {
+        let mut a = small_mlp(3);
+        let mut b = small_mlp(4);
+        b.set_parameters(&a.parameters()).unwrap();
+        let x = Tensor::from_vec(vec![0.1, -0.4, 0.9, 0.2], &[1, 4]).unwrap();
+        assert_eq!(a.forward(&x, false).unwrap(), b.forward(&x, false).unwrap());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_problem() {
+        // Learn to map 3 distinct one-hot-ish inputs to 3 classes.
+        let mut net = small_mlp(5);
+        let x = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0],
+            &[3, 4],
+        )
+        .unwrap();
+        let y = [0usize, 1, 2];
+        let loss = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(SgdConfig {
+            learning_rate: 0.5,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            schedule: LrSchedule::Constant,
+        });
+        let first = net.train_batch(&x, &y, &loss, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..100 {
+            last = net.train_batch(&x, &y, &loss, &mut opt).unwrap();
+        }
+        assert!(last.loss < first.loss, "loss did not decrease: {} -> {}", first.loss, last.loss);
+        assert!(last.accuracy > 0.99, "accuracy {}", last.accuracy);
+        assert_eq!(net.evaluate(&x, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut net = small_mlp(6);
+        let x = Tensor::ones(&[2, 4]);
+        let preds = net.predict(&x).unwrap();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn batch_accuracy_helper() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 0.0], &[2, 3]).unwrap();
+        assert_eq!(batch_accuracy(&logits, &[1, 0]), 1.0);
+        assert_eq!(batch_accuracy(&logits, &[0, 0]), 0.5);
+        assert_eq!(batch_accuracy(&logits, &[0]), 0.0);
+    }
+
+    #[test]
+    fn param_vector_arithmetic() {
+        let a = ParamVector::new(vec![1.0, 2.0, 3.0]);
+        let b = ParamVector::new(vec![0.0, 2.0, 5.0]);
+        assert_eq!(a.sub(&b).unwrap().values(), &[1.0, 0.0, -2.0]);
+        assert!((a.distance_l2(&b).unwrap() - (1.0f32 + 4.0).sqrt()).abs() < 1e-6);
+        assert!((a.norm_l2() - 14.0f32.sqrt()).abs() < 1e-6);
+        let avg = ParamVector::weighted_average(&[a.clone(), b.clone()], &[1.0, 1.0]).unwrap();
+        assert_eq!(avg.values(), &[0.5, 2.0, 4.0]);
+        assert_eq!(a.size_bytes(), 12);
+        let mut c = ParamVector::zeros(3);
+        c.add_scaled(&a, 2.0).unwrap();
+        assert_eq!(c.values(), &[2.0, 4.0, 6.0]);
+        assert!(a.sub(&ParamVector::zeros(2)).is_err());
+        assert!(ParamVector::weighted_average(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let a = ParamVector::new(vec![0.0]);
+        let b = ParamVector::new(vec![10.0]);
+        let avg = ParamVector::weighted_average(&[a, b], &[3.0, 1.0]).unwrap();
+        assert!((avg.values()[0] - 2.5).abs() < 1e-6);
+    }
+}

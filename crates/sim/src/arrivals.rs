@@ -1,0 +1,147 @@
+//! The application-arrival process.
+//!
+//! The paper models application usage as a Bernoulli arrival per slot with
+//! probability `p` (0.001 in the main evaluation, i.e. one app per ~1000 s
+//! per user), with the application chosen uniformly from the eight
+//! representative ones of Table II. Arrivals are pre-generated for the whole
+//! horizon so that the offline scheduler can be given oracle access to them.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fedco_device::apps::AppKind;
+
+/// One application arrival event for one user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppArrival {
+    /// The slot in which the application is opened.
+    pub slot: u64,
+    /// Which application it is.
+    pub app: AppKind,
+}
+
+/// The pre-generated arrival schedule of every user over the full horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSchedule {
+    per_user: Vec<Vec<AppArrival>>,
+    probability: f64,
+}
+
+impl ArrivalSchedule {
+    /// Generates the schedule.
+    ///
+    /// `probability` is the per-slot Bernoulli arrival probability; arrivals
+    /// that would overlap a previous one of the same user are still recorded
+    /// (the engine ignores arrivals while an app is already running, matching
+    /// a user who switches apps).
+    pub fn generate(num_users: usize, total_slots: u64, probability: f64, seed: u64) -> Self {
+        let probability = probability.clamp(0.0, 1.0);
+        let mut per_user = Vec::with_capacity(num_users);
+        for user in 0..num_users {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (0xA441 + user as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut events = Vec::new();
+            for slot in 0..total_slots {
+                if rng.gen::<f64>() < probability {
+                    let app = AppKind::ALL[rng.gen_range(0..AppKind::ALL.len())];
+                    events.push(AppArrival { slot, app });
+                }
+            }
+            per_user.push(events);
+        }
+        ArrivalSchedule { per_user, probability }
+    }
+
+    /// The configured arrival probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Number of users covered by the schedule.
+    pub fn num_users(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// All arrivals of one user.
+    pub fn arrivals_for(&self, user: usize) -> &[AppArrival] {
+        self.per_user.get(user).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The arrival of `user` at exactly `slot`, if any.
+    pub fn arrival_at(&self, user: usize, slot: u64) -> Option<AppArrival> {
+        self.arrivals_for(user).iter().find(|a| a.slot == slot).copied()
+    }
+
+    /// The first arrival of `user` in the half-open slot window
+    /// `[from, from + window)`, if any — what the offline scheduler inspects.
+    pub fn first_arrival_in_window(
+        &self,
+        user: usize,
+        from: u64,
+        window: u64,
+    ) -> Option<AppArrival> {
+        self.arrivals_for(user)
+            .iter()
+            .find(|a| a.slot >= from && a.slot < from.saturating_add(window))
+            .copied()
+    }
+
+    /// Total number of arrivals across all users.
+    pub fn total_arrivals(&self) -> usize {
+        self.per_user.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_rate_is_close_to_probability() {
+        let sched = ArrivalSchedule::generate(20, 10_000, 0.01, 7);
+        let total = sched.total_arrivals() as f64;
+        let expected = 20.0 * 10_000.0 * 0.01;
+        assert!((total - expected).abs() / expected < 0.15, "total {total}, expected {expected}");
+        assert_eq!(sched.num_users(), 20);
+        assert_eq!(sched.probability(), 0.01);
+    }
+
+    #[test]
+    fn zero_probability_means_no_arrivals() {
+        let sched = ArrivalSchedule::generate(5, 1000, 0.0, 1);
+        assert_eq!(sched.total_arrivals(), 0);
+        assert!(sched.arrival_at(0, 10).is_none());
+        assert!(sched.first_arrival_in_window(0, 0, 1000).is_none());
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed_and_differs_across_users() {
+        let a = ArrivalSchedule::generate(3, 5000, 0.01, 9);
+        let b = ArrivalSchedule::generate(3, 5000, 0.01, 9);
+        assert_eq!(a, b);
+        let c = ArrivalSchedule::generate(3, 5000, 0.01, 10);
+        assert_ne!(a, c);
+        // Different users see different arrival patterns.
+        assert_ne!(a.arrivals_for(0), a.arrivals_for(1));
+    }
+
+    #[test]
+    fn window_lookup_finds_first_arrival() {
+        let sched = ArrivalSchedule::generate(2, 20_000, 0.005, 3);
+        let all = sched.arrivals_for(0);
+        assert!(!all.is_empty());
+        let first = all[0];
+        assert_eq!(sched.arrival_at(0, first.slot), Some(first));
+        assert_eq!(sched.first_arrival_in_window(0, 0, first.slot + 1), Some(first));
+        assert_eq!(sched.first_arrival_in_window(0, first.slot + 1, 0), None);
+        // Out-of-range user is empty.
+        assert!(sched.arrivals_for(99).is_empty());
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let sched = ArrivalSchedule::generate(1, 100, 5.0, 1);
+        assert_eq!(sched.probability(), 1.0);
+        assert_eq!(sched.arrivals_for(0).len(), 100);
+    }
+}

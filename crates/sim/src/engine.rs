@@ -1,0 +1,733 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine couples the four substrates: per-slot application arrivals and
+//! device power states (`fedco-device`), the federated training loop and
+//! staleness bookkeeping (`fedco-fl`, optionally running real LeNet training
+//! on synthetic CIFAR-like shards via `fedco-neural`), and the scheduling
+//! policies (`fedco-core`). One run reproduces the paper's 3-hour testbed
+//! experiment for a chosen policy and parameter set.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fedco_core::config::SchedulerConfig;
+use fedco_core::offline::{OfflineScheduler, OfflineUser};
+use fedco_core::online::{OnlineDecisionInput, SlotOutcome};
+use fedco_core::policy::{
+    ImmediatePolicy, OfflinePolicy, OnlinePolicy, PolicyKind, SchedulingPolicy, SyncSgdPolicy,
+    UserSlotContext,
+};
+use fedco_device::energy::{Joules, Seconds};
+use fedco_device::power::{AppStatus, PowerModel, SlotDecision};
+use fedco_device::profiler::{EnergyComponent, EnergyProfiler};
+use fedco_fl::aggregation::AsyncUpdateRule;
+use fedco_fl::client::{ClientConfig, FlClient};
+use fedco_fl::model_state::LocalUpdate;
+use fedco_fl::partition::{partition_dataset, PartitionStrategy};
+use fedco_fl::server::ParameterServer;
+use fedco_fl::staleness::{GradientGap, Lag, WeightPredictor};
+use fedco_neural::data::{Dataset, SyntheticCifarConfig};
+use fedco_neural::model::{ParamVector, Sequential};
+
+use crate::arrivals::ArrivalSchedule;
+use crate::clock::SimClock;
+use crate::experiment::SimConfig;
+use crate::trace::{SimResult, TracePoint, UpdateEvent, UserGapPoint};
+use crate::user::{SimUser, TrainingPhase};
+
+/// Dispatch wrapper over the concrete policies so the engine can reach
+/// policy-specific functionality (the offline plan) without downcasting.
+#[derive(Debug)]
+enum PolicyImpl {
+    Immediate(ImmediatePolicy),
+    Sync(SyncSgdPolicy),
+    Offline(OfflinePolicy),
+    Online(OnlinePolicy),
+}
+
+impl PolicyImpl {
+    fn new(kind: PolicyKind, config: SchedulerConfig) -> Self {
+        match kind {
+            PolicyKind::Immediate => PolicyImpl::Immediate(ImmediatePolicy::new()),
+            PolicyKind::SyncSgd => PolicyImpl::Sync(SyncSgdPolicy::new()),
+            PolicyKind::Offline => PolicyImpl::Offline(OfflinePolicy::new()),
+            PolicyKind::Online => PolicyImpl::Online(OnlinePolicy::new(config)),
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        match self {
+            PolicyImpl::Immediate(p) => p.kind(),
+            PolicyImpl::Sync(p) => p.kind(),
+            PolicyImpl::Offline(p) => p.kind(),
+            PolicyImpl::Online(p) => p.kind(),
+        }
+    }
+
+    fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision {
+        match self {
+            PolicyImpl::Immediate(p) => p.decide(ctx),
+            PolicyImpl::Sync(p) => p.decide(ctx),
+            PolicyImpl::Offline(p) => p.decide(ctx),
+            PolicyImpl::Online(p) => p.decide(ctx),
+        }
+    }
+
+    fn end_of_slot(&mut self, outcome: &SlotOutcome) {
+        match self {
+            PolicyImpl::Immediate(p) => p.end_of_slot(outcome),
+            PolicyImpl::Sync(p) => p.end_of_slot(outcome),
+            PolicyImpl::Offline(p) => p.end_of_slot(outcome),
+            PolicyImpl::Online(p) => p.end_of_slot(outcome),
+        }
+    }
+
+    fn queue_backlog(&self) -> f64 {
+        match self {
+            PolicyImpl::Online(p) => p.queue_backlog(),
+            _ => 0.0,
+        }
+    }
+
+    fn virtual_backlog(&self) -> f64 {
+        match self {
+            PolicyImpl::Online(p) => p.virtual_backlog(),
+            _ => 0.0,
+        }
+    }
+
+    fn offline_mut(&mut self) -> Option<&mut OfflinePolicy> {
+        match self {
+            PolicyImpl::Offline(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// The real machine-learning workload of one run.
+#[derive(Debug)]
+struct MlState {
+    clients: Vec<FlClient>,
+    test_set: Dataset,
+    eval_net: Sequential,
+    eval_every_slots: u64,
+    eval_examples: usize,
+}
+
+/// The simulation engine.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    clock: SimClock,
+    arrivals: ArrivalSchedule,
+    users: Vec<SimUser>,
+    profilers: Vec<EnergyProfiler>,
+    policy: PolicyImpl,
+    offline_scheduler: OfflineScheduler,
+    server: ParameterServer,
+    predictor: WeightPredictor,
+    ml: Option<MlState>,
+    rng: SmallRng,
+    base_params: Vec<ParamVector>,
+    sync_buffer: Vec<LocalUpdate>,
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (`SimConfig::is_valid`).
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.is_valid(), "invalid simulation configuration: {config:?}");
+        let clock = SimClock::new(config.slot_seconds, config.total_slots);
+        let arrivals = ArrivalSchedule::generate(
+            config.num_users,
+            config.total_slots,
+            config.arrival_probability,
+            config.seed,
+        );
+        let users: Vec<SimUser> = (0..config.num_users)
+            .map(|i| SimUser::new(i, config.devices.device_for(i), config.scheduler.epsilon))
+            .collect();
+        let profilers: Vec<EnergyProfiler> =
+            users.iter().map(|u| EnergyProfiler::new(PowerModel::new(u.profile.clone()))).collect();
+        let policy = PolicyImpl::new(config.policy, config.scheduler);
+        let predictor =
+            WeightPredictor::new(config.scheduler.learning_rate, config.scheduler.momentum_beta);
+        let offline_scheduler = OfflineScheduler::new(config.scheduler.staleness_bound, predictor);
+
+        // Initial global parameters and optional ML workload.
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED_F00D);
+        let (initial_params, ml) = match &config.ml {
+            Some(mlcfg) => {
+                let arch = mlcfg.architecture;
+                let data = SyntheticCifarConfig {
+                    image_size: arch.image_size,
+                    channels: arch.channels,
+                    classes: arch.classes,
+                    examples: mlcfg.total_examples,
+                    noise_std: mlcfg.noise_std,
+                    seed: config.seed ^ 0xDA7A,
+                }
+                .generate();
+                let (train, test) = data.train_test_split(mlcfg.test_fraction);
+                let shards =
+                    partition_dataset(&train, config.num_users, PartitionStrategy::Iid, config.seed);
+                let client_cfg = ClientConfig {
+                    batch_size: mlcfg.batch_size,
+                    learning_rate: config.scheduler.learning_rate,
+                    momentum: config.scheduler.momentum_beta,
+                    local_passes: 1,
+                };
+                let clients: Vec<FlClient> = shards
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, shard)| FlClient::new(i, arch, shard, client_cfg))
+                    .collect();
+                let mut init_rng = SmallRng::seed_from_u64(config.seed ^ 0x1217);
+                let eval_net = arch.build(&mut init_rng);
+                let initial = eval_net.parameters();
+                (
+                    initial,
+                    Some(MlState {
+                        clients,
+                        test_set: test,
+                        eval_net,
+                        eval_every_slots: mlcfg.eval_every_slots.max(1),
+                        eval_examples: mlcfg.eval_examples.max(1),
+                    }),
+                )
+            }
+            None => {
+                // Energy-only mode: a small dummy parameter vector.
+                let initial = ParamVector::new((0..8).map(|_| rng.gen_range(-1.0..1.0)).collect());
+                (initial, None)
+            }
+        };
+        let server = ParameterServer::new(
+            initial_params.clone(),
+            AsyncUpdateRule::Replace,
+            config.scheduler.learning_rate,
+            config.scheduler.momentum_beta,
+        );
+        let base_params = vec![initial_params; config.num_users];
+
+        let mut sim = Simulation {
+            config,
+            clock,
+            arrivals,
+            users,
+            profilers,
+            policy,
+            offline_scheduler,
+            server,
+            predictor,
+            ml,
+            rng,
+            base_params,
+            sync_buffer: Vec::new(),
+        };
+        // Hand the initial global model to every ML client.
+        if sim.ml.is_some() {
+            let snapshot = sim.server.download();
+            if let Some(ml) = sim.ml.as_mut() {
+                for c in ml.clients.iter_mut() {
+                    c.receive_model(&snapshot).expect("architectures match");
+                }
+            }
+        }
+        sim
+    }
+
+    /// The configuration of this run.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn velocity_norm(&self) -> f32 {
+        if self.ml.is_some() {
+            let norm = self.server.momentum_norm();
+            if norm > 0.0 {
+                norm
+            } else {
+                self.config.synthetic_velocity_norm
+            }
+        } else {
+            self.config.synthetic_velocity_norm
+        }
+    }
+
+    fn window_slots(&self) -> u64 {
+        (self.config.scheduler.lookahead_window_s / self.config.slot_seconds).ceil() as u64
+    }
+
+    /// Installs the offline knapsack plan for the window starting at `slot`.
+    fn plan_offline_window(&mut self, slot: u64) {
+        let window = self.window_slots();
+        let now_s = slot as f64 * self.config.slot_seconds;
+        let velocity = self.velocity_norm();
+        let mut window_users = Vec::new();
+        let mut arrival_slot_of = std::collections::HashMap::new();
+        for u in &self.users {
+            if !u.is_waiting() {
+                continue;
+            }
+            let arrival = self.arrivals.first_arrival_in_window(u.id, slot, window);
+            let (arrival_s, saving_j) = match arrival {
+                Some(a) => {
+                    arrival_slot_of.insert(u.id, a.slot);
+                    let t_train = u.profile.training_time().value();
+                    let t_corun = u.profile.corun_time(a.app).value();
+                    let separate = u.profile.training_power().value() * t_train
+                        + u.profile.app_power(a.app).value() * t_corun;
+                    let corun = u.profile.corun_power(a.app).value() * t_corun;
+                    (Some(a.slot as f64 * self.config.slot_seconds), separate - corun)
+                }
+                None => (None, 0.0),
+            };
+            window_users.push(OfflineUser {
+                id: u.id,
+                ready_time_s: now_s,
+                app_arrival_s: arrival_s,
+                duration_s: u.profile.training_time().value(),
+                energy_saving_j: saving_j,
+            });
+        }
+        let solution = self.offline_scheduler.schedule_window(&window_users, velocity);
+        if let Some(policy) = self.policy.offline_mut() {
+            policy.clear();
+            for wu in &window_users {
+                if wu.app_arrival_s.is_none() {
+                    continue;
+                }
+                let user_id = wu.id;
+                if solution.is_selected(user_id) {
+                    policy.set_start_slot(user_id, arrival_slot_of[&user_id]);
+                } else {
+                    // Rejected co-run opportunities execute separately right
+                    // away to keep their staleness out of the budget.
+                    policy.set_start_slot(user_id, slot);
+                }
+            }
+        }
+    }
+
+    /// Produces the local update of a completed epoch.
+    fn make_update(&mut self, user_id: usize) -> LocalUpdate {
+        match self.ml.as_mut() {
+            Some(ml) => ml.clients[user_id].local_epoch().expect("training geometry matches"),
+            None => {
+                // Energy-only mode: a synthetic update that moves the dummy
+                // global parameters by a step whose magnitude decays with the
+                // number of applied updates, so the momentum norm behaves
+                // like a converging run.
+                let snapshot = self.server.download();
+                let applied = self.server.stats().async_updates + self.server.stats().sync_rounds;
+                let magnitude = 1.0 / (1.0 + applied as f32 / 50.0);
+                let mut values = snapshot.params.values().to_vec();
+                let scale = magnitude / (values.len() as f32).sqrt();
+                for v in values.iter_mut() {
+                    *v += if self.rng.gen::<bool>() { scale } else { -scale };
+                }
+                LocalUpdate {
+                    client_id: user_id,
+                    params: ParamVector::new(values),
+                    base_version: self.users[user_id].base_version,
+                    num_samples: 1,
+                    train_loss: 0.0,
+                    train_accuracy: 0.0,
+                }
+            }
+        }
+    }
+
+    /// Measured gradient gap of an update: the L2 distance between the global
+    /// parameters the user started from and the global parameters at upload
+    /// time (Definition 2).
+    fn measured_gap(&self, user_id: usize) -> f64 {
+        let current = self.server.download().params;
+        self.base_params[user_id].distance_l2(&current).map(|d| d as f64).unwrap_or(0.0)
+    }
+
+    /// Re-downloads the global model for a user that just uploaded.
+    fn requeue_user(&mut self, user_id: usize) {
+        let snapshot = self.server.download();
+        if let Some(ml) = self.ml.as_mut() {
+            ml.clients[user_id].receive_model(&snapshot).expect("architectures match");
+        }
+        self.base_params[user_id] = snapshot.params;
+        self.users[user_id].become_waiting(snapshot.version);
+    }
+
+    /// Evaluates the current global model on the held-out test set.
+    fn evaluate_global(&mut self) -> Option<f32> {
+        let snapshot = self.server.download();
+        let ml = self.ml.as_mut()?;
+        ml.eval_net.set_parameters(&snapshot.params).ok()?;
+        let n = ml.eval_examples;
+        fedco_fl::client::evaluate_network(&mut ml.eval_net, &ml.test_set, n).ok()
+    }
+
+    /// Runs the simulation to the end of the horizon and returns the result.
+    pub fn run(&mut self) -> SimResult {
+        let slot_len = Seconds(self.config.slot_seconds);
+        let mut trace = Vec::new();
+        let mut user_gaps = Vec::new();
+        let mut updates = Vec::new();
+        let mut queue_sum = 0.0f64;
+        let mut vq_sum = 0.0f64;
+        let mut corun_epochs = 0u64;
+        let mut total_lag = 0u64;
+        let mut max_lag = 0u64;
+        let mut last_accuracy: Option<f32> = None;
+
+        while !self.clock.finished() {
+            let slot = self.clock.slot();
+            let now_s = self.clock.now_s();
+
+            // (0) Offline look-ahead planning at window boundaries.
+            if self.policy.kind() == PolicyKind::Offline && slot % self.window_slots() == 0 {
+                self.plan_offline_window(slot);
+            }
+
+            // (1) Application arrivals (ignored while another app runs).
+            for i in 0..self.users.len() {
+                if self.users[i].app_running() {
+                    continue;
+                }
+                if let Some(arrival) = self.arrivals.arrival_at(i, slot) {
+                    let duration = self.users[i].profile.corun_time(arrival.app).value();
+                    let slots = self.clock.slots_for(duration);
+                    self.users[i].start_app(arrival.app, slots);
+                }
+            }
+
+            // (2) Scheduling decisions for waiting users.
+            //
+            // Queue semantics (Definition 3): every user that holds a pending
+            // training task contributes one arrival per slot it remains
+            // unscheduled, and scheduling a user drains the backlog it
+            // accumulated while waiting. The task queue Q(t) therefore tracks
+            // the total outstanding waiting work in user-slots, which is what
+            // the Eq.-22 threshold `Q ≥ V·t_d·ΔP` acts on.
+            let training_now =
+                self.users.iter().filter(|u| u.is_training()).count() as u64;
+            let waiting_at_start = self.users.iter().filter(|u| u.is_waiting()).count();
+            let velocity = self.velocity_norm();
+            let mut scheduled_count = 0usize;
+            let mut drained_wait_slots = 0usize;
+            for i in 0..self.users.len() {
+                if !self.users[i].is_waiting() {
+                    continue;
+                }
+                let status = self.users[i].app_status();
+                let predicted =
+                    self.predictor.predict_gap(Lag(training_now.max(1)), velocity);
+                let idle_gap = GradientGap(
+                    self.users[i].gap.current().value() + self.config.scheduler.epsilon,
+                );
+                let input = OnlineDecisionInput::from_profile(
+                    &self.users[i].profile,
+                    status,
+                    predicted,
+                    idle_gap,
+                );
+                let ctx = UserSlotContext { user_id: i, slot, app_status: status, input };
+                let decision = self.policy.decide(&ctx);
+                // Charge the decision-computation overhead of the online
+                // controller (Table III).
+                if self.config.decision_overhead && self.policy.kind() == PolicyKind::Online {
+                    let extra = (self.users[i].profile.decision_power_w
+                        - self.users[i].profile.idle_power_w)
+                        .max(0.0);
+                    self.profilers[i]
+                        .record_extra(EnergyComponent::Idle, Joules(extra * slot_len.value()));
+                }
+                match decision {
+                    SlotDecision::Schedule => {
+                        let corunning = status.is_app();
+                        let duration_s = match status {
+                            AppStatus::App(app) => self.users[i].profile.corun_time(app).value(),
+                            AppStatus::NoApp => self.users[i].profile.training_time().value(),
+                        };
+                        let slots = self.clock.slots_for(duration_s);
+                        drained_wait_slots += self.users[i].current_wait_slots as usize + 1;
+                        self.users[i].start_training(slots, corunning);
+                        self.users[i].gap.schedule(predicted);
+                        scheduled_count += 1;
+                        if let Some(p) = self.policy.offline_mut() {
+                            p.clear_user(i);
+                        }
+                    }
+                    SlotDecision::Idle => {
+                        self.users[i].gap.idle_slot();
+                    }
+                }
+            }
+
+            // (3) Energy accounting.
+            for (u, prof) in self.users.iter().zip(self.profilers.iter_mut()) {
+                prof.record(u.power_state(), slot_len);
+            }
+
+            // (4) Advance timers; collect completed epochs.
+            let mut completed: Vec<(usize, bool)> = Vec::new();
+            for u in self.users.iter_mut() {
+                let corunning = matches!(u.phase, TrainingPhase::Training { corunning: true, .. });
+                if u.tick() {
+                    completed.push((u.id, corunning));
+                }
+            }
+
+            // (5) Apply completed epochs to the server.
+            for (user_id, corunning) in completed {
+                if corunning {
+                    corun_epochs += 1;
+                }
+                let update = self.make_update(user_id);
+                match self.policy.kind() {
+                    PolicyKind::SyncSgd => {
+                        self.sync_buffer.push(update);
+                        self.users[user_id].enter_barrier();
+                    }
+                    _ => {
+                        let gap = self.measured_gap(user_id);
+                        let lag = self
+                            .server
+                            .apply_async(&update)
+                            .expect("update length matches global model");
+                        total_lag += lag.value();
+                        max_lag = max_lag.max(lag.value());
+                        updates.push(UpdateEvent {
+                            t_s: now_s,
+                            user_id,
+                            lag: lag.value(),
+                            gap,
+                            corun: corunning,
+                        });
+                        self.requeue_user(user_id);
+                    }
+                }
+            }
+
+            // (6) Sync-SGD barrier: aggregate once every participant is done.
+            if self.policy.kind() == PolicyKind::SyncSgd
+                && self.sync_buffer.len() == self.users.len()
+            {
+                let buffer = std::mem::take(&mut self.sync_buffer);
+                let mean_gap: f64 = buffer
+                    .iter()
+                    .map(|u| {
+                        self.base_params[u.client_id]
+                            .distance_l2(&u.params)
+                            .map(|d| d as f64)
+                            .unwrap_or(0.0)
+                    })
+                    .sum::<f64>()
+                    / buffer.len().max(1) as f64;
+                self.server.apply_sync_round(&buffer).expect("round updates match global model");
+                updates.push(UpdateEvent {
+                    t_s: now_s,
+                    user_id: usize::MAX,
+                    lag: 0,
+                    gap: mean_gap,
+                    corun: false,
+                });
+                for i in 0..self.users.len() {
+                    self.requeue_user(i);
+                }
+            }
+
+            // (7) Queue dynamics.
+            let gap_sum: f64 = self.users.iter().map(|u| u.gap.current().value()).sum();
+            let arrivals = waiting_at_start.saturating_sub(scheduled_count);
+            self.policy.end_of_slot(&SlotOutcome {
+                arrivals,
+                scheduled: drained_wait_slots,
+                gap_sum,
+            });
+            queue_sum += self.policy.queue_backlog();
+            vq_sum += self.policy.virtual_backlog();
+
+            // (8) Trace recording.
+            if slot % self.config.record_every_slots == 0 {
+                if let Some(ml) = &self.ml {
+                    if slot % ml.eval_every_slots == 0 {
+                        if let Some(acc) = self.evaluate_global() {
+                            last_accuracy = Some(acc);
+                        }
+                    }
+                }
+                let gaps: Vec<f64> = self.users.iter().map(|u| u.gap.current().value()).collect();
+                let mean_gap = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+                let max_gap = gaps.iter().copied().fold(0.0f64, f64::max);
+                let total_energy_j: f64 =
+                    self.profilers.iter().map(|p| p.total_energy().value()).sum();
+                trace.push(TracePoint {
+                    t_s: now_s,
+                    total_energy_j,
+                    queue: self.policy.queue_backlog(),
+                    virtual_queue: self.policy.virtual_backlog(),
+                    mean_gap,
+                    max_gap,
+                    updates: (self.server.stats().async_updates + self.server.stats().sync_rounds),
+                    accuracy: if self.ml.is_some() { last_accuracy } else { None },
+                });
+                if self.config.record_user_gaps {
+                    for u in &self.users {
+                        user_gaps.push(UserGapPoint {
+                            t_s: now_s,
+                            user_id: u.id,
+                            gap: u.gap.current().value(),
+                        });
+                    }
+                }
+            }
+
+            self.clock.tick();
+        }
+
+        let total_slots = self.config.total_slots.max(1) as f64;
+        let stats = self.server.stats();
+        let total_updates = stats.async_updates + stats.sync_rounds;
+        let mut by_component = std::collections::BTreeMap::new();
+        for p in &self.profilers {
+            for (component, energy) in p.breakdown() {
+                *by_component.entry(component).or_insert(0.0) += energy.value();
+            }
+        }
+        let final_accuracy = if self.ml.is_some() { self.evaluate_global() } else { None };
+        SimResult {
+            policy: self.config.policy,
+            total_energy_j: self.profilers.iter().map(|p| p.total_energy().value()).sum(),
+            energy_by_component: by_component.into_iter().collect(),
+            total_updates,
+            corun_epochs,
+            mean_lag: if total_updates > 0 { total_lag as f64 / total_updates as f64 } else { 0.0 },
+            max_lag,
+            final_accuracy,
+            final_queue: self.policy.queue_backlog(),
+            final_virtual_queue: self.policy.virtual_backlog(),
+            mean_queue: queue_sum / total_slots,
+            mean_virtual_queue: vq_sum / total_slots,
+            trace,
+            user_gaps,
+            updates,
+        }
+    }
+}
+
+/// Convenience function: build and run a simulation in one call.
+pub fn run_simulation(config: SimConfig) -> SimResult {
+    Simulation::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::MlConfig;
+
+    fn small(policy: PolicyKind) -> SimConfig {
+        SimConfig::small(policy)
+    }
+
+    #[test]
+    fn immediate_policy_trains_continuously() {
+        let result = run_simulation(small(PolicyKind::Immediate));
+        assert!(result.total_updates > 10, "updates {}", result.total_updates);
+        assert!(result.total_energy_j > 0.0);
+        assert_eq!(result.policy, PolicyKind::Immediate);
+        // Training components dominate the energy mix.
+        let training: f64 = result
+            .energy_by_component
+            .iter()
+            .filter(|(c, _)| {
+                matches!(c, EnergyComponent::TrainingOnly | EnergyComponent::CoRunning)
+            })
+            .map(|(_, e)| *e)
+            .sum();
+        assert!(training > result.total_energy_j * 0.5);
+    }
+
+    #[test]
+    fn online_policy_saves_energy_versus_immediate() {
+        let immediate = run_simulation(small(PolicyKind::Immediate));
+        let online = run_simulation(small(PolicyKind::Online));
+        assert!(
+            online.total_energy_j < immediate.total_energy_j,
+            "online {} >= immediate {}",
+            online.total_energy_j,
+            immediate.total_energy_j
+        );
+        // Immediate makes at least as many updates.
+        assert!(immediate.total_updates >= online.total_updates);
+    }
+
+    #[test]
+    fn sync_policy_runs_rounds_with_zero_lag() {
+        let result = run_simulation(small(PolicyKind::SyncSgd));
+        assert!(result.total_updates >= 1);
+        assert_eq!(result.max_lag, 0);
+        assert_eq!(result.mean_lag, 0.0);
+    }
+
+    #[test]
+    fn offline_policy_waits_for_corunning() {
+        let mut config = small(PolicyKind::Offline);
+        config.arrival_probability = 0.01;
+        let result = run_simulation(config);
+        let immediate = run_simulation(small(PolicyKind::Immediate));
+        assert!(result.total_energy_j < immediate.total_energy_j);
+    }
+
+    #[test]
+    fn ml_mode_produces_accuracy_curve() {
+        let mut config = small(PolicyKind::Immediate);
+        config.num_users = 3;
+        config.total_slots = 900;
+        config.ml = Some(MlConfig::tiny());
+        config.record_every_slots = 50;
+        let result = run_simulation(config);
+        assert!(result.final_accuracy.is_some());
+        let acc = result.final_accuracy.unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(result.trace.iter().any(|p| p.accuracy.is_some()));
+    }
+
+    #[test]
+    fn trace_energy_is_monotonic() {
+        let result = run_simulation(small(PolicyKind::Online));
+        for pair in result.trace.windows(2) {
+            assert!(pair[1].total_energy_j >= pair[0].total_energy_j);
+            assert!(pair[1].t_s > pair[0].t_s);
+        }
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn user_gap_recording_can_be_enabled() {
+        let mut config = small(PolicyKind::Online);
+        config.record_user_gaps = true;
+        let result = run_simulation(config);
+        assert!(!result.user_gaps.is_empty());
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let a = run_simulation(small(PolicyKind::Online));
+        let b = run_simulation(small(PolicyKind::Online));
+        assert_eq!(a.total_energy_j, b.total_energy_j);
+        assert_eq!(a.total_updates, b.total_updates);
+        let c = run_simulation(small(PolicyKind::Online).with_seed(99));
+        assert!(c.total_energy_j != a.total_energy_j || c.total_updates != a.total_updates);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation configuration")]
+    fn invalid_config_panics() {
+        let mut config = small(PolicyKind::Online);
+        config.num_users = 0;
+        let _ = Simulation::new(config);
+    }
+}

@@ -1,0 +1,281 @@
+//! Experiment configuration presets.
+
+use serde::{Deserialize, Serialize};
+
+use fedco_core::config::SchedulerConfig;
+use fedco_core::policy::PolicyKind;
+use fedco_device::profiles::DeviceKind;
+use fedco_neural::lenet::LeNetConfig;
+
+/// How devices are assigned to users.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceAssignment {
+    /// Every user gets the same device model.
+    Uniform(DeviceKind),
+    /// Users cycle through the four testbed devices (the paper's setting:
+    /// "each user randomly picks a device from the testbed").
+    RoundRobinTestbed,
+    /// An explicit device per user (cycled if shorter than the user count).
+    Custom(Vec<DeviceKind>),
+}
+
+impl DeviceAssignment {
+    /// The device of a given user.
+    pub fn device_for(&self, user: usize) -> DeviceKind {
+        match self {
+            DeviceAssignment::Uniform(kind) => *kind,
+            DeviceAssignment::RoundRobinTestbed => DeviceKind::ALL[user % DeviceKind::ALL.len()],
+            DeviceAssignment::Custom(devices) => {
+                if devices.is_empty() {
+                    DeviceKind::Pixel2
+                } else {
+                    devices[user % devices.len()]
+                }
+            }
+        }
+    }
+}
+
+impl Default for DeviceAssignment {
+    fn default() -> Self {
+        DeviceAssignment::RoundRobinTestbed
+    }
+}
+
+/// Configuration of the (optional) real machine-learning workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlConfig {
+    /// The network architecture trained on every device.
+    pub architecture: LeNetConfig,
+    /// Total number of synthetic CIFAR-like examples, split equally across
+    /// users (the paper partitions CIFAR-10 equally over 25 users).
+    pub total_examples: usize,
+    /// Fraction of examples held out as the global test set.
+    pub test_fraction: f32,
+    /// How many test examples to use per accuracy evaluation.
+    pub eval_examples: usize,
+    /// Evaluate the global model every this many slots.
+    pub eval_every_slots: u64,
+    /// Mini-batch size (the paper uses 20).
+    pub batch_size: usize,
+    /// Pixel-noise level of the synthetic dataset.
+    pub noise_std: f32,
+}
+
+impl Default for MlConfig {
+    fn default() -> Self {
+        MlConfig {
+            architecture: LeNetConfig::compact(),
+            total_examples: 1000,
+            test_fraction: 0.2,
+            eval_examples: 100,
+            eval_every_slots: 200,
+            batch_size: 20,
+            noise_std: 0.35,
+        }
+    }
+}
+
+impl MlConfig {
+    /// A very small configuration for unit/integration tests.
+    pub fn tiny() -> Self {
+        MlConfig {
+            architecture: LeNetConfig::tiny(),
+            total_examples: 120,
+            test_fraction: 0.2,
+            eval_examples: 24,
+            eval_every_slots: 100,
+            batch_size: 8,
+            noise_std: 0.3,
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of users/devices (the paper uses 25).
+    pub num_users: usize,
+    /// Horizon in slots (the paper: 10 800 one-second slots, i.e. 3 hours).
+    pub total_slots: u64,
+    /// Slot length in seconds.
+    pub slot_seconds: f64,
+    /// Per-slot Bernoulli application-arrival probability (paper: 0.001).
+    pub arrival_probability: f64,
+    /// Which scheduling policy drives the run.
+    pub policy: PolicyKind,
+    /// Scheduler parameters (V, L_b, ε, look-ahead window, η, β).
+    pub scheduler: SchedulerConfig,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Device assignment across users.
+    pub devices: DeviceAssignment,
+    /// Record a trace point every this many slots.
+    pub record_every_slots: u64,
+    /// Optional real ML workload; when `None` the run is energy-only and the
+    /// gradient-gap dynamics use `synthetic_velocity_norm`.
+    pub ml: Option<MlConfig>,
+    /// Momentum-vector norm assumed by the gap predictor in energy-only runs.
+    pub synthetic_velocity_norm: f32,
+    /// Whether to charge the online controller's decision-computation energy
+    /// (Table III) to the devices.
+    pub decision_overhead: bool,
+    /// Whether to record per-user gap traces (Fig. 5d).
+    pub record_user_gaps: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_users: 25,
+            total_slots: 10_800,
+            slot_seconds: 1.0,
+            arrival_probability: 0.001,
+            policy: PolicyKind::Online,
+            scheduler: SchedulerConfig::default(),
+            seed: 42,
+            devices: DeviceAssignment::RoundRobinTestbed,
+            record_every_slots: 60,
+            ml: None,
+            synthetic_velocity_norm: 2.0,
+            decision_overhead: true,
+            record_user_gaps: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's main evaluation setting (Section VII-B) for a given
+    /// policy: 25 users, 3 hours, arrival probability 0.001, V = 4000,
+    /// L_b = 1000.
+    pub fn paper_default(policy: PolicyKind) -> Self {
+        SimConfig { policy, ..SimConfig::default() }
+    }
+
+    /// A fast, small configuration for tests: 6 users, 20 minutes.
+    pub fn small(policy: PolicyKind) -> Self {
+        SimConfig {
+            num_users: 6,
+            total_slots: 1200,
+            arrival_probability: 0.005,
+            policy,
+            record_every_slots: 30,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Returns a copy with a different Lyapunov knob `V`.
+    #[must_use]
+    pub fn with_v(mut self, v: f64) -> Self {
+        self.scheduler = self.scheduler.with_v(v);
+        self
+    }
+
+    /// Returns a copy with a different staleness bound `L_b`.
+    #[must_use]
+    pub fn with_staleness_bound(mut self, lb: f64) -> Self {
+        self.scheduler = self.scheduler.with_staleness_bound(lb);
+        self
+    }
+
+    /// Returns a copy with a different arrival probability.
+    #[must_use]
+    pub fn with_arrival_probability(mut self, p: f64) -> Self {
+        self.arrival_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the ML workload enabled.
+    #[must_use]
+    pub fn with_ml(mut self, ml: MlConfig) -> Self {
+        self.ml = Some(ml);
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Basic validity check.
+    pub fn is_valid(&self) -> bool {
+        self.num_users > 0
+            && self.total_slots > 0
+            && self.slot_seconds > 0.0
+            && (0.0..=1.0).contains(&self.arrival_probability)
+            && self.record_every_slots > 0
+            && self.scheduler.is_valid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_evaluation() {
+        let c = SimConfig::default();
+        assert_eq!(c.num_users, 25);
+        assert_eq!(c.total_slots, 10_800);
+        assert_eq!(c.arrival_probability, 0.001);
+        assert_eq!(c.scheduler.v, 4000.0);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn builders_produce_valid_configs() {
+        let c = SimConfig::paper_default(PolicyKind::Offline)
+            .with_v(1000.0)
+            .with_staleness_bound(500.0)
+            .with_arrival_probability(0.01)
+            .with_seed(7)
+            .with_ml(MlConfig::tiny());
+        assert_eq!(c.policy, PolicyKind::Offline);
+        assert_eq!(c.scheduler.v, 1000.0);
+        assert_eq!(c.scheduler.staleness_bound, 500.0);
+        assert_eq!(c.arrival_probability, 0.01);
+        assert_eq!(c.seed, 7);
+        assert!(c.ml.is_some());
+        assert!(c.is_valid());
+        assert!(SimConfig::small(PolicyKind::Online).is_valid());
+    }
+
+    #[test]
+    fn arrival_probability_is_clamped() {
+        let c = SimConfig::default().with_arrival_probability(7.0);
+        assert_eq!(c.arrival_probability, 1.0);
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut c = SimConfig::default();
+        c.num_users = 0;
+        assert!(!c.is_valid());
+        let mut c2 = SimConfig::default();
+        c2.record_every_slots = 0;
+        assert!(!c2.is_valid());
+    }
+
+    #[test]
+    fn device_assignment_variants() {
+        assert_eq!(DeviceAssignment::Uniform(DeviceKind::Nexus6).device_for(7), DeviceKind::Nexus6);
+        let rr = DeviceAssignment::RoundRobinTestbed;
+        assert_eq!(rr.device_for(0), DeviceKind::Nexus6);
+        assert_eq!(rr.device_for(3), DeviceKind::Pixel2);
+        assert_eq!(rr.device_for(4), DeviceKind::Nexus6);
+        let custom = DeviceAssignment::Custom(vec![DeviceKind::Pixel2, DeviceKind::Hikey970]);
+        assert_eq!(custom.device_for(1), DeviceKind::Hikey970);
+        assert_eq!(custom.device_for(2), DeviceKind::Pixel2);
+        assert_eq!(DeviceAssignment::Custom(vec![]).device_for(9), DeviceKind::Pixel2);
+        assert_eq!(DeviceAssignment::default(), DeviceAssignment::RoundRobinTestbed);
+    }
+
+    #[test]
+    fn ml_config_presets() {
+        let tiny = MlConfig::tiny();
+        assert!(tiny.total_examples < MlConfig::default().total_examples);
+        assert_eq!(MlConfig::default().batch_size, 20);
+    }
+}

@@ -1,0 +1,278 @@
+//! The per-user device state machine.
+//!
+//! Every simulated user owns one device. The training lifecycle follows the
+//! paper's system model (Section III-B): the device downloads the global
+//! model and becomes *waiting*; the scheduler decides each slot whether to
+//! start training (possibly co-running with a foreground application); once
+//! training finishes the local update is uploaded and the device immediately
+//! becomes available for the next epoch. Foreground applications arrive
+//! independently of the training lifecycle and run for their Table-II
+//! duration.
+
+use serde::{Deserialize, Serialize};
+
+use fedco_device::apps::AppKind;
+use fedco_device::power::{AppStatus, PowerState};
+use fedco_device::profiles::{DeviceKind, DeviceProfile};
+use fedco_fl::model_state::ModelVersion;
+use fedco_fl::staleness::GapAccumulator;
+
+/// The training phase of a user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrainingPhase {
+    /// The device holds a fresh model snapshot and waits for the scheduler.
+    Waiting,
+    /// Training is running; `remaining_slots` slots are left; `corunning`
+    /// records whether it was started together with an application.
+    Training {
+        /// Slots left until the local epoch completes.
+        remaining_slots: u64,
+        /// Whether the epoch was started as a co-run.
+        corunning: bool,
+    },
+    /// The user finished all work for this round and waits for the barrier
+    /// (only used by the Sync-SGD baseline).
+    RoundBarrier,
+}
+
+/// One simulated user and its device.
+#[derive(Debug, Clone)]
+pub struct SimUser {
+    /// The user identifier.
+    pub id: usize,
+    /// The device model assigned to this user.
+    pub device: DeviceKind,
+    /// The device's power/time calibration.
+    pub profile: DeviceProfile,
+    /// Current training phase.
+    pub phase: TrainingPhase,
+    /// Remaining slots of the currently running foreground application.
+    pub app_remaining_slots: u64,
+    /// Which application is currently in the foreground.
+    pub current_app: Option<AppKind>,
+    /// Version of the global model this user last downloaded.
+    pub base_version: ModelVersion,
+    /// Per-user gradient-gap accumulator (Eq. 12).
+    pub gap: GapAccumulator,
+    /// Number of local epochs this user has completed.
+    pub epochs_completed: u64,
+    /// Number of slots this user spent waiting.
+    pub waiting_slots: u64,
+    /// Slots spent waiting since the user last became ready (its current
+    /// contribution to the task-queue backlog; reset when training starts).
+    pub current_wait_slots: u64,
+    /// Number of epochs started as co-runs.
+    pub corun_epochs: u64,
+}
+
+impl SimUser {
+    /// Creates a user in the waiting state with an empty gap accumulator.
+    pub fn new(id: usize, device: DeviceKind, epsilon: f64) -> Self {
+        SimUser {
+            id,
+            device,
+            profile: device.profile(),
+            phase: TrainingPhase::Waiting,
+            app_remaining_slots: 0,
+            current_app: None,
+            base_version: ModelVersion::INITIAL,
+            gap: GapAccumulator::new(epsilon),
+            epochs_completed: 0,
+            waiting_slots: 0,
+            current_wait_slots: 0,
+            corun_epochs: 0,
+        }
+    }
+
+    /// Whether a foreground application is currently running.
+    pub fn app_running(&self) -> bool {
+        self.app_remaining_slots > 0 && self.current_app.is_some()
+    }
+
+    /// The current application status for the power model.
+    pub fn app_status(&self) -> AppStatus {
+        match (self.app_running(), self.current_app) {
+            (true, Some(app)) => AppStatus::App(app),
+            _ => AppStatus::NoApp,
+        }
+    }
+
+    /// Whether the user is waiting for a scheduling decision.
+    pub fn is_waiting(&self) -> bool {
+        matches!(self.phase, TrainingPhase::Waiting)
+    }
+
+    /// Whether training is currently running.
+    pub fn is_training(&self) -> bool {
+        matches!(self.phase, TrainingPhase::Training { .. })
+    }
+
+    /// Starts a foreground application for the given number of slots.
+    /// Arrivals while another app is running replace it (the user switched
+    /// apps).
+    pub fn start_app(&mut self, app: AppKind, duration_slots: u64) {
+        self.current_app = Some(app);
+        self.app_remaining_slots = duration_slots.max(1);
+    }
+
+    /// Starts training for the given number of slots; `corunning` records
+    /// whether an app is in the foreground at start time.
+    pub fn start_training(&mut self, duration_slots: u64, corunning: bool) {
+        self.phase = TrainingPhase::Training { remaining_slots: duration_slots.max(1), corunning };
+        self.current_wait_slots = 0;
+        if corunning {
+            self.corun_epochs += 1;
+        }
+    }
+
+    /// The Eq.-10 power state for the current slot.
+    pub fn power_state(&self) -> PowerState {
+        match (self.is_training(), self.app_status()) {
+            (true, AppStatus::App(a)) => PowerState::CoRunning(a),
+            (true, AppStatus::NoApp) => PowerState::TrainingOnly,
+            (false, AppStatus::App(a)) => PowerState::AppOnly(a),
+            (false, AppStatus::NoApp) => PowerState::Idle,
+        }
+    }
+
+    /// Advances app and training timers by one slot. Returns `true` when a
+    /// training epoch completed during this slot.
+    pub fn tick(&mut self) -> bool {
+        if self.app_remaining_slots > 0 {
+            self.app_remaining_slots -= 1;
+            if self.app_remaining_slots == 0 {
+                self.current_app = None;
+            }
+        }
+        match &mut self.phase {
+            TrainingPhase::Training { remaining_slots, .. } => {
+                *remaining_slots -= 1;
+                if *remaining_slots == 0 {
+                    self.epochs_completed += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            TrainingPhase::Waiting => {
+                self.waiting_slots += 1;
+                self.current_wait_slots += 1;
+                false
+            }
+            TrainingPhase::RoundBarrier => false,
+        }
+    }
+
+    /// Puts the user back into the waiting state (after its upload was
+    /// applied and it re-downloaded the global model).
+    pub fn become_waiting(&mut self, new_base: ModelVersion) {
+        self.phase = TrainingPhase::Waiting;
+        self.base_version = new_base;
+        self.gap.reset();
+        self.current_wait_slots = 0;
+    }
+
+    /// Parks the user at the synchronous round barrier.
+    pub fn enter_barrier(&mut self) {
+        self.phase = TrainingPhase::RoundBarrier;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user() -> SimUser {
+        SimUser::new(0, DeviceKind::Pixel2, 0.1)
+    }
+
+    #[test]
+    fn new_user_waits_with_no_app() {
+        let u = user();
+        assert!(u.is_waiting());
+        assert!(!u.is_training());
+        assert!(!u.app_running());
+        assert_eq!(u.app_status(), AppStatus::NoApp);
+        assert_eq!(u.power_state(), PowerState::Idle);
+        assert_eq!(u.epochs_completed, 0);
+    }
+
+    #[test]
+    fn app_lifecycle() {
+        let mut u = user();
+        u.start_app(AppKind::Tiktok, 3);
+        assert!(u.app_running());
+        assert_eq!(u.app_status(), AppStatus::App(AppKind::Tiktok));
+        assert_eq!(u.power_state(), PowerState::AppOnly(AppKind::Tiktok));
+        u.tick();
+        u.tick();
+        assert!(u.app_running());
+        u.tick();
+        assert!(!u.app_running());
+        assert_eq!(u.current_app, None);
+    }
+
+    #[test]
+    fn training_lifecycle_and_power_states() {
+        let mut u = user();
+        u.start_app(AppKind::Map, 10);
+        u.start_training(2, true);
+        assert!(u.is_training());
+        assert_eq!(u.power_state(), PowerState::CoRunning(AppKind::Map));
+        assert_eq!(u.corun_epochs, 1);
+        assert!(!u.tick());
+        assert!(u.tick(), "second slot completes the epoch");
+        assert_eq!(u.epochs_completed, 1);
+        // Still in Training phase bookkeeping until the engine re-queues it.
+        u.become_waiting(ModelVersion(4));
+        assert!(u.is_waiting());
+        assert_eq!(u.base_version, ModelVersion(4));
+    }
+
+    #[test]
+    fn training_without_app_is_background_state() {
+        let mut u = user();
+        u.start_training(5, false);
+        assert_eq!(u.power_state(), PowerState::TrainingOnly);
+        assert_eq!(u.corun_epochs, 0);
+    }
+
+    #[test]
+    fn waiting_slots_are_counted() {
+        let mut u = user();
+        u.tick();
+        u.tick();
+        assert_eq!(u.waiting_slots, 2);
+        u.start_training(1, false);
+        u.tick();
+        assert_eq!(u.waiting_slots, 2);
+    }
+
+    #[test]
+    fn barrier_state_is_inert() {
+        let mut u = user();
+        u.enter_barrier();
+        assert!(!u.is_waiting());
+        assert!(!u.is_training());
+        assert!(!u.tick());
+        assert_eq!(u.power_state(), PowerState::Idle);
+    }
+
+    #[test]
+    fn app_switch_replaces_current_app() {
+        let mut u = user();
+        u.start_app(AppKind::Map, 100);
+        u.start_app(AppKind::Zoom, 50);
+        assert_eq!(u.app_status(), AppStatus::App(AppKind::Zoom));
+        assert_eq!(u.app_remaining_slots, 50);
+    }
+
+    #[test]
+    fn zero_durations_are_clamped_to_one_slot() {
+        let mut u = user();
+        u.start_app(AppKind::News, 0);
+        assert!(u.app_running());
+        u.start_training(0, false);
+        assert!(u.tick());
+    }
+}

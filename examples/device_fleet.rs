@@ -1,0 +1,57 @@
+//! Inspect the per-device co-running economics of Table II and simulate a
+//! heterogeneous fleet with battery accounting.
+//!
+//! ```text
+//! cargo run --release --example device_fleet
+//! ```
+
+use fedco::prelude::*;
+
+fn main() {
+    println!("Per-device co-running savings calibrated from Table II\n");
+    println!("{:<10} {:<12} {:>10} {:>10} {:>10} {:>9}", "device", "app", "P_a (W)", "P_a' (W)", "time (s)", "saving");
+    for device in DeviceKind::ALL {
+        let profile = device.profile();
+        for app in [AppKind::Map, AppKind::Youtube, AppKind::CandyCrush] {
+            let m = profile.app_measurement(app);
+            println!(
+                "{:<10} {:<12} {:>10.2} {:>10.2} {:>10.0} {:>8.0}%",
+                device.name(),
+                app.name(),
+                m.app_power_w,
+                m.corun_power_w,
+                m.corun_time_s,
+                profile.corun_saving_fraction(app) * 100.0
+            );
+        }
+    }
+
+    // How long would one training epoch take off the battery of each device?
+    println!("\nBattery impact of one background training epoch:");
+    for device in DeviceKind::ALL {
+        let profile = device.profile();
+        let mut battery = Battery::for_device(device);
+        let energy = profile.training_power() * profile.training_time();
+        battery.drain(energy);
+        println!(
+            "{:<10} epoch energy {:>8.1} J  state of charge after one epoch: {:>6.2} %",
+            device.name(),
+            energy.value(),
+            battery.state_of_charge() * 100.0
+        );
+    }
+
+    // A small heterogeneous fleet under the online controller.
+    let config = SimConfig {
+        num_users: 12,
+        total_slots: 1800,
+        arrival_probability: 0.003,
+        policy: PolicyKind::Online,
+        devices: DeviceAssignment::RoundRobinTestbed,
+        ..SimConfig::default()
+    };
+    let result = run_simulation(config);
+    println!("\nHeterogeneous fleet, online controller:");
+    println!("{}", summarize(&result));
+    println!("co-run epochs: {} of {} updates", result.corun_epochs, result.total_updates);
+}

@@ -1,0 +1,36 @@
+//! Quickstart: run the paper's evaluation setting (scaled down to a few
+//! minutes of simulated time) under the online Lyapunov controller and the
+//! immediate-scheduling baseline, and compare their energy and staleness.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fedco::prelude::*;
+
+fn main() {
+    // A 25-user fleet mixing the four testbed devices, one-second slots,
+    // 30 simulated minutes, one app arrival per ~500 s per user.
+    let base = SimConfig {
+        num_users: 25,
+        total_slots: 1800,
+        arrival_probability: 0.002,
+        ..SimConfig::default()
+    };
+
+    println!("fedco quickstart — online controller vs immediate scheduling");
+    println!("users: {}, horizon: {} s, arrival p: {}\n", base.num_users, base.total_slots, base.arrival_probability);
+
+    let immediate = run_simulation(SimConfig { policy: PolicyKind::Immediate, ..base.clone() });
+    let online = run_simulation(SimConfig { policy: PolicyKind::Online, ..base.clone() });
+
+    println!("{}", summarize(&immediate));
+    println!("{}", summarize(&online));
+
+    let saving = 1.0 - online.total_energy_j / immediate.total_energy_j;
+    println!("\nenergy saving of the online controller vs immediate: {:.1} %", saving * 100.0);
+    println!("updates made: immediate {} vs online {}", immediate.total_updates, online.total_updates);
+
+    println!("\nenergy breakdown (online):");
+    print!("{}", render_breakdown(&online));
+}

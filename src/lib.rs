@@ -1,0 +1,73 @@
+//! # fedco
+//!
+//! `fedco` is a Rust reproduction of *"Energy Minimization for Federated
+//! Asynchronous Learning on Battery-Powered Mobile Devices via Application
+//! Co-running"* (Wang, Hu and Wu, ICDCS 2022).
+//!
+//! The paper schedules federated training jobs on mobile devices so that they
+//! *co-run* with foreground applications on the big.LITTLE CPU, saving
+//! 30–50 % of energy per epoch, and manages the resulting gradient staleness
+//! with an offline knapsack scheduler and an online Lyapunov controller.
+//!
+//! This facade crate re-exports the five underlying crates:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`neural`] | tensors, LeNet-5 layers, SGD with momentum, synthetic CIFAR-like data |
+//! | [`device`] | device/app power calibration (Table II/III), big.LITTLE, battery, FPS, JobScheduler |
+//! | [`fl`] | parameter server, async/sync aggregation, lag and gradient-gap staleness metrics |
+//! | [`core`] | the paper's schedulers: offline knapsack DP and online drift-plus-penalty |
+//! | [`sim`] | the slotted simulator reproducing the paper's 3-hour, 25-user evaluation |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use fedco::prelude::*;
+//!
+//! // Run the paper's main setting with the online controller.
+//! let result = run_simulation(SimConfig::small(PolicyKind::Online));
+//! println!("total energy: {:.1} kJ", result.total_energy_kj());
+//! ```
+//!
+//! The runnable examples in `examples/` and the benchmark binaries in
+//! `crates/bench` regenerate every table and figure of the paper's
+//! evaluation; see `EXPERIMENTS.md` for the index.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fedco_core as core;
+pub use fedco_device as device;
+pub use fedco_fl as fl;
+pub use fedco_neural as neural;
+pub use fedco_sim as sim;
+
+/// One-stop imports for applications built on `fedco`.
+pub mod prelude {
+    pub use fedco_core::prelude::*;
+    pub use fedco_device::prelude::*;
+    pub use fedco_fl::{
+        AsyncUpdateRule, ClientConfig, FlClient, GapAccumulator, GradientGap, Lag, LocalUpdate,
+        ModelSnapshot, ModelVersion, MomentumTracker, ParameterServer, PartitionStrategy,
+        TransportModel, WeightPredictor,
+    };
+    pub use fedco_neural::{
+        Dataset, LeNetConfig, ParamVector, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy,
+        SyntheticCifarConfig, Tensor,
+    };
+    pub use fedco_sim::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.num_users, 25);
+        let profile = DeviceKind::Pixel2.profile();
+        assert!(profile.training_power_w > 0.0);
+        let sched = OnlineScheduler::new(SchedulerConfig::default());
+        assert_eq!(sched.queue_backlog(), 0.0);
+    }
+}
