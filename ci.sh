@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point — everything runs offline (no crates.io access; the
+# workspace has zero external dependencies, see README.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline (all targets)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> example smoke tests"
+for ex in quickstart device_fleet energy_tradeoff arrival_patterns; do
+    echo "--> example: $ex"
+    timeout 60 cargo run --release --offline --example "$ex" >/dev/null
+done
+
+echo "CI green."

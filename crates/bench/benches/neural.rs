@@ -1,21 +1,23 @@
-//! Criterion benchmarks of the on-device training substrate: LeNet forward /
+//! Micro-benchmarks of the on-device training substrate: LeNet forward /
 //! forward+backward throughput and the parameter arithmetic used for the
 //! 2.5 MB model exchange and the gradient-gap metric.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use fedco_bench::micro;
 use fedco_neural::data::SyntheticCifarConfig;
 use fedco_neural::lenet::LeNetConfig;
 use fedco_neural::loss::SoftmaxCrossEntropy;
 use fedco_neural::optimizer::Sgd;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::SeedableRng;
 
-fn bench_lenet(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lenet");
-    group.sample_size(10);
-    for (name, cfg) in [("tiny", LeNetConfig::tiny()), ("compact", LeNetConfig::compact())] {
+fn bench_lenet() {
+    micro::group("lenet");
+    for (name, cfg) in [
+        ("tiny", LeNetConfig::tiny()),
+        ("compact", LeNetConfig::compact()),
+    ] {
         let mut rng = SmallRng::seed_from_u64(0);
         let mut net = cfg.build(&mut rng);
         let data = SyntheticCifarConfig {
@@ -28,39 +30,39 @@ fn bench_lenet(c: &mut Criterion) {
         }
         .generate();
         let (x, y) = data.batch(0, 20).unwrap();
-        group.bench_with_input(BenchmarkId::new("forward", name), &(), |b, _| {
-            b.iter(|| black_box(net.forward(black_box(&x), false).unwrap()))
+        micro::bench(&format!("lenet/forward/{name}"), || {
+            black_box(net.forward(black_box(&x), false).unwrap());
         });
         let loss = SoftmaxCrossEntropy::new();
         let mut opt = Sgd::with_learning_rate(0.05);
-        group.bench_with_input(BenchmarkId::new("train_batch", name), &(), |b, _| {
-            b.iter(|| black_box(net.train_batch(&x, &y, &loss, &mut opt).unwrap()))
+        micro::bench(&format!("lenet/train_batch/{name}"), || {
+            black_box(net.train_batch(&x, &y, &loss, &mut opt).unwrap());
         });
     }
-    group.finish();
 }
 
-fn bench_param_vector(c: &mut Criterion) {
+fn bench_param_vector() {
     let mut rng = SmallRng::seed_from_u64(0);
     let cfg = LeNetConfig::lenet5();
     let net = cfg.build(&mut rng);
     let params = net.parameters();
     let other = params.scale(0.99);
-    c.bench_function("param_vector_distance_lenet5", |b| {
-        b.iter(|| black_box(params.distance_l2(black_box(&other)).unwrap()))
+    micro::group("param_vector");
+    micro::bench("param_vector_distance_lenet5", || {
+        black_box(params.distance_l2(black_box(&other)).unwrap());
     });
-    c.bench_function("param_vector_average_lenet5", |b| {
-        b.iter(|| {
-            black_box(
-                fedco_neural::ParamVector::weighted_average(
-                    &[params.clone(), other.clone()],
-                    &[1.0, 1.0],
-                )
-                .unwrap(),
+    micro::bench("param_vector_average_lenet5", || {
+        black_box(
+            fedco_neural::ParamVector::weighted_average(
+                &[params.clone(), other.clone()],
+                &[1.0, 1.0],
             )
-        })
+            .unwrap(),
+        );
     });
 }
 
-criterion_group!(benches, bench_lenet, bench_param_vector);
-criterion_main!(benches);
+fn main() {
+    bench_lenet();
+    bench_param_vector();
+}

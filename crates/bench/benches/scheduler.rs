@@ -1,15 +1,15 @@
-//! Criterion micro-benchmarks of the paper's schedulers: the per-slot
-//! online decision rule (Table III argues it is lightweight) and the offline
-//! knapsack DP, whose cost scales as O(n · L_b) (Algorithm 1).
+//! Micro-benchmarks of the paper's schedulers: the per-slot online decision
+//! rule (Table III argues it is lightweight) and the offline knapsack DP,
+//! whose cost scales as O(n · L_b) (Algorithm 1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use fedco_bench::micro;
 use fedco_core::prelude::*;
 use fedco_device::prelude::*;
 use fedco_fl::staleness::{GradientGap, WeightPredictor};
 
-fn bench_online_decision(c: &mut Criterion) {
+fn bench_online_decision() {
     let scheduler = OnlineScheduler::new(SchedulerConfig::default());
     let profile = DeviceKind::Pixel2.profile();
     let input = OnlineDecisionInput::from_profile(
@@ -18,33 +18,39 @@ fn bench_online_decision(c: &mut Criterion) {
         GradientGap(1.2),
         GradientGap(0.4),
     );
-    c.bench_function("online_decision_eq21", |b| {
-        b.iter(|| black_box(scheduler.decide(black_box(&input))))
+    micro::bench("online_decision_eq21", || {
+        black_box(scheduler.decide(black_box(&input)));
     });
 
-    let mut group = c.benchmark_group("online_full_slot");
+    micro::group("online_full_slot");
     for users in [25usize, 100, 400] {
-        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &n| {
-            let mut sched = OnlineScheduler::new(SchedulerConfig::default());
-            b.iter(|| {
-                let mut scheduled = 0usize;
-                for _ in 0..n {
-                    if sched.decide(&input) == SlotDecision::Schedule {
-                        scheduled += 1;
-                    }
+        let mut sched = OnlineScheduler::new(SchedulerConfig::default());
+        micro::bench(&format!("online_full_slot/{users}"), || {
+            let mut scheduled = 0usize;
+            for _ in 0..users {
+                if sched.decide(&input) == SlotDecision::Schedule {
+                    scheduled += 1;
                 }
-                sched.end_of_slot(&SlotOutcome { arrivals: n, scheduled, gap_sum: 50.0 });
-                black_box(sched.queue_backlog())
-            })
+            }
+            sched.end_of_slot(&SlotOutcome {
+                arrivals: users,
+                scheduled,
+                gap_sum: 50.0,
+            });
+            black_box(sched.queue_backlog());
         });
     }
-    group.finish();
 }
 
-fn bench_offline_knapsack(c: &mut Criterion) {
+fn bench_offline_knapsack() {
     let predictor = WeightPredictor::new(0.05, 0.9);
-    let mut group = c.benchmark_group("offline_knapsack");
-    for &(users, budget) in &[(25usize, 1000.0f64), (100, 1000.0), (25, 10_000.0), (200, 5000.0)] {
+    micro::group("offline_knapsack");
+    for &(users, budget) in &[
+        (25usize, 1000.0f64),
+        (100, 1000.0),
+        (25, 10_000.0),
+        (200, 5000.0),
+    ] {
         let items: Vec<KnapsackItem> = (0..users)
             .map(|i| KnapsackItem {
                 user_id: i,
@@ -53,34 +59,35 @@ fn bench_offline_knapsack(c: &mut Criterion) {
             })
             .collect();
         let scheduler = OfflineScheduler::new(budget, predictor);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{users}_Lb{budget}")),
-            &items,
-            |b, items| b.iter(|| black_box(scheduler.solve(black_box(items)))),
-        );
+        micro::bench(&format!("offline_knapsack/n{users}_Lb{budget}"), || {
+            black_box(scheduler.solve(black_box(&items)));
+        });
     }
-    group.finish();
 
     // Lemma-1 lag bound over a realistic window description.
     let users: Vec<OfflineUser> = (0..100)
         .map(|i| OfflineUser {
             id: i,
             ready_time_s: (i as f64 * 7.0) % 500.0,
-            app_arrival_s: if i % 3 == 0 { Some((i as f64 * 11.0) % 500.0) } else { None },
+            app_arrival_s: if i % 3 == 0 {
+                Some((i as f64 * 11.0) % 500.0)
+            } else {
+                None
+            },
             duration_s: 200.0 + (i as f64 * 3.0) % 100.0,
             energy_saving_j: 100.0,
         })
         .collect();
-    c.bench_function("lemma1_lag_bound_100_users", |b| {
-        b.iter(|| {
-            let mut total = 0u64;
-            for i in 0..users.len() {
-                total += lag_bound(black_box(&users), i).value();
-            }
-            black_box(total)
-        })
+    micro::bench("lemma1_lag_bound_100_users", || {
+        let mut total = 0u64;
+        for i in 0..users.len() {
+            total += lag_bound(black_box(&users), i).value();
+        }
+        black_box(total);
     });
 }
 
-criterion_group!(benches, bench_online_decision, bench_offline_knapsack);
-criterion_main!(benches);
+fn main() {
+    bench_online_decision();
+    bench_offline_knapsack();
+}

@@ -1,32 +1,32 @@
-//! Criterion benchmark of full (energy-only) simulation throughput: one
+//! Micro-benchmark of full (energy-only) simulation throughput: one
 //! scaled-down slot loop per policy, demonstrating that regenerating every
 //! figure is cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use fedco_bench::micro;
 use fedco_sim::prelude::*;
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation_1800_slots_25_users");
-    group.sample_size(10);
-    for policy in [PolicyKind::Immediate, PolicyKind::Online, PolicyKind::Offline, PolicyKind::SyncSgd]
-    {
-        group.bench_with_input(BenchmarkId::from_parameter(policy.label()), &policy, |b, &p| {
-            b.iter(|| {
+fn main() {
+    micro::group("simulation_1800_slots_25_users");
+    for policy in [
+        PolicyKind::Immediate,
+        PolicyKind::Online,
+        PolicyKind::Offline,
+        PolicyKind::SyncSgd,
+    ] {
+        micro::bench(
+            &format!("simulation_1800_slots_25_users/{}", policy.label()),
+            || {
                 let cfg = SimConfig {
                     num_users: 25,
                     total_slots: 1800,
                     arrival_probability: 0.002,
-                    policy: p,
+                    policy,
                     ..SimConfig::default()
                 };
-                black_box(run_simulation(cfg))
-            })
-        });
+                black_box(run_simulation(cfg));
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);

@@ -23,7 +23,14 @@ fn figure_for(device: DeviceKind) -> String {
         .collect();
     render_table(
         &format!("Fig. 1 — Energy of schedules on {} (J)", device.name()),
-        &["app", "training (separate)", "app (separate)", "separate total", "co-running", "saving"],
+        &[
+            "app",
+            "training (separate)",
+            "app (separate)",
+            "separate total",
+            "co-running",
+            "saving",
+        ],
         &rows,
     )
 }

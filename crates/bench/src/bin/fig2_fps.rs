@@ -18,10 +18,18 @@ fn main() {
         let corun = model.trace(duration, true);
         let (ma, mina, maxa) = trace_stats(&alone);
         let (mc, minc, maxc) = trace_stats(&corun);
-        println!("{} ({} s trace, target {} FPS)", app.name(), duration, app.target_fps());
+        println!(
+            "{} ({} s trace, target {} FPS)",
+            app.name(),
+            duration,
+            app.target_fps()
+        );
         println!("  running alone : mean {ma:6.1} FPS   min {mina:5.1}   max {maxa:5.1}");
         println!("  co-running    : mean {mc:6.1} FPS   min {minc:5.1}   max {maxc:5.1}");
-        println!("  perceived slowdown of the mean: {:.1}%\n", (ma - mc) / ma * 100.0);
+        println!(
+            "  perceived slowdown of the mean: {:.1}%\n",
+            (ma - mc) / ma * 100.0
+        );
 
         // Print a coarse per-10-second series so the trace shape is visible.
         println!("  t(s)   alone  corun");

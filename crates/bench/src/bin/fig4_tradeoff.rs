@@ -31,7 +31,9 @@ fn main() {
     let mut frontier: Vec<(f64, f64, f64)> = Vec::new();
     for &lb in &lb_values {
         for &v in &v_values {
-            let cfg = paper_config(PolicyKind::Online).with_v(v).with_staleness_bound(lb);
+            let cfg = paper_config(PolicyKind::Online)
+                .with_v(v)
+                .with_staleness_bound(lb);
             let r = run_simulation(cfg);
             println!(
                 "{:>8.0} {:>8.0} | {:>13.1} {:>12.1} {:>12.1} {:>9}",

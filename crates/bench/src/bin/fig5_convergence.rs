@@ -8,7 +8,9 @@ use fedco_bench::paper_config;
 use fedco_sim::prelude::*;
 
 fn config(policy: PolicyKind) -> SimConfig {
-    let mut cfg = paper_config(policy).with_v(4000.0).with_staleness_bound(500.0);
+    let mut cfg = paper_config(policy)
+        .with_v(4000.0)
+        .with_staleness_bound(500.0);
     cfg.ml = Some(MlConfig::default());
     cfg.record_user_gaps = true;
     cfg.record_every_slots = 120;
@@ -17,9 +19,16 @@ fn config(policy: PolicyKind) -> SimConfig {
 
 fn main() {
     println!("Reproduction of Fig. 5 (real LeNet training on synthetic CIFAR-like data).\n");
-    let policies =
-        [PolicyKind::Online, PolicyKind::Offline, PolicyKind::Immediate, PolicyKind::SyncSgd];
-    let results: Vec<SimResult> = policies.iter().map(|&p| run_simulation(config(p))).collect();
+    let policies = [
+        PolicyKind::Online,
+        PolicyKind::Offline,
+        PolicyKind::Immediate,
+        PolicyKind::SyncSgd,
+    ];
+    let results: Vec<SimResult> = policies
+        .iter()
+        .map(|&p| run_simulation(config(p)))
+        .collect();
 
     for r in &results {
         println!("  {}", summarize(r));
@@ -42,11 +51,17 @@ fn main() {
 
     // Fig. 5(b): accuracy curves.
     println!("Fig. 5(b) — test accuracy over time:");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "t (s)", "online", "offline", "immediate", "sync");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "t (s)", "online", "offline", "immediate", "sync"
+    );
     let len = results.iter().map(|r| r.trace.len()).min().unwrap_or(0);
     for i in (0..len).step_by(5) {
         let acc = |r: &SimResult| {
-            r.trace[i].accuracy.map(|a| format!("{:.1}%", a * 100.0)).unwrap_or_else(|| "-".into())
+            r.trace[i]
+                .accuracy
+                .map(|a| format!("{:.1}%", a * 100.0))
+                .unwrap_or_else(|| "-".into())
         };
         println!(
             "{:>8.0} {:>10} {:>10} {:>10} {:>10}",
@@ -85,7 +100,11 @@ fn main() {
     // Fig. 5(d): per-user gradient-gap variance.
     println!("Fig. 5(d) — per-user gradient-gap variance (staleness dispersion):");
     for r in &results {
-        println!("  {:<10} variance {:>10.3}", r.policy.label(), r.user_gap_variance());
+        println!(
+            "  {:<10} variance {:>10.3}",
+            r.policy.label(),
+            r.user_gap_variance()
+        );
     }
     println!(
         "\nPaper reference: Immediate has the smallest variance, Offline the largest,\n\

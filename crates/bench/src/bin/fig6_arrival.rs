@@ -10,13 +10,15 @@ fn main() {
 
     // (a) Energy vs arrival probability.
     println!("Fig. 6(a) — energy (kJ) vs application arrival probability:");
-    println!("{:>12} {:>12} {:>12} {:>12}", "arrival p", "Online", "Immediate", "Offline");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "arrival p", "Online", "Immediate", "Offline"
+    );
     for p in [1e-4, 1e-3, 0.01, 0.05, 0.1, 0.2] {
         let online = run_simulation(paper_config(PolicyKind::Online).with_arrival_probability(p));
         let immediate =
             run_simulation(paper_config(PolicyKind::Immediate).with_arrival_probability(p));
-        let offline =
-            run_simulation(paper_config(PolicyKind::Offline).with_arrival_probability(p));
+        let offline = run_simulation(paper_config(PolicyKind::Offline).with_arrival_probability(p));
         println!(
             "{:>12.4} {:>12.1} {:>12.1} {:>12.1}",
             p,
@@ -30,10 +32,17 @@ fn main() {
     // (b) Accuracy under scarce arrivals (with the real ML workload, smaller
     // fleet so the sweep stays fast).
     println!("Fig. 6(b) — test accuracy with scarce application arrivals:");
-    println!("{:>12} {:>12} {:>12} {:>12}", "arrival p", "Online", "Immediate", "Offline");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "arrival p", "Online", "Immediate", "Offline"
+    );
     for p in [1e-4, 5e-4, 1e-3] {
         let mut accs = Vec::new();
-        for policy in [PolicyKind::Online, PolicyKind::Immediate, PolicyKind::Offline] {
+        for policy in [
+            PolicyKind::Online,
+            PolicyKind::Immediate,
+            PolicyKind::Offline,
+        ] {
             let mut cfg = paper_config(policy).with_arrival_probability(p);
             cfg.num_users = 10;
             cfg.ml = Some(MlConfig::default());

@@ -30,7 +30,13 @@ fn main() {
             "{}",
             render_table(
                 &format!("Table II — {}", device.name()),
-                &["app", "app power (W)", "co-run power (W)", "time (s)", "saving"],
+                &[
+                    "app",
+                    "app power (W)",
+                    "co-run power (W)",
+                    "time (s)",
+                    "saving"
+                ],
                 &rows,
             )
         );

@@ -2,10 +2,15 @@
 //!
 //! Benchmark harness of the `fedco` reproduction: one binary per table and
 //! figure of the paper's evaluation (see `EXPERIMENTS.md` at the workspace
-//! root for the index) plus Criterion micro-benchmarks of the scheduler and
-//! the neural substrate.
+//! root for the index) plus [`micro`] std-`Instant` micro-benchmarks of the
+//! scheduler and the neural substrate.
 //!
 //! Shared helpers used by the figure binaries live here.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod micro;
 
 use fedco_sim::prelude::*;
 
@@ -13,7 +18,10 @@ use fedco_sim::prelude::*;
 /// finish in seconds on a laptop. Set the environment variable
 /// `FEDCO_FULL_SCALE=1` to run the full 10 800-slot horizon instead.
 pub fn horizon_slots() -> u64 {
-    if std::env::var("FEDCO_FULL_SCALE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("FEDCO_FULL_SCALE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         10_800
     } else {
         3_600
@@ -23,7 +31,10 @@ pub fn horizon_slots() -> u64 {
 /// The paper's evaluation configuration for a policy, scaled by
 /// [`horizon_slots`].
 pub fn paper_config(policy: PolicyKind) -> SimConfig {
-    SimConfig { total_slots: horizon_slots(), ..SimConfig::paper_default(policy) }
+    SimConfig {
+        total_slots: horizon_slots(),
+        ..SimConfig::paper_default(policy)
+    }
 }
 
 /// Formats a fraction as a percentage string.

@@ -1,0 +1,109 @@
+//! A minimal micro-benchmark harness on `std::time::Instant`.
+//!
+//! The offline build cannot use Criterion, so the `benches/` targets are
+//! plain `harness = false` binaries driving this module: each benchmark is
+//! auto-calibrated to a target measurement time, run as several samples, and
+//! reported as median / mean / min ns-per-iteration. Results are printed in
+//! a stable single-line format that is easy to diff between runs.
+//!
+//! Run with `cargo bench --offline`. Set `FEDCO_BENCH_MS` to change the
+//! per-sample time budget (milliseconds, default 100).
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// Per-sample time budget.
+fn sample_budget() -> Duration {
+    let ms = std::env::var("FEDCO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Measures `f`, returning the per-iteration nanoseconds of each sample.
+fn measure<F: FnMut()>(mut f: F) -> Vec<f64> {
+    // Calibration: find an iteration count that fills the sample budget.
+    let budget = sample_budget();
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= budget / 4 || iters >= 1 << 30 {
+            let scale = budget.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = ((iters as f64 * scale).ceil() as u64).max(1);
+            break;
+        }
+        iters = iters.saturating_mul(8);
+    }
+    (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect()
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Runs one named benchmark and prints its summary line.
+pub fn bench<F: FnMut()>(name: &str, f: F) {
+    let mut samples = measure(f);
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples[0];
+    println!(
+        "{name:<44} median {:>12}   mean {:>12}   min {:>12}",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min)
+    );
+}
+
+/// Prints a group header, mirroring Criterion's `benchmark_group` output.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_samples() {
+        std::env::set_var("FEDCO_BENCH_MS", "1");
+        let samples = measure(|| {
+            std::hint::black_box(3u64.wrapping_mul(7));
+        });
+        assert_eq!(samples.len(), SAMPLES);
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.500 s");
+    }
+}

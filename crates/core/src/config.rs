@@ -1,13 +1,11 @@
 //! Configuration of the energy-aware schedulers.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters shared by the offline and online schedulers.
 ///
 /// The defaults follow the paper's evaluation settings (Section VII-B):
 /// 1-second slots, `L_b = 1000`, `V = 4000`, a 500-second look-ahead window
 /// for the offline knapsack, and a small per-slot idle gap increment `ε`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedulerConfig {
     /// Lyapunov control knob `V` trading energy against staleness.
     pub v: f64,
@@ -89,7 +87,10 @@ mod tests {
 
     #[test]
     fn builders_clamp_negative_values() {
-        let c = SchedulerConfig::default().with_v(-1.0).with_staleness_bound(-2.0).with_epsilon(-3.0);
+        let c = SchedulerConfig::default()
+            .with_v(-1.0)
+            .with_staleness_bound(-2.0)
+            .with_epsilon(-3.0);
         assert_eq!(c.v, 0.0);
         assert_eq!(c.staleness_bound, 0.0);
         assert_eq!(c.epsilon, 0.0);
@@ -98,11 +99,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_detected() {
-        let mut c = SchedulerConfig::default();
-        c.slot_seconds = 0.0;
+        let c = SchedulerConfig {
+            slot_seconds: 0.0,
+            ..SchedulerConfig::default()
+        };
         assert!(!c.is_valid());
-        let mut c2 = SchedulerConfig::default();
-        c2.momentum_beta = 1.5;
+        let c2 = SchedulerConfig {
+            momentum_beta: 1.5,
+            ..SchedulerConfig::default()
+        };
         assert!(!c2.is_valid());
     }
 }

@@ -1,11 +1,9 @@
 //! Drift-plus-penalty bounds: the constant `B` of Lemma 2 and the
 //! `[O(1/V), O(V)]` performance bounds of Theorem 1.
 
-use serde::{Deserialize, Serialize};
-
 /// The system-wide maxima entering the Lemma-2 constant
 /// `B = ½(A²_max + B²_max + G²_max + L²_b)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriftBound {
     /// Maximum per-slot arrival count `A_max`.
     pub max_arrivals: f64,

@@ -54,7 +54,9 @@ pub mod prelude {
     pub use crate::offline::{
         greedy_solution, lag_bound, KnapsackItem, OfflineScheduler, OfflineSolution, OfflineUser,
     };
-    pub use crate::online::{DecisionObjectives, OnlineDecisionInput, OnlineScheduler, SlotOutcome};
+    pub use crate::online::{
+        DecisionObjectives, OnlineDecisionInput, OnlineScheduler, SlotOutcome,
+    };
     pub use crate::policy::{
         build_policy, ImmediatePolicy, OfflinePolicy, OnlinePolicy, PolicyKind, SchedulingPolicy,
         SyncSgdPolicy, UserSlotContext,

@@ -9,12 +9,10 @@
 //! gradient gaps of the co-runners staying within the staleness budget `L_b`
 //! (Eq. 5–7).
 
-use serde::{Deserialize, Serialize};
-
 use fedco_fl::staleness::{Lag, WeightPredictor};
 
 /// One user's scheduling situation inside the look-ahead window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OfflineUser {
     /// User identifier.
     pub id: usize,
@@ -67,7 +65,9 @@ pub fn lag_bound(users: &[OfflineUser], i: usize) -> Lag {
         }
         let ends = other.end_times();
         let overlaps = ends.iter().any(|&e| {
-            my_intervals.iter().any(|&(start, stop)| e >= start && e <= stop)
+            my_intervals
+                .iter()
+                .any(|&(start, stop)| e >= start && e <= stop)
         });
         if overlaps {
             count += 1;
@@ -77,7 +77,7 @@ pub fn lag_bound(users: &[OfflineUser], i: usize) -> Lag {
 }
 
 /// A knapsack item: one co-running opportunity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KnapsackItem {
     /// The user this item belongs to.
     pub user_id: usize,
@@ -88,7 +88,7 @@ pub struct KnapsackItem {
 }
 
 /// The solution of the offline problem for one window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OfflineSolution {
     /// Users selected to co-run (`x_i = 1`), by user id.
     pub selected: Vec<usize>,
@@ -106,12 +106,16 @@ impl OfflineSolution {
 
     /// An empty solution (nothing selected).
     pub fn empty() -> Self {
-        OfflineSolution { selected: Vec::new(), total_saving_j: 0.0, total_gap: 0.0 }
+        OfflineSolution {
+            selected: Vec::new(),
+            total_saving_j: 0.0,
+            total_gap: 0.0,
+        }
     }
 }
 
 /// The offline knapsack scheduler (Algorithm 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OfflineScheduler {
     /// Staleness budget `L_b`.
     pub staleness_bound: f64,
@@ -125,7 +129,11 @@ pub struct OfflineScheduler {
 impl OfflineScheduler {
     /// Creates a scheduler with the given staleness budget and predictor.
     pub fn new(staleness_bound: f64, predictor: WeightPredictor) -> Self {
-        OfflineScheduler { staleness_bound: staleness_bound.max(0.0), gap_resolution: 1.0, predictor }
+        OfflineScheduler {
+            staleness_bound: staleness_bound.max(0.0),
+            gap_resolution: 1.0,
+            predictor,
+        }
     }
 
     /// Overrides the DP discretisation resolution (finer = more precise,
@@ -147,7 +155,10 @@ impl OfflineScheduler {
             .map(|(i, u)| KnapsackItem {
                 user_id: u.id,
                 value: u.energy_saving_j,
-                weight: self.predictor.predict_gap(lag_bound(users, i), velocity_norm).value(),
+                weight: self
+                    .predictor
+                    .predict_gap(lag_bound(users, i), velocity_norm)
+                    .value(),
             })
             .collect()
     }
@@ -237,7 +248,11 @@ pub fn greedy_solution(items: &[KnapsackItem], budget: f64) -> OfflineSolution {
         }
     }
     selected.sort_unstable();
-    OfflineSolution { selected, total_saving_j, total_gap: used }
+    OfflineSolution {
+        selected,
+        total_saving_j,
+        total_gap: used,
+    }
 }
 
 /// The number of updates within a window observed by an exhaustive check of
@@ -286,8 +301,9 @@ mod tests {
 
     #[test]
     fn lag_bound_is_at_most_n_minus_1() {
-        let users: Vec<OfflineUser> =
-            (0..10).map(|i| user(i, 0.0, Some(10.0), 100.0, 1.0)).collect();
+        let users: Vec<OfflineUser> = (0..10)
+            .map(|i| user(i, 0.0, Some(10.0), 100.0, 1.0))
+            .collect();
         for i in 0..10 {
             assert!(lag_bound(&users, i).value() <= 9);
         }
@@ -297,9 +313,21 @@ mod tests {
     fn knapsack_prefers_high_value_within_budget() {
         let sched = OfflineScheduler::new(10.0, predictor());
         let items = vec![
-            KnapsackItem { user_id: 0, value: 100.0, weight: 6.0 },
-            KnapsackItem { user_id: 1, value: 90.0, weight: 5.0 },
-            KnapsackItem { user_id: 2, value: 80.0, weight: 5.0 },
+            KnapsackItem {
+                user_id: 0,
+                value: 100.0,
+                weight: 6.0,
+            },
+            KnapsackItem {
+                user_id: 1,
+                value: 90.0,
+                weight: 5.0,
+            },
+            KnapsackItem {
+                user_id: 2,
+                value: 80.0,
+                weight: 5.0,
+            },
         ];
         // Optimal picks users 1+2 (value 170, weight 10) over user 0 alone.
         let sol = sched.solve(&items);
@@ -312,9 +340,21 @@ mod tests {
     fn knapsack_beats_or_matches_greedy() {
         let sched = OfflineScheduler::new(10.0, predictor());
         let items = vec![
-            KnapsackItem { user_id: 0, value: 60.0, weight: 10.0 },
-            KnapsackItem { user_id: 1, value: 50.0, weight: 6.0 },
-            KnapsackItem { user_id: 2, value: 50.0, weight: 4.0 },
+            KnapsackItem {
+                user_id: 0,
+                value: 60.0,
+                weight: 10.0,
+            },
+            KnapsackItem {
+                user_id: 1,
+                value: 50.0,
+                weight: 6.0,
+            },
+            KnapsackItem {
+                user_id: 2,
+                value: 50.0,
+                weight: 4.0,
+            },
         ];
         let dp = sched.solve(&items);
         let greedy = greedy_solution(&items, 10.0);
@@ -326,8 +366,16 @@ mod tests {
     fn negative_value_items_are_never_selected() {
         let sched = OfflineScheduler::new(100.0, predictor());
         let items = vec![
-            KnapsackItem { user_id: 0, value: -50.0, weight: 1.0 },
-            KnapsackItem { user_id: 1, value: 10.0, weight: 1.0 },
+            KnapsackItem {
+                user_id: 0,
+                value: -50.0,
+                weight: 1.0,
+            },
+            KnapsackItem {
+                user_id: 1,
+                value: 10.0,
+                weight: 1.0,
+            },
         ];
         let sol = sched.solve(&items);
         assert_eq!(sol.selected, vec![1]);
@@ -338,8 +386,16 @@ mod tests {
     fn zero_budget_selects_only_zero_weight_items() {
         let sched = OfflineScheduler::new(0.0, predictor());
         let items = vec![
-            KnapsackItem { user_id: 0, value: 10.0, weight: 0.0 },
-            KnapsackItem { user_id: 1, value: 100.0, weight: 1.0 },
+            KnapsackItem {
+                user_id: 0,
+                value: 10.0,
+                weight: 0.0,
+            },
+            KnapsackItem {
+                user_id: 1,
+                value: 100.0,
+                weight: 1.0,
+            },
         ];
         let sol = sched.solve(&items);
         assert_eq!(sol.selected, vec![0]);
@@ -368,8 +424,9 @@ mod tests {
         // prunes selections.
         let sched_relaxed = OfflineScheduler::new(1000.0, predictor());
         let sched_tight = OfflineScheduler::new(5.0, predictor());
-        let users: Vec<OfflineUser> =
-            (0..20).map(|i| user(i, 0.0, Some(10.0 * i as f64), 200.0, 100.0)).collect();
+        let users: Vec<OfflineUser> = (0..20)
+            .map(|i| user(i, 0.0, Some(10.0 * i as f64), 200.0, 100.0))
+            .collect();
         let relaxed = sched_relaxed.schedule_window(&users, 3.0);
         let tight = sched_tight.schedule_window(&users, 3.0);
         assert_eq!(relaxed.selected.len(), 20);

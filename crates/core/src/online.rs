@@ -13,8 +13,6 @@
 //! gap (when scheduling) or the accumulated gap plus the idle increment `ε`
 //! (Eq. 12). At the end of every slot the queues evolve per Eq. (15)/(16).
 
-use serde::{Deserialize, Serialize};
-
 use fedco_device::power::{AppStatus, SlotDecision};
 use fedco_device::profiles::DeviceProfile;
 use fedco_fl::staleness::GradientGap;
@@ -53,10 +51,14 @@ impl OnlineDecisionInput {
         accumulated_gap_if_idle: GradientGap,
     ) -> Self {
         let (corun_power_w, app_power_w) = match app_status {
-            AppStatus::App(app) => {
-                (profile.corun_power(app).value(), profile.app_power(app).value())
-            }
-            AppStatus::NoApp => (profile.training_power().value(), profile.idle_power().value()),
+            AppStatus::App(app) => (
+                profile.corun_power(app).value(),
+                profile.app_power(app).value(),
+            ),
+            AppStatus::NoApp => (
+                profile.training_power().value(),
+                profile.idle_power().value(),
+            ),
         };
         OnlineDecisionInput {
             app_status,
@@ -72,7 +74,7 @@ impl OnlineDecisionInput {
 
 /// The two candidate objective values of Eq. (21) for one user, exposed so
 /// tests and traces can inspect the decision margin.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecisionObjectives {
     /// Objective value of choosing `schedule`.
     pub schedule: f64,
@@ -93,7 +95,7 @@ impl DecisionObjectives {
 }
 
 /// Summary of a completed slot, used to advance the queues.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SlotOutcome {
     /// Number of users that became ready to train this slot (`A(t)`).
     pub arrivals: usize,
@@ -114,7 +116,11 @@ pub struct OnlineScheduler {
 impl OnlineScheduler {
     /// Creates a scheduler with empty queues.
     pub fn new(config: SchedulerConfig) -> Self {
-        OnlineScheduler { config, queues: QueueState::new(), slots_elapsed: 0 }
+        OnlineScheduler {
+            config,
+            queues: QueueState::new(),
+            slots_elapsed: 0,
+        }
     }
 
     /// The configuration.
@@ -220,8 +226,14 @@ mod tests {
         // since P(schedule) > P(idle) in every status the controller waits
         // for better co-running opportunities.
         let sched = OnlineScheduler::new(SchedulerConfig::default());
-        assert_eq!(sched.decide(&pixel2_input(None, 1.0, 0.1)), SlotDecision::Idle);
-        assert_eq!(sched.decide(&pixel2_input(Some(AppKind::Map), 1.0, 0.1)), SlotDecision::Idle);
+        assert_eq!(
+            sched.decide(&pixel2_input(None, 1.0, 0.1)),
+            SlotDecision::Idle
+        );
+        assert_eq!(
+            sched.decide(&pixel2_input(Some(AppKind::Map), 1.0, 0.1)),
+            SlotDecision::Idle
+        );
         assert_eq!(sched.queue_backlog(), 0.0);
         assert_eq!(sched.virtual_backlog(), 0.0);
     }
@@ -236,11 +248,19 @@ mod tests {
         assert!((threshold - 60.0).abs() < 1e-9);
         // Push the queue just below the threshold: still idle.
         for _ in 0..59 {
-            sched.end_of_slot(&SlotOutcome { arrivals: 1, scheduled: 0, gap_sum: 0.0 });
+            sched.end_of_slot(&SlotOutcome {
+                arrivals: 1,
+                scheduled: 0,
+                gap_sum: 0.0,
+            });
         }
         assert_eq!(sched.decide(&input), SlotDecision::Idle);
         // Crossing the threshold flips the decision to co-run.
-        sched.end_of_slot(&SlotOutcome { arrivals: 2, scheduled: 0, gap_sum: 0.0 });
+        sched.end_of_slot(&SlotOutcome {
+            arrivals: 2,
+            scheduled: 0,
+            gap_sum: 0.0,
+        });
         assert_eq!(sched.decide(&input), SlotDecision::Schedule);
     }
 
@@ -260,7 +280,11 @@ mod tests {
         // the controller clears the backlog by scheduling.
         let mut sched = OnlineScheduler::new(SchedulerConfig::default().with_v(1.0));
         // Build a virtual-queue backlog.
-        sched.end_of_slot(&SlotOutcome { arrivals: 0, scheduled: 0, gap_sum: 5000.0 });
+        sched.end_of_slot(&SlotOutcome {
+            arrivals: 0,
+            scheduled: 0,
+            gap_sum: 5000.0,
+        });
         assert!(sched.virtual_backlog() > 0.0);
         let input = pixel2_input(None, 0.5, 10.0);
         assert_eq!(sched.decide(&input), SlotDecision::Schedule);
@@ -275,7 +299,11 @@ mod tests {
         let mut small_v = OnlineScheduler::new(SchedulerConfig::default().with_v(10.0));
         let mut large_v = OnlineScheduler::new(SchedulerConfig::default().with_v(100_000.0));
         for _ in 0..20 {
-            let o = SlotOutcome { arrivals: 1, scheduled: 0, gap_sum: 0.0 };
+            let o = SlotOutcome {
+                arrivals: 1,
+                scheduled: 0,
+                gap_sum: 0.0,
+            };
             small_v.end_of_slot(&o);
             large_v.end_of_slot(&o);
         }
@@ -285,9 +313,17 @@ mod tests {
 
     #[test]
     fn objectives_match_manual_eq21() {
-        let config = SchedulerConfig { v: 2.0, slot_seconds: 1.0, ..SchedulerConfig::default() };
+        let config = SchedulerConfig {
+            v: 2.0,
+            slot_seconds: 1.0,
+            ..SchedulerConfig::default()
+        };
         let mut sched = OnlineScheduler::new(config);
-        sched.end_of_slot(&SlotOutcome { arrivals: 4, scheduled: 0, gap_sum: 1003.0 });
+        sched.end_of_slot(&SlotOutcome {
+            arrivals: 4,
+            scheduled: 0,
+            gap_sum: 1003.0,
+        });
         // Q = 4, H = 3.
         let input = pixel2_input(Some(AppKind::Zoom), 1.5, 2.5);
         let obj = sched.objectives(&input);
@@ -301,7 +337,11 @@ mod tests {
     #[test]
     fn end_of_slot_advances_queues_and_counter() {
         let mut sched = OnlineScheduler::new(SchedulerConfig::default());
-        sched.end_of_slot(&SlotOutcome { arrivals: 3, scheduled: 1, gap_sum: 1200.0 });
+        sched.end_of_slot(&SlotOutcome {
+            arrivals: 3,
+            scheduled: 1,
+            gap_sum: 1200.0,
+        });
         assert_eq!(sched.queue_backlog(), 3.0);
         assert_eq!(sched.virtual_backlog(), 200.0);
         assert_eq!(sched.slots_elapsed(), 1);
@@ -314,7 +354,10 @@ mod tests {
 
     #[test]
     fn ties_resolve_to_idle() {
-        let obj = DecisionObjectives { schedule: 1.0, idle: 1.0 };
+        let obj = DecisionObjectives {
+            schedule: 1.0,
+            idle: 1.0,
+        };
         assert_eq!(obj.best(), SlotDecision::Idle);
     }
 }

@@ -10,7 +10,7 @@ use crate::config::SchedulerConfig;
 use crate::online::{OnlineDecisionInput, OnlineScheduler, SlotOutcome};
 
 /// Identifies which scheduling scheme a policy implements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Run training immediately whenever a device is available, regardless of
     /// application arrivals (the paper's energy upper bound).
@@ -141,7 +141,9 @@ pub struct OfflinePolicy {
 impl OfflinePolicy {
     /// Creates an empty policy (everyone waits until a plan is installed).
     pub fn new() -> Self {
-        OfflinePolicy { plan: HashMap::new() }
+        OfflinePolicy {
+            plan: HashMap::new(),
+        }
     }
 
     /// Installs (or replaces) the start slot planned for a user.
@@ -194,7 +196,9 @@ pub struct OnlinePolicy {
 impl OnlinePolicy {
     /// Creates the policy with the given configuration.
     pub fn new(config: SchedulerConfig) -> Self {
-        OnlinePolicy { scheduler: OnlineScheduler::new(config) }
+        OnlinePolicy {
+            scheduler: OnlineScheduler::new(config),
+        }
     }
 
     /// Access to the underlying scheduler (for thresholds and diagnostics).
@@ -310,7 +314,11 @@ mod tests {
         assert_eq!(p.kind(), PolicyKind::Online);
         // Empty queues: waits.
         assert_eq!(p.decide(&ctx(0, 0)), SlotDecision::Idle);
-        p.end_of_slot(&SlotOutcome { arrivals: 5, scheduled: 0, gap_sum: 2000.0 });
+        p.end_of_slot(&SlotOutcome {
+            arrivals: 5,
+            scheduled: 0,
+            gap_sum: 2000.0,
+        });
         assert_eq!(p.queue_backlog(), 5.0);
         assert!(p.virtual_backlog() > 0.0);
         assert!(p.scheduler().config().is_valid());
@@ -318,7 +326,12 @@ mod tests {
 
     #[test]
     fn build_policy_constructs_each_kind() {
-        for kind in [PolicyKind::Immediate, PolicyKind::SyncSgd, PolicyKind::Offline, PolicyKind::Online] {
+        for kind in [
+            PolicyKind::Immediate,
+            PolicyKind::SyncSgd,
+            PolicyKind::Offline,
+            PolicyKind::Online,
+        ] {
             let p = build_policy(kind, SchedulerConfig::default());
             assert_eq!(p.kind(), kind);
         }

@@ -9,10 +9,8 @@
 //!   of gradient gaps over the staleness bound `L_b`, which turns the
 //!   time-averaged constraint (14) into a queue-stability requirement.
 
-use serde::{Deserialize, Serialize};
-
 /// The task queue `Q(t)` of Definition 3.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TaskQueue {
     backlog: f64,
 }
@@ -45,7 +43,7 @@ impl TaskQueue {
 }
 
 /// The virtual staleness queue `H(t)` of Eq. (16).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct VirtualQueue {
     backlog: f64,
 }
@@ -77,7 +75,7 @@ impl VirtualQueue {
 
 /// The concatenated queue state `Θ(t) = [Q(t), H(t)]` with its Lyapunov
 /// function `L(Θ) = ½(Q² + H²)` (Eq. 17).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QueueState {
     /// The task queue.
     pub task: TaskQueue,
@@ -88,7 +86,10 @@ pub struct QueueState {
 impl QueueState {
     /// Creates empty queues.
     pub fn new() -> Self {
-        QueueState { task: TaskQueue::new(), staleness: VirtualQueue::new() }
+        QueueState {
+            task: TaskQueue::new(),
+            staleness: VirtualQueue::new(),
+        }
     }
 
     /// The Lyapunov function `L(Θ(t)) = ½(Q(t)² + H(t)²)`.
@@ -120,7 +121,10 @@ impl QueueState {
         gap_sum: f64,
         staleness_bound: f64,
     ) -> (f64, f64) {
-        (self.task.step(arrivals, services), self.staleness.step(gap_sum, staleness_bound))
+        (
+            self.task.step(arrivals, services),
+            self.staleness.step(gap_sum, staleness_bound),
+        )
     }
 }
 

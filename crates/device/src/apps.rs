@@ -5,10 +5,8 @@
 //! alone, the average power of co-running the app with the background
 //! training task, and the execution time of the co-run.
 
-use serde::{Deserialize, Serialize};
-
 /// The eight representative foreground applications of Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppKind {
     /// Navigation / GPS ("Map" row of Table II).
     Map,
@@ -76,7 +74,10 @@ impl AppKind {
 
     /// Index of this app in [`AppKind::ALL`].
     pub fn index(self) -> usize {
-        AppKind::ALL.iter().position(|&a| a == self).expect("app is in ALL")
+        AppKind::ALL
+            .iter()
+            .position(|&a| a == self)
+            .expect("app is in ALL")
     }
 }
 
@@ -87,7 +88,7 @@ impl std::fmt::Display for AppKind {
 }
 
 /// Per-device, per-application calibration entry from Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppMeasurement {
     /// Average power (W) of running the application alone (`P_a`).
     pub app_power_w: f64,
@@ -100,7 +101,11 @@ pub struct AppMeasurement {
 impl AppMeasurement {
     /// Creates a measurement entry.
     pub fn new(app_power_w: f64, corun_power_w: f64, corun_time_s: f64) -> Self {
-        AppMeasurement { app_power_w, corun_power_w, corun_time_s }
+        AppMeasurement {
+            app_power_w,
+            corun_power_w,
+            corun_time_s,
+        }
     }
 }
 

@@ -6,13 +6,11 @@
 //! and to gate training on the "charging / sufficient battery" conditions of
 //! the Android `JobScheduler`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::energy::Joules;
 use crate::profiles::DeviceKind;
 
 /// A device battery with a fixed capacity and a current charge level.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     capacity: Joules,
     charge: Joules,

@@ -8,14 +8,12 @@
 //! in Observation 1 (95–98 % on the little cores during training, 30–50 % on
 //! the big cores depending on the application).
 
-use serde::{Deserialize, Serialize};
-
 use crate::apps::AppKind;
 use crate::profiles::DeviceKind;
 
 /// A CPU cluster (one half of a big.LITTLE pair, or the single cluster of a
 /// homogeneous chipset).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuCluster {
     /// Number of cores in the cluster.
     pub cores: usize,
@@ -26,7 +24,7 @@ pub struct CpuCluster {
 }
 
 /// The CPU topology of a device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuTopology {
     /// The high-performance cluster (equal to `little` on homogeneous chips).
     pub big: CpuCluster,
@@ -46,29 +44,61 @@ impl CpuTopology {
         match kind {
             // Snapdragon 805: four homogeneous Krait cores.
             DeviceKind::Nexus6 => CpuTopology {
-                big: CpuCluster { cores: 4, max_freq_mhz: 2700, is_big: true },
-                little: CpuCluster { cores: 4, max_freq_mhz: 2700, is_big: false },
+                big: CpuCluster {
+                    cores: 4,
+                    max_freq_mhz: 2700,
+                    is_big: true,
+                },
+                little: CpuCluster {
+                    cores: 4,
+                    max_freq_mhz: 2700,
+                    is_big: false,
+                },
                 background_cores: 1,
                 heterogeneous: false,
             },
             // Snapdragon 810: 4×A57 + 4×A53; one little core for background.
             DeviceKind::Nexus6P => CpuTopology {
-                big: CpuCluster { cores: 4, max_freq_mhz: 1958, is_big: true },
-                little: CpuCluster { cores: 4, max_freq_mhz: 1555, is_big: false },
+                big: CpuCluster {
+                    cores: 4,
+                    max_freq_mhz: 1958,
+                    is_big: true,
+                },
+                little: CpuCluster {
+                    cores: 4,
+                    max_freq_mhz: 1555,
+                    is_big: false,
+                },
                 background_cores: 1,
                 heterogeneous: true,
             },
             // Kirin 970: 4×A73 + 4×A53; one little core for background.
             DeviceKind::Hikey970 => CpuTopology {
-                big: CpuCluster { cores: 4, max_freq_mhz: 2360, is_big: true },
-                little: CpuCluster { cores: 4, max_freq_mhz: 1840, is_big: false },
+                big: CpuCluster {
+                    cores: 4,
+                    max_freq_mhz: 2360,
+                    is_big: true,
+                },
+                little: CpuCluster {
+                    cores: 4,
+                    max_freq_mhz: 1840,
+                    is_big: false,
+                },
                 background_cores: 1,
                 heterogeneous: true,
             },
             // Snapdragon 835: 4×Kryo-big + 4×Kryo-little; two background cores.
             DeviceKind::Pixel2 => CpuTopology {
-                big: CpuCluster { cores: 4, max_freq_mhz: 2450, is_big: true },
-                little: CpuCluster { cores: 4, max_freq_mhz: 1900, is_big: false },
+                big: CpuCluster {
+                    cores: 4,
+                    max_freq_mhz: 2450,
+                    is_big: true,
+                },
+                little: CpuCluster {
+                    cores: 4,
+                    max_freq_mhz: 1900,
+                    is_big: false,
+                },
                 background_cores: 2,
                 heterogeneous: true,
             },
@@ -93,7 +123,7 @@ impl CpuTopology {
 }
 
 /// Utilisation snapshot of the two clusters, as a fraction in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CpuUtilization {
     /// Utilisation of the big cluster.
     pub big: f64,
@@ -119,7 +149,10 @@ impl CpuUtilization {
 
     /// Clamps both utilisations into `[0, 1]`.
     pub fn clamped(self) -> Self {
-        CpuUtilization { big: self.big.clamp(0.0, 1.0), little: self.little.clamp(0.0, 1.0) }
+        CpuUtilization {
+            big: self.big.clamp(0.0, 1.0),
+            little: self.little.clamp(0.0, 1.0),
+        }
     }
 }
 
@@ -129,11 +162,26 @@ mod tests {
 
     #[test]
     fn topology_matches_vendor_cpusets() {
-        assert_eq!(CpuTopology::for_device(DeviceKind::Pixel2).background_cores, 2);
-        assert_eq!(CpuTopology::for_device(DeviceKind::Nexus6P).background_cores, 1);
-        assert_eq!(CpuTopology::for_device(DeviceKind::Hikey970).background_cores, 1);
-        assert_eq!(CpuTopology::for_device(DeviceKind::Pixel2).training_threads(), 2);
-        assert_eq!(CpuTopology::for_device(DeviceKind::Hikey970).training_threads(), 1);
+        assert_eq!(
+            CpuTopology::for_device(DeviceKind::Pixel2).background_cores,
+            2
+        );
+        assert_eq!(
+            CpuTopology::for_device(DeviceKind::Nexus6P).background_cores,
+            1
+        );
+        assert_eq!(
+            CpuTopology::for_device(DeviceKind::Hikey970).background_cores,
+            1
+        );
+        assert_eq!(
+            CpuTopology::for_device(DeviceKind::Pixel2).training_threads(),
+            2
+        );
+        assert_eq!(
+            CpuTopology::for_device(DeviceKind::Hikey970).training_threads(),
+            1
+        );
     }
 
     #[test]
@@ -165,7 +213,11 @@ mod tests {
 
     #[test]
     fn clamping_works() {
-        let u = CpuUtilization { big: 1.5, little: -0.2 }.clamped();
+        let u = CpuUtilization {
+            big: 1.5,
+            little: -0.2,
+        }
+        .clamped();
         assert_eq!(u.big, 1.0);
         assert_eq!(u.little, 0.0);
     }

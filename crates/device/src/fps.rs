@@ -7,14 +7,13 @@
 //! dip, and a slightly larger jitter while co-running, matching the shape of
 //! the measured traces without changing the mean.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::{Rng, SeedableRng};
 
 use crate::apps::AppKind;
 
 /// Configuration of the FPS trace generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpsModelConfig {
     /// Standard deviation of per-second jitter as a fraction of target FPS
     /// when the app runs alone.
@@ -39,7 +38,7 @@ impl Default for FpsModelConfig {
 }
 
 /// A per-second FPS sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpsSample {
     /// Time offset in seconds from the start of the trace.
     pub t: f64,
@@ -58,12 +57,20 @@ pub struct FpsModel {
 impl FpsModel {
     /// Creates a model for an application with a deterministic seed.
     pub fn new(app: AppKind, seed: u64) -> Self {
-        FpsModel { app, config: FpsModelConfig::default(), rng: SmallRng::seed_from_u64(seed) }
+        FpsModel {
+            app,
+            config: FpsModelConfig::default(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Creates a model with a custom configuration.
     pub fn with_config(app: AppKind, config: FpsModelConfig, seed: u64) -> Self {
-        FpsModel { app, config, rng: SmallRng::seed_from_u64(seed) }
+        FpsModel {
+            app,
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// The application being modelled.
@@ -88,7 +95,10 @@ impl FpsModel {
                 if self.rng.gen::<f64>() < self.config.dip_probability {
                     fps *= 1.0 - self.config.dip_depth;
                 }
-                FpsSample { t: t as f64, fps: fps.max(0.0) }
+                FpsSample {
+                    t: t as f64,
+                    fps: fps.max(0.0),
+                }
             })
             .collect()
     }
@@ -125,8 +135,14 @@ mod tests {
             let alone = FpsModel::mean_fps(&model.trace(250, false));
             let corun = FpsModel::mean_fps(&model.trace(250, true));
             let target = app.target_fps();
-            assert!((alone - target).abs() / target < 0.05, "{app:?} alone {alone}");
-            assert!((corun - target).abs() / target < 0.05, "{app:?} corun {corun}");
+            assert!(
+                (alone - target).abs() / target < 0.05,
+                "{app:?} alone {alone}"
+            );
+            assert!(
+                (corun - target).abs() / target < 0.05,
+                "{app:?} corun {corun}"
+            );
         }
     }
 
@@ -163,7 +179,12 @@ mod tests {
 
     #[test]
     fn custom_config_is_respected() {
-        let cfg = FpsModelConfig { base_jitter: 0.0, corun_extra_jitter: 0.0, dip_probability: 0.0, dip_depth: 0.0 };
+        let cfg = FpsModelConfig {
+            base_jitter: 0.0,
+            corun_extra_jitter: 0.0,
+            dip_probability: 0.0,
+            dip_depth: 0.0,
+        };
         let mut model = FpsModel::with_config(AppKind::Zoom, cfg, 5);
         let trace = model.trace(10, true);
         for s in trace {

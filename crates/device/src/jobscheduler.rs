@@ -9,12 +9,10 @@
 //! when it becomes available depending on the network condition or battery
 //! energy").
 
-use serde::{Deserialize, Serialize};
-
 use crate::battery::Battery;
 
 /// Network connectivity states relevant to the job constraints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkState {
     /// Connected over Wi-Fi (unmetered).
     Wifi,
@@ -25,7 +23,7 @@ pub enum NetworkState {
 }
 
 /// Constraints a background training job must satisfy before it may run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobConstraints {
     /// Require an unmetered (Wi-Fi) connection.
     pub require_unmetered: bool,
@@ -53,7 +51,7 @@ impl Default for JobConstraints {
 }
 
 /// The current device conditions evaluated against [`JobConstraints`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceConditions {
     /// Current network connectivity.
     pub network: NetworkState,
@@ -78,7 +76,7 @@ impl DeviceConditions {
 }
 
 /// Why a job is not allowed to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobBlocked {
     /// No network but one is required.
     NoNetwork,
@@ -94,7 +92,7 @@ pub enum JobBlocked {
 
 /// A background training job with JobScheduler-style constraints and the
 /// Android background-limitation (OOM-kill) risk.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackgroundJob {
     constraints: JobConstraints,
     /// Probability per invocation that the OS kills the background service
@@ -106,7 +104,10 @@ pub struct BackgroundJob {
 impl BackgroundJob {
     /// Creates a job with the given constraints and no kill risk.
     pub fn new(constraints: JobConstraints) -> Self {
-        BackgroundJob { constraints, kill_probability: 0.0 }
+        BackgroundJob {
+            constraints,
+            kill_probability: 0.0,
+        }
     }
 
     /// Sets the per-invocation OS kill probability (clamped to `[0, 1]`).
@@ -170,7 +171,12 @@ mod tests {
     use crate::energy::Joules;
 
     fn good_conditions() -> DeviceConditions {
-        DeviceConditions { network: NetworkState::Wifi, charging: false, state_of_charge: 0.8, now_s: 0.0 }
+        DeviceConditions {
+            network: NetworkState::Wifi,
+            charging: false,
+            state_of_charge: 0.8,
+            now_s: 0.0,
+        }
     }
 
     #[test]
@@ -195,7 +201,10 @@ mod tests {
         c.network = NetworkState::Cellular;
         assert_eq!(job.check(&c), Err(JobBlocked::MeteredNetwork));
         // Allowing metered lifts the block.
-        let job2 = BackgroundJob::new(JobConstraints { require_unmetered: false, ..JobConstraints::default() });
+        let job2 = BackgroundJob::new(JobConstraints {
+            require_unmetered: false,
+            ..JobConstraints::default()
+        });
         assert!(job2.can_run(&c));
     }
 
@@ -211,7 +220,10 @@ mod tests {
 
     #[test]
     fn charging_requirement() {
-        let job = BackgroundJob::new(JobConstraints { require_charging: true, ..JobConstraints::default() });
+        let job = BackgroundJob::new(JobConstraints {
+            require_charging: true,
+            ..JobConstraints::default()
+        });
         let mut c = good_conditions();
         assert_eq!(job.check(&c), Err(JobBlocked::NotCharging));
         c.charging = true;

@@ -13,14 +13,12 @@
 //!
 //! The measurements in Table II satisfy `P_a' > P_a > P_b > P_d` on average.
 
-use serde::{Deserialize, Serialize};
-
 use crate::apps::AppKind;
 use crate::energy::{Joules, Seconds, Watts};
 use crate::profiles::DeviceProfile;
 
 /// The scheduling decision of the controller for one slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotDecision {
     /// Run (or keep running) the background training task this slot.
     Schedule,
@@ -29,7 +27,7 @@ pub enum SlotDecision {
 }
 
 /// The foreground-application status of a device in one slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppStatus {
     /// A foreground application is running.
     App(AppKind),
@@ -53,7 +51,7 @@ impl AppStatus {
 }
 
 /// The power state a device ends up in for a slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PowerState {
     /// Training co-running with an application (`P_a'`).
     CoRunning(AppKind),
@@ -85,7 +83,7 @@ impl PowerState {
 
 /// The power model of one device: maps power states to average power draw and
 /// slot energy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     profile: DeviceProfile,
 }
@@ -176,7 +174,10 @@ mod tests {
             PowerState::from_decision(SlotDecision::Idle, AppStatus::App(AppKind::Zoom)),
             PowerState::AppOnly(AppKind::Zoom)
         );
-        assert_eq!(PowerState::from_decision(SlotDecision::Idle, AppStatus::NoApp), PowerState::Idle);
+        assert_eq!(
+            PowerState::from_decision(SlotDecision::Idle, AppStatus::NoApp),
+            PowerState::Idle
+        );
         assert!(PowerState::TrainingOnly.training_active());
         assert!(PowerState::CoRunning(AppKind::Map).training_active());
         assert!(!PowerState::Idle.training_active());
@@ -197,9 +198,13 @@ mod tests {
         assert_eq!(pm.power(PowerState::TrainingOnly).value(), 1.35);
         assert_eq!(pm.power(PowerState::Idle).value(), 0.689);
         assert_eq!(pm.power(PowerState::AppOnly(AppKind::Tiktok)).value(), 2.37);
-        assert_eq!(pm.power(PowerState::CoRunning(AppKind::Tiktok)).value(), 2.52);
         assert_eq!(
-            pm.power_for(SlotDecision::Schedule, AppStatus::App(AppKind::Tiktok)).value(),
+            pm.power(PowerState::CoRunning(AppKind::Tiktok)).value(),
+            2.52
+        );
+        assert_eq!(
+            pm.power_for(SlotDecision::Schedule, AppStatus::App(AppKind::Tiktok))
+                .value(),
             2.52
         );
     }
@@ -221,7 +226,10 @@ mod tests {
         // than on top of idle (1.35-0.689=0.661 W).
         assert!(corun.value() < alone.value());
         // Non-training states have zero marginal training energy.
-        assert_eq!(pm.training_marginal_energy(PowerState::Idle, slot), Joules::ZERO);
+        assert_eq!(
+            pm.training_marginal_energy(PowerState::Idle, slot),
+            Joules::ZERO
+        );
         assert_eq!(
             pm.training_marginal_energy(PowerState::AppOnly(AppKind::Map), slot),
             Joules::ZERO

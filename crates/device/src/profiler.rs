@@ -8,13 +8,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::energy::{Joules, Seconds, Watts};
 use crate::power::{PowerModel, PowerState};
 
 /// One measured segment: a power state held for a duration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerSegment {
     /// The state the device was in.
     pub state: PowerState,
@@ -23,7 +21,7 @@ pub struct PowerSegment {
 }
 
 /// A label used in energy breakdowns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EnergyComponent {
     /// Energy spent co-running training with an application.
     CoRunning,
@@ -88,7 +86,10 @@ impl EnergyProfiler {
         let energy = self.model.slot_energy(state, duration);
         self.total += energy;
         self.total_time += duration;
-        *self.by_component.entry(EnergyComponent::of(state)).or_insert(Joules::ZERO) += energy;
+        *self
+            .by_component
+            .entry(EnergyComponent::of(state))
+            .or_insert(Joules::ZERO) += energy;
         self.segments.push(PowerSegment { state, duration });
         energy
     }
@@ -117,7 +118,10 @@ impl EnergyProfiler {
 
     /// Energy attributed to one component.
     pub fn component_energy(&self, component: EnergyComponent) -> Joules {
-        self.by_component.get(&component).copied().unwrap_or(Joules::ZERO)
+        self.by_component
+            .get(&component)
+            .copied()
+            .unwrap_or(Joules::ZERO)
     }
 
     /// The full per-component breakdown, sorted by component.
@@ -142,7 +146,7 @@ impl EnergyProfiler {
 /// Compares the energy of the two schedules of the motivating experiment
 /// (Fig. 1): running training and an application separately (back to back)
 /// versus co-running them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduleComparison {
     /// Energy of executing the training task alone (`P_b · t_b`).
     pub training_separate: Joules,

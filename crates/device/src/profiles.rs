@@ -7,14 +7,12 @@
 //! training execution time, and the per-application power/time entries of
 //! Table II (`P_a`, `P_a'`, co-run time).
 
-use serde::{Deserialize, Serialize};
-
 use crate::apps::{AppKind, AppMeasurement};
 use crate::cpu::CpuTopology;
 use crate::energy::{Seconds, Watts};
 
 /// The device models of the paper's testbed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Nexus 6 — older chipset with four homogeneous cores.
     Nexus6,
@@ -28,8 +26,12 @@ pub enum DeviceKind {
 
 impl DeviceKind {
     /// All device kinds in the order used by Table II.
-    pub const ALL: [DeviceKind; 4] =
-        [DeviceKind::Nexus6, DeviceKind::Nexus6P, DeviceKind::Hikey970, DeviceKind::Pixel2];
+    pub const ALL: [DeviceKind; 4] = [
+        DeviceKind::Nexus6,
+        DeviceKind::Nexus6P,
+        DeviceKind::Hikey970,
+        DeviceKind::Pixel2,
+    ];
 
     /// Human-readable name.
     pub fn name(self) -> &'static str {
@@ -54,7 +56,7 @@ impl std::fmt::Display for DeviceKind {
 }
 
 /// Full power/time calibration of one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Which device this profile describes.
     pub kind: DeviceKind,
@@ -89,14 +91,14 @@ impl DeviceProfile {
         let m = AppMeasurement::new;
         let app_measurements = match kind {
             DeviceKind::Nexus6 => [
-                m(3.4, 3.5, 274.0),  // Map
-                m(1.7, 2.2, 239.0),  // News
-                m(1.4, 2.4, 236.0),  // Etrade
-                m(0.5, 1.9, 284.0),  // Youtube
-                m(1.6, 2.3, 296.0),  // Tiktok
-                m(1.2, 2.1, 370.0),  // Zoom
-                m(1.3, 2.3, 997.0),  // CandyCrush
-                m(2.5, 2.8, 400.0),  // Angrybird
+                m(3.4, 3.5, 274.0), // Map
+                m(1.7, 2.2, 239.0), // News
+                m(1.4, 2.4, 236.0), // Etrade
+                m(0.5, 1.9, 284.0), // Youtube
+                m(1.6, 2.3, 296.0), // Tiktok
+                m(1.2, 2.1, 370.0), // Zoom
+                m(1.3, 2.3, 997.0), // CandyCrush
+                m(2.5, 2.8, 400.0), // Angrybird
             ],
             DeviceKind::Nexus6P => [
                 m(0.5, 1.3, 225.0),
@@ -187,7 +189,8 @@ impl DeviceProfile {
     pub fn corun_saving_fraction(&self, app: AppKind) -> f64 {
         let m = self.app_measurement(app);
         let corun = m.corun_power_w * m.corun_time_s;
-        let separate = self.training_power_w * self.training_time_s + m.app_power_w * m.corun_time_s;
+        let separate =
+            self.training_power_w * self.training_time_s + m.app_power_w * m.corun_time_s;
         if separate <= 0.0 {
             return 0.0;
         }
@@ -313,7 +316,13 @@ mod tests {
         // it is positive for all Pixel2/Hikey entries.
         for app in AppKind::ALL {
             assert!(DeviceKind::Pixel2.profile().corun_saving_power(app).value() > 0.0);
-            assert!(DeviceKind::Hikey970.profile().corun_saving_power(app).value() > 0.0);
+            assert!(
+                DeviceKind::Hikey970
+                    .profile()
+                    .corun_saving_power(app)
+                    .value()
+                    > 0.0
+            );
         }
     }
 

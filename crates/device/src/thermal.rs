@@ -7,12 +7,10 @@
 //! die, heat above a threshold throttles the clock (slowing training), and
 //! idle slots cool it back down.
 
-use serde::{Deserialize, Serialize};
-
 use crate::profiles::DeviceKind;
 
 /// Configuration of the thermal model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalConfig {
     /// Ambient / resting temperature in °C.
     pub ambient_c: f64,
@@ -79,7 +77,7 @@ impl Default for ThermalConfig {
 }
 
 /// Current thermal state of a device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalState {
     config: ThermalConfig,
     temp_c: f64,
@@ -88,7 +86,10 @@ pub struct ThermalState {
 impl ThermalState {
     /// Creates a state at ambient temperature.
     pub fn new(config: ThermalConfig) -> Self {
-        ThermalState { config, temp_c: config.ambient_c }
+        ThermalState {
+            config,
+            temp_c: config.ambient_c,
+        }
     }
 
     /// Current die temperature in °C.
@@ -119,8 +120,8 @@ impl ThermalState {
         let seconds = seconds.max(0.0);
         let heating = self.config.heating_rate * load * seconds;
         let cooling = self.config.cooling_rate * (1.0 - load) * seconds;
-        self.temp_c = (self.temp_c + heating - cooling)
-            .clamp(self.config.ambient_c, self.config.max_temp_c);
+        self.temp_c =
+            (self.temp_c + heating - cooling).clamp(self.config.ambient_c, self.config.max_temp_c);
     }
 }
 

@@ -1,7 +1,5 @@
 //! Aggregation rules for asynchronous updates.
 
-use serde::{Deserialize, Serialize};
-
 use fedco_neural::model::ParamVector;
 use fedco_neural::tensor::TensorError;
 
@@ -9,11 +7,12 @@ use crate::staleness::Lag;
 
 /// How the parameter server merges an asynchronously arriving local model
 /// into the global model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum AsyncUpdateRule {
     /// Replace the global copy with the uploaded model — exactly what the
     /// paper's implementation does ("The server replaces the current copy of
     /// the global model upon receiving it", Section VI).
+    #[default]
     Replace,
     /// Mix the uploaded model into the global one with a staleness-dependent
     /// weight `α / (1 + lag)` (the regularised rule of asynchronous federated
@@ -54,12 +53,6 @@ impl AsyncUpdateRule {
                 Ok(out)
             }
         }
-    }
-}
-
-impl Default for AsyncUpdateRule {
-    fn default() -> Self {
-        AsyncUpdateRule::Replace
     }
 }
 

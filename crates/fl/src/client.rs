@@ -6,8 +6,8 @@
 //! mini-batches; it produces a [`LocalUpdate`] that is uploaded to the
 //! parameter server when the epoch finishes.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::SeedableRng;
 
 use fedco_neural::data::Dataset;
 use fedco_neural::lenet::LeNetConfig;
@@ -33,7 +33,12 @@ pub struct ClientConfig {
 
 impl Default for ClientConfig {
     fn default() -> Self {
-        ClientConfig { batch_size: 20, learning_rate: 0.05, momentum: 0.9, local_passes: 1 }
+        ClientConfig {
+            batch_size: 20,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            local_passes: 1,
+        }
     }
 }
 
@@ -62,7 +67,15 @@ impl FlClient {
             weight_decay: 0.0,
             schedule: LrSchedule::Constant,
         });
-        FlClient { id, config, network, optimizer, shard, base_version: ModelVersion::INITIAL, epochs_completed: 0 }
+        FlClient {
+            id,
+            config,
+            network,
+            optimizer,
+            shard,
+            base_version: ModelVersion::INITIAL,
+            epochs_completed: 0,
+        }
     }
 
     /// The client identifier.
@@ -117,7 +130,9 @@ impl FlClient {
         let mut batches = 0usize;
         for _ in 0..self.config.local_passes.max(1) {
             for (images, labels) in self.shard.epoch_batches(self.config.batch_size) {
-                let step = self.network.train_batch(&images, &labels, &loss, &mut self.optimizer)?;
+                let step =
+                    self.network
+                        .train_batch(&images, &labels, &loss, &mut self.optimizer)?;
                 total_loss += step.loss;
                 total_acc += step.accuracy;
                 batches += 1;
@@ -141,7 +156,11 @@ impl FlClient {
     /// # Errors
     ///
     /// Propagates shape errors when the test set geometry mismatches.
-    pub fn evaluate(&mut self, test_set: &Dataset, max_examples: usize) -> Result<f32, TensorError> {
+    pub fn evaluate(
+        &mut self,
+        test_set: &Dataset,
+        max_examples: usize,
+    ) -> Result<f32, TensorError> {
         evaluate_network(&mut self.network, test_set, max_examples)
     }
 }
@@ -186,7 +205,12 @@ mod tests {
             3,
             arch,
             train,
-            ClientConfig { batch_size: 8, learning_rate: 0.05, momentum: 0.9, local_passes: 1 },
+            ClientConfig {
+                batch_size: 8,
+                learning_rate: 0.05,
+                momentum: 0.9,
+                local_passes: 1,
+            },
         );
         (client, test)
     }
@@ -223,7 +247,10 @@ mod tests {
         assert!(update.train_loss.is_finite());
         assert!(update.train_accuracy >= 0.0 && update.train_accuracy <= 1.0);
         assert_eq!(client.epochs_completed(), 1);
-        assert_eq!(update.params.len(), client.local_epoch().unwrap().params.len());
+        assert_eq!(
+            update.params.len(),
+            client.local_epoch().unwrap().params.len()
+        );
     }
 
     #[test]

@@ -1,15 +1,11 @@
 //! Versioned global-model state shared through the parameter server.
 
-use serde::{Deserialize, Serialize};
-
 use fedco_neural::model::ParamVector;
 
 /// A monotonically increasing global-model version: the number of updates
 /// that have been applied to the global model since training began. The
 /// difference of two versions is exactly the paper's *lag* (Definition 1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ModelVersion(pub u64);
 
 impl ModelVersion {
@@ -37,7 +33,7 @@ impl std::fmt::Display for ModelVersion {
 /// A snapshot of the global model: flat parameters plus the version they
 /// correspond to. This is what a device downloads at the start of a local
 /// epoch and what it holds while waiting for a co-running opportunity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelSnapshot {
     /// The flat parameter vector.
     pub params: ParamVector,
@@ -68,7 +64,7 @@ impl ModelSnapshot {
 }
 
 /// A local update produced by one device after finishing a local epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LocalUpdate {
     /// Identifier of the contributing device.
     pub client_id: usize,

@@ -7,13 +7,11 @@
 //! `v_t = β v_{t−1} + (1 − β) s_t` where `s_t` is the latest gradient-like
 //! step (the parameter change scaled by `1/η`).
 
-use serde::{Deserialize, Serialize};
-
 use fedco_neural::model::ParamVector;
 use fedco_neural::tensor::TensorError;
 
 /// Tracks the exponentially weighted momentum of global-model movement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MomentumTracker {
     beta: f32,
     learning_rate: f32,
@@ -160,7 +158,10 @@ mod tests {
         m.observe_step(&ParamVector::new(vec![1.0, 2.0])).unwrap();
         assert!(m.observe_step(&ParamVector::new(vec![1.0])).is_err());
         assert!(m
-            .observe_transition(&ParamVector::new(vec![1.0]), &ParamVector::new(vec![1.0, 2.0]))
+            .observe_transition(
+                &ParamVector::new(vec![1.0]),
+                &ParamVector::new(vec![1.0, 2.0])
+            )
             .is_err());
     }
 

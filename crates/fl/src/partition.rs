@@ -4,17 +4,17 @@
 //! provides that IID split plus a label-skewed (non-IID) split for the
 //! statistical-heterogeneity ablations.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::seq::SliceRandom;
+use fedco_rng::SeedableRng;
 
 use fedco_neural::data::{Dataset, Example};
 
 /// How the global dataset is divided among the participants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum PartitionStrategy {
     /// Equal, class-balanced shards (the paper's setting).
+    #[default]
     Iid,
     /// Label-skewed shards: each user predominantly holds `labels_per_user`
     /// classes, producing statistical heterogeneity.
@@ -22,12 +22,6 @@ pub enum PartitionStrategy {
         /// Number of dominant classes per user.
         labels_per_user: usize,
     },
-}
-
-impl Default for PartitionStrategy {
-    fn default() -> Self {
-        PartitionStrategy::Iid
-    }
 }
 
 /// Partitions `dataset` into `num_users` shards with the given strategy.
@@ -77,13 +71,22 @@ fn label_skew_partition(
     // user prefers it).
     let mut shards: Vec<Vec<Example>> = vec![Vec::new(); num_users];
     for (class, examples) in by_class.into_iter().enumerate() {
-        let takers: Vec<usize> = (0..num_users).filter(|&u| preferred[u].contains(&class)).collect();
-        let takers = if takers.is_empty() { (0..num_users).collect() } else { takers };
+        let takers: Vec<usize> = (0..num_users)
+            .filter(|&u| preferred[u].contains(&class))
+            .collect();
+        let takers = if takers.is_empty() {
+            (0..num_users).collect()
+        } else {
+            takers
+        };
         for (i, ex) in examples.into_iter().enumerate() {
             shards[takers[i % takers.len()]].push(ex);
         }
     }
-    shards.into_iter().map(|examples| Dataset::new(examples, classes)).collect()
+    shards
+        .into_iter()
+        .map(|examples| Dataset::new(examples, classes))
+        .collect()
 }
 
 #[cfg(test)]
@@ -125,8 +128,12 @@ mod tests {
     #[test]
     fn label_skew_concentrates_classes() {
         let ds = dataset();
-        let shards =
-            partition_dataset(&ds, 5, PartitionStrategy::LabelSkew { labels_per_user: 2 }, 7);
+        let shards = partition_dataset(
+            &ds,
+            5,
+            PartitionStrategy::LabelSkew { labels_per_user: 2 },
+            7,
+        );
         assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), 200);
         // Each user's shard should be dominated by at most ~2 classes.
         for s in &shards {
@@ -139,8 +146,18 @@ mod tests {
     #[test]
     fn label_skew_is_deterministic_per_seed() {
         let ds = dataset();
-        let a = partition_dataset(&ds, 5, PartitionStrategy::LabelSkew { labels_per_user: 2 }, 9);
-        let b = partition_dataset(&ds, 5, PartitionStrategy::LabelSkew { labels_per_user: 2 }, 9);
+        let a = partition_dataset(
+            &ds,
+            5,
+            PartitionStrategy::LabelSkew { labels_per_user: 2 },
+            9,
+        );
+        let b = partition_dataset(
+            &ds,
+            5,
+            PartitionStrategy::LabelSkew { labels_per_user: 2 },
+            9,
+        );
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.len(), y.len());
             assert_eq!(x.class_histogram(), y.class_histogram());

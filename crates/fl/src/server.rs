@@ -8,7 +8,7 @@
 //! cross-device information the distributed online scheduler needs
 //! (Algorithm 2, line 4).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use fedco_neural::model::ParamVector;
 use fedco_neural::tensor::TensorError;
@@ -76,13 +76,13 @@ impl ParameterServer {
 
     /// The current global version.
     pub fn version(&self) -> ModelVersion {
-        self.inner.lock().version
+        self.inner.lock().expect("server mutex poisoned").version
     }
 
     /// Downloads the current global model (what `FileDownloadService` does in
     /// the paper's implementation).
     pub fn download(&self) -> ModelSnapshot {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().expect("server mutex poisoned");
         ModelSnapshot::new(inner.params.clone(), inner.version)
     }
 
@@ -90,13 +90,20 @@ impl ParameterServer {
     /// uploaded right now (Definition 1). Supplied to devices by the server
     /// in the distributed implementation of the online algorithm.
     pub fn lag_since(&self, base: ModelVersion) -> Lag {
-        Lag::between(base, self.inner.lock().version)
+        Lag::between(
+            base,
+            self.inner.lock().expect("server mutex poisoned").version,
+        )
     }
 
     /// The L2 norm of the server-side momentum vector `v_t` (Eq. 1), used by
     /// devices to evaluate the gradient-gap prediction of Eq. (4).
     pub fn momentum_norm(&self) -> f32 {
-        self.inner.lock().momentum.velocity_norm()
+        self.inner
+            .lock()
+            .expect("server mutex poisoned")
+            .momentum
+            .velocity_norm()
     }
 
     /// Applies one asynchronous update (ASync-SGD): the global copy is
@@ -110,7 +117,7 @@ impl ParameterServer {
     /// Returns [`TensorError::ShapeMismatch`] if the uploaded vector has the
     /// wrong length.
     pub fn apply_async(&self, update: &LocalUpdate) -> Result<Lag, TensorError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("server mutex poisoned");
         if update.params.len() != inner.params.len() {
             return Err(TensorError::ShapeMismatch {
                 lhs: vec![update.params.len()],
@@ -140,12 +147,18 @@ impl ParameterServer {
     /// mismatch.
     pub fn apply_sync_round(&self, updates: &[LocalUpdate]) -> Result<(), TensorError> {
         if updates.is_empty() {
-            return Err(TensorError::LengthMismatch { expected: 1, actual: 0 });
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
         let vectors: Vec<ParamVector> = updates.iter().map(|u| u.params.clone()).collect();
-        let weights: Vec<f32> = updates.iter().map(|u| u.num_samples.max(1) as f32).collect();
+        let weights: Vec<f32> = updates
+            .iter()
+            .map(|u| u.num_samples.max(1) as f32)
+            .collect();
         let averaged = ParamVector::weighted_average(&vectors, &weights)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("server mutex poisoned");
         if averaged.len() != inner.params.len() {
             return Err(TensorError::ShapeMismatch {
                 lhs: vec![averaged.len()],
@@ -164,7 +177,7 @@ impl ParameterServer {
 
     /// A copy of the current statistics.
     pub fn stats(&self) -> ServerStats {
-        self.inner.lock().stats
+        self.inner.lock().expect("server mutex poisoned").stats
     }
 }
 
@@ -200,7 +213,9 @@ mod tests {
     fn async_update_replaces_and_bumps_version() {
         let s = server();
         let base = s.version();
-        let lag = s.apply_async(&update(0, vec![1.0, 2.0, 3.0], base, 10)).unwrap();
+        let lag = s
+            .apply_async(&update(0, vec![1.0, 2.0, 3.0], base, 10))
+            .unwrap();
         assert_eq!(lag, Lag::ZERO);
         assert_eq!(s.version(), ModelVersion(1));
         assert_eq!(s.download().params.values(), &[1.0, 2.0, 3.0]);
@@ -212,10 +227,14 @@ mod tests {
         let s = server();
         let base_i = s.version();
         // Two other users (j, k) update while user i is waiting — Fig. 3.
-        s.apply_async(&update(1, vec![1.0, 0.0, 0.0], s.version(), 10)).unwrap();
-        s.apply_async(&update(2, vec![0.0, 1.0, 0.0], s.version(), 10)).unwrap();
+        s.apply_async(&update(1, vec![1.0, 0.0, 0.0], s.version(), 10))
+            .unwrap();
+        s.apply_async(&update(2, vec![0.0, 1.0, 0.0], s.version(), 10))
+            .unwrap();
         assert_eq!(s.lag_since(base_i), Lag(2));
-        let lag_i = s.apply_async(&update(0, vec![0.0, 0.0, 1.0], base_i, 10)).unwrap();
+        let lag_i = s
+            .apply_async(&update(0, vec![0.0, 0.0, 1.0], base_i, 10))
+            .unwrap();
         assert_eq!(lag_i, Lag(2));
         let stats = s.stats();
         assert_eq!(stats.async_updates, 3);

@@ -1,8 +1,6 @@
 //! Staleness metrics: lag (Definition 1) and gradient gap (Definition 2),
 //! with the linear weight prediction of Eq. (3)–(4).
 
-use serde::{Deserialize, Serialize};
-
 use fedco_neural::model::ParamVector;
 use fedco_neural::tensor::TensorError;
 
@@ -11,9 +9,7 @@ use crate::model_state::ModelVersion;
 /// The lag `l_τ` of Definition 1: the number of updates other users applied
 /// to the global model between the moment a device downloaded the model and
 /// the moment it pushes its own update.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Lag(pub u64);
 
 impl Lag {
@@ -39,7 +35,7 @@ impl std::fmt::Display for Lag {
 }
 
 /// The gradient gap `g(t, t+τ) = ‖θ_{t+τ} − θ_t‖₂` of Definition 2.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct GradientGap(pub f64);
 
 impl GradientGap {
@@ -79,7 +75,7 @@ impl std::fmt::Display for GradientGap {
 /// momentum vector norm `‖v_t‖` and an (estimated) lag `l_τ`, the predicted
 /// future drift of the global parameters is
 /// `g(t, t+τ) = ‖η (1 − β^{l_τ})/(1 − β) v_t‖₂`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightPredictor {
     /// Learning rate `η`.
     pub learning_rate: f32,
@@ -90,7 +86,10 @@ pub struct WeightPredictor {
 impl WeightPredictor {
     /// Creates a predictor; `beta` is clamped into `[0, 0.999]`.
     pub fn new(learning_rate: f32, beta: f32) -> Self {
-        WeightPredictor { learning_rate, beta: beta.clamp(0.0, 0.999) }
+        WeightPredictor {
+            learning_rate,
+            beta: beta.clamp(0.0, 0.999),
+        }
     }
 
     /// The geometric amplification factor `(1 − β^{l})/(1 − β)`.
@@ -143,7 +142,7 @@ impl Default for WeightPredictor {
 /// Per-device gradient-gap evolution (Eq. 12): while a device idles the gap
 /// accumulates by a small increment `ε` per slot; once training is scheduled
 /// the gap is re-estimated from the momentum-based prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GapAccumulator {
     /// Per-idle-slot increment `ε`.
     pub epsilon: f64,
@@ -153,7 +152,10 @@ pub struct GapAccumulator {
 impl GapAccumulator {
     /// Creates an accumulator with idle increment `epsilon`.
     pub fn new(epsilon: f64) -> Self {
-        GapAccumulator { epsilon: epsilon.max(0.0), current: GradientGap::ZERO }
+        GapAccumulator {
+            epsilon: epsilon.max(0.0),
+            current: GradientGap::ZERO,
+        }
     }
 
     /// The current accumulated gap.

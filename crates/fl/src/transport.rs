@@ -6,15 +6,13 @@
 //! bandwidth/latency profile, so the simulator can offset when updates reach
 //! the server.
 
-use serde::{Deserialize, Serialize};
-
 use fedco_device::energy::{Joules, Seconds, Watts};
 
 /// The size of the paper's serialised LeNet-5 model upload, in bytes.
 pub const PAPER_MODEL_BYTES: usize = 2_500_000;
 
 /// A symmetric link model between a device and the parameter server.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransportModel {
     /// Downlink bandwidth in megabits per second.
     pub download_mbps: f64,
@@ -30,12 +28,22 @@ pub struct TransportModel {
 impl TransportModel {
     /// A typical home Wi-Fi link.
     pub fn wifi() -> Self {
-        TransportModel { download_mbps: 80.0, upload_mbps: 30.0, latency_s: 0.02, radio_power_w: 0.8 }
+        TransportModel {
+            download_mbps: 80.0,
+            upload_mbps: 30.0,
+            latency_s: 0.02,
+            radio_power_w: 0.8,
+        }
     }
 
     /// A typical LTE link.
     pub fn lte() -> Self {
-        TransportModel { download_mbps: 30.0, upload_mbps: 8.0, latency_s: 0.06, radio_power_w: 1.8 }
+        TransportModel {
+            download_mbps: 30.0,
+            upload_mbps: 8.0,
+            latency_s: 0.06,
+            radio_power_w: 1.8,
+        }
     }
 
     /// Time to download a payload of `bytes`.
@@ -91,7 +99,10 @@ mod tests {
     fn lte_is_slower_and_hotter_than_wifi() {
         let wifi = TransportModel::wifi();
         let lte = TransportModel::lte();
-        assert!(lte.upload_time(PAPER_MODEL_BYTES).value() > wifi.upload_time(PAPER_MODEL_BYTES).value());
+        assert!(
+            lte.upload_time(PAPER_MODEL_BYTES).value()
+                > wifi.upload_time(PAPER_MODEL_BYTES).value()
+        );
         let d = Seconds(1.0);
         assert!(lte.radio_energy(d).value() > wifi.radio_energy(d).value());
     }
@@ -106,7 +117,12 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_is_infinite() {
-        let t = TransportModel { download_mbps: 0.0, upload_mbps: 1.0, latency_s: 0.0, radio_power_w: 1.0 };
+        let t = TransportModel {
+            download_mbps: 0.0,
+            upload_mbps: 1.0,
+            latency_s: 0.0,
+            radio_power_w: 1.0,
+        };
         assert!(t.download_time(100).value().is_infinite());
         assert!(t.upload_time(100).value().is_finite());
     }

@@ -8,9 +8,9 @@
 //! small CNN can genuinely learn the task and accuracy curves respond to
 //! fresh vs. stale updates exactly as a real vision task would.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::seq::SliceRandom;
+use fedco_rng::{Rng, SeedableRng};
 
 use crate::init::sample_gaussian;
 use crate::tensor::{Tensor, TensorError};
@@ -71,7 +71,10 @@ impl Dataset {
         for (i, ex) in self.examples.iter().enumerate() {
             shards[i % parts].push(ex.clone());
         }
-        shards.into_iter().map(|examples| Dataset::new(examples, self.classes)).collect()
+        shards
+            .into_iter()
+            .map(|examples| Dataset::new(examples, self.classes))
+            .collect()
     }
 
     /// Splits off the last `fraction` of examples as a held-out test set.
@@ -92,9 +95,16 @@ impl Dataset {
     ///
     /// Returns [`TensorError`] if the dataset is empty or images disagree in
     /// shape.
-    pub fn batch(&self, offset: usize, batch_size: usize) -> Result<(Tensor, Vec<usize>), TensorError> {
+    pub fn batch(
+        &self,
+        offset: usize,
+        batch_size: usize,
+    ) -> Result<(Tensor, Vec<usize>), TensorError> {
         if self.examples.is_empty() {
-            return Err(TensorError::LengthMismatch { expected: 1, actual: 0 });
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
         let start = offset % self.examples.len();
         let mut images = Vec::new();
@@ -207,8 +217,9 @@ impl SyntheticCifarConfig {
                 let phase_x: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
                 let phase_y: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
                 let amp: f32 = rng.gen_range(0.4..1.0);
-                let channel_weights: Vec<f32> =
-                    (0..self.channels).map(|_| rng.gen_range(0.2..1.0)).collect();
+                let channel_weights: Vec<f32> = (0..self.channels)
+                    .map(|_| rng.gen_range(0.2..1.0))
+                    .collect();
                 for c in 0..self.channels {
                     for y in 0..self.image_size {
                         for x in 0..self.image_size {
@@ -234,8 +245,10 @@ impl SyntheticCifarConfig {
         for i in 0..self.examples {
             let label = i % self.classes.max(1);
             let proto = &prototypes[label];
-            let data: Vec<f32> =
-                proto.iter().map(|&p| p + sample_gaussian(&mut rng) * self.noise_std).collect();
+            let data: Vec<f32> = proto
+                .iter()
+                .map(|&p| p + sample_gaussian(&mut rng) * self.noise_std)
+                .collect();
             let image = Tensor::from_vec(data, &shape).expect("shape matches dims");
             examples.push(Example { image, label });
         }
@@ -365,6 +378,11 @@ mod tests {
             }
         }
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
-        assert!(mean(&between) > mean(&within), "between {} within {}", mean(&between), mean(&within));
+        assert!(
+            mean(&between) > mean(&within),
+            "between {} within {}",
+            mean(&between),
+            mean(&within)
+        );
     }
 }

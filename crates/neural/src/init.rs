@@ -1,29 +1,24 @@
 //! Weight initialisation schemes.
 
-use rand::distributions::Distribution;
-use rand::Rng;
+use fedco_rng::distributions::Distribution;
+use fedco_rng::Rng;
 
 use crate::tensor::Tensor;
 
 /// Supported weight-initialisation schemes.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Initializer {
     /// All weights set to zero (used for biases).
     Zeros,
     /// All weights set to a constant value.
     Constant(f32),
     /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
+    #[default]
     XavierUniform,
     /// Gaussian with standard deviation `sqrt(2 / fan_in)` (He / Kaiming).
     HeNormal,
     /// Uniform in `[-scale, scale]`.
     Uniform(f32),
-}
-
-impl Default for Initializer {
-    fn default() -> Self {
-        Initializer::XavierUniform
-    }
 }
 
 impl Initializer {
@@ -45,7 +40,7 @@ impl Initializer {
             Initializer::Constant(c) => vec![c; len],
             Initializer::XavierUniform => {
                 let limit = (6.0 / (fan_in.max(1) + fan_out.max(1)) as f32).sqrt();
-                let dist = rand::distributions::Uniform::new_inclusive(-limit, limit);
+                let dist = fedco_rng::distributions::Uniform::new_inclusive(-limit, limit);
                 (0..len).map(|_| dist.sample(rng)).collect()
             }
             Initializer::HeNormal => {
@@ -54,7 +49,7 @@ impl Initializer {
             }
             Initializer::Uniform(scale) => {
                 let s = scale.abs().max(f32::MIN_POSITIVE);
-                let dist = rand::distributions::Uniform::new_inclusive(-s, s);
+                let dist = fedco_rng::distributions::Uniform::new_inclusive(-s, s);
                 (0..len).map(|_| dist.sample(rng)).collect()
             }
         };
@@ -84,8 +79,8 @@ pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fedco_rng::rngs::SmallRng;
+    use fedco_rng::SeedableRng;
 
     #[test]
     fn zeros_and_constant() {
@@ -112,9 +107,18 @@ mod tests {
         let t = Initializer::HeNormal.init(&mut rng, &[10_000], 100, 100);
         let std_expected = (2.0f32 / 100.0).sqrt();
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
-        assert!((var.sqrt() - std_expected).abs() < 0.03, "std {}", var.sqrt());
+        assert!(
+            (var.sqrt() - std_expected).abs() < 0.03,
+            "std {}",
+            var.sqrt()
+        );
     }
 
     #[test]

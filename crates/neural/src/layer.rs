@@ -74,7 +74,12 @@ impl ParamPair {
     pub fn new(weight: Tensor, bias: Tensor) -> Self {
         let grad_weight = Tensor::zeros(weight.shape());
         let grad_bias = Tensor::zeros(bias.shape());
-        ParamPair { weight, bias, grad_weight, grad_bias }
+        ParamPair {
+            weight,
+            bias,
+            grad_weight,
+            grad_bias,
+        }
     }
 
     pub fn zero_grads(&mut self) {

@@ -66,7 +66,11 @@ pub struct Activation {
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Activation { kind, cached_input: None, cached_output: None }
+        Activation {
+            kind,
+            cached_input: None,
+            cached_output: None,
+        }
     }
 
     /// Convenience constructor for ReLU.
@@ -107,12 +111,18 @@ impl Layer for Activation {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::ShapeMismatch {
-            lhs: vec![],
-            rhs: vec![],
-            op: "activation_backward_without_forward",
-        })?;
-        let output = self.cached_output.as_ref().expect("output cached with input");
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: vec![],
+                rhs: vec![],
+                op: "activation_backward_without_forward",
+            })?;
+        let output = self
+            .cached_output
+            .as_ref()
+            .expect("output cached with input");
         if grad_output.shape() != input.shape() {
             return Err(TensorError::ShapeMismatch {
                 lhs: grad_output.shape().to_vec(),
@@ -121,7 +131,12 @@ impl Layer for Activation {
             });
         }
         let mut grad = grad_output.clone();
-        for ((g, &x), &y) in grad.data_mut().iter_mut().zip(input.data()).zip(output.data()) {
+        for ((g, &x), &y) in grad
+            .data_mut()
+            .iter_mut()
+            .zip(input.data())
+            .zip(output.data())
+        {
             *g *= self.kind.derivative(x, y);
         }
         Ok(grad)
@@ -188,7 +203,11 @@ mod tests {
 
     #[test]
     fn finite_difference_check() {
-        for kind in [ActivationKind::Relu, ActivationKind::Tanh, ActivationKind::Sigmoid] {
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::Tanh,
+            ActivationKind::Sigmoid,
+        ] {
             let mut l = Activation::new(kind);
             let x = Tensor::from_slice(&[0.4, -0.7, 1.3]);
             l.forward(&x, true).unwrap();

@@ -1,6 +1,6 @@
 //! 2-D convolution layer (direct, nested-loop implementation).
 
-use rand::Rng;
+use fedco_rng::Rng;
 
 use crate::init::Initializer;
 use crate::layer::{Layer, ParamPair};
@@ -146,9 +146,10 @@ impl Layer for Conv2d {
                                         continue;
                                     }
                                     let ix = ix - self.padding;
-                                    let xin = in_data[((b * self.in_channels + ic) * h + iy) * w + ix];
-                                    let wv = w_data
-                                        [((oc * self.in_channels + ic) * k + ky) * k + kx];
+                                    let xin =
+                                        in_data[((b * self.in_channels + ic) * h + iy) * w + ix];
+                                    let wv =
+                                        w_data[((oc * self.in_channels + ic) * k + ky) * k + kx];
                                     acc += xin * wv;
                                 }
                             }
@@ -163,11 +164,14 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::ShapeMismatch {
-            lhs: vec![],
-            rhs: vec![],
-            op: "conv2d_backward_without_forward",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: vec![],
+                rhs: vec![],
+                op: "conv2d_backward_without_forward",
+            })?;
         let (batch, _c, oh, ow) = self.check_input(input.shape())?;
         if grad_output.shape() != [batch, self.out_channels, oh, ow] {
             return Err(TensorError::ShapeMismatch {
@@ -252,8 +256,8 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fedco_rng::rngs::SmallRng;
+    use fedco_rng::SeedableRng;
 
     #[test]
     fn identity_kernel_passes_input_through() {
@@ -272,8 +276,11 @@ mod tests {
         let mut conv = Conv2d::new(1, 1, 2, 1, 0, &mut rng);
         // Kernel [[1, 0], [0, 1]] sums the main diagonal of each 2x2 patch.
         *conv.params_mut()[0] = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[1, 1, 2, 2]).unwrap();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
         let y = conv.forward(&x, true).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[1.0 + 5.0, 2.0 + 6.0, 4.0 + 8.0, 5.0 + 9.0]);
@@ -285,7 +292,10 @@ mod tests {
         let conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
         assert_eq!(conv.output_shape(&[4, 1, 8, 8]).unwrap(), vec![4, 2, 8, 8]);
         let conv2 = Conv2d::new(1, 2, 5, 1, 0, &mut rng);
-        assert_eq!(conv2.output_shape(&[1, 1, 32, 32]).unwrap(), vec![1, 2, 28, 28]);
+        assert_eq!(
+            conv2.output_shape(&[1, 1, 32, 32]).unwrap(),
+            vec![1, 2, 28, 28]
+        );
     }
 
     #[test]

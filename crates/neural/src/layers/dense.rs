@@ -1,6 +1,6 @@
 //! Fully-connected (dense) layer.
 
-use rand::Rng;
+use fedco_rng::Rng;
 
 use crate::init::Initializer;
 use crate::layer::{Layer, ParamPair};
@@ -16,8 +16,8 @@ use crate::tensor::{Tensor, TensorError};
 /// use fedco_neural::layers::Dense;
 /// use fedco_neural::layer::Layer;
 /// use fedco_neural::tensor::Tensor;
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use fedco_rng::rngs::SmallRng;
+/// use fedco_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut rng = SmallRng::seed_from_u64(0);
@@ -96,11 +96,14 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
-        let input = self.cached_input.as_ref().ok_or(TensorError::ShapeMismatch {
-            lhs: vec![],
-            rhs: vec![],
-            op: "dense_backward_without_forward",
-        })?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: vec![],
+                rhs: vec![],
+                op: "dense_backward_without_forward",
+            })?;
         if grad_output.rank() != 2 || grad_output.shape()[1] != self.out_features {
             return Err(TensorError::ShapeMismatch {
                 lhs: grad_output.shape().to_vec(),
@@ -156,8 +159,8 @@ impl Layer for Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fedco_rng::rngs::SmallRng;
+    use fedco_rng::SeedableRng;
 
     fn layer_with_known_weights() -> Dense {
         let mut rng = SmallRng::seed_from_u64(0);

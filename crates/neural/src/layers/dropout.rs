@@ -1,7 +1,7 @@
 //! Inverted-dropout regularisation layer.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::{Rng, SeedableRng};
 
 use crate::layer::Layer;
 use crate::tensor::{Tensor, TensorError};
@@ -20,7 +20,11 @@ impl Dropout {
     /// Creates a dropout layer with drop probability `p` (clamped to
     /// `[0, 0.95]`) and a deterministic seed.
     pub fn new(p: f32, seed: u64) -> Self {
-        Dropout { p: p.clamp(0.0, 0.95), rng: SmallRng::seed_from_u64(seed), cached_mask: None }
+        Dropout {
+            p: p.clamp(0.0, 0.95),
+            rng: SmallRng::seed_from_u64(seed),
+            cached_mask: None,
+        }
     }
 
     /// The drop probability.
@@ -52,11 +56,14 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
-        let mask = self.cached_mask.as_ref().ok_or(TensorError::ShapeMismatch {
-            lhs: vec![],
-            rhs: vec![],
-            op: "dropout_backward_without_forward",
-        })?;
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: vec![],
+                rhs: vec![],
+                op: "dropout_backward_without_forward",
+            })?;
         grad_output.mul(mask)
     }
 

@@ -36,11 +36,14 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
-        let shape = self.cached_shape.as_ref().ok_or(TensorError::ShapeMismatch {
-            lhs: vec![],
-            rhs: vec![],
-            op: "flatten_backward_without_forward",
-        })?;
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: vec![],
+                rhs: vec![],
+                op: "flatten_backward_without_forward",
+            })?;
         grad_output.reshape(shape)
     }
 

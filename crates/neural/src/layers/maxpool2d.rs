@@ -22,7 +22,12 @@ impl MaxPool2d {
     pub fn new(kernel: usize, stride: usize) -> Self {
         assert!(kernel > 0, "kernel must be positive");
         assert!(stride > 0, "stride must be positive");
-        MaxPool2d { kernel, stride, cached_input_shape: None, cached_argmax: None }
+        MaxPool2d {
+            kernel,
+            stride,
+            cached_input_shape: None,
+            cached_argmax: None,
+        }
     }
 
     /// Window size.
@@ -50,16 +55,20 @@ impl MaxPool2d {
                 op: "maxpool2d",
             });
         }
-        let oh = self.out_spatial(shape[2]).ok_or(TensorError::ShapeMismatch {
-            lhs: shape.to_vec(),
-            rhs: vec![self.kernel],
-            op: "maxpool2d_window_too_large",
-        })?;
-        let ow = self.out_spatial(shape[3]).ok_or(TensorError::ShapeMismatch {
-            lhs: shape.to_vec(),
-            rhs: vec![self.kernel],
-            op: "maxpool2d_window_too_large",
-        })?;
+        let oh = self
+            .out_spatial(shape[2])
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: shape.to_vec(),
+                rhs: vec![self.kernel],
+                op: "maxpool2d_window_too_large",
+            })?;
+        let ow = self
+            .out_spatial(shape[3])
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: shape.to_vec(),
+                rhs: vec![self.kernel],
+                op: "maxpool2d_window_too_large",
+            })?;
         Ok((shape[0], shape[1], oh, ow))
     }
 }
@@ -106,12 +115,18 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
-        let shape = self.cached_input_shape.as_ref().ok_or(TensorError::ShapeMismatch {
-            lhs: vec![],
-            rhs: vec![],
-            op: "maxpool2d_backward_without_forward",
-        })?;
-        let argmax = self.cached_argmax.as_ref().expect("argmax cached with shape");
+        let shape = self
+            .cached_input_shape
+            .as_ref()
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: vec![],
+                rhs: vec![],
+                op: "maxpool2d_backward_without_forward",
+            })?;
+        let argmax = self
+            .cached_argmax
+            .as_ref()
+            .expect("argmax cached with shape");
         if grad_output.len() != argmax.len() {
             return Err(TensorError::ShapeMismatch {
                 lhs: grad_output.shape().to_vec(),
@@ -155,8 +170,10 @@ mod tests {
     fn pools_maximum_of_each_window() {
         let mut pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, 9.0, 10.0, 13.0, 14.0, 11.0, 12.0, 15.0,
-                 16.0],
+            vec![
+                1.0, 2.0, 5.0, 6.0, 3.0, 4.0, 7.0, 8.0, 9.0, 10.0, 13.0, 14.0, 11.0, 12.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -178,8 +195,14 @@ mod tests {
     #[test]
     fn output_shape_matches_lenet_stages() {
         let pool = MaxPool2d::new(2, 2);
-        assert_eq!(pool.output_shape(&[1, 6, 28, 28]).unwrap(), vec![1, 6, 14, 14]);
-        assert_eq!(pool.output_shape(&[1, 16, 10, 10]).unwrap(), vec![1, 16, 5, 5]);
+        assert_eq!(
+            pool.output_shape(&[1, 6, 28, 28]).unwrap(),
+            vec![1, 6, 14, 14]
+        );
+        assert_eq!(
+            pool.output_shape(&[1, 16, 10, 10]).unwrap(),
+            vec![1, 16, 5, 5]
+        );
         assert_eq!(pool.kernel(), 2);
         assert_eq!(pool.stride(), 2);
     }
@@ -196,8 +219,11 @@ mod tests {
     fn overlapping_stride_accumulates_gradients() {
         let mut pool = MaxPool2d::new(2, 1);
         // Max element (4.0) is in every window.
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[1, 1, 3, 3])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 9.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
         let y = pool.forward(&x, true).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         let g = Tensor::ones(&[1, 1, 2, 2]);

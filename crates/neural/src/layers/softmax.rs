@@ -17,7 +17,9 @@ pub struct Softmax {
 impl Softmax {
     /// Creates a softmax layer.
     pub fn new() -> Self {
-        Softmax { cached_output: None }
+        Softmax {
+            cached_output: None,
+        }
     }
 
     /// Applies a numerically-stable softmax to each row of a rank-2 tensor.
@@ -65,11 +67,14 @@ impl Layer for Softmax {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, TensorError> {
-        let y = self.cached_output.as_ref().ok_or(TensorError::ShapeMismatch {
-            lhs: vec![],
-            rhs: vec![],
-            op: "softmax_backward_without_forward",
-        })?;
+        let y = self
+            .cached_output
+            .as_ref()
+            .ok_or(TensorError::ShapeMismatch {
+                lhs: vec![],
+                rhs: vec![],
+                op: "softmax_backward_without_forward",
+            })?;
         if grad_output.shape() != y.shape() {
             return Err(TensorError::ShapeMismatch {
                 lhs: grad_output.shape().to_vec(),
@@ -156,10 +161,20 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let fp: f32 =
-                Softmax::apply(&xp).unwrap().data().iter().zip(&w).map(|(a, b)| a * b).sum();
-            let fm: f32 =
-                Softmax::apply(&xm).unwrap().data().iter().zip(&w).map(|(a, b)| a * b).sum();
+            let fp: f32 = Softmax::apply(&xp)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(&w)
+                .map(|(a, b)| a * b)
+                .sum();
+            let fm: f32 = Softmax::apply(&xm)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(&w)
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (fp - fm) / (2.0 * eps);
             assert!((numeric - gx.data()[i]).abs() < 1e-3, "idx {i}");
         }

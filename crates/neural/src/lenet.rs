@@ -1,7 +1,6 @@
 //! LeNet-5 model builders — the training workload used by the paper.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use fedco_rng::Rng;
 
 use crate::layers::{Activation, Conv2d, Dense, Flatten, MaxPool2d};
 use crate::model::Sequential;
@@ -12,7 +11,7 @@ use crate::model::Sequential;
 /// 32×32×3 CIFAR-10 images). Down-scaled variants keep the same topology but
 /// shrink the spatial resolution and channel counts so the simulator can run
 /// thousands of local epochs quickly while exercising identical code paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LeNetConfig {
     /// Input image side length (images are square).
     pub image_size: usize,
@@ -108,7 +107,14 @@ impl LeNetConfig {
     pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Sequential {
         let k = self.conv_kernel();
         Sequential::new()
-            .with_layer(Box::new(Conv2d::new(self.channels, self.conv1_channels, k, 1, 0, rng)))
+            .with_layer(Box::new(Conv2d::new(
+                self.channels,
+                self.conv1_channels,
+                k,
+                1,
+                0,
+                rng,
+            )))
             .with_layer(Box::new(Activation::relu()))
             .with_layer(Box::new(MaxPool2d::new(2, 2)))
             .with_layer(Box::new(Conv2d::new(
@@ -122,7 +128,11 @@ impl LeNetConfig {
             .with_layer(Box::new(Activation::relu()))
             .with_layer(Box::new(MaxPool2d::new(2, 2)))
             .with_layer(Box::new(Flatten::new()))
-            .with_layer(Box::new(Dense::new(self.flattened_features(), self.fc1, rng)))
+            .with_layer(Box::new(Dense::new(
+                self.flattened_features(),
+                self.fc1,
+                rng,
+            )))
             .with_layer(Box::new(Activation::relu()))
             .with_layer(Box::new(Dense::new(self.fc1, self.fc2, rng)))
             .with_layer(Box::new(Activation::relu()))
@@ -140,8 +150,8 @@ impl Default for LeNetConfig {
 mod tests {
     use super::*;
     use crate::tensor::Tensor;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fedco_rng::rngs::SmallRng;
+    use fedco_rng::SeedableRng;
 
     #[test]
     fn lenet5_feature_geometry_matches_paper_model() {
@@ -162,7 +172,11 @@ mod tests {
         let y = net.forward(&x, false).unwrap();
         assert_eq!(y.shape(), &[2, 10]);
         // Classic LeNet-5 on 3-channel input: ~62k params plus the RGB conv1.
-        assert!(net.param_count() > 50_000, "param count {}", net.param_count());
+        assert!(
+            net.param_count() > 50_000,
+            "param count {}",
+            net.param_count()
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! use fedco_neural::data::SyntheticCifarConfig;
 //! use fedco_neural::loss::SoftmaxCrossEntropy;
 //! use fedco_neural::optimizer::Sgd;
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use fedco_rng::rngs::SmallRng;
+//! use fedco_rng::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = SmallRng::seed_from_u64(0);

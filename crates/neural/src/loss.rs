@@ -75,7 +75,10 @@ impl Loss for SoftmaxCrossEntropy {
         }
         let scale = 1.0 / batch as f32;
         grad.scale_in_place(scale);
-        Ok(LossOutput { loss: loss * scale, grad })
+        Ok(LossOutput {
+            loss: loss * scale,
+            grad,
+        })
     }
 }
 

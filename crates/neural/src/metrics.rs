@@ -74,7 +74,10 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Creates an all-zero matrix for `classes` classes.
     pub fn new(classes: usize) -> Self {
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Number of classes.
@@ -116,7 +119,9 @@ impl ConfusionMatrix {
         if total == 0 {
             return 0.0;
         }
-        let trace: usize = (0..self.classes).map(|i| self.counts[i * self.classes + i]).sum();
+        let trace: usize = (0..self.classes)
+            .map(|i| self.counts[i * self.classes + i])
+            .sum();
         trace as f32 / total as f32
     }
 
@@ -124,7 +129,9 @@ impl ConfusionMatrix {
     pub fn recall(&self) -> Vec<f32> {
         (0..self.classes)
             .map(|i| {
-                let row: usize = self.counts[i * self.classes..(i + 1) * self.classes].iter().sum();
+                let row: usize = self.counts[i * self.classes..(i + 1) * self.classes]
+                    .iter()
+                    .sum();
                 if row == 0 {
                     0.0
                 } else {
@@ -139,7 +146,9 @@ impl ConfusionMatrix {
     pub fn precision(&self) -> Vec<f32> {
         (0..self.classes)
             .map(|j| {
-                let col: usize = (0..self.classes).map(|i| self.counts[i * self.classes + j]).sum();
+                let col: usize = (0..self.classes)
+                    .map(|i| self.counts[i * self.classes + j])
+                    .sum();
                 if col == 0 {
                     0.0
                 } else {

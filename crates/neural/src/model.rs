@@ -10,7 +10,7 @@ use crate::tensor::{Tensor, TensorError};
 /// This is the "model" that federated clients upload to / download from the
 /// parameter server (2.5 MB for LeNet-5 in the paper). Norm arithmetic on
 /// these vectors backs the gradient-gap staleness metric.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamVector {
     values: Vec<f32>,
 }
@@ -23,7 +23,9 @@ impl ParamVector {
 
     /// Creates a zero vector of the given length.
     pub fn zeros(len: usize) -> Self {
-        ParamVector { values: vec![0.0; len] }
+        ParamVector {
+            values: vec![0.0; len],
+        }
     }
 
     /// The underlying values.
@@ -90,7 +92,12 @@ impl ParamVector {
             });
         }
         Ok(ParamVector {
-            values: self.values.iter().zip(&other.values).map(|(a, b)| a - b).collect(),
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a - b)
+                .collect(),
         })
     }
 
@@ -115,7 +122,9 @@ impl ParamVector {
 
     /// Returns a scaled copy.
     pub fn scale(&self, factor: f32) -> ParamVector {
-        ParamVector { values: self.values.iter().map(|v| v * factor).collect() }
+        ParamVector {
+            values: self.values.iter().map(|v| v * factor).collect(),
+        }
     }
 
     /// Averages a non-empty set of vectors with the given non-negative
@@ -139,7 +148,14 @@ impl ParamVector {
         let total: f32 = weights.iter().sum();
         let mut out = ParamVector::zeros(vectors[0].len());
         for (v, &w) in vectors.iter().zip(weights) {
-            out.add_scaled(v, if total > 0.0 { w / total } else { 1.0 / vectors.len() as f32 })?;
+            out.add_scaled(
+                v,
+                if total > 0.0 {
+                    w / total
+                } else {
+                    1.0 / vectors.len() as f32
+                },
+            )?;
         }
         Ok(out)
     }
@@ -258,22 +274,31 @@ impl Sequential {
     ) -> Result<TrainStep, TensorError> {
         self.zero_grads();
         let logits = self.forward(input, true)?;
-        let LossOutput { loss: loss_value, grad } = loss.forward(&logits, targets)?;
+        let LossOutput {
+            loss: loss_value,
+            grad,
+        } = loss.forward(&logits, targets)?;
         self.backward(&grad)?;
         let mut params: Vec<&mut Tensor> = Vec::new();
         let mut grads: Vec<&Tensor> = Vec::new();
         // Split borrows: gather raw pointers first to satisfy the borrow
         // checker without unsafe by re-walking the layers in two passes.
         // First collect gradients (immutable), cloned references are fine.
-        let grad_clones: Vec<Tensor> =
-            self.layers.iter().flat_map(|l| l.grads().into_iter().cloned()).collect();
+        let grad_clones: Vec<Tensor> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.grads().into_iter().cloned())
+            .collect();
         for layer in &mut self.layers {
             params.extend(layer.params_mut());
         }
         grads.extend(grad_clones.iter());
         optimizer.step(&mut params, &grads)?;
         let accuracy = batch_accuracy(&logits, targets);
-        Ok(TrainStep { loss: loss_value, accuracy })
+        Ok(TrainStep {
+            loss: loss_value,
+            accuracy,
+        })
     }
 
     /// Computes class predictions (argmax of the logits) for a batch.
@@ -340,13 +365,17 @@ impl Sequential {
     pub fn set_parameters(&mut self, params: &ParamVector) -> Result<(), TensorError> {
         let expected = self.param_count();
         if params.len() != expected {
-            return Err(TensorError::LengthMismatch { expected, actual: params.len() });
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: params.len(),
+            });
         }
         let mut offset = 0usize;
         for layer in &mut self.layers {
             for p in layer.params_mut() {
                 let len = p.len();
-                p.data_mut().copy_from_slice(&params.values()[offset..offset + len]);
+                p.data_mut()
+                    .copy_from_slice(&params.values()[offset..offset + len]);
                 offset += len;
             }
         }
@@ -390,10 +419,10 @@ mod tests {
     use super::*;
     use crate::layers::{Activation, Dense};
     use crate::loss::SoftmaxCrossEntropy;
-    use crate::optimizer::{Sgd, SgdConfig};
     use crate::optimizer::LrSchedule;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::optimizer::{Sgd, SgdConfig};
+    use fedco_rng::rngs::SmallRng;
+    use fedco_rng::SeedableRng;
 
     fn small_mlp(seed: u64) -> Sequential {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -457,7 +486,12 @@ mod tests {
         for _ in 0..100 {
             last = net.train_batch(&x, &y, &loss, &mut opt).unwrap();
         }
-        assert!(last.loss < first.loss, "loss did not decrease: {} -> {}", first.loss, last.loss);
+        assert!(
+            last.loss < first.loss,
+            "loss did not decrease: {} -> {}",
+            first.loss,
+            last.loss
+        );
         assert!(last.accuracy > 0.99, "accuracy {}", last.accuracy);
         assert_eq!(net.evaluate(&x, &y).unwrap(), 1.0);
     }
@@ -473,8 +507,7 @@ mod tests {
 
     #[test]
     fn batch_accuracy_helper() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 0.0], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.0, 5.0, 1.0, 0.0], &[2, 3]).unwrap();
         assert_eq!(batch_accuracy(&logits, &[1, 0]), 1.0);
         assert_eq!(batch_accuracy(&logits, &[0, 0]), 0.5);
         assert_eq!(batch_accuracy(&logits, &[0]), 0.0);

@@ -1,11 +1,9 @@
 //! Optimisers: plain SGD and SGD with momentum (Eq. 1 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::tensor::{Tensor, TensorError};
 
 /// Learning-rate schedules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LrSchedule {
     /// Constant learning rate.
     Constant,
@@ -29,7 +27,7 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => 1.0,
             LrSchedule::StepDecay { gamma, every } => {
-                let k = if every == 0 { 0 } else { step / every };
+                let k = step.checked_div(every).unwrap_or(0);
                 gamma.powi(k as i32)
             }
             LrSchedule::InverseTime { decay } => 1.0 / (1.0 + decay * step as f32),
@@ -38,7 +36,7 @@ impl LrSchedule {
 }
 
 /// Configuration of the SGD optimiser.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SgdConfig {
     /// Base learning rate `η`.
     pub learning_rate: f32,
@@ -80,13 +78,20 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an optimiser with the given configuration.
     pub fn new(config: SgdConfig) -> Self {
-        Sgd { config, velocities: Vec::new(), step: 0 }
+        Sgd {
+            config,
+            velocities: Vec::new(),
+            step: 0,
+        }
     }
 
     /// Creates an optimiser with the default configuration and a custom
     /// learning rate.
     pub fn with_learning_rate(learning_rate: f32) -> Self {
-        Sgd::new(SgdConfig { learning_rate, ..SgdConfig::default() })
+        Sgd::new(SgdConfig {
+            learning_rate,
+            ..SgdConfig::default()
+        })
     }
 
     /// The optimiser configuration.
@@ -127,7 +132,11 @@ impl Sgd {
     ///
     /// Returns [`TensorError`] if the number or shapes of the gradients do
     /// not match the parameters.
-    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) -> Result<(), TensorError> {
+    pub fn step(
+        &mut self,
+        params: &mut [&mut Tensor],
+        grads: &[&Tensor],
+    ) -> Result<(), TensorError> {
         if params.len() != grads.len() {
             return Err(TensorError::ShapeMismatch {
                 lhs: vec![params.len()],
@@ -147,8 +156,10 @@ impl Sgd {
         }
         let lr = self.current_learning_rate();
         let beta = self.config.momentum;
-        for ((param, grad), velocity) in
-            params.iter_mut().zip(grads.iter()).zip(self.velocities.iter_mut())
+        for ((param, grad), velocity) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.velocities.iter_mut())
         {
             if param.shape() != grad.shape() {
                 return Err(TensorError::ShapeMismatch {
@@ -239,7 +250,10 @@ mod tests {
 
     #[test]
     fn step_decay_schedule() {
-        let s = LrSchedule::StepDecay { gamma: 0.5, every: 10 };
+        let s = LrSchedule::StepDecay {
+            gamma: 0.5,
+            every: 10,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);

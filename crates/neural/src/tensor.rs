@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Errors produced by tensor operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {
@@ -54,12 +52,19 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape product {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape product {expected}"
+                )
             }
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
-            TensorError::RankMismatch { expected, actual, op } => {
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => {
                 write!(f, "{op} expects rank {expected}, got rank {actual}")
             }
         }
@@ -80,7 +85,7 @@ impl std::error::Error for TensorError {}
 /// let c = a.add(&b).unwrap();
 /// assert_eq!(c.data(), &[2.0, 3.0, 4.0, 5.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -90,19 +95,28 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with ones.
     pub fn ones(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![1.0; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![1.0; len],
+        }
     }
 
     /// Creates a tensor filled with a constant value.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![value; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -114,14 +128,23 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
         let expected: usize = shape.iter().product();
         if data.len() != expected {
-            return Err(TensorError::LengthMismatch { expected, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Tensor { shape: shape.to_vec(), data })
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor { shape: vec![data.len()], data: data.to_vec() }
+        Tensor {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
     }
 
     /// The shape of the tensor.
@@ -167,9 +190,15 @@ impl Tensor {
     pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
         let expected: usize = shape.iter().product();
         if expected != self.data.len() {
-            return Err(TensorError::LengthMismatch { expected, actual: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: self.data.len(),
+            });
         }
-        Ok(Tensor { shape: shape.to_vec(), data: self.data.clone() })
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
     }
 
     fn flat_index(&self, index: &[usize]) -> Result<usize, TensorError> {
@@ -231,8 +260,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "add")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise subtraction.
@@ -242,8 +279,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "sub")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise (Hadamard) product.
@@ -253,8 +298,16 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         self.check_same_shape(other, "mul")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// In-place addition of `other * scale` (axpy).
@@ -273,7 +326,10 @@ impl Tensor {
     /// Returns a new tensor scaled by a scalar.
     pub fn scale(&self, factor: f32) -> Tensor {
         let data = self.data.iter().map(|a| a * factor).collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Scales the tensor in place.
@@ -286,7 +342,10 @@ impl Tensor {
     /// Applies a function to every element, returning a new tensor.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Sum of all elements.
@@ -380,10 +439,18 @@ impl Tensor {
     /// and [`TensorError::ShapeMismatch`] if the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank(), op: "matmul" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "matmul",
+            });
         }
         if other.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: other.rank(), op: "matmul" });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: other.rank(),
+                op: "matmul",
+            });
         }
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
@@ -408,7 +475,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Tensor { shape: vec![m, n], data: out })
+        Ok(Tensor {
+            shape: vec![m, n],
+            data: out,
+        })
     }
 
     /// Transpose of a rank-2 tensor.
@@ -431,7 +501,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Ok(Tensor { shape: vec![n, m], data: out })
+        Ok(Tensor {
+            shape: vec![n, m],
+            data: out,
+        })
     }
 
     /// Clips every element into `[lo, hi]`.

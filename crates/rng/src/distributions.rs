@@ -1,0 +1,295 @@
+//! Uniform sampling over ranges and the standard distributions of the
+//! primitive types.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Unbiased draw from `[0, n)` by rejection (the classic
+/// `arc4random_uniform` construction).
+fn gen_u64_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let threshold = n.wrapping_neg() % n; // 2^64 mod n
+    loop {
+        let v = rng.next_u64();
+        if v >= threshold {
+            return v % n;
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+pub(crate) fn standard_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f32` in `[0, 1)` with 24 random mantissa bits.
+pub(crate) fn standard_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Types with a canonical "standard" distribution, sampled by
+/// [`Rng::gen`](crate::Rng::gen).
+pub trait StandardSample: Sized {
+    /// Draws one standard-distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        standard_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        standard_f32(rng)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit: it is the strongest bit of every 64-bit PRNG.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Types over which [`Rng::gen_range`](crate::Rng::gen_range) and
+/// [`Uniform`] can sample uniformly.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draws uniformly from `[low, high)` (`inclusive == false`) or
+    /// `[low, high]` (`inclusive == true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let empty = if inclusive { low > high } else { low >= high };
+                assert!(!empty, "empty sampling range {low}..{high}");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                let span = if inclusive { span.wrapping_add(1) } else { span };
+                // span == 0 here means the whole 2^64 inclusive domain.
+                let offset =
+                    if span == 0 { rng.next_u64() } else { gen_u64_below(rng, span) };
+                ((low as $wide).wrapping_add(offset as $wide)) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty => $standard:path),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                // NaN bounds also fail this check, which is what we want.
+                let nonempty = if inclusive { low <= high } else { low < high };
+                assert!(nonempty, "empty sampling range {low}..{high}");
+                let v = low + $standard(rng) * (high - low);
+                // Floating-point rounding can land exactly on `high`; fold it
+                // back for half-open ranges.
+                if !inclusive && v >= high {
+                    low
+                } else {
+                    v.min(high)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32 => standard_f32, f64 => standard_f64);
+
+/// Range arguments accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The uniform distribution over an interval, constructed once and sampled
+/// many times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over the half-open interval `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at first sample) if `low >= high`.
+    pub fn new(low: T, high: T) -> Self {
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at first sample) if `low > high`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(rng, self.low, self.high, self.inclusive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..6);
+            seen[v as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "exclusive range missed a value: {seen:?}"
+        );
+        for _ in 0..1000 {
+            let v = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&v));
+        }
+        // Inclusive ranges actually reach their upper bound.
+        assert!((0..1000).any(|_| rng.gen_range(0..=1) == 1));
+    }
+
+    #[test]
+    fn negative_and_signed_ranges() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+        }
+        let any_negative = (0..200).any(|_| rng.gen_range(-5..5) < 0);
+        assert!(any_negative);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v), "{v}");
+            let w: f32 = rng.gen_range(0.4..1.0);
+            assert!((0.4..1.0).contains(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_matches_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = Uniform::new_inclusive(-0.25f32, 0.25f32);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((-0.25..=0.25).contains(&v), "{v}");
+        }
+        let di = Uniform::new(10u64, 20u64);
+        for _ in 0..1000 {
+            let v = di.sample(&mut rng);
+            assert!((10..20).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_domain_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let v = rng.gen_range(0u64..=u64::MAX);
+        let _ = v; // any value is valid; the test is that it terminates
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sampling range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let _ = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn usize_range_is_uniform_enough_for_shuffles() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0..4usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+}

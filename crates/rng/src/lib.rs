@@ -1,0 +1,170 @@
+//! # fedco-rng
+//!
+//! A small, dependency-free, deterministic pseudo-random number generator for
+//! the `fedco` workspace. The build environment is fully offline, so the
+//! crates.io `rand` crate is not available; this crate re-implements exactly
+//! the API subset the workspace uses, with the same module layout
+//! (`rngs::SmallRng`, `Rng`, `SeedableRng`, `seq::SliceRandom`,
+//! `distributions::{Distribution, Uniform}`) so call sites only change their
+//! import path.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64, the construction
+//! recommended by Blackman & Vigna. It is *not* cryptographically secure; it
+//! is meant for reproducible simulations: the same seed always yields the
+//! same stream, on every platform, independent of any global state.
+//!
+//! ```
+//! use fedco_rng::rngs::SmallRng;
+//! use fedco_rng::{Rng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let d = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&d));
+//!
+//! // Identical seeds give identical streams.
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{SampleRange, StandardSample};
+
+/// The raw 64-bit generator interface: everything else is derived from
+/// [`RngCore::next_u64`].
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from `seed`.
+    ///
+    /// Different seeds yield well-separated streams (the seed is expanded
+    /// through SplitMix64, so even consecutive integers work fine).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution:
+    /// uniform in `[0, 1)` for floats, uniform over all values for
+    /// integers, fair coin for `bool`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(1);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(1);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(2);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn floats_live_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x), "f64 {x}");
+            let y: f32 = r.gen();
+            assert!((0.0..1.0).contains(&y), "f32 {y}");
+        }
+    }
+
+    #[test]
+    fn floats_are_not_degenerate() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mean = (0..10_000).map(|_| r.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = SmallRng::seed_from_u64(5);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn gen_bool_rejects_bad_probability() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let _ = r.gen_bool(1.5);
+    }
+
+    #[test]
+    fn bools_are_roughly_fair() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let heads = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4500..5500).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+            rng.gen::<f32>()
+        }
+        let mut r = SmallRng::seed_from_u64(8);
+        assert!(draw(&mut r).is_finite());
+    }
+}

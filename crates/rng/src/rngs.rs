@@ -1,0 +1,96 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// One SplitMix64 step: used to expand a 64-bit seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, deterministic generator: xoshiro256++.
+///
+/// The name mirrors `rand`'s `rngs::SmallRng` so that the rest of the workspace
+/// reads naturally, but unlike `rand`'s the algorithm here is fixed forever —
+/// seeded streams are part of fedco's reproducibility contract and will not
+/// change across versions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in s.iter_mut() {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro's state must not be all zero; SplitMix64 cannot produce
+        // four consecutive zeros, but keep the guard explicit.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_xoshiro256plusplus_vector() {
+        // Reference: the first outputs of xoshiro256++ with state
+        // {1, 2, 3, 4}, from the public-domain C source by Blackman & Vigna.
+        let mut rng = SmallRng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seeding_expands_through_splitmix() {
+        // SplitMix64 reference: first output for seed 0 is 0xE220A8397B1DCDAF.
+        let mut sm = 0u64;
+        assert_eq!(splitmix64(&mut sm), 0xE220_A839_7B1D_CDAF);
+        // And the seeded generator state is therefore non-trivial.
+        let rng = SmallRng::seed_from_u64(0);
+        assert_ne!(rng.s, [0, 0, 0, 0]);
+        assert_eq!(rng.s[0], 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn next_u32_is_high_half() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = a.clone();
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+}

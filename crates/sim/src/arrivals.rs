@@ -6,14 +6,13 @@
 //! representative ones of Table II. Arrivals are pre-generated for the whole
 //! horizon so that the offline scheduler can be given oracle access to them.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::{Rng, SeedableRng};
 
 use fedco_device::apps::AppKind;
 
 /// One application arrival event for one user.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AppArrival {
     /// The slot in which the application is opened.
     pub slot: u64,
@@ -22,7 +21,7 @@ pub struct AppArrival {
 }
 
 /// The pre-generated arrival schedule of every user over the full horizon.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalSchedule {
     per_user: Vec<Vec<AppArrival>>,
     probability: f64,
@@ -39,7 +38,9 @@ impl ArrivalSchedule {
         let probability = probability.clamp(0.0, 1.0);
         let mut per_user = Vec::with_capacity(num_users);
         for user in 0..num_users {
-            let mut rng = SmallRng::seed_from_u64(seed ^ (0xA441 + user as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng = SmallRng::seed_from_u64(
+                seed ^ (0xA441 + user as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
             let mut events = Vec::new();
             for slot in 0..total_slots {
                 if rng.gen::<f64>() < probability {
@@ -49,7 +50,10 @@ impl ArrivalSchedule {
             }
             per_user.push(events);
         }
-        ArrivalSchedule { per_user, probability }
+        ArrivalSchedule {
+            per_user,
+            probability,
+        }
     }
 
     /// The configured arrival probability.
@@ -69,7 +73,10 @@ impl ArrivalSchedule {
 
     /// The arrival of `user` at exactly `slot`, if any.
     pub fn arrival_at(&self, user: usize, slot: u64) -> Option<AppArrival> {
-        self.arrivals_for(user).iter().find(|a| a.slot == slot).copied()
+        self.arrivals_for(user)
+            .iter()
+            .find(|a| a.slot == slot)
+            .copied()
     }
 
     /// The first arrival of `user` in the half-open slot window
@@ -101,7 +108,10 @@ mod tests {
         let sched = ArrivalSchedule::generate(20, 10_000, 0.01, 7);
         let total = sched.total_arrivals() as f64;
         let expected = 20.0 * 10_000.0 * 0.01;
-        assert!((total - expected).abs() / expected < 0.15, "total {total}, expected {expected}");
+        assert!(
+            (total - expected).abs() / expected < 0.15,
+            "total {total}, expected {expected}"
+        );
         assert_eq!(sched.num_users(), 20);
         assert_eq!(sched.probability(), 0.01);
     }
@@ -132,7 +142,10 @@ mod tests {
         assert!(!all.is_empty());
         let first = all[0];
         assert_eq!(sched.arrival_at(0, first.slot), Some(first));
-        assert_eq!(sched.first_arrival_in_window(0, 0, first.slot + 1), Some(first));
+        assert_eq!(
+            sched.first_arrival_in_window(0, 0, first.slot + 1),
+            Some(first)
+        );
         assert_eq!(sched.first_arrival_in_window(0, first.slot + 1, 0), None);
         // Out-of-range user is empty.
         assert!(sched.arrivals_for(99).is_empty());

@@ -1,10 +1,8 @@
 //! The slotted simulation clock.
 
-use serde::{Deserialize, Serialize};
-
 /// A discrete, slotted clock. The paper's evaluation uses 1-second slots over
 /// a 3-hour horizon (10 800 slots).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimClock {
     slot: u64,
     slot_seconds: f64,
@@ -14,7 +12,11 @@ pub struct SimClock {
 impl SimClock {
     /// Creates a clock with the given slot length and horizon.
     pub fn new(slot_seconds: f64, total_slots: u64) -> Self {
-        SimClock { slot: 0, slot_seconds: slot_seconds.max(1e-9), total_slots }
+        SimClock {
+            slot: 0,
+            slot_seconds: slot_seconds.max(1e-9),
+            total_slots,
+        }
     }
 
     /// A clock matching the paper's setting: 1-second slots, 3 hours.

@@ -7,8 +7,8 @@
 //! policies (`fedco-core`). One run reproduces the paper's 3-hour testbed
 //! experiment for a chosen policy and parameter set.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::{Rng, SeedableRng};
 
 use fedco_core::config::SchedulerConfig;
 use fedco_core::offline::{OfflineScheduler, OfflineUser};
@@ -139,7 +139,10 @@ impl Simulation {
     ///
     /// Panics if the configuration is invalid (`SimConfig::is_valid`).
     pub fn new(config: SimConfig) -> Self {
-        assert!(config.is_valid(), "invalid simulation configuration: {config:?}");
+        assert!(
+            config.is_valid(),
+            "invalid simulation configuration: {config:?}"
+        );
         let clock = SimClock::new(config.slot_seconds, config.total_slots);
         let arrivals = ArrivalSchedule::generate(
             config.num_users,
@@ -150,11 +153,15 @@ impl Simulation {
         let users: Vec<SimUser> = (0..config.num_users)
             .map(|i| SimUser::new(i, config.devices.device_for(i), config.scheduler.epsilon))
             .collect();
-        let profilers: Vec<EnergyProfiler> =
-            users.iter().map(|u| EnergyProfiler::new(PowerModel::new(u.profile.clone()))).collect();
+        let profilers: Vec<EnergyProfiler> = users
+            .iter()
+            .map(|u| EnergyProfiler::new(PowerModel::new(u.profile.clone())))
+            .collect();
         let policy = PolicyImpl::new(config.policy, config.scheduler);
-        let predictor =
-            WeightPredictor::new(config.scheduler.learning_rate, config.scheduler.momentum_beta);
+        let predictor = WeightPredictor::new(
+            config.scheduler.learning_rate,
+            config.scheduler.momentum_beta,
+        );
         let offline_scheduler = OfflineScheduler::new(config.scheduler.staleness_bound, predictor);
 
         // Initial global parameters and optional ML workload.
@@ -172,8 +179,12 @@ impl Simulation {
                 }
                 .generate();
                 let (train, test) = data.train_test_split(mlcfg.test_fraction);
-                let shards =
-                    partition_dataset(&train, config.num_users, PartitionStrategy::Iid, config.seed);
+                let shards = partition_dataset(
+                    &train,
+                    config.num_users,
+                    PartitionStrategy::Iid,
+                    config.seed,
+                );
                 let client_cfg = ClientConfig {
                     batch_size: mlcfg.batch_size,
                     learning_rate: config.scheduler.learning_rate,
@@ -282,7 +293,10 @@ impl Simulation {
                     let separate = u.profile.training_power().value() * t_train
                         + u.profile.app_power(a.app).value() * t_corun;
                     let corun = u.profile.corun_power(a.app).value() * t_corun;
-                    (Some(a.slot as f64 * self.config.slot_seconds), separate - corun)
+                    (
+                        Some(a.slot as f64 * self.config.slot_seconds),
+                        separate - corun,
+                    )
                 }
                 None => (None, 0.0),
             };
@@ -294,7 +308,9 @@ impl Simulation {
                 energy_saving_j: saving_j,
             });
         }
-        let solution = self.offline_scheduler.schedule_window(&window_users, velocity);
+        let solution = self
+            .offline_scheduler
+            .schedule_window(&window_users, velocity);
         if let Some(policy) = self.policy.offline_mut() {
             policy.clear();
             for wu in &window_users {
@@ -316,7 +332,9 @@ impl Simulation {
     /// Produces the local update of a completed epoch.
     fn make_update(&mut self, user_id: usize) -> LocalUpdate {
         match self.ml.as_mut() {
-            Some(ml) => ml.clients[user_id].local_epoch().expect("training geometry matches"),
+            Some(ml) => ml.clients[user_id]
+                .local_epoch()
+                .expect("training geometry matches"),
             None => {
                 // Energy-only mode: a synthetic update that moves the dummy
                 // global parameters by a step whose magnitude decays with the
@@ -328,7 +346,11 @@ impl Simulation {
                 let mut values = snapshot.params.values().to_vec();
                 let scale = magnitude / (values.len() as f32).sqrt();
                 for v in values.iter_mut() {
-                    *v += if self.rng.gen::<bool>() { scale } else { -scale };
+                    *v += if self.rng.gen::<bool>() {
+                        scale
+                    } else {
+                        -scale
+                    };
                 }
                 LocalUpdate {
                     client_id: user_id,
@@ -347,14 +369,19 @@ impl Simulation {
     /// time (Definition 2).
     fn measured_gap(&self, user_id: usize) -> f64 {
         let current = self.server.download().params;
-        self.base_params[user_id].distance_l2(&current).map(|d| d as f64).unwrap_or(0.0)
+        self.base_params[user_id]
+            .distance_l2(&current)
+            .map(|d| d as f64)
+            .unwrap_or(0.0)
     }
 
     /// Re-downloads the global model for a user that just uploaded.
     fn requeue_user(&mut self, user_id: usize) {
         let snapshot = self.server.download();
         if let Some(ml) = self.ml.as_mut() {
-            ml.clients[user_id].receive_model(&snapshot).expect("architectures match");
+            ml.clients[user_id]
+                .receive_model(&snapshot)
+                .expect("architectures match");
         }
         self.base_params[user_id] = snapshot.params;
         self.users[user_id].become_waiting(snapshot.version);
@@ -411,8 +438,7 @@ impl Simulation {
             // accumulated while waiting. The task queue Q(t) therefore tracks
             // the total outstanding waiting work in user-slots, which is what
             // the Eq.-22 threshold `Q ≥ V·t_d·ΔP` acts on.
-            let training_now =
-                self.users.iter().filter(|u| u.is_training()).count() as u64;
+            let training_now = self.users.iter().filter(|u| u.is_training()).count() as u64;
             let waiting_at_start = self.users.iter().filter(|u| u.is_waiting()).count();
             let velocity = self.velocity_norm();
             let mut scheduled_count = 0usize;
@@ -422,8 +448,9 @@ impl Simulation {
                     continue;
                 }
                 let status = self.users[i].app_status();
-                let predicted =
-                    self.predictor.predict_gap(Lag(training_now.max(1)), velocity);
+                let predicted = self
+                    .predictor
+                    .predict_gap(Lag(training_now.max(1)), velocity);
                 let idle_gap = GradientGap(
                     self.users[i].gap.current().value() + self.config.scheduler.epsilon,
                 );
@@ -433,7 +460,12 @@ impl Simulation {
                     predicted,
                     idle_gap,
                 );
-                let ctx = UserSlotContext { user_id: i, slot, app_status: status, input };
+                let ctx = UserSlotContext {
+                    user_id: i,
+                    slot,
+                    app_status: status,
+                    input,
+                };
                 let decision = self.policy.decide(&ctx);
                 // Charge the decision-computation overhead of the online
                 // controller (Table III).
@@ -474,7 +506,13 @@ impl Simulation {
             // (4) Advance timers; collect completed epochs.
             let mut completed: Vec<(usize, bool)> = Vec::new();
             for u in self.users.iter_mut() {
-                let corunning = matches!(u.phase, TrainingPhase::Training { corunning: true, .. });
+                let corunning = matches!(
+                    u.phase,
+                    TrainingPhase::Training {
+                        corunning: true,
+                        ..
+                    }
+                );
                 if u.tick() {
                     completed.push((u.id, corunning));
                 }
@@ -526,7 +564,9 @@ impl Simulation {
                     })
                     .sum::<f64>()
                     / buffer.len().max(1) as f64;
-                self.server.apply_sync_round(&buffer).expect("round updates match global model");
+                self.server
+                    .apply_sync_round(&buffer)
+                    .expect("round updates match global model");
                 updates.push(UpdateEvent {
                     t_s: now_s,
                     user_id: usize::MAX,
@@ -562,8 +602,11 @@ impl Simulation {
                 let gaps: Vec<f64> = self.users.iter().map(|u| u.gap.current().value()).collect();
                 let mean_gap = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
                 let max_gap = gaps.iter().copied().fold(0.0f64, f64::max);
-                let total_energy_j: f64 =
-                    self.profilers.iter().map(|p| p.total_energy().value()).sum();
+                let total_energy_j: f64 = self
+                    .profilers
+                    .iter()
+                    .map(|p| p.total_energy().value())
+                    .sum();
                 trace.push(TracePoint {
                     t_s: now_s,
                     total_energy_j,
@@ -572,7 +615,11 @@ impl Simulation {
                     mean_gap,
                     max_gap,
                     updates: (self.server.stats().async_updates + self.server.stats().sync_rounds),
-                    accuracy: if self.ml.is_some() { last_accuracy } else { None },
+                    accuracy: if self.ml.is_some() {
+                        last_accuracy
+                    } else {
+                        None
+                    },
                 });
                 if self.config.record_user_gaps {
                     for u in &self.users {
@@ -597,14 +644,26 @@ impl Simulation {
                 *by_component.entry(component).or_insert(0.0) += energy.value();
             }
         }
-        let final_accuracy = if self.ml.is_some() { self.evaluate_global() } else { None };
+        let final_accuracy = if self.ml.is_some() {
+            self.evaluate_global()
+        } else {
+            None
+        };
         SimResult {
             policy: self.config.policy,
-            total_energy_j: self.profilers.iter().map(|p| p.total_energy().value()).sum(),
+            total_energy_j: self
+                .profilers
+                .iter()
+                .map(|p| p.total_energy().value())
+                .sum(),
             energy_by_component: by_component.into_iter().collect(),
             total_updates,
             corun_epochs,
-            mean_lag: if total_updates > 0 { total_lag as f64 / total_updates as f64 } else { 0.0 },
+            mean_lag: if total_updates > 0 {
+                total_lag as f64 / total_updates as f64
+            } else {
+                0.0
+            },
             max_lag,
             final_accuracy,
             final_queue: self.policy.queue_backlog(),
@@ -635,7 +694,11 @@ mod tests {
     #[test]
     fn immediate_policy_trains_continuously() {
         let result = run_simulation(small(PolicyKind::Immediate));
-        assert!(result.total_updates > 10, "updates {}", result.total_updates);
+        assert!(
+            result.total_updates > 10,
+            "updates {}",
+            result.total_updates
+        );
         assert!(result.total_energy_j > 0.0);
         assert_eq!(result.policy, PolicyKind::Immediate);
         // Training components dominate the energy mix.
@@ -643,7 +706,10 @@ mod tests {
             .energy_by_component
             .iter()
             .filter(|(c, _)| {
-                matches!(c, EnergyComponent::TrainingOnly | EnergyComponent::CoRunning)
+                matches!(
+                    c,
+                    EnergyComponent::TrainingOnly | EnergyComponent::CoRunning
+                )
             })
             .map(|(_, e)| *e)
             .sum();

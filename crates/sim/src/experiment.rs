@@ -1,19 +1,18 @@
 //! Experiment configuration presets.
 
-use serde::{Deserialize, Serialize};
-
 use fedco_core::config::SchedulerConfig;
 use fedco_core::policy::PolicyKind;
 use fedco_device::profiles::DeviceKind;
 use fedco_neural::lenet::LeNetConfig;
 
 /// How devices are assigned to users.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum DeviceAssignment {
     /// Every user gets the same device model.
     Uniform(DeviceKind),
     /// Users cycle through the four testbed devices (the paper's setting:
     /// "each user randomly picks a device from the testbed").
+    #[default]
     RoundRobinTestbed,
     /// An explicit device per user (cycled if shorter than the user count).
     Custom(Vec<DeviceKind>),
@@ -36,14 +35,8 @@ impl DeviceAssignment {
     }
 }
 
-impl Default for DeviceAssignment {
-    fn default() -> Self {
-        DeviceAssignment::RoundRobinTestbed
-    }
-}
-
 /// Configuration of the (optional) real machine-learning workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MlConfig {
     /// The network architecture trained on every device.
     pub architecture: LeNetConfig,
@@ -92,7 +85,7 @@ impl MlConfig {
 }
 
 /// Full configuration of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of users/devices (the paper uses 25).
     pub num_users: usize,
@@ -149,7 +142,10 @@ impl SimConfig {
     /// policy: 25 users, 3 hours, arrival probability 0.001, V = 4000,
     /// L_b = 1000.
     pub fn paper_default(policy: PolicyKind) -> Self {
-        SimConfig { policy, ..SimConfig::default() }
+        SimConfig {
+            policy,
+            ..SimConfig::default()
+        }
     }
 
     /// A fast, small configuration for tests: 6 users, 20 minutes.
@@ -250,17 +246,24 @@ mod tests {
 
     #[test]
     fn invalid_configs_detected() {
-        let mut c = SimConfig::default();
-        c.num_users = 0;
+        let c = SimConfig {
+            num_users: 0,
+            ..SimConfig::default()
+        };
         assert!(!c.is_valid());
-        let mut c2 = SimConfig::default();
-        c2.record_every_slots = 0;
+        let c2 = SimConfig {
+            record_every_slots: 0,
+            ..SimConfig::default()
+        };
         assert!(!c2.is_valid());
     }
 
     #[test]
     fn device_assignment_variants() {
-        assert_eq!(DeviceAssignment::Uniform(DeviceKind::Nexus6).device_for(7), DeviceKind::Nexus6);
+        assert_eq!(
+            DeviceAssignment::Uniform(DeviceKind::Nexus6).device_for(7),
+            DeviceKind::Nexus6
+        );
         let rr = DeviceAssignment::RoundRobinTestbed;
         assert_eq!(rr.device_for(0), DeviceKind::Nexus6);
         assert_eq!(rr.device_for(3), DeviceKind::Pixel2);
@@ -268,8 +271,14 @@ mod tests {
         let custom = DeviceAssignment::Custom(vec![DeviceKind::Pixel2, DeviceKind::Hikey970]);
         assert_eq!(custom.device_for(1), DeviceKind::Hikey970);
         assert_eq!(custom.device_for(2), DeviceKind::Pixel2);
-        assert_eq!(DeviceAssignment::Custom(vec![]).device_for(9), DeviceKind::Pixel2);
-        assert_eq!(DeviceAssignment::default(), DeviceAssignment::RoundRobinTestbed);
+        assert_eq!(
+            DeviceAssignment::Custom(vec![]).device_for(9),
+            DeviceKind::Pixel2
+        );
+        assert_eq!(
+            DeviceAssignment::default(),
+            DeviceAssignment::RoundRobinTestbed
+        );
     }
 
     #[test]

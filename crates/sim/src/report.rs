@@ -8,7 +8,10 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
     let mut out = String::new();
     out.push_str(&format!("## {title}\n\n"));
     out.push_str(&format!("| {} |\n", header.join(" | ")));
-    out.push_str(&format!("|{}|\n", header.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+    out.push_str(&format!(
+        "|{}|\n",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    ));
     for row in rows {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }

@@ -1,13 +1,11 @@
 //! Trace recording and the result summary of one simulation run.
 
-use serde::{Deserialize, Serialize};
-
 use fedco_core::policy::PolicyKind;
 use fedco_device::energy::Joules;
 use fedco_device::profiler::EnergyComponent;
 
 /// One sampled point of the system-level time series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     /// Simulated time in seconds.
     pub t_s: f64,
@@ -28,7 +26,7 @@ pub struct TracePoint {
 }
 
 /// One sampled per-user gradient-gap value (Fig. 5d).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UserGapPoint {
     /// Simulated time in seconds.
     pub t_s: f64,
@@ -40,7 +38,7 @@ pub struct UserGapPoint {
 
 /// One applied global-model update (used for the lag-vs-gap correlation of
 /// Fig. 5a).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UpdateEvent {
     /// Simulated time of the upload, in seconds.
     pub t_s: f64,
@@ -56,7 +54,7 @@ pub struct UpdateEvent {
 }
 
 /// The summary of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// The policy that produced this run.
     pub policy: PolicyKind,
@@ -112,10 +110,13 @@ impl SimResult {
 
     /// The best test accuracy observed at any evaluation point.
     pub fn best_accuracy(&self) -> Option<f32> {
-        self.trace.iter().filter_map(|p| p.accuracy).fold(None, |best, a| match best {
-            None => Some(a),
-            Some(b) => Some(b.max(a)),
-        })
+        self.trace
+            .iter()
+            .filter_map(|p| p.accuracy)
+            .fold(None, |best, a| match best {
+                None => Some(a),
+                Some(b) => Some(b.max(a)),
+            })
     }
 
     /// Mean gradient gap across applied updates.
@@ -137,7 +138,11 @@ impl SimResult {
         let gaps: Vec<f64> = self.updates.iter().map(|u| u.gap).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (ml, mg) = (mean(&lags), mean(&gaps));
-        let cov: f64 = lags.iter().zip(&gaps).map(|(l, g)| (l - ml) * (g - mg)).sum();
+        let cov: f64 = lags
+            .iter()
+            .zip(&gaps)
+            .map(|(l, g)| (l - ml) * (g - mg))
+            .sum();
         let vl: f64 = lags.iter().map(|l| (l - ml) * (l - ml)).sum();
         let vg: f64 = gaps.iter().map(|g| (g - mg) * (g - mg)).sum();
         if vl <= 0.0 || vg <= 0.0 {
@@ -154,7 +159,11 @@ impl SimResult {
             return 0.0;
         }
         let mean = self.user_gaps.iter().map(|g| g.gap).sum::<f64>() / n as f64;
-        self.user_gaps.iter().map(|g| (g.gap - mean).powi(2)).sum::<f64>() / n as f64
+        self.user_gaps
+            .iter()
+            .map(|g| (g.gap - mean).powi(2))
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -205,7 +214,12 @@ mod tests {
     #[test]
     fn time_to_accuracy_finds_first_crossing() {
         let r = result_with(
-            vec![point(0.0, Some(0.1)), point(100.0, Some(0.4)), point(200.0, Some(0.55)), point(300.0, Some(0.5))],
+            vec![
+                point(0.0, Some(0.1)),
+                point(100.0, Some(0.4)),
+                point(200.0, Some(0.55)),
+                point(300.0, Some(0.5)),
+            ],
             vec![],
         );
         assert_eq!(r.time_to_accuracy(0.4), Some(100.0));
@@ -219,7 +233,13 @@ mod tests {
     #[test]
     fn lag_gap_correlation_is_positive_for_proportional_data() {
         let updates: Vec<UpdateEvent> = (0..20)
-            .map(|i| UpdateEvent { t_s: i as f64, user_id: 0, lag: i, gap: 0.5 * i as f64 + 1.0, corun: false })
+            .map(|i| UpdateEvent {
+                t_s: i as f64,
+                user_id: 0,
+                lag: i,
+                gap: 0.5 * i as f64 + 1.0,
+                corun: false,
+            })
             .collect();
         let r = result_with(vec![], updates);
         assert!(r.lag_gap_correlation() > 0.99);
@@ -229,7 +249,13 @@ mod tests {
     #[test]
     fn correlation_of_degenerate_data_is_zero() {
         let updates: Vec<UpdateEvent> = (0..5)
-            .map(|i| UpdateEvent { t_s: i as f64, user_id: 0, lag: 3, gap: 2.0, corun: false })
+            .map(|i| UpdateEvent {
+                t_s: i as f64,
+                user_id: 0,
+                lag: 3,
+                gap: 2.0,
+                corun: false,
+            })
             .collect();
         let r = result_with(vec![], updates);
         assert_eq!(r.lag_gap_correlation(), 0.0);
@@ -243,8 +269,16 @@ mod tests {
         let mut r = result_with(vec![], vec![]);
         assert_eq!(r.user_gap_variance(), 0.0);
         r.user_gaps = vec![
-            UserGapPoint { t_s: 0.0, user_id: 0, gap: 1.0 },
-            UserGapPoint { t_s: 0.0, user_id: 1, gap: 3.0 },
+            UserGapPoint {
+                t_s: 0.0,
+                user_id: 0,
+                gap: 1.0,
+            },
+            UserGapPoint {
+                t_s: 0.0,
+                user_id: 1,
+                gap: 3.0,
+            },
         ];
         assert!((r.user_gap_variance() - 1.0).abs() < 1e-9);
     }

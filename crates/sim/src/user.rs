@@ -9,8 +9,6 @@
 //! independently of the training lifecycle and run for their Table-II
 //! duration.
 
-use serde::{Deserialize, Serialize};
-
 use fedco_device::apps::AppKind;
 use fedco_device::power::{AppStatus, PowerState};
 use fedco_device::profiles::{DeviceKind, DeviceProfile};
@@ -18,7 +16,7 @@ use fedco_fl::model_state::ModelVersion;
 use fedco_fl::staleness::GapAccumulator;
 
 /// The training phase of a user.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrainingPhase {
     /// The device holds a fresh model snapshot and waits for the scheduler.
     Waiting,
@@ -118,7 +116,10 @@ impl SimUser {
     /// Starts training for the given number of slots; `corunning` records
     /// whether an app is in the foreground at start time.
     pub fn start_training(&mut self, duration_slots: u64, corunning: bool) {
-        self.phase = TrainingPhase::Training { remaining_slots: duration_slots.max(1), corunning };
+        self.phase = TrainingPhase::Training {
+            remaining_slots: duration_slots.max(1),
+            corunning,
+        };
         self.current_wait_slots = 0;
         if corunning {
             self.corun_epochs += 1;
@@ -145,7 +146,9 @@ impl SimUser {
             }
         }
         match &mut self.phase {
-            TrainingPhase::Training { remaining_slots, .. } => {
+            TrainingPhase::Training {
+                remaining_slots, ..
+            } => {
                 *remaining_slots -= 1;
                 if *remaining_slots == 0 {
                     self.epochs_completed += 1;

@@ -18,14 +18,25 @@ fn main() {
     };
 
     println!("Energy vs application arrival probability (Fig. 6a shape)\n");
-    println!("{:>12}  {:>14}  {:>14}  {:>14}", "arrival p", "online (kJ)", "immediate (kJ)", "offline (kJ)");
+    println!(
+        "{:>12}  {:>14}  {:>14}  {:>14}",
+        "arrival p", "online (kJ)", "immediate (kJ)", "offline (kJ)"
+    );
     for p in [0.0005, 0.002, 0.01, 0.05, 0.1] {
         let online = run_simulation(base.clone().with_arrival_probability(p));
         let immediate = run_simulation(
-            SimConfig { policy: PolicyKind::Immediate, ..base.clone() }.with_arrival_probability(p),
+            SimConfig {
+                policy: PolicyKind::Immediate,
+                ..base.clone()
+            }
+            .with_arrival_probability(p),
         );
         let offline = run_simulation(
-            SimConfig { policy: PolicyKind::Offline, ..base.clone() }.with_arrival_probability(p),
+            SimConfig {
+                policy: PolicyKind::Offline,
+                ..base.clone()
+            }
+            .with_arrival_probability(p),
         );
         println!(
             "{:>12.4}  {:>14.1}  {:>14.1}  {:>14.1}",
@@ -45,11 +56,19 @@ fn main() {
     let mut total_immediate = 0.0;
     for (name, p) in phases {
         let online = run_simulation(
-            SimConfig { total_slots: 800, ..base.clone() }.with_arrival_probability(p),
+            SimConfig {
+                total_slots: 800,
+                ..base.clone()
+            }
+            .with_arrival_probability(p),
         );
         let immediate = run_simulation(
-            SimConfig { total_slots: 800, policy: PolicyKind::Immediate, ..base.clone() }
-                .with_arrival_probability(p),
+            SimConfig {
+                total_slots: 800,
+                policy: PolicyKind::Immediate,
+                ..base.clone()
+            }
+            .with_arrival_probability(p),
         );
         total_online += online.total_energy_kj();
         total_immediate += immediate.total_energy_kj();

@@ -9,7 +9,10 @@ use fedco::prelude::*;
 
 fn main() {
     println!("Per-device co-running savings calibrated from Table II\n");
-    println!("{:<10} {:<12} {:>10} {:>10} {:>10} {:>9}", "device", "app", "P_a (W)", "P_a' (W)", "time (s)", "saving");
+    println!(
+        "{:<10} {:<12} {:>10} {:>10} {:>10} {:>9}",
+        "device", "app", "P_a (W)", "P_a' (W)", "time (s)", "saving"
+    );
     for device in DeviceKind::ALL {
         let profile = device.profile();
         for app in [AppKind::Map, AppKind::Youtube, AppKind::CandyCrush] {
@@ -53,5 +56,8 @@ fn main() {
     let result = run_simulation(config);
     println!("\nHeterogeneous fleet, online controller:");
     println!("{}", summarize(&result));
-    println!("co-run epochs: {} of {} updates", result.corun_epochs, result.total_updates);
+    println!(
+        "co-run epochs: {} of {} updates",
+        result.corun_epochs, result.total_updates
+    );
 }

@@ -16,14 +16,19 @@ fn main() {
         ..SimConfig::default()
     };
 
-    println!("V sweep with L_b = {} ({} users, {} s horizon)\n", base.scheduler.staleness_bound, base.num_users, base.total_slots);
+    println!(
+        "V sweep with L_b = {} ({} users, {} s horizon)\n",
+        base.scheduler.staleness_bound, base.num_users, base.total_slots
+    );
     println!(
         "{:>10}  {:>14}  {:>10}  {:>12}  {:>8}",
         "V", "energy (kJ)", "Q(t) avg", "H(t) avg", "updates"
     );
 
     let mut frontier = Vec::new();
-    for v in [0.0, 500.0, 1000.0, 2000.0, 4000.0, 10_000.0, 50_000.0, 100_000.0] {
+    for v in [
+        0.0, 500.0, 1000.0, 2000.0, 4000.0, 10_000.0, 50_000.0, 100_000.0,
+    ] {
         let result = run_simulation(base.clone().with_v(v));
         println!(
             "{:>10.0}  {:>14.1}  {:>10.1}  {:>12.1}  {:>8}",
@@ -37,11 +42,25 @@ fn main() {
     }
 
     println!();
-    print!("{}", render_series("Energy vs staleness (Fig. 4d shape)", "H(t) (staleness)", "energy (kJ)", &frontier));
+    print!(
+        "{}",
+        render_series(
+            "Energy vs staleness (Fig. 4d shape)",
+            "H(t) (staleness)",
+            "energy (kJ)",
+            &frontier
+        )
+    );
 
     // The two baselines bracketing the online controller.
-    let immediate = run_simulation(SimConfig { policy: PolicyKind::Immediate, ..base.clone() });
-    let offline = run_simulation(SimConfig { policy: PolicyKind::Offline, ..base.clone() });
+    let immediate = run_simulation(SimConfig {
+        policy: PolicyKind::Immediate,
+        ..base.clone()
+    });
+    let offline = run_simulation(SimConfig {
+        policy: PolicyKind::Offline,
+        ..base.clone()
+    });
     println!("baselines:");
     println!("{}", summarize(&immediate));
     println!("{}", summarize(&offline));

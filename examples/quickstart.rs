@@ -19,17 +19,32 @@ fn main() {
     };
 
     println!("fedco quickstart — online controller vs immediate scheduling");
-    println!("users: {}, horizon: {} s, arrival p: {}\n", base.num_users, base.total_slots, base.arrival_probability);
+    println!(
+        "users: {}, horizon: {} s, arrival p: {}\n",
+        base.num_users, base.total_slots, base.arrival_probability
+    );
 
-    let immediate = run_simulation(SimConfig { policy: PolicyKind::Immediate, ..base.clone() });
-    let online = run_simulation(SimConfig { policy: PolicyKind::Online, ..base.clone() });
+    let immediate = run_simulation(SimConfig {
+        policy: PolicyKind::Immediate,
+        ..base.clone()
+    });
+    let online = run_simulation(SimConfig {
+        policy: PolicyKind::Online,
+        ..base.clone()
+    });
 
     println!("{}", summarize(&immediate));
     println!("{}", summarize(&online));
 
     let saving = 1.0 - online.total_energy_j / immediate.total_energy_j;
-    println!("\nenergy saving of the online controller vs immediate: {:.1} %", saving * 100.0);
-    println!("updates made: immediate {} vs online {}", immediate.total_updates, online.total_updates);
+    println!(
+        "\nenergy saving of the online controller vs immediate: {:.1} %",
+        saving * 100.0
+    );
+    println!(
+        "updates made: immediate {} vs online {}",
+        immediate.total_updates, online.total_updates
+    );
 
     println!("\nenergy breakdown (online):");
     print!("{}", render_breakdown(&online));

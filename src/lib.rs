@@ -40,6 +40,7 @@ pub use fedco_core as core;
 pub use fedco_device as device;
 pub use fedco_fl as fl;
 pub use fedco_neural as neural;
+pub use fedco_rng as rng;
 pub use fedco_sim as sim;
 
 /// One-stop imports for applications built on `fedco`.

@@ -55,7 +55,11 @@ fn sync_sgd_has_zero_lag_and_async_does_not() {
     assert_eq!(sync.max_lag, 0);
     let immediate = run_simulation(small(PolicyKind::Immediate));
     // Asynchronous immediate scheduling with several users produces lag.
-    assert!(immediate.max_lag > 0, "expected nonzero lag, got {}", immediate.max_lag);
+    assert!(
+        immediate.max_lag > 0,
+        "expected nonzero lag, got {}",
+        immediate.max_lag
+    );
     assert!(immediate.mean_lag > 0.0);
 }
 
@@ -99,8 +103,14 @@ fn federated_training_improves_accuracy_over_time() {
         .find_map(|p| p.accuracy)
         .expect("at least one accuracy evaluation");
     let best = result.best_accuracy().unwrap();
-    assert!(best >= first, "accuracy never improved: first {first}, best {best}");
-    assert!(best > 0.2, "model should beat chance on 4 classes, got {best}");
+    assert!(
+        best >= first,
+        "accuracy never improved: first {first}, best {best}"
+    );
+    assert!(
+        best > 0.2,
+        "model should beat chance on 4 classes, got {best}"
+    );
 }
 
 #[test]
@@ -121,7 +131,12 @@ fn energy_accounting_is_consistent_with_components() {
     let result = run_simulation(small(PolicyKind::Online));
     let sum: f64 = result.energy_by_component.iter().map(|(_, e)| *e).sum();
     let relative = (sum - result.total_energy_j).abs() / result.total_energy_j;
-    assert!(relative < 1e-9, "component sum {} != total {}", sum, result.total_energy_j);
+    assert!(
+        relative < 1e-9,
+        "component sum {} != total {}",
+        sum,
+        result.total_energy_j
+    );
 }
 
 #[test]
