@@ -17,9 +17,13 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> example smoke tests"
-for ex in quickstart device_fleet energy_tradeoff arrival_patterns; do
+for ex in quickstart device_fleet energy_tradeoff arrival_patterns fleet_sweep; do
     echo "--> example: $ex"
     timeout 60 cargo run --release --offline --example "$ex" >/dev/null
 done
+
+echo "==> fleet_sweep binary smoke test (parallel vs 1-worker verify)"
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --users 5 --slots 400 --verify >/dev/null
 
 echo "CI green."

@@ -7,8 +7,13 @@
 //! a stable single-line format that is easy to diff between runs.
 //!
 //! Run with `cargo bench --offline`. Set `FEDCO_BENCH_MS` to change the
-//! per-sample time budget (milliseconds, default 100).
+//! per-sample time budget (milliseconds, default 100). Set
+//! `FEDCO_BENCH_JSON=<path>` to additionally append one JSON line per
+//! benchmark to that file (`{"name":…,"median_ns":…,"mean_ns":…,"min_ns":…,
+//! "samples":…}`), so perf trajectories can be recorded across commits and
+//! diffed mechanically.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Number of timed samples per benchmark.
@@ -65,7 +70,39 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-/// Runs one named benchmark and prints its summary line.
+/// One machine-readable result line for `FEDCO_BENCH_JSON`.
+fn json_line(name: &str, median: f64, mean: f64, min: f64, samples: usize) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{}}}",
+        fedco_fleet::report::json_escape(name),
+        median,
+        mean,
+        min,
+        samples
+    )
+}
+
+/// Appends one result line to the `FEDCO_BENCH_JSON` file, if configured.
+/// I/O errors are reported to stderr but never fail the benchmark run.
+fn record_json(line: &str) {
+    let Ok(path) = std::env::var("FEDCO_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = result {
+        eprintln!("FEDCO_BENCH_JSON: cannot write {path}: {e}");
+    }
+}
+
+/// Runs one named benchmark and prints its summary line. With
+/// `FEDCO_BENCH_JSON=<path>` set, also appends the result as a JSON line.
 pub fn bench<F: FnMut()>(name: &str, f: F) {
     let mut samples = measure(f);
     samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
@@ -78,6 +115,7 @@ pub fn bench<F: FnMut()>(name: &str, f: F) {
         fmt_ns(mean),
         fmt_ns(min)
     );
+    record_json(&json_line(name, median, mean, min, samples.len()));
 }
 
 /// Prints a group header, mirroring Criterion's `benchmark_group` output.
@@ -88,15 +126,61 @@ pub fn group(title: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that touch process-global environment variables:
+    /// concurrent `set_var`/`var` from parallel test threads is a data race
+    /// (undefined behavior on glibc).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn measure_returns_positive_samples() {
+        let _guard = ENV_LOCK.lock().expect("env lock");
         std::env::set_var("FEDCO_BENCH_MS", "1");
         let samples = measure(|| {
             std::hint::black_box(3u64.wrapping_mul(7));
         });
         assert_eq!(samples.len(), SAMPLES);
         assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn json_line_is_parseable_and_escaped() {
+        let line = json_line("slot/online \"25\"", 12.34, 13.0, 11.0, 7);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"name\":\"slot/online \\\"25\\\"\""));
+        assert!(line.contains("\"median_ns\":12.3"));
+        assert!(line.contains("\"samples\":7"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn bench_appends_json_lines_when_configured() {
+        let _guard = ENV_LOCK.lock().expect("env lock");
+        let path = std::env::temp_dir().join(format!(
+            "fedco_bench_json_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("FEDCO_BENCH_MS", "1");
+        std::env::set_var("FEDCO_BENCH_JSON", &path);
+        bench("json/emit", || {
+            std::hint::black_box(3u64.wrapping_mul(7));
+        });
+        bench("json/emit2", || {
+            std::hint::black_box(5u64.wrapping_add(9));
+        });
+        std::env::remove_var("FEDCO_BENCH_JSON");
+        let content = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"json/emit\""));
+        assert!(lines[1].contains("\"name\":\"json/emit2\""));
+        for line in lines {
+            assert!(line.contains("\"median_ns\":"));
+            assert!(line.contains("\"samples\":7"));
+        }
     }
 
     #[test]

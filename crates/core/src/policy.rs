@@ -25,6 +25,14 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
+    /// All policy kinds, in the order the paper's figures compare them.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::Immediate,
+        PolicyKind::SyncSgd,
+        PolicyKind::Offline,
+        PolicyKind::Online,
+    ];
+
     /// A short label used in reports and figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -268,6 +276,16 @@ mod tests {
         assert_eq!(PolicyKind::SyncSgd.to_string(), "Sync-SGD");
         assert_eq!(PolicyKind::Offline.to_string(), "Offline");
         assert_eq!(PolicyKind::Online.label(), "Online");
+    }
+
+    #[test]
+    fn all_lists_each_kind_once() {
+        assert_eq!(PolicyKind::ALL.len(), 4);
+        for (i, a) in PolicyKind::ALL.iter().enumerate() {
+            for b in &PolicyKind::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub enum EnergyComponent {
     AppOnly,
     /// Energy spent idling.
     Idle,
+    /// Radio energy of model uploads/downloads (recorded as extras by the
+    /// simulator when a transport model is configured).
+    Radio,
 }
 
 impl EnergyComponent {
@@ -50,6 +53,7 @@ impl EnergyComponent {
             EnergyComponent::TrainingOnly => "training",
             EnergyComponent::AppOnly => "app",
             EnergyComponent::Idle => "idle",
+            EnergyComponent::Radio => "radio",
         }
     }
 }
@@ -62,6 +66,7 @@ pub struct EnergyProfiler {
     total_time: Seconds,
     by_component: BTreeMap<EnergyComponent, Joules>,
     segments: Vec<PowerSegment>,
+    keep_segments: bool,
 }
 
 impl EnergyProfiler {
@@ -73,6 +78,19 @@ impl EnergyProfiler {
             total_time: Seconds(0.0),
             by_component: BTreeMap::new(),
             segments: Vec::new(),
+            keep_segments: true,
+        }
+    }
+
+    /// Creates a profiler that accumulates totals and the per-component
+    /// breakdown but discards individual segments, so memory stays constant
+    /// regardless of horizon length. Fleet-scale sweeps running thousands of
+    /// simulations concurrently use this; [`segments`](Self::segments)
+    /// returns an empty slice.
+    pub fn lean(model: PowerModel) -> Self {
+        EnergyProfiler {
+            keep_segments: false,
+            ..EnergyProfiler::new(model)
         }
     }
 
@@ -90,7 +108,9 @@ impl EnergyProfiler {
             .by_component
             .entry(EnergyComponent::of(state))
             .or_insert(Joules::ZERO) += energy;
-        self.segments.push(PowerSegment { state, duration });
+        if self.keep_segments {
+            self.segments.push(PowerSegment { state, duration });
+        }
         energy
     }
 
@@ -221,6 +241,24 @@ mod tests {
                 > p.component_energy(EnergyComponent::Idle).value()
         );
         assert_eq!(EnergyComponent::CoRunning.label(), "co-running");
+    }
+
+    #[test]
+    fn lean_profiler_accumulates_without_segments() {
+        let mut full = profiler();
+        let mut lean = EnergyProfiler::lean(PowerModel::new(DeviceKind::Pixel2.profile()));
+        for p in [&mut full, &mut lean] {
+            p.record(PowerState::TrainingOnly, Seconds(10.0));
+            p.record(PowerState::Idle, Seconds(5.0));
+            p.record_extra(EnergyComponent::Radio, Joules(1.5));
+        }
+        assert_eq!(full.total_energy(), lean.total_energy());
+        assert_eq!(full.breakdown(), lean.breakdown());
+        assert_eq!(full.total_time(), lean.total_time());
+        assert_eq!(full.segments().len(), 2);
+        assert!(lean.segments().is_empty());
+        assert_eq!(lean.component_energy(EnergyComponent::Radio), Joules(1.5));
+        assert_eq!(EnergyComponent::Radio.label(), "radio");
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! `fleet_sweep` — run a scenario grid across all cores and report.
+//!
+//! ```text
+//! cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- [flags]
+//!
+//!   --workers N     worker threads (default 0 = one per core)
+//!   --users N       users per simulation (default 10)
+//!   --slots N       horizon in slots (default 1200)
+//!   --replicates N  seeds per cell (default 2 → 64 jobs)
+//!   --seed N        base seed (default 42)
+//!   --csv PATH      write per-job rows as CSV
+//!   --jsonl PATH    write per-job rows as JSON lines
+//!   --verify        also run on 1 worker; check bit-identical, report speedup
+//! ```
+//!
+//! The default grid is 4 policies × 2 arrival patterns × 2 device
+//! assignments × 2 transport links × `--replicates` seeds.
+
+use std::process::ExitCode;
+
+use fedco_device::profiles::DeviceKind;
+use fedco_fleet::prelude::*;
+
+struct Args {
+    workers: usize,
+    users: usize,
+    slots: u64,
+    replicates: usize,
+    seed: u64,
+    csv: Option<String>,
+    jsonl: Option<String>,
+    verify: bool,
+}
+
+const USAGE: &str = "usage: fleet_sweep [--workers N] [--users N] [--slots N] \
+[--replicates N] [--seed N] [--csv PATH] [--jsonl PATH] [--verify]";
+
+/// Parses the command line: `Ok(None)` means `--help` was requested.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        workers: 0,
+        users: 10,
+        slots: 1200,
+        replicates: 2,
+        seed: 42,
+        csv: None,
+        jsonl: None,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--users" => {
+                args.users = value("--users")?
+                    .parse()
+                    .map_err(|e| format!("--users: {e}"))?
+            }
+            "--slots" => {
+                args.slots = value("--slots")?
+                    .parse()
+                    .map_err(|e| format!("--slots: {e}"))?
+            }
+            "--replicates" => {
+                args.replicates = value("--replicates")?
+                    .parse()
+                    .map_err(|e| format!("--replicates: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--jsonl" => args.jsonl = Some(value("--jsonl")?),
+            "--verify" => args.verify = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown flag: {other}\n{USAGE}")),
+        }
+    }
+    if args.replicates == 0 {
+        return Err("--replicates must be at least 1".to_string());
+    }
+    if args.users == 0 {
+        return Err("--users must be at least 1".to_string());
+    }
+    if args.slots == 0 {
+        return Err("--slots must be at least 1".to_string());
+    }
+    Ok(Some(args))
+}
+
+fn build_grid(args: &Args) -> ScenarioGrid {
+    let mut base = SimConfig::small(PolicyKind::Online);
+    base.num_users = args.users;
+    base.total_slots = args.slots;
+    base.seed = args.seed;
+    ScenarioGrid::new(base)
+        .with_policies(PolicyKind::ALL.to_vec())
+        .with_arrivals(vec![ArrivalPattern::paper(), ArrivalPattern::busy()])
+        .with_devices(vec![
+            DeviceAssignment::RoundRobinTestbed,
+            DeviceAssignment::Uniform(DeviceKind::Pixel2),
+        ])
+        .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
+        .with_replicates(args.replicates)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let grid = build_grid(&args);
+    let workers = resolve_workers(args.workers);
+    println!(
+        "fleet_sweep: {} jobs (4 policies x 2 arrivals x 2 devices x 2 links x {} seeds), \
+{} users x {} slots each, {} worker(s)\n",
+        grid.len(),
+        args.replicates,
+        args.users,
+        args.slots,
+        workers
+    );
+
+    let report = run_grid(&grid, args.workers);
+    print!("{}", rollup_table(&report));
+    let throughput = report.jobs.len() as f64 / report.wall_s.max(1e-9);
+    println!(
+        "\n{} jobs in {:.2} s on {} worker(s) ({:.1} jobs/s)",
+        report.jobs.len(),
+        report.wall_s,
+        report.workers,
+        throughput
+    );
+
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, to_csv(&report)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} rows)", report.jobs.len());
+    }
+    if let Some(path) = &args.jsonl {
+        if let Err(e) = std::fs::write(path, to_jsonl(&report)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} lines)", report.jobs.len());
+    }
+
+    if args.verify {
+        println!("\nverify: re-running the grid on 1 worker ...");
+        let sequential = run_grid_sequential(&grid);
+        let identical = deterministic_view(&report) == deterministic_view(&sequential)
+            && report.rollups == sequential.rollups;
+        let speedup = sequential.wall_s / report.wall_s.max(1e-9);
+        println!(
+            "verify: merged statistics bit-identical across worker counts: {}",
+            if identical { "yes" } else { "NO" }
+        );
+        println!(
+            "verify: {} workers {:.2} s vs 1 worker {:.2} s -> speedup {:.2}x",
+            report.workers, report.wall_s, sequential.wall_s, speedup
+        );
+        if !identical {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,413 @@
+//! The std-only thread-pool executor.
+//!
+//! Workers pull jobs from a shared [`JobQueue`] (a `Mutex`-guarded deque
+//! with a `Condvar` for wakeups — the std-only stand-in for a work-stealing
+//! deque: idle workers steal the next job the moment they finish their
+//! own), run each simulation in summary-only mode, and deposit the result
+//! into its grid slot. Because every job's seed is derived from its grid
+//! coordinates and the final rollup folds results in job order, the merged
+//! statistics are bit-identical for any worker count and any completion
+//! order.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use fedco_core::policy::PolicyKind;
+use fedco_device::profiler::EnergyComponent;
+use fedco_sim::engine::run_simulation_summary;
+use fedco_sim::trace::SimResult;
+
+use crate::grid::{FleetJob, ScenarioGrid};
+use crate::stats::PolicyRollup;
+
+/// A closeable multi-producer/multi-consumer job queue on
+/// `Mutex` + `Condvar`.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        JobQueue::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one job and wakes one waiting worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is already closed.
+    pub fn push(&self, item: T) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        assert!(!state.closed, "push on closed JobQueue");
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Closes the queue: once drained, `pop` returns `None` forever.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Blocks until a job is available (returning it) or the queue is both
+    /// closed and empty (returning `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Number of jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The scalar outcome of one finished job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// Linear job index in grid order.
+    pub id: usize,
+    /// The policy of the cell.
+    pub policy: PolicyKind,
+    /// Name of the arrival pattern.
+    pub arrival: String,
+    /// The per-slot arrival probability.
+    pub arrival_probability: f64,
+    /// Label of the device assignment.
+    pub devices: String,
+    /// Label of the transport link.
+    pub link: &'static str,
+    /// The replicate seed of the cell (before SplitMix64 derivation).
+    pub seed: u64,
+    /// Total device energy, in joules.
+    pub total_energy_j: f64,
+    /// Radio energy charged by the transport link, in joules.
+    pub radio_energy_j: f64,
+    /// Updates applied to the global model.
+    pub total_updates: u64,
+    /// Local epochs co-run with a foreground application.
+    pub corun_epochs: u64,
+    /// Mean staleness lag across updates.
+    pub mean_lag: f64,
+    /// Maximum staleness lag.
+    pub max_lag: u64,
+    /// Time-averaged task-queue backlog.
+    pub mean_queue: f64,
+    /// Time-averaged virtual-queue backlog.
+    pub mean_virtual_queue: f64,
+    /// Final test accuracy (when the ML workload was enabled).
+    pub final_accuracy: Option<f32>,
+    /// Wall-clock milliseconds this job took (not deterministic; excluded
+    /// from the merged statistics).
+    pub wall_ms: f64,
+}
+
+impl JobSummary {
+    fn from_result(job: &FleetJob, result: &SimResult, wall_ms: f64) -> Self {
+        // fold instead of sum(): an empty float sum() is -0.0, which would
+        // print as "-0" in the CSV/JSONL reports.
+        let radio_energy_j = result
+            .energy_by_component
+            .iter()
+            .filter(|(c, _)| *c == EnergyComponent::Radio)
+            .fold(0.0, |acc, (_, e)| acc + *e);
+        JobSummary {
+            id: job.id,
+            policy: result.policy,
+            arrival: job.arrival_name.clone(),
+            arrival_probability: job.config.arrival_probability,
+            devices: job.device_label.clone(),
+            link: job.link.label(),
+            seed: job.replicate_seed,
+            total_energy_j: result.total_energy_j,
+            radio_energy_j,
+            total_updates: result.total_updates,
+            corun_epochs: result.corun_epochs,
+            mean_lag: result.mean_lag,
+            max_lag: result.max_lag,
+            mean_queue: result.mean_queue,
+            mean_virtual_queue: result.mean_virtual_queue,
+            final_accuracy: result.final_accuracy,
+            wall_ms,
+        }
+    }
+}
+
+/// The merged outcome of a whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-job summaries, in grid order.
+    pub jobs: Vec<JobSummary>,
+    /// Per-policy rollups, in the order policies appear in the grid.
+    pub rollups: Vec<PolicyRollup>,
+    /// How many worker threads ran the sweep.
+    pub workers: usize,
+    /// Wall-clock seconds of the whole sweep.
+    pub wall_s: f64,
+}
+
+impl FleetReport {
+    /// Total energy across all runs, in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.rollups.iter().map(|r| r.energy_j.sum()).sum()
+    }
+
+    /// The rollup of one policy, if it was part of the sweep.
+    pub fn rollup(&self, policy: PolicyKind) -> Option<&PolicyRollup> {
+        self.rollups.iter().find(|r| r.policy == policy)
+    }
+}
+
+/// Resolves a worker-count request: `0` means one worker per available core.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs every job of the grid on `workers` threads (`0` = one per core) and
+/// folds the results into a [`FleetReport`].
+///
+/// Determinism contract: the report's `jobs` and `rollups` are bit-identical
+/// for every `workers` value, because job seeds depend only on grid
+/// coordinates and the fold happens in job order after all workers join.
+/// Only the `wall_ms`/`wall_s` timings vary between runs.
+///
+/// # Panics
+///
+/// Panics if the grid is invalid or a worker thread panics.
+pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
+    let start = Instant::now();
+    let jobs = grid.expand();
+    let n_jobs = jobs.len();
+    let workers = resolve_workers(workers).min(n_jobs.max(1));
+
+    let queue: JobQueue<FleetJob> = JobQueue::new();
+    for job in jobs {
+        queue.push(job);
+    }
+    queue.close();
+
+    // Each slot is filled exactly once, keyed by job id, so completion order
+    // cannot affect the fold below.
+    let slots: Mutex<Vec<Option<JobSummary>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(job) = queue.pop() {
+                    let job_start = Instant::now();
+                    // Summary mode is enforced here, at the execution site,
+                    // so even hand-built FleetJobs never materialize traces.
+                    let result = run_simulation_summary(job.config.clone());
+                    let wall_ms = job_start.elapsed().as_secs_f64() * 1e3;
+                    let summary = JobSummary::from_result(&job, &result, wall_ms);
+                    slots.lock().expect("result lock poisoned")[job.id] = Some(summary);
+                }
+            });
+        }
+    });
+
+    let jobs: Vec<JobSummary> = slots
+        .into_inner()
+        .expect("result lock poisoned")
+        .into_iter()
+        .map(|s| s.expect("every job slot filled"))
+        .collect();
+
+    // Fold rollups in job order: deterministic regardless of worker count.
+    // One rollup per *distinct* policy — a grid listing a policy twice
+    // produces twice the jobs, but they all fold into the same rollup.
+    let mut rollups: Vec<PolicyRollup> = Vec::new();
+    for &p in &grid.policies {
+        if !rollups.iter().any(|r| r.policy == p) {
+            rollups.push(PolicyRollup::new(p));
+        }
+    }
+    for job in &jobs {
+        let rollup = rollups
+            .iter_mut()
+            .find(|r| r.policy == job.policy)
+            .expect("job policy is a grid policy");
+        rollup.absorb(job);
+    }
+
+    FleetReport {
+        jobs,
+        rollups,
+        workers,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the grid sequentially (one worker). Useful as the determinism and
+/// speedup baseline.
+pub fn run_grid_sequential(grid: &ScenarioGrid) -> FleetReport {
+    run_grid(grid, 1)
+}
+
+/// Strips the non-deterministic timing fields of a report so two reports
+/// can be compared bit-for-bit.
+pub fn deterministic_view(report: &FleetReport) -> Vec<JobSummary> {
+    report
+        .jobs
+        .iter()
+        .map(|j| JobSummary {
+            wall_ms: 0.0,
+            ..j.clone()
+        })
+        .collect()
+}
+
+// Keep the whole pipeline Send by construction: jobs move into workers,
+// summaries move back out.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<FleetJob>();
+    assert_send::<JobSummary>();
+    assert_send::<FleetReport>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{ArrivalPattern, LinkKind};
+    use fedco_sim::experiment::SimConfig;
+
+    fn tiny_grid() -> ScenarioGrid {
+        let mut base = SimConfig::small(PolicyKind::Online);
+        base.num_users = 3;
+        base.total_slots = 240;
+        ScenarioGrid::new(base)
+            .with_arrivals(vec![ArrivalPattern::busy()])
+            .with_links(vec![LinkKind::Ideal, LinkKind::Wifi])
+            .with_replicates(2)
+    }
+
+    #[test]
+    fn queue_delivers_all_items_then_none() {
+        let q: JobQueue<u32> = JobQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn closed_empty_queue_unblocks_waiting_workers() {
+        let q: JobQueue<u32> = JobQueue::new();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| q.pop());
+            // The worker blocks on the condvar until close() wakes it.
+            q.close();
+            assert_eq!(handle.join().expect("worker finished"), None);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "push on closed")]
+    fn push_after_close_panics() {
+        let q: JobQueue<u32> = JobQueue::new();
+        q.close();
+        q.push(1);
+    }
+
+    #[test]
+    fn report_covers_every_job_in_order() {
+        let grid = tiny_grid();
+        let report = run_grid(&grid, 2);
+        assert_eq!(report.jobs.len(), grid.len());
+        for (i, job) in report.jobs.iter().enumerate() {
+            assert_eq!(job.id, i);
+            assert!(job.total_energy_j > 0.0);
+        }
+        let runs: u64 = report.rollups.iter().map(|r| r.runs()).sum();
+        assert_eq!(runs, grid.len() as u64);
+        assert!(report.total_energy_j() > 0.0);
+        assert!(report.rollup(PolicyKind::Online).is_some());
+        assert!(report.wall_s > 0.0);
+    }
+
+    #[test]
+    fn wifi_cells_record_radio_energy() {
+        let report = run_grid_sequential(&tiny_grid());
+        for job in &report.jobs {
+            if job.link == "wifi" && job.total_updates > 0 {
+                assert!(job.radio_energy_j > 0.0, "job {}", job.id);
+            }
+            if job.link == "ideal" {
+                assert_eq!(job.radio_energy_j, 0.0, "job {}", job.id);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let grid = tiny_grid();
+        let seq = run_grid(&grid, 1);
+        let par = run_grid(&grid, 4);
+        assert_eq!(deterministic_view(&seq), deterministic_view(&par));
+        assert_eq!(seq.rollups, par.rollups);
+        assert_eq!(par.workers, 4.min(grid.len()));
+    }
+
+    #[test]
+    fn resolve_workers_defaults_to_cores() {
+        assert_eq!(resolve_workers(3), 3);
+        assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn duplicate_grid_policies_fold_into_one_rollup() {
+        let grid = tiny_grid().with_policies(vec![PolicyKind::Online, PolicyKind::Online]);
+        let report = run_grid(&grid, 2);
+        assert_eq!(report.jobs.len(), grid.len());
+        assert_eq!(report.rollups.len(), 1, "one rollup per distinct policy");
+        assert_eq!(report.rollups[0].runs(), grid.len() as u64);
+    }
+}

@@ -1,0 +1,408 @@
+//! Scenario grids: the cartesian product of sweep dimensions.
+//!
+//! A [`ScenarioGrid`] expands `policies × arrival patterns × device
+//! assignments × transport links × seeds` over a base [`SimConfig`] into a
+//! flat job list. Every job owns a fully-resolved, summary-only
+//! configuration whose seed is derived by folding the job's grid
+//! coordinates through SplitMix64 ([`fedco_rng::rngs::SplitMix64`]), so the
+//! per-job random streams are a pure function of *where the job sits in the
+//! grid* — never of which worker ran it or in what order.
+
+use fedco_core::policy::PolicyKind;
+use fedco_fl::transport::TransportModel;
+use fedco_rng::rngs::SplitMix64;
+use fedco_rng::SeedableRng;
+use fedco_sim::experiment::{DeviceAssignment, SimConfig};
+
+/// One named application-arrival pattern (the per-slot Bernoulli rate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalPattern {
+    /// A short name used in reports (e.g. `"paper"`).
+    pub name: String,
+    /// The per-slot arrival probability.
+    pub probability: f64,
+}
+
+impl ArrivalPattern {
+    /// A named pattern.
+    pub fn new(name: impl Into<String>, probability: f64) -> Self {
+        ArrivalPattern {
+            name: name.into(),
+            probability: probability.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The paper's main-evaluation rate: one app per ~1000 s per user.
+    pub fn paper() -> Self {
+        ArrivalPattern::new("paper", 0.001)
+    }
+
+    /// Scarce arrivals (Fig. 6's left end).
+    pub fn sparse() -> Self {
+        ArrivalPattern::new("sparse", 0.0002)
+    }
+
+    /// Busy users switching apps frequently (Fig. 6's right end).
+    pub fn busy() -> Self {
+        ArrivalPattern::new("busy", 0.005)
+    }
+}
+
+/// The transport link of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// No radio accounting (the paper's setting).
+    Ideal,
+    /// Home Wi-Fi ([`TransportModel::wifi`]).
+    Wifi,
+    /// Cellular LTE ([`TransportModel::lte`]).
+    Lte,
+}
+
+impl LinkKind {
+    /// All link kinds.
+    pub const ALL: [LinkKind; 3] = [LinkKind::Ideal, LinkKind::Wifi, LinkKind::Lte];
+
+    /// The transport model of this link, if any.
+    pub fn model(self) -> Option<TransportModel> {
+        match self {
+            LinkKind::Ideal => None,
+            LinkKind::Wifi => Some(TransportModel::wifi()),
+            LinkKind::Lte => Some(TransportModel::lte()),
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::Ideal => "ideal",
+            LinkKind::Wifi => "wifi",
+            LinkKind::Lte => "lte",
+        }
+    }
+}
+
+/// The position of a job in the grid, as indices into each dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCoord {
+    /// Index into [`ScenarioGrid::policies`].
+    pub policy: usize,
+    /// Index into [`ScenarioGrid::arrivals`].
+    pub arrival: usize,
+    /// Index into [`ScenarioGrid::devices`].
+    pub device: usize,
+    /// Index into [`ScenarioGrid::links`].
+    pub link: usize,
+    /// Index into [`ScenarioGrid::seeds`].
+    pub seed: usize,
+}
+
+/// One fully-resolved unit of work: a (policy, arrival, devices, link, seed)
+/// cell of the grid with its summary-only simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetJob {
+    /// Linear index of the job in grid order (policy-major, seed-minor).
+    pub id: usize,
+    /// The grid coordinates.
+    pub coord: JobCoord,
+    /// The resolved configuration (summary-only, derived seed installed).
+    pub config: SimConfig,
+    /// Name of the arrival pattern.
+    pub arrival_name: String,
+    /// Label of the device assignment.
+    pub device_label: String,
+    /// The transport link.
+    pub link: LinkKind,
+    /// The sweep-level seed this cell replicates (before derivation).
+    pub replicate_seed: u64,
+}
+
+/// The cartesian product of sweep dimensions over a base configuration.
+///
+/// All dimension vectors must be non-empty; [`ScenarioGrid::new`] starts
+/// every dimension at a sensible singleton (all four policies, the paper's
+/// arrival rate, the round-robin testbed, no radio, the base seed) and the
+/// `with_*` builders replace one dimension each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    /// The configuration every cell starts from. Horizon, user count,
+    /// scheduler knobs and the ML workload come from here.
+    pub base: SimConfig,
+    /// The policy dimension.
+    pub policies: Vec<PolicyKind>,
+    /// The arrival-pattern dimension.
+    pub arrivals: Vec<ArrivalPattern>,
+    /// The device-assignment dimension.
+    pub devices: Vec<DeviceAssignment>,
+    /// The transport-link dimension.
+    pub links: Vec<LinkKind>,
+    /// The replicate-seed dimension.
+    pub seeds: Vec<u64>,
+}
+
+impl ScenarioGrid {
+    /// A grid comparing all four policies under the base configuration.
+    pub fn new(base: SimConfig) -> Self {
+        let seed = base.seed;
+        let arrival = ArrivalPattern::new("base", base.arrival_probability);
+        let devices = base.devices.clone();
+        ScenarioGrid {
+            base,
+            policies: PolicyKind::ALL.to_vec(),
+            arrivals: vec![arrival],
+            devices: vec![devices],
+            links: vec![LinkKind::Ideal],
+            seeds: vec![seed],
+        }
+    }
+
+    /// Replaces the policy dimension.
+    #[must_use]
+    pub fn with_policies(mut self, policies: Vec<PolicyKind>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Replaces the arrival-pattern dimension.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: Vec<ArrivalPattern>) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Replaces the device-assignment dimension.
+    #[must_use]
+    pub fn with_devices(mut self, devices: Vec<DeviceAssignment>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Replaces the transport-link dimension.
+    #[must_use]
+    pub fn with_links(mut self, links: Vec<LinkKind>) -> Self {
+        self.links = links;
+        self
+    }
+
+    /// Replaces the replicate-seed dimension with `count` seeds derived from
+    /// the base seed (wrapping, so any base seed admits any count).
+    #[must_use]
+    pub fn with_replicates(mut self, count: usize) -> Self {
+        self.seeds = (0..count as u64)
+            .map(|i| self.base.seed.wrapping_add(i))
+            .collect();
+        self
+    }
+
+    /// Replaces the replicate-seed dimension with explicit seeds.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Whether every dimension is non-empty and the base config is valid.
+    pub fn is_valid(&self) -> bool {
+        self.base.is_valid()
+            && !self.policies.is_empty()
+            && !self.arrivals.is_empty()
+            && !self.devices.is_empty()
+            && !self.links.is_empty()
+            && !self.seeds.is_empty()
+            && self.devices.iter().all(DeviceAssignment::is_valid)
+    }
+
+    /// Number of jobs in the grid.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+            * self.arrivals.len()
+            * self.devices.len()
+            * self.links.len()
+            * self.seeds.len()
+    }
+
+    /// Whether the grid has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The coordinates of linear job index `id` (policy-major, seed-minor).
+    pub fn coord(&self, id: usize) -> JobCoord {
+        let mut rest = id;
+        let seed = rest % self.seeds.len();
+        rest /= self.seeds.len();
+        let link = rest % self.links.len();
+        rest /= self.links.len();
+        let device = rest % self.devices.len();
+        rest /= self.devices.len();
+        let arrival = rest % self.arrivals.len();
+        rest /= self.arrivals.len();
+        JobCoord {
+            policy: rest,
+            arrival,
+            device,
+            link,
+            seed,
+        }
+    }
+
+    /// The derived simulation seed of a cell: the base seed and the grid
+    /// coordinates folded through SplitMix64. Depending only on coordinates
+    /// (not on expansion or execution order) is what makes fleet results
+    /// bit-identical across worker counts.
+    pub fn job_seed(&self, coord: JobCoord) -> u64 {
+        let mut sm = SplitMix64::seed_from_u64(self.base.seed);
+        sm.absorb(coord.policy as u64);
+        sm.absorb(coord.arrival as u64);
+        sm.absorb(coord.device as u64);
+        sm.absorb(coord.link as u64);
+        sm.absorb(self.seeds[coord.seed])
+    }
+
+    /// Builds the job at linear index `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= self.len()` or the grid is invalid.
+    pub fn job(&self, id: usize) -> FleetJob {
+        assert!(
+            id < self.len(),
+            "job index {id} out of grid of {}",
+            self.len()
+        );
+        let coord = self.coord(id);
+        let arrival = &self.arrivals[coord.arrival];
+        let devices = &self.devices[coord.device];
+        let link = self.links[coord.link];
+        let mut config = self
+            .base
+            .clone()
+            .with_arrival_probability(arrival.probability)
+            .with_seed(self.job_seed(coord))
+            .summary_only();
+        config.policy = self.policies[coord.policy];
+        config.devices = devices.clone();
+        config.transport = link.model();
+        FleetJob {
+            id,
+            coord,
+            config,
+            arrival_name: arrival.name.clone(),
+            device_label: devices.label(),
+            link,
+            replicate_seed: self.seeds[coord.seed],
+        }
+    }
+
+    /// Expands the whole grid into its job list, in linear order.
+    pub fn expand(&self) -> Vec<FleetJob> {
+        assert!(self.is_valid(), "invalid scenario grid: {self:?}");
+        (0..self.len()).map(|id| self.job(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedco_device::profiles::DeviceKind;
+
+    fn grid() -> ScenarioGrid {
+        ScenarioGrid::new(SimConfig::small(PolicyKind::Online))
+            .with_arrivals(vec![ArrivalPattern::sparse(), ArrivalPattern::busy()])
+            .with_devices(vec![
+                DeviceAssignment::RoundRobinTestbed,
+                DeviceAssignment::Uniform(DeviceKind::Pixel2),
+            ])
+            .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
+            .with_replicates(2)
+    }
+
+    #[test]
+    fn len_is_product_of_dimensions() {
+        let g = grid();
+        assert_eq!(g.len(), 4 * 2 * 2 * 2 * 2);
+        assert!(g.is_valid());
+        assert!(!g.is_empty());
+        assert_eq!(g.expand().len(), g.len());
+    }
+
+    #[test]
+    fn coords_roundtrip_and_cover_grid() {
+        let g = grid();
+        let jobs = g.expand();
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.id, i);
+            assert_eq!(g.coord(i), job.coord);
+        }
+        // Every policy appears equally often.
+        for (k, policy) in g.policies.iter().enumerate() {
+            let n = jobs.iter().filter(|j| j.config.policy == *policy).count();
+            assert_eq!(n, g.len() / 4, "policy {k}");
+        }
+    }
+
+    #[test]
+    fn jobs_resolve_their_dimensions() {
+        let g = grid();
+        for job in g.expand() {
+            assert!(!job.config.collect_traces, "jobs are summary-only");
+            assert!(job.config.is_valid());
+            assert_eq!(
+                job.config.arrival_probability,
+                g.arrivals[job.coord.arrival].probability
+            );
+            assert_eq!(job.config.transport, job.link.model());
+            assert_eq!(job.arrival_name, g.arrivals[job.coord.arrival].name);
+        }
+    }
+
+    #[test]
+    fn job_seeds_are_coordinate_determined_and_distinct() {
+        let g = grid();
+        let jobs = g.expand();
+        // Same grid, second expansion: identical seeds.
+        let again = g.expand();
+        for (a, b) in jobs.iter().zip(&again) {
+            assert_eq!(a.config.seed, b.config.seed);
+        }
+        // All cells get distinct derived seeds.
+        let mut seeds: Vec<u64> = jobs.iter().map(|j| j.config.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), jobs.len());
+        // And the derivation is not the identity on the replicate seed.
+        assert!(jobs.iter().all(|j| j.config.seed != j.replicate_seed));
+    }
+
+    #[test]
+    fn replicates_wrap_at_the_seed_space_boundary() {
+        let mut base = SimConfig::small(PolicyKind::Online);
+        base.seed = u64::MAX;
+        let g = ScenarioGrid::new(base).with_replicates(2);
+        assert_eq!(g.seeds, vec![u64::MAX, 0]);
+    }
+
+    #[test]
+    fn arrival_presets_are_ordered() {
+        assert!(ArrivalPattern::sparse().probability < ArrivalPattern::paper().probability);
+        assert!(ArrivalPattern::paper().probability < ArrivalPattern::busy().probability);
+        assert_eq!(ArrivalPattern::new("x", 7.0).probability, 1.0);
+    }
+
+    #[test]
+    fn link_kinds_expose_models() {
+        assert_eq!(LinkKind::Ideal.model(), None);
+        assert!(LinkKind::Wifi.model().is_some());
+        assert_eq!(LinkKind::Lte.label(), "lte");
+        assert_eq!(LinkKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn empty_dimension_invalidates_grid() {
+        let g = grid().with_policies(vec![]);
+        assert!(!g.is_valid());
+        assert!(g.is_empty());
+        let g2 = grid().with_devices(vec![DeviceAssignment::Custom(vec![])]);
+        assert!(!g2.is_valid());
+    }
+}

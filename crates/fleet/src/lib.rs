@@ -1,0 +1,58 @@
+//! # fedco-fleet
+//!
+//! Fleet-scale scenario-sweep runtime for the `fedco` reproduction of
+//! *"Energy Minimization for Federated Asynchronous Learning on
+//! Battery-Powered Mobile Devices via Application Co-running"* (ICDCS 2022).
+//!
+//! The single-run engine in `fedco-sim` answers "what does policy P cost
+//! under configuration C?". This crate answers the production question:
+//! "what do *all* policies cost across the whole space of arrival patterns,
+//! device fleets, transport links and seeds — using every core?". It has
+//! four parts:
+//!
+//! * [`grid`] — [`ScenarioGrid`](grid::ScenarioGrid) expands
+//!   `policies × arrivals × devices × links × seeds` into a job list, each
+//!   job seeded by SplitMix64 of its grid coordinates;
+//! * [`executor`] — a std-only thread pool (`Mutex`/`Condvar` job queue,
+//!   one worker per core by default) running jobs in summary-only mode;
+//! * [`stats`] — mergeable streaming count/mean/M2/min/max accumulators and
+//!   per-policy rollups, so sweeps never materialize traces;
+//! * [`report`] — hand-rolled CSV and JSON-lines writers (the workspace is
+//!   offline: no serde).
+//!
+//! Results are **bit-identical for any worker count**: job seeds depend only
+//! on grid coordinates, and rollups fold finished jobs in grid order.
+//!
+//! ```no_run
+//! use fedco_fleet::prelude::*;
+//!
+//! let grid = ScenarioGrid::new(SimConfig::small(PolicyKind::Online))
+//!     .with_arrivals(vec![ArrivalPattern::sparse(), ArrivalPattern::busy()])
+//!     .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
+//!     .with_replicates(4);
+//! let report = run_grid(&grid, 0); // 0 = one worker per core
+//! print!("{}", rollup_table(&report));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod executor;
+pub mod grid;
+pub mod report;
+pub mod stats;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::executor::{
+        deterministic_view, resolve_workers, run_grid, run_grid_sequential, FleetReport, JobQueue,
+        JobSummary,
+    };
+    pub use crate::grid::{ArrivalPattern, FleetJob, JobCoord, LinkKind, ScenarioGrid};
+    pub use crate::report::{rollup_table, to_csv, to_jsonl};
+    pub use crate::stats::{PolicyRollup, Streaming};
+    pub use fedco_core::policy::PolicyKind;
+    pub use fedco_sim::experiment::{DeviceAssignment, SimConfig};
+}
+
+pub use prelude::*;

@@ -1,0 +1,259 @@
+//! Hand-rolled CSV and JSON-lines report writers.
+//!
+//! The workspace is offline and zero-dependency, so there is no serde here:
+//! both formats are simple enough to emit directly. Numbers are written with
+//! Rust's shortest round-trip `Display` formatting, so parsing the files
+//! back recovers the exact `f64` bits and reports diff cleanly between runs.
+
+use crate::executor::{FleetReport, JobSummary};
+
+/// The CSV header, one column per [`JobSummary`] field.
+pub const CSV_HEADER: &str = "job,policy,arrival,arrival_p,devices,link,seed,\
+energy_j,radio_j,updates,corun_epochs,mean_lag,max_lag,mean_queue,\
+mean_virtual_queue,accuracy,wall_ms";
+
+/// Escapes one CSV field: quotes it when it contains a comma, quote or
+/// newline, doubling embedded quotes (RFC 4180).
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes and
+/// control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One CSV row for a job.
+pub fn csv_row(job: &JobSummary) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+        job.id,
+        csv_escape(job.policy.label()),
+        csv_escape(&job.arrival),
+        job.arrival_probability,
+        csv_escape(&job.devices),
+        job.link,
+        job.seed,
+        job.total_energy_j,
+        job.radio_energy_j,
+        job.total_updates,
+        job.corun_epochs,
+        job.mean_lag,
+        job.max_lag,
+        job.mean_queue,
+        job.mean_virtual_queue,
+        job.final_accuracy
+            .map(|a| a.to_string())
+            .unwrap_or_default(),
+        job.wall_ms,
+    )
+}
+
+/// The whole report as CSV: header plus one row per job, in grid order.
+pub fn to_csv(report: &FleetReport) -> String {
+    let mut out = String::with_capacity((report.jobs.len() + 1) * 96);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for job in &report.jobs {
+        out.push_str(&csv_row(job));
+        out.push('\n');
+    }
+    out
+}
+
+/// One JSON object (a single line) for a job.
+pub fn json_line(job: &JobSummary) -> String {
+    let accuracy = match job.final_accuracy {
+        Some(a) => a.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"job\":{},\"policy\":\"{}\",\"arrival\":\"{}\",\"arrival_p\":{},\
+\"devices\":\"{}\",\"link\":\"{}\",\"seed\":{},\"energy_j\":{},\
+\"radio_j\":{},\"updates\":{},\"corun_epochs\":{},\"mean_lag\":{},\
+\"max_lag\":{},\"mean_queue\":{},\"mean_virtual_queue\":{},\
+\"accuracy\":{},\"wall_ms\":{:.3}}}",
+        job.id,
+        json_escape(job.policy.label()),
+        json_escape(&job.arrival),
+        job.arrival_probability,
+        json_escape(&job.devices),
+        job.link,
+        job.seed,
+        job.total_energy_j,
+        job.radio_energy_j,
+        job.total_updates,
+        job.corun_epochs,
+        job.mean_lag,
+        job.max_lag,
+        job.mean_queue,
+        job.mean_virtual_queue,
+        accuracy,
+        job.wall_ms,
+    )
+}
+
+/// The whole report as JSON lines: one object per job, in grid order.
+pub fn to_jsonl(report: &FleetReport) -> String {
+    let mut out = String::with_capacity(report.jobs.len() * 192);
+    for job in &report.jobs {
+        out.push_str(&json_line(job));
+        out.push('\n');
+    }
+    out
+}
+
+/// A plain-text per-policy rollup table for terminals.
+pub fn rollup_table(report: &FleetReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>5} {:>14} {:>12} {:>10} {:>10} {:>9} {:>9}\n",
+        "policy", "runs", "energy kJ/run", "σ kJ", "updates", "co-runs", "lag", "acc %"
+    ));
+    for r in &report.rollups {
+        let acc = if r.accuracy.count() > 0 {
+            format!("{:.1}", r.accuracy.mean() * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        out.push_str(&format!(
+            "{:<10} {:>5} {:>14.2} {:>12.2} {:>10.1} {:>10.1} {:>9.2} {:>9}\n",
+            r.policy.label(),
+            r.runs(),
+            r.energy_j.mean() / 1e3,
+            r.energy_j.std_dev() / 1e3,
+            r.updates.mean(),
+            r.corun_epochs.mean(),
+            r.mean_lag.mean(),
+            acc,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::PolicyRollup;
+    use fedco_core::policy::PolicyKind;
+
+    fn sample_job() -> JobSummary {
+        JobSummary {
+            id: 3,
+            policy: PolicyKind::Online,
+            arrival: "paper".to_string(),
+            arrival_probability: 0.001,
+            devices: "testbed".to_string(),
+            link: "wifi",
+            seed: 42,
+            total_energy_j: 1234.5,
+            radio_energy_j: 12.25,
+            total_updates: 17,
+            corun_epochs: 4,
+            mean_lag: 1.5,
+            max_lag: 6,
+            mean_queue: 0.25,
+            mean_virtual_queue: 2.5,
+            final_accuracy: None,
+            wall_ms: 7.125,
+        }
+    }
+
+    fn sample_report() -> FleetReport {
+        let job = sample_job();
+        let mut rollup = PolicyRollup::new(PolicyKind::Online);
+        rollup.absorb(&job);
+        FleetReport {
+            jobs: vec![job],
+            rollups: vec![rollup],
+            workers: 2,
+            wall_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_job() {
+        let csv = to_csv(&sample_report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "row column count matches header"
+        );
+        assert!(lines[1].starts_with("3,Online,paper,0.001,testbed,wifi,42,1234.5,12.25,17,4,"));
+        // Missing accuracy renders as an empty cell.
+        assert!(lines[1].contains(",,"));
+    }
+
+    #[test]
+    fn csv_escaping_quotes_embedded_commas() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_object_per_job() {
+        let mut report = sample_report();
+        report.jobs[0].final_accuracy = Some(0.625);
+        let jsonl = to_jsonl(&report);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let line = lines[0];
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"policy\":\"Online\""));
+        assert!(line.contains("\"energy_j\":1234.5"));
+        assert!(line.contains("\"accuracy\":0.625"));
+        // Balanced braces/quotes — a cheap structural sanity check.
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert_eq!(line.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn jsonl_null_accuracy_and_escaping() {
+        let jsonl = to_jsonl(&sample_report());
+        assert!(jsonl.contains("\"accuracy\":null"));
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        let job = sample_job();
+        let row = csv_row(&job);
+        let energy_field: f64 = row
+            .split(',')
+            .nth(7)
+            .expect("energy column")
+            .parse()
+            .expect("parses");
+        assert_eq!(energy_field.to_bits(), job.total_energy_j.to_bits());
+    }
+
+    #[test]
+    fn rollup_table_lists_policies() {
+        let table = rollup_table(&sample_report());
+        assert!(table.contains("Online"));
+        assert!(table.contains("energy kJ/run"));
+        assert!(table.contains("n/a"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Determinism at scale: a parallel fleet run must be bit-identical to the
+//! same grid run on one worker — same energy totals, same update counts,
+//! same final accuracies — for all four policies, any worker count, and
+//! repeated executions.
+
+use fedco_device::profiles::DeviceKind;
+use fedco_fleet::prelude::*;
+
+fn grid() -> ScenarioGrid {
+    let mut base = SimConfig::small(PolicyKind::Online);
+    base.num_users = 4;
+    base.total_slots = 400;
+    ScenarioGrid::new(base)
+        .with_policies(PolicyKind::ALL.to_vec())
+        .with_arrivals(vec![ArrivalPattern::paper(), ArrivalPattern::busy()])
+        .with_devices(vec![
+            DeviceAssignment::RoundRobinTestbed,
+            DeviceAssignment::Uniform(DeviceKind::Hikey970),
+        ])
+        .with_links(vec![LinkKind::Ideal, LinkKind::Wifi])
+        .with_replicates(2)
+}
+
+#[test]
+fn parallel_shards_match_single_worker_bit_for_bit() {
+    let grid = grid();
+    assert_eq!(grid.len(), 64, "4 policies x 2 x 2 x 2 x 2 seeds");
+    let baseline = run_grid_sequential(&grid);
+    for workers in [2, 3, 8] {
+        let parallel = run_grid(&grid, workers);
+        assert_eq!(parallel.jobs.len(), baseline.jobs.len());
+        for (seq, par) in baseline.jobs.iter().zip(&parallel.jobs) {
+            assert_eq!(seq.id, par.id);
+            assert_eq!(seq.policy, par.policy);
+            assert_eq!(
+                seq.total_energy_j.to_bits(),
+                par.total_energy_j.to_bits(),
+                "energy diverged for job {} on {} workers",
+                seq.id,
+                workers
+            );
+            assert_eq!(seq.radio_energy_j.to_bits(), par.radio_energy_j.to_bits());
+            assert_eq!(seq.total_updates, par.total_updates);
+            assert_eq!(seq.corun_epochs, par.corun_epochs);
+            assert_eq!(seq.mean_lag.to_bits(), par.mean_lag.to_bits());
+            assert_eq!(seq.max_lag, par.max_lag);
+            assert_eq!(seq.mean_queue.to_bits(), par.mean_queue.to_bits());
+            assert_eq!(seq.final_accuracy, par.final_accuracy);
+        }
+        // The merged per-policy statistics fold to the same bits too.
+        assert_eq!(baseline.rollups, parallel.rollups);
+    }
+}
+
+#[test]
+fn every_policy_contributes_to_the_rollups() {
+    let report = run_grid(&grid(), 0);
+    assert_eq!(report.rollups.len(), 4);
+    for policy in PolicyKind::ALL {
+        let rollup = report
+            .rollup(policy)
+            .unwrap_or_else(|| panic!("missing rollup for {policy:?}"));
+        assert_eq!(rollup.runs(), 16, "{policy:?}");
+        assert!(rollup.energy_j.mean() > 0.0);
+    }
+    // Grid-wide invariant from the paper: Immediate is the energy upper
+    // bound, so its mean energy dominates the online controller's.
+    let immediate = report.rollup(PolicyKind::Immediate).expect("immediate");
+    let online = report.rollup(PolicyKind::Online).expect("online");
+    assert!(immediate.energy_j.mean() > online.energy_j.mean());
+}
+
+#[test]
+fn reports_serialize_identically_across_worker_counts() {
+    let grid = grid();
+    let a = run_grid(&grid, 1);
+    let b = run_grid(&grid, 5);
+    // CSV and JSONL embed every deterministic field; strip the wall-clock
+    // column (the only non-deterministic one) before comparing.
+    let strip = |s: &str| -> String {
+        s.lines()
+            .map(|line| {
+                let cut = line.rfind(',').map(|i| &line[..i]).unwrap_or(line);
+                format!("{cut}\n")
+            })
+            .collect()
+    };
+    assert_eq!(strip(&to_csv(&a)), strip(&to_csv(&b)));
+    let strip_json = |s: &str| -> String {
+        s.lines()
+            .map(|line| {
+                let cut = line
+                    .rfind(",\"wall_ms\":")
+                    .map(|i| &line[..i])
+                    .unwrap_or(line);
+                format!("{cut}\n")
+            })
+            .collect()
+    };
+    assert_eq!(strip_json(&to_jsonl(&a)), strip_json(&to_jsonl(&b)));
+}
+
+/// The ML workload (real LeNet training) must also shard deterministically:
+/// final accuracy is part of the bit-identical contract.
+#[test]
+fn ml_cells_are_deterministic_across_workers() {
+    use fedco_sim::experiment::MlConfig;
+    let mut base = SimConfig::small(PolicyKind::Online);
+    base.num_users = 3;
+    base.total_slots = 300;
+    base.ml = Some(MlConfig::tiny());
+    let grid = ScenarioGrid::new(base)
+        .with_policies(vec![PolicyKind::Immediate, PolicyKind::Online])
+        .with_replicates(2);
+    let seq = run_grid_sequential(&grid);
+    let par = run_grid(&grid, 4);
+    for (a, b) in seq.jobs.iter().zip(&par.jobs) {
+        let acc_a = a.final_accuracy.expect("ml cells evaluate");
+        let acc_b = b.final_accuracy.expect("ml cells evaluate");
+        assert_eq!(acc_a.to_bits(), acc_b.to_bits(), "job {}", a.id);
+        assert_eq!(a.total_energy_j.to_bits(), b.total_energy_j.to_bits());
+    }
+}

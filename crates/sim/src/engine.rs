@@ -26,6 +26,7 @@ use fedco_fl::model_state::LocalUpdate;
 use fedco_fl::partition::{partition_dataset, PartitionStrategy};
 use fedco_fl::server::ParameterServer;
 use fedco_fl::staleness::{GradientGap, Lag, WeightPredictor};
+use fedco_fl::transport::PAPER_MODEL_BYTES;
 use fedco_neural::data::{Dataset, SyntheticCifarConfig};
 use fedco_neural::model::{ParamVector, Sequential};
 
@@ -155,7 +156,14 @@ impl Simulation {
             .collect();
         let profilers: Vec<EnergyProfiler> = users
             .iter()
-            .map(|u| EnergyProfiler::new(PowerModel::new(u.profile.clone())))
+            .map(|u| {
+                let model = PowerModel::new(u.profile.clone());
+                if config.collect_traces {
+                    EnergyProfiler::new(model)
+                } else {
+                    EnergyProfiler::lean(model)
+                }
+            })
             .collect();
         let policy = PolicyImpl::new(config.policy, config.scheduler);
         let predictor = WeightPredictor::new(
@@ -377,6 +385,12 @@ impl Simulation {
 
     /// Re-downloads the global model for a user that just uploaded.
     fn requeue_user(&mut self, user_id: usize) {
+        // One full model exchange per requeue: the update went up, the fresh
+        // global model comes back down. Charge the radio if a link is set.
+        if let Some(link) = &self.config.transport {
+            let energy = link.radio_energy(link.exchange_time(PAPER_MODEL_BYTES));
+            self.profilers[user_id].record_extra(EnergyComponent::Radio, energy);
+        }
         let snapshot = self.server.download();
         if let Some(ml) = self.ml.as_mut() {
             ml.clients[user_id]
@@ -530,20 +544,28 @@ impl Simulation {
                         self.users[user_id].enter_barrier();
                     }
                     _ => {
-                        let gap = self.measured_gap(user_id);
+                        // The per-update gap only feeds the UpdateEvent
+                        // series; skip the O(params) distance in summary mode.
+                        let gap = if self.config.collect_traces {
+                            self.measured_gap(user_id)
+                        } else {
+                            0.0
+                        };
                         let lag = self
                             .server
                             .apply_async(&update)
                             .expect("update length matches global model");
                         total_lag += lag.value();
                         max_lag = max_lag.max(lag.value());
-                        updates.push(UpdateEvent {
-                            t_s: now_s,
-                            user_id,
-                            lag: lag.value(),
-                            gap,
-                            corun: corunning,
-                        });
+                        if self.config.collect_traces {
+                            updates.push(UpdateEvent {
+                                t_s: now_s,
+                                user_id,
+                                lag: lag.value(),
+                                gap,
+                                corun: corunning,
+                            });
+                        }
                         self.requeue_user(user_id);
                     }
                 }
@@ -554,26 +576,32 @@ impl Simulation {
                 && self.sync_buffer.len() == self.users.len()
             {
                 let buffer = std::mem::take(&mut self.sync_buffer);
-                let mean_gap: f64 = buffer
-                    .iter()
-                    .map(|u| {
-                        self.base_params[u.client_id]
-                            .distance_l2(&u.params)
-                            .map(|d| d as f64)
-                            .unwrap_or(0.0)
-                    })
-                    .sum::<f64>()
-                    / buffer.len().max(1) as f64;
+                let mean_gap: f64 = if self.config.collect_traces {
+                    buffer
+                        .iter()
+                        .map(|u| {
+                            self.base_params[u.client_id]
+                                .distance_l2(&u.params)
+                                .map(|d| d as f64)
+                                .unwrap_or(0.0)
+                        })
+                        .sum::<f64>()
+                        / buffer.len().max(1) as f64
+                } else {
+                    0.0
+                };
                 self.server
                     .apply_sync_round(&buffer)
                     .expect("round updates match global model");
-                updates.push(UpdateEvent {
-                    t_s: now_s,
-                    user_id: usize::MAX,
-                    lag: 0,
-                    gap: mean_gap,
-                    corun: false,
-                });
+                if self.config.collect_traces {
+                    updates.push(UpdateEvent {
+                        t_s: now_s,
+                        user_id: usize::MAX,
+                        lag: 0,
+                        gap: mean_gap,
+                        corun: false,
+                    });
+                }
                 for i in 0..self.users.len() {
                     self.requeue_user(i);
                 }
@@ -590,8 +618,13 @@ impl Simulation {
             queue_sum += self.policy.queue_backlog();
             vq_sum += self.policy.virtual_backlog();
 
-            // (8) Trace recording.
-            if slot % self.config.record_every_slots == 0 {
+            // (8) Trace recording. Skipped wholesale in summary mode: the
+            // periodic accuracy evaluation only feeds the trace (the final
+            // accuracy is evaluated once after the loop), evaluation runs
+            // the network in inference mode (no RNG draws), and the eval
+            // net's parameters are overwritten before every use — so
+            // skipping it cannot change any other stream.
+            if self.config.collect_traces && slot % self.config.record_every_slots == 0 {
                 if let Some(ml) = &self.ml {
                     if slot % ml.eval_every_slots == 0 {
                         if let Some(acc) = self.evaluate_global() {
@@ -681,6 +714,27 @@ impl Simulation {
 pub fn run_simulation(config: SimConfig) -> SimResult {
     Simulation::new(config).run()
 }
+
+/// Builds and runs a simulation in summary-only mode: no time series, no
+/// per-user gap samples, no power segments (see
+/// [`SimConfig::summary_only`]). This is the entry point the fleet runtime
+/// dispatches to worker threads — [`Simulation`] is `Send`, so whole runs
+/// can move across threads, and every run is a pure function of its config.
+pub fn run_simulation_summary(config: SimConfig) -> SimResult {
+    Simulation::new(config.summary_only()).run()
+}
+
+// The fleet executor moves configs into worker threads and runs simulations
+// there; keep the whole pipeline `Send` (and the config shareable) by
+// construction.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Simulation>();
+    assert_send::<SimConfig>();
+    assert_sync::<SimConfig>();
+    assert_send::<SimResult>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -795,5 +849,75 @@ mod tests {
         let mut config = small(PolicyKind::Online);
         config.num_users = 0;
         let _ = Simulation::new(config);
+    }
+
+    /// Summary-only mode must change *what is stored*, never *what happens*:
+    /// every scalar of the result stays bit-identical to a recording run.
+    #[test]
+    fn summary_mode_is_bit_identical_to_recording_mode() {
+        for policy in PolicyKind::ALL {
+            let full = run_simulation(small(policy));
+            let lean = run_simulation_summary(small(policy));
+            assert_eq!(
+                full.total_energy_j.to_bits(),
+                lean.total_energy_j.to_bits(),
+                "energy diverged for {policy:?}"
+            );
+            assert_eq!(full.total_updates, lean.total_updates);
+            assert_eq!(full.corun_epochs, lean.corun_epochs);
+            assert_eq!(full.mean_lag.to_bits(), lean.mean_lag.to_bits());
+            assert_eq!(full.max_lag, lean.max_lag);
+            assert_eq!(full.mean_queue.to_bits(), lean.mean_queue.to_bits());
+            assert_eq!(full.final_accuracy, lean.final_accuracy);
+            assert_eq!(full.energy_by_component, lean.energy_by_component);
+            assert!(!full.trace.is_empty());
+            assert!(lean.trace.is_empty());
+            assert!(lean.updates.is_empty());
+            assert!(lean.user_gaps.is_empty());
+        }
+    }
+
+    #[test]
+    fn summary_mode_with_ml_matches_recording_accuracy() {
+        let mut config = small(PolicyKind::Immediate);
+        config.num_users = 3;
+        config.total_slots = 600;
+        config.ml = Some(MlConfig::tiny());
+        let full = run_simulation(config.clone());
+        let lean = run_simulation_summary(config);
+        assert_eq!(full.final_accuracy, lean.final_accuracy);
+        assert_eq!(full.total_updates, lean.total_updates);
+        assert_eq!(full.total_energy_j.to_bits(), lean.total_energy_j.to_bits());
+    }
+
+    #[test]
+    fn transport_charges_radio_energy_per_exchange() {
+        use fedco_fl::transport::TransportModel;
+        let base = small(PolicyKind::Immediate);
+        let without = run_simulation(base.clone());
+        let with = run_simulation(base.clone().with_transport(TransportModel::lte()));
+        // Same schedule (the link does not change decisions)...
+        assert_eq!(without.total_updates, with.total_updates);
+        // ...but every async update paid one model exchange of radio energy.
+        let radio: f64 = with
+            .energy_by_component
+            .iter()
+            .filter(|(c, _)| *c == EnergyComponent::Radio)
+            .map(|(_, e)| *e)
+            .sum();
+        let link = TransportModel::lte();
+        let per_exchange = link
+            .radio_energy(link.exchange_time(PAPER_MODEL_BYTES))
+            .value();
+        let expected = per_exchange * with.total_updates as f64;
+        assert!(
+            (radio - expected).abs() < 1e-6,
+            "radio {radio} != {expected}"
+        );
+        assert!(with.total_energy_j > without.total_energy_j);
+        // Wi-Fi is faster and lower-power than LTE, so it costs less radio.
+        let wifi = run_simulation(base.with_transport(TransportModel::wifi()));
+        assert!(wifi.total_energy_j < with.total_energy_j);
+        assert!(wifi.total_energy_j > without.total_energy_j);
     }
 }

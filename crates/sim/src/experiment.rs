@@ -3,7 +3,21 @@
 use fedco_core::config::SchedulerConfig;
 use fedco_core::policy::PolicyKind;
 use fedco_device::profiles::DeviceKind;
+use fedco_fl::transport::TransportModel;
 use fedco_neural::lenet::LeNetConfig;
+
+/// Error returned when a [`DeviceAssignment::Custom`] list is empty: an
+/// empty list assigns no device to anyone, so there is no sensible fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyDeviceList;
+
+impl std::fmt::Display for EmptyDeviceList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("custom device assignment requires at least one device")
+    }
+}
+
+impl std::error::Error for EmptyDeviceList {}
 
 /// How devices are assigned to users.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -15,21 +29,54 @@ pub enum DeviceAssignment {
     #[default]
     RoundRobinTestbed,
     /// An explicit device per user (cycled if shorter than the user count).
+    /// Must be non-empty; build it through [`DeviceAssignment::custom`] to
+    /// get the check at construction time.
     Custom(Vec<DeviceKind>),
 }
 
 impl DeviceAssignment {
+    /// Builds a checked [`DeviceAssignment::Custom`], rejecting empty lists.
+    pub fn custom(devices: Vec<DeviceKind>) -> Result<Self, EmptyDeviceList> {
+        if devices.is_empty() {
+            Err(EmptyDeviceList)
+        } else {
+            Ok(DeviceAssignment::Custom(devices))
+        }
+    }
+
+    /// Whether the assignment can serve every user index.
+    pub fn is_valid(&self) -> bool {
+        match self {
+            DeviceAssignment::Custom(devices) => !devices.is_empty(),
+            _ => true,
+        }
+    }
+
     /// The device of a given user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is an empty `Custom` list (which
+    /// [`DeviceAssignment::custom`] and `SimConfig::is_valid` both reject).
     pub fn device_for(&self, user: usize) -> DeviceKind {
         match self {
             DeviceAssignment::Uniform(kind) => *kind,
             DeviceAssignment::RoundRobinTestbed => DeviceKind::ALL[user % DeviceKind::ALL.len()],
             DeviceAssignment::Custom(devices) => {
-                if devices.is_empty() {
-                    DeviceKind::Pixel2
-                } else {
-                    devices[user % devices.len()]
-                }
+                assert!(!devices.is_empty(), "{EmptyDeviceList}");
+                devices[user % devices.len()]
+            }
+        }
+    }
+
+    /// A short label for reports (the device list for `Custom`).
+    pub fn label(&self) -> String {
+        match self {
+            DeviceAssignment::Uniform(kind) => format!("uniform:{kind:?}"),
+            DeviceAssignment::RoundRobinTestbed => "testbed".to_string(),
+            DeviceAssignment::Custom(devices) => {
+                let names: Vec<String> = devices.iter().map(|d| format!("{d:?}")).collect();
+                format!("custom:{}", names.join("+"))
             }
         }
     }
@@ -115,6 +162,20 @@ pub struct SimConfig {
     pub decision_overhead: bool,
     /// Whether to record per-user gap traces (Fig. 5d).
     pub record_user_gaps: bool,
+    /// Whether to materialize the time series (`trace`, `updates`,
+    /// `user_gaps`) and per-slot power segments. Disable for fleet-scale
+    /// sweeps: the run then keeps only O(users) state and the returned
+    /// [`SimResult`](crate::trace::SimResult) carries empty series while all
+    /// scalar summaries (energy, updates, lag, accuracy, queues) are
+    /// bit-identical to a recording run.
+    pub collect_traces: bool,
+    /// Optional transport link between the devices and the parameter
+    /// server. When set, every model exchange (upload of a local update plus
+    /// re-download of the global model) charges radio energy for the
+    /// transfer duration to the device under
+    /// [`EnergyComponent::Radio`](fedco_device::profiler::EnergyComponent).
+    /// `None` reproduces the paper's accounting, which ignores the radio.
+    pub transport: Option<TransportModel>,
 }
 
 impl Default for SimConfig {
@@ -133,6 +194,8 @@ impl Default for SimConfig {
             synthetic_velocity_norm: 2.0,
             decision_overhead: true,
             record_user_gaps: false,
+            collect_traces: true,
+            transport: None,
         }
     }
 }
@@ -195,6 +258,23 @@ impl SimConfig {
         self
     }
 
+    /// Returns a copy with a transport link charged per model exchange.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportModel) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Returns a copy configured for summary-only execution: no time series,
+    /// no per-user gap samples, no power segments. This is what the fleet
+    /// runtime uses so sweeps never materialize traces.
+    #[must_use]
+    pub fn summary_only(mut self) -> Self {
+        self.collect_traces = false;
+        self.record_user_gaps = false;
+        self
+    }
+
     /// Basic validity check.
     pub fn is_valid(&self) -> bool {
         self.num_users > 0
@@ -203,6 +283,7 @@ impl SimConfig {
             && (0.0..=1.0).contains(&self.arrival_probability)
             && self.record_every_slots > 0
             && self.scheduler.is_valid()
+            && self.devices.is_valid()
     }
 }
 
@@ -268,17 +349,66 @@ mod tests {
         assert_eq!(rr.device_for(0), DeviceKind::Nexus6);
         assert_eq!(rr.device_for(3), DeviceKind::Pixel2);
         assert_eq!(rr.device_for(4), DeviceKind::Nexus6);
-        let custom = DeviceAssignment::Custom(vec![DeviceKind::Pixel2, DeviceKind::Hikey970]);
+        let custom = DeviceAssignment::custom(vec![DeviceKind::Pixel2, DeviceKind::Hikey970])
+            .expect("non-empty list");
         assert_eq!(custom.device_for(1), DeviceKind::Hikey970);
         assert_eq!(custom.device_for(2), DeviceKind::Pixel2);
-        assert_eq!(
-            DeviceAssignment::Custom(vec![]).device_for(9),
-            DeviceKind::Pixel2
-        );
         assert_eq!(
             DeviceAssignment::default(),
             DeviceAssignment::RoundRobinTestbed
         );
+    }
+
+    #[test]
+    fn empty_custom_assignment_is_rejected() {
+        assert_eq!(DeviceAssignment::custom(vec![]), Err(EmptyDeviceList));
+        assert!(!DeviceAssignment::Custom(vec![]).is_valid());
+        assert!(DeviceAssignment::RoundRobinTestbed.is_valid());
+        // An invalid assignment invalidates the whole configuration, so the
+        // engine refuses to build instead of silently defaulting to Pixel2.
+        let config = SimConfig {
+            devices: DeviceAssignment::Custom(vec![]),
+            ..SimConfig::default()
+        };
+        assert!(!config.is_valid());
+        assert_eq!(
+            EmptyDeviceList.to_string(),
+            "custom device assignment requires at least one device"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_custom_assignment_panics_on_lookup() {
+        let _ = DeviceAssignment::Custom(vec![]).device_for(9);
+    }
+
+    #[test]
+    fn assignment_labels() {
+        assert_eq!(DeviceAssignment::RoundRobinTestbed.label(), "testbed");
+        assert_eq!(
+            DeviceAssignment::Uniform(DeviceKind::Nexus6).label(),
+            "uniform:Nexus6"
+        );
+        assert_eq!(
+            DeviceAssignment::Custom(vec![DeviceKind::Pixel2, DeviceKind::Hikey970]).label(),
+            "custom:Pixel2+Hikey970"
+        );
+    }
+
+    #[test]
+    fn summary_only_and_transport_builders() {
+        let c = SimConfig::small(PolicyKind::Online)
+            .summary_only()
+            .with_transport(TransportModel::lte());
+        assert!(!c.collect_traces);
+        assert!(!c.record_user_gaps);
+        assert_eq!(c.transport, Some(TransportModel::lte()));
+        assert!(c.is_valid());
+        // Default keeps the paper's accounting: traces on, no radio.
+        let d = SimConfig::default();
+        assert!(d.collect_traces);
+        assert_eq!(d.transport, None);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Sweep all four policies across arrival patterns, device fleets and
+//! transport links on every core, then print the merged per-policy rollups
+//! and a CSV excerpt.
+//!
+//! ```text
+//! cargo run --release --example fleet_sweep
+//! ```
+//!
+//! The full-featured driver with grid knobs and report files is the
+//! `fleet_sweep` binary: `cargo run --release -p fedco-fleet --bin fleet_sweep`.
+
+use fedco::device::profiles::DeviceKind;
+use fedco::prelude::*;
+
+fn main() {
+    let mut base = SimConfig::small(PolicyKind::Online);
+    base.num_users = 8;
+    base.total_slots = 900;
+
+    let grid = ScenarioGrid::new(base)
+        .with_policies(PolicyKind::ALL.to_vec())
+        .with_arrivals(vec![ArrivalPattern::sparse(), ArrivalPattern::busy()])
+        .with_devices(vec![
+            DeviceAssignment::RoundRobinTestbed,
+            DeviceAssignment::Uniform(DeviceKind::Pixel2),
+        ])
+        .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
+        .with_replicates(2);
+
+    let workers = resolve_workers(0);
+    println!(
+        "sweeping {} scenarios ({} users x {} slots each) on {} worker(s)\n",
+        grid.len(),
+        grid.base.num_users,
+        grid.base.total_slots,
+        workers
+    );
+
+    let report = run_grid(&grid, 0);
+    print!("{}", rollup_table(&report));
+    println!(
+        "\n{} jobs in {:.2} s ({:.1} jobs/s)",
+        report.jobs.len(),
+        report.wall_s,
+        report.jobs.len() as f64 / report.wall_s.max(1e-9)
+    );
+
+    // The same report as machine-readable rows (first three of the CSV).
+    let csv = to_csv(&report);
+    println!("\nCSV excerpt:");
+    for line in csv.lines().take(3) {
+        println!("  {line}");
+    }
+
+    // Radio cost of the LTE cells, straight from the rollup rows.
+    let lte_radio_kj: f64 = report
+        .jobs
+        .iter()
+        .filter(|j| j.link == "lte")
+        .map(|j| j.radio_energy_j)
+        .sum::<f64>()
+        / 1e3;
+    println!("\ntotal radio energy of the LTE cells: {lte_radio_kj:.2} kJ");
+}

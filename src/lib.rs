@@ -18,6 +18,7 @@
 //! | [`fl`] | parameter server, async/sync aggregation, lag and gradient-gap staleness metrics |
 //! | [`core`] | the paper's schedulers: offline knapsack DP and online drift-plus-penalty |
 //! | [`sim`] | the slotted simulator reproducing the paper's 3-hour, 25-user evaluation |
+//! | [`fleet`] | fleet-scale scenario-sweep runtime: grids, a thread-pool executor, streaming statistics, CSV/JSONL reports |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@
 pub use fedco_core as core;
 pub use fedco_device as device;
 pub use fedco_fl as fl;
+pub use fedco_fleet as fleet;
 pub use fedco_neural as neural;
 pub use fedco_rng as rng;
 pub use fedco_sim as sim;
@@ -51,6 +53,11 @@ pub mod prelude {
         AsyncUpdateRule, ClientConfig, FlClient, GapAccumulator, GradientGap, Lag, LocalUpdate,
         ModelSnapshot, ModelVersion, MomentumTracker, ParameterServer, PartitionStrategy,
         TransportModel, WeightPredictor,
+    };
+    pub use fedco_fleet::prelude::{
+        deterministic_view, resolve_workers, rollup_table, run_grid, run_grid_sequential, to_csv,
+        to_jsonl, ArrivalPattern, FleetJob, FleetReport, JobCoord, JobQueue, JobSummary, LinkKind,
+        PolicyRollup, ScenarioGrid, Streaming,
     };
     pub use fedco_neural::{
         Dataset, LeNetConfig, ParamVector, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy,

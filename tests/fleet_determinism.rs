@@ -1,0 +1,49 @@
+//! Facade-level determinism regression for the fleet runtime: sweeping
+//! through `fedco::prelude` must give bit-identical merged statistics on 1
+//! and N workers. The heavier per-policy matrix lives in
+//! `crates/fleet/tests/determinism.rs`; this guards the re-exported API.
+
+use fedco::prelude::*;
+
+fn grid() -> ScenarioGrid {
+    let mut base = SimConfig::small(PolicyKind::Online);
+    base.num_users = 4;
+    base.total_slots = 300;
+    ScenarioGrid::new(base)
+        .with_arrivals(vec![ArrivalPattern::busy()])
+        .with_links(vec![LinkKind::Ideal, LinkKind::Wifi])
+        .with_replicates(2)
+}
+
+#[test]
+fn facade_sweep_is_worker_count_invariant() {
+    let grid = grid();
+    assert_eq!(grid.len(), 16);
+    let seq = run_grid_sequential(&grid);
+    let par = run_grid(&grid, 4);
+    assert_eq!(deterministic_view(&seq), deterministic_view(&par));
+    assert_eq!(seq.rollups, par.rollups);
+    for policy in PolicyKind::ALL {
+        let r = par.rollup(policy).expect("all policies swept");
+        assert_eq!(r.runs(), 4);
+    }
+}
+
+#[test]
+fn fleet_jobs_agree_with_direct_engine_runs() {
+    // A fleet job is nothing more than `run_simulation` of its resolved
+    // config: spot-check the first and last cells against direct runs.
+    let grid = grid();
+    let report = run_grid(&grid, 2);
+    for id in [0, grid.len() - 1] {
+        let job = grid.job(id);
+        let direct = run_simulation(job.config.clone());
+        let swept = &report.jobs[id];
+        assert_eq!(
+            direct.total_energy_j.to_bits(),
+            swept.total_energy_j.to_bits()
+        );
+        assert_eq!(direct.total_updates, swept.total_updates);
+        assert_eq!(direct.mean_lag.to_bits(), swept.mean_lag.to_bits());
+    }
+}
