@@ -16,6 +16,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warning-free)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace >/dev/null
+
 echo "==> example smoke tests"
 for ex in quickstart device_fleet energy_tradeoff arrival_patterns fleet_sweep; do
     echo "--> example: $ex"
@@ -25,5 +28,11 @@ done
 echo "==> fleet_sweep binary smoke test (parallel vs 1-worker verify)"
 timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
     --users 5 --slots 400 --verify >/dev/null
+
+echo "==> fleet_sweep parameterized --policies smoke test"
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --users 4 --slots 300 --replicates 1 \
+    --policies "immediate,sync-sgd,offline,online,online:v=1000,online:v=16000,random:p=0.5,threshold:w=0.7" \
+    >/dev/null
 
 echo "CI green."

@@ -1,0 +1,77 @@
+//! Per-policy `decide()` micro-benchmarks.
+//!
+//! The capability-hook redesign routes every engine decision through a
+//! `Box<dyn SchedulingPolicy>`; this benchmark pins down the dyn-dispatch
+//! hot-path cost per spec of the default registry (plus a parameterized
+//! online variant), so the perf trajectory catches regressions from this PR
+//! onward. Set `FEDCO_BENCH_JSON=<path>` to append machine-readable rows.
+//!
+//! ```text
+//! cargo bench --offline -p fedco-bench --bench policy
+//! ```
+
+use fedco_bench::micro::{bench, group};
+use fedco_core::prelude::*;
+use fedco_device::apps::AppKind;
+use fedco_device::power::AppStatus;
+use fedco_device::profiles::DeviceKind;
+use fedco_fl::staleness::GradientGap;
+
+fn contexts() -> Vec<UserSlotContext> {
+    // Alternate app/no-app contexts across the four testbed devices so the
+    // benchmark exercises both decision branches.
+    DeviceKind::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let profile = kind.profile();
+            let status = if i % 2 == 0 {
+                AppStatus::App(AppKind::Map)
+            } else {
+                AppStatus::NoApp
+            };
+            UserSlotContext {
+                user_id: i,
+                slot: i as u64,
+                app_status: status,
+                input: OnlineDecisionInput::from_profile(
+                    &profile,
+                    status,
+                    GradientGap(1.0 + i as f64),
+                    GradientGap(0.5 * i as f64),
+                ),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    group("policy/decide (per-spec dyn-dispatch hot path)");
+    let mut specs = PolicySpec::default_registry();
+    specs.push(PolicySpec::online_with_v(1000.0));
+    let ctxs = contexts();
+    for spec in specs {
+        let build = PolicyBuildContext::new(SchedulerConfig::default()).with_seed(42);
+        let mut policy = spec.build(&build);
+        let mut i = 0usize;
+        bench(&format!("decide/{}", spec.label()), || {
+            let ctx = &ctxs[i % ctxs.len()];
+            i = i.wrapping_add(1);
+            std::hint::black_box(policy.decide(ctx));
+        });
+    }
+
+    group("policy/end_of_slot");
+    let outcome = SlotOutcome {
+        arrivals: 2,
+        scheduled: 1,
+        gap_sum: 1500.0,
+    };
+    for spec in [PolicySpec::Online { v: None }, PolicySpec::Immediate] {
+        let build = PolicyBuildContext::new(SchedulerConfig::default());
+        let mut policy = spec.build(&build);
+        bench(&format!("end_of_slot/{}", spec.label()), || {
+            policy.end_of_slot(std::hint::black_box(&outcome));
+        });
+    }
+}

@@ -22,7 +22,7 @@ fn main() {
                     num_users: 25,
                     total_slots: 1800,
                     arrival_probability: 0.002,
-                    policy,
+                    policy: policy.into(),
                     ..SimConfig::default()
                 };
                 black_box(run_simulation(cfg));

@@ -59,17 +59,69 @@ impl SchedulerConfig {
         self
     }
 
-    /// Basic sanity check of the configuration.
+    /// Basic sanity check of the configuration. Thin shim over
+    /// [`SchedulerConfig::validate`], which reports *which* field is out of
+    /// range.
     pub fn is_valid(&self) -> bool {
-        self.v >= 0.0
-            && self.staleness_bound >= 0.0
-            && self.epsilon >= 0.0
-            && self.slot_seconds > 0.0
-            && self.lookahead_window_s > 0.0
-            && self.learning_rate > 0.0
-            && (0.0..1.0).contains(&self.momentum_beta)
+        self.validate().is_ok()
+    }
+
+    /// Validates the configuration, naming the offending field and its value
+    /// on failure.
+    pub fn validate(&self) -> Result<(), SchedulerConfigError> {
+        let reject = |field: &'static str, value: f64| Err(SchedulerConfigError { field, value });
+        if self.v < 0.0 || !self.v.is_finite() {
+            return reject("v", self.v);
+        }
+        if self.staleness_bound < 0.0 || !self.staleness_bound.is_finite() {
+            return reject("staleness_bound", self.staleness_bound);
+        }
+        if self.epsilon < 0.0 || !self.epsilon.is_finite() {
+            return reject("epsilon", self.epsilon);
+        }
+        if self.slot_seconds <= 0.0 || !self.slot_seconds.is_finite() {
+            return reject("slot_seconds", self.slot_seconds);
+        }
+        if self.lookahead_window_s <= 0.0 || !self.lookahead_window_s.is_finite() {
+            return reject("lookahead_window_s", self.lookahead_window_s);
+        }
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return reject("learning_rate", f32_as_written(self.learning_rate));
+        }
+        if !(0.0..1.0).contains(&self.momentum_beta) {
+            return reject("momentum_beta", f32_as_written(self.momentum_beta));
+        }
+        Ok(())
     }
 }
+
+/// Widens an `f32` through its shortest decimal representation, so error
+/// messages report the value as the user wrote it (`1.2`, not the raw
+/// widening `1.2000000476837158`).
+fn f32_as_written(v: f32) -> f64 {
+    v.to_string().parse().unwrap_or(v as f64)
+}
+
+/// Error naming the out-of-range field of a [`SchedulerConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfigError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for SchedulerConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduler config field `{}` is out of range (got {})",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for SchedulerConfigError {}
 
 #[cfg(test)]
 mod tests {
@@ -109,5 +161,50 @@ mod tests {
             ..SchedulerConfig::default()
         };
         assert!(!c2.is_valid());
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let c = SchedulerConfig {
+            slot_seconds: -2.0,
+            ..SchedulerConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "slot_seconds");
+        assert_eq!(err.value, -2.0);
+        assert!(err.to_string().contains("slot_seconds"));
+        assert!(err.to_string().contains("-2"));
+
+        let c2 = SchedulerConfig {
+            momentum_beta: 1.5,
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(c2.validate().unwrap_err().field, "momentum_beta");
+        // f32 fields are reported as written, without widening noise.
+        let c2b = SchedulerConfig {
+            momentum_beta: 1.2,
+            ..SchedulerConfig::default()
+        };
+        let err = c2b.validate().unwrap_err();
+        assert_eq!(err.value, 1.2);
+        assert!(err.to_string().ends_with("(got 1.2)"), "{err}");
+        let c3 = SchedulerConfig {
+            v: f64::NAN,
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(c3.validate().unwrap_err().field, "v");
+        // Infinity is rejected like NaN: the engine's slot arithmetic
+        // (timestamps, window lengths) needs finite inputs.
+        let c4 = SchedulerConfig {
+            lookahead_window_s: f64::INFINITY,
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(c4.validate().unwrap_err().field, "lookahead_window_s");
+        let c5 = SchedulerConfig {
+            slot_seconds: f64::INFINITY,
+            ..SchedulerConfig::default()
+        };
+        assert_eq!(c5.validate().unwrap_err().field, "slot_seconds");
+        assert!(SchedulerConfig::default().validate().is_ok());
     }
 }

@@ -46,10 +46,11 @@ pub mod offline;
 pub mod online;
 pub mod policy;
 pub mod queues;
+pub mod spec;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::config::SchedulerConfig;
+    pub use crate::config::{SchedulerConfig, SchedulerConfigError};
     pub use crate::drift::DriftBound;
     pub use crate::offline::{
         greedy_solution, lag_bound, KnapsackItem, OfflineScheduler, OfflineSolution, OfflineUser,
@@ -58,10 +59,14 @@ pub mod prelude {
         DecisionObjectives, OnlineDecisionInput, OnlineScheduler, SlotOutcome,
     };
     pub use crate::policy::{
-        build_policy, ImmediatePolicy, OfflinePolicy, OnlinePolicy, PolicyKind, SchedulingPolicy,
-        SyncSgdPolicy, UserSlotContext,
+        build_policy, ImmediatePolicy, OfflinePolicy, OnlinePolicy, PolicyKind,
+        PowerThresholdPolicy, RandomPolicy, SchedulingPolicy, SyncSgdPolicy, UserSlotContext,
+        WindowPlan,
     };
     pub use crate::queues::{QueueState, TaskQueue, VirtualQueue};
+    pub use crate::spec::{
+        ParsePolicyError, PolicyBuildContext, PolicyFactory, PolicySpec, PolicySpecError,
+    };
 }
 
 pub use prelude::*;

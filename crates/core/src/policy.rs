@@ -1,15 +1,36 @@
-//! Scheduling policies: the paper's online controller plus the three
-//! baselines it is evaluated against (immediate scheduling, Sync-SGD and the
-//! offline knapsack).
+//! Scheduling policies: the paper's online controller, the three baselines
+//! it is evaluated against (immediate scheduling, Sync-SGD and the offline
+//! knapsack), and two extra baselines from the wider literature (a seeded
+//! coin-flip scheduler and a power-threshold scheduler).
+//!
+//! The [`SchedulingPolicy`] trait is deliberately *capability-based*: besides
+//! the per-slot decision, a policy declares whether it needs a synchronous
+//! aggregation barrier ([`SchedulingPolicy::round_barrier`]), whether it
+//! wants a fresh look-ahead plan at a given slot
+//! ([`SchedulingPolicy::wants_replanning`] /
+//! [`SchedulingPolicy::install_plan`]), and how much decision-computation
+//! energy it burns ([`SchedulingPolicy::decision_energy_overhead`]). The
+//! simulation engine consumes only these hooks — it never matches on a
+//! policy's identity — so user-defined policies registered through
+//! [`PolicySpec`](crate::spec::PolicySpec) get exactly the same engine
+//! semantics as the built-ins.
 
 use std::collections::HashMap;
 
 use fedco_device::power::{AppStatus, SlotDecision};
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::{Rng, SeedableRng};
 
 use crate::config::SchedulerConfig;
 use crate::online::{OnlineDecisionInput, OnlineScheduler, SlotOutcome};
 
-/// Identifies which scheduling scheme a policy implements.
+/// Identifies one of the four built-in scheduling schemes of the paper.
+///
+/// This enum is kept as a thin convenience over
+/// [`PolicySpec`](crate::spec::PolicySpec) (the open, parameterized policy
+/// description that the engine and the fleet runtime actually consume): it
+/// converts into a spec via `From`/[`PolicyKind::spec`], and its labels are
+/// the specs' labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Run training immediately whenever a device is available, regardless of
@@ -42,6 +63,11 @@ impl PolicyKind {
             PolicyKind::Online => "Online",
         }
     }
+
+    /// The [`PolicySpec`](crate::spec::PolicySpec) of this built-in.
+    pub fn spec(self) -> crate::spec::PolicySpec {
+        self.into()
+    }
 }
 
 impl std::fmt::Display for PolicyKind {
@@ -63,12 +89,65 @@ pub struct UserSlotContext {
     pub input: OnlineDecisionInput,
 }
 
+/// A look-ahead plan computed by the engine's offline scheduler for one
+/// window: the slot at which each planned user should start training.
+///
+/// Produced by the engine whenever a policy reports
+/// [`SchedulingPolicy::wants_replanning`], and handed back through
+/// [`SchedulingPolicy::install_plan`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowPlan {
+    starts: Vec<(usize, u64)>,
+}
+
+impl WindowPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        WindowPlan::default()
+    }
+
+    /// Records the start slot planned for a user.
+    pub fn set_start_slot(&mut self, user_id: usize, slot: u64) {
+        self.starts.push((user_id, slot));
+    }
+
+    /// Iterates over the `(user_id, start_slot)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.starts.iter().copied()
+    }
+
+    /// Number of planned users.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+}
+
 /// A per-slot scheduling policy deciding, for each *waiting* user, whether to
 /// start training this slot.
+///
+/// Only [`decide`](SchedulingPolicy::decide) and
+/// [`end_of_slot`](SchedulingPolicy::end_of_slot) are mandatory; the
+/// remaining methods are *capability hooks* with conservative defaults. The
+/// engine consumes policies exclusively through this trait, so overriding a
+/// hook is all it takes for a custom policy to opt into the corresponding
+/// engine behaviour:
+///
+/// * [`round_barrier`](SchedulingPolicy::round_barrier) — completed epochs
+///   are buffered and aggregated synchronously once every user has uploaded
+///   (Sync-SGD semantics) instead of being applied asynchronously.
+/// * [`wants_replanning`](SchedulingPolicy::wants_replanning) /
+///   [`install_plan`](SchedulingPolicy::install_plan) — the engine runs its
+///   offline knapsack over the next look-ahead window and hands the plan
+///   back (offline-scheduler semantics).
+/// * [`decision_energy_overhead`](SchedulingPolicy::decision_energy_overhead)
+///   — a fraction of the device's measured decision-computation power
+///   (Table III) is charged for every decision the policy makes.
 pub trait SchedulingPolicy: std::fmt::Debug + Send {
-    /// Which scheme this policy implements.
-    fn kind(&self) -> PolicyKind;
-
     /// Decides for one waiting user in the current slot.
     fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision;
 
@@ -85,6 +164,44 @@ pub trait SchedulingPolicy: std::fmt::Debug + Send {
     fn virtual_backlog(&self) -> f64 {
         0.0
     }
+
+    /// Whether the engine must hold a synchronous aggregation barrier:
+    /// completed epochs are buffered and applied as one round once every
+    /// user has uploaded. Defaults to `false` (asynchronous aggregation).
+    fn round_barrier(&self) -> bool {
+        false
+    }
+
+    /// Whether the policy wants the engine to compute a fresh look-ahead
+    /// plan at `slot`. When it returns `true`, the engine solves its offline
+    /// knapsack over the upcoming window and calls
+    /// [`install_plan`](SchedulingPolicy::install_plan). Defaults to `false`.
+    fn wants_replanning(&self, slot: u64) -> bool {
+        let _ = slot;
+        false
+    }
+
+    /// Receives the look-ahead plan computed by the engine's offline
+    /// scheduler. Policies that never ask for replanning can ignore it.
+    fn install_plan(&mut self, plan: &WindowPlan) {
+        let _ = plan;
+    }
+
+    /// Notification that `user_id` started training this slot (after this
+    /// policy returned [`SlotDecision::Schedule`] for them).
+    fn notify_scheduled(&mut self, user_id: usize) {
+        let _ = user_id;
+    }
+
+    /// The fraction (in `[0, 1]`) of the device's measured
+    /// decision-computation power (Table III) that each decision of this
+    /// policy costs. The engine charges
+    /// `fraction × (P_decision − P_idle) × t_d` per decided slot when
+    /// decision-overhead accounting is enabled. Defaults to `0.0` (free
+    /// decisions, as for the paper's baselines).
+    fn decision_energy_overhead(&self) -> f64 {
+        0.0
+    }
 }
 
 /// Immediate scheduling: always train as soon as the device is available.
@@ -99,10 +216,6 @@ impl ImmediatePolicy {
 }
 
 impl SchedulingPolicy for ImmediatePolicy {
-    fn kind(&self) -> PolicyKind {
-        PolicyKind::Immediate
-    }
-
     fn decide(&mut self, _ctx: &UserSlotContext) -> SlotDecision {
         SlotDecision::Schedule
     }
@@ -113,7 +226,8 @@ impl SchedulingPolicy for ImmediatePolicy {
 /// Sync-SGD: devices train immediately, but the surrounding simulation holds
 /// a barrier until every participant of the round has uploaded. The per-slot
 /// decision is therefore identical to [`ImmediatePolicy`]; the round
-/// structure is enforced by the engine based on [`PolicyKind::SyncSgd`].
+/// structure is requested through the
+/// [`round_barrier`](SchedulingPolicy::round_barrier) capability.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SyncSgdPolicy;
 
@@ -125,15 +239,15 @@ impl SyncSgdPolicy {
 }
 
 impl SchedulingPolicy for SyncSgdPolicy {
-    fn kind(&self) -> PolicyKind {
-        PolicyKind::SyncSgd
-    }
-
     fn decide(&mut self, _ctx: &UserSlotContext) -> SlotDecision {
         SlotDecision::Schedule
     }
 
     fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+
+    fn round_barrier(&self) -> bool {
+        true
+    }
 }
 
 /// The offline policy executes a plan computed by the knapsack scheduler for
@@ -141,16 +255,32 @@ impl SchedulingPolicy for SyncSgdPolicy {
 /// application arrival (co-run); users whose opportunity was rejected start
 /// at the slot recorded in the plan (separate execution); users without an
 /// entry keep waiting.
+///
+/// Built with a window length ([`OfflinePolicy::with_window`]), the policy
+/// asks the engine for a fresh plan at every window boundary through the
+/// [`wants_replanning`](SchedulingPolicy::wants_replanning) capability.
 #[derive(Debug, Default, Clone)]
 pub struct OfflinePolicy {
     plan: HashMap<usize, u64>,
+    window_slots: u64,
 }
 
 impl OfflinePolicy {
-    /// Creates an empty policy (everyone waits until a plan is installed).
+    /// Creates an empty policy that never asks for replanning (plans must be
+    /// installed by hand; everyone waits until one is).
     pub fn new() -> Self {
         OfflinePolicy {
             plan: HashMap::new(),
+            window_slots: 0,
+        }
+    }
+
+    /// Creates a policy that requests a fresh plan every `window_slots`
+    /// slots (`0` disables replanning requests, like [`OfflinePolicy::new`]).
+    pub fn with_window(window_slots: u64) -> Self {
+        OfflinePolicy {
+            plan: HashMap::new(),
+            window_slots,
         }
     }
 
@@ -181,10 +311,6 @@ impl OfflinePolicy {
 }
 
 impl SchedulingPolicy for OfflinePolicy {
-    fn kind(&self) -> PolicyKind {
-        PolicyKind::Offline
-    }
-
     fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision {
         match self.plan.get(&ctx.user_id) {
             Some(&start) if ctx.slot >= start => SlotDecision::Schedule,
@@ -193,6 +319,21 @@ impl SchedulingPolicy for OfflinePolicy {
     }
 
     fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+
+    fn wants_replanning(&self, slot: u64) -> bool {
+        self.window_slots > 0 && slot % self.window_slots == 0
+    }
+
+    fn install_plan(&mut self, plan: &WindowPlan) {
+        self.clear();
+        for (user_id, slot) in plan.iter() {
+            self.set_start_slot(user_id, slot);
+        }
+    }
+
+    fn notify_scheduled(&mut self, user_id: usize) {
+        self.clear_user(user_id);
+    }
 }
 
 /// The online Lyapunov policy (Algorithm 2) wrapping [`OnlineScheduler`].
@@ -216,10 +357,6 @@ impl OnlinePolicy {
 }
 
 impl SchedulingPolicy for OnlinePolicy {
-    fn kind(&self) -> PolicyKind {
-        PolicyKind::Online
-    }
-
     fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision {
         self.scheduler.decide(&ctx.input)
     }
@@ -235,16 +372,101 @@ impl SchedulingPolicy for OnlinePolicy {
     fn virtual_backlog(&self) -> f64 {
         self.scheduler.virtual_backlog()
     }
+
+    fn decision_energy_overhead(&self) -> f64 {
+        // The controller evaluates the Eq.-21 objective every slot; Table III
+        // measures the full decision-computation power for it.
+        1.0
+    }
 }
 
-/// Builds a boxed policy of the given kind with the given configuration.
-pub fn build_policy(kind: PolicyKind, config: SchedulerConfig) -> Box<dyn SchedulingPolicy> {
-    match kind {
-        PolicyKind::Immediate => Box::new(ImmediatePolicy::new()),
-        PolicyKind::SyncSgd => Box::new(SyncSgdPolicy::new()),
-        PolicyKind::Offline => Box::new(OfflinePolicy::new()),
-        PolicyKind::Online => Box::new(OnlinePolicy::new(config)),
+/// A seeded coin-flip baseline: every waiting user is scheduled this slot
+/// with probability `p`, from a private deterministic stream. With `p = 1`
+/// it degenerates to [`ImmediatePolicy`]; with `p = 0` nobody ever trains.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    p: f64,
+    rng: SmallRng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with scheduling probability `p` (clamped to
+    /// `[0, 1]`) and a seed for its private coin stream.
+    pub fn new(p: f64, seed: u64) -> Self {
+        RandomPolicy {
+            p: p.clamp(0.0, 1.0),
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
+
+    /// The scheduling probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl SchedulingPolicy for RandomPolicy {
+    fn decide(&mut self, _ctx: &UserSlotContext) -> SlotDecision {
+        if self.rng.gen::<f64>() < self.p {
+            SlotDecision::Schedule
+        } else {
+            SlotDecision::Idle
+        }
+    }
+
+    fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+}
+
+/// A battery-conscious power-threshold baseline (in the spirit of
+/// battery-level-driven training control à la DEAL): a user trains only when
+/// the *incremental* power of doing so right now — co-running on top of the
+/// foreground app, or training instead of idling — stays below a threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerThresholdPolicy {
+    max_extra_watts: f64,
+}
+
+impl PowerThresholdPolicy {
+    /// Creates the policy with the maximum tolerated incremental power.
+    pub fn new(max_extra_watts: f64) -> Self {
+        PowerThresholdPolicy {
+            max_extra_watts: max_extra_watts.max(0.0),
+        }
+    }
+
+    /// The incremental-power threshold in watts.
+    pub fn max_extra_watts(&self) -> f64 {
+        self.max_extra_watts
+    }
+
+    /// The incremental power of scheduling training for this context.
+    pub fn incremental_power_w(input: &OnlineDecisionInput) -> f64 {
+        match input.app_status {
+            AppStatus::App(_) => input.corun_power_w - input.app_power_w,
+            AppStatus::NoApp => input.training_power_w - input.idle_power_w,
+        }
+    }
+}
+
+impl SchedulingPolicy for PowerThresholdPolicy {
+    fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision {
+        if Self::incremental_power_w(&ctx.input) <= self.max_extra_watts {
+            SlotDecision::Schedule
+        } else {
+            SlotDecision::Idle
+        }
+    }
+
+    fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+}
+
+/// Builds a boxed built-in policy of the given kind with the given
+/// configuration. Thin convenience over
+/// [`PolicySpec::build`](crate::spec::PolicySpec::build); prefer specs for
+/// parameterized or custom policies.
+pub fn build_policy(kind: PolicyKind, config: SchedulerConfig) -> Box<dyn SchedulingPolicy> {
+    kind.spec()
+        .build(&crate::spec::PolicyBuildContext::new(config))
 }
 
 #[cfg(test)]
@@ -257,6 +479,22 @@ mod tests {
     fn ctx(user_id: usize, slot: u64) -> UserSlotContext {
         let profile = DeviceKind::Pixel2.profile();
         let status = AppStatus::App(AppKind::Map);
+        UserSlotContext {
+            user_id,
+            slot,
+            app_status: status,
+            input: OnlineDecisionInput::from_profile(
+                &profile,
+                status,
+                GradientGap(1.0),
+                GradientGap(0.5),
+            ),
+        }
+    }
+
+    fn idle_ctx(user_id: usize, slot: u64) -> UserSlotContext {
+        let profile = DeviceKind::Pixel2.profile();
+        let status = AppStatus::NoApp;
         UserSlotContext {
             user_id,
             slot,
@@ -291,25 +529,30 @@ mod tests {
     #[test]
     fn immediate_always_schedules() {
         let mut p = ImmediatePolicy::new();
-        assert_eq!(p.kind(), PolicyKind::Immediate);
         assert_eq!(p.decide(&ctx(0, 0)), SlotDecision::Schedule);
         p.end_of_slot(&SlotOutcome::default());
         assert_eq!(p.queue_backlog(), 0.0);
         assert_eq!(p.virtual_backlog(), 0.0);
+        // Capability defaults: no barrier, no replanning, free decisions.
+        assert!(!p.round_barrier());
+        assert!(!p.wants_replanning(0));
+        assert_eq!(p.decision_energy_overhead(), 0.0);
+        p.install_plan(&WindowPlan::new());
+        p.notify_scheduled(0);
     }
 
     #[test]
-    fn sync_policy_schedules_like_immediate() {
+    fn sync_policy_schedules_like_immediate_but_requests_barrier() {
         let mut p = SyncSgdPolicy::new();
-        assert_eq!(p.kind(), PolicyKind::SyncSgd);
         assert_eq!(p.decide(&ctx(1, 5)), SlotDecision::Schedule);
+        assert!(p.round_barrier());
+        assert!(!p.wants_replanning(0));
         p.end_of_slot(&SlotOutcome::default());
     }
 
     #[test]
     fn offline_policy_follows_plan() {
         let mut p = OfflinePolicy::new();
-        assert_eq!(p.kind(), PolicyKind::Offline);
         // No plan: wait.
         assert_eq!(p.decide(&ctx(4, 10)), SlotDecision::Idle);
         p.set_start_slot(4, 20);
@@ -327,9 +570,41 @@ mod tests {
     }
 
     #[test]
+    fn offline_policy_replanning_window() {
+        let p = OfflinePolicy::with_window(500);
+        assert!(p.wants_replanning(0));
+        assert!(!p.wants_replanning(1));
+        assert!(!p.wants_replanning(499));
+        assert!(p.wants_replanning(500));
+        assert!(p.wants_replanning(1000));
+        // A windowless policy never asks.
+        let q = OfflinePolicy::new();
+        assert!(!q.wants_replanning(0));
+        assert!(!q.wants_replanning(500));
+    }
+
+    #[test]
+    fn offline_policy_capability_hooks_drive_the_plan() {
+        let mut p = OfflinePolicy::with_window(100);
+        let mut plan = WindowPlan::new();
+        plan.set_start_slot(2, 30);
+        plan.set_start_slot(5, 10);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        p.install_plan(&plan);
+        assert_eq!(p.planned_slot(2), Some(30));
+        assert_eq!(p.planned_slot(5), Some(10));
+        // Scheduling a user clears their entry.
+        p.notify_scheduled(5);
+        assert_eq!(p.planned_slot(5), None);
+        // Installing a new plan replaces the old one wholesale.
+        p.install_plan(&WindowPlan::new());
+        assert_eq!(p.planned_len(), 0);
+    }
+
+    #[test]
     fn online_policy_delegates_to_scheduler() {
         let mut p = OnlinePolicy::new(SchedulerConfig::default());
-        assert_eq!(p.kind(), PolicyKind::Online);
         // Empty queues: waits.
         assert_eq!(p.decide(&ctx(0, 0)), SlotDecision::Idle);
         p.end_of_slot(&SlotOutcome {
@@ -340,18 +615,72 @@ mod tests {
         assert_eq!(p.queue_backlog(), 5.0);
         assert!(p.virtual_backlog() > 0.0);
         assert!(p.scheduler().config().is_valid());
+        // The controller pays full decision-computation overhead.
+        assert_eq!(p.decision_energy_overhead(), 1.0);
+        assert!(!p.round_barrier());
+    }
+
+    #[test]
+    fn random_policy_is_seeded_and_respects_probability() {
+        let decisions = |p: f64, seed: u64| -> Vec<SlotDecision> {
+            let mut policy = RandomPolicy::new(p, seed);
+            (0..64).map(|s| policy.decide(&ctx(0, s))).collect()
+        };
+        // Same seed, same stream.
+        assert_eq!(decisions(0.5, 7), decisions(0.5, 7));
+        // Different seeds differ somewhere.
+        assert_ne!(decisions(0.5, 7), decisions(0.5, 8));
+        // Degenerate probabilities.
+        assert!(decisions(1.0, 3)
+            .iter()
+            .all(|d| *d == SlotDecision::Schedule));
+        assert!(decisions(0.0, 3).iter().all(|d| *d == SlotDecision::Idle));
+        // Clamping.
+        assert_eq!(RandomPolicy::new(7.0, 0).probability(), 1.0);
+        assert_eq!(RandomPolicy::new(-1.0, 0).probability(), 0.0);
+    }
+
+    #[test]
+    fn threshold_policy_gates_on_incremental_power() {
+        // Pixel2 Map: co-run 2.20 W vs app 1.60 W -> +0.60 W.
+        let corun_extra = PowerThresholdPolicy::incremental_power_w(&ctx(0, 0).input);
+        assert!((corun_extra - 0.60).abs() < 1e-9);
+        // Pixel2 no-app: training 1.35 W vs idle 0.689 W -> +0.661 W.
+        let idle_extra = PowerThresholdPolicy::incremental_power_w(&idle_ctx(0, 0).input);
+        assert!((idle_extra - 0.661).abs() < 1e-9);
+
+        let mut lenient = PowerThresholdPolicy::new(0.7);
+        assert_eq!(lenient.decide(&ctx(0, 0)), SlotDecision::Schedule);
+        assert_eq!(lenient.decide(&idle_ctx(0, 0)), SlotDecision::Schedule);
+        let mut strict = PowerThresholdPolicy::new(0.62);
+        assert_eq!(strict.decide(&ctx(0, 0)), SlotDecision::Schedule);
+        assert_eq!(strict.decide(&idle_ctx(0, 0)), SlotDecision::Idle);
+        lenient.end_of_slot(&SlotOutcome::default());
+        // Negative thresholds clamp to zero (never schedule on real devices).
+        assert_eq!(PowerThresholdPolicy::new(-3.0).max_extra_watts(), 0.0);
     }
 
     #[test]
     fn build_policy_constructs_each_kind() {
-        for kind in [
-            PolicyKind::Immediate,
-            PolicyKind::SyncSgd,
-            PolicyKind::Offline,
-            PolicyKind::Online,
-        ] {
-            let p = build_policy(kind, SchedulerConfig::default());
-            assert_eq!(p.kind(), kind);
+        for kind in PolicyKind::ALL {
+            let mut p = build_policy(kind, SchedulerConfig::default());
+            // Capabilities identify the kinds without any enum in the trait.
+            assert_eq!(p.round_barrier(), kind == PolicyKind::SyncSgd, "{kind}");
+            assert_eq!(p.wants_replanning(0), kind == PolicyKind::Offline, "{kind}");
+            assert_eq!(
+                p.decision_energy_overhead(),
+                if kind == PolicyKind::Online { 1.0 } else { 0.0 },
+                "{kind}"
+            );
+            let _ = p.decide(&ctx(0, 0));
         }
+    }
+
+    #[test]
+    fn build_policy_offline_window_matches_scheduler_config() {
+        // 500 s look-ahead at 1 s slots -> replanning every 500 slots.
+        let p = build_policy(PolicyKind::Offline, SchedulerConfig::default());
+        assert!(p.wants_replanning(500));
+        assert!(!p.wants_replanning(250));
     }
 }

@@ -1,0 +1,737 @@
+//! Open policy descriptions: [`PolicySpec`] is the currency the simulation
+//! engine, the fleet runtime and the report writers exchange when they talk
+//! about "which policy".
+//!
+//! A spec is a *named, parameterized description* of a policy: the four
+//! built-ins of the paper, the two extra baselines ([`PolicySpec::Random`]
+//! and [`PolicySpec::PowerThreshold`]), a parameterized online controller
+//! ([`PolicySpec::online_with_v`]), or any user-defined policy wrapped in
+//! [`PolicySpec::Custom`]. Every spec has a stable [`label`](PolicySpec::label)
+//! that keys reports and rollups, and [`build`](PolicySpec::build)s a fresh
+//! policy instance for one run.
+//!
+//! ```
+//! use fedco_core::spec::{PolicyBuildContext, PolicySpec};
+//! use fedco_core::config::SchedulerConfig;
+//!
+//! let spec: PolicySpec = "online:v=1000".parse().unwrap();
+//! assert_eq!(spec.label(), "Online(V=1000)");
+//! let ctx = PolicyBuildContext::new(SchedulerConfig::default());
+//! let _policy = spec.build(&ctx);
+//! ```
+
+use std::sync::Arc;
+
+use crate::config::SchedulerConfig;
+use crate::policy::{
+    ImmediatePolicy, OfflinePolicy, OnlinePolicy, PolicyKind, PowerThresholdPolicy, RandomPolicy,
+    SchedulingPolicy, SyncSgdPolicy,
+};
+
+/// Everything a policy factory can draw on when building an instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyBuildContext {
+    /// Scheduler parameters (V, L_b, ε, look-ahead window, η, β).
+    pub scheduler: SchedulerConfig,
+    /// The simulation slot length in seconds (used, e.g., to convert the
+    /// look-ahead window into slots). Defaults to the scheduler's own
+    /// `slot_seconds`.
+    pub slot_seconds: f64,
+    /// Seed for any private randomness of the policy. Two builds with the
+    /// same context must behave identically.
+    pub seed: u64,
+}
+
+impl PolicyBuildContext {
+    /// A context with the scheduler's own slot length and seed `0`.
+    pub fn new(scheduler: SchedulerConfig) -> Self {
+        PolicyBuildContext {
+            scheduler,
+            slot_seconds: scheduler.slot_seconds,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different simulation slot length.
+    #[must_use]
+    pub fn with_slot_seconds(mut self, slot_seconds: f64) -> Self {
+        self.slot_seconds = slot_seconds;
+        self
+    }
+
+    /// Returns a copy with a different policy seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The look-ahead window expressed in slots (at least 1).
+    pub fn window_slots(&self) -> u64 {
+        ((self.scheduler.lookahead_window_s / self.slot_seconds).ceil() as u64).max(1)
+    }
+}
+
+/// A factory for user-defined policies, pluggable via [`PolicySpec::Custom`].
+///
+/// Implementations must be cheap to clone behind an `Arc` and build a *fresh*
+/// policy instance per call — one simulation run never shares mutable policy
+/// state with another.
+pub trait PolicyFactory: std::fmt::Debug + Send + Sync {
+    /// The stable label that keys reports and rollups for this policy.
+    ///
+    /// Labels are the identity of a spec ([`PolicySpec`] equality compares
+    /// labels), so two factories with the same label are treated as the same
+    /// policy.
+    fn label(&self) -> String;
+
+    /// Builds a fresh policy instance for one run.
+    fn build(&self, ctx: &PolicyBuildContext) -> Box<dyn SchedulingPolicy>;
+}
+
+/// A named, parameterized policy description.
+///
+/// `PolicySpec` replaces [`PolicyKind`] as the system's currency: the
+/// simulation engine builds its policy from a spec, the fleet grid sweeps
+/// vectors of specs, and every report row is keyed by
+/// [`PolicySpec::label`]. [`PolicyKind`] remains as a convenience for the
+/// four built-ins and converts into a spec via `From`.
+#[derive(Debug, Clone)]
+pub enum PolicySpec {
+    /// Immediate scheduling (the paper's energy upper bound).
+    Immediate,
+    /// Synchronous FedAvg rounds with a full-participation barrier.
+    SyncSgd,
+    /// The offline knapsack scheduler with a look-ahead window.
+    Offline,
+    /// The online Lyapunov controller, optionally overriding the `V` knob
+    /// of the run's [`SchedulerConfig`] (`None` keeps the configured value).
+    Online {
+        /// Override of the Lyapunov trade-off knob `V`.
+        v: Option<f64>,
+    },
+    /// A seeded coin-flip baseline scheduling each waiting user with
+    /// probability `p` per slot.
+    Random {
+        /// Per-slot scheduling probability; [`PolicySpec::validate`]
+        /// rejects values outside `[0, 1]`.
+        p: f64,
+        /// Salt folded into the run seed, so one sweep can carry several
+        /// independent random baselines.
+        salt: u64,
+    },
+    /// A battery-conscious baseline that trains only when the incremental
+    /// power of doing so stays below a threshold.
+    PowerThreshold {
+        /// Maximum tolerated incremental power, in watts.
+        max_extra_watts: f64,
+    },
+    /// A user-defined policy factory.
+    Custom(Arc<dyn PolicyFactory>),
+}
+
+impl PolicySpec {
+    /// The online controller at an explicit `V` (labelled `Online(V=…)`).
+    pub fn online_with_v(v: f64) -> Self {
+        PolicySpec::Online { v: Some(v) }
+    }
+
+    /// Wraps a user-defined factory.
+    pub fn custom(factory: impl PolicyFactory + 'static) -> Self {
+        PolicySpec::Custom(Arc::new(factory))
+    }
+
+    /// The default spec registry: the four built-ins of the paper plus the
+    /// two extra baselines at their default parameters. This is the set the
+    /// cross-policy regression tests and the `decide()` micro-benchmarks
+    /// iterate over.
+    pub fn default_registry() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::Immediate,
+            PolicySpec::SyncSgd,
+            PolicySpec::Offline,
+            PolicySpec::Online { v: None },
+            PolicySpec::Random { p: 0.5, salt: 0 },
+            PolicySpec::PowerThreshold {
+                max_extra_watts: 0.7,
+            },
+        ]
+    }
+
+    /// The stable label that keys reports and rollups.
+    ///
+    /// Built-in labels match [`PolicyKind::label`]; parameterized specs
+    /// embed their parameters (e.g. `Online(V=1000)`,
+    /// `Random(p=0.5, salt=0)`), so the CSV/JSONL writers must — and do —
+    /// escape them.
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Immediate => PolicyKind::Immediate.label().to_string(),
+            PolicySpec::SyncSgd => PolicyKind::SyncSgd.label().to_string(),
+            PolicySpec::Offline => PolicyKind::Offline.label().to_string(),
+            PolicySpec::Online { v: None } => PolicyKind::Online.label().to_string(),
+            PolicySpec::Online { v: Some(v) } => format!("Online(V={v})"),
+            PolicySpec::Random { p, salt } => format!("Random(p={p}, salt={salt})"),
+            PolicySpec::PowerThreshold { max_extra_watts } => {
+                format!("Threshold(dW<={max_extra_watts})")
+            }
+            PolicySpec::Custom(factory) => factory.label(),
+        }
+    }
+
+    /// Validates the spec's parameters, rejecting values the built policy
+    /// could not honour exactly: since the label *is* the spec's identity in
+    /// every report, a clamped or NaN-poisoned parameter would run a
+    /// different policy than the label claims. `SimConfig::validate` (and
+    /// through it `Simulation::try_new`) and `ScenarioGrid::validate` call
+    /// this, so out-of-range specs are rejected on the programmatic path
+    /// exactly like on the CLI parse path. Custom factories are trusted to
+    /// validate their own parameters.
+    pub fn validate(&self) -> Result<(), PolicySpecError> {
+        let reject = |parameter: &'static str, value: f64, requirement: &'static str| {
+            Err(PolicySpecError {
+                label: self.label(),
+                parameter,
+                value,
+                requirement,
+            })
+        };
+        match self {
+            PolicySpec::Online { v: Some(v) } if !v.is_finite() || *v < 0.0 => {
+                reject("v", *v, "must be a finite non-negative number")
+            }
+            PolicySpec::Random { p, .. } if !p.is_finite() || !(0.0..=1.0).contains(p) => {
+                reject("p", *p, "must lie in [0, 1]")
+            }
+            PolicySpec::PowerThreshold { max_extra_watts }
+                if !max_extra_watts.is_finite() || *max_extra_watts < 0.0 =>
+            {
+                reject(
+                    "max_extra_watts",
+                    *max_extra_watts,
+                    "must be a finite non-negative number of watts",
+                )
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The built-in kind of this spec, when it is one of the paper's four
+    /// unparameterized schemes.
+    pub fn kind(&self) -> Option<PolicyKind> {
+        match self {
+            PolicySpec::Immediate => Some(PolicyKind::Immediate),
+            PolicySpec::SyncSgd => Some(PolicyKind::SyncSgd),
+            PolicySpec::Offline => Some(PolicyKind::Offline),
+            PolicySpec::Online { v: None } => Some(PolicyKind::Online),
+            _ => None,
+        }
+    }
+
+    /// Builds a fresh policy instance for one run.
+    pub fn build(&self, ctx: &PolicyBuildContext) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicySpec::Immediate => Box::new(ImmediatePolicy::new()),
+            PolicySpec::SyncSgd => Box::new(SyncSgdPolicy::new()),
+            PolicySpec::Offline => Box::new(OfflinePolicy::with_window(ctx.window_slots())),
+            PolicySpec::Online { v } => {
+                let scheduler = match v {
+                    Some(v) => ctx.scheduler.with_v(*v),
+                    None => ctx.scheduler,
+                };
+                Box::new(OnlinePolicy::new(scheduler))
+            }
+            PolicySpec::Random { p, salt } => Box::new(RandomPolicy::new(
+                *p,
+                // Golden-ratio mix so salt 0/1/2… give well-separated
+                // streams even for identical run seeds.
+                ctx.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )),
+            PolicySpec::PowerThreshold { max_extra_watts } => {
+                Box::new(PowerThresholdPolicy::new(*max_extra_watts))
+            }
+            PolicySpec::Custom(factory) => factory.build(ctx),
+        }
+    }
+}
+
+impl From<PolicyKind> for PolicySpec {
+    fn from(kind: PolicyKind) -> Self {
+        match kind {
+            PolicyKind::Immediate => PolicySpec::Immediate,
+            PolicyKind::SyncSgd => PolicySpec::SyncSgd,
+            PolicyKind::Offline => PolicySpec::Offline,
+            PolicyKind::Online => PolicySpec::Online { v: None },
+        }
+    }
+}
+
+/// Specs are equal iff their labels are equal: the label *is* the identity
+/// that keys reports, rollups and sweep dimensions.
+impl PartialEq for PolicySpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.label() == other.label()
+    }
+}
+
+/// Convenience comparison against the built-in kinds (by label).
+impl PartialEq<PolicyKind> for PolicySpec {
+    fn eq(&self, other: &PolicyKind) -> bool {
+        self.label() == other.label()
+    }
+}
+
+impl std::fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error naming an out-of-range parameter of a built-in [`PolicySpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySpecError {
+    /// The label of the offending spec.
+    pub label: String,
+    /// Name of the offending parameter.
+    pub parameter: &'static str,
+    /// The rejected value.
+    pub value: f64,
+    /// Human-readable statement of the allowed range.
+    pub requirement: &'static str,
+}
+
+impl std::fmt::Display for PolicySpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "policy `{}`: parameter `{}` {} (got {})",
+            self.label, self.parameter, self.requirement, self.value
+        )
+    }
+}
+
+impl std::error::Error for PolicySpecError {}
+
+/// Error produced when parsing a [`PolicySpec`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl std::fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+/// Parses the CLI syntax `name[:key=value[:key=value…]]` (case-insensitive
+/// names):
+///
+/// * `immediate`
+/// * `sync-sgd` (aliases `sync`, `syncsgd`)
+/// * `offline`
+/// * `online` / `online:v=1000`
+/// * `random:p=0.5` / `random:p=0.5:salt=3`
+/// * `threshold:w=0.7`
+impl std::str::FromStr for PolicySpec {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.trim().split(':');
+        let name = parts.next().unwrap_or_default().to_ascii_lowercase();
+        let mut params: Vec<(String, String)> = Vec::new();
+        for part in parts {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                ParsePolicyError(format!("policy parameter `{part}` is not key=value"))
+            })?;
+            let key = key.trim().to_ascii_lowercase();
+            // Reject duplicates rather than silently picking one occurrence.
+            if params.iter().any(|(k, _)| *k == key) {
+                return Err(ParsePolicyError(format!(
+                    "duplicate policy parameter `{key}`"
+                )));
+            }
+            params.push((key, value.trim().to_string()));
+        }
+        let f64_param =
+            |params: &[(String, String)], key: &str| -> Result<Option<f64>, ParsePolicyError> {
+                match params.iter().find(|(k, _)| k == key) {
+                    Some((_, v)) => v
+                        .parse::<f64>()
+                        .map(Some)
+                        .map_err(|e| ParsePolicyError(format!("policy parameter {key}={v}: {e}"))),
+                    None => Ok(None),
+                }
+            };
+        let reject_unknown =
+            |params: &[(String, String)], allowed: &[&str]| -> Result<(), ParsePolicyError> {
+                for (k, _) in params {
+                    if !allowed.contains(&k.as_str()) {
+                        return Err(ParsePolicyError(format!(
+                            "unknown parameter `{k}` for policy `{name}` (allowed: {allowed:?})"
+                        )));
+                    }
+                }
+                Ok(())
+            };
+        match name.as_str() {
+            "immediate" => {
+                reject_unknown(&params, &[])?;
+                Ok(PolicySpec::Immediate)
+            }
+            "sync-sgd" | "sync" | "syncsgd" => {
+                reject_unknown(&params, &[])?;
+                Ok(PolicySpec::SyncSgd)
+            }
+            "offline" => {
+                reject_unknown(&params, &[])?;
+                Ok(PolicySpec::Offline)
+            }
+            "online" => {
+                reject_unknown(&params, &["v"])?;
+                Ok(PolicySpec::Online {
+                    v: f64_param(&params, "v")?,
+                })
+            }
+            "random" => {
+                reject_unknown(&params, &["p", "salt"])?;
+                let p = f64_param(&params, "p")?.ok_or_else(|| {
+                    ParsePolicyError("policy `random` requires p=<probability>".to_string())
+                })?;
+                let salt = match params.iter().find(|(k, _)| k == "salt") {
+                    Some((_, v)) => v
+                        .parse::<u64>()
+                        .map_err(|e| ParsePolicyError(format!("policy parameter salt={v}: {e}")))?,
+                    None => 0,
+                };
+                Ok(PolicySpec::Random { p, salt })
+            }
+            "threshold" => {
+                reject_unknown(&params, &["w", "watts"])?;
+                let max_extra_watts = match (f64_param(&params, "w")?, f64_param(&params, "watts")?)
+                {
+                    (Some(_), Some(_)) => {
+                        return Err(ParsePolicyError(
+                            "policy `threshold` takes w=<watts> or watts=<watts>, not both"
+                                .to_string(),
+                        ))
+                    }
+                    (Some(w), None) | (None, Some(w)) => w,
+                    (None, None) => {
+                        return Err(ParsePolicyError(
+                            "policy `threshold` requires w=<watts>".to_string(),
+                        ))
+                    }
+                };
+                Ok(PolicySpec::PowerThreshold { max_extra_watts })
+            }
+            other => Err(ParsePolicyError(format!(
+                "unknown policy `{other}` (expected immediate, sync-sgd, offline, \
+online[:v=N], random:p=P[:salt=N] or threshold:w=W)"
+            ))),
+        }
+        // Reject out-of-range parameters rather than letting the build-time
+        // clamps run a policy the label does not describe.
+        .and_then(|spec| {
+            spec.validate()
+                .map(|()| spec)
+                .map_err(|e| ParsePolicyError(e.to_string()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::SlotOutcome;
+    use crate::policy::{UserSlotContext, WindowPlan};
+    use fedco_device::power::{AppStatus, SlotDecision};
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PolicySpec::Immediate.label(), "Immediate");
+        assert_eq!(PolicySpec::SyncSgd.label(), "Sync-SGD");
+        assert_eq!(PolicySpec::Offline.label(), "Offline");
+        assert_eq!(PolicySpec::Online { v: None }.label(), "Online");
+        assert_eq!(PolicySpec::online_with_v(1000.0).label(), "Online(V=1000)");
+        assert_eq!(
+            PolicySpec::Random { p: 0.5, salt: 3 }.label(),
+            "Random(p=0.5, salt=3)"
+        );
+        assert_eq!(
+            PolicySpec::PowerThreshold {
+                max_extra_watts: 0.7
+            }
+            .label(),
+            "Threshold(dW<=0.7)"
+        );
+        assert_eq!(PolicySpec::Offline.to_string(), "Offline");
+    }
+
+    #[test]
+    fn kinds_roundtrip_through_specs() {
+        for kind in PolicyKind::ALL {
+            let spec = kind.spec();
+            assert_eq!(spec.label(), kind.label());
+            assert_eq!(spec.kind(), Some(kind));
+            assert_eq!(spec, kind, "PartialEq<PolicyKind>");
+        }
+        assert_eq!(PolicySpec::online_with_v(7.0).kind(), None);
+        assert_eq!(PolicySpec::Random { p: 0.1, salt: 0 }.kind(), None);
+    }
+
+    #[test]
+    fn equality_is_by_label() {
+        assert_eq!(
+            PolicySpec::Online { v: None },
+            PolicySpec::Online { v: None }
+        );
+        assert_ne!(
+            PolicySpec::Online { v: None },
+            PolicySpec::online_with_v(4000.0)
+        );
+        assert_ne!(
+            PolicySpec::online_with_v(1000.0),
+            PolicySpec::online_with_v(4000.0)
+        );
+    }
+
+    #[test]
+    fn default_registry_covers_builtins_and_new_baselines() {
+        let registry = PolicySpec::default_registry();
+        assert_eq!(registry.len(), 6);
+        let labels: Vec<String> = registry.iter().map(PolicySpec::label).collect();
+        for kind in PolicyKind::ALL {
+            assert!(labels.iter().any(|l| l == kind.label()), "{kind}");
+        }
+        assert!(labels.iter().any(|l| l.starts_with("Random(")));
+        assert!(labels.iter().any(|l| l.starts_with("Threshold(")));
+        // All labels distinct.
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn build_context_window_slots() {
+        let ctx = PolicyBuildContext::new(SchedulerConfig::default());
+        assert_eq!(ctx.window_slots(), 500);
+        let coarse = ctx.with_slot_seconds(60.0);
+        assert_eq!(coarse.window_slots(), 9); // ceil(500/60)
+        assert_eq!(coarse.with_seed(9).seed, 9);
+    }
+
+    #[test]
+    fn online_spec_overrides_v() {
+        let ctx = PolicyBuildContext::new(SchedulerConfig::default());
+        let _default = PolicySpec::Online { v: None }.build(&ctx);
+        let _small = PolicySpec::online_with_v(10.0).build(&ctx);
+        // The override flows into the scheduler: with tiny V and some queue
+        // pressure the small-V controller schedules while default-V waits.
+        // (Behavioural check lives in the engine tests; here we only assert
+        // the build succeeds and the overhead capability is kept.)
+        assert_eq!(_small.decision_energy_overhead(), 1.0);
+    }
+
+    #[test]
+    fn random_spec_salts_separate_streams() {
+        let ctx = PolicyBuildContext::new(SchedulerConfig::default()).with_seed(42);
+        let decisions = |spec: &PolicySpec| -> Vec<SlotDecision> {
+            let mut p = spec.build(&ctx);
+            let uctx = sample_ctx();
+            (0..64).map(|_| p.decide(&uctx)).collect()
+        };
+        let a = decisions(&PolicySpec::Random { p: 0.5, salt: 0 });
+        let b = decisions(&PolicySpec::Random { p: 0.5, salt: 1 });
+        let a2 = decisions(&PolicySpec::Random { p: 0.5, salt: 0 });
+        assert_eq!(a, a2, "same seed+salt, same stream");
+        assert_ne!(a, b, "different salts, different streams");
+    }
+
+    fn sample_ctx() -> UserSlotContext {
+        use fedco_device::apps::AppKind;
+        use fedco_device::profiles::DeviceKind;
+        use fedco_fl::staleness::GradientGap;
+        let profile = DeviceKind::Pixel2.profile();
+        let status = AppStatus::App(AppKind::Map);
+        UserSlotContext {
+            user_id: 0,
+            slot: 0,
+            app_status: status,
+            input: crate::online::OnlineDecisionInput::from_profile(
+                &profile,
+                status,
+                GradientGap(1.0),
+                GradientGap(0.5),
+            ),
+        }
+    }
+
+    #[derive(Debug)]
+    struct AlwaysIdleFactory;
+
+    #[derive(Debug)]
+    struct AlwaysIdle;
+
+    impl SchedulingPolicy for AlwaysIdle {
+        fn decide(&mut self, _ctx: &UserSlotContext) -> SlotDecision {
+            SlotDecision::Idle
+        }
+        fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+    }
+
+    impl PolicyFactory for AlwaysIdleFactory {
+        fn label(&self) -> String {
+            "AlwaysIdle(\"noop\", v2)".to_string()
+        }
+        fn build(&self, _ctx: &PolicyBuildContext) -> Box<dyn SchedulingPolicy> {
+            Box::new(AlwaysIdle)
+        }
+    }
+
+    #[test]
+    fn custom_factories_plug_in() {
+        let spec = PolicySpec::custom(AlwaysIdleFactory);
+        assert_eq!(spec.label(), "AlwaysIdle(\"noop\", v2)");
+        assert_eq!(spec.kind(), None);
+        let ctx = PolicyBuildContext::new(SchedulerConfig::default());
+        let mut p = spec.build(&ctx);
+        assert_eq!(p.decide(&sample_ctx()), SlotDecision::Idle);
+        p.install_plan(&WindowPlan::new());
+        assert!(!p.round_barrier());
+        // Clones share the factory and stay equal (same label).
+        let clone = spec.clone();
+        assert_eq!(spec, clone);
+    }
+
+    #[test]
+    fn parse_builtins_and_parameterized_specs() {
+        assert_eq!(
+            "immediate".parse::<PolicySpec>().unwrap(),
+            PolicySpec::Immediate
+        );
+        assert_eq!("SYNC".parse::<PolicySpec>().unwrap(), PolicySpec::SyncSgd);
+        assert_eq!(
+            "sync-sgd".parse::<PolicySpec>().unwrap(),
+            PolicySpec::SyncSgd
+        );
+        assert_eq!(
+            "offline".parse::<PolicySpec>().unwrap(),
+            PolicySpec::Offline
+        );
+        assert_eq!(
+            "online".parse::<PolicySpec>().unwrap(),
+            PolicySpec::Online { v: None }
+        );
+        assert_eq!(
+            "online:v=1000".parse::<PolicySpec>().unwrap().label(),
+            "Online(V=1000)"
+        );
+        assert_eq!(
+            "random:p=0.25".parse::<PolicySpec>().unwrap().label(),
+            "Random(p=0.25, salt=0)"
+        );
+        assert_eq!(
+            "random:p=0.25:salt=7"
+                .parse::<PolicySpec>()
+                .unwrap()
+                .label(),
+            "Random(p=0.25, salt=7)"
+        );
+        assert_eq!(
+            "threshold:w=0.6".parse::<PolicySpec>().unwrap().label(),
+            "Threshold(dW<=0.6)"
+        );
+        assert_eq!(
+            "threshold:watts=0.6".parse::<PolicySpec>().unwrap().label(),
+            "Threshold(dW<=0.6)"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!("".parse::<PolicySpec>().is_err());
+        assert!("warp-drive".parse::<PolicySpec>().is_err());
+        assert!("online:v".parse::<PolicySpec>().is_err());
+        assert!("online:q=3".parse::<PolicySpec>().is_err());
+        assert!("random".parse::<PolicySpec>().is_err(), "p is required");
+        assert!("random:p=abc".parse::<PolicySpec>().is_err());
+        assert!("random:p=0.5:salt=-1".parse::<PolicySpec>().is_err());
+        assert!("threshold".parse::<PolicySpec>().is_err(), "w is required");
+        let err = "warp-drive".parse::<PolicySpec>().unwrap_err();
+        assert!(err.to_string().contains("unknown policy"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_programmatic_specs() {
+        // Everything in the default registry (and the built-ins) is valid.
+        for spec in PolicySpec::default_registry() {
+            assert!(spec.validate().is_ok(), "{spec}");
+        }
+        assert!(PolicySpec::online_with_v(0.0).validate().is_ok());
+        assert!(PolicySpec::Random { p: 1.0, salt: 9 }.validate().is_ok());
+
+        let bad_p = PolicySpec::Random { p: 1.5, salt: 0 };
+        let err = bad_p.validate().unwrap_err();
+        assert_eq!(err.parameter, "p");
+        assert_eq!(err.value, 1.5);
+        assert!(err.to_string().contains("[0, 1]"));
+        assert!(err.to_string().contains("Random(p=1.5, salt=0)"));
+        assert!(PolicySpec::Random {
+            p: f64::NAN,
+            salt: 0
+        }
+        .validate()
+        .is_err());
+        assert_eq!(
+            PolicySpec::online_with_v(-5.0)
+                .validate()
+                .unwrap_err()
+                .parameter,
+            "v"
+        );
+        assert_eq!(
+            PolicySpec::PowerThreshold {
+                max_extra_watts: f64::INFINITY
+            }
+            .validate()
+            .unwrap_err()
+            .parameter,
+            "max_extra_watts"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_parameters() {
+        // A clamped or NaN-poisoned value would run a different policy than
+        // the label claims, so parsing rejects instead of clamping.
+        assert!("random:p=5".parse::<PolicySpec>().is_err());
+        assert!("random:p=-0.1".parse::<PolicySpec>().is_err());
+        assert!("random:p=nan".parse::<PolicySpec>().is_err());
+        assert!("random:p=inf".parse::<PolicySpec>().is_err());
+        assert!("threshold:w=-1".parse::<PolicySpec>().is_err());
+        assert!("threshold:w=nan".parse::<PolicySpec>().is_err());
+        assert!("online:v=-5".parse::<PolicySpec>().is_err());
+        assert!("online:v=nan".parse::<PolicySpec>().is_err());
+        let err = "random:p=5".parse::<PolicySpec>().unwrap_err();
+        assert!(err.to_string().contains("[0, 1]"));
+        // Boundary values stay accepted.
+        assert!("random:p=0".parse::<PolicySpec>().is_ok());
+        assert!("random:p=1".parse::<PolicySpec>().is_ok());
+        assert!("threshold:w=0".parse::<PolicySpec>().is_ok());
+        assert!("online:v=0".parse::<PolicySpec>().is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_and_conflicting_parameters() {
+        let err = "online:v=1000:v=2000".parse::<PolicySpec>().unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        assert!("random:p=0.5:p=0.9".parse::<PolicySpec>().is_err());
+        assert!("random:p=0.5:salt=1:salt=2".parse::<PolicySpec>().is_err());
+        let err = "threshold:w=0.5:watts=0.9"
+            .parse::<PolicySpec>()
+            .unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+    }
+}

@@ -6,10 +6,10 @@
 //!
 //! The crate provides the pieces the paper's system builds on top of:
 //!
-//! * a versioned [`ParameterServer`](server::ParameterServer) with both the
+//! * a versioned [`ParameterServer`] with both the
 //!   asynchronous replace-on-receive rule the paper implements and FedAvg
 //!   aggregation for the Sync-SGD baseline,
-//! * [`FlClient`](client::FlClient) — an on-device trainer running local
+//! * [`FlClient`] — an on-device trainer running local
 //!   epochs of LeNet on its data shard,
 //! * the staleness machinery of Section III: lag (Definition 1), gradient
 //!   gap (Definition 2), momentum tracking (Eq. 1) and the linear weight

@@ -3,18 +3,28 @@
 //! ```text
 //! cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- [flags]
 //!
-//!   --workers N     worker threads (default 0 = one per core)
-//!   --users N       users per simulation (default 10)
-//!   --slots N       horizon in slots (default 1200)
-//!   --replicates N  seeds per cell (default 2 → 64 jobs)
-//!   --seed N        base seed (default 42)
-//!   --csv PATH      write per-job rows as CSV
-//!   --jsonl PATH    write per-job rows as JSON lines
-//!   --verify        also run on 1 worker; check bit-identical, report speedup
+//!   --workers N      worker threads (default 0 = one per core)
+//!   --users N        users per simulation (default 10)
+//!   --slots N        horizon in slots (default 1200)
+//!   --replicates N   seeds per cell (default 2 → 64 jobs)
+//!   --seed N         base seed (default 42)
+//!   --policies LIST  comma-separated policy specs (default: the four
+//!                    built-ins). Each entry is name[:key=value…], e.g.
+//!                    immediate, sync-sgd, offline, online, online:v=1000,
+//!                    random:p=0.5:salt=3, threshold:w=0.7
+//!   --csv PATH       write per-job rows as CSV
+//!   --jsonl PATH     write per-job rows as JSON lines
+//!   --verify         also run on 1 worker; check bit-identical, report speedup
 //! ```
 //!
 //! The default grid is 4 policies × 2 arrival patterns × 2 device
-//! assignments × 2 transport links × `--replicates` seeds.
+//! assignments × 2 transport links × `--replicates` seeds. A `--policies`
+//! sweep like `online,online:v=1000,online:v=16000,immediate` compares
+//! parameterized controller variants against the baselines, with one rollup
+//! row per spec label.
+//!
+//! Invalid flag combinations are reported on stderr with a non-zero exit
+//! code — the binary never panics on bad input.
 
 use std::process::ExitCode;
 
@@ -27,13 +37,15 @@ struct Args {
     slots: u64,
     replicates: usize,
     seed: u64,
+    policies: Vec<PolicySpec>,
     csv: Option<String>,
     jsonl: Option<String>,
     verify: bool,
 }
 
 const USAGE: &str = "usage: fleet_sweep [--workers N] [--users N] [--slots N] \
-[--replicates N] [--seed N] [--csv PATH] [--jsonl PATH] [--verify]";
+[--replicates N] [--seed N] [--policies SPEC,SPEC,...] [--csv PATH] \
+[--jsonl PATH] [--verify]";
 
 /// Parses the command line: `Ok(None)` means `--help` was requested.
 fn parse_args() -> Result<Option<Args>, String> {
@@ -43,6 +55,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         slots: 1200,
         replicates: 2,
         seed: 42,
+        policies: PolicyKind::ALL.iter().map(|&k| k.into()).collect(),
         csv: None,
         jsonl: None,
         verify: false,
@@ -76,6 +89,21 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--policies" => {
+                let list = value("--policies")?;
+                let mut specs = Vec::new();
+                for token in list.split(',').filter(|t| !t.trim().is_empty()) {
+                    specs.push(
+                        token
+                            .parse::<PolicySpec>()
+                            .map_err(|e| format!("--policies: {e}"))?,
+                    );
+                }
+                if specs.is_empty() {
+                    return Err("--policies must name at least one policy".to_string());
+                }
+                args.policies = specs;
+            }
             "--csv" => args.csv = Some(value("--csv")?),
             "--jsonl" => args.jsonl = Some(value("--jsonl")?),
             "--verify" => args.verify = true,
@@ -101,7 +129,7 @@ fn build_grid(args: &Args) -> ScenarioGrid {
     base.total_slots = args.slots;
     base.seed = args.seed;
     ScenarioGrid::new(base)
-        .with_policies(PolicyKind::ALL.to_vec())
+        .with_policy_specs(args.policies.clone())
         .with_arrivals(vec![ArrivalPattern::paper(), ArrivalPattern::busy()])
         .with_devices(vec![
             DeviceAssignment::RoundRobinTestbed,
@@ -124,16 +152,28 @@ fn main() -> ExitCode {
         }
     };
     let grid = build_grid(&args);
+    // A bad flag combination surfaces as a typed error on stderr, never as
+    // a panic inside the sweep.
+    if let Err(e) = grid.validate() {
+        eprintln!("invalid sweep configuration: {e}");
+        return ExitCode::FAILURE;
+    }
     let workers = resolve_workers(args.workers);
     println!(
-        "fleet_sweep: {} jobs (4 policies x 2 arrivals x 2 devices x 2 links x {} seeds), \
-{} users x {} slots each, {} worker(s)\n",
+        "fleet_sweep: {} jobs ({} policies x {} arrivals x {} devices x {} links x {} seeds), \
+{} users x {} slots each, {} worker(s)",
         grid.len(),
-        args.replicates,
+        grid.policies.len(),
+        grid.arrivals.len(),
+        grid.devices.len(),
+        grid.links.len(),
+        grid.seeds.len(),
         args.users,
         args.slots,
         workers
     );
+    let labels: Vec<String> = args.policies.iter().map(PolicySpec::label).collect();
+    println!("policies: {}\n", labels.join(", "));
 
     let report = run_grid(&grid, args.workers);
     print!("{}", rollup_table(&report));

@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use fedco_core::policy::PolicyKind;
+use fedco_core::spec::PolicySpec;
 use fedco_device::profiler::EnergyComponent;
 use fedco_sim::engine::run_simulation_summary;
 use fedco_sim::trace::SimResult;
@@ -103,8 +103,9 @@ impl<T> JobQueue<T> {
 pub struct JobSummary {
     /// Linear job index in grid order.
     pub id: usize,
-    /// The policy of the cell.
-    pub policy: PolicyKind,
+    /// The spec label of the cell's policy
+    /// ([`PolicySpec::label`](fedco_core::spec::PolicySpec::label)).
+    pub policy: String,
     /// Name of the arrival pattern.
     pub arrival: String,
     /// The per-slot arrival probability.
@@ -149,7 +150,7 @@ impl JobSummary {
             .fold(0.0, |acc, (_, e)| acc + *e);
         JobSummary {
             id: job.id,
-            policy: result.policy,
+            policy: result.policy.label(),
             arrival: job.arrival_name.clone(),
             arrival_probability: job.config.arrival_probability,
             devices: job.device_label.clone(),
@@ -188,9 +189,17 @@ impl FleetReport {
         self.rollups.iter().map(|r| r.energy_j.sum()).sum()
     }
 
-    /// The rollup of one policy, if it was part of the sweep.
-    pub fn rollup(&self, policy: PolicyKind) -> Option<&PolicyRollup> {
-        self.rollups.iter().find(|r| r.policy == policy)
+    /// The rollup of one policy spec, if it was part of the sweep. Accepts
+    /// anything converting into a [`PolicySpec`] (e.g. a
+    /// [`PolicyKind`](fedco_core::policy::PolicyKind) or a spec); match by
+    /// raw label with [`FleetReport::rollup_by_label`].
+    pub fn rollup(&self, policy: impl Into<PolicySpec>) -> Option<&PolicyRollup> {
+        self.rollup_by_label(&policy.into().label())
+    }
+
+    /// The rollup keyed by a spec label, if it was part of the sweep.
+    pub fn rollup_by_label(&self, label: &str) -> Option<&PolicyRollup> {
+        self.rollups.iter().find(|r| r.policy == label)
     }
 }
 
@@ -256,12 +265,13 @@ pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
         .collect();
 
     // Fold rollups in job order: deterministic regardless of worker count.
-    // One rollup per *distinct* policy — a grid listing a policy twice
+    // One rollup per *distinct* spec label — a grid listing a label twice
     // produces twice the jobs, but they all fold into the same rollup.
     let mut rollups: Vec<PolicyRollup> = Vec::new();
-    for &p in &grid.policies {
-        if !rollups.iter().any(|r| r.policy == p) {
-            rollups.push(PolicyRollup::new(p));
+    for p in &grid.policies {
+        let label = p.label();
+        if !rollups.iter().any(|r| r.policy == label) {
+            rollups.push(PolicyRollup::new(label));
         }
     }
     for job in &jobs {
@@ -312,6 +322,7 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::grid::{ArrivalPattern, LinkKind};
+    use fedco_core::policy::PolicyKind;
     use fedco_sim::experiment::SimConfig;
 
     fn tiny_grid() -> ScenarioGrid {
@@ -407,7 +418,27 @@ mod tests {
         let grid = tiny_grid().with_policies(vec![PolicyKind::Online, PolicyKind::Online]);
         let report = run_grid(&grid, 2);
         assert_eq!(report.jobs.len(), grid.len());
-        assert_eq!(report.rollups.len(), 1, "one rollup per distinct policy");
+        assert_eq!(report.rollups.len(), 1, "one rollup per distinct label");
         assert_eq!(report.rollups[0].runs(), grid.len() as u64);
+    }
+
+    #[test]
+    fn parameterized_specs_get_their_own_rollups() {
+        let mut specs: Vec<PolicySpec> = vec![PolicyKind::Online.into()];
+        specs.extend([1000.0, 16000.0].map(PolicySpec::online_with_v));
+        let grid = tiny_grid().with_policy_specs(specs);
+        let report = run_grid(&grid, 2);
+        assert_eq!(report.rollups.len(), 3, "one rollup per V variant");
+        for label in ["Online", "Online(V=1000)", "Online(V=16000)"] {
+            let rollup = report
+                .rollup_by_label(label)
+                .unwrap_or_else(|| panic!("missing rollup {label}"));
+            assert_eq!(rollup.runs() as usize, grid.len() / 3, "{label}");
+            assert!(rollup.energy_j.mean() > 0.0);
+        }
+        // rollup() accepts kinds and specs interchangeably.
+        assert!(report.rollup(PolicyKind::Online).is_some());
+        assert!(report.rollup(PolicySpec::online_with_v(1000.0)).is_some());
+        assert!(report.rollup(PolicyKind::Offline).is_none());
     }
 }

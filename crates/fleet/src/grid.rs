@@ -2,17 +2,22 @@
 //!
 //! A [`ScenarioGrid`] expands `policies × arrival patterns × device
 //! assignments × transport links × seeds` over a base [`SimConfig`] into a
-//! flat job list. Every job owns a fully-resolved, summary-only
-//! configuration whose seed is derived by folding the job's grid
-//! coordinates through SplitMix64 ([`fedco_rng::rngs::SplitMix64`]), so the
-//! per-job random streams are a pure function of *where the job sits in the
-//! grid* — never of which worker ran it or in what order.
+//! flat job list. The policy dimension is a vector of
+//! [`PolicySpec`]s, so one sweep can compare parameterized variants (e.g.
+//! the online controller at several `V` values, or seeded random baselines)
+//! alongside the four built-ins. Every job owns a fully-resolved,
+//! summary-only configuration whose seed is derived by folding the job's
+//! grid coordinates through SplitMix64
+//! ([`fedco_rng::rngs::SplitMix64`]), so the per-job random streams are a
+//! pure function of *where the job sits in the grid* — never of which
+//! worker ran it or in what order.
 
 use fedco_core::policy::PolicyKind;
+use fedco_core::spec::{PolicySpec, PolicySpecError};
 use fedco_fl::transport::TransportModel;
 use fedco_rng::rngs::SplitMix64;
 use fedco_rng::SeedableRng;
-use fedco_sim::experiment::{DeviceAssignment, SimConfig};
+use fedco_sim::experiment::{ConfigError, DeviceAssignment, EmptyDeviceList, SimConfig};
 
 /// One named application-arrival pattern (the per-slot Bernoulli rate).
 #[derive(Debug, Clone, PartialEq)]
@@ -128,8 +133,10 @@ pub struct ScenarioGrid {
     /// The configuration every cell starts from. Horizon, user count,
     /// scheduler knobs and the ML workload come from here.
     pub base: SimConfig,
-    /// The policy dimension.
-    pub policies: Vec<PolicyKind>,
+    /// The policy dimension: any mix of built-ins, parameterized variants
+    /// and custom specs. Labels must be distinct per entry for the per-spec
+    /// rollups to be meaningful.
+    pub policies: Vec<PolicySpec>,
     /// The arrival-pattern dimension.
     pub arrivals: Vec<ArrivalPattern>,
     /// The device-assignment dimension.
@@ -148,7 +155,7 @@ impl ScenarioGrid {
         let devices = base.devices.clone();
         ScenarioGrid {
             base,
-            policies: PolicyKind::ALL.to_vec(),
+            policies: PolicyKind::ALL.iter().map(|&k| k.into()).collect(),
             arrivals: vec![arrival],
             devices: vec![devices],
             links: vec![LinkKind::Ideal],
@@ -156,9 +163,28 @@ impl ScenarioGrid {
         }
     }
 
-    /// Replaces the policy dimension.
+    /// Replaces the policy dimension with built-in kinds (convenience
+    /// wrapper over [`ScenarioGrid::with_policy_specs`]).
     #[must_use]
-    pub fn with_policies(mut self, policies: Vec<PolicyKind>) -> Self {
+    pub fn with_policies(self, policies: Vec<PolicyKind>) -> Self {
+        self.with_policy_specs(policies.into_iter().map(PolicySpec::from).collect())
+    }
+
+    /// Replaces the policy dimension with arbitrary specs, so one sweep can
+    /// compare parameterized variants against the built-ins:
+    ///
+    /// ```
+    /// use fedco_fleet::prelude::*;
+    ///
+    /// let mut specs: Vec<PolicySpec> =
+    ///     PolicyKind::ALL.iter().map(|&k| k.into()).collect();
+    /// specs.extend([1000.0, 4000.0, 16000.0].map(PolicySpec::online_with_v));
+    /// let grid = ScenarioGrid::new(SimConfig::small(PolicyKind::Online))
+    ///     .with_policy_specs(specs);
+    /// assert_eq!(grid.policies.len(), 7);
+    /// ```
+    #[must_use]
+    pub fn with_policy_specs(mut self, policies: Vec<PolicySpec>) -> Self {
         self.policies = policies;
         self
     }
@@ -202,14 +228,33 @@ impl ScenarioGrid {
     }
 
     /// Whether every dimension is non-empty and the base config is valid.
+    /// Thin shim over [`ScenarioGrid::validate`], which reports *why*.
     pub fn is_valid(&self) -> bool {
-        self.base.is_valid()
-            && !self.policies.is_empty()
-            && !self.arrivals.is_empty()
-            && !self.devices.is_empty()
-            && !self.links.is_empty()
-            && !self.seeds.is_empty()
-            && self.devices.iter().all(DeviceAssignment::is_valid)
+        self.validate().is_ok()
+    }
+
+    /// Validates the grid, returning a typed [`GridError`] naming the
+    /// offending dimension or base-config field on failure.
+    pub fn validate(&self) -> Result<(), GridError> {
+        self.base.validate().map_err(GridError::Base)?;
+        for (dim, empty) in [
+            ("policies", self.policies.is_empty()),
+            ("arrivals", self.arrivals.is_empty()),
+            ("devices", self.devices.is_empty()),
+            ("links", self.links.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+        ] {
+            if empty {
+                return Err(GridError::EmptyDimension(dim));
+            }
+        }
+        if !self.devices.iter().all(DeviceAssignment::is_valid) {
+            return Err(GridError::Device(EmptyDeviceList));
+        }
+        for spec in &self.policies {
+            spec.validate().map_err(GridError::Policy)?;
+        }
+        Ok(())
     }
 
     /// Number of jobs in the grid.
@@ -280,7 +325,7 @@ impl ScenarioGrid {
             .with_arrival_probability(arrival.probability)
             .with_seed(self.job_seed(coord))
             .summary_only();
-        config.policy = self.policies[coord.policy];
+        config.policy = self.policies[coord.policy].clone();
         config.devices = devices.clone();
         config.transport = link.model();
         FleetJob {
@@ -295,9 +340,52 @@ impl ScenarioGrid {
     }
 
     /// Expands the whole grid into its job list, in linear order.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the specific [`GridError`] if the grid is invalid.
     pub fn expand(&self) -> Vec<FleetJob> {
-        assert!(self.is_valid(), "invalid scenario grid: {self:?}");
+        if let Err(e) = self.validate() {
+            panic!("invalid scenario grid: {e}");
+        }
         (0..self.len()).map(|id| self.job(id)).collect()
+    }
+}
+
+/// A typed description of why a [`ScenarioGrid`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// The base [`SimConfig`] is invalid.
+    Base(ConfigError),
+    /// A sweep dimension (named) is empty.
+    EmptyDimension(&'static str),
+    /// A device assignment in the device dimension is an empty custom list.
+    Device(EmptyDeviceList),
+    /// A spec in the policy dimension carries an out-of-range parameter.
+    Policy(PolicySpecError),
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::Base(e) => write!(f, "base config: {e}"),
+            GridError::EmptyDimension(dim) => {
+                write!(f, "sweep dimension `{dim}` must not be empty")
+            }
+            GridError::Device(e) => write!(f, "device dimension: {e}"),
+            GridError::Policy(e) => write!(f, "policy dimension: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GridError::Base(e) => Some(e),
+            GridError::Device(e) => Some(e),
+            GridError::Policy(e) => Some(e),
+            GridError::EmptyDimension(_) => None,
+        }
     }
 }
 
@@ -402,7 +490,41 @@ mod tests {
         let g = grid().with_policies(vec![]);
         assert!(!g.is_valid());
         assert!(g.is_empty());
+        assert_eq!(g.validate(), Err(GridError::EmptyDimension("policies")));
+        assert!(g.validate().unwrap_err().to_string().contains("policies"));
         let g2 = grid().with_devices(vec![DeviceAssignment::Custom(vec![])]);
         assert!(!g2.is_valid());
+        assert_eq!(g2.validate(), Err(GridError::Device(EmptyDeviceList)));
+        let mut g3 = grid();
+        g3.base.num_users = 0;
+        assert_eq!(g3.validate(), Err(GridError::Base(ConfigError::ZeroUsers)));
+        assert!(g3.validate().unwrap_err().to_string().contains("num_users"));
+        assert!(grid().validate().is_ok());
+        // An out-of-range spec in the policy dimension is caught too.
+        let g4 = grid().with_policy_specs(vec![PolicySpec::Random { p: 1.5, salt: 0 }]);
+        match g4.validate() {
+            Err(GridError::Policy(e)) => assert_eq!(e.parameter, "p"),
+            other => panic!("expected policy error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_dimension_takes_parameterized_specs() {
+        let mut specs: Vec<PolicySpec> = PolicyKind::ALL.iter().map(|&k| k.into()).collect();
+        specs.extend([1000.0, 4000.0, 16000.0].map(PolicySpec::online_with_v));
+        specs.push(PolicySpec::Random { p: 0.5, salt: 0 });
+        let g = ScenarioGrid::new(SimConfig::small(PolicyKind::Online))
+            .with_policy_specs(specs.clone());
+        assert_eq!(g.len(), specs.len());
+        let jobs = g.expand();
+        for (job, spec) in jobs.iter().zip(&specs) {
+            assert_eq!(job.config.policy, *spec);
+            assert_eq!(job.config.policy.label(), spec.label());
+        }
+        // All labels distinct, so per-spec rollups stay separable.
+        let mut labels: Vec<String> = specs.iter().map(PolicySpec::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), specs.len());
     }
 }

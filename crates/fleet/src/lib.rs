@@ -10,7 +10,7 @@
 //! device fleets, transport links and seeds — using every core?". It has
 //! four parts:
 //!
-//! * [`grid`] — [`ScenarioGrid`](grid::ScenarioGrid) expands
+//! * [`grid`] — [`ScenarioGrid`] expands
 //!   `policies × arrivals × devices × links × seeds` into a job list, each
 //!   job seeded by SplitMix64 of its grid coordinates;
 //! * [`executor`] — a std-only thread pool (`Mutex`/`Condvar` job queue,
@@ -48,11 +48,12 @@ pub mod prelude {
         deterministic_view, resolve_workers, run_grid, run_grid_sequential, FleetReport, JobQueue,
         JobSummary,
     };
-    pub use crate::grid::{ArrivalPattern, FleetJob, JobCoord, LinkKind, ScenarioGrid};
+    pub use crate::grid::{ArrivalPattern, FleetJob, GridError, JobCoord, LinkKind, ScenarioGrid};
     pub use crate::report::{rollup_table, to_csv, to_jsonl};
     pub use crate::stats::{PolicyRollup, Streaming};
     pub use fedco_core::policy::PolicyKind;
-    pub use fedco_sim::experiment::{DeviceAssignment, SimConfig};
+    pub use fedco_core::spec::{PolicyBuildContext, PolicyFactory, PolicySpec};
+    pub use fedco_sim::experiment::{ConfigError, DeviceAssignment, SimConfig};
 }
 
 pub use prelude::*;

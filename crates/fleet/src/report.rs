@@ -45,7 +45,7 @@ pub fn csv_row(job: &JobSummary) -> String {
     format!(
         "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
         job.id,
-        csv_escape(job.policy.label()),
+        csv_escape(&job.policy),
         csv_escape(&job.arrival),
         job.arrival_probability,
         csv_escape(&job.devices),
@@ -91,7 +91,7 @@ pub fn json_line(job: &JobSummary) -> String {
 \"max_lag\":{},\"mean_queue\":{},\"mean_virtual_queue\":{},\
 \"accuracy\":{},\"wall_ms\":{:.3}}}",
         job.id,
-        json_escape(job.policy.label()),
+        json_escape(&job.policy),
         json_escape(&job.arrival),
         job.arrival_probability,
         json_escape(&job.devices),
@@ -120,11 +120,19 @@ pub fn to_jsonl(report: &FleetReport) -> String {
     out
 }
 
-/// A plain-text per-policy rollup table for terminals.
+/// A plain-text per-policy rollup table for terminals. The policy column
+/// widens to the longest spec label so parameterized specs stay aligned.
 pub fn rollup_table(report: &FleetReport) -> String {
+    let width = report
+        .rollups
+        .iter()
+        .map(|r| r.policy.chars().count())
+        .chain(std::iter::once(10))
+        .max()
+        .unwrap_or(10);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} {:>5} {:>14} {:>12} {:>10} {:>10} {:>9} {:>9}\n",
+        "{:<width$} {:>5} {:>14} {:>12} {:>10} {:>10} {:>9} {:>9}\n",
         "policy", "runs", "energy kJ/run", "σ kJ", "updates", "co-runs", "lag", "acc %"
     ));
     for r in &report.rollups {
@@ -134,8 +142,8 @@ pub fn rollup_table(report: &FleetReport) -> String {
             "n/a".to_string()
         };
         out.push_str(&format!(
-            "{:<10} {:>5} {:>14.2} {:>12.2} {:>10.1} {:>10.1} {:>9.2} {:>9}\n",
-            r.policy.label(),
+            "{:<width$} {:>5} {:>14.2} {:>12.2} {:>10.1} {:>10.1} {:>9.2} {:>9}\n",
+            r.policy,
             r.runs(),
             r.energy_j.mean() / 1e3,
             r.energy_j.std_dev() / 1e3,
@@ -152,12 +160,11 @@ pub fn rollup_table(report: &FleetReport) -> String {
 mod tests {
     use super::*;
     use crate::stats::PolicyRollup;
-    use fedco_core::policy::PolicyKind;
 
     fn sample_job() -> JobSummary {
         JobSummary {
             id: 3,
-            policy: PolicyKind::Online,
+            policy: "Online".to_string(),
             arrival: "paper".to_string(),
             arrival_probability: 0.001,
             devices: "testbed".to_string(),
@@ -178,7 +185,7 @@ mod tests {
 
     fn sample_report() -> FleetReport {
         let job = sample_job();
-        let mut rollup = PolicyRollup::new(PolicyKind::Online);
+        let mut rollup = PolicyRollup::new("Online");
         rollup.absorb(&job);
         FleetReport {
             jobs: vec![job],

@@ -8,8 +8,6 @@
 //! sharding — as long as the *fold order* is fixed, the result is
 //! bit-identical regardless of how many workers produced the shards.
 
-use fedco_core::policy::PolicyKind;
-
 use crate::executor::JobSummary;
 
 /// A streaming count/mean/M2/min/max accumulator over `f64` samples.
@@ -123,11 +121,14 @@ impl Streaming {
     }
 }
 
-/// Per-policy rollup of the scalar outcomes of a sweep.
+/// Per-policy rollup of the scalar outcomes of a sweep, keyed by the
+/// policy's spec label
+/// ([`PolicySpec::label`](fedco_core::spec::PolicySpec::label)), so
+/// parameterized and custom specs each get their own row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyRollup {
-    /// The policy these statistics describe.
-    pub policy: PolicyKind,
+    /// The spec label these statistics describe.
+    pub policy: String,
     /// Total device energy per run, in joules.
     pub energy_j: Streaming,
     /// Radio (transport) energy per run, in joules.
@@ -146,10 +147,10 @@ pub struct PolicyRollup {
 }
 
 impl PolicyRollup {
-    /// An empty rollup for one policy.
-    pub fn new(policy: PolicyKind) -> Self {
+    /// An empty rollup for one policy label.
+    pub fn new(policy: impl Into<String>) -> Self {
         PolicyRollup {
-            policy,
+            policy: policy.into(),
             energy_j: Streaming::new(),
             radio_j: Streaming::new(),
             updates: Streaming::new(),
@@ -257,9 +258,9 @@ mod tests {
 
     #[test]
     fn rollup_absorbs_and_merges() {
-        let job = |policy, energy, acc: Option<f32>| JobSummary {
+        let job = |policy: &str, energy, acc: Option<f32>| JobSummary {
             id: 0,
-            policy,
+            policy: policy.to_string(),
             arrival: "paper".to_string(),
             arrival_probability: 0.001,
             devices: "testbed".to_string(),
@@ -276,14 +277,14 @@ mod tests {
             final_accuracy: acc,
             wall_ms: 1.0,
         };
-        let mut r = PolicyRollup::new(PolicyKind::Online);
-        r.absorb(&job(PolicyKind::Online, 100.0, Some(0.5)));
-        r.absorb(&job(PolicyKind::Online, 200.0, None));
+        let mut r = PolicyRollup::new("Online");
+        r.absorb(&job("Online", 100.0, Some(0.5)));
+        r.absorb(&job("Online", 200.0, None));
         assert_eq!(r.runs(), 2);
         assert_eq!(r.energy_j.mean(), 150.0);
         assert_eq!(r.accuracy.count(), 1);
-        let mut other = PolicyRollup::new(PolicyKind::Online);
-        other.absorb(&job(PolicyKind::Online, 300.0, Some(0.7)));
+        let mut other = PolicyRollup::new("Online");
+        other.absorb(&job("Online", 300.0, Some(0.7)));
         r.merge(&other);
         assert_eq!(r.runs(), 3);
         assert_eq!(r.energy_j.mean(), 200.0);

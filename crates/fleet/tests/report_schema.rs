@@ -1,0 +1,193 @@
+//! Property-style schema tests for the fleet report writers: every CSV row
+//! must carry exactly the `CSV_HEADER` field count (under RFC-4180 quoting),
+//! and every JSONL line must round-trip the policy label — including labels
+//! with embedded commas, quotes and newlines from parameterized or custom
+//! specs.
+
+use fedco_fleet::executor::JobSummary;
+use fedco_fleet::prelude::*;
+use fedco_fleet::report::{csv_row, json_line, CSV_HEADER};
+
+/// Splits one CSV record into fields, honouring RFC-4180 quoting (the
+/// inverse of `csv_escape`). Returns the unescaped fields.
+fn split_csv_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Extracts the string value of `"key"` from a flat JSON object line,
+/// undoing the writer's escaping.
+fn json_string_value(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => panic!("unexpected escape \\{other}"),
+            },
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn summary_with_label(label: &str) -> JobSummary {
+    JobSummary {
+        id: 1,
+        policy: label.to_string(),
+        arrival: "paper, busy".to_string(), // commas in other fields too
+        arrival_probability: 0.001,
+        devices: "testbed".to_string(),
+        link: "wifi",
+        seed: 42,
+        total_energy_j: 1234.5,
+        radio_energy_j: 1.5,
+        total_updates: 17,
+        corun_epochs: 4,
+        mean_lag: 1.5,
+        max_lag: 6,
+        mean_queue: 0.25,
+        mean_virtual_queue: 2.5,
+        final_accuracy: None,
+        wall_ms: 7.125,
+    }
+}
+
+/// The label corpus: every registry spec, parameterized variants, and
+/// adversarial custom labels with CSV/JSON metacharacters.
+fn label_corpus() -> Vec<String> {
+    let mut labels: Vec<String> = PolicySpec::default_registry()
+        .iter()
+        .map(PolicySpec::label)
+        .collect();
+    labels.extend(
+        [1000.0, 4000.0, 16000.0]
+            .map(PolicySpec::online_with_v)
+            .iter()
+            .map(PolicySpec::label),
+    );
+    labels.extend(
+        [
+            "Random(p=0.5, salt=3)",
+            "custom,with,commas",
+            "say \"hi\", twice",
+            "quote\"inside",
+            "line\nbreak",
+            "tabs\tand\rreturns",
+            "unicode µ±∞ label",
+            "trailing,comma,",
+            "\"leading quote",
+        ]
+        .map(String::from),
+    );
+    labels
+}
+
+#[test]
+fn every_csv_row_has_exactly_the_header_field_count() {
+    let header_fields = CSV_HEADER.split(',').count();
+    for label in label_corpus() {
+        let row = csv_row(&summary_with_label(&label));
+        // A label with a newline must still be ONE record (quoted), so the
+        // parser runs over the raw row, not line-split output.
+        let fields = split_csv_record(&row);
+        assert_eq!(
+            fields.len(),
+            header_fields,
+            "field count mismatch for label {label:?}: {row:?}"
+        );
+        // The policy column (index 1) round-trips exactly.
+        assert_eq!(fields[1], label, "CSV policy column mangled");
+        // The arrival column with embedded comma survives too.
+        assert_eq!(fields[2], "paper, busy");
+    }
+}
+
+#[test]
+fn every_jsonl_line_round_trips_the_policy_label() {
+    for label in label_corpus() {
+        let line = json_line(&summary_with_label(&label));
+        // One physical line per job, however gnarly the label.
+        assert_eq!(line.lines().count(), 1, "label {label:?} split the line");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        let parsed =
+            json_string_value(&line, "policy").unwrap_or_else(|| panic!("no policy key in {line}"));
+        assert_eq!(parsed, label, "JSONL policy value mangled");
+        // Structural sanity: balanced braces and an even quote count.
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert_eq!(
+            line.chars()
+                .fold((0usize, false), |(n, esc), c| match c {
+                    '\\' if !esc => (n, true),
+                    '"' if !esc => (n + 1, false),
+                    _ => (n, false),
+                })
+                .0
+                % 2,
+            0,
+            "unbalanced quotes in {line}"
+        );
+    }
+}
+
+#[test]
+fn real_sweep_reports_satisfy_the_schema_end_to_end() {
+    let mut base = SimConfig::small(PolicyKind::Online);
+    base.num_users = 3;
+    base.total_slots = 200;
+    let grid = ScenarioGrid::new(base).with_policy_specs(vec![
+        PolicyKind::Immediate.into(),
+        PolicySpec::online_with_v(1000.0),
+        PolicySpec::Random { p: 0.5, salt: 1 },
+    ]);
+    let report = run_grid(&grid, 2);
+    let csv = to_csv(&report);
+    let header_fields = CSV_HEADER.split(',').count();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some(CSV_HEADER));
+    for line in lines {
+        assert_eq!(split_csv_record(line).len(), header_fields, "{line}");
+    }
+    let jsonl = to_jsonl(&report);
+    let expected: Vec<String> = report.jobs.iter().map(|j| j.policy.clone()).collect();
+    let parsed: Vec<String> = jsonl
+        .lines()
+        .map(|l| json_string_value(l, "policy").expect("policy key"))
+        .collect();
+    assert_eq!(parsed, expected);
+    // The comma-bearing Random label must have been quoted in the CSV.
+    assert!(csv.contains("\"Random(p=0.5, salt=1)\""));
+}

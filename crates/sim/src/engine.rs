@@ -10,13 +10,10 @@
 use fedco_rng::rngs::SmallRng;
 use fedco_rng::{Rng, SeedableRng};
 
-use fedco_core::config::SchedulerConfig;
 use fedco_core::offline::{OfflineScheduler, OfflineUser};
 use fedco_core::online::{OnlineDecisionInput, SlotOutcome};
-use fedco_core::policy::{
-    ImmediatePolicy, OfflinePolicy, OnlinePolicy, PolicyKind, SchedulingPolicy, SyncSgdPolicy,
-    UserSlotContext,
-};
+use fedco_core::policy::{SchedulingPolicy, UserSlotContext, WindowPlan};
+use fedco_core::spec::PolicyBuildContext;
 use fedco_device::energy::{Joules, Seconds};
 use fedco_device::power::{AppStatus, PowerModel, SlotDecision};
 use fedco_device::profiler::{EnergyComponent, EnergyProfiler};
@@ -32,78 +29,13 @@ use fedco_neural::model::{ParamVector, Sequential};
 
 use crate::arrivals::ArrivalSchedule;
 use crate::clock::SimClock;
-use crate::experiment::SimConfig;
+use crate::experiment::{ConfigError, SimConfig};
 use crate::trace::{SimResult, TracePoint, UpdateEvent, UserGapPoint};
 use crate::user::{SimUser, TrainingPhase};
 
-/// Dispatch wrapper over the concrete policies so the engine can reach
-/// policy-specific functionality (the offline plan) without downcasting.
-#[derive(Debug)]
-enum PolicyImpl {
-    Immediate(ImmediatePolicy),
-    Sync(SyncSgdPolicy),
-    Offline(OfflinePolicy),
-    Online(OnlinePolicy),
-}
-
-impl PolicyImpl {
-    fn new(kind: PolicyKind, config: SchedulerConfig) -> Self {
-        match kind {
-            PolicyKind::Immediate => PolicyImpl::Immediate(ImmediatePolicy::new()),
-            PolicyKind::SyncSgd => PolicyImpl::Sync(SyncSgdPolicy::new()),
-            PolicyKind::Offline => PolicyImpl::Offline(OfflinePolicy::new()),
-            PolicyKind::Online => PolicyImpl::Online(OnlinePolicy::new(config)),
-        }
-    }
-
-    fn kind(&self) -> PolicyKind {
-        match self {
-            PolicyImpl::Immediate(p) => p.kind(),
-            PolicyImpl::Sync(p) => p.kind(),
-            PolicyImpl::Offline(p) => p.kind(),
-            PolicyImpl::Online(p) => p.kind(),
-        }
-    }
-
-    fn decide(&mut self, ctx: &UserSlotContext) -> SlotDecision {
-        match self {
-            PolicyImpl::Immediate(p) => p.decide(ctx),
-            PolicyImpl::Sync(p) => p.decide(ctx),
-            PolicyImpl::Offline(p) => p.decide(ctx),
-            PolicyImpl::Online(p) => p.decide(ctx),
-        }
-    }
-
-    fn end_of_slot(&mut self, outcome: &SlotOutcome) {
-        match self {
-            PolicyImpl::Immediate(p) => p.end_of_slot(outcome),
-            PolicyImpl::Sync(p) => p.end_of_slot(outcome),
-            PolicyImpl::Offline(p) => p.end_of_slot(outcome),
-            PolicyImpl::Online(p) => p.end_of_slot(outcome),
-        }
-    }
-
-    fn queue_backlog(&self) -> f64 {
-        match self {
-            PolicyImpl::Online(p) => p.queue_backlog(),
-            _ => 0.0,
-        }
-    }
-
-    fn virtual_backlog(&self) -> f64 {
-        match self {
-            PolicyImpl::Online(p) => p.virtual_backlog(),
-            _ => 0.0,
-        }
-    }
-
-    fn offline_mut(&mut self) -> Option<&mut OfflinePolicy> {
-        match self {
-            PolicyImpl::Offline(p) => Some(p),
-            _ => None,
-        }
-    }
-}
+/// Salt folded into the run seed before it is handed to the policy build, so
+/// policy-private random streams never alias the engine's own streams.
+const POLICY_SEED_SALT: u64 = 0x706F_6C69_6379_5EED;
 
 /// The real machine-learning workload of one run.
 #[derive(Debug)]
@@ -123,7 +55,7 @@ pub struct Simulation {
     arrivals: ArrivalSchedule,
     users: Vec<SimUser>,
     profilers: Vec<EnergyProfiler>,
-    policy: PolicyImpl,
+    policy: Box<dyn SchedulingPolicy>,
     offline_scheduler: OfflineScheduler,
     server: ParameterServer,
     predictor: WeightPredictor,
@@ -136,14 +68,24 @@ pub struct Simulation {
 impl Simulation {
     /// Builds a simulation from a configuration.
     ///
+    /// Thin shim over [`Simulation::try_new`] for callers that treat an
+    /// invalid configuration as a programming error.
+    ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid (`SimConfig::is_valid`).
+    /// Panics with the specific [`ConfigError`] (field and value) if the
+    /// configuration is invalid.
     pub fn new(config: SimConfig) -> Self {
-        assert!(
-            config.is_valid(),
-            "invalid simulation configuration: {config:?}"
-        );
+        match Simulation::try_new(config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid simulation configuration: {e}"),
+        }
+    }
+
+    /// Builds a simulation from a configuration, rejecting invalid
+    /// configurations with a typed [`ConfigError`] instead of panicking.
+    pub fn try_new(config: SimConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
         let clock = SimClock::new(config.slot_seconds, config.total_slots);
         let arrivals = ArrivalSchedule::generate(
             config.num_users,
@@ -165,7 +107,11 @@ impl Simulation {
                 }
             })
             .collect();
-        let policy = PolicyImpl::new(config.policy, config.scheduler);
+        let policy = config.policy.build(
+            &PolicyBuildContext::new(config.scheduler)
+                .with_slot_seconds(config.slot_seconds)
+                .with_seed(config.seed ^ POLICY_SEED_SALT),
+        );
         let predictor = WeightPredictor::new(
             config.scheduler.learning_rate,
             config.scheduler.momentum_beta,
@@ -256,7 +202,7 @@ impl Simulation {
                 }
             }
         }
-        sim
+        Ok(sim)
     }
 
     /// The configuration of this run.
@@ -277,11 +223,18 @@ impl Simulation {
         }
     }
 
+    /// The look-ahead window in slots — the same formula the policy build
+    /// uses, so the replanning cadence a policy derives from its build
+    /// context can never drift from the window the engine actually plans.
     fn window_slots(&self) -> u64 {
-        (self.config.scheduler.lookahead_window_s / self.config.slot_seconds).ceil() as u64
+        PolicyBuildContext::new(self.config.scheduler)
+            .with_slot_seconds(self.config.slot_seconds)
+            .window_slots()
     }
 
-    /// Installs the offline knapsack plan for the window starting at `slot`.
+    /// Computes the offline knapsack plan for the window starting at `slot`
+    /// and installs it into the policy via
+    /// [`SchedulingPolicy::install_plan`].
     fn plan_offline_window(&mut self, slot: u64) {
         let window = self.window_slots();
         let now_s = slot as f64 * self.config.slot_seconds;
@@ -319,22 +272,21 @@ impl Simulation {
         let solution = self
             .offline_scheduler
             .schedule_window(&window_users, velocity);
-        if let Some(policy) = self.policy.offline_mut() {
-            policy.clear();
-            for wu in &window_users {
-                if wu.app_arrival_s.is_none() {
-                    continue;
-                }
-                let user_id = wu.id;
-                if solution.is_selected(user_id) {
-                    policy.set_start_slot(user_id, arrival_slot_of[&user_id]);
-                } else {
-                    // Rejected co-run opportunities execute separately right
-                    // away to keep their staleness out of the budget.
-                    policy.set_start_slot(user_id, slot);
-                }
+        let mut plan = WindowPlan::new();
+        for wu in &window_users {
+            if wu.app_arrival_s.is_none() {
+                continue;
+            }
+            let user_id = wu.id;
+            if solution.is_selected(user_id) {
+                plan.set_start_slot(user_id, arrival_slot_of[&user_id]);
+            } else {
+                // Rejected co-run opportunities execute separately right
+                // away to keep their staleness out of the budget.
+                plan.set_start_slot(user_id, slot);
             }
         }
+        self.policy.install_plan(&plan);
     }
 
     /// Produces the local update of a completed epoch.
@@ -427,8 +379,10 @@ impl Simulation {
             let slot = self.clock.slot();
             let now_s = self.clock.now_s();
 
-            // (0) Offline look-ahead planning at window boundaries.
-            if self.policy.kind() == PolicyKind::Offline && slot % self.window_slots() == 0 {
+            // (0) Look-ahead planning for policies that ask for it (the
+            // offline knapsack by default; any custom policy can opt in via
+            // the `wants_replanning` capability).
+            if self.policy.wants_replanning(slot) {
                 self.plan_offline_window(slot);
             }
 
@@ -481,12 +435,15 @@ impl Simulation {
                     input,
                 };
                 let decision = self.policy.decide(&ctx);
-                // Charge the decision-computation overhead of the online
-                // controller (Table III).
-                if self.config.decision_overhead && self.policy.kind() == PolicyKind::Online {
+                // Charge the decision-computation overhead the policy
+                // declares (Table III measures it for the online
+                // controller; the baselines decide for free).
+                let overhead_fraction = self.policy.decision_energy_overhead();
+                if self.config.decision_overhead && overhead_fraction > 0.0 {
                     let extra = (self.users[i].profile.decision_power_w
                         - self.users[i].profile.idle_power_w)
-                        .max(0.0);
+                        .max(0.0)
+                        * overhead_fraction;
                     self.profilers[i]
                         .record_extra(EnergyComponent::Idle, Joules(extra * slot_len.value()));
                 }
@@ -502,9 +459,7 @@ impl Simulation {
                         self.users[i].start_training(slots, corunning);
                         self.users[i].gap.schedule(predicted);
                         scheduled_count += 1;
-                        if let Some(p) = self.policy.offline_mut() {
-                            p.clear_user(i);
-                        }
+                        self.policy.notify_scheduled(i);
                     }
                     SlotDecision::Idle => {
                         self.users[i].gap.idle_slot();
@@ -538,43 +493,38 @@ impl Simulation {
                     corun_epochs += 1;
                 }
                 let update = self.make_update(user_id);
-                match self.policy.kind() {
-                    PolicyKind::SyncSgd => {
-                        self.sync_buffer.push(update);
-                        self.users[user_id].enter_barrier();
+                if self.policy.round_barrier() {
+                    self.sync_buffer.push(update);
+                    self.users[user_id].enter_barrier();
+                } else {
+                    // The per-update gap only feeds the UpdateEvent
+                    // series; skip the O(params) distance in summary mode.
+                    let gap = if self.config.collect_traces {
+                        self.measured_gap(user_id)
+                    } else {
+                        0.0
+                    };
+                    let lag = self
+                        .server
+                        .apply_async(&update)
+                        .expect("update length matches global model");
+                    total_lag += lag.value();
+                    max_lag = max_lag.max(lag.value());
+                    if self.config.collect_traces {
+                        updates.push(UpdateEvent {
+                            t_s: now_s,
+                            user_id,
+                            lag: lag.value(),
+                            gap,
+                            corun: corunning,
+                        });
                     }
-                    _ => {
-                        // The per-update gap only feeds the UpdateEvent
-                        // series; skip the O(params) distance in summary mode.
-                        let gap = if self.config.collect_traces {
-                            self.measured_gap(user_id)
-                        } else {
-                            0.0
-                        };
-                        let lag = self
-                            .server
-                            .apply_async(&update)
-                            .expect("update length matches global model");
-                        total_lag += lag.value();
-                        max_lag = max_lag.max(lag.value());
-                        if self.config.collect_traces {
-                            updates.push(UpdateEvent {
-                                t_s: now_s,
-                                user_id,
-                                lag: lag.value(),
-                                gap,
-                                corun: corunning,
-                            });
-                        }
-                        self.requeue_user(user_id);
-                    }
+                    self.requeue_user(user_id);
                 }
             }
 
-            // (6) Sync-SGD barrier: aggregate once every participant is done.
-            if self.policy.kind() == PolicyKind::SyncSgd
-                && self.sync_buffer.len() == self.users.len()
-            {
+            // (6) Round barrier: aggregate once every participant is done.
+            if self.policy.round_barrier() && self.sync_buffer.len() == self.users.len() {
                 let buffer = std::mem::take(&mut self.sync_buffer);
                 let mean_gap: f64 = if self.config.collect_traces {
                     buffer
@@ -683,7 +633,7 @@ impl Simulation {
             None
         };
         SimResult {
-            policy: self.config.policy,
+            policy: self.config.policy.clone(),
             total_energy_j: self
                 .profilers
                 .iter()
@@ -711,8 +661,19 @@ impl Simulation {
 }
 
 /// Convenience function: build and run a simulation in one call.
+///
+/// # Panics
+///
+/// Panics with the specific [`ConfigError`] if the configuration is invalid;
+/// [`try_run_simulation`] is the non-panicking path.
 pub fn run_simulation(config: SimConfig) -> SimResult {
     Simulation::new(config).run()
+}
+
+/// Builds and runs a simulation, rejecting invalid configurations with a
+/// typed [`ConfigError`] instead of panicking.
+pub fn try_run_simulation(config: SimConfig) -> Result<SimResult, ConfigError> {
+    Ok(Simulation::try_new(config)?.run())
 }
 
 /// Builds and runs a simulation in summary-only mode: no time series, no
@@ -720,8 +681,18 @@ pub fn run_simulation(config: SimConfig) -> SimResult {
 /// [`SimConfig::summary_only`]). This is the entry point the fleet runtime
 /// dispatches to worker threads — [`Simulation`] is `Send`, so whole runs
 /// can move across threads, and every run is a pure function of its config.
+///
+/// # Panics
+///
+/// Panics with the specific [`ConfigError`] if the configuration is invalid;
+/// [`try_run_simulation_summary`] is the non-panicking path.
 pub fn run_simulation_summary(config: SimConfig) -> SimResult {
     Simulation::new(config.summary_only()).run()
+}
+
+/// Summary-only twin of [`try_run_simulation`].
+pub fn try_run_simulation_summary(config: SimConfig) -> Result<SimResult, ConfigError> {
+    Ok(Simulation::try_new(config.summary_only())?.run())
 }
 
 // The fleet executor moves configs into worker threads and runs simulations
@@ -740,6 +711,8 @@ const _: () = {
 mod tests {
     use super::*;
     use crate::experiment::MlConfig;
+    use fedco_core::policy::PolicyKind;
+    use fedco_core::spec::PolicySpec;
 
     fn small(policy: PolicyKind) -> SimConfig {
         SimConfig::small(policy)
@@ -844,11 +817,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid simulation configuration")]
-    fn invalid_config_panics() {
+    #[should_panic(expected = "invalid simulation configuration: num_users")]
+    fn invalid_config_panics_naming_the_field() {
         let mut config = small(PolicyKind::Online);
         config.num_users = 0;
         let _ = Simulation::new(config);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors_instead_of_panicking() {
+        use crate::experiment::ConfigError;
+        let mut config = small(PolicyKind::Online);
+        config.num_users = 0;
+        assert_eq!(
+            Simulation::try_new(config.clone()).err(),
+            Some(ConfigError::ZeroUsers)
+        );
+        assert_eq!(
+            try_run_simulation(config.clone()).err(),
+            Some(ConfigError::ZeroUsers)
+        );
+        assert_eq!(
+            try_run_simulation_summary(config).err(),
+            Some(ConfigError::ZeroUsers)
+        );
+        // A valid config runs exactly like the panicking path.
+        let ok = try_run_simulation(small(PolicyKind::Immediate)).expect("valid config");
+        let direct = run_simulation(small(PolicyKind::Immediate));
+        assert_eq!(ok.total_energy_j.to_bits(), direct.total_energy_j.to_bits());
+    }
+
+    #[test]
+    fn parameterized_online_specs_trade_energy_for_staleness() {
+        // Smaller V weights the queues more, so the controller schedules
+        // sooner: mean queue shrinks while energy grows towards Immediate.
+        let base = small(PolicyKind::Online);
+        let eager = run_simulation(base.clone().with_policy(PolicySpec::online_with_v(100.0)));
+        let patient = run_simulation(base.with_policy(PolicySpec::online_with_v(50_000.0)));
+        assert!(eager.total_updates >= patient.total_updates);
+        assert!(eager.mean_queue <= patient.mean_queue);
+        assert_eq!(eager.policy.label(), "Online(V=100)");
+        assert_eq!(patient.policy.label(), "Online(V=50000)");
+    }
+
+    #[test]
+    fn random_and_threshold_policies_run_through_the_engine() {
+        let random = run_simulation(
+            small(PolicyKind::Online).with_policy(PolicySpec::Random { p: 0.2, salt: 0 }),
+        );
+        assert!(random.total_updates > 0);
+        assert!(random.total_energy_j > 0.0);
+        let threshold = run_simulation(small(PolicyKind::Online).with_policy(
+            PolicySpec::PowerThreshold {
+                max_extra_watts: 0.65,
+            },
+        ));
+        assert!(threshold.total_energy_j > 0.0);
+        // Both run without barriers: lag accrues like the async baselines.
+        assert_eq!(random.policy.label(), "Random(p=0.2, salt=0)");
+        assert_eq!(threshold.policy.label(), "Threshold(dW<=0.65)");
     }
 
     /// Summary-only mode must change *what is stored*, never *what happens*:

@@ -1,7 +1,7 @@
-//! Experiment configuration presets.
+//! Experiment configuration presets and typed validation.
 
-use fedco_core::config::SchedulerConfig;
-use fedco_core::policy::PolicyKind;
+use fedco_core::config::{SchedulerConfig, SchedulerConfigError};
+use fedco_core::spec::{PolicySpec, PolicySpecError};
 use fedco_device::profiles::DeviceKind;
 use fedco_fl::transport::TransportModel;
 use fedco_neural::lenet::LeNetConfig;
@@ -142,8 +142,11 @@ pub struct SimConfig {
     pub slot_seconds: f64,
     /// Per-slot Bernoulli application-arrival probability (paper: 0.001).
     pub arrival_probability: f64,
-    /// Which scheduling policy drives the run.
-    pub policy: PolicyKind,
+    /// Which scheduling policy drives the run. Any [`PolicyKind`] converts
+    /// into a spec, so `config.policy = PolicyKind::Offline.into()` works.
+    ///
+    /// [`PolicyKind`]: fedco_core::policy::PolicyKind
+    pub policy: PolicySpec,
     /// Scheduler parameters (V, L_b, ε, look-ahead window, η, β).
     pub scheduler: SchedulerConfig,
     /// Master RNG seed.
@@ -185,7 +188,7 @@ impl Default for SimConfig {
             total_slots: 10_800,
             slot_seconds: 1.0,
             arrival_probability: 0.001,
-            policy: PolicyKind::Online,
+            policy: PolicySpec::Online { v: None },
             scheduler: SchedulerConfig::default(),
             seed: 42,
             devices: DeviceAssignment::RoundRobinTestbed,
@@ -204,23 +207,30 @@ impl SimConfig {
     /// The paper's main evaluation setting (Section VII-B) for a given
     /// policy: 25 users, 3 hours, arrival probability 0.001, V = 4000,
     /// L_b = 1000.
-    pub fn paper_default(policy: PolicyKind) -> Self {
+    pub fn paper_default(policy: impl Into<PolicySpec>) -> Self {
         SimConfig {
-            policy,
+            policy: policy.into(),
             ..SimConfig::default()
         }
     }
 
     /// A fast, small configuration for tests: 6 users, 20 minutes.
-    pub fn small(policy: PolicyKind) -> Self {
+    pub fn small(policy: impl Into<PolicySpec>) -> Self {
         SimConfig {
             num_users: 6,
             total_slots: 1200,
             arrival_probability: 0.005,
-            policy,
+            policy: policy.into(),
             record_every_slots: 30,
             ..SimConfig::default()
         }
+    }
+
+    /// Returns a copy driven by a different policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: impl Into<PolicySpec>) -> Self {
+        self.policy = policy.into();
+        self
     }
 
     /// Returns a copy with a different Lyapunov knob `V`.
@@ -275,21 +285,101 @@ impl SimConfig {
         self
     }
 
-    /// Basic validity check.
+    /// Basic validity check. Thin shim over [`SimConfig::validate`], which
+    /// reports *why* a configuration is rejected.
     pub fn is_valid(&self) -> bool {
-        self.num_users > 0
-            && self.total_slots > 0
-            && self.slot_seconds > 0.0
-            && (0.0..=1.0).contains(&self.arrival_probability)
-            && self.record_every_slots > 0
-            && self.scheduler.is_valid()
-            && self.devices.is_valid()
+        self.validate().is_ok()
+    }
+
+    /// Validates the configuration, returning a typed [`ConfigError`] that
+    /// names the offending field and its value on failure.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_users == 0 {
+            return Err(ConfigError::ZeroUsers);
+        }
+        if self.total_slots == 0 {
+            return Err(ConfigError::ZeroSlots);
+        }
+        if self.slot_seconds <= 0.0 || !self.slot_seconds.is_finite() {
+            return Err(ConfigError::NonPositiveSlotSeconds(self.slot_seconds));
+        }
+        if !(0.0..=1.0).contains(&self.arrival_probability) {
+            return Err(ConfigError::ArrivalProbabilityOutOfRange(
+                self.arrival_probability,
+            ));
+        }
+        if self.record_every_slots == 0 {
+            return Err(ConfigError::ZeroRecordEverySlots);
+        }
+        self.scheduler.validate().map_err(ConfigError::Scheduler)?;
+        self.policy.validate().map_err(ConfigError::Policy)?;
+        if !self.devices.is_valid() {
+            return Err(ConfigError::Devices(EmptyDeviceList));
+        }
+        Ok(())
+    }
+}
+
+/// A typed description of why a [`SimConfig`] was rejected. Each variant
+/// names the offending field; `Display` spells out the field and the value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `num_users` is zero.
+    ZeroUsers,
+    /// `total_slots` is zero.
+    ZeroSlots,
+    /// `slot_seconds` is not strictly positive (value attached).
+    NonPositiveSlotSeconds(f64),
+    /// `arrival_probability` is outside `[0, 1]` (value attached).
+    ArrivalProbabilityOutOfRange(f64),
+    /// `record_every_slots` is zero.
+    ZeroRecordEverySlots,
+    /// A `scheduler` field is out of range (field and value attached).
+    Scheduler(SchedulerConfigError),
+    /// A `policy` spec parameter is out of range (spec label, parameter and
+    /// value attached) — the label keys every report, so the built policy
+    /// must honour it exactly.
+    Policy(PolicySpecError),
+    /// The `devices` assignment is an empty custom list.
+    Devices(EmptyDeviceList),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroUsers => f.write_str("num_users must be at least 1 (got 0)"),
+            ConfigError::ZeroSlots => f.write_str("total_slots must be at least 1 (got 0)"),
+            ConfigError::NonPositiveSlotSeconds(v) => {
+                write!(f, "slot_seconds must be positive (got {v})")
+            }
+            ConfigError::ArrivalProbabilityOutOfRange(v) => {
+                write!(f, "arrival_probability must lie in [0, 1] (got {v})")
+            }
+            ConfigError::ZeroRecordEverySlots => {
+                f.write_str("record_every_slots must be at least 1 (got 0)")
+            }
+            ConfigError::Scheduler(e) => write!(f, "{e}"),
+            ConfigError::Policy(e) => write!(f, "{e}"),
+            ConfigError::Devices(e) => write!(f, "devices: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Scheduler(e) => Some(e),
+            ConfigError::Policy(e) => Some(e),
+            ConfigError::Devices(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fedco_core::policy::PolicyKind;
 
     #[test]
     fn default_matches_paper_evaluation() {
@@ -337,6 +427,102 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(!c2.is_valid());
+    }
+
+    #[test]
+    fn validate_names_field_and_value() {
+        assert_eq!(
+            SimConfig {
+                num_users: 0,
+                ..SimConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroUsers)
+        );
+        assert_eq!(
+            SimConfig {
+                total_slots: 0,
+                ..SimConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroSlots)
+        );
+        let c = SimConfig {
+            slot_seconds: -0.5,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::NonPositiveSlotSeconds(-0.5)));
+        assert!(c.validate().unwrap_err().to_string().contains("-0.5"));
+        let inf = SimConfig {
+            slot_seconds: f64::INFINITY,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            inf.validate(),
+            Err(ConfigError::NonPositiveSlotSeconds(f64::INFINITY))
+        );
+        let p = SimConfig {
+            arrival_probability: 3.0,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            p.validate(),
+            Err(ConfigError::ArrivalProbabilityOutOfRange(3.0))
+        );
+        assert_eq!(
+            SimConfig {
+                record_every_slots: 0,
+                ..SimConfig::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroRecordEverySlots)
+        );
+        assert!(SimConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_absorbs_nested_errors() {
+        // Scheduler errors surface the nested field name.
+        let mut c = SimConfig::default();
+        c.scheduler.momentum_beta = 2.0;
+        match c.validate() {
+            Err(ConfigError::Scheduler(e)) => {
+                assert_eq!(e.field, "momentum_beta");
+                assert!(c
+                    .validate()
+                    .unwrap_err()
+                    .to_string()
+                    .contains("momentum_beta"));
+            }
+            other => panic!("expected scheduler error, got {other:?}"),
+        }
+        // Empty device lists become ConfigError::Devices.
+        let d = SimConfig {
+            devices: DeviceAssignment::Custom(vec![]),
+            ..SimConfig::default()
+        };
+        assert_eq!(d.validate(), Err(ConfigError::Devices(EmptyDeviceList)));
+        assert!(d.validate().unwrap_err().to_string().contains("device"));
+        use std::error::Error;
+        assert!(d.validate().unwrap_err().source().is_some());
+        // Out-of-range policy-spec parameters become ConfigError::Policy, so
+        // try_new rejects a spec whose label misdescribes the built policy.
+        let p = SimConfig::default().with_policy(PolicySpec::Random { p: 1.5, salt: 0 });
+        match p.validate() {
+            Err(ConfigError::Policy(e)) => {
+                assert_eq!(e.parameter, "p");
+                assert!(p.validate().unwrap_err().to_string().contains("[0, 1]"));
+            }
+            other => panic!("expected policy error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_policy_accepts_kinds_and_specs() {
+        let c = SimConfig::default().with_policy(PolicyKind::Offline);
+        assert_eq!(c.policy, PolicyKind::Offline);
+        let c2 = SimConfig::default().with_policy(PolicySpec::online_with_v(1000.0));
+        assert_eq!(c2.policy.label(), "Online(V=1000)");
     }
 
     #[test]

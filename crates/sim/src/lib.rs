@@ -34,12 +34,18 @@ pub mod user;
 pub mod prelude {
     pub use crate::arrivals::{AppArrival, ArrivalSchedule};
     pub use crate::clock::SimClock;
-    pub use crate::engine::{run_simulation, run_simulation_summary, Simulation};
-    pub use crate::experiment::{DeviceAssignment, EmptyDeviceList, MlConfig, SimConfig};
+    pub use crate::engine::{
+        run_simulation, run_simulation_summary, try_run_simulation, try_run_simulation_summary,
+        Simulation,
+    };
+    pub use crate::experiment::{
+        ConfigError, DeviceAssignment, EmptyDeviceList, MlConfig, SimConfig,
+    };
     pub use crate::report::{render_breakdown, render_series, render_table, summarize};
     pub use crate::trace::{SimResult, TracePoint, UpdateEvent, UserGapPoint};
     pub use crate::user::{SimUser, TrainingPhase};
     pub use fedco_core::policy::PolicyKind;
+    pub use fedco_core::spec::{PolicyBuildContext, PolicyFactory, PolicySpec};
 }
 
 pub use prelude::*;

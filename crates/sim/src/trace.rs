@@ -1,6 +1,6 @@
 //! Trace recording and the result summary of one simulation run.
 
-use fedco_core::policy::PolicyKind;
+use fedco_core::spec::PolicySpec;
 use fedco_device::energy::Joules;
 use fedco_device::profiler::EnergyComponent;
 
@@ -56,8 +56,9 @@ pub struct UpdateEvent {
 /// The summary of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
-    /// The policy that produced this run.
-    pub policy: PolicyKind,
+    /// The policy that produced this run (its [`PolicySpec::label`] keys
+    /// reports).
+    pub policy: PolicySpec,
     /// Total system energy over the horizon.
     pub total_energy_j: f64,
     /// Energy broken down by power-state component, summed over devices.
@@ -173,7 +174,7 @@ mod tests {
 
     fn result_with(trace: Vec<TracePoint>, updates: Vec<UpdateEvent>) -> SimResult {
         SimResult {
-            policy: PolicyKind::Online,
+            policy: PolicySpec::Online { v: None },
             total_energy_j: 5000.0,
             energy_by_component: vec![(EnergyComponent::Idle, 5000.0)],
             total_updates: updates.len() as u64,

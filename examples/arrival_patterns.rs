@@ -13,7 +13,7 @@ fn main() {
     let base = SimConfig {
         num_users: 20,
         total_slots: 2400,
-        policy: PolicyKind::Online,
+        policy: PolicyKind::Online.into(),
         ..SimConfig::default()
     };
 
@@ -26,14 +26,14 @@ fn main() {
         let online = run_simulation(base.clone().with_arrival_probability(p));
         let immediate = run_simulation(
             SimConfig {
-                policy: PolicyKind::Immediate,
+                policy: PolicyKind::Immediate.into(),
                 ..base.clone()
             }
             .with_arrival_probability(p),
         );
         let offline = run_simulation(
             SimConfig {
-                policy: PolicyKind::Offline,
+                policy: PolicyKind::Offline.into(),
                 ..base.clone()
             }
             .with_arrival_probability(p),
@@ -65,7 +65,7 @@ fn main() {
         let immediate = run_simulation(
             SimConfig {
                 total_slots: 800,
-                policy: PolicyKind::Immediate,
+                policy: PolicyKind::Immediate.into(),
                 ..base.clone()
             }
             .with_arrival_probability(p),

@@ -49,7 +49,7 @@ fn main() {
         num_users: 12,
         total_slots: 1800,
         arrival_probability: 0.003,
-        policy: PolicyKind::Online,
+        policy: PolicyKind::Online.into(),
         devices: DeviceAssignment::RoundRobinTestbed,
         ..SimConfig::default()
     };

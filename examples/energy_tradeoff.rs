@@ -12,7 +12,7 @@ fn main() {
         num_users: 25,
         total_slots: 3600,
         arrival_probability: 0.002,
-        policy: PolicyKind::Online,
+        policy: PolicyKind::Online.into(),
         ..SimConfig::default()
     };
 
@@ -54,11 +54,11 @@ fn main() {
 
     // The two baselines bracketing the online controller.
     let immediate = run_simulation(SimConfig {
-        policy: PolicyKind::Immediate,
+        policy: PolicyKind::Immediate.into(),
         ..base.clone()
     });
     let offline = run_simulation(SimConfig {
-        policy: PolicyKind::Offline,
+        policy: PolicyKind::Offline.into(),
         ..base.clone()
     });
     println!("baselines:");

@@ -1,6 +1,7 @@
 //! Sweep all four policies across arrival patterns, device fleets and
 //! transport links on every core, then print the merged per-policy rollups
-//! and a CSV excerpt.
+//! and a CSV excerpt. A second, spec-based sweep compares the online
+//! controller at three `V` values against every baseline in one grid.
 //!
 //! ```text
 //! cargo run --release --example fleet_sweep
@@ -61,4 +62,23 @@ fn main() {
         .sum::<f64>()
         / 1e3;
     println!("\ntotal radio energy of the LTE cells: {lte_radio_kj:.2} kJ");
+
+    // Second sweep: the open policy API in action. One grid compares the
+    // online controller's energy–staleness trade-off at three V values
+    // against all four built-in baselines, with one rollup row per spec.
+    let mut specs: Vec<PolicySpec> = PolicyKind::ALL.iter().map(|&k| k.into()).collect();
+    specs.extend([1000.0, 4000.0, 16000.0].map(PolicySpec::online_with_v));
+    let mut base = SimConfig::small(PolicyKind::Online);
+    base.num_users = 6;
+    base.total_slots = 900;
+    let v_grid = ScenarioGrid::new(base)
+        .with_policy_specs(specs)
+        .with_replicates(3);
+    println!(
+        "\nsweeping the V trade-off: {} jobs over {} specs",
+        v_grid.len(),
+        v_grid.policies.len()
+    );
+    let v_report = run_grid(&v_grid, 0);
+    print!("{}", rollup_table(&v_report));
 }

@@ -25,11 +25,11 @@ fn main() {
     );
 
     let immediate = run_simulation(SimConfig {
-        policy: PolicyKind::Immediate,
+        policy: PolicyKind::Immediate.into(),
         ..base.clone()
     });
     let online = run_simulation(SimConfig {
-        policy: PolicyKind::Online,
+        policy: PolicyKind::Online.into(),
         ..base.clone()
     });
 

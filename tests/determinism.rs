@@ -10,7 +10,7 @@ fn config(policy: PolicyKind) -> SimConfig {
         num_users: 6,
         total_slots: 600,
         arrival_probability: 0.01,
-        policy,
+        policy: policy.into(),
         record_every_slots: 25,
         record_user_gaps: true,
         ..SimConfig::default()

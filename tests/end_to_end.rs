@@ -8,7 +8,7 @@ fn small(policy: PolicyKind) -> SimConfig {
         num_users: 8,
         total_slots: 1500,
         arrival_probability: 0.004,
-        policy,
+        policy: policy.into(),
         record_every_slots: 50,
         ..SimConfig::default()
     }
