@@ -19,6 +19,18 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (warning-free)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace >/dev/null
 
+echo "==> engine dense-vs-event equivalence suite"
+cargo test -q --offline --test engine_equivalence
+
+echo "==> bench_engine throughput smoke (dense vs event slots/sec)"
+BENCH_SMOKE_JSON="$(mktemp)"
+FEDCO_BENCH_USERS=20 FEDCO_BENCH_SLOTS=2000 FEDCO_BENCH_REPS=1 \
+FEDCO_BENCH_JSON="$BENCH_SMOKE_JSON" \
+    timeout 300 cargo bench -q --offline -p fedco-bench --bench engine
+grep -q '"name":"engine/paper/' "$BENCH_SMOKE_JSON" \
+    || { echo "bench_engine wrote no JSON lines"; exit 1; }
+rm -f "$BENCH_SMOKE_JSON"
+
 echo "==> example smoke tests"
 for ex in quickstart device_fleet energy_tradeoff arrival_patterns fleet_sweep; do
     echo "--> example: $ex"

@@ -1,0 +1,134 @@
+//! `bench_engine` — dense vs event-driven engine throughput.
+//!
+//! Runs every policy of the default registry through both engine drivers on
+//! two summary-mode scenarios and reports simulated **slots per second**:
+//!
+//! * `paper`  — the paper-default evaluation regime at fleet scale:
+//!   100 users, a 3-hour horizon (10 800 one-second slots), Bernoulli
+//!   arrivals at p = 0.001;
+//! * `sparse` — the sparse extreme at p = 0.0001, where almost every slot
+//!   is quiescent.
+//!
+//! Each (scenario, policy, driver) cell is timed `FEDCO_BENCH_REPS` times
+//! (default 3) and the best wall time is kept. Results are verified
+//! bit-identical between the drivers before any number is reported. With
+//! `FEDCO_BENCH_JSON=<path>` set, one JSON line per cell (plus a per-
+//! scenario aggregate) is appended for mechanical diffing across commits —
+//! this is what `BENCH_engine.json` at the workspace root records.
+//!
+//! Scale knobs for smoke runs: `FEDCO_BENCH_USERS` (default 100),
+//! `FEDCO_BENCH_SLOTS` (default 10 800), `FEDCO_BENCH_REPS` (default 3).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fedco_bench::micro;
+use fedco_fleet::report::json_escape;
+use fedco_sim::prelude::*;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn scenario(arrival_probability: f64, users: u64, slots: u64) -> SimConfig {
+    SimConfig {
+        num_users: users as usize,
+        total_slots: slots,
+        arrival_probability,
+        ..SimConfig::default()
+    }
+    .summary_only()
+}
+
+/// Best-of-`reps` wall seconds for one run, plus the result and skip stats.
+fn time_run(config: &SimConfig, dense: bool, reps: u64) -> (f64, SimResult, EngineStats) {
+    let mut best = f64::INFINITY;
+    let mut kept: Option<(SimResult, EngineStats)> = None;
+    for _ in 0..reps.max(1) {
+        let mut sim = Simulation::try_new(config.clone()).expect("valid benchmark config");
+        let start = Instant::now();
+        let result = if dense { sim.run_dense() } else { sim.run() };
+        let wall = start.elapsed().as_secs_f64();
+        black_box(&result);
+        if wall < best {
+            best = wall;
+            kept = Some((result, sim.engine_stats()));
+        }
+    }
+    let (result, stats) = kept.expect("at least one repetition");
+    (best, result, stats)
+}
+
+fn main() {
+    let users = env_u64("FEDCO_BENCH_USERS", 100);
+    let slots = env_u64("FEDCO_BENCH_SLOTS", 10_800);
+    let reps = env_u64("FEDCO_BENCH_REPS", 3);
+    micro::group(&format!(
+        "engine throughput — {users} users x {slots} slots, summary mode, best of {reps}"
+    ));
+    println!(
+        "{:<42} {:>14} {:>14} {:>9} {:>8}",
+        "scenario/policy", "dense slots/s", "event slots/s", "speedup", "skipped"
+    );
+
+    for (name, p) in [("paper", 0.001), ("sparse", 0.0001)] {
+        let mut dense_total_s = 0.0;
+        let mut event_total_s = 0.0;
+        for spec in PolicySpec::default_registry() {
+            let config = scenario(p, users, slots).with_policy(spec.clone());
+            let (dense_s, dense_result, _) = time_run(&config, true, reps);
+            let (event_s, event_result, stats) = time_run(&config, false, reps);
+            assert_eq!(
+                dense_result.total_energy_j.to_bits(),
+                event_result.total_energy_j.to_bits(),
+                "{name}/{spec}: dense and event drivers diverged"
+            );
+            assert_eq!(dense_result.total_updates, event_result.total_updates);
+            dense_total_s += dense_s;
+            event_total_s += event_s;
+            let dense_rate = slots as f64 / dense_s;
+            let event_rate = slots as f64 / event_s;
+            let label = format!("{name}/{}", spec.label());
+            println!(
+                "{label:<42} {dense_rate:>14.0} {event_rate:>14.0} {:>8.1}x {:>7.1}%",
+                event_rate / dense_rate,
+                stats.skip_fraction() * 100.0
+            );
+            micro::append_json_line(&format!(
+                "{{\"name\":\"engine/{}/dense\",\"slots_per_sec\":{:.0},\"wall_ms\":{:.3}}}",
+                json_escape(&label),
+                dense_rate,
+                dense_s * 1e3
+            ));
+            micro::append_json_line(&format!(
+                "{{\"name\":\"engine/{}/event\",\"slots_per_sec\":{:.0},\"wall_ms\":{:.3},\
+\"speedup\":{:.2},\"dense_slots\":{},\"fast_forwarded_slots\":{},\"spans\":{}}}",
+                json_escape(&label),
+                event_rate,
+                event_s * 1e3,
+                event_rate / dense_rate,
+                stats.dense_slots,
+                stats.fast_forwarded_slots,
+                stats.spans
+            ));
+        }
+        let registry = PolicySpec::default_registry().len() as f64;
+        let aggregate = dense_total_s / event_total_s;
+        println!(
+            "{:<42} {:>14.0} {:>14.0} {aggregate:>8.1}x",
+            format!("{name}/AGGREGATE"),
+            registry * slots as f64 / dense_total_s,
+            registry * slots as f64 / event_total_s,
+        );
+        micro::append_json_line(&format!(
+            "{{\"name\":\"engine/{name}/aggregate\",\"users\":{users},\"slots\":{slots},\
+\"dense_slots_per_sec\":{:.0},\"event_slots_per_sec\":{:.0},\"speedup\":{aggregate:.2}}}",
+            registry * slots as f64 / dense_total_s,
+            registry * slots as f64 / event_total_s,
+        ));
+    }
+}

@@ -202,6 +202,50 @@ pub trait SchedulingPolicy: std::fmt::Debug + Send {
     fn decision_energy_overhead(&self) -> f64 {
         0.0
     }
+
+    /// Event-engine capability: the next slot *strictly after* `slot` at
+    /// which this policy may need to act on its own initiative — because
+    /// [`wants_replanning`](SchedulingPolicy::wants_replanning) may return
+    /// `true` there, or because a waiting user's decision may flip from idle
+    /// to schedule even though nothing engine-observable (arrivals, app
+    /// expiries, training completions, requeues) changed in between. As long
+    /// as every engine-side event is stepped densely, the engine may skip
+    /// the policy entirely on the slots strictly between `slot` and the
+    /// returned wakeup.
+    ///
+    /// Returning `None` promises the policy never needs such a self-driven
+    /// visit. The conservative default, `Some(slot + 1)`, asks to be visited
+    /// every slot and keeps the engine stepping densely — always correct,
+    /// and what custom policies written before this hook existed get.
+    fn next_wakeup_after(&self, slot: u64) -> Option<u64> {
+        Some(slot + 1)
+    }
+
+    /// Event-engine capability: declares that this policy is *quiescent
+    /// while users wait*, allowing the engine to fast-forward spans in which
+    /// waiting users keep idling. Returning `true` certifies all of:
+    ///
+    /// * [`decide`](SchedulingPolicy::decide) is a pure function of its
+    ///   context with no internal side effects (no private RNG draws, no
+    ///   mutated state), so skipping calls cannot change later behaviour;
+    /// * between the wakeups declared by
+    ///   [`next_wakeup_after`](SchedulingPolicy::next_wakeup_after), a
+    ///   waiting user's decision cannot change while that user's application
+    ///   status is unchanged;
+    /// * [`end_of_slot`](SchedulingPolicy::end_of_slot) is a no-op and both
+    ///   [`queue_backlog`](SchedulingPolicy::queue_backlog) and
+    ///   [`virtual_backlog`](SchedulingPolicy::virtual_backlog) are
+    ///   identically zero;
+    /// * [`decision_energy_overhead`](SchedulingPolicy::decision_energy_overhead)
+    ///   is zero (skipped decisions must not owe energy).
+    ///
+    /// Defaults to `false` (the dense-stepping, always-correct answer).
+    /// Policies with per-slot queue dynamics (like the online controller) or
+    /// per-decision randomness (like the coin-flip baseline) must keep it
+    /// `false`.
+    fn quiescent_while_waiting(&self) -> bool {
+        false
+    }
 }
 
 /// Immediate scheduling: always train as soon as the device is available.
@@ -221,6 +265,14 @@ impl SchedulingPolicy for ImmediatePolicy {
     }
 
     fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+
+    fn next_wakeup_after(&self, _slot: u64) -> Option<u64> {
+        None
+    }
+
+    fn quiescent_while_waiting(&self) -> bool {
+        true
+    }
 }
 
 /// Sync-SGD: devices train immediately, but the surrounding simulation holds
@@ -246,6 +298,14 @@ impl SchedulingPolicy for SyncSgdPolicy {
     fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
 
     fn round_barrier(&self) -> bool {
+        true
+    }
+
+    fn next_wakeup_after(&self, _slot: u64) -> Option<u64> {
+        None
+    }
+
+    fn quiescent_while_waiting(&self) -> bool {
         true
     }
 }
@@ -334,6 +394,27 @@ impl SchedulingPolicy for OfflinePolicy {
     fn notify_scheduled(&mut self, user_id: usize) {
         self.clear_user(user_id);
     }
+
+    fn next_wakeup_after(&self, slot: u64) -> Option<u64> {
+        // The policy acts on its own at the next replanning boundary and at
+        // the earliest still-pending planned start. Entries at or before
+        // `slot` belong to users that already flipped to Schedule (they are
+        // cleared the moment the user is scheduled), so only future starts
+        // can change a waiting user's decision.
+        let boundary = slot
+            .checked_div(self.window_slots)
+            .map(|w| (w + 1) * self.window_slots);
+        let next_start = self.plan.values().copied().filter(|&s| s > slot).min();
+        match (boundary, next_start) {
+            (Some(b), Some(s)) => Some(b.min(s)),
+            (Some(b), None) => Some(b),
+            (None, s) => s,
+        }
+    }
+
+    fn quiescent_while_waiting(&self) -> bool {
+        true
+    }
 }
 
 /// The online Lyapunov policy (Algorithm 2) wrapping [`OnlineScheduler`].
@@ -378,6 +459,14 @@ impl SchedulingPolicy for OnlinePolicy {
         // measures the full decision-computation power for it.
         1.0
     }
+
+    fn next_wakeup_after(&self, _slot: u64) -> Option<u64> {
+        // The controller never replans and never schedules out of its own
+        // clock — but its queues evolve every slot, so it must NOT declare
+        // `quiescent_while_waiting`: the engine stays dense whenever a user
+        // is waiting and replays `end_of_slot` over skipped spans otherwise.
+        None
+    }
 }
 
 /// A seeded coin-flip baseline: every waiting user is scheduled this slot
@@ -415,6 +504,13 @@ impl SchedulingPolicy for RandomPolicy {
     }
 
     fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+
+    fn next_wakeup_after(&self, _slot: u64) -> Option<u64> {
+        // Never replans — but every decision draws from the private coin
+        // stream, so `quiescent_while_waiting` must stay `false`: skipping a
+        // waiting user's decision would desynchronise the RNG.
+        None
+    }
 }
 
 /// A battery-conscious power-threshold baseline (in the spirit of
@@ -458,6 +554,16 @@ impl SchedulingPolicy for PowerThresholdPolicy {
     }
 
     fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+
+    fn next_wakeup_after(&self, _slot: u64) -> Option<u64> {
+        None
+    }
+
+    fn quiescent_while_waiting(&self) -> bool {
+        // The decision is a pure function of the device profile and the
+        // current app status, both constant between engine events.
+        true
+    }
 }
 
 /// Builds a boxed built-in policy of the given kind with the given
@@ -674,6 +780,66 @@ mod tests {
             );
             let _ = p.decide(&ctx(0, 0));
         }
+    }
+
+    #[test]
+    fn fast_forward_capability_defaults_are_dense() {
+        // A policy that overrides nothing keeps the conservative contract:
+        // visit me every slot, never skip my waiting decisions.
+        #[derive(Debug)]
+        struct Legacy;
+        impl SchedulingPolicy for Legacy {
+            fn decide(&mut self, _ctx: &UserSlotContext) -> SlotDecision {
+                SlotDecision::Idle
+            }
+            fn end_of_slot(&mut self, _outcome: &SlotOutcome) {}
+        }
+        let p = Legacy;
+        assert_eq!(p.next_wakeup_after(0), Some(1));
+        assert_eq!(p.next_wakeup_after(41), Some(42));
+        assert!(!p.quiescent_while_waiting());
+    }
+
+    #[test]
+    fn builtin_fast_forward_capabilities() {
+        assert_eq!(ImmediatePolicy::new().next_wakeup_after(7), None);
+        assert!(ImmediatePolicy::new().quiescent_while_waiting());
+        assert_eq!(SyncSgdPolicy::new().next_wakeup_after(7), None);
+        assert!(SyncSgdPolicy::new().quiescent_while_waiting());
+        assert_eq!(
+            OnlinePolicy::new(SchedulerConfig::default()).next_wakeup_after(7),
+            None
+        );
+        assert!(!OnlinePolicy::new(SchedulerConfig::default()).quiescent_while_waiting());
+        assert_eq!(RandomPolicy::new(0.5, 1).next_wakeup_after(7), None);
+        assert!(!RandomPolicy::new(0.5, 1).quiescent_while_waiting());
+        assert_eq!(PowerThresholdPolicy::new(0.7).next_wakeup_after(7), None);
+        assert!(PowerThresholdPolicy::new(0.7).quiescent_while_waiting());
+    }
+
+    #[test]
+    fn offline_next_wakeup_tracks_boundaries_and_plan_starts() {
+        let mut p = OfflinePolicy::with_window(500);
+        assert!(p.quiescent_while_waiting());
+        // No plan: only the window boundaries wake the policy.
+        assert_eq!(p.next_wakeup_after(0), Some(500));
+        assert_eq!(p.next_wakeup_after(499), Some(500));
+        assert_eq!(p.next_wakeup_after(500), Some(1000));
+        // Pending future starts wake it earlier; past starts are ignored
+        // (their users were already scheduled and cleared, or will be
+        // re-decided densely at the next engine event).
+        p.set_start_slot(3, 120);
+        p.set_start_slot(4, 80);
+        p.set_start_slot(5, 10);
+        assert_eq!(p.next_wakeup_after(40), Some(80));
+        assert_eq!(p.next_wakeup_after(80), Some(120));
+        assert_eq!(p.next_wakeup_after(130), Some(500));
+        // A windowless policy with no plan never wakes on its own.
+        let mut q = OfflinePolicy::new();
+        assert_eq!(q.next_wakeup_after(0), None);
+        q.set_start_slot(1, 30);
+        assert_eq!(q.next_wakeup_after(0), Some(30));
+        assert_eq!(q.next_wakeup_after(30), None);
     }
 
     #[test]

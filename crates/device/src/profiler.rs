@@ -114,6 +114,92 @@ impl EnergyProfiler {
         energy
     }
 
+    /// Records `slots` consecutive slots of `slot` duration spent in one
+    /// power state, bit-identically to calling
+    /// [`record`](EnergyProfiler::record) that many times: energy and time
+    /// accumulate by repeated addition — never by a single
+    /// `slots × energy` multiply, which would round differently — so a
+    /// fast-forwarding simulation engine reproduces the dense per-slot
+    /// loop's floating-point totals exactly. When segments are kept, the
+    /// whole span is stored as one merged segment.
+    ///
+    /// Returns the energy the span consumed (also accumulated by repeated
+    /// addition).
+    pub fn record_span(&mut self, state: PowerState, slot: Seconds, slots: u64) -> Joules {
+        if slots == 0 {
+            return Joules::ZERO;
+        }
+        let energy = self.model.slot_energy(state, slot);
+        let component = self
+            .by_component
+            .entry(EnergyComponent::of(state))
+            .or_insert(Joules::ZERO);
+        // Accumulate in locals so the four independent dependency chains
+        // stay in registers and pipeline, instead of round-tripping through
+        // memory every iteration; each chain is still slot-by-slot repeated
+        // addition, as required for bit-identity with `record`.
+        let (mut total, mut time, mut comp, mut span) = (
+            self.total.value(),
+            self.total_time.value(),
+            component.value(),
+            0.0f64,
+        );
+        let (e, s) = (energy.value(), slot.value());
+        for _ in 0..slots {
+            total += e;
+            time += s;
+            comp += e;
+            span += e;
+        }
+        self.total = Joules(total);
+        self.total_time = Seconds(time);
+        *component = Joules(comp);
+        let span_energy = Joules(span);
+        if self.keep_segments {
+            self.segments.push(PowerSegment {
+                state,
+                duration: Seconds(slot.value() * slots as f64),
+            });
+        }
+        span_energy
+    }
+
+    /// The maximum-throughput sibling of
+    /// [`record_span`](EnergyProfiler::record_span) for engines that need
+    /// *result-level* bit-identity: total energy and the per-component
+    /// breakdown still accumulate by slot-by-slot repeated addition
+    /// (bit-identical to calling [`record`](EnergyProfiler::record) `slots`
+    /// times), but the recorded *time* is accrued as a single
+    /// `slot × slots` product — its final bits can differ from per-slot
+    /// accrual when the slot length is not exactly representable — and no
+    /// span-energy tally is kept. Two independent addition chains instead
+    /// of four roughly double fast-forward throughput.
+    pub fn record_span_lean(&mut self, state: PowerState, slot: Seconds, slots: u64) {
+        if slots == 0 {
+            return;
+        }
+        let energy = self.model.slot_energy(state, slot);
+        let component = self
+            .by_component
+            .entry(EnergyComponent::of(state))
+            .or_insert(Joules::ZERO);
+        let (mut total, mut comp) = (self.total.value(), component.value());
+        let e = energy.value();
+        for _ in 0..slots {
+            total += e;
+            comp += e;
+        }
+        self.total = Joules(total);
+        *component = Joules(comp);
+        self.total_time += Seconds(slot.value() * slots as f64);
+        if self.keep_segments {
+            self.segments.push(PowerSegment {
+                state,
+                duration: Seconds(slot.value() * slots as f64),
+            });
+        }
+    }
+
     /// Records an extra, explicitly-computed energy amount (e.g. the online
     /// controller's decision overhead) under a component label.
     pub fn record_extra(&mut self, component: EnergyComponent, energy: Joules) {
@@ -259,6 +345,76 @@ mod tests {
         assert!(lean.segments().is_empty());
         assert_eq!(lean.component_energy(EnergyComponent::Radio), Joules(1.5));
         assert_eq!(EnergyComponent::Radio.label(), "radio");
+    }
+
+    #[test]
+    fn record_span_is_bitwise_identical_to_repeated_records() {
+        // Idle power 0.689 W over 1-second slots: the per-slot energy is not
+        // exactly representable, so repeated addition and n×e differ — the
+        // span path must reproduce the repeated addition exactly.
+        for slots in [0u64, 1, 3, 1000, 10_800] {
+            let mut dense = profiler();
+            for _ in 0..slots {
+                dense.record(PowerState::Idle, Seconds(1.0));
+            }
+            let mut span = profiler();
+            let energy = span.record_span(PowerState::Idle, Seconds(1.0), slots);
+            assert_eq!(
+                span.total_energy().value().to_bits(),
+                dense.total_energy().value().to_bits(),
+                "energy diverged at {slots} slots"
+            );
+            assert_eq!(
+                span.total_time().value().to_bits(),
+                dense.total_time().value().to_bits(),
+                "time diverged at {slots} slots"
+            );
+            assert_eq!(
+                energy.value().to_bits(),
+                dense.total_energy().value().to_bits()
+            );
+            assert_eq!(span.breakdown(), dense.breakdown());
+        }
+    }
+
+    #[test]
+    fn record_span_lean_matches_energy_bits_of_repeated_records() {
+        for slots in [0u64, 1, 977, 10_800] {
+            let mut dense = profiler();
+            for _ in 0..slots {
+                dense.record(PowerState::TrainingOnly, Seconds(1.0));
+            }
+            let mut lean = profiler();
+            lean.record_span_lean(PowerState::TrainingOnly, Seconds(1.0), slots);
+            assert_eq!(
+                lean.total_energy().value().to_bits(),
+                dense.total_energy().value().to_bits(),
+                "energy diverged at {slots} slots"
+            );
+            assert_eq!(lean.breakdown(), dense.breakdown());
+            // A 1-second slot length is exactly representable, so even the
+            // bulk time product matches here.
+            assert_eq!(lean.total_time(), dense.total_time());
+        }
+    }
+
+    #[test]
+    fn record_span_merges_segments_and_respects_lean_mode() {
+        let mut full = profiler();
+        full.record_span(PowerState::TrainingOnly, Seconds(2.0), 5);
+        assert_eq!(full.segments().len(), 1, "one merged segment per span");
+        assert_eq!(full.segments()[0].duration, Seconds(10.0));
+        assert_eq!(full.segments()[0].state, PowerState::TrainingOnly);
+        // Zero-length spans record nothing at all.
+        assert_eq!(
+            full.record_span(PowerState::Idle, Seconds(1.0), 0),
+            Joules::ZERO
+        );
+        assert_eq!(full.segments().len(), 1);
+        let mut lean = EnergyProfiler::lean(PowerModel::new(DeviceKind::Pixel2.profile()));
+        lean.record_span(PowerState::TrainingOnly, Seconds(2.0), 5);
+        assert!(lean.segments().is_empty());
+        assert_eq!(lean.total_energy(), full.total_energy());
     }
 
     #[test]

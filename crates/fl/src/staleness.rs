@@ -169,6 +169,19 @@ impl GapAccumulator {
         self.current
     }
 
+    /// Applies `slots` consecutive idle slots, bit-identically to calling
+    /// [`idle_slot`](GapAccumulator::idle_slot) that many times — by
+    /// construction: the backlog is accumulated by repeated addition, never
+    /// by a single `slots × ε` multiply, which would round differently, so
+    /// a fast-forwarding simulation engine reproduces the dense per-slot
+    /// loop exactly.
+    pub fn idle_slots(&mut self, slots: u64) -> GradientGap {
+        for _ in 0..slots {
+            self.idle_slot();
+        }
+        self.current
+    }
+
     /// Applies a scheduling decision: the gap becomes the momentum-predicted
     /// value for the lag expected over the training duration.
     pub fn schedule(&mut self, predicted: GradientGap) -> GradientGap {
@@ -267,5 +280,24 @@ mod tests {
         // Negative epsilon is clamped.
         let acc2 = GapAccumulator::new(-1.0);
         assert_eq!(acc2.epsilon, 0.0);
+    }
+
+    #[test]
+    fn bulk_idle_slots_match_repeated_single_slots_bitwise() {
+        // ε = 0.1 is not exactly representable, so repeated addition and
+        // n×ε genuinely differ — the bulk path must take the former.
+        for n in [0u64, 1, 7, 1000, 10_800] {
+            let mut one_by_one = GapAccumulator::new(0.1);
+            for _ in 0..n {
+                one_by_one.idle_slot();
+            }
+            let mut bulk = GapAccumulator::new(0.1);
+            bulk.idle_slots(n);
+            assert_eq!(
+                bulk.current().value().to_bits(),
+                one_by_one.current().value().to_bits(),
+                "diverged at n = {n}"
+            );
+        }
     }
 }

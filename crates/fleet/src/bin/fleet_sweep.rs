@@ -25,6 +25,11 @@
 //!
 //! Invalid flag combinations are reported on stderr with a non-zero exit
 //! code — the binary never panics on bad input.
+//!
+//! With `FEDCO_BENCH_JSON=<path>` set, one throughput line per policy
+//! (`{"name":"fleet_sweep/<label>","runs":…,"wall_ms_mean":…,
+//! "slots_per_sec_mean":…}`) is appended to that file, so sweep runs record
+//! the same benchmark trajectories as `cargo bench`.
 
 use std::process::ExitCode;
 
@@ -185,6 +190,9 @@ fn main() -> ExitCode {
         report.workers,
         throughput
     );
+    // With FEDCO_BENCH_JSON set, append one throughput line per policy so
+    // sweeps double as benchmark trajectories.
+    record_bench_json(&report, "fleet_sweep");
 
     if let Some(path) = &args.csv {
         if let Err(e) = std::fs::write(path, to_csv(&report)) {

@@ -135,8 +135,13 @@ pub struct JobSummary {
     /// Final test accuracy (when the ML workload was enabled).
     pub final_accuracy: Option<f32>,
     /// Wall-clock milliseconds this job took (not deterministic; excluded
-    /// from the merged statistics).
+    /// from the merged statistics' determinism contract).
     pub wall_ms: f64,
+    /// Simulated slots per wall-clock second this job achieved
+    /// (`total_slots / wall`; not deterministic, like `wall_ms`). This is
+    /// the same throughput metric the `bench_engine` benchmark reports, so
+    /// sweep reports double as benchmark trajectories.
+    pub slots_per_sec: f64,
 }
 
 impl JobSummary {
@@ -166,6 +171,7 @@ impl JobSummary {
             mean_virtual_queue: result.mean_virtual_queue,
             final_accuracy: result.final_accuracy,
             wall_ms,
+            slots_per_sec: job.config.total_slots as f64 * 1e3 / wall_ms.max(1e-9),
         }
     }
 }
@@ -304,6 +310,7 @@ pub fn deterministic_view(report: &FleetReport) -> Vec<JobSummary> {
         .iter()
         .map(|j| JobSummary {
             wall_ms: 0.0,
+            slots_per_sec: 0.0,
             ..j.clone()
         })
         .collect()

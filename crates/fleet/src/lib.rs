@@ -49,7 +49,7 @@ pub mod prelude {
         JobSummary,
     };
     pub use crate::grid::{ArrivalPattern, FleetJob, GridError, JobCoord, LinkKind, ScenarioGrid};
-    pub use crate::report::{rollup_table, to_csv, to_jsonl};
+    pub use crate::report::{bench_json_lines, record_bench_json, rollup_table, to_csv, to_jsonl};
     pub use crate::stats::{PolicyRollup, Streaming};
     pub use fedco_core::policy::PolicyKind;
     pub use fedco_core::spec::{PolicyBuildContext, PolicyFactory, PolicySpec};

@@ -10,7 +10,7 @@ use crate::executor::{FleetReport, JobSummary};
 /// The CSV header, one column per [`JobSummary`] field.
 pub const CSV_HEADER: &str = "job,policy,arrival,arrival_p,devices,link,seed,\
 energy_j,radio_j,updates,corun_epochs,mean_lag,max_lag,mean_queue,\
-mean_virtual_queue,accuracy,wall_ms";
+mean_virtual_queue,accuracy,wall_ms,slots_per_sec";
 
 /// Escapes one CSV field: quotes it when it contains a comma, quote or
 /// newline, doubling embedded quotes (RFC 4180).
@@ -43,7 +43,7 @@ pub fn json_escape(s: &str) -> String {
 /// One CSV row for a job.
 pub fn csv_row(job: &JobSummary) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.1}",
         job.id,
         csv_escape(&job.policy),
         csv_escape(&job.arrival),
@@ -63,6 +63,7 @@ pub fn csv_row(job: &JobSummary) -> String {
             .map(|a| a.to_string())
             .unwrap_or_default(),
         job.wall_ms,
+        job.slots_per_sec,
     )
 }
 
@@ -89,7 +90,7 @@ pub fn json_line(job: &JobSummary) -> String {
 \"devices\":\"{}\",\"link\":\"{}\",\"seed\":{},\"energy_j\":{},\
 \"radio_j\":{},\"updates\":{},\"corun_epochs\":{},\"mean_lag\":{},\
 \"max_lag\":{},\"mean_queue\":{},\"mean_virtual_queue\":{},\
-\"accuracy\":{},\"wall_ms\":{:.3}}}",
+\"accuracy\":{},\"wall_ms\":{:.3},\"slots_per_sec\":{:.1}}}",
         job.id,
         json_escape(&job.policy),
         json_escape(&job.arrival),
@@ -107,6 +108,7 @@ pub fn json_line(job: &JobSummary) -> String {
         job.mean_virtual_queue,
         accuracy,
         job.wall_ms,
+        job.slots_per_sec,
     )
 }
 
@@ -132,8 +134,8 @@ pub fn rollup_table(report: &FleetReport) -> String {
         .unwrap_or(10);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<width$} {:>5} {:>14} {:>12} {:>10} {:>10} {:>9} {:>9}\n",
-        "policy", "runs", "energy kJ/run", "σ kJ", "updates", "co-runs", "lag", "acc %"
+        "{:<width$} {:>5} {:>14} {:>12} {:>10} {:>10} {:>9} {:>9} {:>11}\n",
+        "policy", "runs", "energy kJ/run", "σ kJ", "updates", "co-runs", "lag", "acc %", "kslots/s"
     ));
     for r in &report.rollups {
         let acc = if r.accuracy.count() > 0 {
@@ -142,7 +144,7 @@ pub fn rollup_table(report: &FleetReport) -> String {
             "n/a".to_string()
         };
         out.push_str(&format!(
-            "{:<width$} {:>5} {:>14.2} {:>12.2} {:>10.1} {:>10.1} {:>9.2} {:>9}\n",
+            "{:<width$} {:>5} {:>14.2} {:>12.2} {:>10.1} {:>10.1} {:>9.2} {:>9} {:>11.1}\n",
             r.policy,
             r.runs(),
             r.energy_j.mean() / 1e3,
@@ -151,9 +153,62 @@ pub fn rollup_table(report: &FleetReport) -> String {
             r.corun_epochs.mean(),
             r.mean_lag.mean(),
             acc,
+            r.slots_per_sec.mean() / 1e3,
         ));
     }
     out
+}
+
+/// One `FEDCO_BENCH_JSON`-style line per policy rollup, carrying the sweep's
+/// throughput trajectory (`slots_per_sec` / `wall_ms` statistics). `prefix`
+/// namespaces the `name` key (e.g. `fleet_sweep`).
+pub fn bench_json_lines(report: &FleetReport, prefix: &str) -> Vec<String> {
+    report
+        .rollups
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}/{}\",\"runs\":{},\"wall_ms_mean\":{:.3},\
+\"slots_per_sec_mean\":{:.1},\"slots_per_sec_min\":{:.1},\"slots_per_sec_max\":{:.1}}}",
+                json_escape(prefix),
+                json_escape(&r.policy),
+                r.runs(),
+                r.wall_ms.mean(),
+                r.slots_per_sec.mean(),
+                r.slots_per_sec.min().unwrap_or(0.0),
+                r.slots_per_sec.max().unwrap_or(0.0),
+            )
+        })
+        .collect()
+}
+
+/// Appends one line per policy rollup to the file named by the
+/// `FEDCO_BENCH_JSON` environment variable, if set — the same sink the
+/// `fedco-bench` micro-benchmarks write to, so sweep throughput
+/// trajectories can be recorded across commits. A no-op when the variable
+/// is unset or empty; I/O errors are reported to stderr but never fail the
+/// sweep.
+pub fn record_bench_json(report: &FleetReport, prefix: &str) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("FEDCO_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| {
+            for line in bench_json_lines(report, prefix) {
+                writeln!(f, "{line}")?;
+            }
+            Ok(())
+        });
+    if let Err(e) = result {
+        eprintln!("FEDCO_BENCH_JSON: cannot write {path}: {e}");
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +235,7 @@ mod tests {
             mean_virtual_queue: 2.5,
             final_accuracy: None,
             wall_ms: 7.125,
+            slots_per_sec: 123456.7,
         }
     }
 
@@ -262,5 +318,38 @@ mod tests {
         assert!(table.contains("Online"));
         assert!(table.contains("energy kJ/run"));
         assert!(table.contains("n/a"));
+        assert!(table.contains("kslots/s"));
+    }
+
+    #[test]
+    fn timing_columns_reach_csv_and_jsonl() {
+        let report = sample_report();
+        let csv = to_csv(&report);
+        assert!(CSV_HEADER.ends_with("wall_ms,slots_per_sec"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .expect("one row")
+            .ends_with(",7.125,123456.7"));
+        let jsonl = to_jsonl(&report);
+        assert!(jsonl.contains("\"wall_ms\":7.125"));
+        assert!(jsonl.contains("\"slots_per_sec\":123456.7"));
+    }
+
+    #[test]
+    fn bench_json_lines_carry_throughput_per_policy() {
+        let report = sample_report();
+        let lines = bench_json_lines(&report, "fleet_sweep");
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with("{\"name\":\"fleet_sweep/Online\""));
+        assert!(line.contains("\"runs\":1"));
+        assert!(line.contains("\"wall_ms_mean\":7.125"));
+        assert!(line.contains("\"slots_per_sec_mean\":123456.7"));
+        assert!(line.contains("\"slots_per_sec_min\":123456.7"));
+        assert!(line.contains("\"slots_per_sec_max\":123456.7"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        // Unset env: record_bench_json is a no-op and must not error.
+        record_bench_json(&report, "fleet_sweep");
     }
 }

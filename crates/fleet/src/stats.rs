@@ -125,7 +125,12 @@ impl Streaming {
 /// policy's spec label
 /// ([`PolicySpec::label`](fedco_core::spec::PolicySpec::label)), so
 /// parameterized and custom specs each get their own row.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores the wall-clock statistics (`wall_ms`,
+/// `slots_per_sec`): they vary between runs of the same grid, while every
+/// other field is covered by the fleet's bit-identical determinism
+/// contract.
+#[derive(Debug, Clone)]
 pub struct PolicyRollup {
     /// The spec label these statistics describe.
     pub policy: String,
@@ -144,6 +149,25 @@ pub struct PolicyRollup {
     /// Final test accuracy per run (only runs with the ML workload
     /// contribute, so `accuracy.count()` can be below `energy_j.count()`).
     pub accuracy: Streaming,
+    /// Wall-clock milliseconds per run (timing; ignored by `PartialEq`).
+    pub wall_ms: Streaming,
+    /// Simulated slots per wall-clock second per run (timing; ignored by
+    /// `PartialEq`). Feeds `BENCH`-style throughput trajectories recorded
+    /// straight from sweeps.
+    pub slots_per_sec: Streaming,
+}
+
+impl PartialEq for PolicyRollup {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.energy_j == other.energy_j
+            && self.radio_j == other.radio_j
+            && self.updates == other.updates
+            && self.corun_epochs == other.corun_epochs
+            && self.mean_lag == other.mean_lag
+            && self.mean_queue == other.mean_queue
+            && self.accuracy == other.accuracy
+    }
 }
 
 impl PolicyRollup {
@@ -158,6 +182,8 @@ impl PolicyRollup {
             mean_lag: Streaming::new(),
             mean_queue: Streaming::new(),
             accuracy: Streaming::new(),
+            wall_ms: Streaming::new(),
+            slots_per_sec: Streaming::new(),
         }
     }
 
@@ -173,6 +199,8 @@ impl PolicyRollup {
         if let Some(acc) = job.final_accuracy {
             self.accuracy.push(acc as f64);
         }
+        self.wall_ms.push(job.wall_ms);
+        self.slots_per_sec.push(job.slots_per_sec);
     }
 
     /// Merges the rollup of a disjoint shard of jobs for the same policy.
@@ -185,6 +213,8 @@ impl PolicyRollup {
         self.mean_lag.merge(&other.mean_lag);
         self.mean_queue.merge(&other.mean_queue);
         self.accuracy.merge(&other.accuracy);
+        self.wall_ms.merge(&other.wall_ms);
+        self.slots_per_sec.merge(&other.slots_per_sec);
     }
 
     /// Number of runs absorbed.
@@ -276,6 +306,7 @@ mod tests {
             mean_virtual_queue: 1.0,
             final_accuracy: acc,
             wall_ms: 1.0,
+            slots_per_sec: 2000.0,
         };
         let mut r = PolicyRollup::new("Online");
         r.absorb(&job("Online", 100.0, Some(0.5)));
@@ -283,11 +314,49 @@ mod tests {
         assert_eq!(r.runs(), 2);
         assert_eq!(r.energy_j.mean(), 150.0);
         assert_eq!(r.accuracy.count(), 1);
+        assert_eq!(r.wall_ms.count(), 2);
+        assert_eq!(r.slots_per_sec.mean(), 2000.0);
         let mut other = PolicyRollup::new("Online");
         other.absorb(&job("Online", 300.0, Some(0.7)));
         r.merge(&other);
         assert_eq!(r.runs(), 3);
         assert_eq!(r.energy_j.mean(), 200.0);
         assert_eq!(r.accuracy.count(), 2);
+        assert_eq!(r.wall_ms.count(), 3);
+    }
+
+    #[test]
+    fn rollup_equality_ignores_timing_statistics() {
+        let base = |wall: f64| {
+            let mut r = PolicyRollup::new("Online");
+            let j = JobSummary {
+                id: 0,
+                policy: "Online".to_string(),
+                arrival: "paper".to_string(),
+                arrival_probability: 0.001,
+                devices: "testbed".to_string(),
+                link: "ideal",
+                seed: 1,
+                total_energy_j: 10.0,
+                radio_energy_j: 0.0,
+                total_updates: 1,
+                corun_epochs: 0,
+                mean_lag: 0.0,
+                max_lag: 0,
+                mean_queue: 0.0,
+                mean_virtual_queue: 0.0,
+                final_accuracy: None,
+                wall_ms: wall,
+                slots_per_sec: 1e6 / wall,
+            };
+            r.absorb(&j);
+            r
+        };
+        // Same deterministic outcomes, very different timings: still equal.
+        assert_eq!(base(1.0), base(250.0));
+        // A deterministic field difference still breaks equality.
+        let mut other = base(1.0);
+        other.energy_j.push(99.0);
+        assert_ne!(base(1.0), other);
     }
 }

@@ -75,12 +75,16 @@ fn reports_serialize_identically_across_worker_counts() {
     let grid = grid();
     let a = run_grid(&grid, 1);
     let b = run_grid(&grid, 5);
-    // CSV and JSONL embed every deterministic field; strip the wall-clock
-    // column (the only non-deterministic one) before comparing.
+    // CSV and JSONL embed every deterministic field; strip the two trailing
+    // timing columns (`wall_ms,slots_per_sec` — the only non-deterministic
+    // ones) before comparing.
     let strip = |s: &str| -> String {
         s.lines()
             .map(|line| {
-                let cut = line.rfind(',').map(|i| &line[..i]).unwrap_or(line);
+                let mut cut = line;
+                for _ in 0..2 {
+                    cut = cut.rfind(',').map(|i| &cut[..i]).unwrap_or(cut);
+                }
                 format!("{cut}\n")
             })
             .collect()

@@ -83,6 +83,7 @@ fn summary_with_label(label: &str) -> JobSummary {
         mean_virtual_queue: 2.5,
         final_accuracy: None,
         wall_ms: 7.125,
+        slots_per_sec: 28070.2,
     }
 }
 

@@ -71,12 +71,22 @@ impl ArrivalSchedule {
         self.per_user.get(user).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The first arrival of `user` at or after `slot`, by binary search
+    /// (per-user arrival lists are generated in increasing slot order).
+    pub fn first_at_or_after(&self, user: usize, slot: u64) -> Option<AppArrival> {
+        let arrivals = self.arrivals_for(user);
+        let idx = arrivals.partition_point(|a| a.slot < slot);
+        arrivals.get(idx).copied()
+    }
+
     /// The arrival of `user` at exactly `slot`, if any.
+    ///
+    /// O(log arrivals) per call; the simulation engine's hot loop uses an
+    /// [`ArrivalCursor`] instead, which is amortized O(1) over a forward
+    /// scan of the horizon.
     pub fn arrival_at(&self, user: usize, slot: u64) -> Option<AppArrival> {
-        self.arrivals_for(user)
-            .iter()
-            .find(|a| a.slot == slot)
-            .copied()
+        self.first_at_or_after(user, slot)
+            .filter(|a| a.slot == slot)
     }
 
     /// The first arrival of `user` in the half-open slot window
@@ -87,15 +97,51 @@ impl ArrivalSchedule {
         from: u64,
         window: u64,
     ) -> Option<AppArrival> {
-        self.arrivals_for(user)
-            .iter()
-            .find(|a| a.slot >= from && a.slot < from.saturating_add(window))
-            .copied()
+        self.first_at_or_after(user, from)
+            .filter(|a| a.slot < from.saturating_add(window))
     }
 
     /// Total number of arrivals across all users.
     pub fn total_arrivals(&self) -> usize {
         self.per_user.iter().map(Vec::len).sum()
+    }
+}
+
+/// A monotone per-user position into an [`ArrivalSchedule`].
+///
+/// The dense slot loop used to rescan a user's whole arrival vector every
+/// slot (`O(arrivals)` per slot); a cursor remembers where the previous
+/// query ended, so a forward sweep over the horizon touches each arrival
+/// once — amortized O(1) per query. Queries must be non-decreasing in
+/// `slot`; the cursor never rewinds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArrivalCursor {
+    index: usize,
+}
+
+impl ArrivalCursor {
+    /// A cursor parked before the first arrival.
+    pub fn new() -> Self {
+        ArrivalCursor::default()
+    }
+
+    /// The first arrival of `user` at or after `slot`, advancing the cursor
+    /// past earlier arrivals. Arrivals skipped over (e.g. those that fell
+    /// while an application was already running) are never revisited.
+    pub fn next_at_or_after(
+        &mut self,
+        schedule: &ArrivalSchedule,
+        user: usize,
+        slot: u64,
+    ) -> Option<AppArrival> {
+        let arrivals = schedule.arrivals_for(user);
+        while let Some(a) = arrivals.get(self.index) {
+            if a.slot >= slot {
+                return Some(*a);
+            }
+            self.index += 1;
+        }
+        None
     }
 }
 
@@ -149,6 +195,61 @@ mod tests {
         assert_eq!(sched.first_arrival_in_window(0, first.slot + 1, 0), None);
         // Out-of-range user is empty.
         assert!(sched.arrivals_for(99).is_empty());
+    }
+
+    #[test]
+    fn cursor_matches_exhaustive_scan() {
+        let sched = ArrivalSchedule::generate(3, 20_000, 0.004, 11);
+        for user in 0..3 {
+            let mut cursor = ArrivalCursor::new();
+            for slot in 0..20_000 {
+                let via_cursor = cursor
+                    .next_at_or_after(&sched, user, slot)
+                    .filter(|a| a.slot == slot);
+                assert_eq!(
+                    via_cursor,
+                    sched.arrival_at(user, slot),
+                    "user {user} slot {slot}"
+                );
+            }
+            assert_eq!(cursor.next_at_or_after(&sched, user, 20_000), None);
+        }
+    }
+
+    #[test]
+    fn cursor_skips_over_unqueried_spans() {
+        let sched = ArrivalSchedule::generate(1, 50_000, 0.002, 5);
+        let all = sched.arrivals_for(0);
+        assert!(all.len() >= 3, "need a few arrivals for this test");
+        let mut cursor = ArrivalCursor::new();
+        // Jump straight past the first two arrivals: the cursor lands on the
+        // third without revisiting the skipped ones.
+        let target = all[2];
+        assert_eq!(
+            cursor.next_at_or_after(&sched, 0, all[1].slot + 1),
+            Some(target)
+        );
+        // A later query never rewinds.
+        assert_eq!(
+            cursor.next_at_or_after(&sched, 0, target.slot),
+            Some(target)
+        );
+        // Out-of-range users are empty.
+        assert_eq!(ArrivalCursor::new().next_at_or_after(&sched, 9, 0), None);
+    }
+
+    #[test]
+    fn first_at_or_after_is_binary_search_over_sorted_arrivals() {
+        let sched = ArrivalSchedule::generate(2, 30_000, 0.003, 9);
+        let all = sched.arrivals_for(1);
+        assert!(!all.is_empty());
+        assert_eq!(sched.first_at_or_after(1, 0), Some(all[0]));
+        assert_eq!(sched.first_at_or_after(1, all[0].slot), Some(all[0]));
+        assert_eq!(
+            sched.first_at_or_after(1, all[0].slot + 1).as_ref(),
+            all.get(1)
+        );
+        assert_eq!(sched.first_at_or_after(1, 30_000), None);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use fedco_core::online::{OnlineDecisionInput, SlotOutcome};
 use fedco_core::policy::{SchedulingPolicy, UserSlotContext, WindowPlan};
 use fedco_core::spec::PolicyBuildContext;
 use fedco_device::energy::{Joules, Seconds};
-use fedco_device::power::{AppStatus, PowerModel, SlotDecision};
+use fedco_device::power::{AppStatus, PowerModel, PowerState, SlotDecision};
 use fedco_device::profiler::{EnergyComponent, EnergyProfiler};
 use fedco_fl::aggregation::AsyncUpdateRule;
 use fedco_fl::client::{ClientConfig, FlClient};
@@ -27,7 +27,7 @@ use fedco_fl::transport::PAPER_MODEL_BYTES;
 use fedco_neural::data::{Dataset, SyntheticCifarConfig};
 use fedco_neural::model::{ParamVector, Sequential};
 
-use crate::arrivals::ArrivalSchedule;
+use crate::arrivals::{ArrivalCursor, ArrivalSchedule};
 use crate::clock::SimClock;
 use crate::experiment::{ConfigError, SimConfig};
 use crate::trace::{SimResult, TracePoint, UpdateEvent, UserGapPoint};
@@ -36,6 +36,47 @@ use crate::user::{SimUser, TrainingPhase};
 /// Salt folded into the run seed before it is handed to the policy build, so
 /// policy-private random streams never alias the engine's own streams.
 const POLICY_SEED_SALT: u64 = 0x706F_6C69_6379_5EED;
+
+/// Execution statistics of one run: how much of the horizon the
+/// event-driven engine stepped through the full dense slot machinery versus
+/// fast-forwarded in bulk. Purely diagnostic — never feeds back into the
+/// simulation itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Slots executed through the full dense per-slot machinery.
+    pub dense_slots: u64,
+    /// Slots covered by fast-forwarded quiescent spans.
+    pub fast_forwarded_slots: u64,
+    /// Number of fast-forwarded spans.
+    pub spans: u64,
+}
+
+impl EngineStats {
+    /// Fraction of the horizon that was fast-forwarded (0 for a dense run).
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.dense_slots + self.fast_forwarded_slots;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_forwarded_slots as f64 / total as f64
+        }
+    }
+}
+
+/// Mutable per-run accumulators threaded through the slot loop, so the dense
+/// and event-driven drivers share one slot implementation.
+#[derive(Debug, Default)]
+struct RunAccum {
+    trace: Vec<TracePoint>,
+    user_gaps: Vec<UserGapPoint>,
+    updates: Vec<UpdateEvent>,
+    queue_sum: f64,
+    vq_sum: f64,
+    corun_epochs: u64,
+    total_lag: u64,
+    max_lag: u64,
+    last_accuracy: Option<f32>,
+}
 
 /// The real machine-learning workload of one run.
 #[derive(Debug)]
@@ -53,6 +94,7 @@ pub struct Simulation {
     config: SimConfig,
     clock: SimClock,
     arrivals: ArrivalSchedule,
+    arrival_cursors: Vec<ArrivalCursor>,
     users: Vec<SimUser>,
     profilers: Vec<EnergyProfiler>,
     policy: Box<dyn SchedulingPolicy>,
@@ -63,6 +105,19 @@ pub struct Simulation {
     rng: SmallRng,
     base_params: Vec<ParamVector>,
     sync_buffer: Vec<LocalUpdate>,
+    stats: EngineStats,
+    /// `true` while driven by [`Simulation::run`]: power accounting is
+    /// deferred into per-user pending spans (flushed on every state change,
+    /// extra-energy charge, trace snapshot, and at the end of the run) and
+    /// per-slot work that a quiescence-certified policy makes unobservable
+    /// is elided. `run_dense` keeps the eager reference behaviour.
+    event_mode: bool,
+    /// Cached [`SchedulingPolicy::quiescent_while_waiting`] for this run.
+    policy_quiescent: bool,
+    /// Per-user pending power state not yet flushed to the profiler.
+    pending_state: Vec<PowerState>,
+    /// Slots accumulated in the pending state (0 = nothing pending).
+    pending_slots: Vec<u64>,
 }
 
 impl Simulation {
@@ -178,10 +233,14 @@ impl Simulation {
         );
         let base_params = vec![initial_params; config.num_users];
 
+        let arrival_cursors = vec![ArrivalCursor::new(); users.len()];
+        let pending_state = vec![PowerState::Idle; users.len()];
+        let pending_slots = vec![0u64; users.len()];
         let mut sim = Simulation {
             config,
             clock,
             arrivals,
+            arrival_cursors,
             users,
             profilers,
             policy,
@@ -192,6 +251,11 @@ impl Simulation {
             rng,
             base_params,
             sync_buffer: Vec::new(),
+            stats: EngineStats::default(),
+            event_mode: false,
+            policy_quiescent: false,
+            pending_state,
+            pending_slots,
         };
         // Hand the initial global model to every ML client.
         if sim.ml.is_some() {
@@ -335,12 +399,51 @@ impl Simulation {
             .unwrap_or(0.0)
     }
 
+    /// Flushes user `i`'s pending power span into its profiler. A no-op in
+    /// dense mode (nothing ever pends) and whenever nothing is pending.
+    ///
+    /// Flushing *before* any other energy lands in the profiler keeps each
+    /// user's accumulation stream in exactly the dense order, so deferral
+    /// never changes the floating-point result.
+    fn flush_pending(&mut self, i: usize) {
+        let slots = self.pending_slots[i];
+        if slots > 0 {
+            self.pending_slots[i] = 0;
+            self.profilers[i].record_span_lean(
+                self.pending_state[i],
+                Seconds(self.config.slot_seconds),
+                slots,
+            );
+        }
+    }
+
+    /// Flushes every user's pending span (before trace snapshots and at the
+    /// end of a run).
+    fn flush_all_pending(&mut self) {
+        for i in 0..self.users.len() {
+            self.flush_pending(i);
+        }
+    }
+
+    /// Appends `slots` slots of `state` to user `i`'s pending span, flushing
+    /// first if the state changed.
+    fn pend_power(&mut self, i: usize, state: PowerState, slots: u64) {
+        if self.pending_slots[i] > 0 && self.pending_state[i] == state {
+            self.pending_slots[i] += slots;
+        } else {
+            self.flush_pending(i);
+            self.pending_state[i] = state;
+            self.pending_slots[i] = slots;
+        }
+    }
+
     /// Re-downloads the global model for a user that just uploaded.
     fn requeue_user(&mut self, user_id: usize) {
         // One full model exchange per requeue: the update went up, the fresh
         // global model comes back down. Charge the radio if a link is set.
         if let Some(link) = &self.config.transport {
             let energy = link.radio_energy(link.exchange_time(PAPER_MODEL_BYTES));
+            self.flush_pending(user_id);
             self.profilers[user_id].record_extra(EnergyComponent::Radio, energy);
         }
         let snapshot = self.server.download();
@@ -363,19 +466,59 @@ impl Simulation {
     }
 
     /// Runs the simulation to the end of the horizon and returns the result.
+    ///
+    /// This is the event-driven driver: every "interesting" slot (an
+    /// arrival, an application expiry of a waiting user, a training
+    /// completion, a barrier release, a replanning or trace-recording
+    /// boundary, or any slot a non-fast-forwardable policy must see) runs
+    /// the full dense machinery, and the quiescent spans in between are
+    /// fast-forwarded in bulk — bit-identically to [`Simulation::run_dense`]
+    /// (all bulk accrual happens by repeated addition, never by closed-form
+    /// multiplies that would round differently). See
+    /// [`Simulation::engine_stats`] for how much was skipped.
     pub fn run(&mut self) -> SimResult {
-        let slot_len = Seconds(self.config.slot_seconds);
-        let mut trace = Vec::new();
-        let mut user_gaps = Vec::new();
-        let mut updates = Vec::new();
-        let mut queue_sum = 0.0f64;
-        let mut vq_sum = 0.0f64;
-        let mut corun_epochs = 0u64;
-        let mut total_lag = 0u64;
-        let mut max_lag = 0u64;
-        let mut last_accuracy: Option<f32> = None;
-
+        self.begin_run(true);
+        let mut acc = RunAccum::default();
         while !self.clock.finished() {
+            self.step_slot(&mut acc);
+            self.stats.dense_slots += 1;
+            self.fast_forward(&mut acc);
+        }
+        self.finish(acc)
+    }
+
+    /// Runs the simulation stepping *every* slot through the dense
+    /// machinery, with no fast-forwarding. This is the reference
+    /// implementation the event-driven [`Simulation::run`] is tested and
+    /// benchmarked against; results are bit-identical between the two.
+    pub fn run_dense(&mut self) -> SimResult {
+        self.begin_run(false);
+        let mut acc = RunAccum::default();
+        while !self.clock.finished() {
+            self.step_slot(&mut acc);
+            self.stats.dense_slots += 1;
+        }
+        self.finish(acc)
+    }
+
+    /// Dense/fast-forward statistics of the most recent run.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Resets the per-run driver state.
+    fn begin_run(&mut self, event_mode: bool) {
+        self.stats = EngineStats::default();
+        self.event_mode = event_mode;
+        self.policy_quiescent = self.policy.quiescent_while_waiting();
+        self.pending_slots.iter_mut().for_each(|s| *s = 0);
+    }
+
+    /// Executes one full dense slot (the reference per-slot semantics) and
+    /// advances the clock by one.
+    fn step_slot(&mut self, acc: &mut RunAccum) {
+        let slot_len = Seconds(self.config.slot_seconds);
+        {
             let slot = self.clock.slot();
             let now_s = self.clock.now_s();
 
@@ -386,12 +529,17 @@ impl Simulation {
                 self.plan_offline_window(slot);
             }
 
-            // (1) Application arrivals (ignored while another app runs).
+            // (1) Application arrivals (ignored while another app runs). The
+            // per-user cursor makes this O(1) amortized instead of a rescan
+            // of the user's whole arrival vector every slot.
             for i in 0..self.users.len() {
                 if self.users[i].app_running() {
                     continue;
                 }
-                if let Some(arrival) = self.arrivals.arrival_at(i, slot) {
+                let arrival = self.arrival_cursors[i]
+                    .next_at_or_after(&self.arrivals, i, slot)
+                    .filter(|a| a.slot == slot);
+                if let Some(arrival) = arrival {
                     let duration = self.users[i].profile.corun_time(arrival.app).value();
                     let slots = self.clock.slots_for(duration);
                     self.users[i].start_app(arrival.app, slots);
@@ -406,9 +554,22 @@ impl Simulation {
             // accumulated while waiting. The task queue Q(t) therefore tracks
             // the total outstanding waiting work in user-slots, which is what
             // the Eq.-22 threshold `Q ≥ V·t_d·ΔP` acts on.
-            let training_now = self.users.iter().filter(|u| u.is_training()).count() as u64;
-            let waiting_at_start = self.users.iter().filter(|u| u.is_waiting()).count();
-            let velocity = self.velocity_norm();
+            let (mut training_now, mut waiting_at_start) = (0u64, 0usize);
+            for u in &self.users {
+                if u.is_training() {
+                    training_now += 1;
+                } else if u.is_waiting() {
+                    waiting_at_start += 1;
+                }
+            }
+            // The momentum norm only feeds the decision inputs of waiting
+            // users; with nobody waiting it is dead weight (an O(params)
+            // norm every slot in ML mode).
+            let velocity = if waiting_at_start > 0 {
+                self.velocity_norm()
+            } else {
+                0.0
+            };
             let mut scheduled_count = 0usize;
             let mut drained_wait_slots = 0usize;
             for i in 0..self.users.len() {
@@ -416,6 +577,7 @@ impl Simulation {
                     continue;
                 }
                 let status = self.users[i].app_status();
+                self.users[i].last_decision_app = Some(status);
                 let predicted = self
                     .predictor
                     .predict_gap(Lag(training_now.max(1)), velocity);
@@ -444,6 +606,7 @@ impl Simulation {
                         - self.users[i].profile.idle_power_w)
                         .max(0.0)
                         * overhead_fraction;
+                    self.flush_pending(i);
                     self.profilers[i]
                         .record_extra(EnergyComponent::Idle, Joules(extra * slot_len.value()));
                 }
@@ -467,9 +630,19 @@ impl Simulation {
                 }
             }
 
-            // (3) Energy accounting.
-            for (u, prof) in self.users.iter().zip(self.profilers.iter_mut()) {
-                prof.record(u.power_state(), slot_len);
+            // (3) Energy accounting. The event driver defers each user's
+            // slot into a pending span flushed on state changes (batching
+            // the identical per-slot additions); the dense reference
+            // records eagerly.
+            if self.event_mode {
+                for i in 0..self.users.len() {
+                    let state = self.users[i].power_state();
+                    self.pend_power(i, state, 1);
+                }
+            } else {
+                for (u, prof) in self.users.iter().zip(self.profilers.iter_mut()) {
+                    prof.record(u.power_state(), slot_len);
+                }
             }
 
             // (4) Advance timers; collect completed epochs.
@@ -490,7 +663,7 @@ impl Simulation {
             // (5) Apply completed epochs to the server.
             for (user_id, corunning) in completed {
                 if corunning {
-                    corun_epochs += 1;
+                    acc.corun_epochs += 1;
                 }
                 let update = self.make_update(user_id);
                 if self.policy.round_barrier() {
@@ -508,10 +681,10 @@ impl Simulation {
                         .server
                         .apply_async(&update)
                         .expect("update length matches global model");
-                    total_lag += lag.value();
-                    max_lag = max_lag.max(lag.value());
+                    acc.total_lag += lag.value();
+                    acc.max_lag = acc.max_lag.max(lag.value());
                     if self.config.collect_traces {
-                        updates.push(UpdateEvent {
+                        acc.updates.push(UpdateEvent {
                             t_s: now_s,
                             user_id,
                             lag: lag.value(),
@@ -544,7 +717,7 @@ impl Simulation {
                     .apply_sync_round(&buffer)
                     .expect("round updates match global model");
                 if self.config.collect_traces {
-                    updates.push(UpdateEvent {
+                    acc.updates.push(UpdateEvent {
                         t_s: now_s,
                         user_id: usize::MAX,
                         lag: 0,
@@ -557,16 +730,22 @@ impl Simulation {
                 }
             }
 
-            // (7) Queue dynamics.
-            let gap_sum: f64 = self.users.iter().map(|u| u.gap.current().value()).sum();
-            let arrivals = waiting_at_start.saturating_sub(scheduled_count);
-            self.policy.end_of_slot(&SlotOutcome {
-                arrivals,
-                scheduled: drained_wait_slots,
-                gap_sum,
-            });
-            queue_sum += self.policy.queue_backlog();
-            vq_sum += self.policy.virtual_backlog();
+            // (7) Queue dynamics. A quiescence-certified policy's
+            // `end_of_slot` is a no-op and both backlogs are exactly zero,
+            // so in event mode the gap fold, the call and the two `+= 0.0`
+            // accumulations (exact no-ops on non-negative sums) are elided
+            // wholesale; the dense reference keeps them.
+            if !(self.event_mode && self.policy_quiescent) {
+                let gap_sum: f64 = self.users.iter().map(|u| u.gap.current().value()).sum();
+                let arrivals = waiting_at_start.saturating_sub(scheduled_count);
+                self.policy.end_of_slot(&SlotOutcome {
+                    arrivals,
+                    scheduled: drained_wait_slots,
+                    gap_sum,
+                });
+                acc.queue_sum += self.policy.queue_backlog();
+                acc.vq_sum += self.policy.virtual_backlog();
+            }
 
             // (8) Trace recording. Skipped wholesale in summary mode: the
             // periodic accuracy evaluation only feeds the trace (the final
@@ -575,10 +754,13 @@ impl Simulation {
             // net's parameters are overwritten before every use — so
             // skipping it cannot change any other stream.
             if self.config.collect_traces && slot % self.config.record_every_slots == 0 {
+                // Trace points read profiler totals, so pending spans must
+                // land first (a no-op in dense mode).
+                self.flush_all_pending();
                 if let Some(ml) = &self.ml {
                     if slot % ml.eval_every_slots == 0 {
-                        if let Some(acc) = self.evaluate_global() {
-                            last_accuracy = Some(acc);
+                        if let Some(accuracy) = self.evaluate_global() {
+                            acc.last_accuracy = Some(accuracy);
                         }
                     }
                 }
@@ -590,7 +772,7 @@ impl Simulation {
                     .iter()
                     .map(|p| p.total_energy().value())
                     .sum();
-                trace.push(TracePoint {
+                acc.trace.push(TracePoint {
                     t_s: now_s,
                     total_energy_j,
                     queue: self.policy.queue_backlog(),
@@ -599,14 +781,14 @@ impl Simulation {
                     max_gap,
                     updates: (self.server.stats().async_updates + self.server.stats().sync_rounds),
                     accuracy: if self.ml.is_some() {
-                        last_accuracy
+                        acc.last_accuracy
                     } else {
                         None
                     },
                 });
                 if self.config.record_user_gaps {
                     for u in &self.users {
-                        user_gaps.push(UserGapPoint {
+                        acc.user_gaps.push(UserGapPoint {
                             t_s: now_s,
                             user_id: u.id,
                             gap: u.gap.current().value(),
@@ -617,7 +799,204 @@ impl Simulation {
 
             self.clock.tick();
         }
+    }
 
+    /// Fast-forwards over the quiescent span (if any) that starts at the
+    /// current slot, applying its effects in bulk, bit-identically to
+    /// stepping it densely.
+    fn fast_forward(&mut self, acc: &mut RunAccum) {
+        if self.clock.finished() {
+            return;
+        }
+        let cur = self.clock.slot();
+        let horizon = self.skip_horizon(cur);
+        if horizon <= cur {
+            return;
+        }
+        let n = horizon - cur;
+        self.apply_span(cur, n, acc);
+        self.stats.fast_forwarded_slots += n;
+        self.stats.spans += 1;
+    }
+
+    /// The first slot at or after `cur` that must run densely. Returning
+    /// `cur` itself means no span can be skipped. Called with `cur >= 1`
+    /// (slot 0 always runs densely first) and `cur < total_slots`.
+    ///
+    /// A slot is quiescent when nothing observable can happen in it:
+    ///
+    /// * the policy certified (via `next_wakeup_after`, anchored at the last
+    ///   dense slot) that it neither replans nor flips a waiting user's
+    ///   decision before the horizon;
+    /// * it is not a trace-recording slot (when traces are collected);
+    /// * no training epoch completes in it (completions mutate the server);
+    /// * no *waiting* user sees an application arrival or expiry in it
+    ///   (those change both the power state and the decision input), every
+    ///   waiting user was already decided idle — under its *current* app
+    ///   status — at a previous dense slot, and the policy certified
+    ///   `quiescent_while_waiting` with free decisions. Application
+    ///   arrivals and expiries of *non-waiting* users are handled inside
+    ///   the span by [`Simulation::apply_span`], segment by segment.
+    fn skip_horizon(&mut self, cur: u64) -> u64 {
+        let mut h = self.config.total_slots;
+
+        // Policy-driven wakeups, anchored at the last dense slot.
+        match self.policy.next_wakeup_after(cur - 1) {
+            Some(wakeup) if wakeup <= cur => return cur,
+            Some(wakeup) => h = h.min(wakeup),
+            None => {}
+        }
+
+        // Trace-recording slots stay dense (they evaluate the ML model and
+        // snapshot engine state).
+        if self.config.collect_traces {
+            let every = self.config.record_every_slots;
+            let rem = cur % every;
+            if rem == 0 {
+                return cur;
+            }
+            h = h.min(cur + (every - rem));
+        }
+
+        let quiescent = self.policy_quiescent;
+        let overhead_charged =
+            self.config.decision_overhead && self.policy.decision_energy_overhead() > 0.0;
+        for i in 0..self.users.len() {
+            let user = &self.users[i];
+            match user.phase {
+                TrainingPhase::Waiting => {
+                    // Skipping waiting users' decisions needs the policy's
+                    // certification, and the certificate only covers an
+                    // unchanged app status: a user requeued during the last
+                    // dense slot has not been decided at all, and one whose
+                    // app expired (or arrived) since its last decision must
+                    // be re-decided densely.
+                    if !quiescent || overhead_charged {
+                        return cur;
+                    }
+                    match user.last_decision_app {
+                        Some(status) if status == user.app_status() => {}
+                        _ => return cur,
+                    }
+                    if user.app_remaining_slots > 0 {
+                        // The idle decision may flip when the app expires
+                        // (first visible at `cur + remaining`).
+                        h = h.min(cur + user.app_remaining_slots);
+                    } else if let Some(a) =
+                        self.arrival_cursors[i].next_at_or_after(&self.arrivals, i, cur)
+                    {
+                        // ... or when a new application arrives.
+                        h = h.min(a.slot);
+                    }
+                }
+                TrainingPhase::Training {
+                    remaining_slots, ..
+                } => {
+                    // The completion is processed inside slot
+                    // `cur + remaining - 1`, which must run densely.
+                    h = h.min(cur + remaining_slots - 1);
+                }
+                TrainingPhase::RoundBarrier => {}
+            }
+            if h <= cur {
+                return cur;
+            }
+        }
+        h
+    }
+
+    /// Applies `n` skipped slots starting at `cur` in bulk: per-user power
+    /// accounting (with in-span app starts/expiries for non-waiting users),
+    /// timer bookkeeping, idle-gap accrual, and — for policies without the
+    /// quiescence certificate — a per-slot replay of the queue dynamics.
+    /// Every accumulation is by repeated addition, so the result is
+    /// bit-identical to stepping the span densely.
+    fn apply_span(&mut self, cur: u64, n: u64, acc: &mut RunAccum) {
+        let end = cur + n;
+        let quiescent = self.policy_quiescent;
+        for i in 0..self.users.len() {
+            // Power accounting, segment by segment, into the pending span
+            // (so a long uniform stretch across many spans and event slots
+            // flushes as one batched accrual). Waiting users never
+            // transition inside a span (their arrivals and expiries end
+            // it), so their single segment falls out of the same loop.
+            let mut t = cur;
+            while t < end {
+                if self.users[i].app_running() {
+                    let seg = (end - t).min(self.users[i].app_remaining_slots);
+                    let state = self.users[i].power_state();
+                    self.pend_power(i, state, seg);
+                    let user = &mut self.users[i];
+                    user.app_remaining_slots -= seg;
+                    if user.app_remaining_slots == 0 {
+                        user.current_app = None;
+                    }
+                    t += seg;
+                } else {
+                    match self.arrival_cursors[i].next_at_or_after(&self.arrivals, i, t) {
+                        Some(a) if a.slot < end => {
+                            if a.slot > t {
+                                let state = self.users[i].power_state();
+                                self.pend_power(i, state, a.slot - t);
+                                t = a.slot;
+                            }
+                            let duration = self.users[i].profile.corun_time(a.app).value();
+                            let slots = self.clock.slots_for(duration);
+                            self.users[i].start_app(a.app, slots);
+                        }
+                        _ => {
+                            let state = self.users[i].power_state();
+                            self.pend_power(i, state, end - t);
+                            t = end;
+                        }
+                    }
+                }
+            }
+            // Timers and counters, exactly as `n` dense ticks would.
+            let user = &mut self.users[i];
+            match &mut user.phase {
+                TrainingPhase::Training {
+                    remaining_slots, ..
+                } => {
+                    debug_assert!(*remaining_slots > n, "completion inside a span");
+                    *remaining_slots -= n;
+                }
+                TrainingPhase::Waiting => {
+                    user.waiting_slots += n;
+                    user.current_wait_slots += n;
+                    user.gap.idle_slots(n);
+                }
+                TrainingPhase::RoundBarrier => {}
+            }
+        }
+
+        // Queue dynamics. A quiescence-certifying policy promised a no-op
+        // `end_of_slot` with both backlogs exactly zero, so the dense loop's
+        // per-slot `queue_sum += 0.0` adds are exact no-ops and the calls
+        // can be skipped wholesale. Any other policy reaches a span only
+        // with no user waiting (the outcome is then the same every slot:
+        // zero arrivals, zero scheduled, a constant gap sum), and its queue
+        // evolution is replayed call by call.
+        if !quiescent {
+            let gap_sum: f64 = self.users.iter().map(|u| u.gap.current().value()).sum();
+            let outcome = SlotOutcome {
+                arrivals: 0,
+                scheduled: 0,
+                gap_sum,
+            };
+            for _ in 0..n {
+                self.policy.end_of_slot(&outcome);
+                acc.queue_sum += self.policy.queue_backlog();
+                acc.vq_sum += self.policy.virtual_backlog();
+            }
+        }
+
+        self.clock.advance_to(end);
+    }
+
+    /// Assembles the result summary once the horizon is reached.
+    fn finish(&mut self, acc: RunAccum) -> SimResult {
+        self.flush_all_pending();
         let total_slots = self.config.total_slots.max(1) as f64;
         let stats = self.server.stats();
         let total_updates = stats.async_updates + stats.sync_rounds;
@@ -641,21 +1020,21 @@ impl Simulation {
                 .sum(),
             energy_by_component: by_component.into_iter().collect(),
             total_updates,
-            corun_epochs,
+            corun_epochs: acc.corun_epochs,
             mean_lag: if total_updates > 0 {
-                total_lag as f64 / total_updates as f64
+                acc.total_lag as f64 / total_updates as f64
             } else {
                 0.0
             },
-            max_lag,
+            max_lag: acc.max_lag,
             final_accuracy,
             final_queue: self.policy.queue_backlog(),
             final_virtual_queue: self.policy.virtual_backlog(),
-            mean_queue: queue_sum / total_slots,
-            mean_virtual_queue: vq_sum / total_slots,
-            trace,
-            user_gaps,
-            updates,
+            mean_queue: acc.queue_sum / total_slots,
+            mean_virtual_queue: acc.vq_sum / total_slots,
+            trace: acc.trace,
+            user_gaps: acc.user_gaps,
+            updates: acc.updates,
         }
     }
 }

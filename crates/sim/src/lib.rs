@@ -32,11 +32,11 @@ pub mod user;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::arrivals::{AppArrival, ArrivalSchedule};
+    pub use crate::arrivals::{AppArrival, ArrivalCursor, ArrivalSchedule};
     pub use crate::clock::SimClock;
     pub use crate::engine::{
         run_simulation, run_simulation_summary, try_run_simulation, try_run_simulation_summary,
-        Simulation,
+        EngineStats, Simulation,
     };
     pub use crate::experiment::{
         ConfigError, DeviceAssignment, EmptyDeviceList, MlConfig, SimConfig,

@@ -59,6 +59,12 @@ pub struct SimUser {
     /// Slots spent waiting since the user last became ready (its current
     /// contribution to the task-queue backlog; reset when training starts).
     pub current_wait_slots: u64,
+    /// The application status this user was last handed to the policy under
+    /// (`None` until the first decision after becoming ready). The event
+    /// engine may only fast-forward past a waiting user while this matches
+    /// the current status: an app expiry or arrival — or a fresh requeue —
+    /// invalidates the last decision and forces a dense slot.
+    pub last_decision_app: Option<AppStatus>,
     /// Number of epochs started as co-runs.
     pub corun_epochs: u64,
 }
@@ -78,6 +84,7 @@ impl SimUser {
             epochs_completed: 0,
             waiting_slots: 0,
             current_wait_slots: 0,
+            last_decision_app: None,
             corun_epochs: 0,
         }
     }
@@ -173,6 +180,7 @@ impl SimUser {
         self.base_version = new_base;
         self.gap.reset();
         self.current_wait_slots = 0;
+        self.last_decision_app = None;
     }
 
     /// Parks the user at the synchronous round barrier.

@@ -1,0 +1,251 @@
+//! Dense-vs-event equivalence suite for the simulation engine.
+//!
+//! `Simulation::run` fast-forwards quiescent spans; `Simulation::run_dense`
+//! steps every slot. The two must be **bit-identical** — same energy bits,
+//! same queues, same traces — for every policy in the default registry,
+//! across seeds, arrival probabilities (including the p = 0 and p = 1
+//! extremes), trace collection modes, ML mode, and custom policies that
+//! still use the conservative dense-stepping capability defaults.
+
+use fedco::prelude::*;
+
+fn base_config(policy: impl Into<PolicySpec>) -> SimConfig {
+    SimConfig {
+        num_users: 5,
+        total_slots: 700,
+        arrival_probability: 0.01,
+        record_every_slots: 60,
+        ..SimConfig::default()
+    }
+    .with_policy(policy)
+}
+
+/// Asserts two results are bit-identical in every scalar and series.
+fn assert_identical(label: &str, dense: &SimResult, event: &SimResult) {
+    assert_eq!(
+        dense.total_energy_j.to_bits(),
+        event.total_energy_j.to_bits(),
+        "{label}: total energy diverged ({} vs {})",
+        dense.total_energy_j,
+        event.total_energy_j
+    );
+    assert_eq!(dense.total_updates, event.total_updates, "{label}: updates");
+    assert_eq!(dense.corun_epochs, event.corun_epochs, "{label}: co-runs");
+    assert_eq!(
+        dense.mean_lag.to_bits(),
+        event.mean_lag.to_bits(),
+        "{label}: mean lag"
+    );
+    assert_eq!(dense.max_lag, event.max_lag, "{label}: max lag");
+    assert_eq!(
+        dense.mean_queue.to_bits(),
+        event.mean_queue.to_bits(),
+        "{label}: mean queue"
+    );
+    assert_eq!(
+        dense.mean_virtual_queue.to_bits(),
+        event.mean_virtual_queue.to_bits(),
+        "{label}: mean virtual queue"
+    );
+    assert_eq!(
+        dense.final_queue.to_bits(),
+        event.final_queue.to_bits(),
+        "{label}: final queue"
+    );
+    assert_eq!(
+        dense.final_virtual_queue.to_bits(),
+        event.final_virtual_queue.to_bits(),
+        "{label}: final virtual queue"
+    );
+    assert_eq!(
+        dense.final_accuracy, event.final_accuracy,
+        "{label}: accuracy"
+    );
+    assert_eq!(
+        dense.energy_by_component, event.energy_by_component,
+        "{label}: per-component energy"
+    );
+    assert_eq!(dense.trace, event.trace, "{label}: trace series");
+    assert_eq!(dense.user_gaps, event.user_gaps, "{label}: user gaps");
+    assert_eq!(dense.updates, event.updates, "{label}: update events");
+}
+
+fn run_both(config: SimConfig) -> (SimResult, SimResult) {
+    let dense = Simulation::try_new(config.clone())
+        .expect("valid config")
+        .run_dense();
+    let event = Simulation::try_new(config).expect("valid config").run();
+    (dense, event)
+}
+
+#[test]
+fn registry_is_bit_identical_across_seeds_and_arrival_rates() {
+    for spec in PolicySpec::default_registry() {
+        for seed in [7u64, 42] {
+            for p in [0.0, 0.001, 0.05, 1.0] {
+                let config = base_config(spec.clone())
+                    .with_seed(seed)
+                    .with_arrival_probability(p);
+                let (dense, event) = run_both(config);
+                assert_identical(&format!("{spec} seed={seed} p={p}"), &dense, &event);
+            }
+        }
+    }
+}
+
+#[test]
+fn summary_mode_is_bit_identical_too() {
+    for spec in PolicySpec::default_registry() {
+        for p in [0.0, 0.002, 1.0] {
+            let config = base_config(spec.clone())
+                .with_arrival_probability(p)
+                .summary_only();
+            let (dense, event) = run_both(config);
+            assert_identical(&format!("{spec} summary p={p}"), &dense, &event);
+            assert!(event.trace.is_empty() && event.updates.is_empty());
+        }
+    }
+}
+
+#[test]
+fn user_gap_recording_and_transport_are_preserved() {
+    use fedco::fl::transport::TransportModel;
+    let mut config = base_config(PolicyKind::Online).with_transport(TransportModel::lte());
+    config.record_user_gaps = true;
+    let (dense, event) = run_both(config);
+    assert_identical("online+gaps+lte", &dense, &event);
+    assert!(!event.user_gaps.is_empty());
+}
+
+#[test]
+fn ml_mode_is_bit_identical() {
+    let mut config = base_config(PolicyKind::Immediate);
+    config.num_users = 3;
+    config.total_slots = 600;
+    config.ml = Some(MlConfig::tiny());
+    config.record_every_slots = 50;
+    let (dense, event) = run_both(config);
+    assert_identical("immediate+ml", &dense, &event);
+    assert!(event.final_accuracy.is_some());
+}
+
+/// A custom policy that forwards to the online controller but keeps the
+/// conservative dense-stepping defaults for the fast-forward hooks
+/// (`next_wakeup_after`, `quiescent_while_waiting`) — exactly what a policy
+/// written against the PR-3 trait looks like. The event engine must fall
+/// back to dense stepping for it and stay bit-identical to the built-in.
+#[derive(Debug)]
+struct LegacyOnline(Box<dyn SchedulingPolicy>);
+
+impl SchedulingPolicy for LegacyOnline {
+    fn decide(&mut self, ctx: &UserSlotContext) -> fedco::device::power::SlotDecision {
+        self.0.decide(ctx)
+    }
+    fn end_of_slot(&mut self, outcome: &SlotOutcome) {
+        self.0.end_of_slot(outcome)
+    }
+    fn queue_backlog(&self) -> f64 {
+        self.0.queue_backlog()
+    }
+    fn virtual_backlog(&self) -> f64 {
+        self.0.virtual_backlog()
+    }
+    fn decision_energy_overhead(&self) -> f64 {
+        self.0.decision_energy_overhead()
+    }
+    // next_wakeup_after / quiescent_while_waiting deliberately NOT forwarded:
+    // this policy predates the fast-forward capabilities.
+}
+
+#[derive(Debug)]
+struct LegacyOnlineFactory;
+
+impl PolicyFactory for LegacyOnlineFactory {
+    fn label(&self) -> String {
+        "LegacyOnline".to_string()
+    }
+    fn build(&self, ctx: &PolicyBuildContext) -> Box<dyn SchedulingPolicy> {
+        Box::new(LegacyOnline(PolicySpec::Online { v: None }.build(ctx)))
+    }
+}
+
+#[test]
+fn custom_policy_with_default_hooks_stays_dense_and_correct() {
+    let config = base_config(PolicySpec::custom(LegacyOnlineFactory));
+    let (dense, event) = run_both(config.clone());
+    assert_identical("legacy custom online", &dense, &event);
+
+    // The conservative default keeps the event engine fully dense ...
+    let mut sim = Simulation::try_new(config.clone()).expect("valid");
+    let _ = sim.run();
+    assert_eq!(sim.engine_stats().fast_forwarded_slots, 0);
+    assert_eq!(sim.engine_stats().dense_slots, config.total_slots);
+
+    // ... and the numbers match the genuine built-in online controller.
+    let builtin = run_simulation(base_config(PolicyKind::Online));
+    assert_eq!(
+        event.total_energy_j.to_bits(),
+        builtin.total_energy_j.to_bits()
+    );
+    assert_eq!(event.total_updates, builtin.total_updates);
+}
+
+#[test]
+fn event_engine_actually_fast_forwards() {
+    // Paper-like sparsity: the vast majority of slots are quiescent.
+    let config = SimConfig {
+        num_users: 8,
+        total_slots: 3000,
+        arrival_probability: 0.001,
+        ..SimConfig::default()
+    }
+    .with_policy(PolicyKind::Immediate)
+    .summary_only();
+    let mut sim = Simulation::try_new(config.clone()).expect("valid");
+    let _ = sim.run();
+    let stats = sim.engine_stats();
+    assert_eq!(
+        stats.dense_slots + stats.fast_forwarded_slots,
+        config.total_slots,
+        "every slot is accounted exactly once"
+    );
+    assert!(stats.spans > 0);
+    assert!(
+        stats.fast_forwarded_slots > stats.dense_slots,
+        "expected mostly-skipped horizon, got {stats:?}"
+    );
+    assert!(stats.skip_fraction() > 0.5, "{stats:?}");
+
+    // A dense run reports zero skipping.
+    let mut dense = Simulation::try_new(config).expect("valid");
+    let _ = dense.run_dense();
+    assert_eq!(dense.engine_stats().fast_forwarded_slots, 0);
+    assert_eq!(dense.engine_stats().skip_fraction(), 0.0);
+}
+
+#[test]
+fn zero_arrivals_fast_forward_to_the_horizon_for_blocked_users() {
+    // Every Hikey970 user refuses to train under a strict power threshold,
+    // so with p = 0 the fleet idles forever: the quiescence certificate lets
+    // the engine jump straight through the idle horizon.
+    let config = SimConfig {
+        num_users: 4,
+        total_slots: 5000,
+        arrival_probability: 0.0,
+        ..SimConfig::default()
+    }
+    .with_policy(PolicySpec::PowerThreshold {
+        max_extra_watts: 0.0,
+    })
+    .summary_only();
+    let (dense, event) = run_both(config.clone());
+    assert_identical("threshold p=0", &dense, &event);
+    assert_eq!(event.total_updates, 0, "nobody ever trains");
+    let mut sim = Simulation::try_new(config).expect("valid");
+    let _ = sim.run();
+    assert!(
+        sim.engine_stats().skip_fraction() > 0.99,
+        "{:?}",
+        sim.engine_stats()
+    );
+}
