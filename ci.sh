@@ -47,4 +47,30 @@ timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
     --policies "immediate,sync-sgd,offline,online,online:v=1000,online:v=16000,random:p=0.5,threshold:w=0.7" \
     >/dev/null
 
+echo "==> fleet_sweep --scenario-file smoke test (checked-in catalogue)"
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --scenario-file examples/scenarios.conf \
+    --users 4 --slots 300 --replicates 1 --verify >/dev/null
+
+echo "==> fleet_sweep --scenario / --axis mixed sweep smoke test"
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --scenario "smoke:users=4:slots=300,hetero-devices:users=4:slots=300" \
+    --axis "arrival_p=0.001,0.01" --axis "link=ideal,lte" \
+    --replicates 1 --policies "online,immediate" >/dev/null
+
+echo "==> fleet_sweep registry listings + bad-spec error paths"
+SCENARIO_LIST="$(timeout 60 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- --list-scenarios)"
+echo "$SCENARIO_LIST" | grep -q "paper-default" \
+    || { echo "--list-scenarios missing paper-default"; exit 1; }
+POLICY_LIST="$(timeout 60 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- --list-policies)"
+echo "$POLICY_LIST" | grep -q "Threshold" \
+    || { echo "--list-policies missing Threshold"; exit 1; }
+if timeout 60 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --scenario warp-speed >/dev/null 2>/tmp/fleet_sweep_err; then
+    echo "bad --scenario unexpectedly succeeded"; exit 1
+fi
+grep -q "unknown scenario" /tmp/fleet_sweep_err \
+    || { echo "bad --scenario error does not name the token"; exit 1; }
+rm -f /tmp/fleet_sweep_err
+
 echo "CI green."

@@ -1,13 +1,17 @@
 //! `bench_engine` — dense vs event-driven engine throughput.
 //!
 //! Runs every policy of the default registry through both engine drivers on
-//! two summary-mode scenarios and reports simulated **slots per second**:
+//! summary-mode cells of the scenario registry and reports simulated
+//! **slots per second**:
 //!
-//! * `paper`  — the paper-default evaluation regime at fleet scale:
-//!   100 users, a 3-hour horizon (10 800 one-second slots), Bernoulli
-//!   arrivals at p = 0.001;
-//! * `sparse` — the sparse extreme at p = 0.0001, where almost every slot
-//!   is quiescent.
+//! * `paper`  — the `paper-default` preset at fleet scale (100 users,
+//!   3-hour horizon, Bernoulli arrivals at p = 0.001);
+//! * `sparse` — the `sparse` preset pushed to its extreme
+//!   (p = 0.0001), where almost every slot is quiescent;
+//! * `burst`  — the `dense-burst` preset (p = 0.01), the dense end where
+//!   fast-forwarding buys the least;
+//! * `lte`    — the `lte-uplink` preset, exercising the transport-charged
+//!   radio path.
 //!
 //! Each (scenario, policy, driver) cell is timed `FEDCO_BENCH_REPS` times
 //! (default 3) and the best wall time is kept. Results are verified
@@ -34,14 +38,19 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-fn scenario(arrival_probability: f64, users: u64, slots: u64) -> SimConfig {
-    SimConfig {
-        num_users: users as usize,
-        total_slots: slots,
-        arrival_probability,
-        ..SimConfig::default()
+/// A registry preset scaled to the benchmark's user/slot knobs, with the
+/// optional arrival override the sparse extreme uses.
+fn scenario(preset: &str, arrival_probability: Option<f64>, users: u64, slots: u64) -> SimConfig {
+    let mut spec = ScenarioSpec::preset(preset)
+        .unwrap_or_else(|| panic!("`{preset}` is not a registry scenario"))
+        .with_users(users as usize)
+        .with_slots(slots);
+    if let Some(p) = arrival_probability {
+        spec = spec.with_arrival_p(p);
     }
-    .summary_only()
+    spec.build()
+        .expect("valid benchmark scenario")
+        .summary_only()
 }
 
 /// Best-of-`reps` wall seconds for one run, plus the result and skip stats.
@@ -75,11 +84,17 @@ fn main() {
         "scenario/policy", "dense slots/s", "event slots/s", "speedup", "skipped"
     );
 
-    for (name, p) in [("paper", 0.001), ("sparse", 0.0001)] {
+    let cells = [
+        ("paper", "paper-default", None),
+        ("sparse", "sparse", Some(0.0001)),
+        ("burst", "dense-burst", None),
+        ("lte", "lte-uplink", None),
+    ];
+    for (name, preset, p) in cells {
         let mut dense_total_s = 0.0;
         let mut event_total_s = 0.0;
         for spec in PolicySpec::default_registry() {
-            let config = scenario(p, users, slots).with_policy(spec.clone());
+            let config = scenario(preset, p, users, slots).with_policy(spec.clone());
             let (dense_s, dense_result, _) = time_run(&config, true, reps);
             let (event_s, event_result, stats) = time_run(&config, false, reps);
             assert_eq!(

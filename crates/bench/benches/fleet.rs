@@ -10,13 +10,15 @@ use fedco_bench::micro;
 use fedco_fleet::prelude::*;
 
 fn sweep_grid() -> ScenarioGrid {
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = 5;
-    base.total_slots = 300;
-    ScenarioGrid::new(base)
-        .with_arrivals(vec![ArrivalPattern::paper(), ArrivalPattern::busy()])
-        .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
-        .with_replicates(2)
+    ScenarioGrid::new(
+        ScenarioSpec::preset("smoke")
+            .expect("preset")
+            .with_users(5)
+            .with_slots(300),
+    )
+    .with_axis("arrival_p", &["0.001", "0.005"])
+    .with_axis("link", &["ideal", "lte"])
+    .with_replicates(2)
 }
 
 fn main() {

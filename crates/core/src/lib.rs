@@ -42,16 +42,21 @@
 
 pub mod config;
 pub mod drift;
+pub mod experiment;
 pub mod offline;
 pub mod online;
 pub mod policy;
 pub mod queues;
+pub mod scenario;
 pub mod spec;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::config::{SchedulerConfig, SchedulerConfigError};
     pub use crate::drift::DriftBound;
+    pub use crate::experiment::{
+        ConfigError, DeviceAssignment, EmptyDeviceList, MlConfig, SimConfig,
+    };
     pub use crate::offline::{
         greedy_solution, lag_bound, KnapsackItem, OfflineScheduler, OfflineSolution, OfflineUser,
     };
@@ -64,6 +69,9 @@ pub mod prelude {
         WindowPlan,
     };
     pub use crate::queues::{QueueState, TaskQueue, VirtualQueue};
+    pub use crate::scenario::{
+        parse_scenario_file, LinkKind, MlMode, ParseScenarioError, ScenarioSpec,
+    };
     pub use crate::spec::{
         ParsePolicyError, PolicyBuildContext, PolicyFactory, PolicySpec, PolicySpecError,
     };

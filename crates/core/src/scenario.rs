@@ -1,0 +1,1160 @@
+//! Open scenario descriptions: [`ScenarioSpec`] is the currency the
+//! simulator, the fleet runtime and the report writers exchange when they
+//! talk about "which workload".
+//!
+//! A spec is a *named, validated, fully-declarative description* of a
+//! simulation scenario: the user population, horizon and slot length, the
+//! Bernoulli application-arrival model, the device assignment, the
+//! transport link, the trace/summary mode and the FL/training knobs.
+//! It plays the same role for workloads that [`PolicySpec`] plays for
+//! policies:
+//!
+//! * a stable [`label`](ScenarioSpec::label) keys every report row — the
+//!   preset name plus any recorded field overrides (`paper-default`,
+//!   `sparse:users=50`);
+//! * `FromStr` parses the CLI syntax `name[:key=value…]`, rejecting
+//!   unknown names, unknown/duplicate keys and out-of-range values with
+//!   errors that name the offending token and list the valid choices;
+//! * [`parse_scenario_file`] reads a whole catalogue of named scenarios
+//!   from a hand-rolled section/`key=value` text format (the workspace is
+//!   offline — no serde);
+//! * [`default_registry`](ScenarioSpec::default_registry) enumerates the
+//!   built-in presets (`paper-default`, `sparse`, `dense-burst`,
+//!   `hetero-devices`, `lte-uplink`, …);
+//! * [`build`](ScenarioSpec::build) resolves the spec into a full
+//!   [`SimConfig`], flowing through [`SimConfig::validate`] so every
+//!   existing validation rule applies to declarative scenarios too.
+//!
+//! ```
+//! use fedco_core::scenario::ScenarioSpec;
+//!
+//! let spec: ScenarioSpec = "paper-default:users=50:arrival_p=0.005".parse().unwrap();
+//! assert_eq!(spec.label(), "paper-default:users=50:arrival_p=0.005");
+//! let config = spec.build().unwrap();
+//! assert_eq!(config.num_users, 50);
+//! assert_eq!(config.arrival_probability, 0.005);
+//! ```
+
+use crate::config::SchedulerConfig;
+use crate::experiment::{ConfigError, DeviceAssignment, MlConfig, SimConfig};
+use crate::spec::PolicySpec;
+use fedco_device::profiles::DeviceKind;
+use fedco_fl::transport::TransportModel;
+
+/// The transport link of a scenario: either the paper's ideal (radio-free)
+/// accounting or one of the named [`TransportModel`] presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// No radio accounting (the paper's setting).
+    Ideal,
+    /// Home Wi-Fi ([`TransportModel::wifi`]).
+    Wifi,
+    /// Cellular LTE ([`TransportModel::lte`]).
+    Lte,
+}
+
+impl LinkKind {
+    /// All link kinds.
+    pub const ALL: [LinkKind; 3] = [LinkKind::Ideal, LinkKind::Wifi, LinkKind::Lte];
+
+    /// The transport model of this link, if any.
+    pub fn model(self) -> Option<TransportModel> {
+        match self {
+            LinkKind::Ideal => None,
+            LinkKind::Wifi => TransportModel::by_name("wifi"),
+            LinkKind::Lte => TransportModel::by_name("lte"),
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::Ideal => "ideal",
+            LinkKind::Wifi => "wifi",
+            LinkKind::Lte => "lte",
+        }
+    }
+
+    /// Looks a link up by label (case-insensitive).
+    pub fn by_name(name: &str) -> Option<LinkKind> {
+        LinkKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// The label describing a resolved transport field: `ideal` for `None`,
+    /// the preset name for a recognized model, `custom` otherwise. Reports
+    /// use this to render the link column of a hand-assembled `SimConfig`.
+    pub fn label_for(transport: &Option<TransportModel>) -> &'static str {
+        match transport {
+            None => "ideal",
+            Some(model) => LinkKind::ALL
+                .into_iter()
+                .find(|k| k.model().as_ref() == Some(model))
+                .map(LinkKind::label)
+                .unwrap_or("custom"),
+        }
+    }
+}
+
+/// The (optional) machine-learning workload of a scenario, by preset name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MlMode {
+    /// Energy-only run: the gradient-gap dynamics are synthetic.
+    #[default]
+    Off,
+    /// The small test workload ([`MlConfig::tiny`]).
+    Tiny,
+    /// The full default workload ([`MlConfig::default`]).
+    Full,
+}
+
+impl MlMode {
+    /// The workload configuration of this mode, if any.
+    pub fn config(self) -> Option<MlConfig> {
+        match self {
+            MlMode::Off => None,
+            MlMode::Tiny => Some(MlConfig::tiny()),
+            MlMode::Full => Some(MlConfig::default()),
+        }
+    }
+
+    /// The canonical spec value (`off`, `tiny`, `full`).
+    pub fn label(self) -> &'static str {
+        match self {
+            MlMode::Off => "off",
+            MlMode::Tiny => "tiny",
+            MlMode::Full => "full",
+        }
+    }
+
+    /// Looks a mode up by label (case-insensitive).
+    pub fn by_name(name: &str) -> Option<MlMode> {
+        [MlMode::Off, MlMode::Tiny, MlMode::Full]
+            .into_iter()
+            .find(|m| m.label().eq_ignore_ascii_case(name.trim()))
+    }
+}
+
+/// The names of the built-in presets, in registry order.
+pub const PRESET_NAMES: [&str; 8] = [
+    "paper-default",
+    "smoke",
+    "ml-smoke",
+    "sparse",
+    "dense-burst",
+    "hetero-devices",
+    "lte-uplink",
+    "wifi-fleet",
+];
+
+/// The sweepable scenario fields, in canonical order. Every key is
+/// accepted by [`ScenarioSpec::set`], the `name:key=value…` CLI syntax and
+/// the scenario-file format, and any of them can back a fleet sweep axis.
+pub const FIELD_KEYS: [&str; 14] = [
+    "users",
+    "slots",
+    "slot_seconds",
+    "arrival_p",
+    "devices",
+    "link",
+    "seed",
+    "v",
+    "lb",
+    "epsilon",
+    "ml",
+    "record_every",
+    "traces",
+    "overhead",
+];
+
+/// A named, validated, fully-declarative description of a simulation
+/// scenario.
+///
+/// A spec deliberately carries **no policy**: scenarios and policies are
+/// independent sweep axes, and [`ScenarioSpec::build_with_policy`] crosses
+/// them at the last moment. Construct specs from the registry
+/// ([`ScenarioSpec::preset`], `FromStr`), from a scenario file
+/// ([`parse_scenario_file`]) or via the `with_*` builders; the field
+/// values themselves are read-only accessors so the recorded overrides —
+/// and with them the [`label`](ScenarioSpec::label) that keys every report
+/// row — can never drift out of sync with the fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    name: String,
+    /// Overrides recorded against the name, in first-set order, with
+    /// canonical value formatting; the label appends them as `:key=value`.
+    overrides: Vec<(&'static str, String)>,
+    users: usize,
+    slots: u64,
+    slot_seconds: f64,
+    arrival_p: f64,
+    devices: DeviceAssignment,
+    link: LinkKind,
+    seed: u64,
+    scheduler: SchedulerConfig,
+    ml: MlMode,
+    record_every: u64,
+    traces: bool,
+    overhead: bool,
+}
+
+impl ScenarioSpec {
+    /// The paper's main-evaluation field values under a caller-chosen name.
+    fn base(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            overrides: Vec::new(),
+            users: 25,
+            slots: 10_800,
+            slot_seconds: 1.0,
+            arrival_p: 0.001,
+            devices: DeviceAssignment::RoundRobinTestbed,
+            link: LinkKind::Ideal,
+            seed: 42,
+            scheduler: SchedulerConfig::default(),
+            ml: MlMode::Off,
+            record_every: 60,
+            traces: true,
+            overhead: true,
+        }
+    }
+
+    /// The built-in preset of the given name, if it exists. The presets:
+    ///
+    /// | name | regime |
+    /// |------|--------|
+    /// | `paper-default` | the paper's Section VII-B setting: 25 users, 3 h, p = 0.001, testbed mix, no radio |
+    /// | `smoke` | 6 users, 20 min, p = 0.005 — the fast test/CI configuration (`SimConfig::small`) |
+    /// | `ml-smoke` | `smoke` plus the tiny real-LeNet workload |
+    /// | `sparse` | arrivals an order of magnitude scarcer (p = 0.0002; Fig. 6's left end) |
+    /// | `dense-burst` | 40 busy users switching apps at p = 0.01 over one hour (Fig. 6's right end) |
+    /// | `hetero-devices` | a phone-heavy heterogeneous fleet (3× Pixel 2 : 1× Nexus 6 : 1× Nexus 6P : 1× HiKey 970) |
+    /// | `lte-uplink` | paper setting with every model exchange charged over LTE |
+    /// | `wifi-fleet` | 100 users on home Wi-Fi, summary-only (the fleet-scale regime) |
+    pub fn preset(name: &str) -> Option<ScenarioSpec> {
+        let mut s = ScenarioSpec::base(name);
+        match name {
+            "paper-default" => {}
+            "smoke" => {
+                s.users = 6;
+                s.slots = 1200;
+                s.arrival_p = 0.005;
+                s.record_every = 30;
+            }
+            "ml-smoke" => {
+                s.users = 6;
+                s.slots = 1200;
+                s.arrival_p = 0.005;
+                s.record_every = 30;
+                s.ml = MlMode::Tiny;
+            }
+            "sparse" => s.arrival_p = 0.0002,
+            "dense-burst" => {
+                s.users = 40;
+                s.slots = 3600;
+                s.arrival_p = 0.01;
+            }
+            "hetero-devices" => {
+                s.devices = DeviceAssignment::Custom(vec![
+                    DeviceKind::Pixel2,
+                    DeviceKind::Pixel2,
+                    DeviceKind::Pixel2,
+                    DeviceKind::Nexus6,
+                    DeviceKind::Nexus6P,
+                    DeviceKind::Hikey970,
+                ]);
+            }
+            "lte-uplink" => s.link = LinkKind::Lte,
+            "wifi-fleet" => {
+                s.users = 100;
+                s.link = LinkKind::Wifi;
+                s.traces = false;
+            }
+            _ => return None,
+        }
+        Some(s)
+    }
+
+    /// The default scenario registry: every built-in preset, in
+    /// [`PRESET_NAMES`] order. This is the set `--list-scenarios`
+    /// prints and the registry-wide validity tests iterate over.
+    pub fn default_registry() -> Vec<ScenarioSpec> {
+        PRESET_NAMES
+            .iter()
+            .map(|name| ScenarioSpec::preset(name).expect("registry preset"))
+            .collect()
+    }
+
+    /// Re-names the spec: the new name becomes the whole identity of the
+    /// current field values and the recorded overrides are cleared, so
+    /// [`label`](ScenarioSpec::label) is just `name` until further fields
+    /// change. This is how the scenario-file parser turns `base +
+    /// overrides` sections into first-class named scenarios.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self.overrides.clear();
+        self
+    }
+
+    /// The stable label that keys report rows: the name, followed by every
+    /// recorded override as `:key=value` in first-set order. For
+    /// registry-derived specs the label is itself a parseable spec string,
+    /// so `spec → label → parse → label` round-trips exactly.
+    pub fn label(&self) -> String {
+        let mut out = self.name.clone();
+        for (key, value) in &self.overrides {
+            out.push(':');
+            out.push_str(key);
+            out.push('=');
+            out.push_str(value);
+        }
+        out
+    }
+
+    /// The scenario's name (the label without the overrides).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// User population.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Horizon in slots.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Slot length in seconds.
+    pub fn slot_seconds(&self) -> f64 {
+        self.slot_seconds
+    }
+
+    /// Per-slot Bernoulli application-arrival probability.
+    pub fn arrival_p(&self) -> f64 {
+        self.arrival_p
+    }
+
+    /// Device assignment across users.
+    pub fn devices(&self) -> &DeviceAssignment {
+        &self.devices
+    }
+
+    /// Transport link.
+    pub fn link(&self) -> LinkKind {
+        self.link
+    }
+
+    /// Base RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Scheduler parameters (V, L_b, ε, …).
+    pub fn scheduler(&self) -> &SchedulerConfig {
+        &self.scheduler
+    }
+
+    /// Machine-learning workload mode.
+    pub fn ml(&self) -> MlMode {
+        self.ml
+    }
+
+    /// Trace-recording cadence in slots.
+    pub fn record_every(&self) -> u64 {
+        self.record_every
+    }
+
+    /// Whether time series are materialized (`false` = summary-only).
+    pub fn traces(&self) -> bool {
+        self.traces
+    }
+
+    /// Whether the online controller's decision energy is charged.
+    pub fn decision_overhead(&self) -> bool {
+        self.overhead
+    }
+
+    /// Records an override with canonical formatting: an existing entry for
+    /// the key is replaced in place, so the label order is first-set order.
+    fn record(&mut self, key: &'static str, value: String) {
+        match self.overrides.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = value,
+            None => self.overrides.push((key, value)),
+        }
+    }
+
+    /// Returns a copy with a different user population.
+    #[must_use]
+    pub fn with_users(mut self, users: usize) -> Self {
+        self.users = users;
+        self.record("users", users.to_string());
+        self
+    }
+
+    /// Returns a copy with a different horizon.
+    #[must_use]
+    pub fn with_slots(mut self, slots: u64) -> Self {
+        self.slots = slots;
+        self.record("slots", slots.to_string());
+        self
+    }
+
+    /// Returns a copy with a different slot length.
+    #[must_use]
+    pub fn with_slot_seconds(mut self, slot_seconds: f64) -> Self {
+        self.slot_seconds = slot_seconds;
+        self.record("slot_seconds", slot_seconds.to_string());
+        self
+    }
+
+    /// Returns a copy with a different arrival probability.
+    #[must_use]
+    pub fn with_arrival_p(mut self, p: f64) -> Self {
+        self.arrival_p = p;
+        self.record("arrival_p", p.to_string());
+        self
+    }
+
+    /// Returns a copy with a different device assignment.
+    #[must_use]
+    pub fn with_devices(mut self, devices: DeviceAssignment) -> Self {
+        self.record("devices", devices_token(&devices));
+        self.devices = devices;
+        self
+    }
+
+    /// Returns a copy with a different transport link.
+    #[must_use]
+    pub fn with_link(mut self, link: LinkKind) -> Self {
+        self.link = link;
+        self.record("link", link.label().to_string());
+        self
+    }
+
+    /// Returns a copy with a different base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.record("seed", seed.to_string());
+        self
+    }
+
+    /// Returns a copy with a different Lyapunov knob `V`.
+    #[must_use]
+    pub fn with_v(mut self, v: f64) -> Self {
+        self.scheduler.v = v;
+        self.record("v", v.to_string());
+        self
+    }
+
+    /// Returns a copy with a different staleness bound `L_b`.
+    #[must_use]
+    pub fn with_staleness_bound(mut self, lb: f64) -> Self {
+        self.scheduler.staleness_bound = lb;
+        self.record("lb", lb.to_string());
+        self
+    }
+
+    /// Returns a copy with a different idle-gap increment `ε`.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.scheduler.epsilon = epsilon;
+        self.record("epsilon", epsilon.to_string());
+        self
+    }
+
+    /// Returns a copy with a different ML workload mode.
+    #[must_use]
+    pub fn with_ml(mut self, ml: MlMode) -> Self {
+        self.ml = ml;
+        self.record("ml", ml.label().to_string());
+        self
+    }
+
+    /// Returns a copy with a different trace-recording cadence.
+    #[must_use]
+    pub fn with_record_every(mut self, record_every: u64) -> Self {
+        self.record_every = record_every;
+        self.record("record_every", record_every.to_string());
+        self
+    }
+
+    /// Returns a copy with trace materialization switched on or off.
+    #[must_use]
+    pub fn with_traces(mut self, traces: bool) -> Self {
+        self.traces = traces;
+        self.record("traces", on_off(traces).to_string());
+        self
+    }
+
+    /// Returns a copy with the decision-energy overhead switched on or off.
+    #[must_use]
+    pub fn with_decision_overhead(mut self, overhead: bool) -> Self {
+        self.overhead = overhead;
+        self.record("overhead", on_off(overhead).to_string());
+        self
+    }
+
+    /// Sets one field from its textual `key=value` form — the single entry
+    /// point the CLI parser, the scenario-file parser and the fleet's sweep
+    /// axes all share, so each of the [`FIELD_KEYS`] is uniformly
+    /// sweepable. Unknown keys and out-of-range or malformed values are
+    /// rejected with an error naming the offending token and, for unknown
+    /// keys, listing the valid ones.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ParseScenarioError> {
+        let key = key.trim().to_ascii_lowercase();
+        let key = key.as_str();
+        let value = value.trim();
+        let bad =
+            |detail: String| ParseScenarioError(format!("scenario field {key}={value}: {detail}"));
+        match key {
+            "users" => {
+                let n = value.parse::<usize>().map_err(|e| bad(e.to_string()))?;
+                if n == 0 {
+                    return Err(bad("must be at least 1".into()));
+                }
+                *self = self.clone().with_users(n);
+            }
+            "slots" => {
+                let n = value.parse::<u64>().map_err(|e| bad(e.to_string()))?;
+                if n == 0 {
+                    return Err(bad("must be at least 1".into()));
+                }
+                *self = self.clone().with_slots(n);
+            }
+            "slot_seconds" => {
+                let x = value.parse::<f64>().map_err(|e| bad(e.to_string()))?;
+                if !x.is_finite() || x <= 0.0 {
+                    return Err(bad("must be a finite positive number of seconds".into()));
+                }
+                *self = self.clone().with_slot_seconds(x);
+            }
+            "arrival_p" => {
+                let x = value.parse::<f64>().map_err(|e| bad(e.to_string()))?;
+                if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+                    return Err(bad("must lie in [0, 1]".into()));
+                }
+                *self = self.clone().with_arrival_p(x);
+            }
+            "devices" => {
+                let devices = parse_devices(value).map_err(bad)?;
+                *self = self.clone().with_devices(devices);
+            }
+            "link" => {
+                let link = LinkKind::by_name(value)
+                    .ok_or_else(|| bad("valid links: ideal, wifi, lte".into()))?;
+                *self = self.clone().with_link(link);
+            }
+            "seed" => {
+                let n = value.parse::<u64>().map_err(|e| bad(e.to_string()))?;
+                *self = self.clone().with_seed(n);
+            }
+            "v" => {
+                let x = value.parse::<f64>().map_err(|e| bad(e.to_string()))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(bad("must be a finite non-negative number".into()));
+                }
+                *self = self.clone().with_v(x);
+            }
+            "lb" => {
+                let x = value.parse::<f64>().map_err(|e| bad(e.to_string()))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(bad("must be a finite non-negative number".into()));
+                }
+                *self = self.clone().with_staleness_bound(x);
+            }
+            "epsilon" => {
+                let x = value.parse::<f64>().map_err(|e| bad(e.to_string()))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(bad("must be a finite non-negative number".into()));
+                }
+                *self = self.clone().with_epsilon(x);
+            }
+            "ml" => {
+                let ml = MlMode::by_name(value)
+                    .ok_or_else(|| bad("valid modes: off, tiny, full".into()))?;
+                *self = self.clone().with_ml(ml);
+            }
+            "record_every" => {
+                let n = value.parse::<u64>().map_err(|e| bad(e.to_string()))?;
+                if n == 0 {
+                    return Err(bad("must be at least 1".into()));
+                }
+                *self = self.clone().with_record_every(n);
+            }
+            "traces" => *self = self.clone().with_traces(parse_on_off(value).map_err(bad)?),
+            "overhead" => {
+                *self = self
+                    .clone()
+                    .with_decision_overhead(parse_on_off(value).map_err(bad)?)
+            }
+            other => {
+                return Err(ParseScenarioError(format!(
+                    "unknown scenario field `{other}` (valid fields: {})",
+                    FIELD_KEYS.join(", ")
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the spec into a full [`SimConfig`] driven by the given
+    /// policy, flowing through [`SimConfig::validate`] so declarative
+    /// scenarios obey exactly the rules of hand-built configurations.
+    pub fn build_with_policy(
+        &self,
+        policy: impl Into<PolicySpec>,
+    ) -> Result<SimConfig, ConfigError> {
+        let config = SimConfig {
+            num_users: self.users,
+            total_slots: self.slots,
+            slot_seconds: self.slot_seconds,
+            arrival_probability: self.arrival_p,
+            policy: policy.into(),
+            scheduler: self.scheduler,
+            seed: self.seed,
+            devices: self.devices.clone(),
+            record_every_slots: self.record_every,
+            ml: self.ml.config(),
+            synthetic_velocity_norm: 2.0,
+            decision_overhead: self.overhead,
+            record_user_gaps: false,
+            collect_traces: self.traces,
+            transport: self.link.model(),
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Resolves the spec with the default policy (the online controller at
+    /// the configured `V`). Fleet sweeps cross scenarios with their own
+    /// policy axis via [`ScenarioSpec::build_with_policy`].
+    pub fn build(&self) -> Result<SimConfig, ConfigError> {
+        self.build_with_policy(PolicySpec::Online { v: None })
+    }
+
+    /// Validates the spec by building it (and discarding the config).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.build().map(|_| ())
+    }
+}
+
+impl std::fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error produced when parsing a [`ScenarioSpec`] from a string or a
+/// scenario file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScenarioError(String);
+
+impl ParseScenarioError {
+    /// A parse error with the given message. Exposed so downstream parsers
+    /// building on the scenario syntax (e.g. the fleet's sweep-axis CLI)
+    /// can report their own token errors in the same type.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseScenarioError(message.into())
+    }
+}
+
+impl std::fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseScenarioError {}
+
+/// Parses the CLI syntax `name[:key=value[:key=value…]]`, where `name` is
+/// a registry preset and every key is one of [`FIELD_KEYS`]:
+///
+/// * `paper-default`
+/// * `sparse:users=50`
+/// * `lte-uplink:arrival_p=0.005:devices=pixel2+hikey970`
+///
+/// Unknown names list the available presets; unknown keys list the valid
+/// fields; duplicate keys and out-of-range values are rejected.
+impl std::str::FromStr for ScenarioSpec {
+    type Err = ParseScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.trim().split(':');
+        let name = parts.next().unwrap_or_default().trim().to_ascii_lowercase();
+        let mut spec = ScenarioSpec::preset(&name).ok_or_else(|| {
+            ParseScenarioError(format!(
+                "unknown scenario `{name}` (available presets: {})",
+                PRESET_NAMES.join(", ")
+            ))
+        })?;
+        let mut seen: Vec<String> = Vec::new();
+        for part in parts {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                ParseScenarioError(format!("scenario parameter `{part}` is not key=value"))
+            })?;
+            let key = key.trim().to_ascii_lowercase();
+            if seen.contains(&key) {
+                return Err(ParseScenarioError(format!(
+                    "duplicate scenario field `{key}`"
+                )));
+            }
+            spec.set(&key, value)?;
+            seen.push(key);
+        }
+        Ok(spec)
+    }
+}
+
+/// The canonical `devices=` token of an assignment (the inverse of
+/// [`parse_devices`]).
+fn devices_token(devices: &DeviceAssignment) -> String {
+    let lower = |k: DeviceKind| k.name().to_ascii_lowercase();
+    match devices {
+        DeviceAssignment::RoundRobinTestbed => "testbed".to_string(),
+        DeviceAssignment::Uniform(kind) => lower(*kind),
+        DeviceAssignment::Custom(kinds) => kinds
+            .iter()
+            .map(|&k| lower(k))
+            .collect::<Vec<_>>()
+            .join("+"),
+    }
+}
+
+/// Parses a `devices=` value: `testbed` (the round-robin mix), a single
+/// device name (uniform), or a `+`-joined list (cycled custom assignment).
+fn parse_devices(value: &str) -> Result<DeviceAssignment, String> {
+    if value.eq_ignore_ascii_case("testbed") {
+        return Ok(DeviceAssignment::RoundRobinTestbed);
+    }
+    let mut kinds = Vec::new();
+    for name in value.split('+') {
+        kinds.push(name.parse::<DeviceKind>().map_err(|e| e.to_string())?);
+    }
+    match kinds.as_slice() {
+        [] => Err("must name at least one device".to_string()),
+        [one] => Ok(DeviceAssignment::Uniform(*one)),
+        _ => DeviceAssignment::custom(kinds).map_err(|e| e.to_string()),
+    }
+}
+
+fn on_off(value: bool) -> &'static str {
+    if value {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+fn parse_on_off(value: &str) -> Result<bool, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "on" | "true" | "yes" | "1" => Ok(true),
+        "off" | "false" | "no" | "0" => Ok(false),
+        other => Err(format!("`{other}` is not on/off")),
+    }
+}
+
+/// Parses a scenario file: a catalogue of named scenarios in a hand-rolled
+/// section/`key=value` text format (the workspace is offline — no serde).
+///
+/// ```text
+/// # One section per scenario. The section name is the scenario's label.
+/// [weekend-lte]
+/// base = sparse            # optional registry preset to start from
+/// users = 50               # then any FIELD_KEYS entry, one per line
+/// link = lte
+///
+/// [night-idle]
+/// arrival_p = 0.0001
+/// traces = off
+/// ```
+///
+/// Rules, each violation reported with its line number:
+/// * blank lines and lines starting with `#` or `;` are skipped;
+/// * a section is `[name]` where `name` uses only letters, digits, `_`,
+///   `.` and `-`; duplicate names — and names shadowing a registry preset —
+///   are rejected, since the name alone keys every report row;
+/// * `base = <preset>` must be the first entry of its section when
+///   present (default `paper-default`);
+/// * every other line is `key = value` with a key from [`FIELD_KEYS`].
+pub fn parse_scenario_file(text: &str) -> Result<Vec<ScenarioSpec>, ParseScenarioError> {
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    let mut current: Option<(String, ScenarioSpec, Vec<String>)> = None;
+    let at = |line_no: usize, detail: String| {
+        ParseScenarioError(format!("scenario file line {line_no}: {detail}"))
+    };
+    let finish = |specs: &mut Vec<ScenarioSpec>,
+                  section: Option<(String, ScenarioSpec, Vec<String>)>| {
+        if let Some((name, spec, _)) = section {
+            specs.push(spec.named(name));
+        }
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let name = header
+                .strip_suffix(']')
+                .ok_or_else(|| at(line_no, format!("unterminated section header `{line}`")))?
+                .trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+            {
+                return Err(at(
+                    line_no,
+                    format!(
+                        "section name `{name}` must use only letters, digits, `_`, `.` and `-`"
+                    ),
+                ));
+            }
+            if PRESET_NAMES.contains(&name) {
+                return Err(at(
+                    line_no,
+                    format!(
+                        "section `{name}` shadows the built-in preset of the same name; \
+pick a different name"
+                    ),
+                ));
+            }
+            if specs.iter().any(|s| s.name() == name)
+                || current.as_ref().is_some_and(|(n, _, _)| n == name)
+            {
+                return Err(at(line_no, format!("duplicate scenario section `{name}`")));
+            }
+            finish(&mut specs, current.take());
+            current = Some((
+                name.to_string(),
+                ScenarioSpec::preset("paper-default").expect("registry preset"),
+                Vec::new(),
+            ));
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| {
+            at(
+                line_no,
+                format!("`{line}` is not a section header or key = value"),
+            )
+        })?;
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim();
+        let Some((_, spec, seen)) = current.as_mut() else {
+            return Err(at(
+                line_no,
+                format!("`{line}` appears before any [section] header"),
+            ));
+        };
+        if key == "base" {
+            if !seen.is_empty() {
+                return Err(at(
+                    line_no,
+                    "`base` must be the first entry of its section".to_string(),
+                ));
+            }
+            let name = value.to_ascii_lowercase();
+            let base = ScenarioSpec::preset(&name).ok_or_else(|| {
+                at(
+                    line_no,
+                    format!(
+                        "unknown base preset `{value}` (available presets: {})",
+                        PRESET_NAMES.join(", ")
+                    ),
+                )
+            })?;
+            *spec = base;
+            seen.push("base".to_string());
+            continue;
+        }
+        if seen.contains(&key) {
+            return Err(at(line_no, format!("duplicate scenario field `{key}`")));
+        }
+        spec.set(&key, value)
+            .map_err(|e| at(line_no, e.to_string()))?;
+        seen.push(key);
+    }
+    finish(&mut specs, current.take());
+    if specs.is_empty() {
+        return Err(ParseScenarioError(
+            "scenario file defines no scenarios (no [section] headers found)".to_string(),
+        ));
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn presets_cover_the_registry_and_build_valid_configs() {
+        let registry = ScenarioSpec::default_registry();
+        assert_eq!(registry.len(), PRESET_NAMES.len());
+        for (spec, name) in registry.iter().zip(PRESET_NAMES) {
+            assert_eq!(spec.name(), name);
+            assert_eq!(spec.label(), name, "presets carry no overrides");
+            let config = spec.build().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(config.is_valid(), "{name}");
+        }
+        assert!(ScenarioSpec::preset("warp-speed").is_none());
+    }
+
+    #[test]
+    fn paper_default_build_matches_hand_built_config() {
+        let spec = ScenarioSpec::preset("paper-default").expect("preset");
+        let built = spec.build_with_policy(PolicyKind::Online).expect("builds");
+        assert_eq!(built, SimConfig::paper_default(PolicyKind::Online));
+        let smoke = ScenarioSpec::preset("smoke").expect("preset");
+        assert_eq!(
+            smoke
+                .build_with_policy(PolicyKind::Offline)
+                .expect("builds"),
+            SimConfig::small(PolicyKind::Offline)
+        );
+    }
+
+    #[test]
+    fn builders_record_overrides_in_the_label() {
+        let spec = ScenarioSpec::preset("paper-default")
+            .expect("preset")
+            .with_users(50)
+            .with_arrival_p(0.005)
+            .with_link(LinkKind::Lte);
+        assert_eq!(
+            spec.label(),
+            "paper-default:users=50:arrival_p=0.005:link=lte"
+        );
+        // Re-setting a key replaces the value in place, keeping the order.
+        let spec = spec.with_users(60);
+        assert_eq!(
+            spec.label(),
+            "paper-default:users=60:arrival_p=0.005:link=lte"
+        );
+        let config = spec.build().expect("builds");
+        assert_eq!(config.num_users, 60);
+        assert_eq!(config.transport, LinkKind::Lte.model());
+    }
+
+    #[test]
+    fn parse_round_trips_through_the_label() {
+        let inputs = [
+            "paper-default",
+            "smoke:users=3",
+            "sparse:users=50:arrival_p=0.005",
+            "hetero-devices:devices=pixel2+hikey970:seed=7",
+            "lte-uplink:v=1000:lb=500:epsilon=0.1",
+            "wifi-fleet:traces=on:overhead=off:ml=tiny:record_every=10",
+            "dense-burst:slot_seconds=0.5:slots=600",
+        ];
+        for input in inputs {
+            let spec: ScenarioSpec = input.parse().unwrap_or_else(|e| panic!("{input}: {e}"));
+            assert_eq!(spec.label(), input, "canonical inputs are fixed points");
+            let reparsed: ScenarioSpec = spec.label().parse().expect("label re-parses");
+            assert_eq!(reparsed.label(), spec.label());
+            assert_eq!(reparsed, spec, "label carries the whole definition");
+        }
+        // Non-canonical spellings normalize into the canonical label.
+        let spec: ScenarioSpec = "SMOKE:users=07:traces=TRUE".parse().expect("parses");
+        assert_eq!(spec.label(), "smoke:users=7:traces=on");
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs_with_named_tokens() {
+        let err = "warp-speed"
+            .parse::<ScenarioSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown scenario `warp-speed`"), "{err}");
+        assert!(err.contains("paper-default"), "lists presets: {err}");
+
+        let err = "smoke:warp=9"
+            .parse::<ScenarioSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown scenario field `warp`"), "{err}");
+        assert!(err.contains("arrival_p"), "lists fields: {err}");
+
+        let err = "smoke:users=3:users=4"
+            .parse::<ScenarioSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("duplicate scenario field `users`"), "{err}");
+
+        let err = "smoke:users"
+            .parse::<ScenarioSpec>()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("not key=value"), "{err}");
+
+        for (input, needle) in [
+            ("smoke:users=0", "at least 1"),
+            ("smoke:slots=0", "at least 1"),
+            ("smoke:arrival_p=1.5", "[0, 1]"),
+            ("smoke:arrival_p=nan", "[0, 1]"),
+            ("smoke:slot_seconds=0", "positive"),
+            ("smoke:slot_seconds=inf", "positive"),
+            ("smoke:v=-1", "non-negative"),
+            ("smoke:lb=nan", "non-negative"),
+            ("smoke:epsilon=-0.1", "non-negative"),
+            ("smoke:record_every=0", "at least 1"),
+            ("smoke:devices=warpphone", "unknown device `warpphone`"),
+            ("smoke:link=carrier-pigeon", "ideal, wifi, lte"),
+            ("smoke:ml=huge", "off, tiny, full"),
+            ("smoke:traces=maybe", "not on/off"),
+        ] {
+            let err = input.parse::<ScenarioSpec>().unwrap_err().to_string();
+            assert!(err.contains(needle), "{input}: {err}");
+        }
+    }
+
+    #[test]
+    fn device_tokens_round_trip() {
+        for value in ["testbed", "pixel2", "pixel2+hikey970", "nexus6+nexus6p"] {
+            let parsed = parse_devices(value).expect(value);
+            assert_eq!(devices_token(&parsed), value);
+        }
+        assert_eq!(
+            parse_devices("testbed").expect("testbed"),
+            DeviceAssignment::RoundRobinTestbed
+        );
+        assert_eq!(
+            parse_devices("Pixel2").expect("uniform"),
+            DeviceAssignment::Uniform(DeviceKind::Pixel2)
+        );
+        assert!(parse_devices("pixel2+warpphone").is_err());
+    }
+
+    #[test]
+    fn link_kinds_resolve_models_and_labels() {
+        assert_eq!(LinkKind::Ideal.model(), None);
+        assert_eq!(LinkKind::Wifi.model(), Some(TransportModel::wifi()));
+        assert_eq!(LinkKind::Lte.model(), Some(TransportModel::lte()));
+        assert_eq!(LinkKind::by_name("WIFI"), Some(LinkKind::Wifi));
+        assert_eq!(LinkKind::by_name("bluetooth"), None);
+        assert_eq!(LinkKind::label_for(&None), "ideal");
+        assert_eq!(LinkKind::label_for(&Some(TransportModel::lte())), "lte");
+        let odd = TransportModel {
+            download_mbps: 1.0,
+            upload_mbps: 1.0,
+            latency_s: 0.5,
+            radio_power_w: 1.0,
+        };
+        assert_eq!(LinkKind::label_for(&Some(odd)), "custom");
+    }
+
+    #[test]
+    fn ml_modes_map_to_configs() {
+        assert_eq!(MlMode::Off.config(), None);
+        assert_eq!(MlMode::Tiny.config(), Some(MlConfig::tiny()));
+        assert_eq!(MlMode::Full.config(), Some(MlConfig::default()));
+        assert_eq!(MlMode::by_name("tiny"), Some(MlMode::Tiny));
+        assert_eq!(MlMode::by_name("gigantic"), None);
+        assert_eq!(MlMode::default(), MlMode::Off);
+    }
+
+    #[test]
+    fn scenario_file_parses_sections_and_bases() {
+        let text = "\
+# fleet catalogue
+[weekend-lte]
+base = sparse
+users = 50
+link = lte
+
+; alternative comment style
+[night-idle]
+arrival_p = 0.0001
+traces = off
+";
+        let specs = parse_scenario_file(text).expect("parses");
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].label(), "weekend-lte");
+        assert_eq!(specs[0].users(), 50);
+        assert_eq!(specs[0].link(), LinkKind::Lte);
+        assert_eq!(specs[0].arrival_p(), 0.0002, "inherited from sparse");
+        assert_eq!(specs[1].label(), "night-idle");
+        assert_eq!(specs[1].arrival_p(), 0.0001);
+        assert!(!specs[1].traces());
+        for spec in &specs {
+            assert!(spec.build().is_ok());
+        }
+        // Post-parse overrides still show up in the label (sweep axes).
+        let mut tweaked = specs[0].clone();
+        tweaked.set("users", "60").expect("valid field");
+        assert_eq!(tweaked.label(), "weekend-lte:users=60");
+    }
+
+    #[test]
+    fn scenario_file_rejections_name_the_line() {
+        let cases = [
+            ("users = 5\n", "before any [section]"),
+            ("[a]\nusers = 5\n[a]\n", "duplicate scenario section `a`"),
+            ("[sparse]\n", "shadows the built-in preset"),
+            ("[bad name]\n", "must use only letters"),
+            ("[a\n", "unterminated section header"),
+            ("[a]\nusers = 5\nbase = smoke\n", "must be the first entry"),
+            ("[a]\nbase = warp\n", "unknown base preset `warp`"),
+            ("[a]\nusers = 5\nusers = 6\n", "duplicate scenario field"),
+            ("[a]\nusers = 0\n", "at least 1"),
+            ("[a]\nnot a key value\n", "not a section header"),
+            ("# only comments\n", "defines no scenarios"),
+        ];
+        for (text, needle) in cases {
+            let err = parse_scenario_file(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+        // Line numbers point at the offending line.
+        let err = parse_scenario_file("[a]\nusers = 5\nusers = 6\n")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn named_specs_key_on_their_name_alone() {
+        let spec = ScenarioSpec::preset("sparse")
+            .expect("preset")
+            .with_users(50)
+            .named("my-workload");
+        assert_eq!(spec.label(), "my-workload");
+        assert_eq!(spec.users(), 50);
+        // Later overrides extend the new identity.
+        assert_eq!(spec.with_seed(9).label(), "my-workload:seed=9");
+    }
+
+    #[test]
+    fn build_flows_through_sim_config_validation() {
+        // `set` guards the parse path; a programmatically-broken scheduler
+        // is still caught at build time by SimConfig::validate.
+        let mut spec = ScenarioSpec::preset("smoke").expect("preset");
+        spec.scheduler.momentum_beta = 2.0;
+        match spec.build() {
+            Err(ConfigError::Scheduler(e)) => assert_eq!(e.field, "momentum_beta"),
+            other => panic!("expected scheduler error, got {other:?}"),
+        }
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn build_with_policy_crosses_policies_into_the_config() {
+        let spec = ScenarioSpec::preset("smoke").expect("preset");
+        let offline = spec.build_with_policy(PolicyKind::Offline).expect("builds");
+        assert_eq!(offline.policy.label(), "Offline");
+        let v = spec
+            .build_with_policy(PolicySpec::online_with_v(1000.0))
+            .expect("builds");
+        assert_eq!(v.policy.label(), "Online(V=1000)");
+        // Out-of-range policy specs are rejected exactly like elsewhere.
+        assert!(spec
+            .build_with_policy(PolicySpec::Random { p: 1.5, salt: 0 })
+            .is_err());
+    }
+}

@@ -47,11 +47,52 @@ impl DeviceKind {
     pub fn profile(self) -> DeviceProfile {
         DeviceProfile::for_device(self)
     }
+
+    /// Looks a device up by its (case-insensitive) name — the inverse of
+    /// [`DeviceKind::name`]. This is what scenario specs use to resolve
+    /// `devices=pixel2`-style assignments.
+    pub fn by_name(name: &str) -> Option<DeviceKind> {
+        DeviceKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name.trim()))
+    }
 }
 
 impl std::fmt::Display for DeviceKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Error naming the unknown device of a failed [`DeviceKind`] parse, with
+/// the valid choices spelled out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDeviceError(String);
+
+impl std::fmt::Display for ParseDeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let valid: Vec<String> = DeviceKind::ALL
+            .iter()
+            .map(|k| k.name().to_ascii_lowercase())
+            .collect();
+        write!(
+            f,
+            "unknown device `{}` (valid devices: {})",
+            self.0,
+            valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseDeviceError {}
+
+/// Parses a device by testbed name, case-insensitively: `nexus6`,
+/// `nexus6p`, `hikey970` or `pixel2`.
+impl std::str::FromStr for DeviceKind {
+    type Err = ParseDeviceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DeviceKind::by_name(s).ok_or_else(|| ParseDeviceError(s.trim().to_string()))
     }
 }
 
@@ -236,6 +277,23 @@ mod tests {
                 assert!(m.corun_time_s > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn devices_parse_by_name() {
+        for kind in DeviceKind::ALL {
+            assert_eq!(DeviceKind::by_name(kind.name()), Some(kind));
+            assert_eq!(
+                kind.name().to_ascii_lowercase().parse::<DeviceKind>(),
+                Ok(kind),
+                "case-insensitive"
+            );
+        }
+        assert_eq!(DeviceKind::by_name(" Pixel2 "), Some(DeviceKind::Pixel2));
+        assert_eq!(DeviceKind::by_name("warpphone"), None);
+        let err = "warpphone".parse::<DeviceKind>().unwrap_err();
+        assert!(err.to_string().contains("unknown device `warpphone`"));
+        assert!(err.to_string().contains("pixel2"), "lists choices: {err}");
     }
 
     #[test]

@@ -46,6 +46,18 @@ impl TransportModel {
         }
     }
 
+    /// Looks a transport preset up by name (case-insensitive): `wifi` or
+    /// `lte`. `None` for anything else — the "no radio accounting" link is
+    /// not a transport model but the absence of one, so scenario specs
+    /// spell it `ideal` and never reach this lookup.
+    pub fn by_name(name: &str) -> Option<TransportModel> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "wifi" => Some(TransportModel::wifi()),
+            "lte" => Some(TransportModel::lte()),
+            _ => None,
+        }
+    }
+
     /// Time to download a payload of `bytes`.
     pub fn download_time(&self, bytes: usize) -> Seconds {
         Seconds(self.latency_s + transfer_seconds(bytes, self.download_mbps))
@@ -131,5 +143,19 @@ mod tests {
     fn radio_energy_scales_with_time() {
         let t = TransportModel::wifi();
         assert!((t.radio_energy(Seconds(2.0)).value() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        assert_eq!(
+            TransportModel::by_name("wifi"),
+            Some(TransportModel::wifi())
+        );
+        assert_eq!(
+            TransportModel::by_name(" LTE "),
+            Some(TransportModel::lte())
+        );
+        assert_eq!(TransportModel::by_name("ideal"), None);
+        assert_eq!(TransportModel::by_name("carrier-pigeon"), None);
     }
 }

@@ -3,63 +3,108 @@
 //! ```text
 //! cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- [flags]
 //!
-//!   --workers N      worker threads (default 0 = one per core)
-//!   --users N        users per simulation (default 10)
-//!   --slots N        horizon in slots (default 1200)
-//!   --replicates N   seeds per cell (default 2 → 64 jobs)
-//!   --seed N         base seed (default 42)
-//!   --policies LIST  comma-separated policy specs (default: the four
-//!                    built-ins). Each entry is name[:key=value…], e.g.
-//!                    immediate, sync-sgd, offline, online, online:v=1000,
-//!                    random:p=0.5:salt=3, threshold:w=0.7
-//!   --csv PATH       write per-job rows as CSV
-//!   --jsonl PATH     write per-job rows as JSON lines
-//!   --verify         also run on 1 worker; check bit-identical, report speedup
+//!   --workers N           worker threads (default 0 = one per core)
+//!   --scenario LIST       comma-separated scenario specs (default: smoke).
+//!                         Each entry is name[:key=value…] over the preset
+//!                         registry, e.g. paper-default, sparse:users=50,
+//!                         lte-uplink:arrival_p=0.005
+//!   --scenario-file PATH  add every scenario defined in a scenario file
+//!                         (section/key=value format; see EXPERIMENTS.md)
+//!   --axis KEY=V1,V2,…    add one open sweep axis over any scenario field
+//!                         (repeatable), e.g. --axis users=10,100
+//!                         --axis link=ideal,lte
+//!   --policies LIST       comma-separated policy specs (default: the four
+//!                         built-ins), e.g. online:v=1000, random:p=0.5
+//!   --users N, --slots N  shorthand: override users/slots on every scenario
+//!   --replicates N        seeds per cell (default 2)
+//!   --seed N              base seed of the per-job derivation (default 42)
+//!   --csv PATH            write per-job rows as CSV
+//!   --jsonl PATH          write per-job rows as JSON lines
+//!   --verify              also run on 1 worker; check bit-identical
+//!   --list-scenarios      print the scenario preset registry and exit
+//!   --list-policies       print the policy registry and exit
 //! ```
 //!
-//! The default grid is 4 policies × 2 arrival patterns × 2 device
-//! assignments × 2 transport links × `--replicates` seeds. A `--policies`
-//! sweep like `online,online:v=1000,online:v=16000,immediate` compares
-//! parameterized controller variants against the baselines, with one rollup
-//! row per spec label.
+//! The grid is `scenarios × axes… × policies × replicate seeds`, and every
+//! report row is keyed by the `(scenario label, policy label)` pair — the
+//! scenario label embeds the axis overrides of the cell (e.g.
+//! `smoke:users=100:link=lte`), so rows stay self-describing.
 //!
-//! Invalid flag combinations are reported on stderr with a non-zero exit
-//! code — the binary never panics on bad input.
+//! Invalid flags and bad specs are reported on stderr with the offending
+//! token named and the valid choices listed — the binary never panics on
+//! bad input.
 //!
-//! With `FEDCO_BENCH_JSON=<path>` set, one throughput line per policy
-//! (`{"name":"fleet_sweep/<label>","runs":…,"wall_ms_mean":…,
-//! "slots_per_sec_mean":…}`) is appended to that file, so sweep runs record
-//! the same benchmark trajectories as `cargo bench`.
+//! With `FEDCO_BENCH_JSON=<path>` set, one throughput line per cell
+//! (`{"name":"fleet_sweep/<scenario>/<policy>",…}`) is appended to that
+//! file, so sweep runs record the same benchmark trajectories as
+//! `cargo bench`.
 
 use std::process::ExitCode;
 
-use fedco_device::profiles::DeviceKind;
+use fedco_core::scenario::FIELD_KEYS;
 use fedco_fleet::prelude::*;
 
 struct Args {
     workers: usize,
-    users: usize,
-    slots: u64,
+    users: Option<usize>,
+    slots: Option<u64>,
     replicates: usize,
     seed: u64,
+    scenarios: Vec<ScenarioSpec>,
+    axes: Vec<FieldAxis>,
     policies: Vec<PolicySpec>,
     csv: Option<String>,
     jsonl: Option<String>,
     verify: bool,
 }
 
-const USAGE: &str = "usage: fleet_sweep [--workers N] [--users N] [--slots N] \
-[--replicates N] [--seed N] [--policies SPEC,SPEC,...] [--csv PATH] \
-[--jsonl PATH] [--verify]";
+const USAGE: &str = "usage: fleet_sweep [--workers N] [--scenario SPEC,SPEC,...] \
+[--scenario-file PATH] [--axis KEY=V1,V2,...] [--policies SPEC,SPEC,...] \
+[--users N] [--slots N] [--replicates N] [--seed N] [--csv PATH] [--jsonl PATH] \
+[--verify] [--list-scenarios] [--list-policies]";
 
-/// Parses the command line: `Ok(None)` means `--help` was requested.
+fn list_scenarios() {
+    println!("scenario presets (see EXPERIMENTS.md for the regime each maps to):");
+    for spec in ScenarioSpec::default_registry() {
+        println!(
+            "  {:<16} {} users x {} slots, arrival_p={}, devices={}, link={}, ml={}",
+            spec.label(),
+            spec.users(),
+            spec.slots(),
+            spec.arrival_p(),
+            spec.devices().label(),
+            spec.link().label(),
+            spec.ml().label(),
+        );
+    }
+    println!(
+        "\nspec syntax: name[:key=value...] with keys: {}",
+        FIELD_KEYS.join(", ")
+    );
+}
+
+fn list_policies() {
+    println!("policy registry (default parameters shown):");
+    for spec in PolicySpec::default_registry() {
+        println!("  {}", spec.label());
+    }
+    println!(
+        "\nspec syntax: immediate | sync-sgd | offline | online[:v=N] | \
+random:p=P[:salt=N] | threshold:w=W"
+    );
+}
+
+/// Parses the command line: `Ok(None)` means `--help`/`--list-*` handled
+/// everything already.
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         workers: 0,
-        users: 10,
-        slots: 1200,
+        users: None,
+        slots: None,
         replicates: 2,
         seed: 42,
+        scenarios: Vec::new(),
+        axes: Vec::new(),
         policies: PolicyKind::ALL.iter().map(|&k| k.into()).collect(),
         csv: None,
         jsonl: None,
@@ -75,14 +120,22 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .map_err(|e| format!("--workers: {e}"))?
             }
             "--users" => {
-                args.users = value("--users")?
+                let n: usize = value("--users")?
                     .parse()
-                    .map_err(|e| format!("--users: {e}"))?
+                    .map_err(|e| format!("--users: {e}"))?;
+                if n == 0 {
+                    return Err("--users must be at least 1".to_string());
+                }
+                args.users = Some(n);
             }
             "--slots" => {
-                args.slots = value("--slots")?
+                let n: u64 = value("--slots")?
                     .parse()
-                    .map_err(|e| format!("--slots: {e}"))?
+                    .map_err(|e| format!("--slots: {e}"))?;
+                if n == 0 {
+                    return Err("--slots must be at least 1".to_string());
+                }
+                args.slots = Some(n);
             }
             "--replicates" => {
                 args.replicates = value("--replicates")?
@@ -94,15 +147,45 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--scenario" | "--scenarios" => {
+                let list = value("--scenario")?;
+                for token in list.split(',').filter(|t| !t.trim().is_empty()) {
+                    let spec = token.trim().parse::<ScenarioSpec>().map_err(|e| {
+                        format!(
+                            "--scenario `{}`: {e}\n(--list-scenarios prints the registry)",
+                            token.trim()
+                        )
+                    })?;
+                    args.scenarios.push(spec);
+                }
+            }
+            "--scenario-file" => {
+                let path = value("--scenario-file")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("--scenario-file {path}: {e}"))?;
+                let specs = parse_scenario_file(&text)
+                    .map_err(|e| format!("--scenario-file {path}: {e}"))?;
+                args.scenarios.extend(specs);
+            }
+            "--axis" => {
+                let token = value("--axis")?;
+                let axis = FieldAxis::parse(&token)
+                    .map_err(|e| format!("--axis `{token}`: {e}\n(axis syntax: KEY=V1,V2,...)"))?;
+                if axis.values.is_empty() {
+                    return Err(format!("--axis `{token}` must list at least one value"));
+                }
+                args.axes.push(axis);
+            }
             "--policies" => {
                 let list = value("--policies")?;
                 let mut specs = Vec::new();
                 for token in list.split(',').filter(|t| !t.trim().is_empty()) {
-                    specs.push(
-                        token
-                            .parse::<PolicySpec>()
-                            .map_err(|e| format!("--policies: {e}"))?,
-                    );
+                    specs.push(token.trim().parse::<PolicySpec>().map_err(|e| {
+                        format!(
+                            "--policies `{}`: {e}\n(--list-policies prints the registry)",
+                            token.trim()
+                        )
+                    })?);
                 }
                 if specs.is_empty() {
                     return Err("--policies must name at least one policy".to_string());
@@ -112,45 +195,51 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--csv" => args.csv = Some(value("--csv")?),
             "--jsonl" => args.jsonl = Some(value("--jsonl")?),
             "--verify" => args.verify = true,
-            "--help" | "-h" => return Ok(None),
-            other => return Err(format!("unknown flag: {other}\n{USAGE}")),
+            "--list-scenarios" => {
+                list_scenarios();
+                return Ok(None);
+            }
+            "--list-policies" => {
+                list_policies();
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
     if args.replicates == 0 {
         return Err("--replicates must be at least 1".to_string());
     }
-    if args.users == 0 {
-        return Err("--users must be at least 1".to_string());
+    if args.scenarios.is_empty() {
+        args.scenarios = vec![ScenarioSpec::preset("smoke").expect("registry preset")];
     }
-    if args.slots == 0 {
-        return Err("--slots must be at least 1".to_string());
+    // --users/--slots are shorthand for overriding every scenario.
+    for scenario in &mut args.scenarios {
+        if let Some(users) = args.users {
+            *scenario = scenario.clone().with_users(users);
+        }
+        if let Some(slots) = args.slots {
+            *scenario = scenario.clone().with_slots(slots);
+        }
     }
     Ok(Some(args))
 }
 
 fn build_grid(args: &Args) -> ScenarioGrid {
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = args.users;
-    base.total_slots = args.slots;
-    base.seed = args.seed;
-    ScenarioGrid::new(base)
+    ScenarioGrid::from_scenarios(args.scenarios.clone())
+        .with_axes(args.axes.clone())
         .with_policy_specs(args.policies.clone())
-        .with_arrivals(vec![ArrivalPattern::paper(), ArrivalPattern::busy()])
-        .with_devices(vec![
-            DeviceAssignment::RoundRobinTestbed,
-            DeviceAssignment::Uniform(DeviceKind::Pixel2),
-        ])
-        .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
+        .with_base_seed(args.seed)
         .with_replicates(args.replicates)
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(Some(args)) => args,
-        Ok(None) => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
+        Ok(None) => return ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
@@ -164,19 +253,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let workers = resolve_workers(args.workers);
+    let axis_cells: usize = grid.axes.iter().map(|a| a.values.len()).product();
     println!(
-        "fleet_sweep: {} jobs ({} policies x {} arrivals x {} devices x {} links x {} seeds), \
-{} users x {} slots each, {} worker(s)",
+        "fleet_sweep: {} jobs ({} scenarios x {} axis cells x {} policies x {} seeds), \
+{} worker(s)",
         grid.len(),
+        grid.scenarios.len(),
+        axis_cells,
         grid.policies.len(),
-        grid.arrivals.len(),
-        grid.devices.len(),
-        grid.links.len(),
         grid.seeds.len(),
-        args.users,
-        args.slots,
         workers
     );
+    let scenario_labels: Vec<String> = grid.scenarios.iter().map(ScenarioSpec::label).collect();
+    println!("scenarios: {}", scenario_labels.join(", "));
+    for axis in &grid.axes {
+        println!("axis: {} = {}", axis.key, axis.values.join(", "));
+    }
     let labels: Vec<String> = args.policies.iter().map(PolicySpec::label).collect();
     println!("policies: {}\n", labels.join(", "));
 
@@ -190,7 +282,7 @@ fn main() -> ExitCode {
         report.workers,
         throughput
     );
-    // With FEDCO_BENCH_JSON set, append one throughput line per policy so
+    // With FEDCO_BENCH_JSON set, append one throughput line per cell so
     // sweeps double as benchmark trajectories.
     record_bench_json(&report, "fleet_sweep");
 

@@ -13,13 +13,12 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use fedco_core::spec::PolicySpec;
 use fedco_device::profiler::EnergyComponent;
 use fedco_sim::engine::run_simulation_summary;
 use fedco_sim::trace::SimResult;
 
-use crate::grid::{FleetJob, ScenarioGrid};
-use crate::stats::PolicyRollup;
+use crate::grid::{FleetJob, LinkKind, ScenarioGrid};
+use crate::stats::CellRollup;
 
 /// A closeable multi-producer/multi-consumer job queue on
 /// `Mutex` + `Condvar`.
@@ -98,21 +97,24 @@ impl<T> JobQueue<T> {
     }
 }
 
-/// The scalar outcome of one finished job.
+/// The scalar outcome of one finished job, keyed by the pair
+/// `(scenario label, policy label)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSummary {
     /// Linear job index in grid order.
     pub id: usize,
+    /// The scenario label of the cell
+    /// ([`ScenarioSpec::label`](fedco_core::scenario::ScenarioSpec::label)
+    /// plus any applied axis overrides).
+    pub scenario: String,
     /// The spec label of the cell's policy
     /// ([`PolicySpec::label`](fedco_core::spec::PolicySpec::label)).
     pub policy: String,
-    /// Name of the arrival pattern.
-    pub arrival: String,
-    /// The per-slot arrival probability.
+    /// The resolved per-slot arrival probability.
     pub arrival_probability: f64,
-    /// Label of the device assignment.
+    /// Label of the resolved device assignment.
     pub devices: String,
-    /// Label of the transport link.
+    /// Label of the resolved transport link.
     pub link: &'static str,
     /// The replicate seed of the cell (before SplitMix64 derivation).
     pub seed: u64,
@@ -155,11 +157,11 @@ impl JobSummary {
             .fold(0.0, |acc, (_, e)| acc + *e);
         JobSummary {
             id: job.id,
+            scenario: job.scenario_label.clone(),
             policy: result.policy.label(),
-            arrival: job.arrival_name.clone(),
             arrival_probability: job.config.arrival_probability,
-            devices: job.device_label.clone(),
-            link: job.link.label(),
+            devices: job.config.devices.label(),
+            link: LinkKind::label_for(&job.config.transport),
             seed: job.replicate_seed,
             total_energy_j: result.total_energy_j,
             radio_energy_j,
@@ -181,8 +183,9 @@ impl JobSummary {
 pub struct FleetReport {
     /// Per-job summaries, in grid order.
     pub jobs: Vec<JobSummary>,
-    /// Per-policy rollups, in the order policies appear in the grid.
-    pub rollups: Vec<PolicyRollup>,
+    /// Per-cell rollups, one per distinct `(scenario, policy)` label pair,
+    /// in first-appearance job order.
+    pub rollups: Vec<CellRollup>,
     /// How many worker threads ran the sweep.
     pub workers: usize,
     /// Wall-clock seconds of the whole sweep.
@@ -195,17 +198,30 @@ impl FleetReport {
         self.rollups.iter().map(|r| r.energy_j.sum()).sum()
     }
 
-    /// The rollup of one policy spec, if it was part of the sweep. Accepts
-    /// anything converting into a [`PolicySpec`] (e.g. a
-    /// [`PolicyKind`](fedco_core::policy::PolicyKind) or a spec); match by
-    /// raw label with [`FleetReport::rollup_by_label`].
-    pub fn rollup(&self, policy: impl Into<PolicySpec>) -> Option<&PolicyRollup> {
-        self.rollup_by_label(&policy.into().label())
+    /// The rollup of one `(scenario label, policy label)` cell, if it was
+    /// part of the sweep.
+    pub fn rollup(&self, scenario: &str, policy: &str) -> Option<&CellRollup> {
+        self.rollups
+            .iter()
+            .find(|r| r.scenario == scenario && r.policy == policy)
     }
 
-    /// The rollup keyed by a spec label, if it was part of the sweep.
-    pub fn rollup_by_label(&self, label: &str) -> Option<&PolicyRollup> {
-        self.rollups.iter().find(|r| r.policy == label)
+    /// The rollups of one policy label across every scenario of the sweep,
+    /// in report order.
+    pub fn rollups_for_policy<'a>(
+        &'a self,
+        policy: &'a str,
+    ) -> impl Iterator<Item = &'a CellRollup> + 'a {
+        self.rollups.iter().filter(move |r| r.policy == policy)
+    }
+
+    /// The rollups of one scenario label across every policy of the sweep,
+    /// in report order.
+    pub fn rollups_for_scenario<'a>(
+        &'a self,
+        scenario: &'a str,
+    ) -> impl Iterator<Item = &'a CellRollup> + 'a {
+        self.rollups.iter().filter(move |r| r.scenario == scenario)
     }
 }
 
@@ -271,21 +287,22 @@ pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
         .collect();
 
     // Fold rollups in job order: deterministic regardless of worker count.
-    // One rollup per *distinct* spec label — a grid listing a label twice
-    // produces twice the jobs, but they all fold into the same rollup.
-    let mut rollups: Vec<PolicyRollup> = Vec::new();
-    for p in &grid.policies {
-        let label = p.label();
-        if !rollups.iter().any(|r| r.policy == label) {
-            rollups.push(PolicyRollup::new(label));
-        }
-    }
+    // One rollup per *distinct* (scenario, policy) label pair — a grid
+    // listing a pair twice produces twice the jobs, but they all fold into
+    // the same rollup.
+    let mut rollups: Vec<CellRollup> = Vec::new();
     for job in &jobs {
-        let rollup = rollups
+        match rollups
             .iter_mut()
-            .find(|r| r.policy == job.policy)
-            .expect("job policy is a grid policy");
-        rollup.absorb(job);
+            .find(|r| r.scenario == job.scenario && r.policy == job.policy)
+        {
+            Some(rollup) => rollup.absorb(job),
+            None => {
+                let mut rollup = CellRollup::new(job.scenario.clone(), job.policy.clone());
+                rollup.absorb(job);
+                rollups.push(rollup);
+            }
+        }
     }
 
     FleetReport {
@@ -328,18 +345,19 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::{ArrivalPattern, LinkKind};
     use fedco_core::policy::PolicyKind;
-    use fedco_sim::experiment::SimConfig;
+    use fedco_core::scenario::ScenarioSpec;
+    use fedco_core::spec::PolicySpec;
 
     fn tiny_grid() -> ScenarioGrid {
-        let mut base = SimConfig::small(PolicyKind::Online);
-        base.num_users = 3;
-        base.total_slots = 240;
-        ScenarioGrid::new(base)
-            .with_arrivals(vec![ArrivalPattern::busy()])
-            .with_links(vec![LinkKind::Ideal, LinkKind::Wifi])
-            .with_replicates(2)
+        ScenarioGrid::new(
+            ScenarioSpec::preset("smoke")
+                .expect("preset")
+                .with_users(3)
+                .with_slots(240),
+        )
+        .with_axis("link", &["ideal", "wifi"])
+        .with_replicates(2)
     }
 
     #[test]
@@ -387,7 +405,16 @@ mod tests {
         let runs: u64 = report.rollups.iter().map(|r| r.runs()).sum();
         assert_eq!(runs, grid.len() as u64);
         assert!(report.total_energy_j() > 0.0);
-        assert!(report.rollup(PolicyKind::Online).is_some());
+        assert!(report
+            .rollup("smoke:users=3:slots=240:link=wifi", "Online")
+            .is_some());
+        assert_eq!(report.rollups_for_policy("Online").count(), 2);
+        assert_eq!(
+            report
+                .rollups_for_scenario("smoke:users=3:slots=240:link=ideal")
+                .count(),
+            4
+        );
         assert!(report.wall_s > 0.0);
     }
 
@@ -425,8 +452,14 @@ mod tests {
         let grid = tiny_grid().with_policies(vec![PolicyKind::Online, PolicyKind::Online]);
         let report = run_grid(&grid, 2);
         assert_eq!(report.jobs.len(), grid.len());
-        assert_eq!(report.rollups.len(), 1, "one rollup per distinct label");
-        assert_eq!(report.rollups[0].runs(), grid.len() as u64);
+        assert_eq!(
+            report.rollups.len(),
+            2,
+            "one rollup per distinct (scenario, policy) pair"
+        );
+        for rollup in &report.rollups {
+            assert_eq!(rollup.runs(), grid.len() as u64 / 2);
+        }
     }
 
     #[test]
@@ -435,17 +468,15 @@ mod tests {
         specs.extend([1000.0, 16000.0].map(PolicySpec::online_with_v));
         let grid = tiny_grid().with_policy_specs(specs);
         let report = run_grid(&grid, 2);
-        assert_eq!(report.rollups.len(), 3, "one rollup per V variant");
+        assert_eq!(report.rollups.len(), 6, "2 scenarios x 3 V variants");
         for label in ["Online", "Online(V=1000)", "Online(V=16000)"] {
-            let rollup = report
-                .rollup_by_label(label)
-                .unwrap_or_else(|| panic!("missing rollup {label}"));
-            assert_eq!(rollup.runs() as usize, grid.len() / 3, "{label}");
-            assert!(rollup.energy_j.mean() > 0.0);
+            let rollups: Vec<_> = report.rollups_for_policy(label).collect();
+            assert_eq!(rollups.len(), 2, "{label}");
+            for rollup in rollups {
+                assert_eq!(rollup.runs() as usize, grid.len() / 6, "{label}");
+                assert!(rollup.energy_j.mean() > 0.0);
+            }
         }
-        // rollup() accepts kinds and specs interchangeably.
-        assert!(report.rollup(PolicyKind::Online).is_some());
-        assert!(report.rollup(PolicySpec::online_with_v(1000.0)).is_some());
-        assert!(report.rollup(PolicyKind::Offline).is_none());
+        assert_eq!(report.rollups_for_policy("Offline").count(), 0);
     }
 }

@@ -1,166 +1,193 @@
-//! Scenario grids: the cartesian product of sweep dimensions.
+//! Sweep grids: the cartesian product of scenarios, open field axes,
+//! policies and seeds.
 //!
-//! A [`ScenarioGrid`] expands `policies × arrival patterns × device
-//! assignments × transport links × seeds` over a base [`SimConfig`] into a
-//! flat job list. The policy dimension is a vector of
-//! [`PolicySpec`]s, so one sweep can compare parameterized variants (e.g.
-//! the online controller at several `V` values, or seeded random baselines)
-//! alongside the four built-ins. Every job owns a fully-resolved,
-//! summary-only configuration whose seed is derived by folding the job's
-//! grid coordinates through SplitMix64
+//! A [`ScenarioGrid`] crosses a vector of declarative [`ScenarioSpec`]s
+//! with any number of [`FieldAxis`] dimensions (each sweeping one scenario
+//! field through a list of values), a policy dimension of
+//! [`PolicySpec`]s, and a replicate-seed dimension — then expands the
+//! product into a flat job list. Unlike the fixed five-axis grid this
+//! replaces, *any* scenario field ([`fedco_core::scenario::FIELD_KEYS`])
+//! can be swept without touching Rust: `--axis arrival_p=0.001,0.01` and
+//! `--axis users=10,100,1000` are just as first-class as the policy sweep.
+//!
+//! Every job owns a fully-resolved, summary-only configuration whose seed
+//! is derived by folding the job's grid coordinates (and the resolved
+//! scenario's own `seed` field) through SplitMix64
 //! ([`fedco_rng::rngs::SplitMix64`]), so the per-job random streams are a
 //! pure function of *where the job sits in the grid* — never of which
-//! worker ran it or in what order.
+//! worker ran it or in what order. Report rows are keyed by the pair
+//! `(scenario_label, policy_label)`, where the scenario label embeds the
+//! axis overrides applied to that cell (e.g. `smoke:users=100`).
 
+use fedco_core::experiment::{ConfigError, SimConfig};
 use fedco_core::policy::PolicyKind;
+use fedco_core::scenario::{ParseScenarioError, ScenarioSpec};
 use fedco_core::spec::{PolicySpec, PolicySpecError};
-use fedco_fl::transport::TransportModel;
 use fedco_rng::rngs::SplitMix64;
 use fedco_rng::SeedableRng;
-use fedco_sim::experiment::{ConfigError, DeviceAssignment, EmptyDeviceList, SimConfig};
 
-/// One named application-arrival pattern (the per-slot Bernoulli rate).
-#[derive(Debug, Clone, PartialEq)]
-pub struct ArrivalPattern {
-    /// A short name used in reports (e.g. `"paper"`).
-    pub name: String,
-    /// The per-slot arrival probability.
-    pub probability: f64,
+pub use fedco_core::scenario::LinkKind;
+
+/// One open sweep dimension: a scenario field key and the list of textual
+/// values it steps through. Values are applied with
+/// [`ScenarioSpec::set`], so anything the `name:key=value` CLI syntax
+/// accepts can be swept, and each applied value shows up in the cell's
+/// scenario label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldAxis {
+    /// The scenario field being swept (one of
+    /// [`fedco_core::scenario::FIELD_KEYS`]).
+    pub key: String,
+    /// The values the axis steps through, in sweep order.
+    pub values: Vec<String>,
 }
 
-impl ArrivalPattern {
-    /// A named pattern.
-    pub fn new(name: impl Into<String>, probability: f64) -> Self {
-        ArrivalPattern {
-            name: name.into(),
-            probability: probability.clamp(0.0, 1.0),
+impl FieldAxis {
+    /// An axis over the given field and values.
+    pub fn new(key: impl Into<String>, values: Vec<String>) -> Self {
+        FieldAxis {
+            key: key.into(),
+            values,
         }
     }
 
-    /// The paper's main-evaluation rate: one app per ~1000 s per user.
-    pub fn paper() -> Self {
-        ArrivalPattern::new("paper", 0.001)
-    }
-
-    /// Scarce arrivals (Fig. 6's left end).
-    pub fn sparse() -> Self {
-        ArrivalPattern::new("sparse", 0.0002)
-    }
-
-    /// Busy users switching apps frequently (Fig. 6's right end).
-    pub fn busy() -> Self {
-        ArrivalPattern::new("busy", 0.005)
-    }
-}
-
-/// The transport link of a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LinkKind {
-    /// No radio accounting (the paper's setting).
-    Ideal,
-    /// Home Wi-Fi ([`TransportModel::wifi`]).
-    Wifi,
-    /// Cellular LTE ([`TransportModel::lte`]).
-    Lte,
-}
-
-impl LinkKind {
-    /// All link kinds.
-    pub const ALL: [LinkKind; 3] = [LinkKind::Ideal, LinkKind::Wifi, LinkKind::Lte];
-
-    /// The transport model of this link, if any.
-    pub fn model(self) -> Option<TransportModel> {
-        match self {
-            LinkKind::Ideal => None,
-            LinkKind::Wifi => Some(TransportModel::wifi()),
-            LinkKind::Lte => Some(TransportModel::lte()),
-        }
-    }
-
-    /// A short label for reports.
-    pub fn label(self) -> &'static str {
-        match self {
-            LinkKind::Ideal => "ideal",
-            LinkKind::Wifi => "wifi",
-            LinkKind::Lte => "lte",
-        }
+    /// Parses the CLI syntax `key=v1,v2,…`. Keys are case-insensitive,
+    /// like the `--scenario` and scenario-file key paths.
+    pub fn parse(s: &str) -> Result<Self, ParseScenarioError> {
+        let (key, list) = s.split_once('=').ok_or_else(|| {
+            ParseScenarioError::new(format!("sweep axis `{s}` is not KEY=V1,V2,..."))
+        })?;
+        let values: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|v| !v.is_empty())
+            .map(String::from)
+            .collect();
+        Ok(FieldAxis::new(key.trim().to_ascii_lowercase(), values))
     }
 }
 
-/// The position of a job in the grid, as indices into each dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The position of a job in the grid, as indices into each dimension
+/// (scenario-major, seed-minor).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobCoord {
+    /// Index into [`ScenarioGrid::scenarios`].
+    pub scenario: usize,
+    /// One index per [`ScenarioGrid::axes`] entry.
+    pub fields: Vec<usize>,
     /// Index into [`ScenarioGrid::policies`].
     pub policy: usize,
-    /// Index into [`ScenarioGrid::arrivals`].
-    pub arrival: usize,
-    /// Index into [`ScenarioGrid::devices`].
-    pub device: usize,
-    /// Index into [`ScenarioGrid::links`].
-    pub link: usize,
     /// Index into [`ScenarioGrid::seeds`].
     pub seed: usize,
 }
 
-/// One fully-resolved unit of work: a (policy, arrival, devices, link, seed)
-/// cell of the grid with its summary-only simulation configuration.
+/// One fully-resolved unit of work: a (scenario, field-axis…, policy,
+/// seed) cell of the grid with its summary-only simulation configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetJob {
-    /// Linear index of the job in grid order (policy-major, seed-minor).
+    /// Linear index of the job in grid order.
     pub id: usize,
     /// The grid coordinates.
     pub coord: JobCoord,
     /// The resolved configuration (summary-only, derived seed installed).
     pub config: SimConfig,
-    /// Name of the arrival pattern.
-    pub arrival_name: String,
-    /// Label of the device assignment.
-    pub device_label: String,
-    /// The transport link.
-    pub link: LinkKind,
+    /// The scenario label keying this cell's report rows — the scenario's
+    /// own label plus the axis overrides applied to it.
+    pub scenario_label: String,
+    /// The policy label keying this cell's report rows.
+    pub policy_label: String,
     /// The sweep-level seed this cell replicates (before derivation).
     pub replicate_seed: u64,
 }
 
-/// The cartesian product of sweep dimensions over a base configuration.
+/// The cartesian product `scenarios × field axes × policies × seeds`.
 ///
 /// All dimension vectors must be non-empty; [`ScenarioGrid::new`] starts
-/// every dimension at a sensible singleton (all four policies, the paper's
-/// arrival rate, the round-robin testbed, no radio, the base seed) and the
-/// `with_*` builders replace one dimension each.
+/// from one scenario, the four built-in policies, no field axes and the
+/// scenario's own seed, and the `with_*` builders replace (or, for axes,
+/// extend) one dimension each.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioGrid {
-    /// The configuration every cell starts from. Horizon, user count,
-    /// scheduler knobs and the ML workload come from here.
-    pub base: SimConfig,
+    /// The scenario dimension: declarative workload descriptions from the
+    /// registry, a scenario file, or the builders. Labels must be distinct
+    /// per entry for the per-cell rollups to be meaningful.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// The open field-axis dimensions, applied to every scenario in order.
+    pub axes: Vec<FieldAxis>,
     /// The policy dimension: any mix of built-ins, parameterized variants
-    /// and custom specs. Labels must be distinct per entry for the per-spec
-    /// rollups to be meaningful.
+    /// and custom specs.
     pub policies: Vec<PolicySpec>,
-    /// The arrival-pattern dimension.
-    pub arrivals: Vec<ArrivalPattern>,
-    /// The device-assignment dimension.
-    pub devices: Vec<DeviceAssignment>,
-    /// The transport-link dimension.
-    pub links: Vec<LinkKind>,
     /// The replicate-seed dimension.
     pub seeds: Vec<u64>,
+    /// The seed every per-job derivation starts from.
+    pub base_seed: u64,
 }
 
 impl ScenarioGrid {
-    /// A grid comparing all four policies under the base configuration.
-    pub fn new(base: SimConfig) -> Self {
-        let seed = base.seed;
-        let arrival = ArrivalPattern::new("base", base.arrival_probability);
-        let devices = base.devices.clone();
+    /// A grid comparing all four built-in policies over one scenario.
+    pub fn new(scenario: ScenarioSpec) -> Self {
+        ScenarioGrid::from_scenarios(vec![scenario])
+    }
+
+    /// A grid comparing all four built-in policies over several scenarios.
+    /// The first scenario's `seed` field becomes the base seed and the
+    /// single replicate seed, exactly as [`ScenarioGrid::new`] does for one
+    /// scenario (an empty list is caught by [`ScenarioGrid::validate`]).
+    pub fn from_scenarios(scenarios: Vec<ScenarioSpec>) -> Self {
+        let seed = scenarios.first().map(ScenarioSpec::seed).unwrap_or(42);
         ScenarioGrid {
-            base,
+            scenarios,
+            axes: Vec::new(),
             policies: PolicyKind::ALL.iter().map(|&k| k.into()).collect(),
-            arrivals: vec![arrival],
-            devices: vec![devices],
-            links: vec![LinkKind::Ideal],
             seeds: vec![seed],
+            base_seed: seed,
         }
+    }
+
+    /// A grid over the named registry preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not a registry preset; parse a
+    /// [`ScenarioSpec`] for fallible lookup.
+    pub fn preset(name: &str) -> Self {
+        ScenarioGrid::new(
+            ScenarioSpec::preset(name)
+                .unwrap_or_else(|| panic!("`{name}` is not a registry scenario preset")),
+        )
+    }
+
+    /// Replaces the scenario dimension.
+    #[must_use]
+    pub fn with_scenarios(mut self, scenarios: Vec<ScenarioSpec>) -> Self {
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Appends one open field axis (applied to every scenario).
+    ///
+    /// ```
+    /// use fedco_fleet::prelude::*;
+    ///
+    /// let grid = ScenarioGrid::preset("smoke")
+    ///     .with_axis("arrival_p", &["0.001", "0.01"])
+    ///     .with_axis("link", &["ideal", "lte"]);
+    /// assert_eq!(grid.len(), 4 * 2 * 2);
+    /// ```
+    #[must_use]
+    pub fn with_axis(mut self, key: impl Into<String>, values: &[&str]) -> Self {
+        self.axes.push(FieldAxis::new(
+            key,
+            values.iter().map(|v| v.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Replaces the field-axis dimensions.
+    #[must_use]
+    pub fn with_axes(mut self, axes: Vec<FieldAxis>) -> Self {
+        self.axes = axes;
+        self
     }
 
     /// Replaces the policy dimension with built-in kinds (convenience
@@ -171,51 +198,19 @@ impl ScenarioGrid {
     }
 
     /// Replaces the policy dimension with arbitrary specs, so one sweep can
-    /// compare parameterized variants against the built-ins:
-    ///
-    /// ```
-    /// use fedco_fleet::prelude::*;
-    ///
-    /// let mut specs: Vec<PolicySpec> =
-    ///     PolicyKind::ALL.iter().map(|&k| k.into()).collect();
-    /// specs.extend([1000.0, 4000.0, 16000.0].map(PolicySpec::online_with_v));
-    /// let grid = ScenarioGrid::new(SimConfig::small(PolicyKind::Online))
-    ///     .with_policy_specs(specs);
-    /// assert_eq!(grid.policies.len(), 7);
-    /// ```
+    /// compare parameterized variants against the built-ins.
     #[must_use]
     pub fn with_policy_specs(mut self, policies: Vec<PolicySpec>) -> Self {
         self.policies = policies;
         self
     }
 
-    /// Replaces the arrival-pattern dimension.
-    #[must_use]
-    pub fn with_arrivals(mut self, arrivals: Vec<ArrivalPattern>) -> Self {
-        self.arrivals = arrivals;
-        self
-    }
-
-    /// Replaces the device-assignment dimension.
-    #[must_use]
-    pub fn with_devices(mut self, devices: Vec<DeviceAssignment>) -> Self {
-        self.devices = devices;
-        self
-    }
-
-    /// Replaces the transport-link dimension.
-    #[must_use]
-    pub fn with_links(mut self, links: Vec<LinkKind>) -> Self {
-        self.links = links;
-        self
-    }
-
-    /// Replaces the replicate-seed dimension with `count` seeds derived from
-    /// the base seed (wrapping, so any base seed admits any count).
+    /// Replaces the replicate-seed dimension with `count` seeds derived
+    /// from the base seed (wrapping, so any base seed admits any count).
     #[must_use]
     pub fn with_replicates(mut self, count: usize) -> Self {
         self.seeds = (0..count as u64)
-            .map(|i| self.base.seed.wrapping_add(i))
+            .map(|i| self.base_seed.wrapping_add(i))
             .collect();
         self
     }
@@ -227,42 +222,76 @@ impl ScenarioGrid {
         self
     }
 
-    /// Whether every dimension is non-empty and the base config is valid.
-    /// Thin shim over [`ScenarioGrid::validate`], which reports *why*.
+    /// Replaces the base seed of the per-job derivation (and nothing else;
+    /// call before [`ScenarioGrid::with_replicates`] to re-derive the
+    /// replicate seeds too).
+    #[must_use]
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Whether every dimension is non-empty and every cell resolves to a
+    /// valid configuration. Thin shim over [`ScenarioGrid::validate`],
+    /// which reports *why*.
     pub fn is_valid(&self) -> bool {
         self.validate().is_ok()
     }
 
-    /// Validates the grid, returning a typed [`GridError`] naming the
-    /// offending dimension or base-config field on failure.
+    /// Validates the grid: every dimension non-empty, every policy spec in
+    /// range, and every `scenario × axis-value` combination both parseable
+    /// and buildable — so [`ScenarioGrid::expand`] cannot fail later.
     pub fn validate(&self) -> Result<(), GridError> {
-        self.base.validate().map_err(GridError::Base)?;
         for (dim, empty) in [
+            ("scenarios", self.scenarios.is_empty()),
             ("policies", self.policies.is_empty()),
-            ("arrivals", self.arrivals.is_empty()),
-            ("devices", self.devices.is_empty()),
-            ("links", self.links.is_empty()),
             ("seeds", self.seeds.is_empty()),
         ] {
             if empty {
                 return Err(GridError::EmptyDimension(dim));
             }
         }
-        if !self.devices.iter().all(DeviceAssignment::is_valid) {
-            return Err(GridError::Device(EmptyDeviceList));
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(GridError::EmptyAxis(axis.key.clone()));
+            }
         }
         for spec in &self.policies {
             spec.validate().map_err(GridError::Policy)?;
+        }
+        // Walk the scenario × field-axis product once (policies and seeds
+        // cannot affect scenario validity), checking both the axis
+        // application and the final build of every combination.
+        let scenario_cells: usize =
+            self.axes.iter().map(|a| a.values.len()).product::<usize>() * self.scenarios.len();
+        for cell in 0..scenario_cells {
+            let mut rest = cell;
+            let mut fields = Vec::with_capacity(self.axes.len());
+            for axis in self.axes.iter().rev() {
+                fields.push(rest % axis.values.len());
+                rest /= axis.values.len();
+            }
+            fields.reverse();
+            let coord = JobCoord {
+                scenario: rest,
+                fields,
+                policy: 0,
+                seed: 0,
+            };
+            let spec = self.resolve_scenario(&coord)?;
+            spec.validate().map_err(|error| GridError::Scenario {
+                label: spec.label(),
+                error,
+            })?;
         }
         Ok(())
     }
 
     /// Number of jobs in the grid.
     pub fn len(&self) -> usize {
-        self.policies.len()
-            * self.arrivals.len()
-            * self.devices.len()
-            * self.links.len()
+        self.scenarios.len()
+            * self.axes.iter().map(|a| a.values.len()).product::<usize>()
+            * self.policies.len()
             * self.seeds.len()
     }
 
@@ -271,44 +300,69 @@ impl ScenarioGrid {
         self.len() == 0
     }
 
-    /// The coordinates of linear job index `id` (policy-major, seed-minor).
+    /// The coordinates of linear job index `id` (scenario-major,
+    /// seed-minor).
     pub fn coord(&self, id: usize) -> JobCoord {
         let mut rest = id;
         let seed = rest % self.seeds.len();
         rest /= self.seeds.len();
-        let link = rest % self.links.len();
-        rest /= self.links.len();
-        let device = rest % self.devices.len();
-        rest /= self.devices.len();
-        let arrival = rest % self.arrivals.len();
-        rest /= self.arrivals.len();
+        let policy = rest % self.policies.len();
+        rest /= self.policies.len();
+        let mut fields = Vec::with_capacity(self.axes.len());
+        for axis in self.axes.iter().rev() {
+            fields.push(rest % axis.values.len());
+            rest /= axis.values.len();
+        }
+        fields.reverse();
         JobCoord {
-            policy: rest,
-            arrival,
-            device,
-            link,
+            scenario: rest,
+            fields,
+            policy,
             seed,
         }
     }
 
-    /// The derived simulation seed of a cell: the base seed and the grid
-    /// coordinates folded through SplitMix64. Depending only on coordinates
-    /// (not on expansion or execution order) is what makes fleet results
-    /// bit-identical across worker counts.
-    pub fn job_seed(&self, coord: JobCoord) -> u64 {
-        let mut sm = SplitMix64::seed_from_u64(self.base.seed);
+    /// The derived simulation seed of a cell: the base seed, the resolved
+    /// scenario's own `seed` field and the grid coordinates folded through
+    /// SplitMix64. Folding the scenario's seed in keeps `seed=…` overrides
+    /// and `--axis seed=…` sweeps honest — the labeled seed genuinely
+    /// changes the cell's random streams — while depending only on
+    /// coordinates and scenario content (never on expansion or execution
+    /// order) keeps fleet results bit-identical across worker counts.
+    pub fn job_seed(&self, coord: &JobCoord, scenario: &ScenarioSpec) -> u64 {
+        let mut sm = SplitMix64::seed_from_u64(self.base_seed);
+        sm.absorb(scenario.seed());
+        sm.absorb(coord.scenario as u64);
+        for &field in &coord.fields {
+            sm.absorb(field as u64);
+        }
         sm.absorb(coord.policy as u64);
-        sm.absorb(coord.arrival as u64);
-        sm.absorb(coord.device as u64);
-        sm.absorb(coord.link as u64);
         sm.absorb(self.seeds[coord.seed])
+    }
+
+    /// The scenario spec of a cell: the coordinate's scenario with every
+    /// field-axis value applied (and recorded in its label).
+    pub fn resolve_scenario(&self, coord: &JobCoord) -> Result<ScenarioSpec, GridError> {
+        let mut spec = self.scenarios[coord.scenario].clone();
+        for (axis, &value_idx) in self.axes.iter().zip(&coord.fields) {
+            let value = &axis.values[value_idx];
+            spec.set(&axis.key, value)
+                .map_err(|error| GridError::Axis {
+                    key: axis.key.clone(),
+                    value: value.clone(),
+                    scenario: self.scenarios[coord.scenario].label(),
+                    error,
+                })?;
+        }
+        Ok(spec)
     }
 
     /// Builds the job at linear index `id`.
     ///
     /// # Panics
     ///
-    /// Panics if `id >= self.len()` or the grid is invalid.
+    /// Panics if `id >= self.len()` or the cell is invalid (which
+    /// [`ScenarioGrid::validate`] rules out up front).
     pub fn job(&self, id: usize) -> FleetJob {
         assert!(
             id < self.len(),
@@ -316,26 +370,24 @@ impl ScenarioGrid {
             self.len()
         );
         let coord = self.coord(id);
-        let arrival = &self.arrivals[coord.arrival];
-        let devices = &self.devices[coord.device];
-        let link = self.links[coord.link];
-        let mut config = self
-            .base
-            .clone()
-            .with_arrival_probability(arrival.probability)
-            .with_seed(self.job_seed(coord))
-            .summary_only();
-        config.policy = self.policies[coord.policy].clone();
-        config.devices = devices.clone();
-        config.transport = link.model();
+        let spec = match self.resolve_scenario(&coord) {
+            Ok(spec) => spec,
+            Err(e) => panic!("invalid scenario grid: {e}"),
+        };
+        let policy = &self.policies[coord.policy];
+        let config = match spec.build_with_policy(policy.clone()) {
+            Ok(config) => config
+                .with_seed(self.job_seed(&coord, &spec))
+                .summary_only(),
+            Err(e) => panic!("invalid scenario grid cell `{}`: {e}", spec.label()),
+        };
         FleetJob {
             id,
+            scenario_label: spec.label(),
+            policy_label: policy.label(),
+            replicate_seed: self.seeds[coord.seed],
             coord,
             config,
-            arrival_name: arrival.name.clone(),
-            device_label: devices.label(),
-            link,
-            replicate_seed: self.seeds[coord.seed],
         }
     }
 
@@ -355,12 +407,30 @@ impl ScenarioGrid {
 /// A typed description of why a [`ScenarioGrid`] was rejected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GridError {
-    /// The base [`SimConfig`] is invalid.
-    Base(ConfigError),
-    /// A sweep dimension (named) is empty.
+    /// A fixed sweep dimension (named) is empty.
     EmptyDimension(&'static str),
-    /// A device assignment in the device dimension is an empty custom list.
-    Device(EmptyDeviceList),
+    /// The field axis over the named key has no values.
+    EmptyAxis(String),
+    /// An axis value does not apply to a scenario (key, value, scenario
+    /// label and the field-naming parse error attached).
+    Axis {
+        /// The swept field.
+        key: String,
+        /// The rejected value.
+        value: String,
+        /// The label of the scenario the value was applied to.
+        scenario: String,
+        /// The underlying field error.
+        error: ParseScenarioError,
+    },
+    /// A resolved scenario cell fails configuration validation (label and
+    /// the underlying error attached).
+    Scenario {
+        /// The label of the offending cell.
+        label: String,
+        /// The underlying configuration error.
+        error: ConfigError,
+    },
     /// A spec in the policy dimension carries an out-of-range parameter.
     Policy(PolicySpecError),
 }
@@ -368,11 +438,24 @@ pub enum GridError {
 impl std::fmt::Display for GridError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GridError::Base(e) => write!(f, "base config: {e}"),
             GridError::EmptyDimension(dim) => {
                 write!(f, "sweep dimension `{dim}` must not be empty")
             }
-            GridError::Device(e) => write!(f, "device dimension: {e}"),
+            GridError::EmptyAxis(key) => {
+                write!(f, "sweep axis `{key}` must list at least one value")
+            }
+            GridError::Axis {
+                key,
+                value,
+                scenario,
+                error,
+            } => write!(
+                f,
+                "axis `{key}={value}` does not apply to scenario `{scenario}`: {error}"
+            ),
+            GridError::Scenario { label, error } => {
+                write!(f, "scenario `{label}`: {error}")
+            }
             GridError::Policy(e) => write!(f, "policy dimension: {e}"),
         }
     }
@@ -381,10 +464,10 @@ impl std::fmt::Display for GridError {
 impl std::error::Error for GridError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            GridError::Base(e) => Some(e),
-            GridError::Device(e) => Some(e),
+            GridError::Axis { error, .. } => Some(error),
+            GridError::Scenario { error, .. } => Some(error),
             GridError::Policy(e) => Some(e),
-            GridError::EmptyDimension(_) => None,
+            GridError::EmptyDimension(_) | GridError::EmptyAxis(_) => None,
         }
     }
 }
@@ -392,23 +475,69 @@ impl std::error::Error for GridError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedco_device::profiles::DeviceKind;
 
     fn grid() -> ScenarioGrid {
-        ScenarioGrid::new(SimConfig::small(PolicyKind::Online))
-            .with_arrivals(vec![ArrivalPattern::sparse(), ArrivalPattern::busy()])
-            .with_devices(vec![
-                DeviceAssignment::RoundRobinTestbed,
-                DeviceAssignment::Uniform(DeviceKind::Pixel2),
-            ])
-            .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
-            .with_replicates(2)
+        ScenarioGrid::from_scenarios(vec![
+            ScenarioSpec::preset("smoke").expect("preset"),
+            ScenarioSpec::preset("hetero-devices")
+                .expect("preset")
+                .with_users(4)
+                .with_slots(400),
+        ])
+        .with_axis("arrival_p", &["0.001", "0.01"])
+        .with_axis("link", &["ideal", "lte"])
+        .with_replicates(2)
+    }
+
+    #[test]
+    fn from_scenarios_seeds_from_the_first_scenario() {
+        let g = grid();
+        assert_eq!(g.base_seed, g.scenarios[0].seed());
+        assert_eq!(g.seeds, vec![g.base_seed, g.base_seed + 1]);
+        // The single-scenario constructor is the same thing.
+        let single = ScenarioGrid::new(ScenarioSpec::preset("smoke").expect("preset"));
+        assert_eq!(single.base_seed, 42);
+        assert_eq!(single.seeds, vec![42]);
+    }
+
+    #[test]
+    fn scenario_seed_overrides_reach_the_derived_job_seed() {
+        // `seed` is a sweepable field like any other: a seed override (or a
+        // seed axis) must genuinely change the cell's random streams, so
+        // the labeled seed is never a lie.
+        let g = ScenarioGrid::preset("smoke").with_axis("seed", &["1", "2"]);
+        let jobs = g.expand();
+        assert_eq!(jobs.len(), 8);
+        for pair in jobs.chunks(2) {
+            assert_ne!(
+                pair[0].config.seed, pair[1].config.seed,
+                "{} vs {}",
+                pair[0].scenario_label, pair[1].scenario_label
+            );
+        }
+        assert!(jobs.iter().any(|j| j.scenario_label.ends_with("seed=1")));
+        // Expansion stays a pure function of the grid.
+        let again = g.expand();
+        for (a, b) in jobs.iter().zip(&again) {
+            assert_eq!(a.config.seed, b.config.seed);
+        }
+    }
+
+    #[test]
+    fn axis_keys_are_case_insensitive_like_scenario_keys() {
+        let axis = FieldAxis::parse("USERS=4,8").expect("parses");
+        assert_eq!(axis.key, "users");
+        let g = ScenarioGrid::preset("smoke").with_axes(vec![axis]);
+        assert!(g.validate().is_ok());
+        // with_axis goes through ScenarioSpec::set, which lowercases too.
+        let g2 = ScenarioGrid::preset("smoke").with_axis("Link", &["ideal", "lte"]);
+        assert!(g2.validate().is_ok(), "{:?}", g2.validate());
     }
 
     #[test]
     fn len_is_product_of_dimensions() {
         let g = grid();
-        assert_eq!(g.len(), 4 * 2 * 2 * 2 * 2);
+        assert_eq!(g.len(), 2 * 2 * 2 * 4 * 2);
         assert!(g.is_valid());
         assert!(!g.is_empty());
         assert_eq!(g.expand().len(), g.len());
@@ -422,25 +551,41 @@ mod tests {
             assert_eq!(job.id, i);
             assert_eq!(g.coord(i), job.coord);
         }
-        // Every policy appears equally often.
-        for (k, policy) in g.policies.iter().enumerate() {
-            let n = jobs.iter().filter(|j| j.config.policy == *policy).count();
-            assert_eq!(n, g.len() / 4, "policy {k}");
+        // Every policy appears equally often …
+        for policy in &g.policies {
+            let n = jobs
+                .iter()
+                .filter(|j| j.policy_label == policy.label())
+                .count();
+            assert_eq!(n, g.len() / g.policies.len(), "{policy}");
         }
+        // … and so does every (scenario, axis-values) combination.
+        let mut labels: Vec<String> = jobs.iter().map(|j| j.scenario_label.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 2 * 2 * 2, "distinct scenario cells");
     }
 
     #[test]
-    fn jobs_resolve_their_dimensions() {
+    fn axis_values_resolve_into_configs_and_labels() {
         let g = grid();
         for job in g.expand() {
             assert!(!job.config.collect_traces, "jobs are summary-only");
             assert!(job.config.is_valid());
-            assert_eq!(
-                job.config.arrival_probability,
-                g.arrivals[job.coord.arrival].probability
+            // The scenario label names exactly the axis values the config
+            // resolved to.
+            let arrival = format!("arrival_p={}", job.config.arrival_probability);
+            assert!(
+                job.scenario_label.contains(&arrival),
+                "{} missing {arrival}",
+                job.scenario_label
             );
-            assert_eq!(job.config.transport, job.link.model());
-            assert_eq!(job.arrival_name, g.arrivals[job.coord.arrival].name);
+            let link = LinkKind::label_for(&job.config.transport);
+            assert!(
+                job.scenario_label.contains(&format!("link={link}")),
+                "{} missing link={link}",
+                job.scenario_label
+            );
         }
     }
 
@@ -448,83 +593,105 @@ mod tests {
     fn job_seeds_are_coordinate_determined_and_distinct() {
         let g = grid();
         let jobs = g.expand();
-        // Same grid, second expansion: identical seeds.
         let again = g.expand();
         for (a, b) in jobs.iter().zip(&again) {
             assert_eq!(a.config.seed, b.config.seed);
         }
-        // All cells get distinct derived seeds.
         let mut seeds: Vec<u64> = jobs.iter().map(|j| j.config.seed).collect();
         seeds.sort_unstable();
         seeds.dedup();
-        assert_eq!(seeds.len(), jobs.len());
-        // And the derivation is not the identity on the replicate seed.
+        assert_eq!(seeds.len(), jobs.len(), "all cells get distinct seeds");
         assert!(jobs.iter().all(|j| j.config.seed != j.replicate_seed));
     }
 
     #[test]
     fn replicates_wrap_at_the_seed_space_boundary() {
-        let mut base = SimConfig::small(PolicyKind::Online);
-        base.seed = u64::MAX;
-        let g = ScenarioGrid::new(base).with_replicates(2);
+        let g = ScenarioGrid::new(
+            ScenarioSpec::preset("smoke")
+                .expect("preset")
+                .with_seed(u64::MAX),
+        )
+        .with_replicates(2);
         assert_eq!(g.seeds, vec![u64::MAX, 0]);
+        assert_eq!(g.base_seed, u64::MAX);
     }
 
     #[test]
-    fn arrival_presets_are_ordered() {
-        assert!(ArrivalPattern::sparse().probability < ArrivalPattern::paper().probability);
-        assert!(ArrivalPattern::paper().probability < ArrivalPattern::busy().probability);
-        assert_eq!(ArrivalPattern::new("x", 7.0).probability, 1.0);
-    }
-
-    #[test]
-    fn link_kinds_expose_models() {
-        assert_eq!(LinkKind::Ideal.model(), None);
-        assert!(LinkKind::Wifi.model().is_some());
-        assert_eq!(LinkKind::Lte.label(), "lte");
-        assert_eq!(LinkKind::ALL.len(), 3);
-    }
-
-    #[test]
-    fn empty_dimension_invalidates_grid() {
+    fn empty_dimensions_invalidate_the_grid() {
         let g = grid().with_policies(vec![]);
         assert!(!g.is_valid());
         assert!(g.is_empty());
         assert_eq!(g.validate(), Err(GridError::EmptyDimension("policies")));
-        assert!(g.validate().unwrap_err().to_string().contains("policies"));
-        let g2 = grid().with_devices(vec![DeviceAssignment::Custom(vec![])]);
-        assert!(!g2.is_valid());
-        assert_eq!(g2.validate(), Err(GridError::Device(EmptyDeviceList)));
-        let mut g3 = grid();
-        g3.base.num_users = 0;
-        assert_eq!(g3.validate(), Err(GridError::Base(ConfigError::ZeroUsers)));
-        assert!(g3.validate().unwrap_err().to_string().contains("num_users"));
+        let g2 = grid().with_scenarios(vec![]);
+        assert_eq!(g2.validate(), Err(GridError::EmptyDimension("scenarios")));
+        let g3 = grid().with_seeds(vec![]);
+        assert_eq!(g3.validate(), Err(GridError::EmptyDimension("seeds")));
+        let g4 = grid().with_axes(vec![FieldAxis::new("users", vec![])]);
+        assert_eq!(g4.validate(), Err(GridError::EmptyAxis("users".into())));
         assert!(grid().validate().is_ok());
-        // An out-of-range spec in the policy dimension is caught too.
-        let g4 = grid().with_policy_specs(vec![PolicySpec::Random { p: 1.5, salt: 0 }]);
-        match g4.validate() {
+    }
+
+    #[test]
+    fn bad_axis_values_name_key_value_and_scenario() {
+        let g = ScenarioGrid::preset("smoke").with_axis("users", &["4", "0"]);
+        match g.validate() {
+            Err(GridError::Axis {
+                key,
+                value,
+                scenario,
+                ..
+            }) => {
+                assert_eq!(key, "users");
+                assert_eq!(value, "0");
+                assert_eq!(scenario, "smoke");
+            }
+            other => panic!("expected axis error, got {other:?}"),
+        }
+        let msg = g.validate().unwrap_err().to_string();
+        assert!(msg.contains("users=0"), "{msg}");
+        assert!(msg.contains("smoke"), "{msg}");
+        // Unknown axis keys are caught the same way.
+        let g2 = ScenarioGrid::preset("smoke").with_axis("warp", &["1"]);
+        assert!(g2
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("unknown scenario field `warp`"));
+        // Out-of-range policy parameters are named too.
+        let g3 = ScenarioGrid::preset("smoke")
+            .with_policy_specs(vec![PolicySpec::Random { p: 1.5, salt: 0 }]);
+        match g3.validate() {
             Err(GridError::Policy(e)) => assert_eq!(e.parameter, "p"),
             other => panic!("expected policy error, got {other:?}"),
         }
     }
 
     #[test]
+    fn field_axis_parses_cli_syntax() {
+        let axis = FieldAxis::parse("arrival_p=0.001,0.01, 0.05").expect("parses");
+        assert_eq!(axis.key, "arrival_p");
+        assert_eq!(axis.values, vec!["0.001", "0.01", "0.05"]);
+        assert!(FieldAxis::parse("no-equals-sign").is_err());
+        let err = FieldAxis::parse("warp=1,2")
+            .map(|a| ScenarioGrid::preset("smoke").with_axes(vec![a]).validate());
+        assert!(matches!(err, Ok(Err(GridError::Axis { .. }))));
+    }
+
+    #[test]
     fn policy_dimension_takes_parameterized_specs() {
         let mut specs: Vec<PolicySpec> = PolicyKind::ALL.iter().map(|&k| k.into()).collect();
         specs.extend([1000.0, 4000.0, 16000.0].map(PolicySpec::online_with_v));
-        specs.push(PolicySpec::Random { p: 0.5, salt: 0 });
-        let g = ScenarioGrid::new(SimConfig::small(PolicyKind::Online))
-            .with_policy_specs(specs.clone());
+        let g = ScenarioGrid::preset("smoke").with_policy_specs(specs.clone());
         assert_eq!(g.len(), specs.len());
-        let jobs = g.expand();
-        for (job, spec) in jobs.iter().zip(&specs) {
+        for (job, spec) in g.expand().iter().zip(&specs) {
             assert_eq!(job.config.policy, *spec);
-            assert_eq!(job.config.policy.label(), spec.label());
+            assert_eq!(job.policy_label, spec.label());
         }
-        // All labels distinct, so per-spec rollups stay separable.
-        let mut labels: Vec<String> = specs.iter().map(PolicySpec::label).collect();
-        labels.sort();
-        labels.dedup();
-        assert_eq!(labels.len(), specs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a registry scenario preset")]
+    fn unknown_preset_panics() {
+        let _ = ScenarioGrid::preset("warp-speed");
     }
 }

@@ -6,19 +6,22 @@
 //!
 //! The single-run engine in `fedco-sim` answers "what does policy P cost
 //! under configuration C?". This crate answers the production question:
-//! "what do *all* policies cost across the whole space of arrival patterns,
+//! "what do *all* policies cost across the whole space of workloads,
 //! device fleets, transport links and seeds — using every core?". It has
 //! four parts:
 //!
-//! * [`grid`] — [`ScenarioGrid`] expands
-//!   `policies × arrivals × devices × links × seeds` into a job list, each
-//!   job seeded by SplitMix64 of its grid coordinates;
+//! * [`grid`] — [`ScenarioGrid`] crosses declarative
+//!   [`ScenarioSpec`]s with any number
+//!   of open [`FieldAxis`] dimensions (every scenario field is sweepable),
+//!   a [`PolicySpec`] dimension and replicate seeds, each job seeded by
+//!   SplitMix64 of its grid coordinates;
 //! * [`executor`] — a std-only thread pool (`Mutex`/`Condvar` job queue,
 //!   one worker per core by default) running jobs in summary-only mode;
 //! * [`stats`] — mergeable streaming count/mean/M2/min/max accumulators and
-//!   per-policy rollups, so sweeps never materialize traces;
+//!   per-`(scenario, policy)` rollups, so sweeps never materialize traces;
 //! * [`report`] — hand-rolled CSV and JSON-lines writers (the workspace is
-//!   offline: no serde).
+//!   offline: no serde), every row keyed by `(scenario label,
+//!   policy label)`.
 //!
 //! Results are **bit-identical for any worker count**: job seeds depend only
 //! on grid coordinates, and rollups fold finished jobs in grid order.
@@ -26,9 +29,9 @@
 //! ```no_run
 //! use fedco_fleet::prelude::*;
 //!
-//! let grid = ScenarioGrid::new(SimConfig::small(PolicyKind::Online))
-//!     .with_arrivals(vec![ArrivalPattern::sparse(), ArrivalPattern::busy()])
-//!     .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
+//! let grid = ScenarioGrid::preset("smoke")
+//!     .with_axis("arrival_p", &["0.0002", "0.005"])
+//!     .with_axis("link", &["ideal", "lte"])
 //!     .with_replicates(4);
 //! let report = run_grid(&grid, 0); // 0 = one worker per core
 //! print!("{}", rollup_table(&report));
@@ -48,12 +51,13 @@ pub mod prelude {
         deterministic_view, resolve_workers, run_grid, run_grid_sequential, FleetReport, JobQueue,
         JobSummary,
     };
-    pub use crate::grid::{ArrivalPattern, FleetJob, GridError, JobCoord, LinkKind, ScenarioGrid};
+    pub use crate::grid::{FieldAxis, FleetJob, GridError, JobCoord, LinkKind, ScenarioGrid};
     pub use crate::report::{bench_json_lines, record_bench_json, rollup_table, to_csv, to_jsonl};
-    pub use crate::stats::{PolicyRollup, Streaming};
+    pub use crate::stats::{CellRollup, Streaming};
+    pub use fedco_core::experiment::{ConfigError, DeviceAssignment, SimConfig};
     pub use fedco_core::policy::PolicyKind;
+    pub use fedco_core::scenario::{parse_scenario_file, MlMode, ParseScenarioError, ScenarioSpec};
     pub use fedco_core::spec::{PolicyBuildContext, PolicyFactory, PolicySpec};
-    pub use fedco_sim::experiment::{ConfigError, DeviceAssignment, SimConfig};
 }
 
 pub use prelude::*;

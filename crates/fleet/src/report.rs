@@ -7,8 +7,10 @@
 
 use crate::executor::{FleetReport, JobSummary};
 
-/// The CSV header, one column per [`JobSummary`] field.
-pub const CSV_HEADER: &str = "job,policy,arrival,arrival_p,devices,link,seed,\
+/// The CSV header, one column per [`JobSummary`] field. Rows are keyed by
+/// the `(scenario, policy)` label pair; `arrival_p`, `devices` and `link`
+/// repeat the resolved values of the cell's configuration for convenience.
+pub const CSV_HEADER: &str = "job,scenario,policy,arrival_p,devices,link,seed,\
 energy_j,radio_j,updates,corun_epochs,mean_lag,max_lag,mean_queue,\
 mean_virtual_queue,accuracy,wall_ms,slots_per_sec";
 
@@ -45,8 +47,8 @@ pub fn csv_row(job: &JobSummary) -> String {
     format!(
         "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.1}",
         job.id,
+        csv_escape(&job.scenario),
         csv_escape(&job.policy),
-        csv_escape(&job.arrival),
         job.arrival_probability,
         csv_escape(&job.devices),
         job.link,
@@ -86,14 +88,14 @@ pub fn json_line(job: &JobSummary) -> String {
         None => "null".to_string(),
     };
     format!(
-        "{{\"job\":{},\"policy\":\"{}\",\"arrival\":\"{}\",\"arrival_p\":{},\
+        "{{\"job\":{},\"scenario\":\"{}\",\"policy\":\"{}\",\"arrival_p\":{},\
 \"devices\":\"{}\",\"link\":\"{}\",\"seed\":{},\"energy_j\":{},\
 \"radio_j\":{},\"updates\":{},\"corun_epochs\":{},\"mean_lag\":{},\
 \"max_lag\":{},\"mean_queue\":{},\"mean_virtual_queue\":{},\
 \"accuracy\":{},\"wall_ms\":{:.3},\"slots_per_sec\":{:.1}}}",
         job.id,
+        json_escape(&job.scenario),
         json_escape(&job.policy),
-        json_escape(&job.arrival),
         job.arrival_probability,
         json_escape(&job.devices),
         job.link,
@@ -122,10 +124,18 @@ pub fn to_jsonl(report: &FleetReport) -> String {
     out
 }
 
-/// A plain-text per-policy rollup table for terminals. The policy column
-/// widens to the longest spec label so parameterized specs stay aligned.
+/// A plain-text per-cell rollup table for terminals. The scenario and
+/// policy columns widen to their longest labels so parameterized specs and
+/// override-laden scenarios stay aligned.
 pub fn rollup_table(report: &FleetReport) -> String {
-    let width = report
+    let swidth = report
+        .rollups
+        .iter()
+        .map(|r| r.scenario.chars().count())
+        .chain(std::iter::once(10))
+        .max()
+        .unwrap_or(10);
+    let pwidth = report
         .rollups
         .iter()
         .map(|r| r.policy.chars().count())
@@ -134,8 +144,17 @@ pub fn rollup_table(report: &FleetReport) -> String {
         .unwrap_or(10);
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<width$} {:>5} {:>14} {:>12} {:>10} {:>10} {:>9} {:>9} {:>11}\n",
-        "policy", "runs", "energy kJ/run", "σ kJ", "updates", "co-runs", "lag", "acc %", "kslots/s"
+        "{:<swidth$} {:<pwidth$} {:>5} {:>14} {:>12} {:>10} {:>10} {:>9} {:>9} {:>11}\n",
+        "scenario",
+        "policy",
+        "runs",
+        "energy kJ/run",
+        "σ kJ",
+        "updates",
+        "co-runs",
+        "lag",
+        "acc %",
+        "kslots/s"
     ));
     for r in &report.rollups {
         let acc = if r.accuracy.count() > 0 {
@@ -144,7 +163,8 @@ pub fn rollup_table(report: &FleetReport) -> String {
             "n/a".to_string()
         };
         out.push_str(&format!(
-            "{:<width$} {:>5} {:>14.2} {:>12.2} {:>10.1} {:>10.1} {:>9.2} {:>9} {:>11.1}\n",
+            "{:<swidth$} {:<pwidth$} {:>5} {:>14.2} {:>12.2} {:>10.1} {:>10.1} {:>9.2} {:>9} {:>11.1}\n",
+            r.scenario,
             r.policy,
             r.runs(),
             r.energy_j.mean() / 1e3,
@@ -159,18 +179,20 @@ pub fn rollup_table(report: &FleetReport) -> String {
     out
 }
 
-/// One `FEDCO_BENCH_JSON`-style line per policy rollup, carrying the sweep's
+/// One `FEDCO_BENCH_JSON`-style line per cell rollup, carrying the sweep's
 /// throughput trajectory (`slots_per_sec` / `wall_ms` statistics). `prefix`
-/// namespaces the `name` key (e.g. `fleet_sweep`).
+/// namespaces the `name` key (e.g. `fleet_sweep`), followed by the
+/// scenario and policy labels.
 pub fn bench_json_lines(report: &FleetReport, prefix: &str) -> Vec<String> {
     report
         .rollups
         .iter()
         .map(|r| {
             format!(
-                "{{\"name\":\"{}/{}\",\"runs\":{},\"wall_ms_mean\":{:.3},\
+                "{{\"name\":\"{}/{}/{}\",\"runs\":{},\"wall_ms_mean\":{:.3},\
 \"slots_per_sec_mean\":{:.1},\"slots_per_sec_min\":{:.1},\"slots_per_sec_max\":{:.1}}}",
                 json_escape(prefix),
+                json_escape(&r.scenario),
                 json_escape(&r.policy),
                 r.runs(),
                 r.wall_ms.mean(),
@@ -182,7 +204,7 @@ pub fn bench_json_lines(report: &FleetReport, prefix: &str) -> Vec<String> {
         .collect()
 }
 
-/// Appends one line per policy rollup to the file named by the
+/// Appends one line per cell rollup to the file named by the
 /// `FEDCO_BENCH_JSON` environment variable, if set — the same sink the
 /// `fedco-bench` micro-benchmarks write to, so sweep throughput
 /// trajectories can be recorded across commits. A no-op when the variable
@@ -214,13 +236,13 @@ pub fn record_bench_json(report: &FleetReport, prefix: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stats::PolicyRollup;
+    use crate::stats::CellRollup;
 
     fn sample_job() -> JobSummary {
         JobSummary {
             id: 3,
+            scenario: "paper-default".to_string(),
             policy: "Online".to_string(),
-            arrival: "paper".to_string(),
             arrival_probability: 0.001,
             devices: "testbed".to_string(),
             link: "wifi",
@@ -241,7 +263,7 @@ mod tests {
 
     fn sample_report() -> FleetReport {
         let job = sample_job();
-        let mut rollup = PolicyRollup::new("Online");
+        let mut rollup = CellRollup::new("paper-default", "Online");
         rollup.absorb(&job);
         FleetReport {
             jobs: vec![job],
@@ -262,7 +284,9 @@ mod tests {
             lines[1].split(',').count(),
             "row column count matches header"
         );
-        assert!(lines[1].starts_with("3,Online,paper,0.001,testbed,wifi,42,1234.5,12.25,17,4,"));
+        assert!(
+            lines[1].starts_with("3,paper-default,Online,0.001,testbed,wifi,42,1234.5,12.25,17,4,")
+        );
         // Missing accuracy renders as an empty cell.
         assert!(lines[1].contains(",,"));
     }
@@ -283,6 +307,7 @@ mod tests {
         assert_eq!(lines.len(), 1);
         let line = lines[0];
         assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"scenario\":\"paper-default\""));
         assert!(line.contains("\"policy\":\"Online\""));
         assert!(line.contains("\"energy_j\":1234.5"));
         assert!(line.contains("\"accuracy\":0.625"));
@@ -315,6 +340,8 @@ mod tests {
     #[test]
     fn rollup_table_lists_policies() {
         let table = rollup_table(&sample_report());
+        assert!(table.contains("scenario"));
+        assert!(table.contains("paper-default"));
         assert!(table.contains("Online"));
         assert!(table.contains("energy kJ/run"));
         assert!(table.contains("n/a"));
@@ -342,7 +369,7 @@ mod tests {
         let lines = bench_json_lines(&report, "fleet_sweep");
         assert_eq!(lines.len(), 1);
         let line = &lines[0];
-        assert!(line.starts_with("{\"name\":\"fleet_sweep/Online\""));
+        assert!(line.starts_with("{\"name\":\"fleet_sweep/paper-default/Online\""));
         assert!(line.contains("\"runs\":1"));
         assert!(line.contains("\"wall_ms_mean\":7.125"));
         assert!(line.contains("\"slots_per_sec_mean\":123456.7"));

@@ -121,18 +121,22 @@ impl Streaming {
     }
 }
 
-/// Per-policy rollup of the scalar outcomes of a sweep, keyed by the
-/// policy's spec label
-/// ([`PolicySpec::label`](fedco_core::spec::PolicySpec::label)), so
-/// parameterized and custom specs each get their own row.
+/// Per-cell rollup of the scalar outcomes of a sweep, keyed by the pair
+/// `(scenario label, policy label)`
+/// ([`ScenarioSpec::label`](fedco_core::scenario::ScenarioSpec::label) ×
+/// [`PolicySpec::label`](fedco_core::spec::PolicySpec::label)), so every
+/// distinct workload/policy combination gets its own row and replicate
+/// seeds fold into it.
 ///
 /// Equality deliberately ignores the wall-clock statistics (`wall_ms`,
 /// `slots_per_sec`): they vary between runs of the same grid, while every
 /// other field is covered by the fleet's bit-identical determinism
 /// contract.
 #[derive(Debug, Clone)]
-pub struct PolicyRollup {
-    /// The spec label these statistics describe.
+pub struct CellRollup {
+    /// The scenario label these statistics describe.
+    pub scenario: String,
+    /// The policy label these statistics describe.
     pub policy: String,
     /// Total device energy per run, in joules.
     pub energy_j: Streaming,
@@ -157,9 +161,10 @@ pub struct PolicyRollup {
     pub slots_per_sec: Streaming,
 }
 
-impl PartialEq for PolicyRollup {
+impl PartialEq for CellRollup {
     fn eq(&self, other: &Self) -> bool {
-        self.policy == other.policy
+        self.scenario == other.scenario
+            && self.policy == other.policy
             && self.energy_j == other.energy_j
             && self.radio_j == other.radio_j
             && self.updates == other.updates
@@ -170,10 +175,11 @@ impl PartialEq for PolicyRollup {
     }
 }
 
-impl PolicyRollup {
-    /// An empty rollup for one policy label.
-    pub fn new(policy: impl Into<String>) -> Self {
-        PolicyRollup {
+impl CellRollup {
+    /// An empty rollup for one (scenario, policy) label pair.
+    pub fn new(scenario: impl Into<String>, policy: impl Into<String>) -> Self {
+        CellRollup {
+            scenario: scenario.into(),
             policy: policy.into(),
             energy_j: Streaming::new(),
             radio_j: Streaming::new(),
@@ -189,6 +195,7 @@ impl PolicyRollup {
 
     /// Absorbs one finished job.
     pub fn absorb(&mut self, job: &JobSummary) {
+        debug_assert_eq!(job.scenario, self.scenario);
         debug_assert_eq!(job.policy, self.policy);
         self.energy_j.push(job.total_energy_j);
         self.radio_j.push(job.radio_energy_j);
@@ -203,8 +210,9 @@ impl PolicyRollup {
         self.slots_per_sec.push(job.slots_per_sec);
     }
 
-    /// Merges the rollup of a disjoint shard of jobs for the same policy.
-    pub fn merge(&mut self, other: &PolicyRollup) {
+    /// Merges the rollup of a disjoint shard of jobs for the same cell.
+    pub fn merge(&mut self, other: &CellRollup) {
+        debug_assert_eq!(self.scenario, other.scenario);
         debug_assert_eq!(self.policy, other.policy);
         self.energy_j.merge(&other.energy_j);
         self.radio_j.merge(&other.radio_j);
@@ -286,12 +294,11 @@ mod tests {
         }
     }
 
-    #[test]
-    fn rollup_absorbs_and_merges() {
-        let job = |policy: &str, energy, acc: Option<f32>| JobSummary {
+    fn job(scenario: &str, policy: &str, energy: f64, acc: Option<f32>, wall: f64) -> JobSummary {
+        JobSummary {
             id: 0,
+            scenario: scenario.to_string(),
             policy: policy.to_string(),
-            arrival: "paper".to_string(),
             arrival_probability: 0.001,
             devices: "testbed".to_string(),
             link: "ideal",
@@ -305,19 +312,23 @@ mod tests {
             mean_queue: 0.5,
             mean_virtual_queue: 1.0,
             final_accuracy: acc,
-            wall_ms: 1.0,
+            wall_ms: wall,
             slots_per_sec: 2000.0,
-        };
-        let mut r = PolicyRollup::new("Online");
-        r.absorb(&job("Online", 100.0, Some(0.5)));
-        r.absorb(&job("Online", 200.0, None));
+        }
+    }
+
+    #[test]
+    fn rollup_absorbs_and_merges() {
+        let mut r = CellRollup::new("smoke", "Online");
+        r.absorb(&job("smoke", "Online", 100.0, Some(0.5), 1.0));
+        r.absorb(&job("smoke", "Online", 200.0, None, 1.0));
         assert_eq!(r.runs(), 2);
         assert_eq!(r.energy_j.mean(), 150.0);
         assert_eq!(r.accuracy.count(), 1);
         assert_eq!(r.wall_ms.count(), 2);
         assert_eq!(r.slots_per_sec.mean(), 2000.0);
-        let mut other = PolicyRollup::new("Online");
-        other.absorb(&job("Online", 300.0, Some(0.7)));
+        let mut other = CellRollup::new("smoke", "Online");
+        other.absorb(&job("smoke", "Online", 300.0, Some(0.7), 1.0));
         r.merge(&other);
         assert_eq!(r.runs(), 3);
         assert_eq!(r.energy_j.mean(), 200.0);
@@ -328,28 +339,8 @@ mod tests {
     #[test]
     fn rollup_equality_ignores_timing_statistics() {
         let base = |wall: f64| {
-            let mut r = PolicyRollup::new("Online");
-            let j = JobSummary {
-                id: 0,
-                policy: "Online".to_string(),
-                arrival: "paper".to_string(),
-                arrival_probability: 0.001,
-                devices: "testbed".to_string(),
-                link: "ideal",
-                seed: 1,
-                total_energy_j: 10.0,
-                radio_energy_j: 0.0,
-                total_updates: 1,
-                corun_epochs: 0,
-                mean_lag: 0.0,
-                max_lag: 0,
-                mean_queue: 0.0,
-                mean_virtual_queue: 0.0,
-                final_accuracy: None,
-                wall_ms: wall,
-                slots_per_sec: 1e6 / wall,
-            };
-            r.absorb(&j);
+            let mut r = CellRollup::new("smoke", "Online");
+            r.absorb(&job("smoke", "Online", 10.0, None, wall));
             r
         };
         // Same deterministic outcomes, very different timings: still equal.
@@ -358,5 +349,9 @@ mod tests {
         let mut other = base(1.0);
         other.energy_j.push(99.0);
         assert_ne!(base(1.0), other);
+        // A different scenario key breaks equality too.
+        let mut renamed = CellRollup::new("sparse", "Online");
+        renamed.absorb(&job("sparse", "Online", 10.0, None, 1.0));
+        assert_ne!(base(1.0), renamed);
     }
 }

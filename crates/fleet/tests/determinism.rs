@@ -1,36 +1,41 @@
 //! Determinism at scale: a parallel fleet run must be bit-identical to the
 //! same grid run on one worker — same energy totals, same update counts,
-//! same final accuracies — for all four policies, any worker count, and
-//! repeated executions.
+//! same final accuracies — over a mixed-axis grid (scenarios × open field
+//! axes × policies × seeds), any worker count, and repeated executions.
 
-use fedco_device::profiles::DeviceKind;
 use fedco_fleet::prelude::*;
 
+/// Two scenarios × a device-mix axis × a link axis × 4 policies × 2 seeds.
 fn grid() -> ScenarioGrid {
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = 4;
-    base.total_slots = 400;
-    ScenarioGrid::new(base)
+    let scenarios = vec![
+        ScenarioSpec::preset("smoke")
+            .expect("preset")
+            .with_users(4)
+            .with_slots(400),
+        ScenarioSpec::preset("sparse")
+            .expect("preset")
+            .with_users(4)
+            .with_slots(400)
+            .with_arrival_p(0.005),
+    ];
+    ScenarioGrid::from_scenarios(scenarios)
         .with_policies(PolicyKind::ALL.to_vec())
-        .with_arrivals(vec![ArrivalPattern::paper(), ArrivalPattern::busy()])
-        .with_devices(vec![
-            DeviceAssignment::RoundRobinTestbed,
-            DeviceAssignment::Uniform(DeviceKind::Hikey970),
-        ])
-        .with_links(vec![LinkKind::Ideal, LinkKind::Wifi])
+        .with_axis("devices", &["testbed", "hikey970"])
+        .with_axis("link", &["ideal", "wifi"])
         .with_replicates(2)
 }
 
 #[test]
 fn parallel_shards_match_single_worker_bit_for_bit() {
     let grid = grid();
-    assert_eq!(grid.len(), 64, "4 policies x 2 x 2 x 2 x 2 seeds");
+    assert_eq!(grid.len(), 64, "2 scenarios x 2 x 2 axes x 4 policies x 2");
     let baseline = run_grid_sequential(&grid);
     for workers in [2, 3, 8] {
         let parallel = run_grid(&grid, workers);
         assert_eq!(parallel.jobs.len(), baseline.jobs.len());
         for (seq, par) in baseline.jobs.iter().zip(&parallel.jobs) {
             assert_eq!(seq.id, par.id);
+            assert_eq!(seq.scenario, par.scenario);
             assert_eq!(seq.policy, par.policy);
             assert_eq!(
                 seq.total_energy_j.to_bits(),
@@ -47,27 +52,36 @@ fn parallel_shards_match_single_worker_bit_for_bit() {
             assert_eq!(seq.mean_queue.to_bits(), par.mean_queue.to_bits());
             assert_eq!(seq.final_accuracy, par.final_accuracy);
         }
-        // The merged per-policy statistics fold to the same bits too.
+        // The merged per-cell statistics fold to the same bits too.
         assert_eq!(baseline.rollups, parallel.rollups);
     }
 }
 
 #[test]
-fn every_policy_contributes_to_the_rollups() {
+fn every_cell_contributes_to_the_rollups() {
     let report = run_grid(&grid(), 0);
-    assert_eq!(report.rollups.len(), 4);
-    for policy in PolicyKind::ALL {
-        let rollup = report
-            .rollup(policy)
-            .unwrap_or_else(|| panic!("missing rollup for {policy:?}"));
-        assert_eq!(rollup.runs(), 16, "{policy:?}");
+    // 2 scenarios × 4 axis cells × 4 policies = 32 rollups of 2 seeds each.
+    assert_eq!(report.rollups.len(), 32);
+    for rollup in &report.rollups {
+        assert_eq!(rollup.runs(), 2, "{} / {}", rollup.scenario, rollup.policy);
         assert!(rollup.energy_j.mean() > 0.0);
     }
+    for policy in PolicyKind::ALL {
+        assert_eq!(report.rollups_for_policy(policy.label()).count(), 8);
+    }
     // Grid-wide invariant from the paper: Immediate is the energy upper
-    // bound, so its mean energy dominates the online controller's.
-    let immediate = report.rollup(PolicyKind::Immediate).expect("immediate");
-    let online = report.rollup(PolicyKind::Online).expect("online");
-    assert!(immediate.energy_j.mean() > online.energy_j.mean());
+    // bound, so its mean energy dominates the online controller's in every
+    // scenario cell.
+    for immediate in report.rollups_for_policy(PolicyKind::Immediate.label()) {
+        let online = report
+            .rollup(&immediate.scenario, PolicyKind::Online.label())
+            .expect("online cell");
+        assert!(
+            immediate.energy_j.mean() > online.energy_j.mean(),
+            "{}",
+            immediate.scenario
+        );
+    }
 }
 
 #[test]
@@ -108,14 +122,14 @@ fn reports_serialize_identically_across_worker_counts() {
 /// final accuracy is part of the bit-identical contract.
 #[test]
 fn ml_cells_are_deterministic_across_workers() {
-    use fedco_sim::experiment::MlConfig;
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = 3;
-    base.total_slots = 300;
-    base.ml = Some(MlConfig::tiny());
-    let grid = ScenarioGrid::new(base)
-        .with_policies(vec![PolicyKind::Immediate, PolicyKind::Online])
-        .with_replicates(2);
+    let grid = ScenarioGrid::new(
+        ScenarioSpec::preset("ml-smoke")
+            .expect("preset")
+            .with_users(3)
+            .with_slots(300),
+    )
+    .with_policies(vec![PolicyKind::Immediate, PolicyKind::Online])
+    .with_replicates(2);
     let seq = run_grid_sequential(&grid);
     let par = run_grid(&grid, 4);
     for (a, b) in seq.jobs.iter().zip(&par.jobs) {

@@ -1,8 +1,8 @@
 //! Property-style schema tests for the fleet report writers: every CSV row
 //! must carry exactly the `CSV_HEADER` field count (under RFC-4180 quoting),
-//! and every JSONL line must round-trip the policy label — including labels
-//! with embedded commas, quotes and newlines from parameterized or custom
-//! specs.
+//! and every JSONL line must round-trip the `(scenario, policy)` label
+//! pair that keys it — including labels with embedded commas, quotes and
+//! newlines from parameterized or custom specs.
 
 use fedco_fleet::executor::JobSummary;
 use fedco_fleet::prelude::*;
@@ -64,11 +64,11 @@ fn json_string_value(line: &str, key: &str) -> Option<String> {
     None
 }
 
-fn summary_with_label(label: &str) -> JobSummary {
+fn summary_with_labels(scenario: &str, policy: &str) -> JobSummary {
     JobSummary {
         id: 1,
-        policy: label.to_string(),
-        arrival: "paper, busy".to_string(), // commas in other fields too
+        scenario: scenario.to_string(),
+        policy: policy.to_string(),
         arrival_probability: 0.001,
         devices: "testbed".to_string(),
         link: "wifi",
@@ -117,33 +117,56 @@ fn label_corpus() -> Vec<String> {
     labels
 }
 
+/// Scenario labels exercising the registry syntax plus CSV/JSON
+/// metacharacters (a hand-built JobSummary can carry anything).
+fn scenario_corpus() -> Vec<String> {
+    let mut labels: Vec<String> = ScenarioSpec::default_registry()
+        .iter()
+        .map(ScenarioSpec::label)
+        .collect();
+    labels.extend(
+        [
+            "smoke:users=100:devices=pixel2+hikey970:link=lte",
+            "weird,comma-scenario",
+            "quoted \"scenario\"",
+        ]
+        .map(String::from),
+    );
+    labels
+}
+
 #[test]
 fn every_csv_row_has_exactly_the_header_field_count() {
     let header_fields = CSV_HEADER.split(',').count();
-    for label in label_corpus() {
-        let row = csv_row(&summary_with_label(&label));
-        // A label with a newline must still be ONE record (quoted), so the
-        // parser runs over the raw row, not line-split output.
-        let fields = split_csv_record(&row);
-        assert_eq!(
-            fields.len(),
-            header_fields,
-            "field count mismatch for label {label:?}: {row:?}"
-        );
-        // The policy column (index 1) round-trips exactly.
-        assert_eq!(fields[1], label, "CSV policy column mangled");
-        // The arrival column with embedded comma survives too.
-        assert_eq!(fields[2], "paper, busy");
+    for scenario in scenario_corpus() {
+        for label in label_corpus() {
+            let row = csv_row(&summary_with_labels(&scenario, &label));
+            // A label with a newline must still be ONE record (quoted), so
+            // the parser runs over the raw row, not line-split output.
+            let fields = split_csv_record(&row);
+            assert_eq!(
+                fields.len(),
+                header_fields,
+                "field count mismatch for label {label:?}: {row:?}"
+            );
+            // The (scenario, policy) key columns round-trip exactly.
+            assert_eq!(fields[1], scenario, "CSV scenario column mangled");
+            assert_eq!(fields[2], label, "CSV policy column mangled");
+        }
     }
 }
 
 #[test]
-fn every_jsonl_line_round_trips_the_policy_label() {
+fn every_jsonl_line_round_trips_the_label_pair() {
     for label in label_corpus() {
-        let line = json_line(&summary_with_label(&label));
+        let scenario = "smoke:users=100,weird \"quote";
+        let line = json_line(&summary_with_labels(scenario, &label));
         // One physical line per job, however gnarly the label.
         assert_eq!(line.lines().count(), 1, "label {label:?} split the line");
         assert!(line.starts_with('{') && line.ends_with('}'));
+        let parsed_scenario = json_string_value(&line, "scenario")
+            .unwrap_or_else(|| panic!("no scenario key in {line}"));
+        assert_eq!(parsed_scenario, scenario, "JSONL scenario value mangled");
         let parsed =
             json_string_value(&line, "policy").unwrap_or_else(|| panic!("no policy key in {line}"));
         assert_eq!(parsed, label, "JSONL policy value mangled");
@@ -166,10 +189,14 @@ fn every_jsonl_line_round_trips_the_policy_label() {
 
 #[test]
 fn real_sweep_reports_satisfy_the_schema_end_to_end() {
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = 3;
-    base.total_slots = 200;
-    let grid = ScenarioGrid::new(base).with_policy_specs(vec![
+    let grid = ScenarioGrid::new(
+        ScenarioSpec::preset("smoke")
+            .expect("preset")
+            .with_users(3)
+            .with_slots(200),
+    )
+    .with_axis("link", &["ideal", "lte"])
+    .with_policy_specs(vec![
         PolicyKind::Immediate.into(),
         PolicySpec::online_with_v(1000.0),
         PolicySpec::Random { p: 0.5, salt: 1 },
@@ -182,13 +209,34 @@ fn real_sweep_reports_satisfy_the_schema_end_to_end() {
     for line in lines {
         assert_eq!(split_csv_record(line).len(), header_fields, "{line}");
     }
+    // Both key columns round-trip through CSV and JSONL for every job.
     let jsonl = to_jsonl(&report);
-    let expected: Vec<String> = report.jobs.iter().map(|j| j.policy.clone()).collect();
-    let parsed: Vec<String> = jsonl
+    let expected: Vec<(String, String)> = report
+        .jobs
+        .iter()
+        .map(|j| (j.scenario.clone(), j.policy.clone()))
+        .collect();
+    let parsed: Vec<(String, String)> = jsonl
         .lines()
-        .map(|l| json_string_value(l, "policy").expect("policy key"))
+        .map(|l| {
+            (
+                json_string_value(l, "scenario").expect("scenario key"),
+                json_string_value(l, "policy").expect("policy key"),
+            )
+        })
         .collect();
     assert_eq!(parsed, expected);
+    let csv_keys: Vec<(String, String)> = csv
+        .lines()
+        .skip(1)
+        .map(|l| {
+            let fields = split_csv_record(l);
+            (fields[1].clone(), fields[2].clone())
+        })
+        .collect();
+    assert_eq!(csv_keys, expected);
+    // The scenario labels carry the axis override of each cell.
+    assert!(csv.contains("smoke:users=3:slots=200:link=lte"));
     // The comma-bearing Random label must have been quoted in the CSV.
     assert!(csv.contains("\"Random(p=0.5, salt=1)\""));
 }

@@ -1,606 +1,14 @@
 //! Experiment configuration presets and typed validation.
+//!
+//! The configuration types themselves live in
+//! [`fedco_core::experiment`] — alongside [`PolicySpec`] and
+//! [`ScenarioSpec`], which [`build`](fedco_core::scenario::ScenarioSpec::build)s
+//! a [`SimConfig`] — so this module is a thin re-export that keeps the
+//! historical `fedco_sim::experiment` import paths working.
+//!
+//! [`PolicySpec`]: fedco_core::spec::PolicySpec
+//! [`ScenarioSpec`]: fedco_core::scenario::ScenarioSpec
 
-use fedco_core::config::{SchedulerConfig, SchedulerConfigError};
-use fedco_core::spec::{PolicySpec, PolicySpecError};
-use fedco_device::profiles::DeviceKind;
-use fedco_fl::transport::TransportModel;
-use fedco_neural::lenet::LeNetConfig;
-
-/// Error returned when a [`DeviceAssignment::Custom`] list is empty: an
-/// empty list assigns no device to anyone, so there is no sensible fallback.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EmptyDeviceList;
-
-impl std::fmt::Display for EmptyDeviceList {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("custom device assignment requires at least one device")
-    }
-}
-
-impl std::error::Error for EmptyDeviceList {}
-
-/// How devices are assigned to users.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub enum DeviceAssignment {
-    /// Every user gets the same device model.
-    Uniform(DeviceKind),
-    /// Users cycle through the four testbed devices (the paper's setting:
-    /// "each user randomly picks a device from the testbed").
-    #[default]
-    RoundRobinTestbed,
-    /// An explicit device per user (cycled if shorter than the user count).
-    /// Must be non-empty; build it through [`DeviceAssignment::custom`] to
-    /// get the check at construction time.
-    Custom(Vec<DeviceKind>),
-}
-
-impl DeviceAssignment {
-    /// Builds a checked [`DeviceAssignment::Custom`], rejecting empty lists.
-    pub fn custom(devices: Vec<DeviceKind>) -> Result<Self, EmptyDeviceList> {
-        if devices.is_empty() {
-            Err(EmptyDeviceList)
-        } else {
-            Ok(DeviceAssignment::Custom(devices))
-        }
-    }
-
-    /// Whether the assignment can serve every user index.
-    pub fn is_valid(&self) -> bool {
-        match self {
-            DeviceAssignment::Custom(devices) => !devices.is_empty(),
-            _ => true,
-        }
-    }
-
-    /// The device of a given user.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the assignment is an empty `Custom` list (which
-    /// [`DeviceAssignment::custom`] and `SimConfig::is_valid` both reject).
-    pub fn device_for(&self, user: usize) -> DeviceKind {
-        match self {
-            DeviceAssignment::Uniform(kind) => *kind,
-            DeviceAssignment::RoundRobinTestbed => DeviceKind::ALL[user % DeviceKind::ALL.len()],
-            DeviceAssignment::Custom(devices) => {
-                assert!(!devices.is_empty(), "{EmptyDeviceList}");
-                devices[user % devices.len()]
-            }
-        }
-    }
-
-    /// A short label for reports (the device list for `Custom`).
-    pub fn label(&self) -> String {
-        match self {
-            DeviceAssignment::Uniform(kind) => format!("uniform:{kind:?}"),
-            DeviceAssignment::RoundRobinTestbed => "testbed".to_string(),
-            DeviceAssignment::Custom(devices) => {
-                let names: Vec<String> = devices.iter().map(|d| format!("{d:?}")).collect();
-                format!("custom:{}", names.join("+"))
-            }
-        }
-    }
-}
-
-/// Configuration of the (optional) real machine-learning workload.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MlConfig {
-    /// The network architecture trained on every device.
-    pub architecture: LeNetConfig,
-    /// Total number of synthetic CIFAR-like examples, split equally across
-    /// users (the paper partitions CIFAR-10 equally over 25 users).
-    pub total_examples: usize,
-    /// Fraction of examples held out as the global test set.
-    pub test_fraction: f32,
-    /// How many test examples to use per accuracy evaluation.
-    pub eval_examples: usize,
-    /// Evaluate the global model every this many slots.
-    pub eval_every_slots: u64,
-    /// Mini-batch size (the paper uses 20).
-    pub batch_size: usize,
-    /// Pixel-noise level of the synthetic dataset.
-    pub noise_std: f32,
-}
-
-impl Default for MlConfig {
-    fn default() -> Self {
-        MlConfig {
-            architecture: LeNetConfig::compact(),
-            total_examples: 1000,
-            test_fraction: 0.2,
-            eval_examples: 100,
-            eval_every_slots: 200,
-            batch_size: 20,
-            noise_std: 0.35,
-        }
-    }
-}
-
-impl MlConfig {
-    /// A very small configuration for unit/integration tests.
-    pub fn tiny() -> Self {
-        MlConfig {
-            architecture: LeNetConfig::tiny(),
-            total_examples: 120,
-            test_fraction: 0.2,
-            eval_examples: 24,
-            eval_every_slots: 100,
-            batch_size: 8,
-            noise_std: 0.3,
-        }
-    }
-}
-
-/// Full configuration of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SimConfig {
-    /// Number of users/devices (the paper uses 25).
-    pub num_users: usize,
-    /// Horizon in slots (the paper: 10 800 one-second slots, i.e. 3 hours).
-    pub total_slots: u64,
-    /// Slot length in seconds.
-    pub slot_seconds: f64,
-    /// Per-slot Bernoulli application-arrival probability (paper: 0.001).
-    pub arrival_probability: f64,
-    /// Which scheduling policy drives the run. Any [`PolicyKind`] converts
-    /// into a spec, so `config.policy = PolicyKind::Offline.into()` works.
-    ///
-    /// [`PolicyKind`]: fedco_core::policy::PolicyKind
-    pub policy: PolicySpec,
-    /// Scheduler parameters (V, L_b, ε, look-ahead window, η, β).
-    pub scheduler: SchedulerConfig,
-    /// Master RNG seed.
-    pub seed: u64,
-    /// Device assignment across users.
-    pub devices: DeviceAssignment,
-    /// Record a trace point every this many slots.
-    pub record_every_slots: u64,
-    /// Optional real ML workload; when `None` the run is energy-only and the
-    /// gradient-gap dynamics use `synthetic_velocity_norm`.
-    pub ml: Option<MlConfig>,
-    /// Momentum-vector norm assumed by the gap predictor in energy-only runs.
-    pub synthetic_velocity_norm: f32,
-    /// Whether to charge the online controller's decision-computation energy
-    /// (Table III) to the devices.
-    pub decision_overhead: bool,
-    /// Whether to record per-user gap traces (Fig. 5d).
-    pub record_user_gaps: bool,
-    /// Whether to materialize the time series (`trace`, `updates`,
-    /// `user_gaps`) and per-slot power segments. Disable for fleet-scale
-    /// sweeps: the run then keeps only O(users) state and the returned
-    /// [`SimResult`](crate::trace::SimResult) carries empty series while all
-    /// scalar summaries (energy, updates, lag, accuracy, queues) are
-    /// bit-identical to a recording run.
-    pub collect_traces: bool,
-    /// Optional transport link between the devices and the parameter
-    /// server. When set, every model exchange (upload of a local update plus
-    /// re-download of the global model) charges radio energy for the
-    /// transfer duration to the device under
-    /// [`EnergyComponent::Radio`](fedco_device::profiler::EnergyComponent).
-    /// `None` reproduces the paper's accounting, which ignores the radio.
-    pub transport: Option<TransportModel>,
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            num_users: 25,
-            total_slots: 10_800,
-            slot_seconds: 1.0,
-            arrival_probability: 0.001,
-            policy: PolicySpec::Online { v: None },
-            scheduler: SchedulerConfig::default(),
-            seed: 42,
-            devices: DeviceAssignment::RoundRobinTestbed,
-            record_every_slots: 60,
-            ml: None,
-            synthetic_velocity_norm: 2.0,
-            decision_overhead: true,
-            record_user_gaps: false,
-            collect_traces: true,
-            transport: None,
-        }
-    }
-}
-
-impl SimConfig {
-    /// The paper's main evaluation setting (Section VII-B) for a given
-    /// policy: 25 users, 3 hours, arrival probability 0.001, V = 4000,
-    /// L_b = 1000.
-    pub fn paper_default(policy: impl Into<PolicySpec>) -> Self {
-        SimConfig {
-            policy: policy.into(),
-            ..SimConfig::default()
-        }
-    }
-
-    /// A fast, small configuration for tests: 6 users, 20 minutes.
-    pub fn small(policy: impl Into<PolicySpec>) -> Self {
-        SimConfig {
-            num_users: 6,
-            total_slots: 1200,
-            arrival_probability: 0.005,
-            policy: policy.into(),
-            record_every_slots: 30,
-            ..SimConfig::default()
-        }
-    }
-
-    /// Returns a copy driven by a different policy.
-    #[must_use]
-    pub fn with_policy(mut self, policy: impl Into<PolicySpec>) -> Self {
-        self.policy = policy.into();
-        self
-    }
-
-    /// Returns a copy with a different Lyapunov knob `V`.
-    #[must_use]
-    pub fn with_v(mut self, v: f64) -> Self {
-        self.scheduler = self.scheduler.with_v(v);
-        self
-    }
-
-    /// Returns a copy with a different staleness bound `L_b`.
-    #[must_use]
-    pub fn with_staleness_bound(mut self, lb: f64) -> Self {
-        self.scheduler = self.scheduler.with_staleness_bound(lb);
-        self
-    }
-
-    /// Returns a copy with a different arrival probability.
-    #[must_use]
-    pub fn with_arrival_probability(mut self, p: f64) -> Self {
-        self.arrival_probability = p.clamp(0.0, 1.0);
-        self
-    }
-
-    /// Returns a copy with the ML workload enabled.
-    #[must_use]
-    pub fn with_ml(mut self, ml: MlConfig) -> Self {
-        self.ml = Some(ml);
-        self
-    }
-
-    /// Returns a copy with a different seed.
-    #[must_use]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Returns a copy with a transport link charged per model exchange.
-    #[must_use]
-    pub fn with_transport(mut self, transport: TransportModel) -> Self {
-        self.transport = Some(transport);
-        self
-    }
-
-    /// Returns a copy configured for summary-only execution: no time series,
-    /// no per-user gap samples, no power segments. This is what the fleet
-    /// runtime uses so sweeps never materialize traces.
-    #[must_use]
-    pub fn summary_only(mut self) -> Self {
-        self.collect_traces = false;
-        self.record_user_gaps = false;
-        self
-    }
-
-    /// Basic validity check. Thin shim over [`SimConfig::validate`], which
-    /// reports *why* a configuration is rejected.
-    pub fn is_valid(&self) -> bool {
-        self.validate().is_ok()
-    }
-
-    /// Validates the configuration, returning a typed [`ConfigError`] that
-    /// names the offending field and its value on failure.
-    pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.num_users == 0 {
-            return Err(ConfigError::ZeroUsers);
-        }
-        if self.total_slots == 0 {
-            return Err(ConfigError::ZeroSlots);
-        }
-        if self.slot_seconds <= 0.0 || !self.slot_seconds.is_finite() {
-            return Err(ConfigError::NonPositiveSlotSeconds(self.slot_seconds));
-        }
-        if !(0.0..=1.0).contains(&self.arrival_probability) {
-            return Err(ConfigError::ArrivalProbabilityOutOfRange(
-                self.arrival_probability,
-            ));
-        }
-        if self.record_every_slots == 0 {
-            return Err(ConfigError::ZeroRecordEverySlots);
-        }
-        self.scheduler.validate().map_err(ConfigError::Scheduler)?;
-        self.policy.validate().map_err(ConfigError::Policy)?;
-        if !self.devices.is_valid() {
-            return Err(ConfigError::Devices(EmptyDeviceList));
-        }
-        Ok(())
-    }
-}
-
-/// A typed description of why a [`SimConfig`] was rejected. Each variant
-/// names the offending field; `Display` spells out the field and the value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ConfigError {
-    /// `num_users` is zero.
-    ZeroUsers,
-    /// `total_slots` is zero.
-    ZeroSlots,
-    /// `slot_seconds` is not strictly positive (value attached).
-    NonPositiveSlotSeconds(f64),
-    /// `arrival_probability` is outside `[0, 1]` (value attached).
-    ArrivalProbabilityOutOfRange(f64),
-    /// `record_every_slots` is zero.
-    ZeroRecordEverySlots,
-    /// A `scheduler` field is out of range (field and value attached).
-    Scheduler(SchedulerConfigError),
-    /// A `policy` spec parameter is out of range (spec label, parameter and
-    /// value attached) — the label keys every report, so the built policy
-    /// must honour it exactly.
-    Policy(PolicySpecError),
-    /// The `devices` assignment is an empty custom list.
-    Devices(EmptyDeviceList),
-}
-
-impl std::fmt::Display for ConfigError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ConfigError::ZeroUsers => f.write_str("num_users must be at least 1 (got 0)"),
-            ConfigError::ZeroSlots => f.write_str("total_slots must be at least 1 (got 0)"),
-            ConfigError::NonPositiveSlotSeconds(v) => {
-                write!(f, "slot_seconds must be positive (got {v})")
-            }
-            ConfigError::ArrivalProbabilityOutOfRange(v) => {
-                write!(f, "arrival_probability must lie in [0, 1] (got {v})")
-            }
-            ConfigError::ZeroRecordEverySlots => {
-                f.write_str("record_every_slots must be at least 1 (got 0)")
-            }
-            ConfigError::Scheduler(e) => write!(f, "{e}"),
-            ConfigError::Policy(e) => write!(f, "{e}"),
-            ConfigError::Devices(e) => write!(f, "devices: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ConfigError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ConfigError::Scheduler(e) => Some(e),
-            ConfigError::Policy(e) => Some(e),
-            ConfigError::Devices(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fedco_core::policy::PolicyKind;
-
-    #[test]
-    fn default_matches_paper_evaluation() {
-        let c = SimConfig::default();
-        assert_eq!(c.num_users, 25);
-        assert_eq!(c.total_slots, 10_800);
-        assert_eq!(c.arrival_probability, 0.001);
-        assert_eq!(c.scheduler.v, 4000.0);
-        assert!(c.is_valid());
-    }
-
-    #[test]
-    fn builders_produce_valid_configs() {
-        let c = SimConfig::paper_default(PolicyKind::Offline)
-            .with_v(1000.0)
-            .with_staleness_bound(500.0)
-            .with_arrival_probability(0.01)
-            .with_seed(7)
-            .with_ml(MlConfig::tiny());
-        assert_eq!(c.policy, PolicyKind::Offline);
-        assert_eq!(c.scheduler.v, 1000.0);
-        assert_eq!(c.scheduler.staleness_bound, 500.0);
-        assert_eq!(c.arrival_probability, 0.01);
-        assert_eq!(c.seed, 7);
-        assert!(c.ml.is_some());
-        assert!(c.is_valid());
-        assert!(SimConfig::small(PolicyKind::Online).is_valid());
-    }
-
-    #[test]
-    fn arrival_probability_is_clamped() {
-        let c = SimConfig::default().with_arrival_probability(7.0);
-        assert_eq!(c.arrival_probability, 1.0);
-    }
-
-    #[test]
-    fn invalid_configs_detected() {
-        let c = SimConfig {
-            num_users: 0,
-            ..SimConfig::default()
-        };
-        assert!(!c.is_valid());
-        let c2 = SimConfig {
-            record_every_slots: 0,
-            ..SimConfig::default()
-        };
-        assert!(!c2.is_valid());
-    }
-
-    #[test]
-    fn validate_names_field_and_value() {
-        assert_eq!(
-            SimConfig {
-                num_users: 0,
-                ..SimConfig::default()
-            }
-            .validate(),
-            Err(ConfigError::ZeroUsers)
-        );
-        assert_eq!(
-            SimConfig {
-                total_slots: 0,
-                ..SimConfig::default()
-            }
-            .validate(),
-            Err(ConfigError::ZeroSlots)
-        );
-        let c = SimConfig {
-            slot_seconds: -0.5,
-            ..SimConfig::default()
-        };
-        assert_eq!(c.validate(), Err(ConfigError::NonPositiveSlotSeconds(-0.5)));
-        assert!(c.validate().unwrap_err().to_string().contains("-0.5"));
-        let inf = SimConfig {
-            slot_seconds: f64::INFINITY,
-            ..SimConfig::default()
-        };
-        assert_eq!(
-            inf.validate(),
-            Err(ConfigError::NonPositiveSlotSeconds(f64::INFINITY))
-        );
-        let p = SimConfig {
-            arrival_probability: 3.0,
-            ..SimConfig::default()
-        };
-        assert_eq!(
-            p.validate(),
-            Err(ConfigError::ArrivalProbabilityOutOfRange(3.0))
-        );
-        assert_eq!(
-            SimConfig {
-                record_every_slots: 0,
-                ..SimConfig::default()
-            }
-            .validate(),
-            Err(ConfigError::ZeroRecordEverySlots)
-        );
-        assert!(SimConfig::default().validate().is_ok());
-    }
-
-    #[test]
-    fn validate_absorbs_nested_errors() {
-        // Scheduler errors surface the nested field name.
-        let mut c = SimConfig::default();
-        c.scheduler.momentum_beta = 2.0;
-        match c.validate() {
-            Err(ConfigError::Scheduler(e)) => {
-                assert_eq!(e.field, "momentum_beta");
-                assert!(c
-                    .validate()
-                    .unwrap_err()
-                    .to_string()
-                    .contains("momentum_beta"));
-            }
-            other => panic!("expected scheduler error, got {other:?}"),
-        }
-        // Empty device lists become ConfigError::Devices.
-        let d = SimConfig {
-            devices: DeviceAssignment::Custom(vec![]),
-            ..SimConfig::default()
-        };
-        assert_eq!(d.validate(), Err(ConfigError::Devices(EmptyDeviceList)));
-        assert!(d.validate().unwrap_err().to_string().contains("device"));
-        use std::error::Error;
-        assert!(d.validate().unwrap_err().source().is_some());
-        // Out-of-range policy-spec parameters become ConfigError::Policy, so
-        // try_new rejects a spec whose label misdescribes the built policy.
-        let p = SimConfig::default().with_policy(PolicySpec::Random { p: 1.5, salt: 0 });
-        match p.validate() {
-            Err(ConfigError::Policy(e)) => {
-                assert_eq!(e.parameter, "p");
-                assert!(p.validate().unwrap_err().to_string().contains("[0, 1]"));
-            }
-            other => panic!("expected policy error, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn with_policy_accepts_kinds_and_specs() {
-        let c = SimConfig::default().with_policy(PolicyKind::Offline);
-        assert_eq!(c.policy, PolicyKind::Offline);
-        let c2 = SimConfig::default().with_policy(PolicySpec::online_with_v(1000.0));
-        assert_eq!(c2.policy.label(), "Online(V=1000)");
-    }
-
-    #[test]
-    fn device_assignment_variants() {
-        assert_eq!(
-            DeviceAssignment::Uniform(DeviceKind::Nexus6).device_for(7),
-            DeviceKind::Nexus6
-        );
-        let rr = DeviceAssignment::RoundRobinTestbed;
-        assert_eq!(rr.device_for(0), DeviceKind::Nexus6);
-        assert_eq!(rr.device_for(3), DeviceKind::Pixel2);
-        assert_eq!(rr.device_for(4), DeviceKind::Nexus6);
-        let custom = DeviceAssignment::custom(vec![DeviceKind::Pixel2, DeviceKind::Hikey970])
-            .expect("non-empty list");
-        assert_eq!(custom.device_for(1), DeviceKind::Hikey970);
-        assert_eq!(custom.device_for(2), DeviceKind::Pixel2);
-        assert_eq!(
-            DeviceAssignment::default(),
-            DeviceAssignment::RoundRobinTestbed
-        );
-    }
-
-    #[test]
-    fn empty_custom_assignment_is_rejected() {
-        assert_eq!(DeviceAssignment::custom(vec![]), Err(EmptyDeviceList));
-        assert!(!DeviceAssignment::Custom(vec![]).is_valid());
-        assert!(DeviceAssignment::RoundRobinTestbed.is_valid());
-        // An invalid assignment invalidates the whole configuration, so the
-        // engine refuses to build instead of silently defaulting to Pixel2.
-        let config = SimConfig {
-            devices: DeviceAssignment::Custom(vec![]),
-            ..SimConfig::default()
-        };
-        assert!(!config.is_valid());
-        assert_eq!(
-            EmptyDeviceList.to_string(),
-            "custom device assignment requires at least one device"
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one device")]
-    fn empty_custom_assignment_panics_on_lookup() {
-        let _ = DeviceAssignment::Custom(vec![]).device_for(9);
-    }
-
-    #[test]
-    fn assignment_labels() {
-        assert_eq!(DeviceAssignment::RoundRobinTestbed.label(), "testbed");
-        assert_eq!(
-            DeviceAssignment::Uniform(DeviceKind::Nexus6).label(),
-            "uniform:Nexus6"
-        );
-        assert_eq!(
-            DeviceAssignment::Custom(vec![DeviceKind::Pixel2, DeviceKind::Hikey970]).label(),
-            "custom:Pixel2+Hikey970"
-        );
-    }
-
-    #[test]
-    fn summary_only_and_transport_builders() {
-        let c = SimConfig::small(PolicyKind::Online)
-            .summary_only()
-            .with_transport(TransportModel::lte());
-        assert!(!c.collect_traces);
-        assert!(!c.record_user_gaps);
-        assert_eq!(c.transport, Some(TransportModel::lte()));
-        assert!(c.is_valid());
-        // Default keeps the paper's accounting: traces on, no radio.
-        let d = SimConfig::default();
-        assert!(d.collect_traces);
-        assert_eq!(d.transport, None);
-    }
-
-    #[test]
-    fn ml_config_presets() {
-        let tiny = MlConfig::tiny();
-        assert!(tiny.total_examples < MlConfig::default().total_examples);
-        assert_eq!(MlConfig::default().batch_size, 20);
-    }
-}
+pub use fedco_core::experiment::{
+    ConfigError, DeviceAssignment, EmptyDeviceList, MlConfig, SimConfig,
+};

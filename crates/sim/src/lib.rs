@@ -45,6 +45,7 @@ pub mod prelude {
     pub use crate::trace::{SimResult, TracePoint, UpdateEvent, UserGapPoint};
     pub use crate::user::{SimUser, TrainingPhase};
     pub use fedco_core::policy::PolicyKind;
+    pub use fedco_core::scenario::{parse_scenario_file, LinkKind, MlMode, ScenarioSpec};
     pub use fedco_core::spec::{PolicyBuildContext, PolicyFactory, PolicySpec};
 }
 

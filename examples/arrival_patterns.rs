@@ -10,12 +10,11 @@
 use fedco::prelude::*;
 
 fn main() {
-    let base = SimConfig {
-        num_users: 20,
-        total_slots: 2400,
-        policy: PolicyKind::Online.into(),
-        ..SimConfig::default()
-    };
+    // The base workload as a declarative scenario; each sweep point below
+    // only overrides `arrival_p`, which shows up in the spec's label.
+    let base: ScenarioSpec = "paper-default:users=20:slots=2400"
+        .parse()
+        .expect("registry scenario");
 
     println!("Energy vs application arrival probability (Fig. 6a shape)\n");
     println!(
@@ -23,27 +22,16 @@ fn main() {
         "arrival p", "online (kJ)", "immediate (kJ)", "offline (kJ)"
     );
     for p in [0.0005, 0.002, 0.01, 0.05, 0.1] {
-        let online = run_simulation(base.clone().with_arrival_probability(p));
-        let immediate = run_simulation(
-            SimConfig {
-                policy: PolicyKind::Immediate.into(),
-                ..base.clone()
-            }
-            .with_arrival_probability(p),
-        );
-        let offline = run_simulation(
-            SimConfig {
-                policy: PolicyKind::Offline.into(),
-                ..base.clone()
-            }
-            .with_arrival_probability(p),
-        );
+        let point = base.clone().with_arrival_p(p);
+        let run = |policy: PolicyKind| {
+            run_simulation(point.build_with_policy(policy).expect("valid scenario"))
+        };
         println!(
             "{:>12.4}  {:>14.1}  {:>14.1}  {:>14.1}",
             p,
-            online.total_energy_kj(),
-            immediate.total_energy_kj(),
-            offline.total_energy_kj()
+            run(PolicyKind::Online).total_energy_kj(),
+            run(PolicyKind::Immediate).total_energy_kj(),
+            run(PolicyKind::Offline).total_energy_kj()
         );
     }
 
@@ -55,20 +43,12 @@ fn main() {
     let mut total_online = 0.0;
     let mut total_immediate = 0.0;
     for (name, p) in phases {
-        let online = run_simulation(
-            SimConfig {
-                total_slots: 800,
-                ..base.clone()
-            }
-            .with_arrival_probability(p),
-        );
+        let phase = base.clone().with_slots(800).with_arrival_p(p);
+        let online = run_simulation(phase.build_with_policy(PolicyKind::Online).expect("valid"));
         let immediate = run_simulation(
-            SimConfig {
-                total_slots: 800,
-                policy: PolicyKind::Immediate.into(),
-                ..base.clone()
-            }
-            .with_arrival_probability(p),
+            phase
+                .build_with_policy(PolicyKind::Immediate)
+                .expect("valid"),
         );
         total_online += online.total_energy_kj();
         total_immediate += immediate.total_energy_kj();

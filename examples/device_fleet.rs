@@ -44,17 +44,18 @@ fn main() {
         );
     }
 
-    // A small heterogeneous fleet under the online controller.
-    let config = SimConfig {
-        num_users: 12,
-        total_slots: 1800,
-        arrival_probability: 0.003,
-        policy: PolicyKind::Online.into(),
-        devices: DeviceAssignment::RoundRobinTestbed,
-        ..SimConfig::default()
-    };
-    let result = run_simulation(config);
-    println!("\nHeterogeneous fleet, online controller:");
+    // A small heterogeneous fleet under the online controller, declared
+    // through the `hetero-devices` scenario preset (a phone-heavy mix with
+    // one HiKey 970 board per six users).
+    let scenario: ScenarioSpec = "hetero-devices:users=12:slots=1800:arrival_p=0.003"
+        .parse()
+        .expect("registry scenario");
+    let result = run_simulation(
+        scenario
+            .build_with_policy(PolicyKind::Online)
+            .expect("valid scenario"),
+    );
+    println!("\nHeterogeneous fleet ({}), online controller:", scenario);
     println!("{}", summarize(&result));
     println!(
         "co-run epochs: {} of {} updates",

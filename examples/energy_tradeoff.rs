@@ -8,17 +8,17 @@
 use fedco::prelude::*;
 
 fn main() {
-    let base = SimConfig {
-        num_users: 25,
-        total_slots: 3600,
-        arrival_probability: 0.002,
-        policy: PolicyKind::Online.into(),
-        ..SimConfig::default()
-    };
+    // The scenario is declarative; the V sweep below overrides its `v`
+    // field point by point, so each point's label names its V.
+    let base: ScenarioSpec = "paper-default:slots=3600:arrival_p=0.002"
+        .parse()
+        .expect("registry scenario");
 
     println!(
         "V sweep with L_b = {} ({} users, {} s horizon)\n",
-        base.scheduler.staleness_bound, base.num_users, base.total_slots
+        base.scheduler().staleness_bound,
+        base.users(),
+        base.slots()
     );
     println!(
         "{:>10}  {:>14}  {:>10}  {:>12}  {:>8}",
@@ -29,7 +29,7 @@ fn main() {
     for v in [
         0.0, 500.0, 1000.0, 2000.0, 4000.0, 10_000.0, 50_000.0, 100_000.0,
     ] {
-        let result = run_simulation(base.clone().with_v(v));
+        let result = run_simulation(base.clone().with_v(v).build().expect("valid scenario"));
         println!(
             "{:>10.0}  {:>14.1}  {:>10.1}  {:>12.1}  {:>8}",
             v,
@@ -52,15 +52,16 @@ fn main() {
         )
     );
 
-    // The two baselines bracketing the online controller.
-    let immediate = run_simulation(SimConfig {
-        policy: PolicyKind::Immediate.into(),
-        ..base.clone()
-    });
-    let offline = run_simulation(SimConfig {
-        policy: PolicyKind::Offline.into(),
-        ..base.clone()
-    });
+    // The two baselines bracketing the online controller: same scenario,
+    // different policy axis.
+    let immediate = run_simulation(
+        base.build_with_policy(PolicyKind::Immediate)
+            .expect("valid scenario"),
+    );
+    let offline = run_simulation(
+        base.build_with_policy(PolicyKind::Offline)
+            .expect("valid scenario"),
+    );
     println!("baselines:");
     println!("{}", summarize(&immediate));
     println!("{}", summarize(&offline));

@@ -1,39 +1,47 @@
-//! Sweep all four policies across arrival patterns, device fleets and
-//! transport links on every core, then print the merged per-policy rollups
-//! and a CSV excerpt. A second, spec-based sweep compares the online
-//! controller at three `V` values against every baseline in one grid.
+//! Sweep all four policies across two declarative scenarios and two open
+//! field axes (arrival rate × transport link) on every core, then print the
+//! merged per-cell rollups and a CSV excerpt. A second, spec-based sweep
+//! compares the online controller at three `V` values against every
+//! baseline in one grid.
 //!
 //! ```text
 //! cargo run --release --example fleet_sweep
 //! ```
 //!
-//! The full-featured driver with grid knobs and report files is the
-//! `fleet_sweep` binary: `cargo run --release -p fedco-fleet --bin fleet_sweep`.
+//! The full-featured driver with scenario files, `--axis` flags and report
+//! files is the `fleet_sweep` binary:
+//! `cargo run --release -p fedco-fleet --bin fleet_sweep -- --help`.
 
-use fedco::device::profiles::DeviceKind;
 use fedco::prelude::*;
 
 fn main() {
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = 8;
-    base.total_slots = 900;
-
-    let grid = ScenarioGrid::new(base)
+    // Two workloads from the registry, scaled down for a quick example run,
+    // crossed with open axes over the arrival rate and the transport link.
+    // Any scenario field could be swept the same way ("--axis users=8,80").
+    let scenarios = vec![
+        ScenarioSpec::preset("smoke")
+            .expect("preset")
+            .with_users(8)
+            .with_slots(900),
+        ScenarioSpec::preset("hetero-devices")
+            .expect("preset")
+            .with_users(8)
+            .with_slots(900),
+    ];
+    let grid = ScenarioGrid::from_scenarios(scenarios)
         .with_policies(PolicyKind::ALL.to_vec())
-        .with_arrivals(vec![ArrivalPattern::sparse(), ArrivalPattern::busy()])
-        .with_devices(vec![
-            DeviceAssignment::RoundRobinTestbed,
-            DeviceAssignment::Uniform(DeviceKind::Pixel2),
-        ])
-        .with_links(vec![LinkKind::Ideal, LinkKind::Lte])
+        .with_axis("arrival_p", &["0.0002", "0.005"])
+        .with_axis("link", &["ideal", "lte"])
         .with_replicates(2);
 
     let workers = resolve_workers(0);
     println!(
-        "sweeping {} scenarios ({} users x {} slots each) on {} worker(s)\n",
+        "sweeping {} jobs ({} scenarios x {} axis cells x {} policies x {} seeds) on {} worker(s)\n",
         grid.len(),
-        grid.base.num_users,
-        grid.base.total_slots,
+        grid.scenarios.len(),
+        grid.axes.iter().map(|a| a.values.len()).product::<usize>(),
+        grid.policies.len(),
+        grid.seeds.len(),
         workers
     );
 
@@ -46,14 +54,15 @@ fn main() {
         report.jobs.len() as f64 / report.wall_s.max(1e-9)
     );
 
-    // The same report as machine-readable rows (first three of the CSV).
+    // The same report as machine-readable rows (first three of the CSV),
+    // keyed by the (scenario, policy) label pair.
     let csv = to_csv(&report);
     println!("\nCSV excerpt:");
     for line in csv.lines().take(3) {
         println!("  {line}");
     }
 
-    // Radio cost of the LTE cells, straight from the rollup rows.
+    // Radio cost of the LTE cells, straight from the per-job rows.
     let lte_radio_kj: f64 = report
         .jobs
         .iter()
@@ -68,12 +77,13 @@ fn main() {
     // against all four built-in baselines, with one rollup row per spec.
     let mut specs: Vec<PolicySpec> = PolicyKind::ALL.iter().map(|&k| k.into()).collect();
     specs.extend([1000.0, 4000.0, 16000.0].map(PolicySpec::online_with_v));
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = 6;
-    base.total_slots = 900;
-    let v_grid = ScenarioGrid::new(base)
-        .with_policy_specs(specs)
-        .with_replicates(3);
+    let v_grid = ScenarioGrid::new(
+        ScenarioSpec::preset("smoke")
+            .expect("preset")
+            .with_slots(900),
+    )
+    .with_policy_specs(specs)
+    .with_replicates(3);
     println!(
         "\nsweeping the V trade-off: {} jobs over {} specs",
         v_grid.len(),

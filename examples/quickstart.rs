@@ -9,29 +9,32 @@
 use fedco::prelude::*;
 
 fn main() {
-    // A 25-user fleet mixing the four testbed devices, one-second slots,
-    // 30 simulated minutes, one app arrival per ~500 s per user.
-    let base = SimConfig {
-        num_users: 25,
-        total_slots: 1800,
-        arrival_probability: 0.002,
-        ..SimConfig::default()
-    };
+    // The paper's 25-user testbed mix, declared as a scenario spec:
+    // `paper-default` scaled to 30 simulated minutes with one app arrival
+    // per ~500 s per user. The same string works on the `fleet_sweep` CLI.
+    let scenario: ScenarioSpec = "paper-default:slots=1800:arrival_p=0.002"
+        .parse()
+        .expect("registry scenario");
 
     println!("fedco quickstart — online controller vs immediate scheduling");
     println!(
-        "users: {}, horizon: {} s, arrival p: {}\n",
-        base.num_users, base.total_slots, base.arrival_probability
+        "scenario: {} ({} users, horizon {} s, arrival p {})\n",
+        scenario.label(),
+        scenario.users(),
+        scenario.slots(),
+        scenario.arrival_p()
     );
 
-    let immediate = run_simulation(SimConfig {
-        policy: PolicyKind::Immediate.into(),
-        ..base.clone()
-    });
-    let online = run_simulation(SimConfig {
-        policy: PolicyKind::Online.into(),
-        ..base.clone()
-    });
+    let immediate = run_simulation(
+        scenario
+            .build_with_policy(PolicyKind::Immediate)
+            .expect("valid scenario"),
+    );
+    let online = run_simulation(
+        scenario
+            .build_with_policy(PolicyKind::Online)
+            .expect("valid scenario"),
+    );
 
     println!("{}", summarize(&immediate));
     println!("{}", summarize(&online));

@@ -56,8 +56,8 @@ pub mod prelude {
     };
     pub use fedco_fleet::prelude::{
         deterministic_view, resolve_workers, rollup_table, run_grid, run_grid_sequential, to_csv,
-        to_jsonl, ArrivalPattern, FleetJob, FleetReport, GridError, JobCoord, JobQueue, JobSummary,
-        LinkKind, PolicyRollup, ScenarioGrid, Streaming,
+        to_jsonl, CellRollup, FieldAxis, FleetJob, FleetReport, GridError, JobCoord, JobQueue,
+        JobSummary, LinkKind, ScenarioGrid, Streaming,
     };
     pub use fedco_neural::{
         Dataset, LeNetConfig, ParamVector, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy,

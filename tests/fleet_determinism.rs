@@ -1,31 +1,42 @@
-//! Facade-level determinism regression for the fleet runtime: sweeping
-//! through `fedco::prelude` must give bit-identical merged statistics on 1
-//! and N workers. The heavier per-policy matrix lives in
+//! Facade-level determinism regression for the fleet runtime: sweeping a
+//! mixed-axis grid (scenario × open field axis × policy × seed) through
+//! `fedco::prelude` must give bit-identical merged statistics on 1 and N
+//! workers. The heavier per-policy matrix lives in
 //! `crates/fleet/tests/determinism.rs`; this guards the re-exported API.
 
 use fedco::prelude::*;
 
 fn grid() -> ScenarioGrid {
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = 4;
-    base.total_slots = 300;
-    ScenarioGrid::new(base)
-        .with_arrivals(vec![ArrivalPattern::busy()])
-        .with_links(vec![LinkKind::Ideal, LinkKind::Wifi])
+    let scenarios = vec![
+        ScenarioSpec::preset("smoke")
+            .expect("preset")
+            .with_users(4)
+            .with_slots(300),
+        ScenarioSpec::preset("lte-uplink")
+            .expect("preset")
+            .with_users(4)
+            .with_slots(300)
+            .with_arrival_p(0.005),
+    ];
+    ScenarioGrid::from_scenarios(scenarios)
+        .with_axis("link", &["ideal", "wifi"])
         .with_replicates(2)
 }
 
 #[test]
 fn facade_sweep_is_worker_count_invariant() {
     let grid = grid();
-    assert_eq!(grid.len(), 16);
+    assert_eq!(grid.len(), 32, "2 scenarios x 2 links x 4 policies x 2");
     let seq = run_grid_sequential(&grid);
     let par = run_grid(&grid, 4);
     assert_eq!(deterministic_view(&seq), deterministic_view(&par));
     assert_eq!(seq.rollups, par.rollups);
     for policy in PolicyKind::ALL {
-        let r = par.rollup(policy).expect("all policies swept");
-        assert_eq!(r.runs(), 4);
+        let rollups: Vec<&CellRollup> = par.rollups_for_policy(policy.label()).collect();
+        assert_eq!(rollups.len(), 4, "{policy:?} appears in every cell");
+        for r in rollups {
+            assert_eq!(r.runs(), 2, "{policy:?} in {}", r.scenario);
+        }
     }
 }
 
@@ -46,4 +57,32 @@ fn fleet_jobs_agree_with_direct_engine_runs() {
         assert_eq!(direct.total_updates, swept.total_updates);
         assert_eq!(direct.mean_lag.to_bits(), swept.mean_lag.to_bits());
     }
+}
+
+#[test]
+fn mixed_axis_report_round_trips_through_csv_and_jsonl() {
+    // Acceptance: a mixed-axis sweep keyed by (scenario_label, policy_label)
+    // round-trips through both report formats.
+    let report = run_grid(&grid(), 0);
+    let csv = to_csv(&report);
+    let jsonl = to_jsonl(&report);
+    for job in &report.jobs {
+        let row = csv
+            .lines()
+            .nth(job.id + 1)
+            .unwrap_or_else(|| panic!("row for job {}", job.id));
+        assert!(
+            row.starts_with(&format!("{},{},{},", job.id, job.scenario, job.policy)),
+            "{row}"
+        );
+        let line = jsonl
+            .lines()
+            .nth(job.id)
+            .unwrap_or_else(|| panic!("line for job {}", job.id));
+        assert!(line.contains(&format!("\"scenario\":\"{}\"", job.scenario)));
+        assert!(line.contains(&format!("\"policy\":\"{}\"", job.policy)));
+    }
+    // The axis override is visible in the keys themselves.
+    assert!(csv.contains("smoke:users=4:slots=300:link=wifi"));
+    assert!(jsonl.contains("lte-uplink:users=4:slots=300:arrival_p=0.005:link=ideal"));
 }

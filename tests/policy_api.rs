@@ -151,10 +151,11 @@ fn sync_semantics_come_from_the_barrier_capability() {
 fn one_grid_sweep_compares_online_variants_against_all_baselines() {
     let mut specs: Vec<PolicySpec> = PolicyKind::ALL.iter().map(|&k| k.into()).collect();
     specs.extend([1000.0, 4000.0, 16000.0].map(PolicySpec::online_with_v));
-    let mut base = SimConfig::small(PolicyKind::Online);
-    base.num_users = 3;
-    base.total_slots = 300;
-    let grid = ScenarioGrid::new(base)
+    let scenario = ScenarioSpec::preset("smoke")
+        .expect("preset")
+        .with_users(3)
+        .with_slots(300);
+    let grid = ScenarioGrid::new(scenario.clone())
         .with_policy_specs(specs.clone())
         .with_replicates(2);
     assert_eq!(grid.len(), 14);
@@ -163,7 +164,7 @@ fn one_grid_sweep_compares_online_variants_against_all_baselines() {
     assert_eq!(report.rollups.len(), 7, "one rollup per spec label");
     for spec in &specs {
         let rollup = report
-            .rollup(spec.clone())
+            .rollup(&scenario.label(), &spec.label())
             .unwrap_or_else(|| panic!("missing rollup for {spec}"));
         assert_eq!(rollup.runs(), 2, "{spec}");
         assert!(rollup.energy_j.mean() > 0.0, "{spec}");

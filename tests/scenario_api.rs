@@ -1,0 +1,205 @@
+//! Acceptance tests for the declarative scenario API: every built-in
+//! preset — and scenarios parsed from a scenario file — must produce
+//! **bit-identical** results to the equivalent hand-built `SimConfig`, the
+//! `spec → label → parse` round-trip must be exact, and the whole registry
+//! must build valid configurations for every registry policy.
+
+use fedco::prelude::*;
+use fedco::sim::engine::run_simulation_summary;
+
+/// Scaled-down overrides so a full-registry scan stays fast.
+fn scaled(spec: &ScenarioSpec) -> ScenarioSpec {
+    spec.clone().with_users(4).with_slots(400)
+}
+
+#[test]
+fn every_preset_builds_the_equivalent_hand_built_config() {
+    // The two presets with documented hand-built equivalents are equal as
+    // whole structs, so every run of them is trivially bit-identical.
+    for kind in PolicyKind::ALL {
+        assert_eq!(
+            ScenarioSpec::preset("paper-default")
+                .expect("preset")
+                .build_with_policy(kind)
+                .expect("builds"),
+            SimConfig::paper_default(kind)
+        );
+        assert_eq!(
+            ScenarioSpec::preset("smoke")
+                .expect("preset")
+                .build_with_policy(kind)
+                .expect("builds"),
+            SimConfig::small(kind)
+        );
+    }
+}
+
+#[test]
+fn registry_wide_build_validity_across_policies() {
+    for spec in ScenarioSpec::default_registry() {
+        for policy in PolicySpec::default_registry() {
+            let config = spec
+                .build_with_policy(policy.clone())
+                .unwrap_or_else(|e| panic!("{} x {policy}: {e}", spec.label()));
+            assert!(config.is_valid(), "{} x {policy}", spec.label());
+            assert_eq!(config.policy.label(), policy.label());
+        }
+    }
+}
+
+#[test]
+fn preset_runs_are_bit_identical_to_hand_built_configs() {
+    // A declarative spec is nothing but a construction path: running its
+    // built config must give the same bits as running a config assembled
+    // by hand, field by field.
+    let spec = scaled(&ScenarioSpec::preset("lte-uplink").expect("preset"));
+    let declarative = run_simulation_summary(
+        spec.build_with_policy(PolicyKind::Online)
+            .expect("builds")
+            .summary_only(),
+    );
+    let hand_built = {
+        let mut config = SimConfig::paper_default(PolicyKind::Online).summary_only();
+        config.num_users = 4;
+        config.total_slots = 400;
+        config.transport = Some(TransportModel::lte());
+        run_simulation_summary(config)
+    };
+    assert_eq!(
+        declarative.total_energy_j.to_bits(),
+        hand_built.total_energy_j.to_bits()
+    );
+    assert_eq!(declarative.total_updates, hand_built.total_updates);
+    assert_eq!(
+        declarative.mean_lag.to_bits(),
+        hand_built.mean_lag.to_bits()
+    );
+    assert_eq!(
+        declarative.mean_queue.to_bits(),
+        hand_built.mean_queue.to_bits()
+    );
+
+    // The same holds for a device-mix preset against an explicit list.
+    let hetero = scaled(&ScenarioSpec::preset("hetero-devices").expect("preset"));
+    let declarative = run_simulation_summary(
+        hetero
+            .build_with_policy(PolicyKind::Offline)
+            .expect("builds")
+            .summary_only(),
+    );
+    let hand_built = {
+        let mut config = SimConfig::paper_default(PolicyKind::Offline).summary_only();
+        config.num_users = 4;
+        config.total_slots = 400;
+        config.devices = DeviceAssignment::custom(vec![
+            DeviceKind::Pixel2,
+            DeviceKind::Pixel2,
+            DeviceKind::Pixel2,
+            DeviceKind::Nexus6,
+            DeviceKind::Nexus6P,
+            DeviceKind::Hikey970,
+        ])
+        .expect("non-empty");
+        run_simulation_summary(config)
+    };
+    assert_eq!(
+        declarative.total_energy_j.to_bits(),
+        hand_built.total_energy_j.to_bits()
+    );
+    assert_eq!(declarative.total_updates, hand_built.total_updates);
+}
+
+#[test]
+fn parsed_scenario_file_runs_bit_identical_to_hand_built_config() {
+    let text = "\
+# an experiment catalogue checked into the repo
+[busy-lte-phones]
+base = smoke
+users = 5
+slots = 500
+arrival_p = 0.01
+devices = pixel2
+link = lte
+v = 1000
+";
+    let specs = parse_scenario_file(text).expect("parses");
+    assert_eq!(specs.len(), 1);
+    assert_eq!(specs[0].label(), "busy-lte-phones");
+    let declarative = run_simulation_summary(
+        specs[0]
+            .build_with_policy(PolicyKind::Online)
+            .expect("builds")
+            .summary_only(),
+    );
+    let hand_built = {
+        let mut config = SimConfig::small(PolicyKind::Online)
+            .summary_only()
+            .with_v(1000.0);
+        config.num_users = 5;
+        config.total_slots = 500;
+        config.arrival_probability = 0.01;
+        config.devices = DeviceAssignment::Uniform(DeviceKind::Pixel2);
+        config.transport = Some(TransportModel::lte());
+        run_simulation_summary(config)
+    };
+    assert_eq!(
+        declarative.total_energy_j.to_bits(),
+        hand_built.total_energy_j.to_bits()
+    );
+    assert_eq!(declarative.total_updates, hand_built.total_updates);
+    assert_eq!(
+        declarative.mean_lag.to_bits(),
+        hand_built.mean_lag.to_bits()
+    );
+    assert_eq!(
+        declarative.mean_virtual_queue.to_bits(),
+        hand_built.mean_virtual_queue.to_bits()
+    );
+}
+
+#[test]
+fn registry_labels_round_trip_with_overrides() {
+    // spec → label → parse → identical label, for every preset and a
+    // representative override mix on top of each.
+    for spec in ScenarioSpec::default_registry() {
+        let reparsed: ScenarioSpec = spec.label().parse().expect("label parses");
+        assert_eq!(reparsed.label(), spec.label());
+        assert_eq!(reparsed, spec);
+
+        let tweaked = spec
+            .with_users(9)
+            .with_arrival_p(0.25)
+            .with_link(LinkKind::Wifi)
+            .with_traces(false);
+        let reparsed: ScenarioSpec = tweaked.label().parse().expect("label parses");
+        assert_eq!(reparsed.label(), tweaked.label());
+        assert_eq!(reparsed, tweaked);
+        // And the two construction paths agree exactly.
+        assert_eq!(
+            reparsed.build().expect("builds"),
+            tweaked.build().expect("builds")
+        );
+    }
+}
+
+#[test]
+fn field_errors_name_the_offending_token() {
+    // Unknown keys, duplicate keys and out-of-range values all name the
+    // field (the satellite contract of the parser).
+    let err = "smoke:warp=1"
+        .parse::<ScenarioSpec>()
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("`warp`"), "{err}");
+    let err = "smoke:users=2:users=3"
+        .parse::<ScenarioSpec>()
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("duplicate scenario field `users`"), "{err}");
+    let err = "smoke:arrival_p=2"
+        .parse::<ScenarioSpec>()
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("arrival_p=2"), "{err}");
+    assert!(err.contains("[0, 1]"), "{err}");
+}
