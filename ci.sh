@@ -19,6 +19,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (warning-free)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace >/dev/null
 
+echo "==> fedco-audit static-analysis gate (determinism & panic-safety rules)"
+cargo run --release --offline -q -p fedco-audit -- --workspace
+
 echo "==> engine dense-vs-event equivalence suite"
 cargo test -q --offline --test engine_equivalence
 

@@ -1,0 +1,100 @@
+//! Findings and their two output formats: the human `file:line:col` line and
+//! machine-readable JSON (hand-rolled, like every serializer in this
+//! workspace — the build is offline and dependency-free).
+
+use std::fmt;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// 1-based column of the finding.
+    pub col: u32,
+    /// Stable id of the rule that fired, e.g. `wall-clock`.
+    pub rule: &'static str,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}  {}  {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// Renders the finding as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_grep_friendly_format() {
+        let f = Finding {
+            file: "crates/sim/src/engine.rs".into(),
+            line: 307,
+            col: 9,
+            rule: "unordered-iter",
+            message: "HashMap in determinism-critical code".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/sim/src/engine.rs:307:9  unordered-iter  HashMap in determinism-critical code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        let f = Finding {
+            file: "x.rs".into(),
+            line: 1,
+            col: 2,
+            rule: "wall-clock",
+            message: "uses \"Instant\"".into(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{\"file\":\"x.rs\",\"line\":1,\"col\":2,\"rule\":\"wall-clock\",\"message\":\"uses \\\"Instant\\\"\"}"
+        );
+    }
+}

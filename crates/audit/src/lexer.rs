@@ -1,0 +1,518 @@
+//! A hand-rolled Rust tokenizer, just precise enough for lint rules to match
+//! *tokens* — never text hiding inside comments or string literals.
+//!
+//! The lexer understands line comments (including `///` and `//!` doc
+//! comments), *nested* block comments, string/byte-string/C-string literals
+//! with escapes, raw (byte) strings with arbitrary `#` fences, raw
+//! identifiers, the `'a`-lifetime vs `'a'`-char-literal ambiguity, and
+//! numeric literals with type suffixes (`0.0f64`). Everything it does not
+//! recognise degrades to single-character punctuation tokens, so malformed
+//! input can never make it panic — at worst a rule sees odd punctuation.
+
+/// The coarse classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime or loop label such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A character or byte-character literal, e.g. `'x'`, `'\n'`, `b'0'`.
+    Char,
+    /// A string literal of any flavour: `"…"`, `b"…"`, `c"…"`, `r#"…"#`.
+    Str,
+    /// A numeric literal, including any type suffix, e.g. `0.0f64`, `0xFF`.
+    Num,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// A `//`-style comment, text includes the leading slashes.
+    LineComment,
+    /// A `/* … */` comment (nesting-aware), text includes the delimiters.
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column, counted in
+/// characters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The verbatim source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, updating line/column bookkeeping.
+    fn bump(&mut self, out: &mut String) {
+        if let Some(c) = self.chars.get(self.pos).copied() {
+            out.push(c);
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    /// Consumes characters while `pred` holds.
+    fn bump_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if pred(c) {
+                self.bump(out);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed into `out`),
+    /// honouring `\"` and `\\` escapes. Stops at EOF on unterminated input.
+    fn string_body(&mut self, out: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(out);
+                self.bump(out); // the escaped character, whatever it is
+            } else if c == '"' {
+                self.bump(out);
+                return;
+            } else {
+                self.bump(out);
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at the `#`-fence or the opening
+    /// quote (the `r`/`br` prefix is already in `out`). Returns `false` if
+    /// this is not actually a raw string (e.g. a raw identifier `r#type`),
+    /// in which case nothing further is consumed.
+    fn raw_string_body(&mut self, out: &mut String) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump(out); // the fence and the opening quote
+        }
+        // Scan for `"` followed by `hashes` consecutive `#`.
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut closed = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        closed = false;
+                        break;
+                    }
+                }
+                self.bump(out);
+                if closed {
+                    for _ in 0..hashes {
+                        self.bump(out);
+                    }
+                    return true;
+                }
+            } else {
+                self.bump(out);
+            }
+        }
+        true // unterminated: consumed to EOF
+    }
+
+    /// Consumes a `'…'` char literal or a `'a`-style lifetime/label.
+    fn char_or_lifetime(&mut self, out: &mut String) -> TokenKind {
+        self.bump(out); // the opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume up to the closing quote.
+                self.bump(out);
+                self.bump(out);
+                self.bump_while(out, |c| c != '\'' && c != '\n');
+                if self.peek(0) == Some('\'') {
+                    self.bump(out);
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                if self.peek(1) == Some('\'') {
+                    // 'a' — a single-identifier-character char literal.
+                    self.bump(out);
+                    self.bump(out);
+                    TokenKind::Char
+                } else {
+                    // 'a, 'static, '_ — a lifetime or loop label.
+                    self.bump_while(out, is_ident_continue);
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // '%', ' ', '日' … — a plain char literal.
+                self.bump(out);
+                if self.peek(0) == Some('\'') {
+                    self.bump(out);
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Punct, // lone quote at EOF
+        }
+    }
+
+    /// Consumes a numeric literal, including `_` separators, one fractional
+    /// dot (only when followed by a digit, so `0..10` lexes as two tokens),
+    /// exponents with signs, and alphanumeric type suffixes.
+    fn number(&mut self, out: &mut String) {
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    let exponent = (c == 'e' || c == 'E') && !out.starts_with("0x");
+                    self.bump(out);
+                    if exponent {
+                        if let Some(s) = self.peek(0) {
+                            if s == '+' || s == '-' {
+                                self.bump(out);
+                            }
+                        }
+                    }
+                }
+                Some('.')
+                    if !out.contains('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) =>
+                {
+                    self.bump(out);
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        // Skip whitespace.
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                let mut sink = String::new();
+                self.bump(&mut sink);
+            } else {
+                break;
+            }
+        }
+        let c = self.peek(0)?;
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        let kind = match c {
+            '/' if self.peek(1) == Some('/') => {
+                self.bump_while(&mut text, |c| c != '\n');
+                TokenKind::LineComment
+            }
+            '/' if self.peek(1) == Some('*') => {
+                self.bump(&mut text);
+                self.bump(&mut text);
+                let mut depth = 1usize;
+                while depth > 0 && self.peos_has_more() {
+                    match (self.peek(0), self.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            self.bump(&mut text);
+                            self.bump(&mut text);
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            self.bump(&mut text);
+                            self.bump(&mut text);
+                        }
+                        _ => self.bump(&mut text),
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            '"' => {
+                self.bump(&mut text);
+                self.string_body(&mut text);
+                TokenKind::Str
+            }
+            '\'' => self.char_or_lifetime(&mut text),
+            'r' if matches!(self.peek(1), Some('"') | Some('#')) => {
+                self.bump(&mut text);
+                if self.raw_string_body(&mut text) {
+                    TokenKind::Str
+                } else if self.peek(0) == Some('#') {
+                    // r#type — a raw identifier.
+                    self.bump(&mut text);
+                    self.bump_while(&mut text, is_ident_continue);
+                    TokenKind::Ident
+                } else {
+                    self.bump_while(&mut text, is_ident_continue);
+                    TokenKind::Ident
+                }
+            }
+            'b' | 'c' if self.peek(1) == Some('"') => {
+                self.bump(&mut text);
+                self.bump(&mut text);
+                self.string_body(&mut text);
+                TokenKind::Str
+            }
+            'b' if self.peek(1) == Some('\'') => {
+                self.bump(&mut text);
+                self.char_or_lifetime(&mut text);
+                TokenKind::Char
+            }
+            'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"') | Some('#')) => {
+                self.bump(&mut text);
+                self.bump(&mut text);
+                if self.raw_string_body(&mut text) {
+                    TokenKind::Str
+                } else {
+                    self.bump_while(&mut text, is_ident_continue);
+                    TokenKind::Ident
+                }
+            }
+            c if is_ident_start(c) => {
+                self.bump_while(&mut text, is_ident_continue);
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                self.number(&mut text);
+                TokenKind::Num
+            }
+            _ => {
+                self.bump(&mut text);
+                TokenKind::Punct
+            }
+        };
+        Some(Token {
+            kind,
+            text,
+            line,
+            col,
+        })
+    }
+
+    fn peos_has_more(&self) -> bool {
+        self.pos < self.chars.len()
+    }
+}
+
+/// Lexes `src` into a flat token stream (comments included). Never panics:
+/// unterminated literals and comments consume to end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    while let Some(tok) = lexer.next_token() {
+        tokens.push(tok);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("use std::time::Instant;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "use".into()),
+                (TokenKind::Ident, "std".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Ident, "time".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Ident, "Instant".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_and_col_are_one_based() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn comments_hide_tokens() {
+        let toks = kinds("x // Instant::now() here\ny");
+        assert_eq!(toks[0].0, TokenKind::Ident);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "y".into()));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "Instant"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "/* outer /* inner */ still comment */");
+        assert_eq!(toks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn unterminated_block_comment_reaches_eof() {
+        let toks = kinds("a /* never closed\nmore");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn strings_with_escaped_quotes() {
+        let toks = kinds(r#"let s = "he said \"unwrap()\" loudly";"#);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unwrap"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let s = r#"contains "quotes" and panic!()"#; done"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.starts_with("r#\""));
+        assert!(strs[0].1.ends_with("\"#"));
+        assert_eq!(
+            toks.last().expect("tokens"),
+            &(TokenKind::Ident, "done".into())
+        );
+    }
+
+    #[test]
+    fn raw_string_two_hash_fence_spans_single_hash_quote() {
+        let toks = kinds("r##\"inner \"# still\"## after");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"b"bytes" c"cstr" br#"raw bytes"# b'x'"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[3].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let toks = kinds("let r#type = 1;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime_ambiguity() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let nl = '\\n'; 'outer: loop {} }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'outer"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = kinds(r"let q = '\''; let bs = '\\'; next");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(
+            toks.last().expect("tokens"),
+            &(TokenKind::Ident, "next".into())
+        );
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = kinds("0.0f64 1_000u32 0xFF 1.5e-3 0..10");
+        assert_eq!(toks[0], (TokenKind::Num, "0.0f64".into()));
+        assert_eq!(toks[1], (TokenKind::Num, "1_000u32".into()));
+        assert_eq!(toks[2], (TokenKind::Num, "0xFF".into()));
+        assert_eq!(toks[3], (TokenKind::Num, "1.5e-3".into()));
+        assert_eq!(toks[4], (TokenKind::Num, "0".into()));
+        assert_eq!(toks[5], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[6], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[7], (TokenKind::Num, "10".into()));
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let toks = kinds("/// outer doc\n//! inner doc\nfn f() {}");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers_honest() {
+        let toks = lex("let s = \"line one\nline two\";\nafter");
+        let after = toks.last().expect("tokens");
+        assert_eq!(after.text, "after");
+        assert_eq!(after.line, 3);
+    }
+}

@@ -1,0 +1,413 @@
+//! The rule registry: each rule scopes itself to the file classes and crates
+//! where its invariant matters, matches *tokens* (the lexer already hid
+//! comments and string literals), and honours the inline allow annotations
+//! parsed by [`FileContext`].
+
+use crate::context::FileContext;
+use crate::findings::Finding;
+use crate::source::FileClass;
+
+/// One repo-invariant lint rule.
+pub trait Rule {
+    /// Stable kebab-case id, used in reports and allow annotations.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn summary(&self) -> &'static str;
+    /// Appends this rule's findings for one file.
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>);
+}
+
+/// Every rule, in reporting order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(WallClock),
+        Box::new(UnorderedIter),
+        Box::new(PanicSurface),
+        Box::new(RngDiscipline),
+        Box::new(FloatReduction),
+        Box::new(CrateHygiene),
+        Box::new(AllowSyntax),
+    ]
+}
+
+/// The rule ids an allow annotation may name. `allow-syntax` is deliberately
+/// absent: a malformed annotation cannot be waved through by another
+/// annotation.
+pub const ALLOWABLE_RULES: &[&str] = &[
+    "wall-clock",
+    "unordered-iter",
+    "panic-surface",
+    "rng-discipline",
+    "float-reduction",
+    "crate-hygiene",
+];
+
+fn emit(ctx: &FileContext<'_>, out: &mut Vec<Finding>, k: usize, rule: &'static str, msg: String) {
+    let tok = ctx.code_tok(k);
+    if ctx.is_allowed(rule, tok.line) {
+        return;
+    }
+    out.push(Finding {
+        file: ctx.file.rel_path.clone(),
+        line: tok.line,
+        col: tok.col,
+        rule,
+        message: msg,
+    });
+}
+
+/// `wall-clock`: `Instant`/`SystemTime` are forbidden outside `crates/bench`.
+///
+/// Determinism claims (dense-vs-event bit-identity, any-worker-count merge
+/// identity) only hold because simulated time is the sole clock; wall-clock
+/// reads in library code are how nondeterminism sneaks into results. Timing
+/// belongs in the bench crate, or behind an allow annotation at sites whose
+/// readings are explicitly excluded from determinism comparisons.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "wall-clock"
+    }
+    fn summary(&self) -> &'static str {
+        "Instant/SystemTime outside crates/bench and annotated timing sites"
+    }
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+        if ctx.file.in_bench_crate() {
+            return;
+        }
+        for k in 0..ctx.code_len() {
+            let t = ctx.code_tok(k);
+            if (t.is_ident("Instant") || t.is_ident("SystemTime")) && !ctx.in_test_code(k) {
+                emit(
+                    ctx,
+                    out,
+                    k,
+                    self.id(),
+                    format!(
+                        "wall-clock source `{}` outside crates/bench; keep simulated \
+                         time as the only clock, or annotate a timing-only site with \
+                         `fedco-audit: allow(wall-clock): <reason>`",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `unordered-iter`: no `HashMap`/`HashSet` in determinism-critical library
+/// code (`fedco-core`, `fedco-sim`, `fedco-fl`, `fedco-fleet`).
+///
+/// Hash iteration order is unspecified, so any fold over it can reorder
+/// float accumulation or report rows between runs. Use `BTreeMap`/`BTreeSet`
+/// (or sorted access), or prove the map is only ever read by key and annotate.
+pub struct UnorderedIter;
+
+impl Rule for UnorderedIter {
+    fn id(&self) -> &'static str {
+        "unordered-iter"
+    }
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet in determinism-critical library code (core/sim/fl/fleet)"
+    }
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+        if !ctx.file.in_determinism_critical_lib() {
+            return;
+        }
+        for k in 0..ctx.code_len() {
+            let t = ctx.code_tok(k);
+            if (t.is_ident("HashMap") || t.is_ident("HashSet")) && !ctx.in_test_code(k) {
+                emit(
+                    ctx,
+                    out,
+                    k,
+                    self.id(),
+                    format!(
+                        "`{}` in determinism-critical library code: iteration order is \
+                         unspecified; use BTreeMap/BTreeSet, or annotate with proof of \
+                         keyed-only access",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `panic-surface`: no `unwrap()`/`expect(…)`/`panic!`/`todo!`/
+/// `unimplemented!` in non-test, non-example library code.
+///
+/// Library paths already have typed error flows (`ConfigError`,
+/// `SchedulerConfigError`, `GridError`); reachable panics bypass them and
+/// take down a whole fleet worker. Unreachable ones must say *why* they are
+/// unreachable, in an allow annotation.
+pub struct PanicSurface;
+
+impl Rule for PanicSurface {
+    fn id(&self) -> &'static str {
+        "panic-surface"
+    }
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/todo!/unimplemented! in library code"
+    }
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+        if ctx.file.class != FileClass::Lib {
+            return;
+        }
+        for k in 0..ctx.code_len() {
+            if ctx.in_test_code(k) {
+                continue;
+            }
+            let t = ctx.code_tok(k);
+            let method_call = |name: &str| {
+                t.is_ident(name)
+                    && k > 0
+                    && ctx.code_tok(k - 1).is_punct('.')
+                    && k + 1 < ctx.code_len()
+                    && ctx.code_tok(k + 1).is_punct('(')
+            };
+            let macro_call = |name: &str| {
+                t.is_ident(name) && k + 1 < ctx.code_len() && ctx.code_tok(k + 1).is_punct('!')
+            };
+            let what = if method_call("unwrap") {
+                Some(".unwrap()")
+            } else if method_call("expect") {
+                Some(".expect(…)")
+            } else if macro_call("panic") {
+                Some("panic!")
+            } else if macro_call("todo") {
+                Some("todo!")
+            } else if macro_call("unimplemented") {
+                Some("unimplemented!")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                emit(
+                    ctx,
+                    out,
+                    k,
+                    self.id(),
+                    format!(
+                        "`{what}` in library code: return a typed error \
+                         (ConfigError/SchedulerConfigError/…) or annotate why this \
+                         cannot be reached"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `rng-discipline`: every RNG is constructed from an explicit `u64` seed.
+///
+/// The workspace's own `fedco-rng` only *has* seeded constructors, so this
+/// rule bans the known entropy back doors that would reintroduce
+/// irreproducibility: `from_entropy`, `thread_rng`, `OsRng`, `getrandom`,
+/// and std's randomly-keyed `RandomState` hasher.
+pub struct RngDiscipline;
+
+const ENTROPY_IDENTS: &[&str] = &[
+    "from_entropy",
+    "thread_rng",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+
+impl Rule for RngDiscipline {
+    fn id(&self) -> &'static str {
+        "rng-discipline"
+    }
+    fn summary(&self) -> &'static str {
+        "entropy sources (from_entropy/thread_rng/OsRng/getrandom/RandomState)"
+    }
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+        for k in 0..ctx.code_len() {
+            let t = ctx.code_tok(k);
+            if ENTROPY_IDENTS.iter().any(|id| t.is_ident(id)) {
+                emit(
+                    ctx,
+                    out,
+                    k,
+                    self.id(),
+                    format!(
+                        "entropy source `{}`: every RNG in this workspace must be \
+                         constructed from an explicit u64 seed (SplitMix64 of the \
+                         scenario/grid coordinates)",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `float-reduction`: no ad-hoc `f32`/`f64` `.sum()`/`.fold(` accumulation in
+/// determinism-critical library code outside the blessed streaming-stats
+/// module (`crates/fleet/src/stats.rs`).
+///
+/// Merged statistics stay bit-identical for any worker count only because
+/// every cross-job accumulation goes through the mergeable `Streaming`
+/// discipline; a stray float sum is where that guarantee silently erodes.
+/// Detection is evidence-based on tokens: a `.sum(`/`.fold(` whose enclosing
+/// statement (or turbofish) mentions `f32`/`f64` is flagged; fixed-order
+/// in-simulation accumulations can be annotated as such.
+pub struct FloatReduction;
+
+impl FloatReduction {
+    /// Whether the statement window around the reduction call mentions a
+    /// float type, either as an identifier (`f64::max`, `: f64`) or as a
+    /// numeric literal suffix (`0.0f64`).
+    fn float_evidence(ctx: &FileContext<'_>, call: usize) -> bool {
+        let start = (0..call)
+            .rev()
+            .find(|&j| {
+                let t = ctx.code_tok(j);
+                t.is_punct(';') || t.is_punct('{') || t.is_punct('}')
+            })
+            .map_or(0, |j| j + 1);
+        // Include the turbofish after the method name (`.sum::<f64>()`) and
+        // the call arguments (`.fold(0.0f64, f64::max)`), where the float
+        // evidence usually lives.
+        let mut end = call;
+        while end + 1 < ctx.code_len() && !ctx.code_tok(end).is_punct('(') {
+            end += 1;
+        }
+        let mut depth = 0usize;
+        while end + 1 < ctx.code_len() {
+            if ctx.code_tok(end).is_punct('(') {
+                depth += 1;
+            } else if ctx.code_tok(end).is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        (start..=end).any(|j| {
+            let t = ctx.code_tok(j);
+            t.is_ident("f32")
+                || t.is_ident("f64")
+                || (t.kind == crate::lexer::TokenKind::Num
+                    && !t.text.starts_with("0x")
+                    && (t.text.ends_with("f32") || t.text.ends_with("f64")))
+        })
+    }
+}
+
+impl Rule for FloatReduction {
+    fn id(&self) -> &'static str {
+        "float-reduction"
+    }
+    fn summary(&self) -> &'static str {
+        "f32/f64 .sum()/.fold() outside crates/fleet/src/stats.rs"
+    }
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+        if !ctx.file.in_determinism_critical_lib()
+            || ctx.file.rel_path == "crates/fleet/src/stats.rs"
+        {
+            return;
+        }
+        for k in 0..ctx.code_len() {
+            if ctx.in_test_code(k) {
+                continue;
+            }
+            let t = ctx.code_tok(k);
+            let reduction = (t.is_ident("sum") || t.is_ident("fold"))
+                && k > 0
+                && ctx.code_tok(k - 1).is_punct('.');
+            if reduction && Self::float_evidence(ctx, k) {
+                emit(
+                    ctx,
+                    out,
+                    k,
+                    self.id(),
+                    format!(
+                        "floating-point `.{}(…)` accumulation outside the blessed \
+                         streaming-stats module; use fleet::stats::Streaming for \
+                         mergeable statistics, or annotate a fixed-order in-simulation \
+                         reduction",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `crate-hygiene`: every crate root carries `#![forbid(unsafe_code)]` and
+/// `#![deny(missing_docs)]`.
+pub struct CrateHygiene;
+
+impl CrateHygiene {
+    fn has_inner_attr(ctx: &FileContext<'_>, action: &str, lint: &str) -> bool {
+        (0..ctx.code_len()).any(|k| {
+            k + 7 < ctx.code_len()
+                && ctx.code_tok(k).is_punct('#')
+                && ctx.code_tok(k + 1).is_punct('!')
+                && ctx.code_tok(k + 2).is_punct('[')
+                && ctx.code_tok(k + 3).is_ident(action)
+                && ctx.code_tok(k + 4).is_punct('(')
+                && ctx.code_tok(k + 5).is_ident(lint)
+                && ctx.code_tok(k + 6).is_punct(')')
+                && ctx.code_tok(k + 7).is_punct(']')
+        })
+    }
+}
+
+impl Rule for CrateHygiene {
+    fn id(&self) -> &'static str {
+        "crate-hygiene"
+    }
+    fn summary(&self) -> &'static str {
+        "crate roots must carry #![forbid(unsafe_code)] and #![deny(missing_docs)]"
+    }
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+        if !ctx.file.is_crate_root {
+            return;
+        }
+        for (action, lint) in [("forbid", "unsafe_code"), ("deny", "missing_docs")] {
+            if !Self::has_inner_attr(ctx, action, lint) && !ctx.is_allowed(self.id(), 1) {
+                out.push(Finding {
+                    file: ctx.file.rel_path.clone(),
+                    line: 1,
+                    col: 1,
+                    rule: self.id(),
+                    message: format!("crate root is missing `#![{action}({lint})]`"),
+                });
+            }
+        }
+    }
+}
+
+/// `allow-syntax`: a `fedco-audit:` comment that fails to parse is itself a
+/// finding — a typo must never silently disable a rule. This rule cannot be
+/// allowed away.
+pub struct AllowSyntax;
+
+impl Rule for AllowSyntax {
+    fn id(&self) -> &'static str {
+        "allow-syntax"
+    }
+    fn summary(&self) -> &'static str {
+        "malformed `fedco-audit: allow(rule-id): <reason>` annotations"
+    }
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
+        for d in &ctx.allow_diags {
+            out.push(Finding {
+                file: ctx.file.rel_path.clone(),
+                line: d.line,
+                col: d.col,
+                rule: self.id(),
+                message: format!(
+                    "malformed fedco-audit annotation ({}); expected \
+                     `fedco-audit: allow(rule-id): <reason>`",
+                    d.why
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Workspace discovery: find the `.rs` files to audit and classify each one
+//! so rules can scope themselves (library vs binary vs test code, which
+//! crate, whether the file is a crate root).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How a source file participates in the build — rules scope on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code under `src/` (excluding `src/bin/` and `src/main.rs`).
+    Lib,
+    /// Binary code: `src/bin/**` or `src/main.rs`.
+    Bin,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Examples under `examples/`.
+    Example,
+    /// Benchmarks under `benches/`.
+    Bench,
+}
+
+/// Metadata about one source file, derived purely from its workspace-relative
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators, e.g.
+    /// `crates/sim/src/engine.rs`.
+    pub rel_path: String,
+    /// The crate directory under `crates/` (e.g. `sim`), or the empty string
+    /// for files belonging to the workspace-root `fedco` package.
+    pub crate_dir: String,
+    /// The build role of the file.
+    pub class: FileClass,
+    /// Whether this file is a crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+impl SourceFile {
+    /// Classifies a workspace-relative path (with `/` separators).
+    pub fn from_rel_path(rel_path: &str) -> SourceFile {
+        let rel = rel_path.replace('\\', "/");
+        let (crate_dir, local) = match rel.strip_prefix("crates/") {
+            Some(rest) => match rest.split_once('/') {
+                Some((dir, local)) => (dir.to_string(), local.to_string()),
+                None => (String::new(), rest.to_string()),
+            },
+            None => (String::new(), rel.clone()),
+        };
+        let class = if local.starts_with("tests/") {
+            FileClass::Test
+        } else if local.starts_with("examples/") {
+            FileClass::Example
+        } else if local.starts_with("benches/") {
+            FileClass::Bench
+        } else if local.starts_with("src/bin/") || local == "src/main.rs" {
+            FileClass::Bin
+        } else {
+            FileClass::Lib
+        };
+        SourceFile {
+            rel_path: rel,
+            is_crate_root: local == "src/lib.rs",
+            crate_dir,
+            class,
+        }
+    }
+
+    /// Whether the file belongs to the dedicated benchmarking crate
+    /// (`crates/bench`), where wall-clock timing is the whole point.
+    pub fn in_bench_crate(&self) -> bool {
+        self.crate_dir == "bench"
+    }
+
+    /// Whether the file is library code in one of the determinism-critical
+    /// crates (`core`, `sim`, `fl`, `fleet`) whose merged results must be
+    /// bit-identical across runs and worker counts.
+    pub fn in_determinism_critical_lib(&self) -> bool {
+        self.class == FileClass::Lib
+            && matches!(self.crate_dir.as_str(), "core" | "sim" | "fl" | "fleet")
+    }
+}
+
+/// Walks upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Recursively collects every `.rs` file under `root`, skipping `target`,
+/// `.git` and other dot-directories. Paths come back sorted so findings are
+/// reported in a stable order.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Renders `path` relative to `root` with `/` separators; falls back to the
+/// full path when `path` is not under `root`.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_crate_library_code() {
+        let f = SourceFile::from_rel_path("crates/sim/src/engine.rs");
+        assert_eq!(f.crate_dir, "sim");
+        assert_eq!(f.class, FileClass::Lib);
+        assert!(!f.is_crate_root);
+        assert!(f.in_determinism_critical_lib());
+    }
+
+    #[test]
+    fn classifies_crate_roots_bins_tests() {
+        assert!(SourceFile::from_rel_path("crates/core/src/lib.rs").is_crate_root);
+        assert!(SourceFile::from_rel_path("src/lib.rs").is_crate_root);
+        assert_eq!(
+            SourceFile::from_rel_path("crates/fleet/src/bin/fleet_sweep.rs").class,
+            FileClass::Bin
+        );
+        assert_eq!(
+            SourceFile::from_rel_path("crates/fleet/tests/determinism.rs").class,
+            FileClass::Test
+        );
+        assert_eq!(
+            SourceFile::from_rel_path("examples/quickstart.rs").class,
+            FileClass::Example
+        );
+        assert_eq!(
+            SourceFile::from_rel_path("crates/bench/benches/engine.rs").class,
+            FileClass::Bench
+        );
+    }
+
+    #[test]
+    fn bench_crate_detection() {
+        assert!(SourceFile::from_rel_path("crates/bench/src/micro.rs").in_bench_crate());
+        assert!(SourceFile::from_rel_path("crates/bench/src/bin/fig2_fps.rs").in_bench_crate());
+        assert!(!SourceFile::from_rel_path("crates/fleet/src/executor.rs").in_bench_crate());
+    }
+
+    #[test]
+    fn neural_is_not_determinism_critical() {
+        assert!(
+            !SourceFile::from_rel_path("crates/neural/src/tensor.rs").in_determinism_critical_lib()
+        );
+        assert!(!SourceFile::from_rel_path("tests/determinism.rs").in_determinism_critical_lib());
+    }
+}

@@ -1,0 +1,317 @@
+//! Positive/negative fixture snippets for every rule: each rule must fire on
+//! its minimal offending snippet and stay silent on the compliant (or
+//! properly annotated) variant.
+
+use fedco_audit::{audit_source, source::SourceFile};
+
+fn findings_for(path: &str, src: &str) -> Vec<&'static str> {
+    let file = SourceFile::from_rel_path(path);
+    audit_source(&file, src).iter().map(|f| f.rule).collect()
+}
+
+fn assert_fires(rule: &str, path: &str, src: &str) {
+    let rules = findings_for(path, src);
+    assert!(
+        rules.contains(&rule),
+        "expected `{rule}` to fire for {path}; got {rules:?}\nsrc:\n{src}"
+    );
+}
+
+fn assert_clean(path: &str, src: &str) {
+    let rules = findings_for(path, src);
+    assert!(
+        rules.is_empty(),
+        "expected no findings for {path}; got {rules:?}\nsrc:\n{src}"
+    );
+}
+
+// ---------------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_fires_on_instant_and_system_time() {
+    assert_fires(
+        "wall-clock",
+        "crates/sim/src/engine.rs",
+        "fn t() -> std::time::Instant { std::time::Instant::now() }",
+    );
+    assert_fires(
+        "wall-clock",
+        "crates/device/src/power.rs",
+        "use std::time::SystemTime;",
+    );
+}
+
+#[test]
+fn wall_clock_is_silent_in_bench_crate_and_comments_and_tests() {
+    assert_clean(
+        "crates/bench/src/micro.rs",
+        "fn t() { let s = std::time::Instant::now(); }",
+    );
+    assert_clean(
+        "crates/sim/src/engine.rs",
+        "// Instant::now() in prose\nfn f() {}",
+    );
+    assert_clean(
+        "crates/sim/src/engine.rs",
+        "fn f() { let s = \"Instant::now()\"; }",
+    );
+    assert_clean(
+        "crates/sim/src/engine.rs",
+        "#[cfg(test)]\nmod tests {\n    fn t() { let s = std::time::Instant::now(); }\n}",
+    );
+}
+
+#[test]
+fn wall_clock_allow_annotation_suppresses() {
+    assert_clean(
+        "crates/fleet/src/executor.rs",
+        "fn t() {\n    // fedco-audit: allow(wall-clock): telemetry only\n    let s = std::time::Instant::now();\n}",
+    );
+}
+
+// ------------------------------------------------------------ unordered-iter
+
+#[test]
+fn unordered_iter_fires_in_determinism_critical_crates() {
+    for path in [
+        "crates/core/src/policy.rs",
+        "crates/sim/src/engine.rs",
+        "crates/fl/src/server.rs",
+        "crates/fleet/src/grid.rs",
+    ] {
+        assert_fires(
+            "unordered-iter",
+            path,
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        );
+        assert_fires("unordered-iter", path, "use std::collections::HashSet;");
+    }
+}
+
+#[test]
+fn unordered_iter_is_silent_elsewhere_and_for_btree() {
+    // Non-determinism-critical crates, tests and examples are out of scope.
+    assert_clean(
+        "crates/neural/src/data.rs",
+        "use std::collections::HashMap;",
+    );
+    assert_clean(
+        "crates/fleet/tests/determinism.rs",
+        "use std::collections::HashMap;",
+    );
+    assert_clean("examples/quickstart.rs", "use std::collections::HashMap;");
+    assert_clean(
+        "crates/sim/src/engine.rs",
+        "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }",
+    );
+}
+
+#[test]
+fn unordered_iter_allow_annotation_suppresses() {
+    assert_clean(
+        "crates/core/src/policy.rs",
+        "// fedco-audit: allow(unordered-iter): keyed-only access, never iterated\nuse std::collections::HashMap;",
+    );
+}
+
+// ------------------------------------------------------------- panic-surface
+
+#[test]
+fn panic_surface_fires_on_each_construct() {
+    let cases = [
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }",
+        "fn f() { panic!(\"boom\") }",
+        "fn f() { todo!() }",
+        "fn f() { unimplemented!() }",
+    ];
+    for src in cases {
+        assert_fires("panic-surface", "crates/core/src/policy.rs", src);
+        assert_fires("panic-surface", "crates/neural/src/tensor.rs", src);
+    }
+}
+
+#[test]
+fn panic_surface_is_silent_outside_library_code() {
+    let src = "fn main() { std::fs::read(\"x\").unwrap(); }";
+    assert_clean("crates/fleet/src/bin/fleet_sweep.rs", src);
+    assert_clean("crates/bench/src/bin/fig2_fps.rs", src);
+    assert_clean("examples/quickstart.rs", src);
+    assert_clean("tests/determinism.rs", src);
+    assert_clean("crates/bench/benches/engine.rs", src);
+}
+
+#[test]
+fn panic_surface_is_silent_in_test_modules_and_for_lookalikes() {
+    assert_clean(
+        "crates/core/src/policy.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); panic!(\"x\"); }\n}",
+    );
+    // unwrap_or / expect_err are different methods; std::panic:: is a path.
+    assert_clean(
+        "crates/core/src/policy.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }",
+    );
+    assert_clean(
+        "crates/core/src/policy.rs",
+        "fn f() { let h = std::panic::take_hook(); std::panic::set_hook(h); }",
+    );
+}
+
+#[test]
+fn panic_surface_allow_annotation_suppresses() {
+    assert_clean(
+        "crates/core/src/policy.rs",
+        "fn f(x: Option<u32>) -> u32 {\n    // fedco-audit: allow(panic-surface): x is Some by construction\n    x.unwrap()\n}",
+    );
+}
+
+// ------------------------------------------------------------ rng-discipline
+
+#[test]
+fn rng_discipline_fires_on_entropy_sources_everywhere() {
+    let cases = [
+        "fn f() { let rng = SmallRng::from_entropy(); }",
+        "fn f() { let rng = rand::thread_rng(); }",
+        "fn f() { let mut key = [0u8; 32]; getrandom(&mut key); }",
+        "use std::collections::hash_map::RandomState;",
+        "fn f() { let r = OsRng; }",
+    ];
+    for src in cases {
+        assert_fires("rng-discipline", "crates/rng/src/rngs.rs", src);
+        // Unlike the other rules this one has no out-of-scope file class:
+        // entropy in tests or benches breaks reproducibility just the same.
+        assert_fires("rng-discipline", "tests/determinism.rs", src);
+        assert_fires("rng-discipline", "crates/bench/benches/engine.rs", src);
+    }
+}
+
+#[test]
+fn rng_discipline_is_silent_on_seeded_construction() {
+    assert_clean(
+        "crates/rng/src/rngs.rs",
+        "fn f() { let rng = SmallRng::seed_from_u64(42); let s = SplitMix64::new(7); }",
+    );
+}
+
+// ----------------------------------------------------------- float-reduction
+
+#[test]
+fn float_reduction_fires_on_sum_and_fold_with_float_evidence() {
+    let cases = [
+        "fn f(v: &[f64]) -> f64 { let s: f64 = v.iter().sum(); s }",
+        "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }",
+        "fn f(v: &[f32]) -> f32 { v.iter().copied().fold(0.0f32, |a, b| a + b) }",
+        "fn f(v: &[f64]) -> f64 { v.iter().copied().fold(0.0, f64::max) }",
+    ];
+    for src in cases {
+        assert_fires("float-reduction", "crates/sim/src/trace.rs", src);
+        assert_fires("float-reduction", "crates/core/src/offline.rs", src);
+    }
+}
+
+#[test]
+fn float_reduction_is_silent_in_blessed_stats_module_and_for_integers() {
+    assert_clean(
+        "crates/fleet/src/stats.rs",
+        "fn f(v: &[f64]) -> f64 { let s: f64 = v.iter().sum(); s }",
+    );
+    assert_clean(
+        "crates/sim/src/arrivals.rs",
+        "fn f(v: &[Vec<u64>]) -> usize { v.iter().map(Vec::len).sum() }",
+    );
+    // Outside the determinism-critical crates the rule does not apply.
+    assert_clean(
+        "crates/neural/src/tensor.rs",
+        "fn f(v: &[f32]) -> f32 { v.iter().sum::<f32>() }",
+    );
+}
+
+#[test]
+fn float_reduction_allow_annotation_suppresses() {
+    assert_clean(
+        "crates/sim/src/trace.rs",
+        "fn f(v: &[f64]) -> f64 {\n    // fedco-audit: allow(float-reduction): fixed-order reduction\n    v.iter().sum::<f64>()\n}",
+    );
+}
+
+// ------------------------------------------------------------- crate-hygiene
+
+#[test]
+fn crate_hygiene_fires_on_missing_attrs() {
+    let findings = findings_for("crates/sim/src/lib.rs", "//! Docs.\npub fn f() {}");
+    assert_eq!(
+        findings,
+        vec!["crate-hygiene", "crate-hygiene"],
+        "both attributes should be reported missing"
+    );
+    assert_fires(
+        "crate-hygiene",
+        "src/lib.rs",
+        "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\n",
+    );
+}
+
+#[test]
+fn crate_hygiene_is_silent_on_compliant_roots_and_non_roots() {
+    assert_clean(
+        "crates/sim/src/lib.rs",
+        "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub mod engine;",
+    );
+    assert_clean("crates/sim/src/engine.rs", "pub fn f() {}");
+    assert_clean("crates/fleet/src/bin/fleet_sweep.rs", "fn main() {}");
+}
+
+// -------------------------------------------------------------- allow-syntax
+
+#[test]
+fn allow_syntax_fires_on_malformed_annotations() {
+    let cases = [
+        "// fedco-audit: allow(not-a-rule): reason\nfn f() {}",
+        "// fedco-audit: allow(wall-clock)\nfn f() {}",
+        "// fedco-audit: allow(wall-clock):\nfn f() {}",
+        "// fedco-audit: disable(wall-clock): reason\nfn f() {}",
+    ];
+    for src in cases {
+        assert_fires("allow-syntax", "crates/sim/src/engine.rs", src);
+    }
+}
+
+#[test]
+fn allow_syntax_cannot_be_allowed_away() {
+    assert_fires(
+        "allow-syntax",
+        "crates/sim/src/engine.rs",
+        "// fedco-audit: allow(allow-syntax): nice try\nfn f() {}",
+    );
+}
+
+#[test]
+fn malformed_allow_does_not_suppress_the_underlying_finding() {
+    let file = SourceFile::from_rel_path("crates/sim/src/engine.rs");
+    let rules: Vec<_> = audit_source(
+        &file,
+        "// fedco-audit: allow(wall-clock) missing reason separator\nuse std::time::Instant;\n",
+    )
+    .iter()
+    .map(|f| f.rule)
+    .collect();
+    assert!(rules.contains(&"allow-syntax"), "got {rules:?}");
+    assert!(rules.contains(&"wall-clock"), "got {rules:?}");
+}
+
+// -------------------------------------------------------- finding locations
+
+#[test]
+fn findings_carry_exact_line_and_column() {
+    let file = SourceFile::from_rel_path("crates/sim/src/engine.rs");
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let findings = audit_source(&file, src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].line, 2);
+    assert_eq!(findings[0].col, 7);
+    assert_eq!(
+        findings[0].to_string().split("  ").next(),
+        Some("crates/sim/src/engine.rs:2:7")
+    );
+}

@@ -1,0 +1,129 @@
+//! The analyzer applied to the tree that ships it: the whole workspace must
+//! audit clean, and the binary must keep its exit-code and output contracts
+//! when a violation is introduced.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn whole_workspace_audits_clean() {
+    let root = workspace_root();
+    let report = fedco_audit::audit_workspace(&root).expect("workspace readable");
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "the shipped workspace must audit clean; findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 80,
+        "expected to scan the whole workspace, saw only {} files",
+        report.files_scanned
+    );
+}
+
+/// Builds a throwaway mini-workspace containing one offending file.
+fn scratch_workspace(name: &str, src_rel: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fedco-audit-selftest-{name}-{}",
+        std::process::id()
+    ));
+    let file = dir.join(src_rel);
+    let parent = file.parent().expect("source path has a parent");
+    std::fs::create_dir_all(parent).expect("create scratch dirs");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(&file, contents).expect("write source");
+    dir
+}
+
+fn run_audit(args: &[&str], cwd: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fedco-audit"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("fedco-audit binary runs")
+}
+
+#[test]
+fn binary_is_clean_and_exits_zero_on_this_workspace() {
+    let root = workspace_root();
+    let out = run_audit(&["--workspace"], &root);
+    assert!(out.status.success(), "expected exit 0: {out:?}");
+    assert!(out.stdout.is_empty(), "clean tree prints no findings");
+}
+
+#[test]
+fn binary_reports_negative_fixture_with_file_line_col_and_exit_1() {
+    let dir = scratch_workspace(
+        "negative",
+        "crates/sim/src/engine.rs",
+        "fn f() {\n    let t = std::time::Instant::now();\n}\n",
+    );
+    let out = run_audit(&["--workspace"], &dir);
+    assert_eq!(out.status.code(), Some(1), "findings must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/sim/src/engine.rs:2:24  wall-clock"),
+        "stdout: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_json_output_is_machine_readable() {
+    let dir = scratch_workspace(
+        "json",
+        "crates/core/src/policy.rs",
+        "use std::collections::HashMap;\n",
+    );
+    let out = run_audit(&["--workspace", "--json"], &dir);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("{\"files_scanned\":1,\"findings\":["),
+        "stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "\"file\":\"crates/core/src/policy.rs\",\"line\":1,\"col\":23,\"rule\":\"unordered-iter\""
+        ),
+        "stdout: {stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_lists_every_rule() {
+    let root = workspace_root();
+    let out = run_audit(&["--list-rules"], &root);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "wall-clock",
+        "unordered-iter",
+        "panic-surface",
+        "rng-discipline",
+        "float-reduction",
+        "crate-hygiene",
+        "allow-syntax",
+    ] {
+        assert!(
+            stdout.contains(rule),
+            "--list-rules missing {rule}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn binary_rejects_unknown_flags_with_exit_2() {
+    let root = workspace_root();
+    let out = run_audit(&["--frobnicate"], &root);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -7,7 +7,7 @@
 //!
 //! Shared helpers used by the figure binaries live here.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod micro;

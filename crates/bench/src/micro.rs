@@ -114,7 +114,7 @@ fn record_json(line: &str) {
 /// `FEDCO_BENCH_JSON=<path>` set, also appends the result as a JSON line.
 pub fn bench<F: FnMut()>(name: &str, f: F) {
     let mut samples = measure(f);
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples.sort_by(f64::total_cmp);
     let median = samples[samples.len() / 2];
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let min = samples[0];

@@ -37,7 +37,7 @@
 //! assert_eq!(scheduler.decide(&input), SlotDecision::Idle);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod config;

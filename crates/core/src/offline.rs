@@ -210,7 +210,9 @@ impl OfflineScheduler {
             }
         }
         selected_idx.sort_unstable();
+        // fedco-audit: allow(float-reduction): fixed-order reduction over the sorted selection — deterministic by construction
         let total_saving_j: f64 = selected_idx.iter().map(|&i| items[i].value).sum();
+        // fedco-audit: allow(float-reduction): fixed-order reduction over the sorted selection — deterministic by construction
         let total_gap: f64 = selected_idx.iter().map(|&i| items[i].weight).sum();
         OfflineSolution {
             selected: selected_idx.into_iter().map(|i| items[i].user_id).collect(),

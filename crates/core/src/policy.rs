@@ -15,7 +15,7 @@
 //! [`PolicySpec`](crate::spec::PolicySpec) get exactly the same engine
 //! semantics as the built-ins.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fedco_device::power::{AppStatus, SlotDecision};
 use fedco_rng::rngs::SmallRng;
@@ -321,7 +321,7 @@ impl SchedulingPolicy for SyncSgdPolicy {
 /// [`wants_replanning`](SchedulingPolicy::wants_replanning) capability.
 #[derive(Debug, Default, Clone)]
 pub struct OfflinePolicy {
-    plan: HashMap<usize, u64>,
+    plan: BTreeMap<usize, u64>,
     window_slots: u64,
 }
 
@@ -330,7 +330,7 @@ impl OfflinePolicy {
     /// installed by hand; everyone waits until one is).
     pub fn new() -> Self {
         OfflinePolicy {
-            plan: HashMap::new(),
+            plan: BTreeMap::new(),
             window_slots: 0,
         }
     }
@@ -339,7 +339,7 @@ impl OfflinePolicy {
     /// slots (`0` disables replanning requests, like [`OfflinePolicy::new`]).
     pub fn with_window(window_slots: u64) -> Self {
         OfflinePolicy {
-            plan: HashMap::new(),
+            plan: BTreeMap::new(),
             window_slots,
         }
     }

@@ -282,6 +282,7 @@ impl ScenarioSpec {
     pub fn default_registry() -> Vec<ScenarioSpec> {
         PRESET_NAMES
             .iter()
+            // fedco-audit: allow(panic-surface): every PRESET_NAMES entry is a preset by construction (covered by registry tests)
             .map(|name| ScenarioSpec::preset(name).expect("registry preset"))
             .collect()
     }
@@ -833,6 +834,7 @@ pick a different name"
             finish(&mut specs, current.take());
             current = Some((
                 name.to_string(),
+                // fedco-audit: allow(panic-surface): "paper-default" is a preset by construction (covered by registry tests)
                 ScenarioSpec::preset("paper-default").expect("registry preset"),
                 Vec::new(),
             ));

@@ -25,7 +25,7 @@
 //! assert!(saving > 0.25); // Table II reports 30 % for Pixel2 + Map
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod apps;

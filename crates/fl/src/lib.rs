@@ -17,7 +17,7 @@
 //! * a transport model for the 2.5 MB model uploads, and
 //! * IID / label-skew data partitioning across users.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod aggregation;

@@ -58,6 +58,14 @@ struct ServerInner {
 }
 
 impl ParameterServer {
+    /// The single audited lock acquisition: the mutex is only poisoned if a
+    /// holder panicked mid-update, after which the global model state is
+    /// unreliable and propagating the panic is the only honest response.
+    fn locked(&self) -> std::sync::MutexGuard<'_, ServerInner> {
+        // fedco-audit: allow(panic-surface): poisoned lock means an update already panicked; propagate
+        self.inner.lock().expect("server mutex poisoned")
+    }
+
     /// Creates a server holding the initial global model.
     ///
     /// `learning_rate` and `beta` parameterise the momentum tracker used for
@@ -76,13 +84,13 @@ impl ParameterServer {
 
     /// The current global version.
     pub fn version(&self) -> ModelVersion {
-        self.inner.lock().expect("server mutex poisoned").version
+        self.locked().version
     }
 
     /// Downloads the current global model (what `FileDownloadService` does in
     /// the paper's implementation).
     pub fn download(&self) -> ModelSnapshot {
-        let inner = self.inner.lock().expect("server mutex poisoned");
+        let inner = self.locked();
         ModelSnapshot::new(inner.params.clone(), inner.version)
     }
 
@@ -90,20 +98,13 @@ impl ParameterServer {
     /// uploaded right now (Definition 1). Supplied to devices by the server
     /// in the distributed implementation of the online algorithm.
     pub fn lag_since(&self, base: ModelVersion) -> Lag {
-        Lag::between(
-            base,
-            self.inner.lock().expect("server mutex poisoned").version,
-        )
+        Lag::between(base, self.locked().version)
     }
 
     /// The L2 norm of the server-side momentum vector `v_t` (Eq. 1), used by
     /// devices to evaluate the gradient-gap prediction of Eq. (4).
     pub fn momentum_norm(&self) -> f32 {
-        self.inner
-            .lock()
-            .expect("server mutex poisoned")
-            .momentum
-            .velocity_norm()
+        self.locked().momentum.velocity_norm()
     }
 
     /// Applies one asynchronous update (ASync-SGD): the global copy is
@@ -117,7 +118,7 @@ impl ParameterServer {
     /// Returns [`TensorError::ShapeMismatch`] if the uploaded vector has the
     /// wrong length.
     pub fn apply_async(&self, update: &LocalUpdate) -> Result<Lag, TensorError> {
-        let mut inner = self.inner.lock().expect("server mutex poisoned");
+        let mut inner = self.locked();
         if update.params.len() != inner.params.len() {
             return Err(TensorError::ShapeMismatch {
                 lhs: vec![update.params.len()],
@@ -158,7 +159,7 @@ impl ParameterServer {
             .map(|u| u.num_samples.max(1) as f32)
             .collect();
         let averaged = ParamVector::weighted_average(&vectors, &weights)?;
-        let mut inner = self.inner.lock().expect("server mutex poisoned");
+        let mut inner = self.locked();
         if averaged.len() != inner.params.len() {
             return Err(TensorError::ShapeMismatch {
                 lhs: vec![averaged.len()],
@@ -177,7 +178,7 @@ impl ParameterServer {
 
     /// A copy of the current statistics.
     pub fn stats(&self) -> ServerStats {
-        self.inner.lock().expect("server mutex poisoned").stats
+        self.locked().stats
     }
 }
 

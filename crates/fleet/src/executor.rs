@@ -11,6 +11,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+// fedco-audit: allow(wall-clock): wall_ms/slots_per_sec timings are excluded from determinism comparisons (not part of JobSummary PartialEq)
 use std::time::Instant;
 
 use fedco_device::profiler::EnergyComponent;
@@ -52,13 +53,21 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// The single audited lock acquisition: poisoning means a worker thread
+    /// already panicked mid-job, so the sweep's results are gone either way
+    /// and propagating the panic is the only honest response.
+    fn locked(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        // fedco-audit: allow(panic-surface): poisoned lock means a worker already panicked; propagate
+        self.state.lock().expect("queue lock poisoned")
+    }
+
     /// Enqueues one job and wakes one waiting worker.
     ///
     /// # Panics
     ///
     /// Panics if the queue is already closed.
     pub fn push(&self, item: T) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.locked();
         assert!(!state.closed, "push on closed JobQueue");
         state.items.push_back(item);
         drop(state);
@@ -67,14 +76,14 @@ impl<T> JobQueue<T> {
 
     /// Closes the queue: once drained, `pop` returns `None` forever.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.locked().closed = true;
         self.available.notify_all();
     }
 
     /// Blocks until a job is available (returning it) or the queue is both
     /// closed and empty (returning `None`).
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.locked();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -82,13 +91,14 @@ impl<T> JobQueue<T> {
             if state.closed {
                 return None;
             }
+            // fedco-audit: allow(panic-surface): poisoned lock means a worker already panicked; propagate
             state = self.available.wait(state).expect("queue lock poisoned");
         }
     }
 
     /// Number of jobs currently waiting.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        self.locked().items.len()
     }
 
     /// Whether no jobs are waiting.
@@ -248,6 +258,7 @@ pub fn resolve_workers(requested: usize) -> usize {
 ///
 /// Panics if the grid is invalid or a worker thread panics.
 pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
+    // fedco-audit: allow(wall-clock): report wall_s is timing telemetry, excluded from determinism comparisons
     let start = Instant::now();
     let jobs = grid.expand();
     let n_jobs = jobs.len();
@@ -267,12 +278,14 @@ pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
         for _ in 0..workers {
             scope.spawn(|| {
                 while let Some(job) = queue.pop() {
+                    // fedco-audit: allow(wall-clock): per-job wall_ms is timing telemetry, excluded from determinism comparisons
                     let job_start = Instant::now();
                     // Summary mode is enforced here, at the execution site,
                     // so even hand-built FleetJobs never materialize traces.
                     let result = run_simulation_summary(job.config.clone());
                     let wall_ms = job_start.elapsed().as_secs_f64() * 1e3;
                     let summary = JobSummary::from_result(&job, &result, wall_ms);
+                    // fedco-audit: allow(panic-surface): poisoned lock means a sibling worker already panicked; propagate
                     slots.lock().expect("result lock poisoned")[job.id] = Some(summary);
                 }
             });
@@ -281,8 +294,10 @@ pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
 
     let jobs: Vec<JobSummary> = slots
         .into_inner()
+        // fedco-audit: allow(panic-surface): poisoned lock means a worker already panicked; propagate
         .expect("result lock poisoned")
         .into_iter()
+        // fedco-audit: allow(panic-surface): thread::scope joined every worker, and each worker fills exactly the slots of the jobs it popped
         .map(|s| s.expect("every job slot filled"))
         .collect();
 

@@ -153,6 +153,7 @@ impl ScenarioGrid {
     pub fn preset(name: &str) -> Self {
         ScenarioGrid::new(
             ScenarioSpec::preset(name)
+                // fedco-audit: allow(panic-surface): documented panicking convenience; ScenarioSpec::preset is the fallible path
                 .unwrap_or_else(|| panic!("`{name}` is not a registry scenario preset")),
         )
     }
@@ -372,6 +373,7 @@ impl ScenarioGrid {
         let coord = self.coord(id);
         let spec = match self.resolve_scenario(&coord) {
             Ok(spec) => spec,
+            // fedco-audit: allow(panic-surface): documented panicking API; validate() is the fallible path run first by run_grid
             Err(e) => panic!("invalid scenario grid: {e}"),
         };
         let policy = &self.policies[coord.policy];
@@ -379,6 +381,7 @@ impl ScenarioGrid {
             Ok(config) => config
                 .with_seed(self.job_seed(&coord, &spec))
                 .summary_only(),
+            // fedco-audit: allow(panic-surface): documented panicking API; validate() is the fallible path run first by run_grid
             Err(e) => panic!("invalid scenario grid cell `{}`: {e}", spec.label()),
         };
         FleetJob {
@@ -398,6 +401,7 @@ impl ScenarioGrid {
     /// Panics with the specific [`GridError`] if the grid is invalid.
     pub fn expand(&self) -> Vec<FleetJob> {
         if let Err(e) = self.validate() {
+            // fedco-audit: allow(panic-surface): documented panicking shim; validate() is the typed fallible path
             panic!("invalid scenario grid: {e}");
         }
         (0..self.len()).map(|id| self.job(id)).collect()

@@ -37,7 +37,7 @@
 //! print!("{}", rollup_table(&report));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod executor;

@@ -249,6 +249,7 @@ impl SyntheticCifarConfig {
                 .iter()
                 .map(|&p| p + sample_gaussian(&mut rng) * self.noise_std)
                 .collect();
+            // fedco-audit: allow(panic-surface): data length is prototype length, generated from the same shape
             let image = Tensor::from_vec(data, &shape).expect("shape matches dims");
             examples.push(Example { image, label });
         }

@@ -53,6 +53,7 @@ impl Initializer {
                 (0..len).map(|_| dist.sample(rng)).collect()
             }
         };
+        // fedco-audit: allow(panic-surface): data length is the product of shape dims computed above
         Tensor::from_vec(data, shape).expect("length computed from shape")
     }
 }

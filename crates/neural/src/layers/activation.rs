@@ -122,6 +122,7 @@ impl Layer for Activation {
         let output = self
             .cached_output
             .as_ref()
+            // fedco-audit: allow(panic-surface): forward() caches output and input together; missing input already errored above
             .expect("output cached with input");
         if grad_output.shape() != input.shape() {
             return Err(TensorError::ShapeMismatch {

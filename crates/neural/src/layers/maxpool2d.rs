@@ -126,6 +126,7 @@ impl Layer for MaxPool2d {
         let argmax = self
             .cached_argmax
             .as_ref()
+            // fedco-audit: allow(panic-surface): forward() caches argmax and shape together; missing shape already errored above
             .expect("argmax cached with shape");
         if grad_output.len() != argmax.len() {
             return Err(TensorError::ShapeMismatch {

@@ -29,7 +29,7 @@
 //! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod distributions;

@@ -133,6 +133,7 @@ impl Simulation {
     pub fn new(config: SimConfig) -> Self {
         match Simulation::try_new(config) {
             Ok(sim) => sim,
+            // fedco-audit: allow(panic-surface): documented panicking shim; try_new is the typed fallible path
             Err(e) => panic!("invalid simulation configuration: {e}"),
         }
     }
@@ -262,6 +263,7 @@ impl Simulation {
             let snapshot = sim.server.download();
             if let Some(ml) = sim.ml.as_mut() {
                 for c in ml.clients.iter_mut() {
+                    // fedco-audit: allow(panic-surface): clients and server share the LeNet architecture built by this constructor
                     c.receive_model(&snapshot).expect("architectures match");
                 }
             }
@@ -304,7 +306,7 @@ impl Simulation {
         let now_s = slot as f64 * self.config.slot_seconds;
         let velocity = self.velocity_norm();
         let mut window_users = Vec::new();
-        let mut arrival_slot_of = std::collections::HashMap::new();
+        let mut arrival_slot_of = std::collections::BTreeMap::new();
         for u in &self.users {
             if !u.is_waiting() {
                 continue;
@@ -358,6 +360,7 @@ impl Simulation {
         match self.ml.as_mut() {
             Some(ml) => ml.clients[user_id]
                 .local_epoch()
+                // fedco-audit: allow(panic-surface): client datasets and model are sized together by the constructor
                 .expect("training geometry matches"),
             None => {
                 // Energy-only mode: a synthetic update that moves the dummy
@@ -450,6 +453,7 @@ impl Simulation {
         if let Some(ml) = self.ml.as_mut() {
             ml.clients[user_id]
                 .receive_model(&snapshot)
+                // fedco-audit: allow(panic-surface): clients and server share the LeNet architecture built by the constructor
                 .expect("architectures match");
         }
         self.base_params[user_id] = snapshot.params;
@@ -680,6 +684,7 @@ impl Simulation {
                     let lag = self
                         .server
                         .apply_async(&update)
+                        // fedco-audit: allow(panic-surface): updates come from clients sharing the server's architecture
                         .expect("update length matches global model");
                     acc.total_lag += lag.value();
                     acc.max_lag = acc.max_lag.max(lag.value());
@@ -708,6 +713,7 @@ impl Simulation {
                                 .map(|d| d as f64)
                                 .unwrap_or(0.0)
                         })
+                        // fedco-audit: allow(float-reduction): fixed-order reduction over the round buffer — deterministic by construction
                         .sum::<f64>()
                         / buffer.len().max(1) as f64
                 } else {
@@ -715,6 +721,7 @@ impl Simulation {
                 };
                 self.server
                     .apply_sync_round(&buffer)
+                    // fedco-audit: allow(panic-surface): round updates come from clients sharing the server's architecture
                     .expect("round updates match global model");
                 if self.config.collect_traces {
                     acc.updates.push(UpdateEvent {
@@ -736,6 +743,7 @@ impl Simulation {
             // accumulations (exact no-ops on non-negative sums) are elided
             // wholesale; the dense reference keeps them.
             if !(self.event_mode && self.policy_quiescent) {
+                // fedco-audit: allow(float-reduction): fixed-order reduction over the user vector — deterministic by construction
                 let gap_sum: f64 = self.users.iter().map(|u| u.gap.current().value()).sum();
                 let arrivals = waiting_at_start.saturating_sub(scheduled_count);
                 self.policy.end_of_slot(&SlotOutcome {
@@ -765,12 +773,15 @@ impl Simulation {
                     }
                 }
                 let gaps: Vec<f64> = self.users.iter().map(|u| u.gap.current().value()).collect();
+                // fedco-audit: allow(float-reduction): fixed-order reduction over the user vector — deterministic by construction
                 let mean_gap = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+                // fedco-audit: allow(float-reduction): max is order-insensitive over the user vector
                 let max_gap = gaps.iter().copied().fold(0.0f64, f64::max);
                 let total_energy_j: f64 = self
                     .profilers
                     .iter()
                     .map(|p| p.total_energy().value())
+                    // fedco-audit: allow(float-reduction): fixed-order reduction over the per-user profilers — deterministic by construction
                     .sum();
                 acc.trace.push(TracePoint {
                     t_s: now_s,
@@ -978,6 +989,7 @@ impl Simulation {
         // zero arrivals, zero scheduled, a constant gap sum), and its queue
         // evolution is replayed call by call.
         if !quiescent {
+            // fedco-audit: allow(float-reduction): fixed-order reduction over the user vector — deterministic by construction
             let gap_sum: f64 = self.users.iter().map(|u| u.gap.current().value()).sum();
             let outcome = SlotOutcome {
                 arrivals: 0,

@@ -19,7 +19,7 @@
 //! println!("{}", summarize(&result));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod arrivals;

@@ -125,6 +125,7 @@ impl SimResult {
         if self.updates.is_empty() {
             return 0.0;
         }
+        // fedco-audit: allow(float-reduction): fixed-order reduction over the update trace — deterministic by construction
         self.updates.iter().map(|u| u.gap).sum::<f64>() / self.updates.len() as f64
     }
 
@@ -137,14 +138,18 @@ impl SimResult {
         }
         let lags: Vec<f64> = self.updates.iter().map(|u| u.lag as f64).collect();
         let gaps: Vec<f64> = self.updates.iter().map(|u| u.gap).collect();
+        // fedco-audit: allow(float-reduction): fixed-order reduction over trace vectors — deterministic by construction
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (ml, mg) = (mean(&lags), mean(&gaps));
         let cov: f64 = lags
             .iter()
             .zip(&gaps)
             .map(|(l, g)| (l - ml) * (g - mg))
+            // fedco-audit: allow(float-reduction): fixed-order reduction over trace vectors — deterministic by construction
             .sum();
+        // fedco-audit: allow(float-reduction): fixed-order reduction over trace vectors — deterministic by construction
         let vl: f64 = lags.iter().map(|l| (l - ml) * (l - ml)).sum();
+        // fedco-audit: allow(float-reduction): fixed-order reduction over trace vectors — deterministic by construction
         let vg: f64 = gaps.iter().map(|g| (g - mg) * (g - mg)).sum();
         if vl <= 0.0 || vg <= 0.0 {
             return 0.0;
@@ -159,10 +164,12 @@ impl SimResult {
         if n < 2 {
             return 0.0;
         }
+        // fedco-audit: allow(float-reduction): fixed-order reduction over the per-user gap samples — deterministic by construction
         let mean = self.user_gaps.iter().map(|g| g.gap).sum::<f64>() / n as f64;
         self.user_gaps
             .iter()
             .map(|g| (g.gap - mean).powi(2))
+            // fedco-audit: allow(float-reduction): fixed-order reduction over the per-user gap samples — deterministic by construction
             .sum::<f64>()
             / n as f64
     }

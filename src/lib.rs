@@ -34,7 +34,7 @@
 //! `crates/bench` regenerate every table and figure of the paper's
 //! evaluation; see `EXPERIMENTS.md` for the index.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use fedco_core as core;
