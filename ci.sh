@@ -27,11 +27,18 @@ cargo test -q --offline --test engine_equivalence
 
 echo "==> bench_engine throughput smoke (dense vs event slots/sec)"
 BENCH_SMOKE_JSON="$(mktemp)"
-FEDCO_BENCH_USERS=20 FEDCO_BENCH_SLOTS=2000 FEDCO_BENCH_REPS=1 \
+FEDCO_BENCH_USERS=100 FEDCO_BENCH_SLOTS=2000 FEDCO_BENCH_REPS=1 \
 FEDCO_BENCH_JSON="$BENCH_SMOKE_JSON" \
     timeout 300 cargo bench -q --offline -p fedco-bench --bench engine
 grep -q '"name":"engine/paper/' "$BENCH_SMOKE_JSON" \
     || { echo "bench_engine wrote no JSON lines"; exit 1; }
+
+echo "==> bench_compare perf-regression gate (smoke run vs BENCH_engine.json)"
+# The gate normalizes by the median current/baseline ratio, so a uniformly
+# slower CI box never trips it; only a disproportionate per-benchmark
+# collapse fails. The threshold is generous for a noisy 1-core runner.
+cargo run --release --offline -q -p fedco-bench --bin bench_compare -- \
+    --baseline BENCH_engine.json --current "$BENCH_SMOKE_JSON" --threshold 0.3
 rm -f "$BENCH_SMOKE_JSON"
 
 echo "==> example smoke tests"
@@ -60,6 +67,28 @@ timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
     --scenario "smoke:users=4:slots=300,hetero-devices:users=4:slots=300" \
     --axis "arrival_p=0.001,0.01" --axis "link=ideal,lte" \
     --replicates 1 --policies "online,immediate" >/dev/null
+
+echo "==> fleet_sweep --trace/--metrics telemetry smoke (stable across reruns)"
+TRACE_A=/tmp/fedco_trace_a.jsonl; METRICS_A=/tmp/fedco_metrics_a.jsonl
+TRACE_B=/tmp/fedco_trace_b.jsonl; METRICS_B=/tmp/fedco_metrics_b.jsonl
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --users 5 --slots 400 --verify \
+    --trace "$TRACE_A" --metrics "$METRICS_A" >/dev/null
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --users 5 --slots 400 --workers 3 \
+    --trace "$TRACE_B" --metrics "$METRICS_B" >/dev/null
+test -s "$TRACE_A" || { echo "--trace wrote an empty file"; exit 1; }
+test -s "$METRICS_A" || { echo "--metrics wrote an empty file"; exit 1; }
+cmp -s "$TRACE_A" "$TRACE_B" \
+    || { echo "trace differs across reruns/worker counts"; exit 1; }
+cmp -s "$METRICS_A" "$METRICS_B" \
+    || { echo "metrics differ across reruns/worker counts"; exit 1; }
+timeout 60 cargo run --release --offline -q -p fedco-telemetry --bin fedco-trace -- \
+    summarize "$TRACE_A" >/dev/null
+timeout 60 cargo run --release --offline -q -p fedco-telemetry --bin fedco-trace -- \
+    diff "$TRACE_A" "$TRACE_B" >/dev/null \
+    || { echo "fedco-trace diff found a divergence"; exit 1; }
+rm -f "$TRACE_A" "$TRACE_B" "$METRICS_A" "$METRICS_B"
 
 echo "==> fleet_sweep registry listings + bad-spec error paths"
 SCENARIO_LIST="$(timeout 60 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- --list-scenarios)"

@@ -97,7 +97,8 @@ impl Rule for WallClock {
 }
 
 /// `unordered-iter`: no `HashMap`/`HashSet` in determinism-critical library
-/// code (`fedco-core`, `fedco-sim`, `fedco-fl`, `fedco-fleet`).
+/// code (`fedco-core`, `fedco-sim`, `fedco-fl`, `fedco-fleet`,
+/// `fedco-telemetry`).
 ///
 /// Hash iteration order is unspecified, so any fold over it can reorder
 /// float accumulation or report rows between runs. Use `BTreeMap`/`BTreeSet`
@@ -109,7 +110,7 @@ impl Rule for UnorderedIter {
         "unordered-iter"
     }
     fn summary(&self) -> &'static str {
-        "HashMap/HashSet in determinism-critical library code (core/sim/fl/fleet)"
+        "HashMap/HashSet in determinism-critical library code (core/sim/fl/fleet/telemetry)"
     }
     fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Finding>) {
         if !ctx.file.in_determinism_critical_lib() {

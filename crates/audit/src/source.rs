@@ -74,11 +74,16 @@ impl SourceFile {
     }
 
     /// Whether the file is library code in one of the determinism-critical
-    /// crates (`core`, `sim`, `fl`, `fleet`) whose merged results must be
-    /// bit-identical across runs and worker counts.
+    /// crates (`core`, `sim`, `fl`, `fleet`, `telemetry`) whose merged
+    /// results must be bit-identical across runs and worker counts —
+    /// telemetry traces are part of that contract: they are slot-clocked
+    /// and byte-stable by construction.
     pub fn in_determinism_critical_lib(&self) -> bool {
         self.class == FileClass::Lib
-            && matches!(self.crate_dir.as_str(), "core" | "sim" | "fl" | "fleet")
+            && matches!(
+                self.crate_dir.as_str(),
+                "core" | "sim" | "fl" | "fleet" | "telemetry"
+            )
     }
 }
 
@@ -145,6 +150,15 @@ mod tests {
         assert_eq!(f.class, FileClass::Lib);
         assert!(!f.is_crate_root);
         assert!(f.in_determinism_critical_lib());
+        // The telemetry crate joined the determinism contract: traces must
+        // be bit-identical across runs, drivers and worker counts.
+        assert!(
+            SourceFile::from_rel_path("crates/telemetry/src/sink.rs").in_determinism_critical_lib()
+        );
+        assert!(
+            !SourceFile::from_rel_path("crates/telemetry/src/bin/fedco_trace.rs")
+                .in_determinism_critical_lib()
+        );
     }
 
     #[test]

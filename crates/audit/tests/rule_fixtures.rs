@@ -69,6 +69,36 @@ fn wall_clock_allow_annotation_suppresses() {
     );
 }
 
+#[test]
+fn wall_clock_covers_the_telemetry_crate_outside_its_profiling_module() {
+    // The telemetry crate is NOT exempt: wall time is confined to the one
+    // annotated profiling module, and any `Instant` elsewhere in the crate
+    // (e.g. a sink timestamping events) must fire.
+    assert_fires(
+        "wall-clock",
+        "crates/telemetry/src/sink.rs",
+        "fn stamp() -> std::time::Instant { std::time::Instant::now() }",
+    );
+    assert_fires(
+        "wall-clock",
+        "crates/telemetry/src/event.rs",
+        "use std::time::SystemTime;",
+    );
+    // The profiling module's style — an allow annotation on each timing
+    // line — keeps the same construct clean.
+    assert_clean(
+        "crates/telemetry/src/profiling.rs",
+        "// fedco-audit: allow(wall-clock): the profiling module\nuse std::time::Instant;\nstruct S {\n    start: Instant, // fedco-audit: allow(wall-clock): profiling module\n}",
+    );
+    // An unannotated second use in the same module still fires: the allow
+    // is per-line, not per-file.
+    assert_fires(
+        "wall-clock",
+        "crates/telemetry/src/profiling.rs",
+        "// fedco-audit: allow(wall-clock): the profiling module\nuse std::time::Instant;\nfn later(t: Instant) -> Instant { t }",
+    );
+}
+
 // ------------------------------------------------------------ unordered-iter
 
 #[test]
@@ -78,6 +108,7 @@ fn unordered_iter_fires_in_determinism_critical_crates() {
         "crates/sim/src/engine.rs",
         "crates/fl/src/server.rs",
         "crates/fleet/src/grid.rs",
+        "crates/telemetry/src/metrics.rs",
     ] {
         assert_fires(
             "unordered-iter",

@@ -5,11 +5,15 @@
 //! root for the index) plus [`micro`] std-`Instant` micro-benchmarks of the
 //! scheduler and the neural substrate.
 //!
-//! Shared helpers used by the figure binaries live here.
+//! Shared helpers used by the figure binaries live here, along with
+//! [`compare`], the perf-regression gate the CI script runs over the
+//! recorded `BENCH_*.json` throughput trajectories (see the
+//! `bench_compare` binary).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod micro;
 
 use fedco_sim::prelude::*;

@@ -34,6 +34,6 @@ pub use client::{ClientConfig, FlClient};
 pub use model_state::{LocalUpdate, ModelSnapshot, ModelVersion};
 pub use momentum::MomentumTracker;
 pub use partition::{partition_dataset, PartitionStrategy};
-pub use server::{ParameterServer, ServerStats};
+pub use server::{ParameterServer, ServerStats, ServerTelemetry};
 pub use staleness::{GapAccumulator, GradientGap, Lag, WeightPredictor};
 pub use transport::{TransportModel, PAPER_MODEL_BYTES};

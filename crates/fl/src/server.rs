@@ -8,10 +8,13 @@
 //! cross-device information the distributed online scheduler needs
 //! (Algorithm 2, line 4).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use fedco_neural::model::ParamVector;
 use fedco_neural::tensor::TensorError;
+use fedco_telemetry::clock::SlotClock;
+use fedco_telemetry::event::{Event, EventKind};
+use fedco_telemetry::sink::Telemetry;
 
 use crate::aggregation::AsyncUpdateRule;
 use crate::model_state::{LocalUpdate, ModelSnapshot, ModelVersion};
@@ -48,6 +51,28 @@ pub struct ParameterServer {
     inner: Mutex<ServerInner>,
 }
 
+/// The server's telemetry attachment: a sink plus the slot clock the engine
+/// advances, so merge/round events carry the simulation slot they happened
+/// in even though the server itself has no notion of simulated time.
+#[derive(Debug, Clone)]
+pub struct ServerTelemetry {
+    sink: Arc<dyn Telemetry>,
+    clock: SlotClock,
+}
+
+impl ServerTelemetry {
+    /// Bundles a sink with the engine's slot clock.
+    pub fn new(sink: Arc<dyn Telemetry>, clock: SlotClock) -> Self {
+        ServerTelemetry { sink, clock }
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if self.sink.enabled() {
+            self.sink.record(Event::new(self.clock.now(), kind));
+        }
+    }
+}
+
 #[derive(Debug)]
 struct ServerInner {
     params: ParamVector,
@@ -55,6 +80,7 @@ struct ServerInner {
     rule: AsyncUpdateRule,
     momentum: MomentumTracker,
     stats: ServerStats,
+    telemetry: Option<ServerTelemetry>,
 }
 
 impl ParameterServer {
@@ -78,8 +104,15 @@ impl ParameterServer {
                 rule,
                 momentum: MomentumTracker::new(beta, learning_rate),
                 stats: ServerStats::default(),
+                telemetry: None,
             }),
         }
+    }
+
+    /// Attaches a telemetry sink (and the engine's slot clock) so applied
+    /// updates and aggregation rounds are traced on the simulation clock.
+    pub fn attach_telemetry(&self, telemetry: ServerTelemetry) {
+        self.locked().telemetry = Some(telemetry);
     }
 
     /// The current global version.
@@ -136,6 +169,13 @@ impl ParameterServer {
         inner.stats.async_updates += 1;
         inner.stats.total_lag += lag.value();
         inner.stats.max_lag = inner.stats.max_lag.max(lag.value());
+        if let Some(telemetry) = &inner.telemetry {
+            telemetry.emit(EventKind::Merge {
+                user: update.client_id as u64,
+                lag: lag.value(),
+                version: inner.version.0,
+            });
+        }
         Ok(lag)
     }
 
@@ -173,6 +213,12 @@ impl ParameterServer {
         inner.momentum.observe_transition(&old, &new)?;
         inner.version = inner.version.next();
         inner.stats.sync_rounds += 1;
+        if let Some(telemetry) = &inner.telemetry {
+            telemetry.emit(EventKind::Round {
+                participants: updates.len() as u64,
+                version: inner.version.0,
+            });
+        }
         Ok(())
     }
 
@@ -274,5 +320,41 @@ mod tests {
     #[test]
     fn stats_default_mean_lag_is_zero() {
         assert_eq!(ServerStats::default().mean_lag(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_traces_merges_and_rounds_on_the_slot_clock() {
+        use fedco_telemetry::event::EventKind;
+        use fedco_telemetry::sink::BufferSink;
+
+        let s = server();
+        let sink = BufferSink::shared();
+        let clock = SlotClock::new();
+        s.attach_telemetry(ServerTelemetry::new(sink.clone(), clock.clone()));
+        clock.set(17);
+        s.apply_async(&update(2, vec![1.0, 2.0, 3.0], s.version(), 10))
+            .unwrap();
+        clock.set(40);
+        s.apply_sync_round(&[update(0, vec![0.0; 3], s.version(), 10)])
+            .unwrap();
+        let events = sink.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].slot, 17);
+        assert_eq!(
+            events[0].kind,
+            EventKind::Merge {
+                user: 2,
+                lag: 0,
+                version: 1
+            }
+        );
+        assert_eq!(events[1].slot, 40);
+        assert_eq!(
+            events[1].kind,
+            EventKind::Round {
+                participants: 1,
+                version: 2
+            }
+        );
     }
 }

@@ -20,7 +20,13 @@
 //!   --seed N              base seed of the per-job derivation (default 42)
 //!   --csv PATH            write per-job rows as CSV
 //!   --jsonl PATH          write per-job rows as JSON lines
+//!   --trace PATH          trace every job; write the merged telemetry
+//!                         event stream as JSON lines (slot-stamped,
+//!                         bit-identical for any worker count)
+//!   --metrics PATH        trace every job; write the metrics derived from
+//!                         the merged stream as JSON lines
 //!   --verify              also run on 1 worker; check bit-identical
+//!                         (including the trace/metrics bytes when tracing)
 //!   --list-scenarios      print the scenario preset registry and exit
 //!   --list-policies       print the policy registry and exit
 //! ```
@@ -43,6 +49,7 @@ use std::process::ExitCode;
 
 use fedco_core::scenario::FIELD_KEYS;
 use fedco_fleet::prelude::*;
+use fedco_telemetry::export::events_to_jsonl;
 
 struct Args {
     workers: usize,
@@ -55,13 +62,15 @@ struct Args {
     policies: Vec<PolicySpec>,
     csv: Option<String>,
     jsonl: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
     verify: bool,
 }
 
 const USAGE: &str = "usage: fleet_sweep [--workers N] [--scenario SPEC,SPEC,...] \
 [--scenario-file PATH] [--axis KEY=V1,V2,...] [--policies SPEC,SPEC,...] \
 [--users N] [--slots N] [--replicates N] [--seed N] [--csv PATH] [--jsonl PATH] \
-[--verify] [--list-scenarios] [--list-policies]";
+[--trace PATH] [--metrics PATH] [--verify] [--list-scenarios] [--list-policies]";
 
 fn list_scenarios() {
     println!("scenario presets (see EXPERIMENTS.md for the regime each maps to):");
@@ -108,6 +117,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         policies: PolicyKind::ALL.iter().map(|&k| k.into()).collect(),
         csv: None,
         jsonl: None,
+        trace: None,
+        metrics: None,
         verify: false,
     };
     let mut it = std::env::args().skip(1);
@@ -194,6 +205,8 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--csv" => args.csv = Some(value("--csv")?),
             "--jsonl" => args.jsonl = Some(value("--jsonl")?),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--metrics" => args.metrics = Some(value("--metrics")?),
             "--verify" => args.verify = true,
             "--list-scenarios" => {
                 list_scenarios();
@@ -272,7 +285,15 @@ fn main() -> ExitCode {
     let labels: Vec<String> = args.policies.iter().map(PolicySpec::label).collect();
     println!("policies: {}\n", labels.join(", "));
 
-    let report = run_grid(&grid, args.workers);
+    // Tracing is only wired in when a sink for it was requested; otherwise
+    // the sweep runs with telemetry disabled (near-zero cost).
+    let tracing = args.trace.is_some() || args.metrics.is_some();
+    let (report, trace) = if tracing {
+        let (report, trace) = run_grid_traced(&grid, args.workers);
+        (report, Some(trace))
+    } else {
+        (run_grid(&grid, args.workers), None)
+    };
     print!("{}", rollup_table(&report));
     let throughput = report.jobs.len() as f64 / report.wall_s.max(1e-9);
     println!(
@@ -300,17 +321,48 @@ fn main() -> ExitCode {
         }
         println!("wrote {path} ({} lines)", report.jobs.len());
     }
+    if let Some(trace) = &trace {
+        if let Some(path) = &args.trace {
+            if let Err(e) = std::fs::write(path, events_to_jsonl(&trace.events)) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path} ({} events)", trace.events.len());
+        }
+        if let Some(path) = &args.metrics {
+            if let Err(e) = std::fs::write(path, trace.metrics.to_jsonl()) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path} ({} metrics)", trace.metrics.len());
+        }
+    }
 
     if args.verify {
         println!("\nverify: re-running the grid on 1 worker ...");
-        let sequential = run_grid_sequential(&grid);
-        let identical = deterministic_view(&report) == deterministic_view(&sequential)
+        let (sequential, sequential_trace) = if tracing {
+            let (report, trace) = run_grid_traced(&grid, 1);
+            (report, Some(trace))
+        } else {
+            (run_grid_sequential(&grid), None)
+        };
+        let mut identical = deterministic_view(&report) == deterministic_view(&sequential)
             && report.rollups == sequential.rollups;
-        let speedup = sequential.wall_s / report.wall_s.max(1e-9);
         println!(
             "verify: merged statistics bit-identical across worker counts: {}",
             if identical { "yes" } else { "NO" }
         );
+        if let (Some(trace), Some(sequential_trace)) = (&trace, &sequential_trace) {
+            let trace_identical = events_to_jsonl(&trace.events)
+                == events_to_jsonl(&sequential_trace.events)
+                && trace.metrics.to_jsonl() == sequential_trace.metrics.to_jsonl();
+            println!(
+                "verify: telemetry trace and metrics byte-identical across worker counts: {}",
+                if trace_identical { "yes" } else { "NO" }
+            );
+            identical = identical && trace_identical;
+        }
+        let speedup = *sequential.wall_s / report.wall_s.max(1e-9);
         println!(
             "verify: {} workers {:.2} s vs 1 worker {:.2} s -> speedup {:.2}x",
             report.workers, report.wall_s, sequential.wall_s, speedup

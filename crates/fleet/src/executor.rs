@@ -11,12 +11,13 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-// fedco-audit: allow(wall-clock): wall_ms/slots_per_sec timings are excluded from determinism comparisons (not part of JobSummary PartialEq)
-use std::time::Instant;
 
 use fedco_device::profiler::EnergyComponent;
-use fedco_sim::engine::run_simulation_summary;
+use fedco_sim::engine::{run_simulation_summary, run_simulation_summary_traced};
 use fedco_sim::trace::SimResult;
+use fedco_telemetry::event::{Event, EventKind};
+use fedco_telemetry::metrics::MetricsRegistry;
+use fedco_telemetry::profiling::{Measured, Stopwatch};
 
 use crate::grid::{FleetJob, LinkKind, ScenarioGrid};
 use crate::stats::CellRollup;
@@ -146,14 +147,17 @@ pub struct JobSummary {
     pub mean_virtual_queue: f64,
     /// Final test accuracy (when the ML workload was enabled).
     pub final_accuracy: Option<f32>,
-    /// Wall-clock milliseconds this job took (not deterministic; excluded
-    /// from the merged statistics' determinism contract).
-    pub wall_ms: f64,
+    /// Wall-clock milliseconds this job took. A [`Measured`] profiling
+    /// value: it never participates in the derived `PartialEq`, so the
+    /// summary's determinism contract is enforced by the type, not by an
+    /// ad-hoc equality implementation.
+    pub wall_ms: Measured<f64>,
     /// Simulated slots per wall-clock second this job achieved
-    /// (`total_slots / wall`; not deterministic, like `wall_ms`). This is
-    /// the same throughput metric the `bench_engine` benchmark reports, so
-    /// sweep reports double as benchmark trajectories.
-    pub slots_per_sec: f64,
+    /// (`total_slots / wall`; a [`Measured`] profiling value, like
+    /// `wall_ms`). This is the same throughput metric the `bench_engine`
+    /// benchmark reports, so sweep reports double as benchmark
+    /// trajectories.
+    pub slots_per_sec: Measured<f64>,
 }
 
 impl JobSummary {
@@ -182,8 +186,8 @@ impl JobSummary {
             mean_queue: result.mean_queue,
             mean_virtual_queue: result.mean_virtual_queue,
             final_accuracy: result.final_accuracy,
-            wall_ms,
-            slots_per_sec: job.config.total_slots as f64 * 1e3 / wall_ms.max(1e-9),
+            wall_ms: Measured(wall_ms),
+            slots_per_sec: Measured(job.config.total_slots as f64 * 1e3 / wall_ms.max(1e-9)),
         }
     }
 }
@@ -198,8 +202,9 @@ pub struct FleetReport {
     pub rollups: Vec<CellRollup>,
     /// How many worker threads ran the sweep.
     pub workers: usize,
-    /// Wall-clock seconds of the whole sweep.
-    pub wall_s: f64,
+    /// Wall-clock seconds of the whole sweep (a [`Measured`] profiling
+    /// value: ignored by `PartialEq`).
+    pub wall_s: Measured<f64>,
 }
 
 impl FleetReport {
@@ -258,8 +263,67 @@ pub fn resolve_workers(requested: usize) -> usize {
 ///
 /// Panics if the grid is invalid or a worker thread panics.
 pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
-    // fedco-audit: allow(wall-clock): report wall_s is timing telemetry, excluded from determinism comparisons
-    let start = Instant::now();
+    run_grid_impl(grid, workers, false).0
+}
+
+/// The merged telemetry of a traced sweep.
+///
+/// Every job's event stream is wrapped in `job-start`/`job-end` lifecycle
+/// markers and concatenated **in job order** after all workers join — the
+/// same per-shard/fixed-merge discipline the result slots use — so both the
+/// event stream and the metrics derived from it are bit-identical for any
+/// worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTrace {
+    /// The merged event stream, in job order.
+    pub events: Vec<Event>,
+    /// Metrics derived from `events`, keyed by the `(scenario, policy)`
+    /// labels the job lifecycle markers carry.
+    pub metrics: MetricsRegistry,
+}
+
+/// Runs the grid like [`run_grid`] while tracing every job, and merges the
+/// per-job event streams into one deterministic [`SweepTrace`].
+///
+/// The report is identical to an untraced run of the same grid (tracing
+/// buffers events per job; it never perturbs simulation state), and the
+/// trace/metrics are bit-identical for every `workers` value.
+///
+/// # Panics
+///
+/// Panics if the grid is invalid or a worker thread panics.
+pub fn run_grid_traced(grid: &ScenarioGrid, workers: usize) -> (FleetReport, SweepTrace) {
+    let (report, traces) = run_grid_impl(grid, workers, true);
+    let mut events = Vec::new();
+    for (job, trace) in report.jobs.iter().zip(traces) {
+        events.push(Event::new(
+            0,
+            EventKind::JobStart {
+                job: job.id as u64,
+                scenario: job.scenario.clone(),
+                policy: job.policy.clone(),
+            },
+        ));
+        let end_slot = trace.last().map(|e| e.slot).unwrap_or(0);
+        events.extend(trace);
+        events.push(Event::new(
+            end_slot,
+            EventKind::JobEnd { job: job.id as u64 },
+        ));
+    }
+    let metrics = MetricsRegistry::from_trace(&events);
+    (report, SweepTrace { events, metrics })
+}
+
+/// One completed job's deposit: the summary plus its (possibly empty) trace.
+type JobSlot = Option<(JobSummary, Vec<Event>)>;
+
+fn run_grid_impl(
+    grid: &ScenarioGrid,
+    workers: usize,
+    traced: bool,
+) -> (FleetReport, Vec<Vec<Event>>) {
+    let sweep_watch = Stopwatch::start();
     let jobs = grid.expand();
     let n_jobs = jobs.len();
     let workers = resolve_workers(workers).min(n_jobs.max(1));
@@ -271,35 +335,39 @@ pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
     queue.close();
 
     // Each slot is filled exactly once, keyed by job id, so completion order
-    // cannot affect the fold below.
-    let slots: Mutex<Vec<Option<JobSummary>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
+    // cannot affect the fold below. Traced runs deposit the job's event
+    // stream in the same slot: one shard per job, merged in job order.
+    let slots: Mutex<Vec<JobSlot>> = Mutex::new((0..n_jobs).map(|_| None).collect());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 while let Some(job) = queue.pop() {
-                    // fedco-audit: allow(wall-clock): per-job wall_ms is timing telemetry, excluded from determinism comparisons
-                    let job_start = Instant::now();
+                    let job_watch = Stopwatch::start();
                     // Summary mode is enforced here, at the execution site,
                     // so even hand-built FleetJobs never materialize traces.
-                    let result = run_simulation_summary(job.config.clone());
-                    let wall_ms = job_start.elapsed().as_secs_f64() * 1e3;
+                    let (result, events) = if traced {
+                        run_simulation_summary_traced(job.config.clone())
+                    } else {
+                        (run_simulation_summary(job.config.clone()), Vec::new())
+                    };
+                    let wall_ms = job_watch.elapsed_ms();
                     let summary = JobSummary::from_result(&job, &result, wall_ms);
                     // fedco-audit: allow(panic-surface): poisoned lock means a sibling worker already panicked; propagate
-                    slots.lock().expect("result lock poisoned")[job.id] = Some(summary);
+                    slots.lock().expect("result lock poisoned")[job.id] = Some((summary, events));
                 }
             });
         }
     });
 
-    let jobs: Vec<JobSummary> = slots
+    let (jobs, traces): (Vec<JobSummary>, Vec<Vec<Event>>) = slots
         .into_inner()
         // fedco-audit: allow(panic-surface): poisoned lock means a worker already panicked; propagate
         .expect("result lock poisoned")
         .into_iter()
         // fedco-audit: allow(panic-surface): thread::scope joined every worker, and each worker fills exactly the slots of the jobs it popped
         .map(|s| s.expect("every job slot filled"))
-        .collect();
+        .unzip();
 
     // Fold rollups in job order: deterministic regardless of worker count.
     // One rollup per *distinct* (scenario, policy) label pair — a grid
@@ -320,12 +388,13 @@ pub fn run_grid(grid: &ScenarioGrid, workers: usize) -> FleetReport {
         }
     }
 
-    FleetReport {
+    let report = FleetReport {
         jobs,
         rollups,
         workers,
-        wall_s: start.elapsed().as_secs_f64(),
-    }
+        wall_s: Measured(sweep_watch.elapsed_s()),
+    };
+    (report, traces)
 }
 
 /// Runs the grid sequentially (one worker). Useful as the determinism and
@@ -334,18 +403,15 @@ pub fn run_grid_sequential(grid: &ScenarioGrid) -> FleetReport {
     run_grid(grid, 1)
 }
 
-/// Strips the non-deterministic timing fields of a report so two reports
-/// can be compared bit-for-bit.
+/// The deterministic slice of a report: its job summaries, whose equality
+/// already ignores timing because the wall-clock fields are [`Measured`].
+///
+/// Kept for callers written against the earlier API, where this function
+/// had to zero the timing fields before reports could be compared
+/// bit-for-bit; today `report.jobs == other.jobs` (or comparing whole
+/// reports) does the same thing.
 pub fn deterministic_view(report: &FleetReport) -> Vec<JobSummary> {
-    report
-        .jobs
-        .iter()
-        .map(|j| JobSummary {
-            wall_ms: 0.0,
-            slots_per_sec: 0.0,
-            ..j.clone()
-        })
-        .collect()
+    report.jobs.clone()
 }
 
 // Keep the whole pipeline Send by construction: jobs move into workers,
@@ -430,7 +496,7 @@ mod tests {
                 .count(),
             4
         );
-        assert!(report.wall_s > 0.0);
+        assert!(*report.wall_s > 0.0);
     }
 
     #[test]
@@ -454,6 +520,78 @@ mod tests {
         assert_eq!(deterministic_view(&seq), deterministic_view(&par));
         assert_eq!(seq.rollups, par.rollups);
         assert_eq!(par.workers, 4.min(grid.len()));
+        // Whole-report equality holds too: the Measured timing fields are
+        // excluded from PartialEq by construction, and `workers` matches
+        // only because both calls clamp to the job count — compare after
+        // normalizing it away.
+        let par_as_seq = FleetReport {
+            workers: seq.workers,
+            ..par.clone()
+        };
+        assert_eq!(seq, par_as_seq);
+    }
+
+    #[test]
+    fn traced_sweep_is_identical_for_any_worker_count() {
+        use fedco_telemetry::export::events_to_jsonl;
+
+        let grid = tiny_grid();
+        let (seq_report, seq_trace) = run_grid_traced(&grid, 1);
+        let (par_report, par_trace) = run_grid_traced(&grid, 4);
+        assert_eq!(seq_report.jobs, par_report.jobs);
+        assert_eq!(seq_report.rollups, par_report.rollups);
+        assert_eq!(seq_trace, par_trace);
+        // Byte-identical on the wire, not just structurally equal.
+        assert_eq!(
+            events_to_jsonl(&seq_trace.events),
+            events_to_jsonl(&par_trace.events)
+        );
+        assert_eq!(seq_trace.metrics.to_jsonl(), par_trace.metrics.to_jsonl());
+        // Tracing never perturbs the simulations themselves.
+        assert_eq!(run_grid(&grid, 2).jobs, seq_report.jobs);
+    }
+
+    #[test]
+    fn traced_sweep_wraps_each_job_in_lifecycle_markers() {
+        use fedco_telemetry::metrics::MetricValue;
+
+        let grid = tiny_grid();
+        let (report, trace) = run_grid_traced(&grid, 2);
+        let mut starts = Vec::new();
+        let mut ends = Vec::new();
+        let mut open: Option<u64> = None;
+        for event in &trace.events {
+            match &event.kind {
+                EventKind::JobStart { job, .. } => {
+                    assert_eq!(open, None, "job {job} started inside another job");
+                    open = Some(*job);
+                    starts.push(*job);
+                }
+                EventKind::JobEnd { job } => {
+                    assert_eq!(open, Some(*job), "job {job} ended out of order");
+                    open = None;
+                    ends.push(*job);
+                }
+                _ => assert!(open.is_some(), "event outside job markers"),
+            }
+        }
+        assert_eq!(open, None);
+        let expected: Vec<u64> = (0..grid.len() as u64).collect();
+        assert_eq!(starts, expected, "job streams merge in grid order");
+        assert_eq!(ends, expected);
+        // Metrics land under each cell's (scenario, policy) labels, one
+        // jobs_total count per run of the cell.
+        for rollup in &report.rollups {
+            assert_eq!(
+                trace
+                    .metrics
+                    .get(&rollup.scenario, &rollup.policy, "jobs_total"),
+                Some(&MetricValue::Counter(rollup.runs())),
+                "{}/{}",
+                rollup.scenario,
+                rollup.policy
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,16 @@
 //! Results are **bit-identical for any worker count**: job seeds depend only
 //! on grid coordinates, and rollups fold finished jobs in grid order.
 //!
+//! Sweeps are observable: [`executor::run_grid_traced`] buffers each job's
+//! `fedco-telemetry` event stream in its own shard, wraps it in
+//! `job-start`/`job-end` lifecycle markers and concatenates the shards in
+//! job order, so the merged [`executor::SweepTrace`] (events + derived
+//! metrics) inherits the same any-worker-count determinism contract.
+//! Wall-clock timings (`wall_ms`, `slots_per_sec`, `wall_s`) are
+//! [`fedco_telemetry::profiling::Measured`] profiling values:
+//! they never participate in equality, so report comparisons are the
+//! determinism contract by construction.
+//!
 //! ```no_run
 //! use fedco_fleet::prelude::*;
 //!
@@ -48,8 +58,8 @@ pub mod stats;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::executor::{
-        deterministic_view, resolve_workers, run_grid, run_grid_sequential, FleetReport, JobQueue,
-        JobSummary,
+        deterministic_view, resolve_workers, run_grid, run_grid_sequential, run_grid_traced,
+        FleetReport, JobQueue, JobSummary, SweepTrace,
     };
     pub use crate::grid::{FieldAxis, FleetJob, GridError, JobCoord, LinkKind, ScenarioGrid};
     pub use crate::report::{bench_json_lines, record_bench_json, rollup_table, to_csv, to_jsonl};
@@ -58,6 +68,10 @@ pub mod prelude {
     pub use fedco_core::policy::PolicyKind;
     pub use fedco_core::scenario::{parse_scenario_file, MlMode, ParseScenarioError, ScenarioSpec};
     pub use fedco_core::spec::{PolicyBuildContext, PolicyFactory, PolicySpec};
+    pub use fedco_telemetry::event::{Channel, Event, EventKind};
+    pub use fedco_telemetry::export::events_to_jsonl;
+    pub use fedco_telemetry::metrics::{MetricKey, MetricValue, MetricsRegistry};
+    pub use fedco_telemetry::profiling::{Measured, Stopwatch};
 }
 
 pub use prelude::*;

@@ -237,6 +237,7 @@ pub fn record_bench_json(report: &FleetReport, prefix: &str) {
 mod tests {
     use super::*;
     use crate::stats::CellRollup;
+    use fedco_telemetry::profiling::Measured;
 
     fn sample_job() -> JobSummary {
         JobSummary {
@@ -256,8 +257,8 @@ mod tests {
             mean_queue: 0.25,
             mean_virtual_queue: 2.5,
             final_accuracy: None,
-            wall_ms: 7.125,
-            slots_per_sec: 123456.7,
+            wall_ms: Measured(7.125),
+            slots_per_sec: Measured(123456.7),
         }
     }
 
@@ -269,7 +270,7 @@ mod tests {
             jobs: vec![job],
             rollups: vec![rollup],
             workers: 2,
-            wall_s: 0.5,
+            wall_s: Measured(0.5),
         }
     }
 

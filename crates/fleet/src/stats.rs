@@ -8,6 +8,8 @@
 //! sharding — as long as the *fold order* is fixed, the result is
 //! bit-identical regardless of how many workers produced the shards.
 
+use fedco_telemetry::profiling::Measured;
+
 use crate::executor::JobSummary;
 
 /// A streaming count/mean/M2/min/max accumulator over `f64` samples.
@@ -131,8 +133,10 @@ impl Streaming {
 /// Equality deliberately ignores the wall-clock statistics (`wall_ms`,
 /// `slots_per_sec`): they vary between runs of the same grid, while every
 /// other field is covered by the fleet's bit-identical determinism
-/// contract.
-#[derive(Debug, Clone)]
+/// contract. The exclusion lives in the [`Measured`] wrapper (which always
+/// compares equal), so the derived `PartialEq` is exactly the determinism
+/// contract — no hand-written equality to keep in sync with the fields.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellRollup {
     /// The scenario label these statistics describe.
     pub scenario: String,
@@ -153,26 +157,13 @@ pub struct CellRollup {
     /// Final test accuracy per run (only runs with the ML workload
     /// contribute, so `accuracy.count()` can be below `energy_j.count()`).
     pub accuracy: Streaming,
-    /// Wall-clock milliseconds per run (timing; ignored by `PartialEq`).
-    pub wall_ms: Streaming,
-    /// Simulated slots per wall-clock second per run (timing; ignored by
-    /// `PartialEq`). Feeds `BENCH`-style throughput trajectories recorded
-    /// straight from sweeps.
-    pub slots_per_sec: Streaming,
-}
-
-impl PartialEq for CellRollup {
-    fn eq(&self, other: &Self) -> bool {
-        self.scenario == other.scenario
-            && self.policy == other.policy
-            && self.energy_j == other.energy_j
-            && self.radio_j == other.radio_j
-            && self.updates == other.updates
-            && self.corun_epochs == other.corun_epochs
-            && self.mean_lag == other.mean_lag
-            && self.mean_queue == other.mean_queue
-            && self.accuracy == other.accuracy
-    }
+    /// Wall-clock milliseconds per run (timing; [`Measured`], so ignored by
+    /// `PartialEq`).
+    pub wall_ms: Measured<Streaming>,
+    /// Simulated slots per wall-clock second per run (timing; [`Measured`],
+    /// so ignored by `PartialEq`). Feeds `BENCH`-style throughput
+    /// trajectories recorded straight from sweeps.
+    pub slots_per_sec: Measured<Streaming>,
 }
 
 impl CellRollup {
@@ -188,8 +179,8 @@ impl CellRollup {
             mean_lag: Streaming::new(),
             mean_queue: Streaming::new(),
             accuracy: Streaming::new(),
-            wall_ms: Streaming::new(),
-            slots_per_sec: Streaming::new(),
+            wall_ms: Measured(Streaming::new()),
+            slots_per_sec: Measured(Streaming::new()),
         }
     }
 
@@ -206,8 +197,8 @@ impl CellRollup {
         if let Some(acc) = job.final_accuracy {
             self.accuracy.push(acc as f64);
         }
-        self.wall_ms.push(job.wall_ms);
-        self.slots_per_sec.push(job.slots_per_sec);
+        self.wall_ms.push(*job.wall_ms);
+        self.slots_per_sec.push(*job.slots_per_sec);
     }
 
     /// Merges the rollup of a disjoint shard of jobs for the same cell.
@@ -312,8 +303,8 @@ mod tests {
             mean_queue: 0.5,
             mean_virtual_queue: 1.0,
             final_accuracy: acc,
-            wall_ms: wall,
-            slots_per_sec: 2000.0,
+            wall_ms: Measured(wall),
+            slots_per_sec: Measured(2000.0),
         }
     }
 

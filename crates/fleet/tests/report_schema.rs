@@ -82,8 +82,8 @@ fn summary_with_labels(scenario: &str, policy: &str) -> JobSummary {
         mean_queue: 0.25,
         mean_virtual_queue: 2.5,
         final_accuracy: None,
-        wall_ms: 7.125,
-        slots_per_sec: 28070.2,
+        wall_ms: Measured(7.125),
+        slots_per_sec: Measured(28070.2),
     }
 }
 

@@ -7,6 +7,8 @@
 //! policies (`fedco-core`). One run reproduces the paper's 3-hour testbed
 //! experiment for a chosen policy and parameter set.
 
+use std::sync::Arc;
+
 use fedco_rng::rngs::SmallRng;
 use fedco_rng::{Rng, SeedableRng};
 
@@ -21,11 +23,14 @@ use fedco_fl::aggregation::AsyncUpdateRule;
 use fedco_fl::client::{ClientConfig, FlClient};
 use fedco_fl::model_state::LocalUpdate;
 use fedco_fl::partition::{partition_dataset, PartitionStrategy};
-use fedco_fl::server::ParameterServer;
+use fedco_fl::server::{ParameterServer, ServerTelemetry};
 use fedco_fl::staleness::{GradientGap, Lag, WeightPredictor};
 use fedco_fl::transport::PAPER_MODEL_BYTES;
 use fedco_neural::data::{Dataset, SyntheticCifarConfig};
 use fedco_neural::model::{ParamVector, Sequential};
+use fedco_telemetry::clock::SlotClock;
+use fedco_telemetry::event::{Event, EventKind};
+use fedco_telemetry::sink::{BufferSink, Telemetry};
 
 use crate::arrivals::{ArrivalCursor, ArrivalSchedule};
 use crate::clock::SimClock;
@@ -61,6 +66,26 @@ impl EngineStats {
             self.fast_forwarded_slots as f64 / total as f64
         }
     }
+}
+
+/// The engine's telemetry attachment: the shared sink, the slot clock it
+/// advances for downstream emitters (the FL server), the sampling cadence of
+/// the cumulative energy events, and the running dense-span counters of the
+/// driver channel.
+#[derive(Debug)]
+struct SimTelemetry {
+    sink: Arc<dyn Telemetry>,
+    clock: SlotClock,
+    /// Energy events are sampled every this many slots (the trace-recording
+    /// cadence of the configuration, fixed at attach time so summary-only
+    /// fleet jobs still sample).
+    sample_every: u64,
+    /// Dense slots executed since the last dense-span flush.
+    dense_span: u64,
+    /// Idle `decide()` outcomes since the last dense-span flush. Counted
+    /// into the driver channel (not emitted per-slot) because the
+    /// event-driven driver elides repeated idle decisions wholesale.
+    idle_decisions: u64,
 }
 
 /// Mutable per-run accumulators threaded through the slot loop, so the dense
@@ -118,6 +143,8 @@ pub struct Simulation {
     pending_state: Vec<PowerState>,
     /// Slots accumulated in the pending state (0 = nothing pending).
     pending_slots: Vec<u64>,
+    /// Telemetry attachment (`None` when disabled — the zero-cost default).
+    telemetry: Option<SimTelemetry>,
 }
 
 impl Simulation {
@@ -257,6 +284,7 @@ impl Simulation {
             policy_quiescent: false,
             pending_state,
             pending_slots,
+            telemetry: None,
         };
         // Hand the initial global model to every ML client.
         if sim.ml.is_some() {
@@ -274,6 +302,79 @@ impl Simulation {
     /// The configuration of this run.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Attaches a telemetry sink. Every slot-clocked event of the run —
+    /// schedules, merges, rounds, barrier arrivals, sampled per-component
+    /// energy, driver spans — is recorded into it; the FL server shares the
+    /// sink via the engine's [`SlotClock`]. Attaching telemetry never
+    /// changes the simulation result: sampling slots are forced dense in the
+    /// event-driven driver, and reading profiler totals is side-effect-free.
+    ///
+    /// A disabled sink (e.g. [`fedco_telemetry::sink::NullSink`]) is
+    /// discarded outright, keeping the disabled path zero-cost.
+    pub fn with_telemetry(mut self, sink: Arc<dyn Telemetry>) -> Self {
+        if !sink.enabled() {
+            return self;
+        }
+        let clock = SlotClock::new();
+        self.server
+            .attach_telemetry(ServerTelemetry::new(sink.clone(), clock.clone()));
+        self.telemetry = Some(SimTelemetry {
+            sink,
+            clock,
+            sample_every: self.config.record_every_slots.max(1),
+            dense_span: 0,
+            idle_decisions: 0,
+        });
+        self
+    }
+
+    /// Flushes the running dense-span counters as a driver-channel event at
+    /// `slot` (the first slot *not* covered by the span).
+    fn flush_telemetry_span(&mut self, slot: u64) {
+        if let Some(t) = self.telemetry.as_mut() {
+            if t.dense_span > 0 {
+                let event = Event::new(
+                    slot,
+                    EventKind::DenseSpan {
+                        slots: t.dense_span,
+                        idle_decisions: t.idle_decisions,
+                    },
+                );
+                t.dense_span = 0;
+                t.idle_decisions = 0;
+                t.sink.record(event);
+            }
+        }
+    }
+
+    /// Emits cumulative per-component energy totals at `slot`. Pending power
+    /// spans are flushed first so the totals match what a dense run would
+    /// read — flush boundaries never change the repeated-addition sums, so
+    /// sampling is bit-identical across drivers and cannot perturb results.
+    fn emit_telemetry_energy(&mut self, slot: u64) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        self.flush_all_pending();
+        let mut by_component = std::collections::BTreeMap::new();
+        for p in &self.profilers {
+            for (component, energy) in p.breakdown() {
+                *by_component.entry(component).or_insert(0.0) += energy.value();
+            }
+        }
+        if let Some(t) = &self.telemetry {
+            for (component, joules) in by_component {
+                t.sink.record(Event::new(
+                    slot,
+                    EventKind::Energy {
+                        component: component.label().to_string(),
+                        joules,
+                    },
+                ));
+            }
+        }
     }
 
     fn velocity_norm(&self) -> f32 {
@@ -516,6 +617,19 @@ impl Simulation {
         self.event_mode = event_mode;
         self.policy_quiescent = self.policy.quiescent_while_waiting();
         self.pending_slots.iter_mut().for_each(|s| *s = 0);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.dense_span = 0;
+            t.idle_decisions = 0;
+            t.clock.set(0);
+            t.sink.record(Event::new(
+                0,
+                EventKind::RunStart {
+                    users: self.config.num_users as u64,
+                    slots: self.config.total_slots,
+                    policy: self.config.policy.label(),
+                },
+            ));
+        }
     }
 
     /// Executes one full dense slot (the reference per-slot semantics) and
@@ -525,6 +639,14 @@ impl Simulation {
         {
             let slot = self.clock.slot();
             let now_s = self.clock.now_s();
+
+            // Advance the shared slot clock so everything this slot executes
+            // (including server-side merge/round events) is stamped with it,
+            // and count the dense slot into the driver channel.
+            if let Some(t) = self.telemetry.as_mut() {
+                t.clock.set(slot);
+                t.dense_span += 1;
+            }
 
             // (0) Look-ahead planning for policies that ask for it (the
             // offline knapsack by default; any custom policy can opt in via
@@ -627,9 +749,26 @@ impl Simulation {
                         self.users[i].gap.schedule(predicted);
                         scheduled_count += 1;
                         self.policy.notify_scheduled(i);
+                        // Schedule outcomes always happen at dense slots in
+                        // both drivers, so they are semantic events.
+                        if let Some(t) = &self.telemetry {
+                            t.sink.record(Event::new(
+                                slot,
+                                EventKind::Schedule {
+                                    user: i as u64,
+                                    corun: corunning,
+                                },
+                            ));
+                        }
                     }
                     SlotDecision::Idle => {
                         self.users[i].gap.idle_slot();
+                        // Idle outcomes repeat every waiting slot and are
+                        // elided wholesale by event-driven skips: counted
+                        // into the driver channel, never emitted per slot.
+                        if let Some(t) = self.telemetry.as_mut() {
+                            t.idle_decisions += 1;
+                        }
                     }
                 }
             }
@@ -673,6 +812,14 @@ impl Simulation {
                 if self.policy.round_barrier() {
                     self.sync_buffer.push(update);
                     self.users[user_id].enter_barrier();
+                    if let Some(t) = &self.telemetry {
+                        t.sink.record(Event::new(
+                            slot,
+                            EventKind::Barrier {
+                                depth: self.sync_buffer.len() as u64,
+                            },
+                        ));
+                    }
                 } else {
                     // The per-update gap only feeds the UpdateEvent
                     // series; skip the O(params) distance in summary mode.
@@ -808,6 +955,18 @@ impl Simulation {
                 }
             }
 
+            // (9) Telemetry energy sampling. Independent of trace
+            // collection so summary-only fleet jobs still sample; the
+            // cadence slots are forced dense by `skip_horizon`, so the
+            // sampled totals are bit-identical across drivers.
+            if self
+                .telemetry
+                .as_ref()
+                .is_some_and(|t| slot % t.sample_every == 0)
+            {
+                self.emit_telemetry_energy(slot);
+            }
+
             self.clock.tick();
         }
     }
@@ -828,6 +987,13 @@ impl Simulation {
         self.apply_span(cur, n, acc);
         self.stats.fast_forwarded_slots += n;
         self.stats.spans += 1;
+        if self.telemetry.is_some() {
+            self.flush_telemetry_span(cur);
+            if let Some(t) = &self.telemetry {
+                t.sink
+                    .record(Event::new(cur, EventKind::SkipSpan { slots: n }));
+            }
+        }
     }
 
     /// The first slot at or after `cur` that must run densely. Returning
@@ -862,6 +1028,17 @@ impl Simulation {
         // snapshot engine state).
         if self.config.collect_traces {
             let every = self.config.record_every_slots;
+            let rem = cur % every;
+            if rem == 0 {
+                return cur;
+            }
+            h = h.min(cur + (every - rem));
+        }
+
+        // Telemetry energy-sampling slots stay dense too, so the sampled
+        // cumulative totals exist (and match) in both drivers.
+        if let Some(t) = &self.telemetry {
+            let every = t.sample_every;
             let rem = cur % every;
             if rem == 0 {
                 return cur;
@@ -1018,6 +1195,36 @@ impl Simulation {
                 *by_component.entry(component).or_insert(0.0) += energy.value();
             }
         }
+        let total_energy_j: f64 = self
+            .profilers
+            .iter()
+            .map(|p| p.total_energy().value())
+            // fedco-audit: allow(float-reduction): fixed-order reduction over users in index order
+            .sum();
+        // Close out the trace: flush the trailing dense span, then emit the
+        // final per-component totals and the run-end marker at the horizon.
+        if self.telemetry.is_some() {
+            let end = self.config.total_slots;
+            self.flush_telemetry_span(end);
+            if let Some(t) = &self.telemetry {
+                for (component, joules) in &by_component {
+                    t.sink.record(Event::new(
+                        end,
+                        EventKind::Energy {
+                            component: component.label().to_string(),
+                            joules: *joules,
+                        },
+                    ));
+                }
+                t.sink.record(Event::new(
+                    end,
+                    EventKind::RunEnd {
+                        updates: total_updates,
+                        energy_j: total_energy_j,
+                    },
+                ));
+            }
+        }
         let final_accuracy = if self.ml.is_some() {
             self.evaluate_global()
         } else {
@@ -1025,11 +1232,7 @@ impl Simulation {
         };
         SimResult {
             policy: self.config.policy.clone(),
-            total_energy_j: self
-                .profilers
-                .iter()
-                .map(|p| p.total_energy().value())
-                .sum(),
+            total_energy_j,
             energy_by_component: by_component.into_iter().collect(),
             total_updates,
             corun_epochs: acc.corun_epochs,
@@ -1084,6 +1287,47 @@ pub fn run_simulation_summary(config: SimConfig) -> SimResult {
 /// Summary-only twin of [`try_run_simulation`].
 pub fn try_run_simulation_summary(config: SimConfig) -> Result<SimResult, ConfigError> {
     Ok(Simulation::try_new(config.summary_only())?.run())
+}
+
+/// Builds and runs a simulation with tracing enabled, returning the result
+/// together with the recorded event stream. The trace is a pure function of
+/// the configuration: bit-identical across runs, and identical on the
+/// semantic channel between [`Simulation::run`] and
+/// [`Simulation::run_dense`].
+///
+/// # Panics
+///
+/// Panics with the specific [`ConfigError`] if the configuration is invalid;
+/// [`try_run_simulation_traced`] is the non-panicking path.
+pub fn run_simulation_traced(config: SimConfig) -> (SimResult, Vec<Event>) {
+    let sink = BufferSink::shared();
+    let mut sim = Simulation::new(config).with_telemetry(sink.clone());
+    let result = sim.run();
+    (result, sink.drain())
+}
+
+/// Traced twin of [`try_run_simulation`].
+pub fn try_run_simulation_traced(
+    config: SimConfig,
+) -> Result<(SimResult, Vec<Event>), ConfigError> {
+    let sink = BufferSink::shared();
+    let mut sim = Simulation::try_new(config)?.with_telemetry(sink.clone());
+    let result = sim.run();
+    Ok((result, sink.drain()))
+}
+
+/// Traced twin of [`run_simulation_summary`]: summary-only results (what the
+/// fleet dispatches) plus the full event stream — telemetry sampling does
+/// not depend on trace collection.
+///
+/// # Panics
+///
+/// Panics with the specific [`ConfigError`] if the configuration is invalid.
+pub fn run_simulation_summary_traced(config: SimConfig) -> (SimResult, Vec<Event>) {
+    let sink = BufferSink::shared();
+    let mut sim = Simulation::new(config.summary_only()).with_telemetry(sink.clone());
+    let result = sim.run();
+    (result, sink.drain())
 }
 
 // The fleet executor moves configs into worker threads and runs simulations
@@ -1306,6 +1550,104 @@ mod tests {
         assert_eq!(full.final_accuracy, lean.final_accuracy);
         assert_eq!(full.total_updates, lean.total_updates);
         assert_eq!(full.total_energy_j.to_bits(), lean.total_energy_j.to_bits());
+    }
+
+    #[test]
+    fn telemetry_semantic_channel_is_identical_dense_vs_event() {
+        use fedco_telemetry::analysis::diff;
+        use fedco_telemetry::event::Channel;
+
+        for policy in PolicyKind::ALL {
+            let sink_event = BufferSink::shared();
+            let mut event_sim = Simulation::new(small(policy)).with_telemetry(sink_event.clone());
+            let event_result = event_sim.run();
+            let event_trace = sink_event.drain();
+
+            let sink_dense = BufferSink::shared();
+            let mut dense_sim = Simulation::new(small(policy)).with_telemetry(sink_dense.clone());
+            let dense_result = dense_sim.run_dense();
+            let dense_trace = sink_dense.drain();
+
+            // Results are bit-identical between drivers, traced or not.
+            assert_eq!(
+                event_result.total_energy_j.to_bits(),
+                dense_result.total_energy_j.to_bits(),
+                "energy diverged for {policy:?}"
+            );
+            // The semantic channel is identical; the driver channel differs
+            // whenever anything was fast-forwarded.
+            let report = diff(&dense_trace, &event_trace, false);
+            assert!(
+                report.identical(),
+                "semantic trace diverged for {policy:?}: {report}"
+            );
+            assert!(event_trace.iter().any(|e| e.channel() == Channel::Semantic));
+            if event_sim.engine_stats().fast_forwarded_slots > 0 {
+                let full = diff(&dense_trace, &event_trace, true);
+                assert!(!full.identical(), "driver channel should differ");
+            }
+        }
+    }
+
+    #[test]
+    fn attaching_telemetry_does_not_change_results() {
+        for policy in PolicyKind::ALL {
+            let plain = run_simulation(small(policy));
+            let (traced, events) = run_simulation_traced(small(policy));
+            assert_eq!(
+                plain.total_energy_j.to_bits(),
+                traced.total_energy_j.to_bits(),
+                "telemetry perturbed the run for {policy:?}"
+            );
+            assert_eq!(plain.total_updates, traced.total_updates);
+            assert!(!events.is_empty());
+            // The trace itself is deterministic across runs.
+            let (_, again) = run_simulation_traced(small(policy));
+            assert_eq!(events, again, "trace not reproducible for {policy:?}");
+            // RunStart opens and RunEnd closes every trace.
+            assert!(matches!(events[0].kind, EventKind::RunStart { .. }));
+            assert!(matches!(
+                events.last().map(|e| &e.kind),
+                Some(EventKind::RunEnd { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn null_sink_telemetry_is_discarded() {
+        use fedco_telemetry::sink::NullSink;
+        let sim = Simulation::new(small(PolicyKind::Online)).with_telemetry(Arc::new(NullSink));
+        assert!(sim.telemetry.is_none(), "disabled sink must be discarded");
+    }
+
+    #[test]
+    fn traced_energy_samples_are_cumulative_and_final() {
+        let (result, events) = run_simulation_traced(small(PolicyKind::Immediate));
+        // Per-component samples are non-decreasing over slots...
+        let mut last: std::collections::BTreeMap<String, f64> = Default::default();
+        let mut finals: std::collections::BTreeMap<String, f64> = Default::default();
+        for e in &events {
+            if let EventKind::Energy { component, joules } = &e.kind {
+                let prev = last.insert(component.clone(), *joules).unwrap_or(0.0);
+                assert!(*joules >= prev, "{component} decreased");
+                finals.insert(component.clone(), *joules);
+            }
+        }
+        // ...and the final samples reproduce the result's breakdown exactly.
+        for (component, energy) in &result.energy_by_component {
+            assert_eq!(
+                finals.get(component.label()).copied().map(f64::to_bits),
+                Some(energy.to_bits()),
+                "final sample mismatch for {component:?}"
+            );
+        }
+        // Summary-only tracing still samples energy identically.
+        let (_, lean_events) = run_simulation_summary_traced(small(PolicyKind::Immediate));
+        let lean_energy: Vec<&Event> = lean_events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Energy { .. }))
+            .collect();
+        assert!(!lean_energy.is_empty());
     }
 
     #[test]

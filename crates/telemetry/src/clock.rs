@@ -1,0 +1,49 @@
+//! The shared simulation-slot clock.
+//!
+//! Layers below the engine (the FL server in particular) have no notion of
+//! simulated time, yet their events must carry the slot they happened in.
+//! [`SlotClock`] is a tiny shared cell the engine advances at the top of
+//! every dense slot; emitters read it at emission time. Because the engine
+//! drives everything that can emit, reads always observe the slot currently
+//! being executed — no wall clock anywhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotonically-advanced simulation-slot counter.
+#[derive(Debug, Clone, Default)]
+pub struct SlotClock(Arc<AtomicU64>);
+
+impl SlotClock {
+    /// A clock starting at slot 0.
+    pub fn new() -> Self {
+        SlotClock::default()
+    }
+
+    /// Sets the current slot. Called by the engine at the top of each dense
+    /// slot; everything the slot executes then reads this value.
+    pub fn set(&self, slot: u64) {
+        self.0.store(slot, Ordering::Relaxed);
+    }
+
+    /// The slot currently being executed.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_shared_between_clones() {
+        let clock = SlotClock::new();
+        let reader = clock.clone();
+        assert_eq!(reader.now(), 0);
+        clock.set(42);
+        assert_eq!(reader.now(), 42);
+        clock.set(43);
+        assert_eq!(clock.now(), 43);
+    }
+}

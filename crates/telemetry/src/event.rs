@@ -1,0 +1,198 @@
+//! Typed telemetry events on the simulation-slot clock.
+//!
+//! Every event carries the **slot** it happened in — the simulated clock,
+//! never wall time — so a trace is a pure function of the configuration and
+//! bit-identical across runs, drivers and worker counts. Events fall into
+//! three channels:
+//!
+//! * **semantic** — what the simulated system did (schedules, merges,
+//!   rounds, barrier depths, energy accrual). Identical between the dense
+//!   and the event-driven engine drivers by the engine's equivalence
+//!   contract.
+//! * **driver** — how the engine executed it (dense-slot spans,
+//!   fast-forwarded skip spans). Deliberately *different* between drivers;
+//!   trace diffs exclude this channel by default.
+//! * **fleet** — job lifecycle markers the sweep merge inserts around each
+//!   job's stream, deterministic because the merge happens in job order.
+
+/// The comparison channel an event belongs to (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// Simulated-system behaviour: identical across engine drivers.
+    Semantic,
+    /// Engine execution mechanics: differs between drivers by design.
+    Driver,
+    /// Sweep job lifecycle markers inserted by the deterministic merge.
+    Fleet,
+}
+
+/// One telemetry event, stamped with the simulation slot it happened in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The simulation slot (the primary, deterministic clock).
+    pub slot: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Builds an event.
+    pub fn new(slot: u64, kind: EventKind) -> Self {
+        Event { slot, kind }
+    }
+
+    /// The comparison channel of the event.
+    pub fn channel(&self) -> Channel {
+        self.kind.channel()
+    }
+}
+
+/// The typed payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A run began (semantic).
+    RunStart {
+        /// Number of simulated users.
+        users: u64,
+        /// Horizon length in slots.
+        slots: u64,
+        /// The policy label ([`PolicySpec::label`]-style).
+        ///
+        /// [`PolicySpec::label`]: https://docs.rs/fedco-core
+        policy: String,
+    },
+    /// A policy `decide()` returned `Schedule` for a waiting user
+    /// (semantic). Idle outcomes are counted per dense span instead — they
+    /// repeat every slot a user waits and are elided wholesale by the
+    /// event-driven driver, so they belong to the driver channel.
+    Schedule {
+        /// The user that starts training this slot.
+        user: u64,
+        /// Whether the epoch co-runs with a foreground application.
+        corun: bool,
+    },
+    /// Cumulative energy of one [`EnergyComponent`] across all users,
+    /// sampled at a telemetry sampling slot (semantic).
+    ///
+    /// [`EnergyComponent`]: https://docs.rs/fedco-device
+    Energy {
+        /// The component label (`co-running`, `training`, `app`, `idle`,
+        /// `radio`).
+        component: String,
+        /// Cumulative joules accrued into the component so far.
+        joules: f64,
+    },
+    /// The parameter server applied one asynchronous update (semantic).
+    Merge {
+        /// The uploading user.
+        user: u64,
+        /// Model staleness (lag) of the update at merge time.
+        lag: u64,
+        /// The global model version after the merge.
+        version: u64,
+    },
+    /// The parameter server applied one synchronous aggregation round
+    /// (semantic).
+    Round {
+        /// Number of participating updates.
+        participants: u64,
+        /// The global model version after the round.
+        version: u64,
+    },
+    /// A user entered the synchronous round barrier (semantic).
+    Barrier {
+        /// Depth of the server's sync buffer after the arrival.
+        depth: u64,
+    },
+    /// A run finished (semantic).
+    RunEnd {
+        /// Total updates applied to the global model.
+        updates: u64,
+        /// Total device energy of the run, in joules.
+        energy_j: f64,
+    },
+    /// A contiguous stretch of densely-executed slots ended (driver).
+    DenseSpan {
+        /// Dense slots in the stretch.
+        slots: u64,
+        /// Idle `decide()` outcomes inside the stretch.
+        idle_decisions: u64,
+    },
+    /// The event-driven driver fast-forwarded a quiescent span (driver).
+    SkipSpan {
+        /// Slots skipped in bulk.
+        slots: u64,
+    },
+    /// A fleet job's event stream begins (fleet).
+    JobStart {
+        /// Linear job index in grid order.
+        job: u64,
+        /// The scenario label of the cell.
+        scenario: String,
+        /// The policy label of the cell.
+        policy: String,
+    },
+    /// A fleet job's event stream ends (fleet).
+    JobEnd {
+        /// Linear job index in grid order.
+        job: u64,
+    },
+}
+
+impl EventKind {
+    /// The stable wire name of the event kind (the `"event"` field of the
+    /// JSONL schema).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RunStart { .. } => "run-start",
+            EventKind::Schedule { .. } => "schedule",
+            EventKind::Energy { .. } => "energy",
+            EventKind::Merge { .. } => "merge",
+            EventKind::Round { .. } => "round",
+            EventKind::Barrier { .. } => "barrier",
+            EventKind::RunEnd { .. } => "run-end",
+            EventKind::DenseSpan { .. } => "dense-span",
+            EventKind::SkipSpan { .. } => "skip-span",
+            EventKind::JobStart { .. } => "job-start",
+            EventKind::JobEnd { .. } => "job-end",
+        }
+    }
+
+    /// The comparison channel of the kind.
+    pub fn channel(&self) -> Channel {
+        match self {
+            EventKind::DenseSpan { .. } | EventKind::SkipSpan { .. } => Channel::Driver,
+            EventKind::JobStart { .. } | EventKind::JobEnd { .. } => Channel::Fleet,
+            _ => Channel::Semantic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_partition_the_kinds() {
+        let semantic = Event::new(3, EventKind::Barrier { depth: 2 });
+        assert_eq!(semantic.channel(), Channel::Semantic);
+        let driver = Event::new(3, EventKind::SkipSpan { slots: 40 });
+        assert_eq!(driver.channel(), Channel::Driver);
+        let fleet = Event::new(0, EventKind::JobEnd { job: 7 });
+        assert_eq!(fleet.channel(), Channel::Fleet);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EventKind::SkipSpan { slots: 1 }.name(), "skip-span");
+        assert_eq!(
+            EventKind::Merge {
+                user: 0,
+                lag: 0,
+                version: 1
+            }
+            .name(),
+            "merge"
+        );
+    }
+}

@@ -1,0 +1,621 @@
+//! JSONL/CSV exporters and the matching JSONL parser.
+//!
+//! The workspace is offline and zero-dependency, so there is no serde here.
+//! Every writer uses Rust's shortest round-trip `Display` formatting for
+//! numbers and a fixed field order per event kind, so `emit → parse → emit`
+//! is **byte-identical** — the schema round-trip test pins this down, and
+//! trace diffs can safely compare serialized lines.
+
+use crate::event::{Event, EventKind};
+
+/// Escapes one CSV field: quotes it when it contains a comma, quote or
+/// newline, doubling embedded quotes (RFC 4180).
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes and
+/// control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One canonical JSONL line for an event (no trailing newline).
+pub fn event_line(event: &Event) -> String {
+    let head = format!(
+        "{{\"slot\":{},\"event\":\"{}\"",
+        event.slot,
+        event.kind.name()
+    );
+    let tail = match &event.kind {
+        EventKind::RunStart {
+            users,
+            slots,
+            policy,
+        } => format!(
+            ",\"users\":{users},\"slots\":{slots},\"policy\":\"{}\"",
+            json_escape(policy)
+        ),
+        EventKind::Schedule { user, corun } => format!(",\"user\":{user},\"corun\":{corun}"),
+        EventKind::Energy { component, joules } => format!(
+            ",\"component\":\"{}\",\"joules\":{joules}",
+            json_escape(component)
+        ),
+        EventKind::Merge { user, lag, version } => {
+            format!(",\"user\":{user},\"lag\":{lag},\"version\":{version}")
+        }
+        EventKind::Round {
+            participants,
+            version,
+        } => format!(",\"participants\":{participants},\"version\":{version}"),
+        EventKind::Barrier { depth } => format!(",\"depth\":{depth}"),
+        EventKind::RunEnd { updates, energy_j } => {
+            format!(",\"updates\":{updates},\"energy_j\":{energy_j}")
+        }
+        EventKind::DenseSpan {
+            slots,
+            idle_decisions,
+        } => format!(",\"slots\":{slots},\"idle_decisions\":{idle_decisions}"),
+        EventKind::SkipSpan { slots } => format!(",\"slots\":{slots}"),
+        EventKind::JobStart {
+            job,
+            scenario,
+            policy,
+        } => format!(
+            ",\"job\":{job},\"scenario\":\"{}\",\"policy\":\"{}\"",
+            json_escape(scenario),
+            json_escape(policy)
+        ),
+        EventKind::JobEnd { job } => format!(",\"job\":{job}"),
+    };
+    format!("{head}{tail}}}")
+}
+
+/// A whole trace as JSON lines, one event per line, in stream order.
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for event in events {
+        out.push_str(&event_line(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// The CSV header of [`events_to_csv`]: the union of all event fields, with
+/// blanks where a kind has no value for a column.
+pub const EVENT_CSV_HEADER: &str = "slot,event,user,corun,component,joules,lag,version,\
+participants,depth,updates,energy_j,slots,idle_decisions,job,users,scenario,policy";
+
+/// A whole trace as CSV (wide layout: one column per possible field).
+pub fn events_to_csv(events: &[Event]) -> String {
+    let mut out = String::with_capacity((events.len() + 1) * 48);
+    out.push_str(EVENT_CSV_HEADER);
+    out.push('\n');
+    for event in events {
+        let mut cols: [String; 18] = Default::default();
+        cols[0] = event.slot.to_string();
+        cols[1] = event.kind.name().to_string();
+        match &event.kind {
+            EventKind::RunStart {
+                users,
+                slots,
+                policy,
+            } => {
+                cols[15] = users.to_string();
+                cols[12] = slots.to_string();
+                cols[17] = csv_escape(policy);
+            }
+            EventKind::Schedule { user, corun } => {
+                cols[2] = user.to_string();
+                cols[3] = corun.to_string();
+            }
+            EventKind::Energy { component, joules } => {
+                cols[4] = csv_escape(component);
+                cols[5] = joules.to_string();
+            }
+            EventKind::Merge { user, lag, version } => {
+                cols[2] = user.to_string();
+                cols[6] = lag.to_string();
+                cols[7] = version.to_string();
+            }
+            EventKind::Round {
+                participants,
+                version,
+            } => {
+                cols[8] = participants.to_string();
+                cols[7] = version.to_string();
+            }
+            EventKind::Barrier { depth } => cols[9] = depth.to_string(),
+            EventKind::RunEnd { updates, energy_j } => {
+                cols[10] = updates.to_string();
+                cols[11] = energy_j.to_string();
+            }
+            EventKind::DenseSpan {
+                slots,
+                idle_decisions,
+            } => {
+                cols[12] = slots.to_string();
+                cols[13] = idle_decisions.to_string();
+            }
+            EventKind::SkipSpan { slots } => cols[12] = slots.to_string(),
+            EventKind::JobStart {
+                job,
+                scenario,
+                policy,
+            } => {
+                cols[14] = job.to_string();
+                cols[16] = csv_escape(scenario);
+                cols[17] = csv_escape(policy);
+            }
+            EventKind::JobEnd { job } => cols[14] = job.to_string(),
+        }
+        out.push_str(&cols.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Error parsing a trace or metrics JSONL document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed value of the flat JSON-object subset the exporters emit.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    /// A (unescaped) string literal.
+    Str(String),
+    /// A number, kept as its raw token so the caller parses it into the
+    /// exact target type (`u64` stays exact, `f64` round-trips its bits).
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array of raw number tokens (histogram buckets).
+    NumArray(Vec<String>),
+}
+
+/// Parses one flat JSON object line into its key/value pairs, in document
+/// order. Only the subset the exporters emit is supported: string, number,
+/// boolean and number-array values.
+pub(crate) fn parse_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().char_indices().peekable();
+    let text = line.trim();
+    let mut pairs = Vec::new();
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("expected `{`".to_string()),
+    }
+    loop {
+        match chars.peek() {
+            Some((_, '}')) => {
+                chars.next();
+                break;
+            }
+            Some((_, ',')) if !pairs.is_empty() => {
+                chars.next();
+            }
+            Some(_) if pairs.is_empty() => {}
+            _ => return Err("expected `,` or `}`".to_string()),
+        }
+        let key = parse_string(text, &mut chars)?;
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(format!("expected `:` after key `{key}`")),
+        }
+        let value = parse_value(text, &mut chars)?;
+        pairs.push((key, value));
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after `}`".to_string());
+    }
+    Ok(pairs)
+}
+
+fn parse_value(
+    text: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<JsonValue, String> {
+    match chars.peek().copied() {
+        Some((_, '"')) => Ok(JsonValue::Str(parse_string(text, chars)?)),
+        Some((_, 't')) => {
+            expect_word(text, chars, "true")?;
+            Ok(JsonValue::Bool(true))
+        }
+        Some((_, 'f')) => {
+            expect_word(text, chars, "false")?;
+            Ok(JsonValue::Bool(false))
+        }
+        Some((_, '[')) => {
+            chars.next();
+            let mut items = Vec::new();
+            loop {
+                match chars.peek().copied() {
+                    Some((_, ']')) => {
+                        chars.next();
+                        break;
+                    }
+                    Some((_, ',')) if !items.is_empty() => {
+                        chars.next();
+                    }
+                    Some(_) if items.is_empty() => {}
+                    _ => return Err("expected `,` or `]` in array".to_string()),
+                }
+                items.push(parse_number(text, chars)?);
+            }
+            Ok(JsonValue::NumArray(items))
+        }
+        Some(_) => Ok(JsonValue::Num(parse_number(text, chars)?)),
+        None => Err("unexpected end of line".to_string()),
+    }
+}
+
+fn parse_number(
+    text: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<String, String> {
+    let start = match chars.peek().copied() {
+        Some((i, c)) if c == '-' || c.is_ascii_digit() => i,
+        _ => return Err("expected a number".to_string()),
+    };
+    let mut end = start;
+    while let Some(&(i, c)) = chars.peek() {
+        if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || c.is_ascii_digit() {
+            end = i + c.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    Ok(text[start..end].to_string())
+}
+
+fn expect_word(
+    text: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    word: &str,
+) -> Result<(), String> {
+    let start = match chars.peek() {
+        Some(&(i, _)) => i,
+        None => return Err("unexpected end of line".to_string()),
+    };
+    if text[start..].starts_with(word) {
+        for _ in 0..word.chars().count() {
+            chars.next();
+        }
+        Ok(())
+    } else {
+        Err(format!("expected `{word}`"))
+    }
+}
+
+/// Parses a JSON string literal, undoing exactly the escapes
+/// [`json_escape`] produces.
+fn parse_string(
+    text: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<String, String> {
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err("expected `\"`".to_string()),
+    }
+    let _ = text;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|(_, c)| c.to_digit(16))
+                            .ok_or_else(|| "bad \\u escape".to_string())?;
+                        code = code * 16 + d;
+                    }
+                    out.push(char::from_u32(code).ok_or_else(|| "bad \\u escape".to_string())?);
+                }
+                other => return Err(format!("bad escape `{other:?}`")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+/// Typed access to the key/value pairs of one parsed object line.
+pub(crate) struct Fields<'a> {
+    pairs: &'a [(String, JsonValue)],
+}
+
+impl<'a> Fields<'a> {
+    pub(crate) fn new(pairs: &'a [(String, JsonValue)]) -> Self {
+        Fields { pairs }
+    }
+
+    fn get(&self, key: &str) -> Result<&JsonValue, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    pub(crate) fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            JsonValue::Num(raw) => raw
+                .parse()
+                .map_err(|e| format!("field `{key}`: {e} (`{raw}`)")),
+            _ => Err(format!("field `{key}` is not a number")),
+        }
+    }
+
+    pub(crate) fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            JsonValue::Num(raw) => raw
+                .parse()
+                .map_err(|e| format!("field `{key}`: {e} (`{raw}`)")),
+            _ => Err(format!("field `{key}` is not a number")),
+        }
+    }
+
+    pub(crate) fn str(&self, key: &str) -> Result<String, String> {
+        match self.get(key)? {
+            JsonValue::Str(s) => Ok(s.clone()),
+            _ => Err(format!("field `{key}` is not a string")),
+        }
+    }
+
+    pub(crate) fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err(format!("field `{key}` is not a boolean")),
+        }
+    }
+
+    pub(crate) fn u64_array(&self, key: &str) -> Result<Vec<u64>, String> {
+        match self.get(key)? {
+            JsonValue::NumArray(raws) => raws
+                .iter()
+                .map(|raw| {
+                    raw.parse()
+                        .map_err(|e| format!("field `{key}`: {e} (`{raw}`)"))
+                })
+                .collect(),
+            _ => Err(format!("field `{key}` is not an array")),
+        }
+    }
+}
+
+/// Parses one event line (the inverse of [`event_line`]).
+pub fn parse_event_line(line: &str) -> Result<Event, String> {
+    let pairs = parse_object(line)?;
+    let fields = Fields::new(&pairs);
+    let slot = fields.u64("slot")?;
+    let name = fields.str("event")?;
+    let kind = match name.as_str() {
+        "run-start" => EventKind::RunStart {
+            users: fields.u64("users")?,
+            slots: fields.u64("slots")?,
+            policy: fields.str("policy")?,
+        },
+        "schedule" => EventKind::Schedule {
+            user: fields.u64("user")?,
+            corun: fields.bool("corun")?,
+        },
+        "energy" => EventKind::Energy {
+            component: fields.str("component")?,
+            joules: fields.f64("joules")?,
+        },
+        "merge" => EventKind::Merge {
+            user: fields.u64("user")?,
+            lag: fields.u64("lag")?,
+            version: fields.u64("version")?,
+        },
+        "round" => EventKind::Round {
+            participants: fields.u64("participants")?,
+            version: fields.u64("version")?,
+        },
+        "barrier" => EventKind::Barrier {
+            depth: fields.u64("depth")?,
+        },
+        "run-end" => EventKind::RunEnd {
+            updates: fields.u64("updates")?,
+            energy_j: fields.f64("energy_j")?,
+        },
+        "dense-span" => EventKind::DenseSpan {
+            slots: fields.u64("slots")?,
+            idle_decisions: fields.u64("idle_decisions")?,
+        },
+        "skip-span" => EventKind::SkipSpan {
+            slots: fields.u64("slots")?,
+        },
+        "job-start" => EventKind::JobStart {
+            job: fields.u64("job")?,
+            scenario: fields.str("scenario")?,
+            policy: fields.str("policy")?,
+        },
+        "job-end" => EventKind::JobEnd {
+            job: fields.u64("job")?,
+        },
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok(Event { slot, kind })
+}
+
+/// Parses a whole JSONL trace (the inverse of [`events_to_jsonl`]). Empty
+/// lines are rejected — the writers never produce them.
+pub fn parse_events_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| {
+            parse_event_line(line).map_err(|message| ParseError {
+                line: i + 1,
+                message,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_of_each() -> Vec<Event> {
+        vec![
+            Event::new(
+                0,
+                EventKind::RunStart {
+                    users: 25,
+                    slots: 10800,
+                    policy: "Online(V=1000)".to_string(),
+                },
+            ),
+            Event::new(
+                0,
+                EventKind::JobStart {
+                    job: 0,
+                    scenario: "smoke:users=3".to_string(),
+                    policy: "Online".to_string(),
+                },
+            ),
+            Event::new(
+                5,
+                EventKind::Schedule {
+                    user: 3,
+                    corun: true,
+                },
+            ),
+            Event::new(
+                60,
+                EventKind::Energy {
+                    component: "co-running".to_string(),
+                    joules: 1.0 / 3.0,
+                },
+            ),
+            Event::new(
+                61,
+                EventKind::Merge {
+                    user: 3,
+                    lag: 2,
+                    version: 7,
+                },
+            ),
+            Event::new(
+                62,
+                EventKind::Round {
+                    participants: 25,
+                    version: 8,
+                },
+            ),
+            Event::new(63, EventKind::Barrier { depth: 4 }),
+            Event::new(
+                99,
+                EventKind::DenseSpan {
+                    slots: 40,
+                    idle_decisions: 13,
+                },
+            ),
+            Event::new(100, EventKind::SkipSpan { slots: 500 }),
+            Event::new(
+                10800,
+                EventKind::RunEnd {
+                    updates: 123,
+                    energy_j: 98765.4321098765,
+                },
+            ),
+            Event::new(10800, EventKind::JobEnd { job: 0 }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_byte_identical() {
+        let events = one_of_each();
+        let first = events_to_jsonl(&events);
+        let parsed = parse_events_jsonl(&first).expect("parses");
+        assert_eq!(parsed, events);
+        let second = events_to_jsonl(&parsed);
+        assert_eq!(first, second, "emit → parse → emit must be byte-identical");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let event = Event::new(
+            1,
+            EventKind::JobStart {
+                job: 9,
+                scenario: "odd \"name\",\\ with\ttabs\nand\u{1}ctrl".to_string(),
+                policy: "Online".to_string(),
+            },
+        );
+        let line = event_line(&event);
+        assert_eq!(parse_event_line(&line).expect("parses"), event);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_events_jsonl("{\"slot\":1,\"event\":\"barrier\",\"depth\":2}\nnot json\n")
+            .expect_err("second line is bad");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().starts_with("line 2:"));
+        assert!(parse_event_line("{\"slot\":1,\"event\":\"warp\"}").is_err());
+        assert!(parse_event_line("{\"slot\":1}").is_err());
+        assert!(parse_event_line("{\"slot\":1,\"event\":\"barrier\",\"depth\":2} x").is_err());
+        assert!(parse_event_line("").is_err());
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_event() {
+        let events = one_of_each();
+        let csv = events_to_csv(&events);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), events.len() + 1);
+        assert_eq!(lines[0], EVENT_CSV_HEADER);
+        let columns = EVENT_CSV_HEADER.split(',').count();
+        // The quoted scenario cell contains commas; count on a plain row.
+        assert_eq!(lines[1].split(',').count(), columns);
+        assert!(lines[3].starts_with("5,schedule,3,true,"));
+    }
+
+    #[test]
+    fn csv_escaping_quotes_embedded_commas() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,613 @@
+//! Metrics derived deterministically from event streams.
+//!
+//! Rather than maintaining mutable counters in the hot path, metrics are a
+//! **pure function of the trace**: [`MetricsRegistry::from_trace`] folds an
+//! event stream into counters, sums, gauges and slot-histograms keyed by the
+//! existing `(scenario, policy)` labels. Because the trace is bit-identical
+//! across runs, drivers and worker counts, so is every derived metric — the
+//! registry stores everything in a `BTreeMap`, so serialization order is
+//! deterministic too.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+use crate::export::{json_escape, parse_object, Fields, ParseError};
+
+/// The label triple a metric is keyed by.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// The scenario label of the cell (`-` for a standalone run).
+    pub scenario: String,
+    /// The policy label of the cell.
+    pub policy: String,
+    /// The metric name (e.g. `merges_total`, `energy_j/radio`).
+    pub name: String,
+}
+
+impl MetricKey {
+    /// Builds a key.
+    pub fn new(scenario: &str, policy: &str, name: &str) -> Self {
+        MetricKey {
+            scenario: scenario.to_string(),
+            policy: policy.to_string(),
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A histogram of `u64` samples in power-of-two buckets.
+///
+/// Bucket `0` counts zero samples; bucket `i > 0` counts samples with
+/// `floor(log2(v)) == i - 1`, i.e. `v` in `[2^(i-1), 2^i)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotHistogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket counts, trailing empty buckets trimmed.
+    pub buckets: Vec<u64>,
+}
+
+impl SlotHistogram {
+    /// The bucket index of a sample.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = Self::bucket_of(value);
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.min = if self.count == 0 {
+            value
+        } else {
+            self.min.min(value)
+        };
+        self.max = self.max.max(value);
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &SlotHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            // fedco-audit: allow(float-reduction): integer field access, not a float accumulation
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing event count.
+    Counter(u64),
+    /// A float accumulator (added across merges).
+    Sum(f64),
+    /// A last-value-wins observation stamped with its slot. On merge, the
+    /// larger slot wins; on a tie, the later-merged side wins.
+    Gauge {
+        /// The slot of the observation.
+        slot: u64,
+        /// The observed value.
+        value: f64,
+    },
+    /// A power-of-two histogram of `u64` samples.
+    SlotHistogram(SlotHistogram),
+}
+
+impl MetricValue {
+    /// The stable wire name of the value type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Sum(_) => "sum",
+            MetricValue::Gauge { .. } => "gauge",
+            MetricValue::SlotHistogram(_) => "slot-histogram",
+        }
+    }
+
+    fn merge_from(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+            (MetricValue::Sum(a), MetricValue::Sum(b)) => *a += b,
+            (
+                MetricValue::Gauge { slot, value },
+                MetricValue::Gauge {
+                    slot: other_slot,
+                    value: other_value,
+                },
+            ) => {
+                if *other_slot >= *slot {
+                    *slot = *other_slot;
+                    *value = *other_value;
+                }
+            }
+            (MetricValue::SlotHistogram(a), MetricValue::SlotHistogram(b)) => a.merge(b),
+            // A name never changes type within one schema version; if two
+            // traces disagree, keep the left side rather than guessing.
+            (_, _) => {}
+        }
+    }
+}
+
+/// A deterministic, ordered collection of metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Derives metrics from a trace, tracking `(scenario, policy)` labels
+    /// from `job-start` / `run-start` events. Standalone run traces (no job
+    /// markers) fall under the scenario label `-`.
+    pub fn from_trace(events: &[Event]) -> Self {
+        Self::from_labeled_trace("-", "-", events)
+    }
+
+    /// Derives metrics from a trace with initial labels (used for a single
+    /// run whose cell labels are known to the caller).
+    pub fn from_labeled_trace(scenario: &str, policy: &str, events: &[Event]) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let mut scenario = scenario.to_string();
+        let mut policy = policy.to_string();
+        for event in events {
+            match &event.kind {
+                EventKind::JobStart {
+                    scenario: s,
+                    policy: p,
+                    ..
+                } => {
+                    scenario = s.clone();
+                    policy = p.clone();
+                }
+                EventKind::RunStart { policy: p, .. } => {
+                    policy = p.clone();
+                    registry.add_counter(&scenario, &policy, "runs_total", 1);
+                }
+                EventKind::Schedule { corun, .. } => {
+                    registry.add_counter(&scenario, &policy, "schedules_total", 1);
+                    if *corun {
+                        registry.add_counter(&scenario, &policy, "corun_schedules_total", 1);
+                    }
+                }
+                EventKind::Energy { component, joules } => {
+                    registry.set_gauge(
+                        &scenario,
+                        &policy,
+                        &format!("energy_j/{component}"),
+                        event.slot,
+                        *joules,
+                    );
+                }
+                EventKind::Merge { lag, version, .. } => {
+                    registry.add_counter(&scenario, &policy, "merges_total", 1);
+                    registry.record_histogram(&scenario, &policy, "merge_lag", *lag);
+                    registry.set_gauge(
+                        &scenario,
+                        &policy,
+                        "model_version",
+                        event.slot,
+                        *version as f64,
+                    );
+                }
+                EventKind::Round { version, .. } => {
+                    registry.add_counter(&scenario, &policy, "sync_rounds_total", 1);
+                    registry.set_gauge(
+                        &scenario,
+                        &policy,
+                        "model_version",
+                        event.slot,
+                        *version as f64,
+                    );
+                }
+                EventKind::Barrier { depth } => {
+                    registry.record_histogram(&scenario, &policy, "barrier_depth", *depth);
+                }
+                EventKind::RunEnd { updates, energy_j } => {
+                    registry.add_counter(&scenario, &policy, "updates_total", *updates);
+                    registry.add_sum(&scenario, &policy, "total_energy_j", *energy_j);
+                }
+                EventKind::DenseSpan {
+                    slots,
+                    idle_decisions,
+                } => {
+                    registry.add_counter(&scenario, &policy, "dense_slots_total", *slots);
+                    registry.add_counter(
+                        &scenario,
+                        &policy,
+                        "idle_decisions_total",
+                        *idle_decisions,
+                    );
+                }
+                EventKind::SkipSpan { slots } => {
+                    registry.add_counter(&scenario, &policy, "skipped_slots_total", *slots);
+                    registry.add_counter(&scenario, &policy, "skip_spans_total", 1);
+                }
+                EventKind::JobEnd { .. } => {
+                    registry.add_counter(&scenario, &policy, "jobs_total", 1);
+                }
+            }
+        }
+        registry
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add_counter(&mut self, scenario: &str, policy: &str, name: &str, delta: u64) {
+        if let MetricValue::Counter(v) = self
+            .metrics
+            .entry(MetricKey::new(scenario, policy, name))
+            .or_insert(MetricValue::Counter(0))
+        {
+            *v += delta;
+        }
+    }
+
+    /// Adds `delta` to a float sum.
+    pub fn add_sum(&mut self, scenario: &str, policy: &str, name: &str, delta: f64) {
+        if let MetricValue::Sum(v) = self
+            .metrics
+            .entry(MetricKey::new(scenario, policy, name))
+            .or_insert(MetricValue::Sum(0.0))
+        {
+            *v += delta;
+        }
+    }
+
+    /// Sets a gauge observation (last write within a walk wins).
+    pub fn set_gauge(&mut self, scenario: &str, policy: &str, name: &str, slot: u64, value: f64) {
+        self.metrics.insert(
+            MetricKey::new(scenario, policy, name),
+            MetricValue::Gauge { slot, value },
+        );
+    }
+
+    /// Records one histogram sample.
+    pub fn record_histogram(&mut self, scenario: &str, policy: &str, name: &str, value: u64) {
+        if let MetricValue::SlotHistogram(h) = self
+            .metrics
+            .entry(MetricKey::new(scenario, policy, name))
+            .or_insert_with(|| MetricValue::SlotHistogram(SlotHistogram::default()))
+        {
+            h.record(value);
+        }
+    }
+
+    /// Merges another registry into this one (counters/sums add, gauges take
+    /// the larger slot with later-merge tiebreak, histograms combine). Call
+    /// in a fixed order — job order in the fleet — for determinism.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, value) in &other.metrics {
+            match self.metrics.get_mut(key) {
+                Some(mine) => mine.merge_from(value),
+                None => {
+                    self.metrics.insert(key.clone(), value.clone());
+                }
+            }
+        }
+    }
+
+    /// Iterates metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &MetricValue)> {
+        self.metrics.iter()
+    }
+
+    /// Looks up one metric.
+    pub fn get(&self, scenario: &str, policy: &str, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(&MetricKey::new(scenario, policy, name))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Serializes the registry as JSON lines, one metric per line, in key
+    /// order. Round-trips byte-identically through [`MetricsRegistry::parse_jsonl`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in &self.metrics {
+            out.push_str(&format!(
+                "{{\"scenario\":\"{}\",\"policy\":\"{}\",\"metric\":\"{}\",\"type\":\"{}\"",
+                json_escape(&key.scenario),
+                json_escape(&key.policy),
+                json_escape(&key.name),
+                value.type_name(),
+            ));
+            match value {
+                MetricValue::Counter(v) => out.push_str(&format!(",\"value\":{v}")),
+                MetricValue::Sum(v) => out.push_str(&format!(",\"value\":{v}")),
+                MetricValue::Gauge { slot, value } => {
+                    out.push_str(&format!(",\"slot\":{slot},\"value\":{value}"))
+                }
+                MetricValue::SlotHistogram(h) => {
+                    let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+                    out.push_str(&format!(
+                        ",\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\"buckets\":[{}]",
+                        h.count,
+                        h.min,
+                        h.max,
+                        h.sum,
+                        buckets.join(",")
+                    ));
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parses the output of [`MetricsRegistry::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with the offending line number on malformed
+    /// input.
+    pub fn parse_jsonl(text: &str) -> Result<Self, ParseError> {
+        let mut registry = MetricsRegistry::new();
+        for (i, line) in text.lines().enumerate() {
+            let parse = |message: String| ParseError {
+                line: i + 1,
+                message,
+            };
+            let pairs = parse_object(line).map_err(parse)?;
+            let fields = Fields::new(&pairs);
+            let key = MetricKey {
+                scenario: fields.str("scenario").map_err(parse)?,
+                policy: fields.str("policy").map_err(parse)?,
+                name: fields.str("metric").map_err(parse)?,
+            };
+            let value = match fields.str("type").map_err(parse)?.as_str() {
+                "counter" => MetricValue::Counter(fields.u64("value").map_err(parse)?),
+                "sum" => MetricValue::Sum(fields.f64("value").map_err(parse)?),
+                "gauge" => MetricValue::Gauge {
+                    slot: fields.u64("slot").map_err(parse)?,
+                    value: fields.f64("value").map_err(parse)?,
+                },
+                "slot-histogram" => MetricValue::SlotHistogram(SlotHistogram {
+                    count: fields.u64("count").map_err(parse)?,
+                    min: fields.u64("min").map_err(parse)?,
+                    max: fields.u64("max").map_err(parse)?,
+                    sum: fields.u64("sum").map_err(parse)?,
+                    buckets: fields.u64_array("buckets").map_err(parse)?,
+                }),
+                other => return Err(parse(format!("unknown metric type `{other}`"))),
+            };
+            registry.metrics.insert(key, value);
+        }
+        Ok(registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(SlotHistogram::bucket_of(0), 0);
+        assert_eq!(SlotHistogram::bucket_of(1), 1);
+        assert_eq!(SlotHistogram::bucket_of(2), 2);
+        assert_eq!(SlotHistogram::bucket_of(3), 2);
+        assert_eq!(SlotHistogram::bucket_of(4), 3);
+        assert_eq!(SlotHistogram::bucket_of(u64::MAX), 64);
+        let mut h = SlotHistogram::default();
+        for v in [0, 1, 2, 3, 7, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 8);
+        assert_eq!(h.sum, 21);
+        assert_eq!(h.buckets, vec![1, 1, 2, 1, 1]);
+        let mut other = SlotHistogram::default();
+        other.record(1024);
+        h.merge(&other);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets.len(), 12);
+        assert!((h.mean() - (21.0 + 1024.0) / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_derivation_counts_the_expected_metrics() {
+        use crate::event::{Event, EventKind};
+        let events = vec![
+            Event::new(
+                0,
+                EventKind::JobStart {
+                    job: 0,
+                    scenario: "smoke".into(),
+                    policy: "Online".into(),
+                },
+            ),
+            Event::new(
+                0,
+                EventKind::RunStart {
+                    users: 3,
+                    slots: 100,
+                    policy: "Online".into(),
+                },
+            ),
+            Event::new(
+                2,
+                EventKind::Schedule {
+                    user: 1,
+                    corun: true,
+                },
+            ),
+            Event::new(
+                5,
+                EventKind::Schedule {
+                    user: 2,
+                    corun: false,
+                },
+            ),
+            Event::new(
+                7,
+                EventKind::Merge {
+                    user: 1,
+                    lag: 3,
+                    version: 1,
+                },
+            ),
+            Event::new(
+                30,
+                EventKind::Energy {
+                    component: "radio".into(),
+                    joules: 1.5,
+                },
+            ),
+            Event::new(
+                60,
+                EventKind::Energy {
+                    component: "radio".into(),
+                    joules: 2.5,
+                },
+            ),
+            Event::new(
+                99,
+                EventKind::DenseSpan {
+                    slots: 60,
+                    idle_decisions: 11,
+                },
+            ),
+            Event::new(100, EventKind::SkipSpan { slots: 40 }),
+            Event::new(
+                100,
+                EventKind::RunEnd {
+                    updates: 1,
+                    energy_j: 12.0,
+                },
+            ),
+            Event::new(100, EventKind::JobEnd { job: 0 }),
+        ];
+        let m = MetricsRegistry::from_trace(&events);
+        assert_eq!(
+            m.get("smoke", "Online", "schedules_total"),
+            Some(&MetricValue::Counter(2))
+        );
+        assert_eq!(
+            m.get("smoke", "Online", "corun_schedules_total"),
+            Some(&MetricValue::Counter(1))
+        );
+        assert_eq!(
+            m.get("smoke", "Online", "energy_j/radio"),
+            Some(&MetricValue::Gauge {
+                slot: 60,
+                value: 2.5
+            })
+        );
+        assert_eq!(
+            m.get("smoke", "Online", "skipped_slots_total"),
+            Some(&MetricValue::Counter(40))
+        );
+        match m.get("smoke", "Online", "merge_lag") {
+            Some(MetricValue::SlotHistogram(h)) => assert_eq!((h.count, h.max), (1, 3)),
+            other => panic!("unexpected merge_lag {other:?}"),
+        }
+        assert_eq!(
+            m.get("smoke", "Online", "jobs_total"),
+            Some(&MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn merge_adds_counters_and_keeps_latest_gauge() {
+        let mut a = MetricsRegistry::new();
+        a.add_counter("s", "p", "merges_total", 2);
+        a.set_gauge("s", "p", "model_version", 10, 4.0);
+        a.add_sum("s", "p", "total_energy_j", 1.5);
+        let mut b = MetricsRegistry::new();
+        b.add_counter("s", "p", "merges_total", 3);
+        b.set_gauge("s", "p", "model_version", 10, 9.0);
+        b.add_sum("s", "p", "total_energy_j", 2.5);
+        b.add_counter("s", "q", "merges_total", 1);
+        a.merge(&b);
+        assert_eq!(
+            a.get("s", "p", "merges_total"),
+            Some(&MetricValue::Counter(5))
+        );
+        // Equal slot: the later-merged side wins.
+        assert_eq!(
+            a.get("s", "p", "model_version"),
+            Some(&MetricValue::Gauge {
+                slot: 10,
+                value: 9.0
+            })
+        );
+        assert_eq!(
+            a.get("s", "p", "total_energy_j"),
+            Some(&MetricValue::Sum(4.0))
+        );
+        assert_eq!(
+            a.get("s", "q", "merges_total"),
+            Some(&MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_byte_identical() {
+        let mut m = MetricsRegistry::new();
+        m.add_counter("paper-default", "Online", "merges_total", 41);
+        m.set_gauge("paper-default", "Online", "energy_j/radio", 600, 1.0 / 3.0);
+        m.add_sum(
+            "paper-default",
+            "Online",
+            "total_energy_j",
+            98765.4321098765,
+        );
+        m.record_histogram("paper-default", "Online", "merge_lag", 0);
+        m.record_histogram("paper-default", "Online", "merge_lag", 5);
+        let first = m.to_jsonl();
+        let parsed = MetricsRegistry::parse_jsonl(&first).expect("parses");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.to_jsonl(), first);
+        assert!(MetricsRegistry::parse_jsonl("{\"bad\":1}\n").is_err());
+    }
+}

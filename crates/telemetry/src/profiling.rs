@@ -1,0 +1,141 @@
+//! Wall-clock profiling — the **one** module where wall time is allowed.
+//!
+//! Everything else in the workspace runs on the simulation-slot clock so
+//! results are bit-identical across machines; fedco-audit's wall-clock rule
+//! enforces that. Real-time measurements (job wall time, queue wait, worker
+//! utilization) are still useful for humans, so this module provides them —
+//! explicitly annotated for the audit, and wrapped in [`Measured`] so they
+//! are **excluded from every equality comparison** by construction instead
+//! of by per-struct ad-hoc `PartialEq` implementations.
+
+// fedco-audit: allow(wall-clock): the single annotated profiling module; measurements stay out of comparisons via Measured
+use std::time::Instant;
+
+/// A wall-clock stopwatch for profiling measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant, // fedco-audit: allow(wall-clock): profiling module
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(), // fedco-audit: allow(wall-clock): profiling module
+        }
+    }
+
+    /// Elapsed wall time in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed wall time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// A wall-clock-derived measurement that never participates in equality.
+///
+/// Two `Measured` values always compare equal, so structs carrying profiling
+/// numbers next to deterministic results can simply `#[derive(PartialEq)]`:
+/// the timing fields are transparently ignored. `Deref` keeps call sites
+/// unchanged (`summary.wall_ms + 1.0`, `rollup.wall_ms.mean()`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measured<T>(pub T);
+
+impl<T> Measured<T> {
+    /// Unwraps the measurement.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> PartialEq for Measured<T> {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl<T> std::ops::Deref for Measured<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for Measured<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: std::fmt::Display> std::fmt::Display for Measured<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T> From<T> for Measured<T> {
+    fn from(value: T) -> Self {
+        Measured(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_values_always_compare_equal() {
+        assert_eq!(Measured(1.0), Measured(2.0));
+        assert_eq!(Measured(f64::NAN), Measured(0.0));
+        #[derive(Debug, PartialEq)]
+        struct Summary {
+            updates: u64,
+            wall_ms: Measured<f64>,
+        }
+        let a = Summary {
+            updates: 7,
+            wall_ms: Measured(12.5),
+        };
+        let b = Summary {
+            updates: 7,
+            wall_ms: Measured(9000.0),
+        };
+        assert_eq!(a, b, "timing fields must not affect equality");
+        assert_ne!(
+            a,
+            Summary {
+                updates: 8,
+                wall_ms: Measured(12.5)
+            }
+        );
+    }
+
+    #[test]
+    fn measured_derefs_to_the_inner_value() {
+        let mut m = Measured(2.0_f64);
+        assert_eq!(*m + 1.0, 3.0);
+        *m = 5.0;
+        assert_eq!(m.into_inner(), 5.0);
+        assert_eq!(format!("{}", Measured(7)), "7");
+        assert_eq!(Measured::from(3_u64).0, 3);
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_ms() >= 0.0);
+        assert!(sw.elapsed_s() >= 0.0);
+        assert!(Stopwatch::default().elapsed_s() >= 0.0);
+    }
+}

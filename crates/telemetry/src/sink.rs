@@ -1,0 +1,202 @@
+//! Telemetry sinks: where events go.
+//!
+//! A sink is shared behind `Arc<dyn Telemetry>` so the engine, FL server and
+//! fleet executor can all write to the same buffer. Determinism discipline
+//! mirrors `crates/fleet/src/stats.rs`: concurrent producers each write to
+//! their **own** shard and shards are merged in a fixed order afterwards, so
+//! the merged stream never depends on thread interleaving.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// A destination for telemetry events.
+///
+/// Implementations must be cheap when disabled: call sites guard expensive
+/// payload construction behind [`Telemetry::enabled`].
+pub trait Telemetry: Send + Sync + std::fmt::Debug {
+    /// Whether this sink wants events at all. When `false`, callers skip
+    /// event construction entirely, making telemetry near-zero cost.
+    fn enabled(&self) -> bool;
+
+    /// Records one event. May be called from multiple threads; ordering
+    /// across threads is the *caller's* responsibility (use one sink per
+    /// shard and merge deterministically).
+    fn record(&self, event: Event);
+}
+
+/// The disabled sink: reports `enabled() == false` and drops everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Telemetry for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// An in-memory sink buffering events in arrival order.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl BufferSink {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BufferSink::default()
+    }
+
+    /// Creates an empty buffer behind an `Arc`, ready to hand to producers.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(BufferSink::new())
+    }
+
+    /// The single audited lock acquisition: the mutex is only poisoned if a
+    /// producer panicked mid-push, after which the trace is incomplete and
+    /// propagating the panic is the only honest response.
+    fn locked(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        // fedco-audit: allow(panic-surface): poisoned lock means a producer already panicked; propagate
+        self.events.lock().expect("telemetry buffer mutex poisoned")
+    }
+
+    /// Takes the buffered events, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.locked())
+    }
+
+    /// A copy of the buffered events.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.locked().clone()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.locked().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locked().is_empty()
+    }
+}
+
+impl Telemetry for BufferSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        self.locked().push(event);
+    }
+}
+
+/// A fixed set of per-shard buffers with a deterministic merge.
+///
+/// Each concurrent producer writes to its own shard (`shard(i)`); after all
+/// producers finish, [`ShardedSink::merged`] concatenates the shards in
+/// shard-index order. The merged stream is therefore a pure function of what
+/// each producer wrote, never of how threads interleaved — the same
+/// discipline `fleet::run_grid` uses for its result slots.
+#[derive(Debug)]
+pub struct ShardedSink {
+    shards: Vec<Arc<BufferSink>>,
+}
+
+impl ShardedSink {
+    /// Creates `shards` independent buffers.
+    pub fn new(shards: usize) -> Self {
+        ShardedSink {
+            shards: (0..shards).map(|_| BufferSink::shared()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The sink for shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range — shard handles are acquired at
+    /// setup time, so an out-of-range index is a construction bug.
+    pub fn shard(&self, index: usize) -> Arc<BufferSink> {
+        // fedco-audit: allow(panic-surface): out-of-range shard index is a setup bug, not a runtime condition
+        self.shards[index].clone()
+    }
+
+    /// Drains all shards in shard-index order into one stream.
+    pub fn merged(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.drain());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn null_sink_is_disabled_and_drops() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        sink.record(Event::new(1, EventKind::Barrier { depth: 1 }));
+    }
+
+    #[test]
+    fn buffer_sink_preserves_arrival_order() {
+        let sink = BufferSink::new();
+        assert!(sink.enabled());
+        assert!(sink.is_empty());
+        for slot in 0..5 {
+            sink.record(Event::new(slot, EventKind::Barrier { depth: slot }));
+        }
+        assert_eq!(sink.len(), 5);
+        let events = sink.drain();
+        assert!(sink.is_empty());
+        let slots: Vec<u64> = events.iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sharded_merge_is_shard_order_not_thread_order() {
+        let sink = ShardedSink::new(3);
+        assert_eq!(sink.shard_count(), 3);
+        // Write to shards out of order, as racing threads would.
+        sink.shard(2)
+            .record(Event::new(20, EventKind::Barrier { depth: 2 }));
+        sink.shard(0)
+            .record(Event::new(0, EventKind::Barrier { depth: 0 }));
+        sink.shard(1)
+            .record(Event::new(10, EventKind::Barrier { depth: 1 }));
+        let slots: Vec<u64> = sink.merged().iter().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn sharded_merge_under_real_threads_is_deterministic() {
+        let run = || {
+            let sink = ShardedSink::new(4);
+            std::thread::scope(|scope| {
+                for i in 0..4 {
+                    let shard = sink.shard(i);
+                    scope.spawn(move || {
+                        for slot in 0..50u64 {
+                            shard.record(Event::new(slot, EventKind::Barrier { depth: i as u64 }));
+                        }
+                    });
+                }
+            });
+            sink.merged()
+        };
+        assert_eq!(run(), run());
+    }
+}

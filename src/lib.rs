@@ -19,6 +19,7 @@
 //! | [`core`] | the paper's schedulers: offline knapsack DP and online drift-plus-penalty |
 //! | [`sim`] | the slotted simulator reproducing the paper's 3-hour, 25-user evaluation |
 //! | [`fleet`] | fleet-scale scenario-sweep runtime: grids, a thread-pool executor, streaming statistics, CSV/JSONL reports |
+//! | [`telemetry`] | deterministic tracing/metrics/profiling on the simulation-slot clock, plus the `fedco-trace` CLI |
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use fedco_fleet as fleet;
 pub use fedco_neural as neural;
 pub use fedco_rng as rng;
 pub use fedco_sim as sim;
+pub use fedco_telemetry as telemetry;
 
 /// One-stop imports for applications built on `fedco`.
 pub mod prelude {
@@ -55,15 +57,20 @@ pub mod prelude {
         TransportModel, WeightPredictor,
     };
     pub use fedco_fleet::prelude::{
-        deterministic_view, resolve_workers, rollup_table, run_grid, run_grid_sequential, to_csv,
-        to_jsonl, CellRollup, FieldAxis, FleetJob, FleetReport, GridError, JobCoord, JobQueue,
-        JobSummary, LinkKind, ScenarioGrid, Streaming,
+        deterministic_view, resolve_workers, rollup_table, run_grid, run_grid_sequential,
+        run_grid_traced, to_csv, to_jsonl, CellRollup, FieldAxis, FleetJob, FleetReport, GridError,
+        JobCoord, JobQueue, JobSummary, LinkKind, ScenarioGrid, Streaming, SweepTrace,
     };
     pub use fedco_neural::{
         Dataset, LeNetConfig, ParamVector, Sequential, Sgd, SgdConfig, SoftmaxCrossEntropy,
         SyntheticCifarConfig, Tensor,
     };
     pub use fedco_sim::prelude::*;
+    pub use fedco_telemetry::prelude::{
+        diff, events_to_jsonl, parse_events_jsonl, summarize as summarize_trace, BufferSink,
+        Channel, Event, EventKind, Measured, MetricKey, MetricValue, MetricsRegistry, NullSink,
+        ShardedSink, SlotClock, Stopwatch, Telemetry,
+    };
 }
 
 #[cfg(test)]
