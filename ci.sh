@@ -105,4 +105,48 @@ grep -q "unknown scenario" /tmp/fleet_sweep_err \
     || { echo "bad --scenario error does not name the token"; exit 1; }
 rm -f /tmp/fleet_sweep_err
 
+echo "==> fedco-server soak smoke: in-process determinism + TCP loopback lifecycle"
+# (a) Two in-process driver runs of a scaled server-soak scenario must
+#     produce byte-identical server telemetry, and fedco-trace must agree.
+SRV_TRACE_A=/tmp/fedco_server_trace_a.jsonl
+SRV_TRACE_B=/tmp/fedco_server_trace_b.jsonl
+timeout 120 cargo run --release --offline -q -p fedco-server --bin fedco-drive -- \
+    --scenario server-soak:users=60:slots=200 --trace "$SRV_TRACE_A" >/dev/null
+timeout 120 cargo run --release --offline -q -p fedco-server --bin fedco-drive -- \
+    --scenario server-soak:users=60:slots=200 --trace "$SRV_TRACE_B" >/dev/null
+test -s "$SRV_TRACE_A" || { echo "fedco-drive --trace wrote an empty file"; exit 1; }
+cmp -s "$SRV_TRACE_A" "$SRV_TRACE_B" \
+    || { echo "server telemetry differs across in-process soak runs"; exit 1; }
+timeout 60 cargo run --release --offline -q -p fedco-telemetry --bin fedco-trace -- \
+    diff "$SRV_TRACE_A" "$SRV_TRACE_B" >/dev/null \
+    || { echo "fedco-trace diff found a server-trace divergence"; exit 1; }
+rm -f "$SRV_TRACE_A" "$SRV_TRACE_B"
+# (b) Live loopback: start fedco-serve, run the driver over TCP with 3
+#     workers twice against the same server, then shut it down cleanly
+#     with a Shutdown frame.
+SERVE_LOG=/tmp/fedco_serve.log
+timeout 180 cargo run --release --offline -q -p fedco-server --bin fedco-serve -- \
+    --listen 127.0.0.1:0 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening=//p' "$SERVE_LOG" | head -n 1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "fedco-serve died at startup"; cat "$SERVE_LOG"; exit 1; }
+    sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "fedco-serve never reported its address"; cat "$SERVE_LOG"; exit 1; }
+timeout 120 cargo run --release --offline -q -p fedco-server --bin fedco-drive -- \
+    --scenario server-soak:users=24:slots=80 --connect "$ADDR" --workers 3 >/dev/null \
+    || { echo "first TCP driver run failed"; cat "$SERVE_LOG"; exit 1; }
+DRIVE_OUT="$(timeout 120 cargo run --release --offline -q -p fedco-server --bin fedco-drive -- \
+    --scenario server-soak:users=24:slots=80 --connect "$ADDR" --workers 3 --shutdown)" \
+    || { echo "second TCP driver run failed"; cat "$SERVE_LOG"; exit 1; }
+echo "$DRIVE_OUT" | grep -q "server-shutdown=ok" \
+    || { echo "driver did not get ShutdownOk"; echo "$DRIVE_OUT"; exit 1; }
+wait "$SERVE_PID" || { echo "fedco-serve exited non-zero"; cat "$SERVE_LOG"; exit 1; }
+grep -q "^shutdown:" "$SERVE_LOG" \
+    || { echo "fedco-serve did not print its shutdown summary"; cat "$SERVE_LOG"; exit 1; }
+rm -f "$SERVE_LOG"
+
 echo "CI green."

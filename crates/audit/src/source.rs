@@ -74,15 +74,16 @@ impl SourceFile {
     }
 
     /// Whether the file is library code in one of the determinism-critical
-    /// crates (`core`, `sim`, `fl`, `fleet`, `telemetry`) whose merged
-    /// results must be bit-identical across runs and worker counts —
+    /// crates (`core`, `sim`, `fl`, `fleet`, `telemetry`, `server`) whose
+    /// merged results must be bit-identical across runs and worker counts —
     /// telemetry traces are part of that contract: they are slot-clocked
-    /// and byte-stable by construction.
+    /// and byte-stable by construction, and the service's in-process soak
+    /// traces carry the same guarantee on its logical tick clock.
     pub fn in_determinism_critical_lib(&self) -> bool {
         self.class == FileClass::Lib
             && matches!(
                 self.crate_dir.as_str(),
-                "core" | "sim" | "fl" | "fleet" | "telemetry"
+                "core" | "sim" | "fl" | "fleet" | "telemetry" | "server"
             )
     }
 }
@@ -157,6 +158,15 @@ mod tests {
         );
         assert!(
             !SourceFile::from_rel_path("crates/telemetry/src/bin/fedco_trace.rs")
+                .in_determinism_critical_lib()
+        );
+        // The service crate's in-process traces are byte-stable, so its
+        // library code lives under the same discipline; its binaries do not.
+        assert!(
+            SourceFile::from_rel_path("crates/server/src/session.rs").in_determinism_critical_lib()
+        );
+        assert!(
+            !SourceFile::from_rel_path("crates/server/src/bin/fedco_serve.rs")
                 .in_determinism_critical_lib()
         );
     }

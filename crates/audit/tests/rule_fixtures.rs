@@ -99,6 +99,40 @@ fn wall_clock_covers_the_telemetry_crate_outside_its_profiling_module() {
     );
 }
 
+#[test]
+fn wall_clock_covers_the_server_crate_outside_its_deadline_module() {
+    // fedco-server is a *network* crate, the easiest place to smuggle wall
+    // time into determinism-critical state. Its budget is exactly one
+    // annotated module (`deadline.rs`, mirroring telemetry's profiling.rs);
+    // an `Instant` anywhere else in the crate must fire.
+    assert_fires(
+        "wall-clock",
+        "crates/server/src/session.rs",
+        "fn expire_by_wall_clock(last: std::time::Instant) -> bool { last.elapsed().as_secs() > 5 }",
+    );
+    assert_fires(
+        "wall-clock",
+        "crates/server/src/service.rs",
+        "use std::time::SystemTime;",
+    );
+    assert_fires(
+        "wall-clock",
+        "crates/server/src/bin/fedco_serve.rs",
+        "fn now() -> std::time::Instant { std::time::Instant::now() }",
+    );
+    // The deadline module's per-line allow style keeps its timers clean...
+    assert_clean(
+        "crates/server/src/deadline.rs",
+        "// fedco-audit: allow(wall-clock): the single annotated network-deadline module\nuse std::time::Instant;\npub struct Deadline {\n    start: Instant, // fedco-audit: allow(wall-clock): deadline module\n}",
+    );
+    // ...but an unannotated reading in that same module still fires.
+    assert_fires(
+        "wall-clock",
+        "crates/server/src/deadline.rs",
+        "// fedco-audit: allow(wall-clock): the single annotated network-deadline module\nuse std::time::Instant;\nfn sneak() -> Instant { Instant::now() }",
+    );
+}
+
 // ------------------------------------------------------------ unordered-iter
 
 #[test]

@@ -137,7 +137,7 @@ impl MlMode {
 }
 
 /// The names of the built-in presets, in registry order.
-pub const PRESET_NAMES: [&str; 8] = [
+pub const PRESET_NAMES: [&str; 9] = [
     "paper-default",
     "smoke",
     "ml-smoke",
@@ -146,6 +146,7 @@ pub const PRESET_NAMES: [&str; 8] = [
     "hetero-devices",
     "lte-uplink",
     "wifi-fleet",
+    "server-soak",
 ];
 
 /// The sweepable scenario fields, in canonical order. Every key is
@@ -232,6 +233,7 @@ impl ScenarioSpec {
     /// | `hetero-devices` | a phone-heavy heterogeneous fleet (3× Pixel 2 : 1× Nexus 6 : 1× Nexus 6P : 1× HiKey 970) |
     /// | `lte-uplink` | paper setting with every model exchange charged over LTE |
     /// | `wifi-fleet` | 100 users on home Wi-Fi, summary-only (the fleet-scale regime) |
+    /// | `server-soak` | 1200 churn-heavy users at p = 0.02 over 20 min, summary-only — the `fedco-server` session-churn soak fleet |
     pub fn preset(name: &str) -> Option<ScenarioSpec> {
         let mut s = ScenarioSpec::base(name);
         match name {
@@ -269,6 +271,12 @@ impl ScenarioSpec {
             "wifi-fleet" => {
                 s.users = 100;
                 s.link = LinkKind::Wifi;
+                s.traces = false;
+            }
+            "server-soak" => {
+                s.users = 1200;
+                s.slots = 1200;
+                s.arrival_p = 0.02;
                 s.traces = false;
             }
             _ => return None,

@@ -26,6 +26,7 @@ pub mod model_state;
 pub mod momentum;
 pub mod partition;
 pub mod server;
+pub mod service;
 pub mod staleness;
 pub mod transport;
 
@@ -35,5 +36,6 @@ pub use model_state::{LocalUpdate, ModelSnapshot, ModelVersion};
 pub use momentum::MomentumTracker;
 pub use partition::{partition_dataset, PartitionStrategy};
 pub use server::{ParameterServer, ServerStats, ServerTelemetry};
+pub use service::{ModelService, ModelServiceInit};
 pub use staleness::{GapAccumulator, GradientGap, Lag, WeightPredictor};
 pub use transport::{TransportModel, PAPER_MODEL_BYTES};

@@ -1,0 +1,193 @@
+//! The aggregation-service seam between the engine and a parameter server.
+//!
+//! The simulation engine only ever talks to the server through a handful of
+//! calls — download the model, query the momentum norm, apply an update (or
+//! a synchronous round), read the stats. [`ModelService`] captures exactly
+//! that surface so the in-process [`ParameterServer`] and a remote service
+//! (the `fedco-server` crate's wire-protocol client) are interchangeable:
+//! the engine is compiled against the trait and a scenario can be replayed
+//! against a live service bit-for-bit.
+
+use std::sync::Arc;
+
+use fedco_neural::tensor::TensorError;
+
+use crate::model_state::{LocalUpdate, ModelSnapshot};
+use crate::server::{ParameterServer, ServerStats, ServerTelemetry};
+use crate::staleness::Lag;
+
+use fedco_neural::model::ParamVector;
+
+use crate::aggregation::AsyncUpdateRule;
+
+/// Everything needed to construct a [`ModelService`] equivalent to the
+/// engine's default in-process [`ParameterServer`]. The engine hands this to
+/// a service factory so a remote replacement starts from the same model and
+/// aggregation rule as the server it displaces.
+#[derive(Debug, Clone)]
+pub struct ModelServiceInit {
+    /// The initial global model.
+    pub initial: ParamVector,
+    /// The asynchronous merge rule.
+    pub rule: AsyncUpdateRule,
+    /// The momentum tracker's learning rate (matches the clients').
+    pub learning_rate: f32,
+    /// The momentum tracker's decay factor β.
+    pub momentum_beta: f32,
+}
+
+impl ModelServiceInit {
+    /// Builds the default in-process server from this init.
+    pub fn into_parameter_server(self) -> ParameterServer {
+        ParameterServer::new(
+            self.initial,
+            self.rule,
+            self.learning_rate,
+            self.momentum_beta,
+        )
+    }
+}
+
+/// The aggregation surface the simulation engine requires of a parameter
+/// server. Method signatures mirror [`ParameterServer`] exactly, so the
+/// in-process server is the canonical implementation and every engine call
+/// site is implementation-agnostic.
+pub trait ModelService: Send + Sync + std::fmt::Debug {
+    /// Downloads the current global model.
+    fn download(&self) -> ModelSnapshot;
+
+    /// The L2 norm of the server-side momentum vector (Eq. 1).
+    fn momentum_norm(&self) -> f32;
+
+    /// Applies one asynchronous update; returns the lag it experienced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] when the uploaded vector has the wrong length.
+    fn apply_async(&self, update: &LocalUpdate) -> Result<Lag, TensorError>;
+
+    /// Applies one synchronous aggregation round (FedAvg).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] when no updates are supplied or lengths
+    /// mismatch.
+    fn apply_sync_round(&self, updates: &[LocalUpdate]) -> Result<(), TensorError>;
+
+    /// A copy of the current statistics.
+    fn stats(&self) -> ServerStats;
+
+    /// Attaches a telemetry sink; implementations without server-side
+    /// telemetry ignore it.
+    fn attach_telemetry(&self, telemetry: ServerTelemetry) {
+        let _ = telemetry;
+    }
+}
+
+impl ModelService for ParameterServer {
+    fn download(&self) -> ModelSnapshot {
+        ParameterServer::download(self)
+    }
+
+    fn momentum_norm(&self) -> f32 {
+        ParameterServer::momentum_norm(self)
+    }
+
+    fn apply_async(&self, update: &LocalUpdate) -> Result<Lag, TensorError> {
+        ParameterServer::apply_async(self, update)
+    }
+
+    fn apply_sync_round(&self, updates: &[LocalUpdate]) -> Result<(), TensorError> {
+        ParameterServer::apply_sync_round(self, updates)
+    }
+
+    fn stats(&self) -> ServerStats {
+        ParameterServer::stats(self)
+    }
+
+    fn attach_telemetry(&self, telemetry: ServerTelemetry) {
+        ParameterServer::attach_telemetry(self, telemetry)
+    }
+}
+
+impl<S: ModelService + ?Sized> ModelService for Arc<S> {
+    fn download(&self) -> ModelSnapshot {
+        (**self).download()
+    }
+
+    fn momentum_norm(&self) -> f32 {
+        (**self).momentum_norm()
+    }
+
+    fn apply_async(&self, update: &LocalUpdate) -> Result<Lag, TensorError> {
+        (**self).apply_async(update)
+    }
+
+    fn apply_sync_round(&self, updates: &[LocalUpdate]) -> Result<(), TensorError> {
+        (**self).apply_sync_round(updates)
+    }
+
+    fn stats(&self) -> ServerStats {
+        (**self).stats()
+    }
+
+    fn attach_telemetry(&self, telemetry: ServerTelemetry) {
+        (**self).attach_telemetry(telemetry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_state::ModelVersion;
+
+    fn init() -> ModelServiceInit {
+        ModelServiceInit {
+            initial: ParamVector::zeros(3),
+            rule: AsyncUpdateRule::Replace,
+            learning_rate: 0.1,
+            momentum_beta: 0.9,
+        }
+    }
+
+    #[test]
+    fn parameter_server_behaves_identically_through_the_trait() {
+        let direct = init().into_parameter_server();
+        let boxed: Box<dyn ModelService> = Box::new(init().into_parameter_server());
+        let update = LocalUpdate {
+            client_id: 1,
+            params: ParamVector::new(vec![1.0, 2.0, 3.0]),
+            base_version: ModelVersion::INITIAL,
+            num_samples: 10,
+            train_loss: 1.0,
+            train_accuracy: 0.5,
+        };
+        let lag_direct = direct.apply_async(&update).unwrap();
+        let lag_boxed = boxed.apply_async(&update).unwrap();
+        assert_eq!(lag_direct, lag_boxed);
+        assert_eq!(direct.download(), boxed.download());
+        assert_eq!(
+            ParameterServer::stats(&direct).async_updates,
+            boxed.stats().async_updates
+        );
+        assert_eq!(direct.momentum_norm(), boxed.momentum_norm());
+    }
+
+    #[test]
+    fn arc_forwarding_shares_one_server() {
+        let shared = Arc::new(init().into_parameter_server());
+        let service: Box<dyn ModelService> = Box::new(shared.clone());
+        service
+            .apply_async(&LocalUpdate {
+                client_id: 0,
+                params: ParamVector::new(vec![4.0, 5.0, 6.0]),
+                base_version: ModelVersion::INITIAL,
+                num_samples: 1,
+                train_loss: 0.0,
+                train_accuracy: 0.0,
+            })
+            .unwrap();
+        assert_eq!(shared.stats().async_updates, 1);
+        assert_eq!(shared.download().params.values(), &[4.0, 5.0, 6.0]);
+    }
+}

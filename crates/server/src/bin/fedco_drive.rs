@@ -1,0 +1,143 @@
+//! `fedco-drive` — replay a scenario-derived client fleet against a server.
+//!
+//! ```text
+//! cargo run --release --offline -p fedco-server --bin fedco-drive -- [flags]
+//!
+//!   --scenario SPEC   scenario the fleet is derived from (default
+//!                     server-soak); same name[:key=value...] syntax as
+//!                     fleet_sweep, e.g. server-soak:users=30:slots=120
+//!   --connect ADDR    drive a live fedco-serve over TCP at ADDR; without
+//!                     this flag the driver runs a deterministic in-process
+//!                     server instead
+//!   --workers N       TCP connections/threads, devices sharded round-robin
+//!                     (TCP mode only; default 3)
+//!   --trace PATH      in-process mode: write the server telemetry stream
+//!                     as JSON lines (byte-stable run to run)
+//!   --shutdown        TCP mode: send a Shutdown frame after the run so the
+//!                     server exits cleanly
+//! ```
+//!
+//! The run report is printed as stable `key=value` lines; in-process runs
+//! with the same scenario are bit-identical, counters, checksum, trace and
+//! all.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fedco_core::scenario::ScenarioSpec;
+use fedco_server::driver::{run_in_process, run_over_tcp, FleetDriverConfig};
+use fedco_server::protocol::Message;
+use fedco_server::transport::{TcpTransport, Transport};
+use fedco_telemetry::export::events_to_jsonl;
+
+struct Args {
+    scenario: ScenarioSpec,
+    connect: Option<String>,
+    workers: usize,
+    trace: Option<String>,
+    shutdown: bool,
+}
+
+const USAGE: &str = "usage: fedco-drive [--scenario SPEC] [--connect ADDR] [--workers N] \
+[--trace PATH] [--shutdown]";
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        scenario: ScenarioSpec::preset("server-soak")
+            .ok_or_else(|| "missing server-soak preset".to_string())?,
+        connect: None,
+        workers: 3,
+        trace: None,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--scenario" => {
+                let token = value("--scenario")?;
+                args.scenario = token
+                    .parse::<ScenarioSpec>()
+                    .map_err(|e| format!("--scenario `{token}`: {e}"))?;
+            }
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let cfg = FleetDriverConfig::from_scenario(&args.scenario);
+    println!("scenario={}", args.scenario.label());
+    println!(
+        "fleet: devices={} ticks={} max_sessions={} queue={} drain={}",
+        cfg.devices, cfg.ticks, cfg.max_sessions, cfg.queue_capacity, cfg.drain_per_tick
+    );
+    match args.connect {
+        None => {
+            let (report, events) =
+                run_in_process(&cfg).map_err(|e| format!("in-process run: {e}"))?;
+            print!("{}", report.render());
+            if let Some(path) = args.trace {
+                std::fs::write(&path, events_to_jsonl(&events))
+                    .map_err(|e| format!("writing trace {path}: {e}"))?;
+                println!("trace={path} events={}", events.len());
+            }
+        }
+        Some(addr) => {
+            if args.trace.is_some() {
+                return Err("--trace is only meaningful for in-process runs \
+                            (use fedco-serve --trace for the TCP server's stream)"
+                    .to_string());
+            }
+            let timeout = Duration::from_secs(10);
+            let report = run_over_tcp(&cfg, &addr, args.workers, timeout)
+                .map_err(|e| format!("tcp run against {addr}: {e}"))?;
+            print!("{}", report.render());
+            if args.shutdown {
+                let mut t = TcpTransport::connect(&addr, timeout)
+                    .map_err(|e| format!("shutdown connect {addr}: {e}"))?;
+                match t.request(&Message::Shutdown) {
+                    Ok(Message::ShutdownOk) => println!("server-shutdown=ok"),
+                    Ok(other) => {
+                        return Err(format!("unexpected shutdown reply `{}`", other.name()))
+                    }
+                    Err(e) => return Err(format!("shutdown request: {e}")),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(Some(args)) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("fedco-drive: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fedco-drive: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

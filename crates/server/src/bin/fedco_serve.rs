@@ -1,0 +1,310 @@
+//! `fedco-serve` — the long-running parameter-server service.
+//!
+//! ```text
+//! cargo run --release --offline -p fedco-server --bin fedco-serve -- [flags]
+//!
+//!   --listen ADDR         bind address (default 127.0.0.1:0; the chosen
+//!                         address is printed as `listening=HOST:PORT`)
+//!   --model-len N         served model length (default 8)
+//!   --seed N              0 = zero-initialised model (default); otherwise
+//!                         seeds a uniform(-1,1) initial model
+//!   --max-sessions N      session admission cap (default 1024)
+//!   --queue N             ingress queue bound; 0 = inline apply (default 64)
+//!   --drain N             queued updates applied per tick (default 8)
+//!   --heartbeat-timeout N session expiry in ticks (default 12)
+//!   --tick-every N        also advance the logical tick every N frames
+//!                         handled (default 0 = off; the ticker thread is
+//!                         the usual clock for a live server)
+//!   --tick-ms N           advance the logical tick every N milliseconds
+//!                         (default 25; 0 disables the ticker thread, in
+//!                         which case --tick-every must be > 0)
+//!   --trace PATH          write the server telemetry stream as JSON lines
+//!                         on shutdown
+//! ```
+//!
+//! One thread per connection; all of them share the one [`ServerCore`]. A
+//! `Shutdown` frame drains the ingress queue, answers `ShutdownOk`, and
+//! stops the accept loop — a clean, in-protocol exit. The process itself
+//! stays on wall-clock only for socket waits; every decision the core makes
+//! runs on its logical tick.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fedco_neural::model::ParamVector;
+use fedco_rng::rngs::SmallRng;
+use fedco_rng::{Rng, SeedableRng};
+use fedco_server::protocol::{read_frame, write_frame, Message, WireError};
+use fedco_server::service::{ServerCore, ServerCoreConfig};
+use fedco_server::session::SessionConfig;
+use fedco_telemetry::export::events_to_jsonl;
+use fedco_telemetry::sink::BufferSink;
+
+struct Args {
+    listen: String,
+    model_len: usize,
+    seed: u64,
+    max_sessions: usize,
+    queue: usize,
+    drain: usize,
+    heartbeat_timeout: u64,
+    tick_every: u64,
+    tick_ms: u64,
+    trace: Option<String>,
+}
+
+const USAGE: &str = "usage: fedco-serve [--listen ADDR] [--model-len N] [--seed N] \
+[--max-sessions N] [--queue N] [--drain N] [--heartbeat-timeout N] [--tick-every N] \
+[--tick-ms N] [--trace PATH]";
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:0".to_string(),
+        model_len: 8,
+        seed: 0,
+        max_sessions: 1024,
+        queue: 64,
+        drain: 8,
+        heartbeat_timeout: 12,
+        tick_every: 0,
+        tick_ms: 25,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--model-len" => {
+                args.model_len = value("--model-len")?
+                    .parse()
+                    .map_err(|e| format!("--model-len: {e}"))?;
+                if args.model_len == 0 {
+                    return Err("--model-len must be at least 1".to_string());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--max-sessions" => {
+                args.max_sessions = value("--max-sessions")?
+                    .parse()
+                    .map_err(|e| format!("--max-sessions: {e}"))?
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--drain" => {
+                args.drain = value("--drain")?
+                    .parse()
+                    .map_err(|e| format!("--drain: {e}"))?
+            }
+            "--heartbeat-timeout" => {
+                args.heartbeat_timeout = value("--heartbeat-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-timeout: {e}"))?
+            }
+            "--tick-every" => {
+                args.tick_every = value("--tick-every")?
+                    .parse()
+                    .map_err(|e| format!("--tick-every: {e}"))?
+            }
+            "--tick-ms" => {
+                args.tick_ms = value("--tick-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tick-ms: {e}"))?
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn initial_model(len: usize, seed: u64) -> ParamVector {
+    if seed == 0 {
+        ParamVector::zeros(len)
+    } else {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        ParamVector::new((0..len).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+    }
+}
+
+/// Serves one connection until the peer disconnects or shutdown begins.
+fn serve_connection(stream: TcpStream, core: Arc<Mutex<ServerCore>>, stop: Arc<AtomicBool>) {
+    let mut stream = stream;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    loop {
+        let msg = match read_frame(&mut stream) {
+            Ok(msg) => msg,
+            Err(WireError::TimedOut) => {
+                // Idle poll: keep waiting unless the service is going down.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(WireError::Disconnected) => return,
+            Err(e) => {
+                // Malformed frame: answer with nothing we can; log and drop.
+                eprintln!("fedco-serve: dropping connection: {e}");
+                return;
+            }
+        };
+        let reply = {
+            let mut core = match core.lock() {
+                Ok(core) => core,
+                Err(_) => return,
+            };
+            core.handle(msg)
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+        if reply == Message::ShutdownOk {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    if args.tick_ms == 0 && args.tick_every == 0 {
+        return Err("a live server needs a clock: set --tick-ms or --tick-every".to_string());
+    }
+    let sink = BufferSink::shared();
+    let mut core = ServerCore::new(ServerCoreConfig {
+        initial: initial_model(args.model_len, args.seed),
+        rule: fedco_fl::aggregation::AsyncUpdateRule::Replace,
+        learning_rate: 0.01,
+        momentum_beta: 0.9,
+        session: SessionConfig {
+            heartbeat_timeout_ticks: args.heartbeat_timeout,
+            max_sessions: args.max_sessions,
+        },
+        queue_capacity: args.queue,
+        drain_per_tick: args.drain,
+        tick_every: args.tick_every,
+    });
+    if args.trace.is_some() {
+        core.attach_telemetry(sink.clone());
+    }
+    let core = Arc::new(Mutex::new(core));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let listener =
+        TcpListener::bind(&args.listen).map_err(|e| format!("bind {}: {e}", args.listen))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    println!("listening={local}");
+    // Make sure a parent process polling our stdout sees the address now.
+    let _ = std::io::stdout().flush();
+
+    // The wall-time ticker: heartbeat expiry and queue draining keep
+    // happening on a live server even when no frames are arriving.
+    let ticker = if args.tick_ms > 0 {
+        let core = core.clone();
+        let stop = stop.clone();
+        let every = Duration::from_millis(args.tick_ms);
+        Some(std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(every);
+                if let Ok(mut core) = core.lock() {
+                    core.advance_tick();
+                }
+            }
+        }))
+    } else {
+        None
+    };
+
+    let mut workers = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let core = core.clone();
+                let stop = stop.clone();
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(stream, core, stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    if let Some(ticker) = ticker {
+        let _ = ticker.join();
+    }
+
+    let (counters, stats, version) = {
+        let core = match core.lock() {
+            Ok(core) => core,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        (core.counters(), core.stats(), core.model().0)
+    };
+    println!(
+        "shutdown: version={} async_updates={} joins_accepted={} joins_rejected={} \
+         expired={} pushes_refused={}",
+        version,
+        stats.async_updates,
+        counters.joins_accepted,
+        counters.joins_rejected,
+        counters.expired,
+        counters.pushes_refused,
+    );
+    if let Some(path) = args.trace {
+        let events = sink.drain();
+        std::fs::write(&path, events_to_jsonl(&events))
+            .map_err(|e| format!("writing trace {path}: {e}"))?;
+        println!("trace={path} events={}", events.len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(Some(args)) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("fedco-serve: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fedco-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

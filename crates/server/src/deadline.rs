@@ -1,0 +1,105 @@
+//! Wall-clock deadlines — the **one** module in this crate where wall time
+//! is allowed.
+//!
+//! Everything deterministic in `fedco-server` runs on the logical tick
+//! clock, and fedco-audit's wall-clock rule keeps it that way. Real network
+//! I/O, however, needs real deadlines: a TCP accept loop must stop polling
+//! eventually, a driver must give up connecting to a server that never came
+//! up. Those waits live here — explicitly annotated for the audit, mirroring
+//! `fedco-telemetry`'s `profiling.rs` precedent — and their readings never
+//! feed anything a determinism comparison looks at: a deadline decides only
+//! *whether to keep waiting*, never what a result contains.
+
+// fedco-audit: allow(wall-clock): the single annotated network-deadline module; readings gate waits, never results
+use std::time::{Duration, Instant};
+
+/// A fixed wall-clock budget for a network wait.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant, // fedco-audit: allow(wall-clock): deadline module
+    budget: Duration,
+}
+
+impl Deadline {
+    /// Starts a deadline of `budget` from now.
+    pub fn starting_now(budget: Duration) -> Self {
+        Deadline {
+            start: Instant::now(), // fedco-audit: allow(wall-clock): deadline module
+            budget,
+        }
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.budget
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.start.elapsed())
+    }
+}
+
+/// Calls `attempt` until it succeeds or the deadline expires, sleeping
+/// `retry_every` between failures. Returns the last error on timeout.
+///
+/// # Errors
+///
+/// The error of the final failed attempt.
+pub fn retry_until<T, E>(
+    deadline: Deadline,
+    retry_every: Duration,
+    mut attempt: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    loop {
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if deadline.expired() {
+                    return Err(e);
+                }
+                std::thread::sleep(retry_every.min(deadline.remaining()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_budget_and_eventually_expires() {
+        let d = Deadline::starting_now(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(50));
+        let z = Deadline::starting_now(Duration::ZERO);
+        assert!(z.expired());
+        assert_eq!(z.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_until_returns_first_success_or_last_error() {
+        let mut calls = 0;
+        let ok: Result<u32, &str> = retry_until(
+            Deadline::starting_now(Duration::from_secs(5)),
+            Duration::from_millis(1),
+            || {
+                calls += 1;
+                if calls >= 3 {
+                    Ok(7)
+                } else {
+                    Err("not yet")
+                }
+            },
+        );
+        assert_eq!(ok, Ok(7));
+        assert_eq!(calls, 3);
+        let err: Result<u32, &str> = retry_until(
+            Deadline::starting_now(Duration::ZERO),
+            Duration::from_millis(1),
+            || Err("always"),
+        );
+        assert_eq!(err, Err("always"));
+    }
+}

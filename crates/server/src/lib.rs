@@ -1,0 +1,46 @@
+//! `fedco-server`: a long-running parameter-server service with a std-only
+//! wire protocol, sessions, churn and backpressure.
+//!
+//! The batch simulator answers "what would this fleet do"; this crate
+//! answers "what does the aggregation side look like as a *service*". It
+//! wraps the same [`ParameterServer`] the engine uses behind:
+//!
+//! - a hand-rolled, versioned, length-prefixed binary **wire protocol**
+//!   ([`protocol`]) — explicit little-endian encode/decode, f32s carried as
+//!   bit patterns for bit-exactness, no serialization dependency;
+//! - a **session layer** ([`session`]) — join/leave, heartbeat expiry,
+//!   monotonic never-reused session ids, and a hard admission cap;
+//! - a **service core** ([`service`]) — one state machine that handles
+//!   every decoded frame, with either inline ingress (the deterministic
+//!   engine-equivalence path) or a bounded queue with explicit
+//!   backpressure refusals, all on a logical tick clock;
+//! - client **transports** ([`transport`]) — a deterministic in-process
+//!   channel that still round-trips real frames, and a `std::net` TCP
+//!   loopback transport for soak runs;
+//! - a [`RemoteModelService`] ([`remote`]) that plugs the wire into the
+//!   simulation engine's `ModelService` seam, and a scenario-derived
+//!   client-fleet [`driver`] that churns the whole stack.
+//!
+//! Everything outside the explicitly annotated [`deadline`] module runs on
+//! logical time; fedco-audit enforces that, and the in-process soak's
+//! telemetry stream is byte-stable run to run.
+//!
+//! [`ParameterServer`]: fedco_fl::ParameterServer
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod deadline;
+pub mod driver;
+pub mod protocol;
+pub mod remote;
+pub mod service;
+pub mod session;
+pub mod transport;
+
+pub use driver::{run_in_process, run_over_tcp, DriverReport, FleetDriverConfig};
+pub use protocol::{Message, Refusal, WireError, WireUpdate};
+pub use remote::RemoteModelService;
+pub use service::{ServerCore, ServerCoreConfig};
+pub use session::{ChurnCounters, SessionConfig, SessionRegistry};
+pub use transport::{ChannelTransport, TcpTransport, Transport};

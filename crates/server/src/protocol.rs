@@ -1,0 +1,794 @@
+//! The hand-rolled, length-prefixed binary wire protocol.
+//!
+//! The workspace is offline and zero-dependency, so there is no serde here:
+//! every message is encoded with explicit little-endian writes and decoded
+//! by a bounds-checked cursor that returns typed [`WireError`]s — a
+//! malformed, truncated or oversized frame can never panic the server.
+//!
+//! A frame is an 8-byte header followed by the payload:
+//!
+//! ```text
+//! [u32 LE payload length][u16 LE protocol version][u8 kind tag][u8 reserved=0][payload…]
+//! ```
+//!
+//! `f32` values travel as their IEEE-754 bit patterns (`to_bits` as u32 LE),
+//! so a model round-trips bit-for-bit — the substrate of the served-vs-batch
+//! equivalence guarantee.
+
+use std::io::{Read, Write};
+
+/// The protocol version this build speaks. A mismatched header is a typed
+/// [`WireError::BadVersion`], never a misparse.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload (16 MiB — comfortably above the paper's
+/// 2.5 MB model uploads). A larger length prefix is rejected before any
+/// allocation happens.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed wire failure. Every decode path returns one of these; none
+/// panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the frame did.
+    Truncated,
+    /// The header announced an unsupported protocol version.
+    BadVersion {
+        /// The version found in the header.
+        got: u16,
+    },
+    /// The header carried an unknown message tag.
+    BadTag {
+        /// The tag found in the header.
+        got: u8,
+    },
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+    },
+    /// The payload decoded but violated the message's invariants.
+    BadPayload(String),
+    /// The payload was longer than the message it encoded.
+    TrailingBytes,
+    /// The peer closed the connection mid-frame.
+    Disconnected,
+    /// A read or write timed out (the socket is still healthy).
+    TimedOut,
+    /// An OS-level I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (want {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::BadTag { got } => write!(f, "unknown message tag {got}"),
+            WireError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+            WireError::BadPayload(why) => write!(f, "bad payload: {why}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message payload"),
+            WireError::Disconnected => write!(f, "peer disconnected mid-frame"),
+            WireError::TimedOut => write!(f, "i/o deadline elapsed"),
+            WireError::Io(why) => write!(f, "i/o failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why the server refused a join or a push. The `u8` codes are part of the
+/// wire format; [`Refusal::label`] gives the stable human/telemetry string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The session registry is at capacity.
+    ServerFull,
+    /// The named session does not exist (never did, expired, or left).
+    UnknownSession,
+    /// The bounded ingress queue is full; retry later.
+    Backpressure,
+    /// The pushed parameter vector has the wrong length.
+    WrongModelLen,
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown,
+    /// The request was structurally valid but semantically empty/invalid.
+    BadRequest,
+}
+
+impl Refusal {
+    fn code(self) -> u8 {
+        match self {
+            Refusal::ServerFull => 1,
+            Refusal::UnknownSession => 2,
+            Refusal::Backpressure => 3,
+            Refusal::WrongModelLen => 4,
+            Refusal::ShuttingDown => 5,
+            Refusal::BadRequest => 6,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Refusal, WireError> {
+        Ok(match code {
+            1 => Refusal::ServerFull,
+            2 => Refusal::UnknownSession,
+            3 => Refusal::Backpressure,
+            4 => Refusal::WrongModelLen,
+            5 => Refusal::ShuttingDown,
+            6 => Refusal::BadRequest,
+            other => {
+                return Err(WireError::BadPayload(format!(
+                    "unknown refusal code {other}"
+                )))
+            }
+        })
+    }
+
+    /// The stable label used in telemetry events and driver reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Refusal::ServerFull => "server-full",
+            Refusal::UnknownSession => "unknown-session",
+            Refusal::Backpressure => "backpressure",
+            Refusal::WrongModelLen => "wrong-model-len",
+            Refusal::ShuttingDown => "shutting-down",
+            Refusal::BadRequest => "bad-request",
+        }
+    }
+}
+
+/// One local update as it travels on the wire. Training metrics ride along
+/// as raw bit patterns so the round-trip is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireUpdate {
+    /// The uploading client's id.
+    pub client: u64,
+    /// The model version the client trained from.
+    pub base_version: u64,
+    /// Sample count (FedAvg weighting).
+    pub num_samples: u64,
+    /// `f32::to_bits` of the reported training loss.
+    pub train_loss_bits: u32,
+    /// `f32::to_bits` of the reported training accuracy.
+    pub train_accuracy_bits: u32,
+    /// The flat parameter vector.
+    pub params: Vec<f32>,
+}
+
+/// Every message of the protocol. Requests and replies share the tag space;
+/// the session layer decides which direction a kind is valid in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: request a session.
+    Hello {
+        /// The client's self-declared id.
+        client: u64,
+    },
+    /// Server → client: session granted.
+    Welcome {
+        /// The session id to use on subsequent requests.
+        session: u64,
+        /// The current global model version.
+        model_version: u64,
+        /// The length of the global parameter vector.
+        model_len: u64,
+    },
+    /// Server → client: join refused.
+    JoinRefused {
+        /// Why.
+        reason: Refusal,
+    },
+    /// Client → server: download the global model.
+    PullModel {
+        /// The requesting session.
+        session: u64,
+    },
+    /// Server → client: the global model.
+    Model {
+        /// The global version of the snapshot.
+        version: u64,
+        /// The flat parameters.
+        params: Vec<f32>,
+    },
+    /// Client → server: one asynchronous update.
+    PushUpdate {
+        /// The pushing session.
+        session: u64,
+        /// The update.
+        update: WireUpdate,
+    },
+    /// Server → client: the update was applied inline.
+    PushApplied {
+        /// The staleness (lag) the update experienced.
+        lag: u64,
+        /// The global version after the apply.
+        version: u64,
+    },
+    /// Server → client: the update was queued for a later tick.
+    PushQueued {
+        /// Ingress-queue depth after enqueueing.
+        depth: u64,
+    },
+    /// Server → client: the update was refused (backpressure, bad session…).
+    PushRefused {
+        /// Why.
+        reason: Refusal,
+    },
+    /// Client → server: one synchronous aggregation round (Sync-SGD).
+    PushRound {
+        /// The pushing session.
+        session: u64,
+        /// The participating updates.
+        updates: Vec<WireUpdate>,
+    },
+    /// Server → client: the round was applied.
+    RoundOk {
+        /// The global version after the round.
+        version: u64,
+    },
+    /// Client → server: keep the session alive.
+    Heartbeat {
+        /// The session to touch.
+        session: u64,
+    },
+    /// Server → client: heartbeat acknowledged.
+    HeartbeatAck {
+        /// The server's current logical tick.
+        tick: u64,
+    },
+    /// Client → server: close the session cleanly.
+    Leave {
+        /// The session to close.
+        session: u64,
+    },
+    /// Server → client: session closed.
+    LeaveOk,
+    /// Client → server: query the momentum-vector norm (Eq. 1).
+    QueryNorm,
+    /// Server → client: the momentum norm as raw bits (exact round-trip).
+    NormIs {
+        /// `f32::to_bits` of the norm.
+        bits: u32,
+    },
+    /// Client → server: query the aggregation statistics.
+    QueryStats,
+    /// Server → client: the aggregation statistics.
+    StatsIs {
+        /// Total asynchronous updates applied.
+        async_updates: u64,
+        /// Total synchronous rounds applied.
+        sync_rounds: u64,
+        /// Sum of lags over applied asynchronous updates.
+        total_lag: u64,
+        /// Largest lag observed.
+        max_lag: u64,
+    },
+    /// Client → server: drain and stop the service.
+    Shutdown,
+    /// Server → client: shutdown acknowledged.
+    ShutdownOk,
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Welcome { .. } => 2,
+            Message::JoinRefused { .. } => 3,
+            Message::PullModel { .. } => 4,
+            Message::Model { .. } => 5,
+            Message::PushUpdate { .. } => 6,
+            Message::PushApplied { .. } => 7,
+            Message::PushQueued { .. } => 8,
+            Message::PushRefused { .. } => 9,
+            Message::PushRound { .. } => 10,
+            Message::RoundOk { .. } => 11,
+            Message::Heartbeat { .. } => 12,
+            Message::HeartbeatAck { .. } => 13,
+            Message::Leave { .. } => 14,
+            Message::LeaveOk => 15,
+            Message::QueryNorm => 16,
+            Message::NormIs { .. } => 17,
+            Message::QueryStats => 18,
+            Message::StatsIs { .. } => 19,
+            Message::Shutdown => 20,
+            Message::ShutdownOk => 21,
+        }
+    }
+
+    /// The stable wire name of the message kind (diagnostics only).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::Welcome { .. } => "welcome",
+            Message::JoinRefused { .. } => "join-refused",
+            Message::PullModel { .. } => "pull-model",
+            Message::Model { .. } => "model",
+            Message::PushUpdate { .. } => "push-update",
+            Message::PushApplied { .. } => "push-applied",
+            Message::PushQueued { .. } => "push-queued",
+            Message::PushRefused { .. } => "push-refused",
+            Message::PushRound { .. } => "push-round",
+            Message::RoundOk { .. } => "round-ok",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::HeartbeatAck { .. } => "heartbeat-ack",
+            Message::Leave { .. } => "leave",
+            Message::LeaveOk => "leave-ok",
+            Message::QueryNorm => "query-norm",
+            Message::NormIs { .. } => "norm-is",
+            Message::QueryStats => "query-stats",
+            Message::StatsIs { .. } => "stats-is",
+            Message::Shutdown => "shutdown",
+            Message::ShutdownOk => "shutdown-ok",
+        }
+    }
+
+    /// Encodes the message as one complete frame (header + payload).
+    pub fn to_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        frame.push(self.tag());
+        frame.push(0); // reserved
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Decodes exactly one frame from `bytes`, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any structural defect yields a typed [`WireError`].
+    pub fn from_frame(bytes: &[u8]) -> Result<Message, WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized { len });
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion { got: version });
+        }
+        let tag = bytes[6];
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() < len as usize {
+            return Err(WireError::Truncated);
+        }
+        if payload.len() > len as usize {
+            return Err(WireError::TrailingBytes);
+        }
+        Message::decode_payload(tag, payload)
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { client } => put_u64(&mut out, *client),
+            Message::Welcome {
+                session,
+                model_version,
+                model_len,
+            } => {
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *model_version);
+                put_u64(&mut out, *model_len);
+            }
+            Message::JoinRefused { reason } => out.push(reason.code()),
+            Message::PullModel { session } => put_u64(&mut out, *session),
+            Message::Model { version, params } => {
+                put_u64(&mut out, *version);
+                put_f32s(&mut out, params);
+            }
+            Message::PushUpdate { session, update } => {
+                put_u64(&mut out, *session);
+                put_update(&mut out, update);
+            }
+            Message::PushApplied { lag, version } => {
+                put_u64(&mut out, *lag);
+                put_u64(&mut out, *version);
+            }
+            Message::PushQueued { depth } => put_u64(&mut out, *depth),
+            Message::PushRefused { reason } => out.push(reason.code()),
+            Message::PushRound { session, updates } => {
+                put_u64(&mut out, *session);
+                put_u32(&mut out, updates.len() as u32);
+                for u in updates {
+                    put_update(&mut out, u);
+                }
+            }
+            Message::RoundOk { version } => put_u64(&mut out, *version),
+            Message::Heartbeat { session } => put_u64(&mut out, *session),
+            Message::HeartbeatAck { tick } => put_u64(&mut out, *tick),
+            Message::Leave { session } => put_u64(&mut out, *session),
+            Message::LeaveOk | Message::QueryNorm | Message::QueryStats => {}
+            Message::NormIs { bits } => put_u32(&mut out, *bits),
+            Message::StatsIs {
+                async_updates,
+                sync_rounds,
+                total_lag,
+                max_lag,
+            } => {
+                put_u64(&mut out, *async_updates);
+                put_u64(&mut out, *sync_rounds);
+                put_u64(&mut out, *total_lag);
+                put_u64(&mut out, *max_lag);
+            }
+            Message::Shutdown | Message::ShutdownOk => {}
+        }
+        out
+    }
+
+    fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message, WireError> {
+        let mut cur = Cursor::new(payload);
+        let msg = match tag {
+            1 => Message::Hello { client: cur.u64()? },
+            2 => Message::Welcome {
+                session: cur.u64()?,
+                model_version: cur.u64()?,
+                model_len: cur.u64()?,
+            },
+            3 => Message::JoinRefused {
+                reason: Refusal::from_code(cur.u8()?)?,
+            },
+            4 => Message::PullModel {
+                session: cur.u64()?,
+            },
+            5 => Message::Model {
+                version: cur.u64()?,
+                params: cur.f32s()?,
+            },
+            6 => Message::PushUpdate {
+                session: cur.u64()?,
+                update: cur.update()?,
+            },
+            7 => Message::PushApplied {
+                lag: cur.u64()?,
+                version: cur.u64()?,
+            },
+            8 => Message::PushQueued { depth: cur.u64()? },
+            9 => Message::PushRefused {
+                reason: Refusal::from_code(cur.u8()?)?,
+            },
+            10 => {
+                let session = cur.u64()?;
+                let count = cur.u32()? as usize;
+                // Each update is at least 32 bytes on the wire; a count the
+                // remaining payload cannot possibly hold is a lie.
+                if count > cur.remaining() / 32 {
+                    return Err(WireError::BadPayload(format!(
+                        "round of {count} updates cannot fit in {} remaining bytes",
+                        cur.remaining()
+                    )));
+                }
+                let mut updates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    updates.push(cur.update()?);
+                }
+                Message::PushRound { session, updates }
+            }
+            11 => Message::RoundOk {
+                version: cur.u64()?,
+            },
+            12 => Message::Heartbeat {
+                session: cur.u64()?,
+            },
+            13 => Message::HeartbeatAck { tick: cur.u64()? },
+            14 => Message::Leave {
+                session: cur.u64()?,
+            },
+            15 => Message::LeaveOk,
+            16 => Message::QueryNorm,
+            17 => Message::NormIs { bits: cur.u32()? },
+            18 => Message::QueryStats,
+            19 => Message::StatsIs {
+                async_updates: cur.u64()?,
+                sync_rounds: cur.u64()?,
+                total_lag: cur.u64()?,
+                max_lag: cur.u64()?,
+            },
+            20 => Message::Shutdown,
+            21 => Message::ShutdownOk,
+            other => return Err(WireError::BadTag { got: other }),
+        };
+        if cur.remaining() > 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(msg)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    put_u32(out, values.len() as u32);
+    for v in values {
+        put_u32(out, v.to_bits());
+    }
+}
+
+fn put_update(out: &mut Vec<u8>, u: &WireUpdate) {
+    put_u64(out, u.client);
+    put_u64(out, u.base_version);
+    put_u64(out, u.num_samples);
+    put_u32(out, u.train_loss_bits);
+    put_u32(out, u.train_accuracy_bits);
+    put_f32s(out, &u.params);
+}
+
+/// A bounds-checked little-endian reader over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let count = self.u32()? as usize;
+        if count > self.remaining() / 4 {
+            return Err(WireError::BadPayload(format!(
+                "vector of {count} f32s cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(f32::from_bits(self.u32()?));
+        }
+        Ok(out)
+    }
+
+    fn update(&mut self) -> Result<WireUpdate, WireError> {
+        Ok(WireUpdate {
+            client: self.u64()?,
+            base_version: self.u64()?,
+            num_samples: self.u64()?,
+            train_loss_bits: self.u32()?,
+            train_accuracy_bits: self.u32()?,
+            params: self.f32s()?,
+        })
+    }
+}
+
+/// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// Maps OS failures to [`WireError::Io`] / [`WireError::Disconnected`].
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), WireError> {
+    let frame = msg.to_frame();
+    w.write_all(&frame).map_err(map_io)?;
+    w.flush().map_err(map_io)
+}
+
+/// Reads exactly one frame from a stream.
+///
+/// # Errors
+///
+/// An EOF at a frame boundary is [`WireError::Disconnected`]; mid-frame it
+/// is also `Disconnected` (the peer vanished, nothing was truncated on our
+/// side). Header defects surface as their typed variants before the payload
+/// is read, so an oversized announcement never allocates.
+pub fn read_frame(r: &mut impl Read) -> Result<Message, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(map_io)?;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion { got: version });
+    }
+    let tag = header[6];
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(map_io)?;
+    Message::decode_payload(tag, &payload)
+}
+
+fn map_io(e: std::io::Error) -> WireError {
+    match e.kind() {
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted
+        | std::io::ErrorKind::BrokenPipe => WireError::Disconnected,
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::TimedOut,
+        _ => WireError::Io(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn one_of_each() -> Vec<Message> {
+        let update = WireUpdate {
+            client: 3,
+            base_version: 41,
+            num_samples: 128,
+            train_loss_bits: 1.25_f32.to_bits(),
+            train_accuracy_bits: 0.5_f32.to_bits(),
+            params: vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0, -0.0],
+        };
+        vec![
+            Message::Hello { client: 7 },
+            Message::Welcome {
+                session: 1,
+                model_version: 9,
+                model_len: 8,
+            },
+            Message::JoinRefused {
+                reason: Refusal::ServerFull,
+            },
+            Message::PullModel { session: 1 },
+            Message::Model {
+                version: 9,
+                params: vec![0.25, -1.0, 3.5e-12, f32::MAX],
+            },
+            Message::PushUpdate {
+                session: 1,
+                update: update.clone(),
+            },
+            Message::PushApplied {
+                lag: 2,
+                version: 10,
+            },
+            Message::PushQueued { depth: 5 },
+            Message::PushRefused {
+                reason: Refusal::Backpressure,
+            },
+            Message::PushRound {
+                session: 1,
+                updates: vec![update.clone(), update],
+            },
+            Message::RoundOk { version: 11 },
+            Message::Heartbeat { session: 1 },
+            Message::HeartbeatAck { tick: 77 },
+            Message::Leave { session: 1 },
+            Message::LeaveOk,
+            Message::QueryNorm,
+            Message::NormIs {
+                bits: 0.75_f32.to_bits(),
+            },
+            Message::QueryStats,
+            Message::StatsIs {
+                async_updates: 100,
+                sync_rounds: 2,
+                total_lag: 321,
+                max_lag: 9,
+            },
+            Message::Shutdown,
+            Message::ShutdownOk,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_a_frame() {
+        for msg in one_of_each() {
+            let frame = msg.to_frame();
+            let back = Message::from_frame(&frame)
+                .unwrap_or_else(|e| panic!("{} failed to round-trip: {e}", msg.name()));
+            assert_eq!(back, msg, "{} round-trip", msg.name());
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips_through_a_stream() {
+        let messages = one_of_each();
+        let mut stream = Vec::new();
+        for msg in &messages {
+            write_frame(&mut stream, msg).unwrap();
+        }
+        let mut reader = stream.as_slice();
+        for msg in &messages {
+            assert_eq!(&read_frame(&mut reader).unwrap(), msg);
+        }
+        assert_eq!(read_frame(&mut reader), Err(WireError::Disconnected));
+    }
+
+    #[test]
+    fn f32_bit_patterns_survive_the_wire_exactly() {
+        let weird = vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            f32::MIN_POSITIVE / 2.0, // subnormal
+        ];
+        let msg = Message::Model {
+            version: 1,
+            params: weird.clone(),
+        };
+        let back = Message::from_frame(&msg.to_frame()).unwrap();
+        match back {
+            Message::Model { params, .. } => {
+                assert_eq!(params.len(), weird.len());
+                for (a, b) in params.iter().zip(&weird) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("decoded as {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn refusal_codes_round_trip_and_labels_are_stable() {
+        for reason in [
+            Refusal::ServerFull,
+            Refusal::UnknownSession,
+            Refusal::Backpressure,
+            Refusal::WrongModelLen,
+            Refusal::ShuttingDown,
+            Refusal::BadRequest,
+        ] {
+            assert_eq!(Refusal::from_code(reason.code()), Ok(reason));
+        }
+        assert_eq!(Refusal::Backpressure.label(), "backpressure");
+        assert!(Refusal::from_code(0).is_err());
+        assert!(Refusal::from_code(200).is_err());
+    }
+
+    #[test]
+    fn header_layout_is_pinned() {
+        let frame = Message::Hello { client: 0x0102 }.to_frame();
+        assert_eq!(frame.len(), HEADER_LEN + 8);
+        assert_eq!(&frame[0..4], &8u32.to_le_bytes());
+        assert_eq!(&frame[4..6], &PROTOCOL_VERSION.to_le_bytes());
+        assert_eq!(frame[6], 1); // Hello tag
+        assert_eq!(frame[7], 0); // reserved
+        assert_eq!(&frame[8..16], &0x0102u64.to_le_bytes());
+    }
+}

@@ -1,0 +1,164 @@
+//! Client-side transports: how a request frame reaches a [`ServerCore`].
+//!
+//! [`ChannelTransport`] calls the core directly (no threads, no sockets) but
+//! still encodes every request and decodes every reply through the full wire
+//! format, so it exercises the exact bytes a socket would carry — this is
+//! the deterministic transport every test and the soak determinism check
+//! use. [`TcpTransport`] speaks the same frames over a `std::net` loopback
+//! stream with read/write timeouts for real soak runs.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, Message, WireError};
+use crate::service::ServerCore;
+
+/// A synchronous request/reply channel to a server.
+pub trait Transport: Send + std::fmt::Debug {
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Any encode/decode/I-O defect surfaces as a typed [`WireError`].
+    fn request(&mut self, msg: &Message) -> Result<Message, WireError>;
+}
+
+/// The deterministic in-process transport: requests go straight to a shared
+/// [`ServerCore`] as encoded frames.
+#[derive(Debug, Clone)]
+pub struct ChannelTransport {
+    core: Arc<Mutex<ServerCore>>,
+}
+
+impl ChannelTransport {
+    /// Wraps a shared core.
+    pub fn new(core: Arc<Mutex<ServerCore>>) -> Self {
+        ChannelTransport { core }
+    }
+
+    /// The shared core (for owners that also drive ticks).
+    pub fn core(&self) -> Arc<Mutex<ServerCore>> {
+        self.core.clone()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, ServerCore> {
+        // fedco-audit: allow(panic-surface): poisoned core mutex means a handler already panicked; propagate
+        self.core.lock().expect("server core mutex poisoned")
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn request(&mut self, msg: &Message) -> Result<Message, WireError> {
+        let reply = self.locked().handle_bytes(&msg.to_frame())?;
+        Message::from_frame(&reply)
+    }
+}
+
+/// A blocking loopback TCP transport with read/write timeouts.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` and arms both directions with `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Connection or socket-option failures map to [`WireError::Io`].
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+        TcpTransport::from_stream(stream, timeout)
+    }
+
+    /// Wraps an accepted stream (server side uses the same frame I/O).
+    ///
+    /// # Errors
+    ///
+    /// Socket-option failures map to [`WireError::Io`].
+    pub fn from_stream(stream: TcpStream, timeout: Duration) -> Result<Self, WireError> {
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, msg: &Message) -> Result<Message, WireError> {
+        write_frame(&mut self.stream, msg)?;
+        read_frame(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServerCoreConfig;
+    use fedco_neural::model::ParamVector;
+
+    #[test]
+    fn channel_transport_round_trips_through_wire_frames() {
+        let core = Arc::new(Mutex::new(ServerCore::new(
+            ServerCoreConfig::inline_with_model(ParamVector::zeros(3)),
+        )));
+        let mut t = ChannelTransport::new(core.clone());
+        let session = match t.request(&Message::Hello { client: 9 }).unwrap() {
+            Message::Welcome {
+                session, model_len, ..
+            } => {
+                assert_eq!(model_len, 3);
+                session
+            }
+            other => panic!("expected Welcome, got {}", other.name()),
+        };
+        match t.request(&Message::PullModel { session }).unwrap() {
+            Message::Model { version, params } => {
+                assert_eq!(version, 0);
+                assert_eq!(params, vec![0.0, 0.0, 0.0]);
+            }
+            other => panic!("expected Model, got {}", other.name()),
+        }
+        assert_eq!(
+            t.request(&Message::Leave { session }).unwrap(),
+            Message::LeaveOk
+        );
+        assert_eq!(core.lock().unwrap().counters().left, 1);
+    }
+
+    #[test]
+    fn tcp_transport_speaks_the_same_frames_over_loopback() {
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let core = ServerCore::new(ServerCoreConfig::inline_with_model(ParamVector::zeros(2)));
+            let core = Arc::new(Mutex::new(core));
+            let (stream, _) = listener.accept().unwrap();
+            let mut stream = stream;
+            while let Ok(msg) = read_frame(&mut stream) {
+                let is_shutdown = matches!(msg, Message::Shutdown);
+                let reply = core.lock().unwrap().handle(msg);
+                write_frame(&mut stream, &reply).unwrap();
+                if is_shutdown {
+                    break;
+                }
+            }
+        });
+        let mut t = TcpTransport::connect(&addr, Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            t.request(&Message::Hello { client: 1 }).unwrap(),
+            Message::Welcome { .. }
+        ));
+        assert_eq!(t.request(&Message::Shutdown).unwrap(), Message::ShutdownOk);
+        server.join().unwrap();
+    }
+}

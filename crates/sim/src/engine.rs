@@ -23,7 +23,8 @@ use fedco_fl::aggregation::AsyncUpdateRule;
 use fedco_fl::client::{ClientConfig, FlClient};
 use fedco_fl::model_state::LocalUpdate;
 use fedco_fl::partition::{partition_dataset, PartitionStrategy};
-use fedco_fl::server::{ParameterServer, ServerTelemetry};
+use fedco_fl::server::ServerTelemetry;
+use fedco_fl::service::{ModelService, ModelServiceInit};
 use fedco_fl::staleness::{GradientGap, Lag, WeightPredictor};
 use fedco_fl::transport::PAPER_MODEL_BYTES;
 use fedco_neural::data::{Dataset, SyntheticCifarConfig};
@@ -124,7 +125,7 @@ pub struct Simulation {
     profilers: Vec<EnergyProfiler>,
     policy: Box<dyn SchedulingPolicy>,
     offline_scheduler: OfflineScheduler,
-    server: ParameterServer,
+    server: Box<dyn ModelService>,
     predictor: WeightPredictor,
     ml: Option<MlState>,
     rng: SmallRng,
@@ -253,11 +254,14 @@ impl Simulation {
                 (initial, None)
             }
         };
-        let server = ParameterServer::new(
-            initial_params.clone(),
-            AsyncUpdateRule::Replace,
-            config.scheduler.learning_rate,
-            config.scheduler.momentum_beta,
+        let server: Box<dyn ModelService> = Box::new(
+            ModelServiceInit {
+                initial: initial_params.clone(),
+                rule: AsyncUpdateRule::Replace,
+                learning_rate: config.scheduler.learning_rate,
+                momentum_beta: config.scheduler.momentum_beta,
+            }
+            .into_parameter_server(),
         );
         let base_params = vec![initial_params; config.num_users];
 
@@ -302,6 +306,35 @@ impl Simulation {
     /// The configuration of this run.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Replaces the in-process parameter server with another
+    /// [`ModelService`] implementation (e.g. the `fedco-server` crate's
+    /// wire-protocol client). The factory receives everything needed to
+    /// start from the exact state the default server would: the initial
+    /// global model, the merge rule, and the momentum hyperparameters. Call
+    /// this straight after construction, before telemetry attachment or the
+    /// first slot — the engine's aggregation calls are otherwise identical,
+    /// so a faithful service reproduces the batch run bit-for-bit.
+    pub fn with_model_service<F>(mut self, factory: F) -> Self
+    where
+        F: FnOnce(ModelServiceInit) -> Box<dyn ModelService>,
+    {
+        let init = ModelServiceInit {
+            initial: self.server.download().params,
+            rule: AsyncUpdateRule::Replace,
+            learning_rate: self.config.scheduler.learning_rate,
+            momentum_beta: self.config.scheduler.momentum_beta,
+        };
+        self.server = factory(init);
+        self
+    }
+
+    /// A snapshot of the current global model (parameters + version). After
+    /// a run this is the final aggregated model — the bit-for-bit
+    /// equivalence surface between the batch engine and a served run.
+    pub fn model_snapshot(&self) -> fedco_fl::model_state::ModelSnapshot {
+        self.server.download()
     }
 
     /// Attaches a telemetry sink. Every slot-clocked event of the run —

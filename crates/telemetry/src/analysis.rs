@@ -22,6 +22,7 @@ pub fn summarize(events: &[Event]) -> String {
             Channel::Semantic => "semantic",
             Channel::Driver => "driver",
             Channel::Fleet => "fleet",
+            Channel::Server => "server",
         };
         *by_channel.entry(channel).or_insert(0) += 1;
         max_slot = max_slot.max(event.slot);

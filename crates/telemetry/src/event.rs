@@ -14,6 +14,11 @@
 //!   trace diffs exclude this channel by default.
 //! * **fleet** — job lifecycle markers the sweep merge inserts around each
 //!   job's stream, deterministic because the merge happens in job order.
+//! * **server** — session lifecycle and aggregation decisions of the
+//!   long-running `fedco-server` service (joins, expiries, applied/refused
+//!   pushes, round advances), stamped with the server's logical tick.
+//!   Byte-stable over the in-process transport, where the fleet driver
+//!   advances ticks in lock-step.
 
 /// The comparison channel an event belongs to (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +29,9 @@ pub enum Channel {
     Driver,
     /// Sweep job lifecycle markers inserted by the deterministic merge.
     Fleet,
+    /// Session churn and aggregation decisions of the `fedco-server`
+    /// service, on the server's logical tick clock.
+    Server,
 }
 
 /// One telemetry event, stamped with the simulation slot it happened in.
@@ -137,6 +145,48 @@ pub enum EventKind {
         /// Linear job index in grid order.
         job: u64,
     },
+    /// The service admitted a client and opened a session (server).
+    JoinAccepted {
+        /// The session id handed to the client.
+        session: u64,
+        /// The client's self-declared id.
+        client: u64,
+    },
+    /// The service refused a client's join (server).
+    JoinRejected {
+        /// The client's self-declared id.
+        client: u64,
+        /// The stable refusal label (`server-full`, `shutting-down`, …).
+        reason: String,
+    },
+    /// A session missed its heartbeat deadline and was evicted (server).
+    SessionExpired {
+        /// The expired session.
+        session: u64,
+    },
+    /// The service drained one queued update into the global model (server).
+    PushApplied {
+        /// The pushing session.
+        session: u64,
+        /// Model staleness (lag) of the update at apply time.
+        lag: u64,
+        /// The global model version after the apply.
+        version: u64,
+    },
+    /// The service refused a pushed update (server).
+    PushRefused {
+        /// The pushing session (0 when the session is unknown).
+        session: u64,
+        /// The stable refusal label (`backpressure`, `unknown-session`, …).
+        reason: String,
+    },
+    /// The service applied a synchronous aggregation round (server).
+    RoundAdvance {
+        /// The global model version after the round.
+        version: u64,
+        /// Number of participating updates.
+        participants: u64,
+    },
 }
 
 impl EventKind {
@@ -155,6 +205,12 @@ impl EventKind {
             EventKind::SkipSpan { .. } => "skip-span",
             EventKind::JobStart { .. } => "job-start",
             EventKind::JobEnd { .. } => "job-end",
+            EventKind::JoinAccepted { .. } => "join-accepted",
+            EventKind::JoinRejected { .. } => "join-rejected",
+            EventKind::SessionExpired { .. } => "session-expired",
+            EventKind::PushApplied { .. } => "push-applied",
+            EventKind::PushRefused { .. } => "push-refused",
+            EventKind::RoundAdvance { .. } => "round-advance",
         }
     }
 
@@ -163,6 +219,12 @@ impl EventKind {
         match self {
             EventKind::DenseSpan { .. } | EventKind::SkipSpan { .. } => Channel::Driver,
             EventKind::JobStart { .. } | EventKind::JobEnd { .. } => Channel::Fleet,
+            EventKind::JoinAccepted { .. }
+            | EventKind::JoinRejected { .. }
+            | EventKind::SessionExpired { .. }
+            | EventKind::PushApplied { .. }
+            | EventKind::PushRefused { .. }
+            | EventKind::RoundAdvance { .. } => Channel::Server,
             _ => Channel::Semantic,
         }
     }
@@ -180,6 +242,8 @@ mod tests {
         assert_eq!(driver.channel(), Channel::Driver);
         let fleet = Event::new(0, EventKind::JobEnd { job: 7 });
         assert_eq!(fleet.channel(), Channel::Fleet);
+        let server = Event::new(9, EventKind::SessionExpired { session: 4 });
+        assert_eq!(server.channel(), Channel::Server);
     }
 
     #[test]
@@ -193,6 +257,14 @@ mod tests {
             }
             .name(),
             "merge"
+        );
+        assert_eq!(
+            EventKind::PushRefused {
+                session: 1,
+                reason: "backpressure".to_string()
+            }
+            .name(),
+            "push-refused"
         );
     }
 }

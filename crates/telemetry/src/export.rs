@@ -83,6 +83,31 @@ pub fn event_line(event: &Event) -> String {
             json_escape(policy)
         ),
         EventKind::JobEnd { job } => format!(",\"job\":{job}"),
+        EventKind::JoinAccepted { session, client } => {
+            format!(",\"session\":{session},\"client\":{client}")
+        }
+        EventKind::JoinRejected { client, reason } => {
+            format!(
+                ",\"client\":{client},\"reason\":\"{}\"",
+                json_escape(reason)
+            )
+        }
+        EventKind::SessionExpired { session } => format!(",\"session\":{session}"),
+        EventKind::PushApplied {
+            session,
+            lag,
+            version,
+        } => format!(",\"session\":{session},\"lag\":{lag},\"version\":{version}"),
+        EventKind::PushRefused { session, reason } => {
+            format!(
+                ",\"session\":{session},\"reason\":\"{}\"",
+                json_escape(reason)
+            )
+        }
+        EventKind::RoundAdvance {
+            version,
+            participants,
+        } => format!(",\"version\":{version},\"participants\":{participants}"),
     };
     format!("{head}{tail}}}")
 }
@@ -100,7 +125,8 @@ pub fn events_to_jsonl(events: &[Event]) -> String {
 /// The CSV header of [`events_to_csv`]: the union of all event fields, with
 /// blanks where a kind has no value for a column.
 pub const EVENT_CSV_HEADER: &str = "slot,event,user,corun,component,joules,lag,version,\
-participants,depth,updates,energy_j,slots,idle_decisions,job,users,scenario,policy";
+participants,depth,updates,energy_j,slots,idle_decisions,job,users,scenario,policy,\
+session,client,reason";
 
 /// A whole trace as CSV (wide layout: one column per possible field).
 pub fn events_to_csv(events: &[Event]) -> String {
@@ -108,7 +134,7 @@ pub fn events_to_csv(events: &[Event]) -> String {
     out.push_str(EVENT_CSV_HEADER);
     out.push('\n');
     for event in events {
-        let mut cols: [String; 18] = Default::default();
+        let mut cols: [String; 21] = Default::default();
         cols[0] = event.slot.to_string();
         cols[1] = event.kind.name().to_string();
         match &event.kind {
@@ -164,6 +190,35 @@ pub fn events_to_csv(events: &[Event]) -> String {
                 cols[17] = csv_escape(policy);
             }
             EventKind::JobEnd { job } => cols[14] = job.to_string(),
+            EventKind::JoinAccepted { session, client } => {
+                cols[18] = session.to_string();
+                cols[19] = client.to_string();
+            }
+            EventKind::JoinRejected { client, reason } => {
+                cols[19] = client.to_string();
+                cols[20] = csv_escape(reason);
+            }
+            EventKind::SessionExpired { session } => cols[18] = session.to_string(),
+            EventKind::PushApplied {
+                session,
+                lag,
+                version,
+            } => {
+                cols[18] = session.to_string();
+                cols[6] = lag.to_string();
+                cols[7] = version.to_string();
+            }
+            EventKind::PushRefused { session, reason } => {
+                cols[18] = session.to_string();
+                cols[20] = csv_escape(reason);
+            }
+            EventKind::RoundAdvance {
+                version,
+                participants,
+            } => {
+                cols[7] = version.to_string();
+                cols[8] = participants.to_string();
+            }
         }
         out.push_str(&cols.join(","));
         out.push('\n');
@@ -471,6 +526,30 @@ pub fn parse_event_line(line: &str) -> Result<Event, String> {
         "job-end" => EventKind::JobEnd {
             job: fields.u64("job")?,
         },
+        "join-accepted" => EventKind::JoinAccepted {
+            session: fields.u64("session")?,
+            client: fields.u64("client")?,
+        },
+        "join-rejected" => EventKind::JoinRejected {
+            client: fields.u64("client")?,
+            reason: fields.str("reason")?,
+        },
+        "session-expired" => EventKind::SessionExpired {
+            session: fields.u64("session")?,
+        },
+        "push-applied" => EventKind::PushApplied {
+            session: fields.u64("session")?,
+            lag: fields.u64("lag")?,
+            version: fields.u64("version")?,
+        },
+        "push-refused" => EventKind::PushRefused {
+            session: fields.u64("session")?,
+            reason: fields.str("reason")?,
+        },
+        "round-advance" => EventKind::RoundAdvance {
+            version: fields.u64("version")?,
+            participants: fields.u64("participants")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     };
     Ok(Event { slot, kind })
@@ -558,6 +637,43 @@ mod tests {
                 },
             ),
             Event::new(10800, EventKind::JobEnd { job: 0 }),
+            Event::new(
+                7,
+                EventKind::JoinAccepted {
+                    session: 11,
+                    client: 3,
+                },
+            ),
+            Event::new(
+                7,
+                EventKind::JoinRejected {
+                    client: 4,
+                    reason: "server-full".to_string(),
+                },
+            ),
+            Event::new(31, EventKind::SessionExpired { session: 11 }),
+            Event::new(
+                32,
+                EventKind::PushApplied {
+                    session: 12,
+                    lag: 1,
+                    version: 9,
+                },
+            ),
+            Event::new(
+                33,
+                EventKind::PushRefused {
+                    session: 13,
+                    reason: "backpressure".to_string(),
+                },
+            ),
+            Event::new(
+                34,
+                EventKind::RoundAdvance {
+                    version: 10,
+                    participants: 6,
+                },
+            ),
         ]
     }
 

@@ -267,6 +267,39 @@ impl MetricsRegistry {
                 EventKind::JobEnd { .. } => {
                     registry.add_counter(&scenario, &policy, "jobs_total", 1);
                 }
+                EventKind::JoinAccepted { .. } => {
+                    registry.add_counter(&scenario, &policy, "joins_accepted_total", 1);
+                }
+                EventKind::JoinRejected { .. } => {
+                    registry.add_counter(&scenario, &policy, "joins_rejected_total", 1);
+                }
+                EventKind::SessionExpired { .. } => {
+                    registry.add_counter(&scenario, &policy, "sessions_expired_total", 1);
+                }
+                EventKind::PushApplied { lag, version, .. } => {
+                    registry.add_counter(&scenario, &policy, "pushes_applied_total", 1);
+                    registry.record_histogram(&scenario, &policy, "push_lag", *lag);
+                    registry.set_gauge(
+                        &scenario,
+                        &policy,
+                        "model_version",
+                        event.slot,
+                        *version as f64,
+                    );
+                }
+                EventKind::PushRefused { .. } => {
+                    registry.add_counter(&scenario, &policy, "pushes_refused_total", 1);
+                }
+                EventKind::RoundAdvance { version, .. } => {
+                    registry.add_counter(&scenario, &policy, "round_advances_total", 1);
+                    registry.set_gauge(
+                        &scenario,
+                        &policy,
+                        "model_version",
+                        event.slot,
+                        *version as f64,
+                    );
+                }
             }
         }
         registry

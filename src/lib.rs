@@ -44,6 +44,7 @@ pub use fedco_fl as fl;
 pub use fedco_fleet as fleet;
 pub use fedco_neural as neural;
 pub use fedco_rng as rng;
+pub use fedco_server as server;
 pub use fedco_sim as sim;
 pub use fedco_telemetry as telemetry;
 

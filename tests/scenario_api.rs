@@ -203,3 +203,38 @@ fn field_errors_name_the_offending_token() {
     assert!(err.contains("arrival_p=2"), "{err}");
     assert!(err.contains("[0, 1]"), "{err}");
 }
+
+#[test]
+fn server_soak_preset_is_registered_and_round_trips() {
+    // The churn-heavy service-soak scenario is a first-class preset: it is
+    // in the registry, its shape is pinned, and its label survives the
+    // spec -> label -> parse round-trip (with overrides, the syntax the
+    // fedco-drive binary accepts).
+    let spec = ScenarioSpec::preset("server-soak").expect("registered preset");
+    assert!(
+        ScenarioSpec::default_registry()
+            .iter()
+            .any(|s| s.name() == "server-soak"),
+        "server-soak missing from the default registry"
+    );
+    assert_eq!(spec.users(), 1200);
+    assert_eq!(spec.slots(), 1200);
+    assert_eq!(spec.arrival_p(), 0.02);
+    assert_eq!(spec.label(), "server-soak");
+
+    let reparsed: ScenarioSpec = spec.label().parse().expect("label parses");
+    assert_eq!(reparsed, spec);
+
+    let scaled: ScenarioSpec = "server-soak:users=30:slots=120"
+        .parse()
+        .expect("override syntax parses");
+    assert_eq!(scaled.users(), 30);
+    assert_eq!(scaled.slots(), 120);
+    assert_eq!(
+        scaled.arrival_p(),
+        0.02,
+        "non-overridden fields keep preset values"
+    );
+    let relabeled: ScenarioSpec = scaled.label().parse().expect("scaled label parses");
+    assert_eq!(relabeled, scaled);
+}
