@@ -90,6 +90,25 @@ timeout 60 cargo run --release --offline -q -p fedco-telemetry --bin fedco-trace
     || { echo "fedco-trace diff found a divergence"; exit 1; }
 rm -f "$TRACE_A" "$TRACE_B" "$METRICS_A" "$METRICS_B"
 
+echo "==> fleet_sweep sharded-engine smoke (1 vs 3 shards byte-identical)"
+SHARD_TRACE_A=/tmp/fedco_shard_trace_a.jsonl; SHARD_METRICS_A=/tmp/fedco_shard_metrics_a.jsonl
+SHARD_TRACE_B=/tmp/fedco_shard_trace_b.jsonl; SHARD_METRICS_B=/tmp/fedco_shard_metrics_b.jsonl
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --users 5 --slots 400 --shards 1 \
+    --trace "$SHARD_TRACE_A" --metrics "$SHARD_METRICS_A" >/dev/null
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --users 5 --slots 400 --shards 3 \
+    --trace "$SHARD_TRACE_B" --metrics "$SHARD_METRICS_B" >/dev/null
+test -s "$SHARD_TRACE_A" || { echo "sharded smoke wrote an empty trace"; exit 1; }
+cmp -s "$SHARD_TRACE_A" "$SHARD_TRACE_B" \
+    || { echo "trace differs between 1 and 3 engine shards"; exit 1; }
+cmp -s "$SHARD_METRICS_A" "$SHARD_METRICS_B" \
+    || { echo "metrics differ between 1 and 3 engine shards"; exit 1; }
+rm -f "$SHARD_TRACE_A" "$SHARD_TRACE_B" "$SHARD_METRICS_A" "$SHARD_METRICS_B"
+
+echo "==> shard determinism suite (1 vs N shards bit-identical)"
+cargo test -q --offline --test shard_determinism
+
 echo "==> fleet_sweep registry listings + bad-spec error paths"
 SCENARIO_LIST="$(timeout 60 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- --list-scenarios)"
 echo "$SCENARIO_LIST" | grep -q "paper-default" \

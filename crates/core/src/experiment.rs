@@ -186,6 +186,13 @@ pub struct SimConfig {
     /// [`EnergyComponent::Radio`](fedco_device::profiler::EnergyComponent).
     /// `None` reproduces the paper's accounting, which ignores the radio.
     pub transport: Option<TransportModel>,
+    /// Number of user shards the engine fans the per-user slot phases over
+    /// (fork-join, partitioned by user id). Results are byte-identical for
+    /// any shard count — sharding only changes how the work is laid out —
+    /// so this is purely a throughput knob for large fleets. A request for
+    /// more shards than users is clamped so every shard holds at least one
+    /// user; `1` (the default) runs everything inline.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -206,6 +213,7 @@ impl Default for SimConfig {
             record_user_gaps: false,
             collect_traces: true,
             transport: None,
+            shards: 1,
         }
     }
 }
@@ -282,6 +290,15 @@ impl SimConfig {
         self
     }
 
+    /// Returns a copy fanning the per-user slot phases over `shards` user
+    /// shards. Purely a throughput knob: results are byte-identical for any
+    /// shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Returns a copy configured for summary-only execution: no time series,
     /// no per-user gap samples, no power segments. This is what the fleet
     /// runtime uses so sweeps never materialize traces.
@@ -318,6 +335,9 @@ impl SimConfig {
         if self.record_every_slots == 0 {
             return Err(ConfigError::ZeroRecordEverySlots);
         }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
         self.scheduler.validate().map_err(ConfigError::Scheduler)?;
         self.policy.validate().map_err(ConfigError::Policy)?;
         if !self.devices.is_valid() {
@@ -341,6 +361,8 @@ pub enum ConfigError {
     ArrivalProbabilityOutOfRange(f64),
     /// `record_every_slots` is zero.
     ZeroRecordEverySlots,
+    /// `shards` is zero.
+    ZeroShards,
     /// A `scheduler` field is out of range (field and value attached).
     Scheduler(SchedulerConfigError),
     /// A `policy` spec parameter is out of range (spec label, parameter and
@@ -365,6 +387,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroRecordEverySlots => {
                 f.write_str("record_every_slots must be at least 1 (got 0)")
             }
+            ConfigError::ZeroShards => f.write_str("shards must be at least 1 (got 0)"),
             ConfigError::Scheduler(e) => write!(f, "{e}"),
             ConfigError::Policy(e) => write!(f, "{e}"),
             ConfigError::Devices(e) => write!(f, "devices: {e}"),

@@ -22,7 +22,7 @@ use fedco_rng::rngs::SmallRng;
 use fedco_rng::{Rng, SeedableRng};
 
 use crate::config::SchedulerConfig;
-use crate::online::{OnlineDecisionInput, OnlineScheduler, SlotOutcome};
+use crate::online::{OnlineDecisionInput, OnlineScheduler, SlotOutcome, WaitingSpanProbe};
 
 /// Identifies one of the four built-in scheduling schemes of the paper.
 ///
@@ -246,6 +246,39 @@ pub trait SchedulingPolicy: std::fmt::Debug + Send {
     fn quiescent_while_waiting(&self) -> bool {
         false
     }
+
+    /// Event-engine capability: whether this policy, despite *not* being
+    /// quiescent while users wait, can commit waiting spans in bulk through
+    /// [`fast_forward_waiting`](SchedulingPolicy::fast_forward_waiting).
+    /// Returning `true` certifies that
+    /// [`decide`](SchedulingPolicy::decide) is a pure, deterministic
+    /// function of its input and the policy's queue state (no private RNG,
+    /// no per-call side effects), so the policy can *predict* its own
+    /// decisions over a span in which the engine guarantees the only input
+    /// change is the `+ ε` idle-gap accrual. Defaults to `false` (dense
+    /// stepping, always correct).
+    fn can_fast_forward_waiting(&self) -> bool {
+        false
+    }
+
+    /// Commits up to `probe.limit` virtual slots of an engine-certified
+    /// waiting span (see [`WaitingSpanProbe`]): the policy replays its own
+    /// per-slot queue evolution exactly as the dense loop would — including
+    /// accumulating the post-step backlogs into `queue_sum`/`vq_sum` — and
+    /// returns how many slots it committed. It must stop *before* the first
+    /// slot in which any waiting user's decision would flip to schedule;
+    /// returning `0` keeps the engine dense. Only called when
+    /// [`can_fast_forward_waiting`](SchedulingPolicy::can_fast_forward_waiting)
+    /// returned `true` at run start.
+    fn fast_forward_waiting(
+        &mut self,
+        probe: &WaitingSpanProbe<'_>,
+        queue_sum: &mut f64,
+        vq_sum: &mut f64,
+    ) -> u64 {
+        let _ = (probe, queue_sum, vq_sum);
+        0
+    }
 }
 
 /// Immediate scheduling: always train as soon as the device is available.
@@ -463,9 +496,27 @@ impl SchedulingPolicy for OnlinePolicy {
     fn next_wakeup_after(&self, _slot: u64) -> Option<u64> {
         // The controller never replans and never schedules out of its own
         // clock — but its queues evolve every slot, so it must NOT declare
-        // `quiescent_while_waiting`: the engine stays dense whenever a user
-        // is waiting and replays `end_of_slot` over skipped spans otherwise.
+        // `quiescent_while_waiting`: instead it commits waiting spans
+        // itself through `fast_forward_waiting`, replaying the Eq.-15/16
+        // queue steps slot by slot.
         None
+    }
+
+    fn can_fast_forward_waiting(&self) -> bool {
+        // Eq. 21 is a pure function of the decision input and the queue
+        // backlogs, so the controller can predict its own flips over a
+        // span whose only input change is the `+ ε` gap accrual.
+        true
+    }
+
+    fn fast_forward_waiting(
+        &mut self,
+        probe: &WaitingSpanProbe<'_>,
+        queue_sum: &mut f64,
+        vq_sum: &mut f64,
+    ) -> u64 {
+        self.scheduler
+            .fast_forward_waiting(probe, queue_sum, vq_sum)
     }
 }
 

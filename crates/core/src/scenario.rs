@@ -137,7 +137,7 @@ impl MlMode {
 }
 
 /// The names of the built-in presets, in registry order.
-pub const PRESET_NAMES: [&str; 9] = [
+pub const PRESET_NAMES: [&str; 11] = [
     "paper-default",
     "smoke",
     "ml-smoke",
@@ -147,12 +147,14 @@ pub const PRESET_NAMES: [&str; 9] = [
     "lte-uplink",
     "wifi-fleet",
     "server-soak",
+    "city-scale",
+    "mega",
 ];
 
 /// The sweepable scenario fields, in canonical order. Every key is
 /// accepted by [`ScenarioSpec::set`], the `name:key=value…` CLI syntax and
 /// the scenario-file format, and any of them can back a fleet sweep axis.
-pub const FIELD_KEYS: [&str; 14] = [
+pub const FIELD_KEYS: [&str; 15] = [
     "users",
     "slots",
     "slot_seconds",
@@ -167,6 +169,7 @@ pub const FIELD_KEYS: [&str; 14] = [
     "record_every",
     "traces",
     "overhead",
+    "shards",
 ];
 
 /// A named, validated, fully-declarative description of a simulation
@@ -198,6 +201,7 @@ pub struct ScenarioSpec {
     record_every: u64,
     traces: bool,
     overhead: bool,
+    shards: usize,
 }
 
 impl ScenarioSpec {
@@ -218,6 +222,7 @@ impl ScenarioSpec {
             record_every: 60,
             traces: true,
             overhead: true,
+            shards: 1,
         }
     }
 
@@ -234,6 +239,8 @@ impl ScenarioSpec {
     /// | `lte-uplink` | paper setting with every model exchange charged over LTE |
     /// | `wifi-fleet` | 100 users on home Wi-Fi, summary-only (the fleet-scale regime) |
     /// | `server-soak` | 1200 churn-heavy users at p = 0.02 over 20 min, summary-only — the `fedco-server` session-churn soak fleet |
+    /// | `city-scale` | 120 000 users over one hour, summary-only — the struct-of-arrays throughput regime |
+    /// | `mega` | 1 000 000 users over the full 3-hour horizon, summary-only — the million-user engine regime |
     pub fn preset(name: &str) -> Option<ScenarioSpec> {
         let mut s = ScenarioSpec::base(name);
         match name {
@@ -277,6 +284,16 @@ impl ScenarioSpec {
                 s.users = 1200;
                 s.slots = 1200;
                 s.arrival_p = 0.02;
+                s.traces = false;
+            }
+            "city-scale" => {
+                s.users = 120_000;
+                s.slots = 3600;
+                s.traces = false;
+            }
+            "mega" => {
+                s.users = 1_000_000;
+                s.slots = 10_800;
                 s.traces = false;
             }
             _ => return None,
@@ -385,6 +402,11 @@ impl ScenarioSpec {
     /// Whether the online controller's decision energy is charged.
     pub fn decision_overhead(&self) -> bool {
         self.overhead
+    }
+
+    /// Number of user shards the engine fans the per-user phases over.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Records an override with canonical formatting: an existing entry for
@@ -508,6 +530,17 @@ impl ScenarioSpec {
         self
     }
 
+    /// Returns a copy fanning the per-user slot phases over `shards` user
+    /// shards. Purely a throughput knob — results are byte-identical for
+    /// any shard count — so, uniquely among the sweepable fields, it does
+    /// **not** change the semantics the label keys.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self.record("shards", shards.to_string());
+        self
+    }
+
     /// Sets one field from its textual `key=value` form — the single entry
     /// point the CLI parser, the scenario-file parser and the fleet's sweep
     /// axes all share, so each of the [`FIELD_KEYS`] is uniformly
@@ -596,6 +629,13 @@ impl ScenarioSpec {
                 *self = self.clone().with_record_every(n);
             }
             "traces" => *self = self.clone().with_traces(parse_on_off(value).map_err(bad)?),
+            "shards" => {
+                let n = value.parse::<usize>().map_err(|e| bad(e.to_string()))?;
+                if n == 0 {
+                    return Err(bad("must be at least 1".into()));
+                }
+                *self = self.clone().with_shards(n);
+            }
             "overhead" => {
                 *self = self
                     .clone()
@@ -634,6 +674,7 @@ impl ScenarioSpec {
             record_user_gaps: false,
             collect_traces: self.traces,
             transport: self.link.model(),
+            shards: self.shards,
         };
         config.validate()?;
         Ok(config)

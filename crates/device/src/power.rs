@@ -13,6 +13,8 @@
 //!
 //! The measurements in Table II satisfy `P_a' > P_a > P_b > P_d` on average.
 
+use std::sync::Arc;
+
 use crate::apps::AppKind;
 use crate::energy::{Joules, Seconds, Watts};
 use crate::profiles::DeviceProfile;
@@ -83,14 +85,24 @@ impl PowerState {
 
 /// The power model of one device: maps power states to average power draw and
 /// slot energy.
+///
+/// The profile is held behind an [`Arc`] so that large fleets of identical
+/// devices share one `DeviceProfile` allocation instead of one copy per user.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
-    profile: DeviceProfile,
+    profile: Arc<DeviceProfile>,
 }
 
 impl PowerModel {
     /// Creates a power model from a device profile.
     pub fn new(profile: DeviceProfile) -> Self {
+        PowerModel {
+            profile: Arc::new(profile),
+        }
+    }
+
+    /// Creates a power model that shares an existing profile allocation.
+    pub fn shared(profile: Arc<DeviceProfile>) -> Self {
         PowerModel { profile }
     }
 

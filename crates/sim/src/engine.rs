@@ -13,7 +13,7 @@ use fedco_rng::rngs::SmallRng;
 use fedco_rng::{Rng, SeedableRng};
 
 use fedco_core::offline::{OfflineScheduler, OfflineUser};
-use fedco_core::online::{OnlineDecisionInput, SlotOutcome};
+use fedco_core::online::{OnlineDecisionInput, SlotOutcome, WaitingSpanProbe};
 use fedco_core::policy::{SchedulingPolicy, UserSlotContext, WindowPlan};
 use fedco_core::spec::PolicyBuildContext;
 use fedco_device::energy::{Joules, Seconds};
@@ -36,8 +36,9 @@ use fedco_telemetry::sink::{BufferSink, Telemetry};
 use crate::arrivals::{ArrivalCursor, ArrivalSchedule};
 use crate::clock::SimClock;
 use crate::experiment::{ConfigError, SimConfig};
+use crate::shards::{flush_pending_lane, run_on_shards, PhaseShared, ShardCtx, ShardPlan};
 use crate::trace::{SimResult, TracePoint, UpdateEvent, UserGapPoint};
-use crate::user::{SimUser, TrainingPhase};
+use crate::user::{TrainingPhase, UserArena};
 
 /// Salt folded into the run seed before it is handed to the policy build, so
 /// policy-private random streams never alias the engine's own streams.
@@ -121,7 +122,7 @@ pub struct Simulation {
     clock: SimClock,
     arrivals: ArrivalSchedule,
     arrival_cursors: Vec<ArrivalCursor>,
-    users: Vec<SimUser>,
+    users: UserArena,
     profilers: Vec<EnergyProfiler>,
     policy: Box<dyn SchedulingPolicy>,
     offline_scheduler: OfflineScheduler,
@@ -140,10 +141,17 @@ pub struct Simulation {
     event_mode: bool,
     /// Cached [`SchedulingPolicy::quiescent_while_waiting`] for this run.
     policy_quiescent: bool,
+    /// Cached [`SchedulingPolicy::can_fast_forward_waiting`] for this run:
+    /// a non-quiescent policy that can still commit waiting spans in bulk
+    /// (the Online controller's closed-form Lyapunov evolution).
+    policy_waiting_capable: bool,
     /// Per-user pending power state not yet flushed to the profiler.
     pending_state: Vec<PowerState>,
     /// Slots accumulated in the pending state (0 = nothing pending).
     pending_slots: Vec<u64>,
+    /// The deterministic user partition the per-user slot phases fan out
+    /// over (a single full-range shard when `config.shards == 1`).
+    shard_plan: ShardPlan,
     /// Telemetry attachment (`None` when disabled — the zero-cost default).
     telemetry: Option<SimTelemetry>,
 }
@@ -177,13 +185,14 @@ impl Simulation {
             config.arrival_probability,
             config.seed,
         );
-        let users: Vec<SimUser> = (0..config.num_users)
-            .map(|i| SimUser::new(i, config.devices.device_for(i), config.scheduler.epsilon))
-            .collect();
-        let profilers: Vec<EnergyProfiler> = users
-            .iter()
-            .map(|u| {
-                let model = PowerModel::new(u.profile.clone());
+        // Struct-of-arrays user state; one shared DeviceProfile allocation
+        // per distinct device kind instead of one copy per user.
+        let users = UserArena::build(config.num_users, config.scheduler.epsilon, |i| {
+            config.devices.device_for(i)
+        });
+        let profilers: Vec<EnergyProfiler> = (0..users.len())
+            .map(|i| {
+                let model = PowerModel::shared(users.shared_profile(i));
                 if config.collect_traces {
                     EnergyProfiler::new(model)
                 } else {
@@ -268,6 +277,7 @@ impl Simulation {
         let arrival_cursors = vec![ArrivalCursor::new(); users.len()];
         let pending_state = vec![PowerState::Idle; users.len()];
         let pending_slots = vec![0u64; users.len()];
+        let shard_plan = ShardPlan::new(config.num_users, config.shards);
         let mut sim = Simulation {
             config,
             clock,
@@ -286,8 +296,10 @@ impl Simulation {
             stats: EngineStats::default(),
             event_mode: false,
             policy_quiescent: false,
+            policy_waiting_capable: false,
             pending_state,
             pending_slots,
+            shard_plan,
             telemetry: None,
         };
         // Hand the initial global model to every ML client.
@@ -441,19 +453,20 @@ impl Simulation {
         let velocity = self.velocity_norm();
         let mut window_users = Vec::new();
         let mut arrival_slot_of = std::collections::BTreeMap::new();
-        for u in &self.users {
-            if !u.is_waiting() {
+        for i in 0..self.users.len() {
+            if !self.users.is_waiting(i) {
                 continue;
             }
-            let arrival = self.arrivals.first_arrival_in_window(u.id, slot, window);
+            let profile = self.users.profile(i);
+            let arrival = self.arrivals.first_arrival_in_window(i, slot, window);
             let (arrival_s, saving_j) = match arrival {
                 Some(a) => {
-                    arrival_slot_of.insert(u.id, a.slot);
-                    let t_train = u.profile.training_time().value();
-                    let t_corun = u.profile.corun_time(a.app).value();
-                    let separate = u.profile.training_power().value() * t_train
-                        + u.profile.app_power(a.app).value() * t_corun;
-                    let corun = u.profile.corun_power(a.app).value() * t_corun;
+                    arrival_slot_of.insert(i, a.slot);
+                    let t_train = profile.training_time().value();
+                    let t_corun = profile.corun_time(a.app).value();
+                    let separate = profile.training_power().value() * t_train
+                        + profile.app_power(a.app).value() * t_corun;
+                    let corun = profile.corun_power(a.app).value() * t_corun;
                     (
                         Some(a.slot as f64 * self.config.slot_seconds),
                         separate - corun,
@@ -462,10 +475,10 @@ impl Simulation {
                 None => (None, 0.0),
             };
             window_users.push(OfflineUser {
-                id: u.id,
+                id: i,
                 ready_time_s: now_s,
                 app_arrival_s: arrival_s,
-                duration_s: u.profile.training_time().value(),
+                duration_s: profile.training_time().value(),
                 energy_saving_j: saving_j,
             });
         }
@@ -516,7 +529,7 @@ impl Simulation {
                 LocalUpdate {
                     client_id: user_id,
                     params: ParamVector::new(values),
-                    base_version: self.users[user_id].base_version,
+                    base_version: self.users.base_version[user_id],
                     num_samples: 1,
                     train_loss: 0.0,
                     train_accuracy: 0.0,
@@ -543,15 +556,12 @@ impl Simulation {
     /// user's accumulation stream in exactly the dense order, so deferral
     /// never changes the floating-point result.
     fn flush_pending(&mut self, i: usize) {
-        let slots = self.pending_slots[i];
-        if slots > 0 {
-            self.pending_slots[i] = 0;
-            self.profilers[i].record_span_lean(
-                self.pending_state[i],
-                Seconds(self.config.slot_seconds),
-                slots,
-            );
-        }
+        flush_pending_lane(
+            &mut self.profilers[i],
+            self.pending_state[i],
+            &mut self.pending_slots[i],
+            Seconds(self.config.slot_seconds),
+        );
     }
 
     /// Flushes every user's pending span (before trace snapshots and at the
@@ -562,16 +572,56 @@ impl Simulation {
         }
     }
 
-    /// Appends `slots` slots of `state` to user `i`'s pending span, flushing
-    /// first if the state changed.
-    fn pend_power(&mut self, i: usize, state: PowerState, slots: u64) {
-        if self.pending_slots[i] > 0 && self.pending_state[i] == state {
-            self.pending_slots[i] += slots;
-        } else {
-            self.flush_pending(i);
-            self.pending_state[i] = state;
-            self.pending_slots[i] = slots;
+    /// The shard plan of this simulation (one full-range shard unless the
+    /// configuration asked for more).
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.shard_plan
+    }
+
+    /// Fans `f` out over the shard contexts (disjoint per-user views of the
+    /// arena, profilers, pending spans and arrival cursors) and returns the
+    /// per-shard results in shard order. Inline for one shard, scoped
+    /// fork-join threads for more — with byte-identical results either way,
+    /// because the sharded phases touch only per-user state and never
+    /// reduce floats across users.
+    fn sharded_phase<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: for<'e> Fn(&mut ShardCtx<'e>, &PhaseShared<'e>) -> R + Sync,
+    {
+        let shared = PhaseShared {
+            arrivals: &self.arrivals,
+            clock: &self.clock,
+            slot_len: Seconds(self.config.slot_seconds),
+            event_mode: self.event_mode,
+        };
+        let bounds = self.shard_plan.bounds();
+        let views = self.users.split_lanes(bounds);
+        let mut ctxs = Vec::with_capacity(bounds.len());
+        let mut profilers = self.profilers.as_mut_slice();
+        let mut pending_state = self.pending_state.as_mut_slice();
+        let mut pending_slots = self.pending_slots.as_mut_slice();
+        let mut cursors = self.arrival_cursors.as_mut_slice();
+        for (users, range) in views.into_iter().zip(bounds) {
+            let len = range.end - range.start;
+            let (p, rest) = profilers.split_at_mut(len);
+            profilers = rest;
+            let (s, rest) = pending_state.split_at_mut(len);
+            pending_state = rest;
+            let (l, rest) = pending_slots.split_at_mut(len);
+            pending_slots = rest;
+            let (c, rest) = cursors.split_at_mut(len);
+            cursors = rest;
+            ctxs.push(ShardCtx {
+                base: range.start,
+                users,
+                profilers: p,
+                pending_state: s,
+                pending_slots: l,
+                arrival_cursors: c,
+            });
         }
+        run_on_shards(&mut ctxs, |ctx| f(ctx, &shared))
     }
 
     /// Re-downloads the global model for a user that just uploaded.
@@ -591,7 +641,7 @@ impl Simulation {
                 .expect("architectures match");
         }
         self.base_params[user_id] = snapshot.params;
-        self.users[user_id].become_waiting(snapshot.version);
+        self.users.become_waiting(user_id, snapshot.version);
     }
 
     /// Evaluates the current global model on the held-out test set.
@@ -649,6 +699,7 @@ impl Simulation {
         self.stats = EngineStats::default();
         self.event_mode = event_mode;
         self.policy_quiescent = self.policy.quiescent_while_waiting();
+        self.policy_waiting_capable = self.policy.can_fast_forward_waiting();
         self.pending_slots.iter_mut().for_each(|s| *s = 0);
         if let Some(t) = self.telemetry.as_mut() {
             t.dense_span = 0;
@@ -688,22 +739,17 @@ impl Simulation {
                 self.plan_offline_window(slot);
             }
 
-            // (1) Application arrivals (ignored while another app runs). The
-            // per-user cursor makes this O(1) amortized instead of a rescan
-            // of the user's whole arrival vector every slot.
-            for i in 0..self.users.len() {
-                if self.users[i].app_running() {
-                    continue;
-                }
-                let arrival = self.arrival_cursors[i]
-                    .next_at_or_after(&self.arrivals, i, slot)
-                    .filter(|a| a.slot == slot);
-                if let Some(arrival) = arrival {
-                    let duration = self.users[i].profile.corun_time(arrival.app).value();
-                    let slots = self.clock.slots_for(duration);
-                    self.users[i].start_app(arrival.app, slots);
-                }
-            }
+            // (1) Application arrivals (ignored while another app runs),
+            // fused with the phase census — arrivals never change `phase`,
+            // so counting per shard right after its arrivals is identical
+            // to a separate full pass. The per-user cursor makes arrivals
+            // O(1) amortized instead of a rescan of the user's whole
+            // arrival vector every slot; the census merge is an integer
+            // sum, exact in any order.
+            let census = self.sharded_phase(|ctx, sh| {
+                ctx.phase_arrivals(sh, slot);
+                ctx.phase_census()
+            });
 
             // (2) Scheduling decisions for waiting users.
             //
@@ -714,12 +760,9 @@ impl Simulation {
             // the total outstanding waiting work in user-slots, which is what
             // the Eq.-22 threshold `Q ≥ V·t_d·ΔP` acts on.
             let (mut training_now, mut waiting_at_start) = (0u64, 0usize);
-            for u in &self.users {
-                if u.is_training() {
-                    training_now += 1;
-                } else if u.is_waiting() {
-                    waiting_at_start += 1;
-                }
+            for (training, waiting) in census {
+                training_now += training;
+                waiting_at_start += waiting;
             }
             // The momentum norm only feeds the decision inputs of waiting
             // users; with nobody waiting it is dead weight (an O(params)
@@ -731,20 +774,21 @@ impl Simulation {
             };
             let mut scheduled_count = 0usize;
             let mut drained_wait_slots = 0usize;
+            // The momentum-predicted gap only depends on slot-wide state
+            // (training count and velocity), so it is hoisted out of the
+            // per-user loop — bit-identical to recomputing it per user.
+            let predicted = self
+                .predictor
+                .predict_gap(Lag(training_now.max(1)), velocity);
             for i in 0..self.users.len() {
-                if !self.users[i].is_waiting() {
+                if !self.users.is_waiting(i) {
                     continue;
                 }
-                let status = self.users[i].app_status();
-                self.users[i].last_decision_app = Some(status);
-                let predicted = self
-                    .predictor
-                    .predict_gap(Lag(training_now.max(1)), velocity);
-                let idle_gap = GradientGap(
-                    self.users[i].gap.current().value() + self.config.scheduler.epsilon,
-                );
+                let status = self.users.app_status(i);
+                self.users.last_decision_app[i] = Some(status);
+                let idle_gap = GradientGap(self.users.gap[i] + self.config.scheduler.epsilon);
                 let input = OnlineDecisionInput::from_profile(
-                    &self.users[i].profile,
+                    self.users.profile(i),
                     status,
                     predicted,
                     idle_gap,
@@ -761,9 +805,8 @@ impl Simulation {
                 // controller; the baselines decide for free).
                 let overhead_fraction = self.policy.decision_energy_overhead();
                 if self.config.decision_overhead && overhead_fraction > 0.0 {
-                    let extra = (self.users[i].profile.decision_power_w
-                        - self.users[i].profile.idle_power_w)
-                        .max(0.0)
+                    let profile = self.users.profile(i);
+                    let extra = (profile.decision_power_w - profile.idle_power_w).max(0.0)
                         * overhead_fraction;
                     self.flush_pending(i);
                     self.profilers[i]
@@ -773,13 +816,13 @@ impl Simulation {
                     SlotDecision::Schedule => {
                         let corunning = status.is_app();
                         let duration_s = match status {
-                            AppStatus::App(app) => self.users[i].profile.corun_time(app).value(),
-                            AppStatus::NoApp => self.users[i].profile.training_time().value(),
+                            AppStatus::App(app) => self.users.profile(i).corun_time(app).value(),
+                            AppStatus::NoApp => self.users.profile(i).training_time().value(),
                         };
                         let slots = self.clock.slots_for(duration_s);
-                        drained_wait_slots += self.users[i].current_wait_slots as usize + 1;
-                        self.users[i].start_training(slots, corunning);
-                        self.users[i].gap.schedule(predicted);
+                        drained_wait_slots += self.users.current_wait_slots[i] as usize + 1;
+                        self.users.start_training(i, slots, corunning);
+                        self.users.gap_schedule(i, predicted);
                         scheduled_count += 1;
                         self.policy.notify_scheduled(i);
                         // Schedule outcomes always happen at dense slots in
@@ -795,7 +838,7 @@ impl Simulation {
                         }
                     }
                     SlotDecision::Idle => {
-                        self.users[i].gap.idle_slot();
+                        self.users.gap_idle_slot(i);
                         // Idle outcomes repeat every waiting slot and are
                         // elided wholesale by event-driven skips: counted
                         // into the driver channel, never emitted per slot.
@@ -806,35 +849,21 @@ impl Simulation {
                 }
             }
 
-            // (3) Energy accounting. The event driver defers each user's
-            // slot into a pending span flushed on state changes (batching
-            // the identical per-slot additions); the dense reference
-            // records eagerly.
-            if self.event_mode {
-                for i in 0..self.users.len() {
-                    let state = self.users[i].power_state();
-                    self.pend_power(i, state, 1);
-                }
-            } else {
-                for (u, prof) in self.users.iter().zip(self.profilers.iter_mut()) {
-                    prof.record(u.power_state(), slot_len);
-                }
-            }
-
-            // (4) Advance timers; collect completed epochs.
-            let mut completed: Vec<(usize, bool)> = Vec::new();
-            for u in self.users.iter_mut() {
-                let corunning = matches!(
-                    u.phase,
-                    TrainingPhase::Training {
-                        corunning: true,
-                        ..
-                    }
-                );
-                if u.tick() {
-                    completed.push((u.id, corunning));
-                }
-            }
+            // (3) Energy accounting and (4) timer advance, fused per shard
+            // (power of one user never feeds another user's tick). The
+            // event driver defers each user's slot into a pending span
+            // flushed on state changes (batching the identical per-slot
+            // additions); the dense reference records eagerly. Per-shard
+            // completion lists concatenate in shard order, reproducing the
+            // dense loop's ascending completion order exactly.
+            let completed: Vec<(usize, bool)> = self
+                .sharded_phase(|ctx, sh| {
+                    ctx.phase_power(sh);
+                    ctx.phase_tick()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
 
             // (5) Apply completed epochs to the server.
             for (user_id, corunning) in completed {
@@ -844,7 +873,7 @@ impl Simulation {
                 let update = self.make_update(user_id);
                 if self.policy.round_barrier() {
                     self.sync_buffer.push(update);
-                    self.users[user_id].enter_barrier();
+                    self.users.enter_barrier(user_id);
                     if let Some(t) = &self.telemetry {
                         t.sink.record(Event::new(
                             slot,
@@ -923,8 +952,8 @@ impl Simulation {
             // accumulations (exact no-ops on non-negative sums) are elided
             // wholesale; the dense reference keeps them.
             if !(self.event_mode && self.policy_quiescent) {
-                // fedco-audit: allow(float-reduction): fixed-order reduction over the user vector — deterministic by construction
-                let gap_sum: f64 = self.users.iter().map(|u| u.gap.current().value()).sum();
+                // fedco-audit: allow(float-reduction): fixed-order reduction over the gap lane — deterministic by construction
+                let gap_sum: f64 = self.users.gap.iter().sum();
                 let arrivals = waiting_at_start.saturating_sub(scheduled_count);
                 self.policy.end_of_slot(&SlotOutcome {
                     arrivals,
@@ -952,8 +981,8 @@ impl Simulation {
                         }
                     }
                 }
-                let gaps: Vec<f64> = self.users.iter().map(|u| u.gap.current().value()).collect();
-                // fedco-audit: allow(float-reduction): fixed-order reduction over the user vector — deterministic by construction
+                let gaps: &[f64] = &self.users.gap;
+                // fedco-audit: allow(float-reduction): fixed-order reduction over the gap lane — deterministic by construction
                 let mean_gap = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
                 // fedco-audit: allow(float-reduction): max is order-insensitive over the user vector
                 let max_gap = gaps.iter().copied().fold(0.0f64, f64::max);
@@ -978,11 +1007,11 @@ impl Simulation {
                     },
                 });
                 if self.config.record_user_gaps {
-                    for u in &self.users {
+                    for (i, gap) in self.users.gap.iter().enumerate() {
                         acc.user_gaps.push(UserGapPoint {
                             t_s: now_s,
-                            user_id: u.id,
-                            gap: u.gap.current().value(),
+                            user_id: i,
+                            gap: *gap,
                         });
                     }
                 }
@@ -1016,8 +1045,64 @@ impl Simulation {
         if horizon <= cur {
             return;
         }
-        let n = horizon - cur;
-        self.apply_span(cur, n, acc);
+        let mut n = horizon - cur;
+        let mut policy_replayed = false;
+        if !self.policy_quiescent {
+            // Non-quiescent policies reach a span either with nobody
+            // waiting (the generic replay below covers it) or because they
+            // advertised `can_fast_forward_waiting`: the policy itself
+            // predicts how many idle slots it would commit before any
+            // waiting user's decision flips, and replays its queue
+            // evolution over exactly that prefix. The flip slot runs
+            // densely afterwards.
+            let waiting: Vec<usize> = (0..self.users.len())
+                .filter(|&i| self.users.is_waiting(i))
+                .collect();
+            if !waiting.is_empty() {
+                debug_assert!(self.policy_waiting_capable);
+                let mut training_now = 0u64;
+                for phase in &self.users.phase {
+                    if matches!(phase, TrainingPhase::Training { .. }) {
+                        training_now += 1;
+                    }
+                }
+                // Frozen for the whole span: no completion reaches the
+                // server before the horizon, so the momentum norm — and
+                // with it the predicted gap — cannot change mid-span.
+                let velocity = self.velocity_norm();
+                let predicted = self
+                    .predictor
+                    .predict_gap(Lag(training_now.max(1)), velocity);
+                let inputs: Vec<OnlineDecisionInput> = waiting
+                    .iter()
+                    .map(|&i| {
+                        OnlineDecisionInput::from_profile(
+                            self.users.profile(i),
+                            self.users.app_status(i),
+                            predicted,
+                            GradientGap(0.0),
+                        )
+                    })
+                    .collect();
+                let probe = WaitingSpanProbe {
+                    start_slot: cur,
+                    limit: n,
+                    epsilon: self.config.scheduler.epsilon,
+                    gaps: &self.users.gap,
+                    waiting: &waiting,
+                    inputs: &inputs,
+                };
+                let committed =
+                    self.policy
+                        .fast_forward_waiting(&probe, &mut acc.queue_sum, &mut acc.vq_sum);
+                if committed == 0 {
+                    return;
+                }
+                n = committed;
+                policy_replayed = true;
+            }
+        }
+        self.apply_span(cur, n, acc, policy_replayed);
         self.stats.fast_forwarded_slots += n;
         self.stats.spans += 1;
         if self.telemetry.is_some() {
@@ -1083,8 +1168,7 @@ impl Simulation {
         let overhead_charged =
             self.config.decision_overhead && self.policy.decision_energy_overhead() > 0.0;
         for i in 0..self.users.len() {
-            let user = &self.users[i];
-            match user.phase {
+            match self.users.phase[i] {
                 TrainingPhase::Waiting => {
                     // Skipping waiting users' decisions needs the policy's
                     // certification, and the certificate only covers an
@@ -1092,17 +1176,21 @@ impl Simulation {
                     // dense slot has not been decided at all, and one whose
                     // app expired (or arrived) since its last decision must
                     // be re-decided densely.
-                    if !quiescent || overhead_charged {
+                    if quiescent {
+                        if overhead_charged {
+                            return cur;
+                        }
+                    } else if !self.policy_waiting_capable {
                         return cur;
                     }
-                    match user.last_decision_app {
-                        Some(status) if status == user.app_status() => {}
+                    match self.users.last_decision_app[i] {
+                        Some(status) if status == self.users.app_status(i) => {}
                         _ => return cur,
                     }
-                    if user.app_remaining_slots > 0 {
+                    if self.users.app_remaining_slots[i] > 0 {
                         // The idle decision may flip when the app expires
                         // (first visible at `cur + remaining`).
-                        h = h.min(cur + user.app_remaining_slots);
+                        h = h.min(cur + self.users.app_remaining_slots[i]);
                     } else if let Some(a) =
                         self.arrival_cursors[i].next_at_or_after(&self.arrivals, i, cur)
                     {
@@ -1130,77 +1218,38 @@ impl Simulation {
     /// accounting (with in-span app starts/expiries for non-waiting users),
     /// timer bookkeeping, idle-gap accrual, and — for policies without the
     /// quiescence certificate — a per-slot replay of the queue dynamics.
+    /// When `policy_replayed` is set, the policy already replayed its own
+    /// queue evolution (and backlog accumulation) inside
+    /// [`SchedulingPolicy::fast_forward_waiting`], so the generic replay is
+    /// skipped; waiting users then also replay their per-slot decision
+    /// energy overhead, interleaved exactly as the dense loop charges it.
     /// Every accumulation is by repeated addition, so the result is
     /// bit-identical to stepping the span densely.
-    fn apply_span(&mut self, cur: u64, n: u64, acc: &mut RunAccum) {
+    fn apply_span(&mut self, cur: u64, n: u64, acc: &mut RunAccum, policy_replayed: bool) {
         let end = cur + n;
         let quiescent = self.policy_quiescent;
-        for i in 0..self.users.len() {
-            // Power accounting, segment by segment, into the pending span
-            // (so a long uniform stretch across many spans and event slots
-            // flushes as one batched accrual). Waiting users never
-            // transition inside a span (their arrivals and expiries end
-            // it), so their single segment falls out of the same loop.
-            let mut t = cur;
-            while t < end {
-                if self.users[i].app_running() {
-                    let seg = (end - t).min(self.users[i].app_remaining_slots);
-                    let state = self.users[i].power_state();
-                    self.pend_power(i, state, seg);
-                    let user = &mut self.users[i];
-                    user.app_remaining_slots -= seg;
-                    if user.app_remaining_slots == 0 {
-                        user.current_app = None;
-                    }
-                    t += seg;
-                } else {
-                    match self.arrival_cursors[i].next_at_or_after(&self.arrivals, i, t) {
-                        Some(a) if a.slot < end => {
-                            if a.slot > t {
-                                let state = self.users[i].power_state();
-                                self.pend_power(i, state, a.slot - t);
-                                t = a.slot;
-                            }
-                            let duration = self.users[i].profile.corun_time(a.app).value();
-                            let slots = self.clock.slots_for(duration);
-                            self.users[i].start_app(a.app, slots);
-                        }
-                        _ => {
-                            let state = self.users[i].power_state();
-                            self.pend_power(i, state, end - t);
-                            t = end;
-                        }
-                    }
-                }
-            }
-            // Timers and counters, exactly as `n` dense ticks would.
-            let user = &mut self.users[i];
-            match &mut user.phase {
-                TrainingPhase::Training {
-                    remaining_slots, ..
-                } => {
-                    debug_assert!(*remaining_slots > n, "completion inside a span");
-                    *remaining_slots -= n;
-                }
-                TrainingPhase::Waiting => {
-                    user.waiting_slots += n;
-                    user.current_wait_slots += n;
-                    user.gap.idle_slots(n);
-                }
-                TrainingPhase::RoundBarrier => {}
-            }
-        }
+        let overhead_fraction = self.policy.decision_energy_overhead();
+        let replay_overhead = self.config.decision_overhead && overhead_fraction > 0.0;
+        // Per-user span work (power segments, per-slot overhead replay for
+        // waiting users, timers, gap accrual) fans out over the shards; it
+        // touches only disjoint per-user state, so the merged result is
+        // byte-identical for any shard count.
+        self.sharded_phase(|ctx, sh| {
+            ctx.span_users(sh, cur, n, replay_overhead, overhead_fraction)
+        });
 
         // Queue dynamics. A quiescence-certifying policy promised a no-op
         // `end_of_slot` with both backlogs exactly zero, so the dense loop's
         // per-slot `queue_sum += 0.0` adds are exact no-ops and the calls
-        // can be skipped wholesale. Any other policy reaches a span only
-        // with no user waiting (the outcome is then the same every slot:
-        // zero arrivals, zero scheduled, a constant gap sum), and its queue
-        // evolution is replayed call by call.
-        if !quiescent {
-            // fedco-audit: allow(float-reduction): fixed-order reduction over the user vector — deterministic by construction
-            let gap_sum: f64 = self.users.iter().map(|u| u.gap.current().value()).sum();
+        // can be skipped wholesale. A policy that fast-forwarded a waiting
+        // span already replayed its queues (and the backlog accumulation)
+        // itself. Any other policy reaches a span only with no user waiting
+        // (the outcome is then the same every slot: zero arrivals, zero
+        // scheduled, a constant gap sum), and its queue evolution is
+        // replayed call by call.
+        if !quiescent && !policy_replayed {
+            // fedco-audit: allow(float-reduction): fixed-order reduction over the gap lane — deterministic by construction
+            let gap_sum: f64 = self.users.gap.iter().sum();
             let outcome = SlotOutcome {
                 arrivals: 0,
                 scheduled: 0,

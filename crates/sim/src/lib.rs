@@ -27,6 +27,7 @@ pub mod clock;
 pub mod engine;
 pub mod experiment;
 pub mod report;
+pub mod shards;
 pub mod trace;
 pub mod user;
 
@@ -43,8 +44,9 @@ pub mod prelude {
         ConfigError, DeviceAssignment, EmptyDeviceList, MlConfig, SimConfig,
     };
     pub use crate::report::{render_breakdown, render_series, render_table, summarize};
+    pub use crate::shards::{ShardPlan, ShardedSimulation};
     pub use crate::trace::{SimResult, TracePoint, UpdateEvent, UserGapPoint};
-    pub use crate::user::{SimUser, TrainingPhase};
+    pub use crate::user::{TrainingPhase, UserArena};
     pub use fedco_core::policy::PolicyKind;
     pub use fedco_core::scenario::{parse_scenario_file, LinkKind, MlMode, ScenarioSpec};
     pub use fedco_core::spec::{PolicyBuildContext, PolicyFactory, PolicySpec};

@@ -1,0 +1,521 @@
+//! Sharded in-scenario execution: deterministic user partitioning and the
+//! fork-join worker machinery behind it.
+//!
+//! A run is sharded by *user id*: [`ShardPlan`] cuts the fleet into
+//! contiguous, ascending index ranges, and the engine hands each range a
+//! disjoint `ShardCtx` view over the struct-of-arrays user state, the
+//! energy profilers, the pending power spans and the arrival cursors. Only
+//! the embarrassingly per-user slot phases run on the shards — application
+//! arrivals, the phase census, power accounting, timer ticks, and the bulk
+//! span application — while everything that touches shared state (policy
+//! decisions, the parameter server, queue dynamics, telemetry, every
+//! cross-user floating-point reduction) stays on the driving thread in
+//! ascending user order.
+//!
+//! Because the sharded phases touch disjoint per-user state and never
+//! reduce floats across users, the merged result is **byte-identical for
+//! any shard count, including 1**: per-shard completion lists concatenate
+//! in shard order (= ascending user order), census counters are integer
+//! sums, and each user's profiler stream is untouched by the partitioning.
+//! With `shards == 1` the dispatcher runs inline on the caller's thread;
+//! with more it fork-joins one scoped thread per shard
+//! ([`std::thread::scope`], no detached workers, no shared mutable state).
+
+use std::ops::Range;
+
+use fedco_device::energy::Seconds;
+use fedco_device::power::PowerState;
+use fedco_device::profiler::EnergyProfiler;
+use fedco_telemetry::sink::Telemetry;
+
+use crate::arrivals::{ArrivalCursor, ArrivalSchedule};
+use crate::clock::SimClock;
+use crate::engine::{EngineStats, Simulation};
+use crate::experiment::{ConfigError, SimConfig};
+use crate::trace::SimResult;
+use crate::user::{TrainingPhase, UserLanesMut};
+
+/// A deterministic partition of `num_users` into contiguous id ranges.
+///
+/// The plan divides users as evenly as possible: every shard gets
+/// `num_users / shards` users and the first `num_users % shards` shards get
+/// one extra. A request for more shards than users is clamped so every
+/// shard holds at least one user. The partition is a pure function of
+/// `(num_users, shards)` — no RNG, no thread identity — so the same
+/// configuration always yields the same plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    bounds: Vec<Range<usize>>,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `num_users` users over `shards` shards (both
+    /// clamped to at least 1).
+    pub fn new(num_users: usize, shards: usize) -> Self {
+        let num_users = num_users.max(1);
+        let shards = shards.clamp(1, num_users);
+        let base = num_users / shards;
+        let extra = num_users % shards;
+        let mut bounds = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            bounds.push(start..start + len);
+            start += len;
+        }
+        ShardPlan { bounds }
+    }
+
+    /// The contiguous user-id range of each shard, in ascending order.
+    pub fn bounds(&self) -> &[Range<usize>] {
+        &self.bounds
+    }
+
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Total number of users covered by the plan.
+    pub fn num_users(&self) -> usize {
+        self.bounds.last().map_or(0, |r| r.end)
+    }
+
+    /// The shard index owning user `i`.
+    pub fn shard_of(&self, i: usize) -> usize {
+        // Contiguous ranges: binary search on the range starts.
+        match self.bounds.binary_search_by(|r| {
+            if i < r.start {
+                std::cmp::Ordering::Greater
+            } else if i >= r.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(s) => s,
+            Err(s) => s.min(self.bounds.len().saturating_sub(1)),
+        }
+    }
+}
+
+/// Flushes one user's pending power span into its profiler (the lane-level
+/// primitive behind `Simulation::flush_pending` and the shard workers).
+/// A no-op when nothing is pending.
+pub(crate) fn flush_pending_lane(
+    profiler: &mut EnergyProfiler,
+    state: PowerState,
+    pending_slots: &mut u64,
+    slot_len: Seconds,
+) {
+    let slots = *pending_slots;
+    if slots > 0 {
+        *pending_slots = 0;
+        profiler.record_span_lean(state, slot_len, slots);
+    }
+}
+
+/// Appends `slots` slots of `state` to one user's pending span, flushing
+/// first if the state changed (the lane-level primitive behind
+/// `Simulation::pend_power` and the shard workers).
+pub(crate) fn pend_power_lane(
+    profiler: &mut EnergyProfiler,
+    pending_state: &mut PowerState,
+    pending_slots: &mut u64,
+    state: PowerState,
+    slots: u64,
+    slot_len: Seconds,
+) {
+    if *pending_slots > 0 && *pending_state == state {
+        *pending_slots += slots;
+    } else {
+        flush_pending_lane(profiler, *pending_state, pending_slots, slot_len);
+        *pending_state = state;
+        *pending_slots = slots;
+    }
+}
+
+/// Read-only per-slot context shared by all shards of one phase.
+#[derive(Clone, Copy)]
+pub(crate) struct PhaseShared<'a> {
+    /// The precomputed arrival schedule (immutable for the whole run).
+    pub arrivals: &'a ArrivalSchedule,
+    /// The simulation clock (read only for `slots_for`).
+    pub clock: &'a SimClock,
+    /// Duration of one slot.
+    pub slot_len: Seconds,
+    /// Whether power accounting defers into pending spans (event mode).
+    pub event_mode: bool,
+}
+
+/// One shard's disjoint mutable view of the per-user engine state. Lane
+/// index `j` is global user `base + j`.
+pub(crate) struct ShardCtx<'a> {
+    /// Global user id of lane 0.
+    pub base: usize,
+    /// The user arena lanes of this shard.
+    pub users: UserLanesMut<'a>,
+    /// Energy profilers of this shard's users.
+    pub profilers: &'a mut [EnergyProfiler],
+    /// Pending power states of this shard's users.
+    pub pending_state: &'a mut [PowerState],
+    /// Pending slot counts of this shard's users.
+    pub pending_slots: &'a mut [u64],
+    /// Arrival cursors of this shard's users.
+    pub arrival_cursors: &'a mut [ArrivalCursor],
+}
+
+impl ShardCtx<'_> {
+    fn flush_pending(&mut self, j: usize, slot_len: Seconds) {
+        flush_pending_lane(
+            &mut self.profilers[j],
+            self.pending_state[j],
+            &mut self.pending_slots[j],
+            slot_len,
+        );
+    }
+
+    fn pend_power(&mut self, j: usize, state: PowerState, slots: u64, slot_len: Seconds) {
+        pend_power_lane(
+            &mut self.profilers[j],
+            &mut self.pending_state[j],
+            &mut self.pending_slots[j],
+            state,
+            slots,
+            slot_len,
+        );
+    }
+
+    /// Slot phase 1: application arrivals (ignored while another app runs).
+    pub fn phase_arrivals(&mut self, sh: &PhaseShared<'_>, slot: u64) {
+        for j in 0..self.users.len() {
+            if self.users.app_running(j) {
+                continue;
+            }
+            let user = self.base + j;
+            let arrival = self.arrival_cursors[j]
+                .next_at_or_after(sh.arrivals, user, slot)
+                .filter(|a| a.slot == slot);
+            if let Some(arrival) = arrival {
+                let duration = self.users.profile(j).corun_time(arrival.app).value();
+                let slots = sh.clock.slots_for(duration);
+                self.users.start_app(j, arrival.app, slots);
+            }
+        }
+    }
+
+    /// Slot phase 2 census: `(training_now, waiting_now)` of this shard.
+    /// Pure integer counts, so the cross-shard merge is an exact sum.
+    pub fn phase_census(&self) -> (u64, usize) {
+        let (mut training, mut waiting) = (0u64, 0usize);
+        for phase in self.users.phase.iter() {
+            match phase {
+                TrainingPhase::Training { .. } => training += 1,
+                TrainingPhase::Waiting => waiting += 1,
+                TrainingPhase::RoundBarrier => {}
+            }
+        }
+        (training, waiting)
+    }
+
+    /// Slot phase 3: per-user power accounting (deferred pending spans in
+    /// event mode, eager recording in dense mode).
+    pub fn phase_power(&mut self, sh: &PhaseShared<'_>) {
+        for j in 0..self.users.len() {
+            let state = self.users.power_state(j);
+            if sh.event_mode {
+                self.pend_power(j, state, 1, sh.slot_len);
+            } else {
+                self.profilers[j].record(state, sh.slot_len);
+            }
+        }
+    }
+
+    /// Slot phase 4: advance app and training timers; returns the users
+    /// (global ids, ascending) whose epoch completed this slot, with their
+    /// co-running flag. Concatenating the per-shard lists in shard order
+    /// reproduces the dense loop's ascending completion order exactly.
+    pub fn phase_tick(&mut self) -> Vec<(usize, bool)> {
+        let mut completed = Vec::new();
+        for j in 0..self.users.len() {
+            let corunning = matches!(
+                self.users.phase[j],
+                TrainingPhase::Training {
+                    corunning: true,
+                    ..
+                }
+            );
+            if self.users.tick(j) {
+                completed.push((self.base + j, corunning));
+            }
+        }
+        completed
+    }
+
+    /// The per-user body of a bulk span application: power accounting
+    /// segment by segment (with in-span app starts/expiries for non-waiting
+    /// users), per-slot decision-overhead replay for waiting users when the
+    /// policy charges it, and timer/counter bookkeeping — exactly `n` dense
+    /// ticks' worth, by repeated addition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_users(
+        &mut self,
+        sh: &PhaseShared<'_>,
+        cur: u64,
+        n: u64,
+        replay_overhead: bool,
+        overhead_fraction: f64,
+    ) {
+        let end = cur + n;
+        for j in 0..self.users.len() {
+            if matches!(self.users.phase[j], TrainingPhase::Waiting) && replay_overhead {
+                // The dense loop charges this user's decision overhead
+                // every slot (flush, extra, then the slot's power), so the
+                // span must interleave the same per-user profiler stream —
+                // never batch the extras as one `n ×` multiply. The app
+                // status is frozen in-span (certified by `skip_horizon`),
+                // so the power state and overhead are constant.
+                let profile = self.users.profile(j);
+                let extra =
+                    (profile.decision_power_w - profile.idle_power_w).max(0.0) * overhead_fraction;
+                let state = self.users.power_state(j);
+                for _ in 0..n {
+                    self.flush_pending(j, sh.slot_len);
+                    self.profilers[j].record_extra(
+                        fedco_device::profiler::EnergyComponent::Idle,
+                        fedco_device::energy::Joules(extra * sh.slot_len.value()),
+                    );
+                    self.pend_power(j, state, 1, sh.slot_len);
+                }
+                if self.users.app_remaining_slots[j] > 0 {
+                    // `n` never exceeds the app's remaining slots (the
+                    // expiry bounds the horizon), so this is the plain
+                    // timer decrement the segmented loop below would do.
+                    self.users.app_remaining_slots[j] -= n;
+                    if self.users.app_remaining_slots[j] == 0 {
+                        self.users.current_app[j] = None;
+                    }
+                }
+                self.users.waiting_slots[j] += n;
+                self.users.current_wait_slots[j] += n;
+                self.users.gap_idle_slots(j, n);
+                continue;
+            }
+            // Power accounting, segment by segment, into the pending span
+            // (so a long uniform stretch across many spans and event slots
+            // flushes as one batched accrual). Waiting users never
+            // transition inside a span (their arrivals and expiries end
+            // it), so their single segment falls out of the same loop.
+            let mut t = cur;
+            while t < end {
+                if self.users.app_running(j) {
+                    let seg = (end - t).min(self.users.app_remaining_slots[j]);
+                    let state = self.users.power_state(j);
+                    self.pend_power(j, state, seg, sh.slot_len);
+                    self.users.app_remaining_slots[j] -= seg;
+                    if self.users.app_remaining_slots[j] == 0 {
+                        self.users.current_app[j] = None;
+                    }
+                    t += seg;
+                } else {
+                    let user = self.base + j;
+                    match self.arrival_cursors[j].next_at_or_after(sh.arrivals, user, t) {
+                        Some(a) if a.slot < end => {
+                            if a.slot > t {
+                                let state = self.users.power_state(j);
+                                self.pend_power(j, state, a.slot - t, sh.slot_len);
+                                t = a.slot;
+                            }
+                            let duration = self.users.profile(j).corun_time(a.app).value();
+                            let slots = sh.clock.slots_for(duration);
+                            self.users.start_app(j, a.app, slots);
+                        }
+                        _ => {
+                            let state = self.users.power_state(j);
+                            self.pend_power(j, state, end - t, sh.slot_len);
+                            t = end;
+                        }
+                    }
+                }
+            }
+            // Timers and counters, exactly as `n` dense ticks would.
+            match self.users.phase[j] {
+                TrainingPhase::Training { .. } => {
+                    if let TrainingPhase::Training {
+                        remaining_slots, ..
+                    } = &mut self.users.phase[j]
+                    {
+                        debug_assert!(*remaining_slots > n, "completion inside a span");
+                        *remaining_slots -= n;
+                    }
+                }
+                TrainingPhase::Waiting => {
+                    self.users.waiting_slots[j] += n;
+                    self.users.current_wait_slots[j] += n;
+                    self.users.gap_idle_slots(j, n);
+                }
+                TrainingPhase::RoundBarrier => {}
+            }
+        }
+    }
+}
+
+/// Runs `f` over every shard context and collects the per-shard results in
+/// shard order. One shard runs inline on the caller's thread; more fork a
+/// scoped thread per shard and join them all before returning (slot-lockstep
+/// fork-join — no state escapes the scope).
+pub(crate) fn run_on_shards<'env, R, F>(ctxs: &mut [ShardCtx<'env>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ShardCtx<'env>) -> R + Sync,
+{
+    if ctxs.len() == 1 {
+        return vec![f(&mut ctxs[0])];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ctxs.iter_mut().map(|ctx| s.spawn(|| f(ctx))).collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // fedco-audit: allow(panic-surface): a worker panic is already a bug; re-raising on the driver preserves the message
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+}
+
+/// A [`Simulation`] driver with first-class shard introspection: the same
+/// engine, the same results (byte-identical for any shard count), plus the
+/// resolved [`ShardPlan`] for callers that want to see — or log — how the
+/// fleet was partitioned.
+///
+/// ```no_run
+/// use fedco_sim::prelude::*;
+///
+/// let mut sim = ShardedSimulation::new(
+///     SimConfig::paper_default(PolicyKind::Online).with_shards(4),
+/// );
+/// assert_eq!(sim.shard_count(), 4);
+/// let result = sim.run();
+/// println!("{}", summarize(&result));
+/// ```
+#[derive(Debug)]
+pub struct ShardedSimulation {
+    sim: Simulation,
+}
+
+impl ShardedSimulation {
+    /// Builds a sharded simulation from a configuration (the shard count
+    /// comes from `config.shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the specific [`ConfigError`] if the configuration is
+    /// invalid; [`ShardedSimulation::try_new`] is the non-panicking path.
+    pub fn new(config: SimConfig) -> Self {
+        ShardedSimulation {
+            sim: Simulation::new(config),
+        }
+    }
+
+    /// Builds a sharded simulation, rejecting invalid configurations with a
+    /// typed [`ConfigError`] instead of panicking.
+    pub fn try_new(config: SimConfig) -> Result<Self, ConfigError> {
+        Ok(ShardedSimulation {
+            sim: Simulation::try_new(config)?,
+        })
+    }
+
+    /// Attaches a telemetry sink (builder style), like
+    /// [`Simulation::with_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: std::sync::Arc<dyn Telemetry>) -> Self {
+        self.sim = self.sim.with_telemetry(sink);
+        self
+    }
+
+    /// The resolved user partition.
+    pub fn plan(&self) -> &ShardPlan {
+        self.sim.shard_plan()
+    }
+
+    /// Number of shards actually used (the configured count, clamped so
+    /// every shard holds at least one user).
+    pub fn shard_count(&self) -> usize {
+        self.plan().shard_count()
+    }
+
+    /// Runs the event-driven engine over the shards. See
+    /// [`Simulation::run`].
+    pub fn run(&mut self) -> SimResult {
+        self.sim.run()
+    }
+
+    /// Runs the dense reference engine over the shards. See
+    /// [`Simulation::run_dense`].
+    pub fn run_dense(&mut self) -> SimResult {
+        self.sim.run_dense()
+    }
+
+    /// Dense/fast-forward statistics of the most recent run.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.sim.engine_stats()
+    }
+
+    /// Consumes the facade, returning the underlying [`Simulation`].
+    pub fn into_inner(self) -> Simulation {
+        self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_all_users_contiguously() {
+        for users in [1usize, 2, 7, 25, 100, 1001] {
+            for shards in [1usize, 2, 3, 4, 7, 2000] {
+                let plan = ShardPlan::new(users, shards);
+                assert_eq!(plan.num_users(), users);
+                assert!(plan.shard_count() <= users);
+                assert!(plan.shard_count() >= 1);
+                let mut next = 0usize;
+                for r in plan.bounds() {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, users);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_balanced() {
+        let plan = ShardPlan::new(10, 3);
+        let sizes: Vec<usize> = plan.bounds().iter().map(|r| r.end - r.start).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn plan_clamps_shards_to_users() {
+        let plan = ShardPlan::new(2, 8);
+        assert_eq!(plan.shard_count(), 2);
+    }
+
+    #[test]
+    fn shard_of_is_consistent_with_bounds() {
+        let plan = ShardPlan::new(11, 4);
+        for i in 0..11 {
+            let s = plan.shard_of(i);
+            assert!(plan.bounds()[s].contains(&i), "user {i} in shard {s}");
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        assert_eq!(ShardPlan::new(1_000, 7), ShardPlan::new(1_000, 7));
+    }
+}

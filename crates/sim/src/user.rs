@@ -1,4 +1,4 @@
-//! The per-user device state machine.
+//! Per-user device state, stored as a struct-of-arrays arena.
 //!
 //! Every simulated user owns one device. The training lifecycle follows the
 //! paper's system model (Section III-B): the device downloads the global
@@ -8,12 +8,24 @@
 //! becomes available for the next epoch. Foreground applications arrive
 //! independently of the training lifecycle and run for their Table-II
 //! duration.
+//!
+//! The state lives in [`UserArena`]: the fields the engine touches every
+//! slot (phase, app timer, gap, …) are contiguous per-field arrays so a
+//! million-user sweep streams through cache lines instead of hopping across
+//! fat per-user structs, while rarely-read counters sit in a boxed
+//! [`UserSideTable`]. Device calibration is deduplicated: one
+//! [`DeviceProfile`] allocation per distinct [`DeviceKind`], shared through
+//! [`Arc`], instead of one copy per user. [`UserLanesMut`] is a borrowed
+//! view over a contiguous index range of the same arrays; the sharded engine
+//! hands disjoint lane views to worker threads.
+
+use std::sync::Arc;
 
 use fedco_device::apps::AppKind;
 use fedco_device::power::{AppStatus, PowerState};
 use fedco_device::profiles::{DeviceKind, DeviceProfile};
 use fedco_fl::model_state::ModelVersion;
-use fedco_fl::staleness::GapAccumulator;
+use fedco_fl::staleness::GradientGap;
 
 /// The training phase of a user.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,109 +45,165 @@ pub enum TrainingPhase {
     RoundBarrier,
 }
 
-/// One simulated user and its device.
+/// Rarely-touched per-user counters, boxed out of the hot arrays.
+#[derive(Debug, Clone, Default)]
+pub struct UserSideTable {
+    /// The device model assigned to each user.
+    pub device: Vec<DeviceKind>,
+    /// Number of local epochs each user has completed.
+    pub epochs_completed: Vec<u64>,
+    /// Number of slots each user spent waiting (lifetime total).
+    pub waiting_slots: Vec<u64>,
+    /// Number of epochs each user started as co-runs.
+    pub corun_epochs: Vec<u64>,
+}
+
+/// Struct-of-arrays store for the whole fleet's per-user state.
+///
+/// Index `i` across every array is user `i`; all arrays have the same
+/// length. The per-user state machine is exposed as index-taking methods
+/// that mirror the old fat-struct API (`tick(i)`, `start_training(i, …)`,
+/// …) and behave bit-identically to it.
 #[derive(Debug, Clone)]
-pub struct SimUser {
-    /// The user identifier.
-    pub id: usize,
-    /// The device model assigned to this user.
-    pub device: DeviceKind,
-    /// The device's power/time calibration.
-    pub profile: DeviceProfile,
+pub struct UserArena {
+    /// Per-idle-slot gradient-gap increment `ε` (Eq. 12), clamped to `≥ 0`
+    /// once at construction exactly like `GapAccumulator::new`.
+    epsilon: f64,
+    /// One shared profile per *distinct* device kind, in first-seen order.
+    profiles: Vec<Arc<DeviceProfile>>,
+    /// Index of each user's profile in [`profiles`](Self::profiles).
+    profile_ix: Vec<u32>,
     /// Current training phase.
-    pub phase: TrainingPhase,
+    pub phase: Vec<TrainingPhase>,
     /// Remaining slots of the currently running foreground application.
-    pub app_remaining_slots: u64,
+    pub app_remaining_slots: Vec<u64>,
     /// Which application is currently in the foreground.
-    pub current_app: Option<AppKind>,
-    /// Version of the global model this user last downloaded.
-    pub base_version: ModelVersion,
-    /// Per-user gradient-gap accumulator (Eq. 12).
-    pub gap: GapAccumulator,
-    /// Number of local epochs this user has completed.
-    pub epochs_completed: u64,
-    /// Number of slots this user spent waiting.
-    pub waiting_slots: u64,
+    pub current_app: Vec<Option<AppKind>>,
+    /// Version of the global model each user last downloaded.
+    pub base_version: Vec<ModelVersion>,
+    /// Accumulated gradient gap `g_i(t)` (Eq. 12). Always advanced by
+    /// repeated `+ ε` additions, never an `n × ε` multiply, so bulk
+    /// fast-forwards reproduce the dense per-slot loop bit-for-bit.
+    pub gap: Vec<f64>,
     /// Slots spent waiting since the user last became ready (its current
     /// contribution to the task-queue backlog; reset when training starts).
-    pub current_wait_slots: u64,
-    /// The application status this user was last handed to the policy under
+    pub current_wait_slots: Vec<u64>,
+    /// The application status each user was last handed to the policy under
     /// (`None` until the first decision after becoming ready). The event
     /// engine may only fast-forward past a waiting user while this matches
     /// the current status: an app expiry or arrival — or a fresh requeue —
     /// invalidates the last decision and forces a dense slot.
-    pub last_decision_app: Option<AppStatus>,
-    /// Number of epochs started as co-runs.
-    pub corun_epochs: u64,
+    pub last_decision_app: Vec<Option<AppStatus>>,
+    /// Cold per-user counters.
+    pub cold: Box<UserSideTable>,
 }
 
-impl SimUser {
-    /// Creates a user in the waiting state with an empty gap accumulator.
-    pub fn new(id: usize, device: DeviceKind, epsilon: f64) -> Self {
-        SimUser {
-            id,
-            device,
-            profile: device.profile(),
-            phase: TrainingPhase::Waiting,
-            app_remaining_slots: 0,
-            current_app: None,
-            base_version: ModelVersion::INITIAL,
-            gap: GapAccumulator::new(epsilon),
-            epochs_completed: 0,
-            waiting_slots: 0,
-            current_wait_slots: 0,
-            last_decision_app: None,
-            corun_epochs: 0,
+impl UserArena {
+    /// Builds an arena of `num_users` users, all waiting with empty gap
+    /// accumulators; `device_of(i)` assigns user `i` its device kind.
+    pub fn build(
+        num_users: usize,
+        epsilon: f64,
+        mut device_of: impl FnMut(usize) -> DeviceKind,
+    ) -> Self {
+        let mut profiles: Vec<Arc<DeviceProfile>> = Vec::new();
+        let mut kinds: Vec<DeviceKind> = Vec::new();
+        let mut profile_ix = Vec::with_capacity(num_users);
+        let mut device = Vec::with_capacity(num_users);
+        for i in 0..num_users {
+            let kind = device_of(i);
+            let ix = match kinds.iter().position(|k| *k == kind) {
+                Some(ix) => ix,
+                None => {
+                    kinds.push(kind);
+                    profiles.push(Arc::new(kind.profile()));
+                    profiles.len() - 1
+                }
+            };
+            profile_ix.push(ix as u32);
+            device.push(kind);
+        }
+        UserArena {
+            epsilon: epsilon.max(0.0),
+            profiles,
+            profile_ix,
+            phase: vec![TrainingPhase::Waiting; num_users],
+            app_remaining_slots: vec![0; num_users],
+            current_app: vec![None; num_users],
+            base_version: vec![ModelVersion::INITIAL; num_users],
+            gap: vec![0.0; num_users],
+            current_wait_slots: vec![0; num_users],
+            last_decision_app: vec![None; num_users],
+            cold: Box::new(UserSideTable {
+                device,
+                epochs_completed: vec![0; num_users],
+                waiting_slots: vec![0; num_users],
+                corun_epochs: vec![0; num_users],
+            }),
         }
     }
 
-    /// Whether a foreground application is currently running.
-    pub fn app_running(&self) -> bool {
-        self.app_remaining_slots > 0 && self.current_app.is_some()
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.phase.len()
     }
 
-    /// The current application status for the power model.
-    pub fn app_status(&self) -> AppStatus {
-        match (self.app_running(), self.current_app) {
+    /// Whether the arena holds no users.
+    pub fn is_empty(&self) -> bool {
+        self.phase.is_empty()
+    }
+
+    /// The idle gap increment `ε` (already clamped to `≥ 0`).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of distinct shared device profiles in the arena.
+    pub fn distinct_profiles(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The device kind of user `i`.
+    pub fn device(&self, i: usize) -> DeviceKind {
+        self.cold.device[i]
+    }
+
+    /// The (shared) calibration profile of user `i`.
+    pub fn profile(&self, i: usize) -> &DeviceProfile {
+        &self.profiles[self.profile_ix[i] as usize]
+    }
+
+    /// A clone of the shared profile handle of user `i`.
+    pub fn shared_profile(&self, i: usize) -> Arc<DeviceProfile> {
+        Arc::clone(&self.profiles[self.profile_ix[i] as usize])
+    }
+
+    /// Whether a foreground application is currently running for user `i`.
+    pub fn app_running(&self, i: usize) -> bool {
+        self.app_remaining_slots[i] > 0 && self.current_app[i].is_some()
+    }
+
+    /// The current application status of user `i` for the power model.
+    pub fn app_status(&self, i: usize) -> AppStatus {
+        match (self.app_running(i), self.current_app[i]) {
             (true, Some(app)) => AppStatus::App(app),
             _ => AppStatus::NoApp,
         }
     }
 
-    /// Whether the user is waiting for a scheduling decision.
-    pub fn is_waiting(&self) -> bool {
-        matches!(self.phase, TrainingPhase::Waiting)
+    /// Whether user `i` is waiting for a scheduling decision.
+    pub fn is_waiting(&self, i: usize) -> bool {
+        matches!(self.phase[i], TrainingPhase::Waiting)
     }
 
-    /// Whether training is currently running.
-    pub fn is_training(&self) -> bool {
-        matches!(self.phase, TrainingPhase::Training { .. })
+    /// Whether training is currently running for user `i`.
+    pub fn is_training(&self, i: usize) -> bool {
+        matches!(self.phase[i], TrainingPhase::Training { .. })
     }
 
-    /// Starts a foreground application for the given number of slots.
-    /// Arrivals while another app is running replace it (the user switched
-    /// apps).
-    pub fn start_app(&mut self, app: AppKind, duration_slots: u64) {
-        self.current_app = Some(app);
-        self.app_remaining_slots = duration_slots.max(1);
-    }
-
-    /// Starts training for the given number of slots; `corunning` records
-    /// whether an app is in the foreground at start time.
-    pub fn start_training(&mut self, duration_slots: u64, corunning: bool) {
-        self.phase = TrainingPhase::Training {
-            remaining_slots: duration_slots.max(1),
-            corunning,
-        };
-        self.current_wait_slots = 0;
-        if corunning {
-            self.corun_epochs += 1;
-        }
-    }
-
-    /// The Eq.-10 power state for the current slot.
-    pub fn power_state(&self) -> PowerState {
-        match (self.is_training(), self.app_status()) {
+    /// The Eq.-10 power state of user `i` for the current slot.
+    pub fn power_state(&self, i: usize) -> PowerState {
+        match (self.is_training(i), self.app_status(i)) {
             (true, AppStatus::App(a)) => PowerState::CoRunning(a),
             (true, AppStatus::NoApp) => PowerState::TrainingOnly,
             (false, AppStatus::App(a)) => PowerState::AppOnly(a),
@@ -143,49 +211,280 @@ impl SimUser {
         }
     }
 
-    /// Advances app and training timers by one slot. Returns `true` when a
-    /// training epoch completed during this slot.
-    pub fn tick(&mut self) -> bool {
-        if self.app_remaining_slots > 0 {
-            self.app_remaining_slots -= 1;
-            if self.app_remaining_slots == 0 {
-                self.current_app = None;
+    /// A mutable lane view spanning every user.
+    pub fn lanes(&mut self) -> UserLanesMut<'_> {
+        UserLanesMut {
+            epsilon: self.epsilon,
+            profiles: &self.profiles,
+            profile_ix: &self.profile_ix,
+            phase: &mut self.phase,
+            app_remaining_slots: &mut self.app_remaining_slots,
+            current_app: &mut self.current_app,
+            base_version: &mut self.base_version,
+            gap: &mut self.gap,
+            current_wait_slots: &mut self.current_wait_slots,
+            last_decision_app: &mut self.last_decision_app,
+            epochs_completed: &mut self.cold.epochs_completed,
+            waiting_slots: &mut self.cold.waiting_slots,
+            corun_epochs: &mut self.cold.corun_epochs,
+        }
+    }
+
+    /// Splits the arena into disjoint lane views over the contiguous ranges
+    /// `bounds` (ascending, non-overlapping), for sharded stepping.
+    pub fn split_lanes(&mut self, bounds: &[std::ops::Range<usize>]) -> Vec<UserLanesMut<'_>> {
+        let mut out = Vec::with_capacity(bounds.len());
+        let mut rest = self.lanes();
+        let mut consumed = 0usize;
+        for r in bounds {
+            debug_assert!(r.start == consumed, "shard bounds must be contiguous");
+            let (head, tail) = rest.split_at_mut(r.end - consumed);
+            consumed = r.end;
+            out.push(head);
+            rest = tail;
+        }
+        out
+    }
+
+    /// Starts a foreground application for user `i`. See
+    /// [`UserLanesMut::start_app`].
+    pub fn start_app(&mut self, i: usize, app: AppKind, duration_slots: u64) {
+        self.lanes().start_app(i, app, duration_slots);
+    }
+
+    /// Starts training for user `i`. See [`UserLanesMut::start_training`].
+    pub fn start_training(&mut self, i: usize, duration_slots: u64, corunning: bool) {
+        self.lanes().start_training(i, duration_slots, corunning);
+    }
+
+    /// Advances user `i` by one slot. See [`UserLanesMut::tick`].
+    pub fn tick(&mut self, i: usize) -> bool {
+        self.lanes().tick(i)
+    }
+
+    /// Puts user `i` back into the waiting state (after its upload was
+    /// applied and it re-downloaded the global model).
+    pub fn become_waiting(&mut self, i: usize, new_base: ModelVersion) {
+        self.phase[i] = TrainingPhase::Waiting;
+        self.base_version[i] = new_base;
+        self.gap[i] = 0.0;
+        self.current_wait_slots[i] = 0;
+        self.last_decision_app[i] = None;
+    }
+
+    /// Parks user `i` at the synchronous round barrier.
+    pub fn enter_barrier(&mut self, i: usize) {
+        self.phase[i] = TrainingPhase::RoundBarrier;
+    }
+
+    /// The accumulated gradient gap of user `i`.
+    pub fn gap_value(&self, i: usize) -> GradientGap {
+        GradientGap(self.gap[i])
+    }
+
+    /// Applies one idle slot to user `i`'s gap: `g(t) = g(t−1) + ε`.
+    pub fn gap_idle_slot(&mut self, i: usize) {
+        self.gap[i] += self.epsilon;
+    }
+
+    /// Applies `slots` consecutive idle slots to user `i`'s gap,
+    /// bit-identically to calling [`gap_idle_slot`](Self::gap_idle_slot)
+    /// that many times — by construction: repeated addition, never a
+    /// `slots × ε` multiply, which would round differently.
+    pub fn gap_idle_slots(&mut self, i: usize, slots: u64) {
+        for _ in 0..slots {
+            self.gap[i] += self.epsilon;
+        }
+    }
+
+    /// Applies a scheduling decision to user `i`'s gap: it becomes the
+    /// momentum-predicted value for the lag expected over training.
+    pub fn gap_schedule(&mut self, i: usize, predicted: GradientGap) {
+        self.gap[i] = predicted.0;
+    }
+}
+
+/// A mutable view over a contiguous run of users' hot lanes (plus the cold
+/// counters the state machine touches). Indices are *local* to the view:
+/// lane `j` is global user `base + j` for a view created at offset `base`.
+#[derive(Debug)]
+pub struct UserLanesMut<'a> {
+    /// Per-idle-slot gap increment `ε`.
+    pub epsilon: f64,
+    /// The *full* shared profile table (one entry per distinct device kind,
+    /// never split — indexed through [`profile_ix`](Self::profile_ix)).
+    pub profiles: &'a [Arc<DeviceProfile>],
+    /// Per-user profile indices into [`profiles`](Self::profiles).
+    pub profile_ix: &'a [u32],
+    /// Training phases.
+    pub phase: &'a mut [TrainingPhase],
+    /// Foreground-app countdown timers.
+    pub app_remaining_slots: &'a mut [u64],
+    /// Foreground apps.
+    pub current_app: &'a mut [Option<AppKind>],
+    /// Downloaded model versions.
+    pub base_version: &'a mut [ModelVersion],
+    /// Accumulated gradient gaps.
+    pub gap: &'a mut [f64],
+    /// Current waiting-streak counters.
+    pub current_wait_slots: &'a mut [u64],
+    /// Last statuses handed to the policy.
+    pub last_decision_app: &'a mut [Option<AppStatus>],
+    /// Completed-epoch counters.
+    pub epochs_completed: &'a mut [u64],
+    /// Lifetime waiting-slot counters.
+    pub waiting_slots: &'a mut [u64],
+    /// Co-run epoch counters.
+    pub corun_epochs: &'a mut [u64],
+}
+
+impl<'a> UserLanesMut<'a> {
+    /// Number of users in this view.
+    pub fn len(&self) -> usize {
+        self.phase.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.phase.is_empty()
+    }
+
+    /// The (shared) calibration profile of lane `i`.
+    pub fn profile(&self, i: usize) -> &DeviceProfile {
+        &self.profiles[self.profile_ix[i] as usize]
+    }
+
+    /// Splits the view at `mid` into `[0, mid)` and `[mid, len)`.
+    pub fn split_at_mut(self, mid: usize) -> (UserLanesMut<'a>, UserLanesMut<'a>) {
+        let (pix_a, pix_b) = self.profile_ix.split_at(mid);
+        let (phase_a, phase_b) = self.phase.split_at_mut(mid);
+        let (app_a, app_b) = self.app_remaining_slots.split_at_mut(mid);
+        let (cur_a, cur_b) = self.current_app.split_at_mut(mid);
+        let (ver_a, ver_b) = self.base_version.split_at_mut(mid);
+        let (gap_a, gap_b) = self.gap.split_at_mut(mid);
+        let (cws_a, cws_b) = self.current_wait_slots.split_at_mut(mid);
+        let (lda_a, lda_b) = self.last_decision_app.split_at_mut(mid);
+        let (epo_a, epo_b) = self.epochs_completed.split_at_mut(mid);
+        let (wai_a, wai_b) = self.waiting_slots.split_at_mut(mid);
+        let (cor_a, cor_b) = self.corun_epochs.split_at_mut(mid);
+        (
+            UserLanesMut {
+                epsilon: self.epsilon,
+                profiles: self.profiles,
+                profile_ix: pix_a,
+                phase: phase_a,
+                app_remaining_slots: app_a,
+                current_app: cur_a,
+                base_version: ver_a,
+                gap: gap_a,
+                current_wait_slots: cws_a,
+                last_decision_app: lda_a,
+                epochs_completed: epo_a,
+                waiting_slots: wai_a,
+                corun_epochs: cor_a,
+            },
+            UserLanesMut {
+                epsilon: self.epsilon,
+                profiles: self.profiles,
+                profile_ix: pix_b,
+                phase: phase_b,
+                app_remaining_slots: app_b,
+                current_app: cur_b,
+                base_version: ver_b,
+                gap: gap_b,
+                current_wait_slots: cws_b,
+                last_decision_app: lda_b,
+                epochs_completed: epo_b,
+                waiting_slots: wai_b,
+                corun_epochs: cor_b,
+            },
+        )
+    }
+
+    /// Whether a foreground application is currently running for lane `i`.
+    pub fn app_running(&self, i: usize) -> bool {
+        self.app_remaining_slots[i] > 0 && self.current_app[i].is_some()
+    }
+
+    /// The current application status of lane `i`.
+    pub fn app_status(&self, i: usize) -> AppStatus {
+        match (self.app_running(i), self.current_app[i]) {
+            (true, Some(app)) => AppStatus::App(app),
+            _ => AppStatus::NoApp,
+        }
+    }
+
+    /// Whether lane `i` is training.
+    pub fn is_training(&self, i: usize) -> bool {
+        matches!(self.phase[i], TrainingPhase::Training { .. })
+    }
+
+    /// The Eq.-10 power state of lane `i`.
+    pub fn power_state(&self, i: usize) -> PowerState {
+        match (self.is_training(i), self.app_status(i)) {
+            (true, AppStatus::App(a)) => PowerState::CoRunning(a),
+            (true, AppStatus::NoApp) => PowerState::TrainingOnly,
+            (false, AppStatus::App(a)) => PowerState::AppOnly(a),
+            (false, AppStatus::NoApp) => PowerState::Idle,
+        }
+    }
+
+    /// Starts a foreground application for lane `i` for the given number of
+    /// slots. Arrivals while another app is running replace it (the user
+    /// switched apps).
+    pub fn start_app(&mut self, i: usize, app: AppKind, duration_slots: u64) {
+        self.current_app[i] = Some(app);
+        self.app_remaining_slots[i] = duration_slots.max(1);
+    }
+
+    /// Starts training for lane `i` for the given number of slots;
+    /// `corunning` records whether an app is in the foreground at start.
+    pub fn start_training(&mut self, i: usize, duration_slots: u64, corunning: bool) {
+        self.phase[i] = TrainingPhase::Training {
+            remaining_slots: duration_slots.max(1),
+            corunning,
+        };
+        self.current_wait_slots[i] = 0;
+        if corunning {
+            self.corun_epochs[i] += 1;
+        }
+    }
+
+    /// Advances app and training timers of lane `i` by one slot. Returns
+    /// `true` when a training epoch completed during this slot.
+    pub fn tick(&mut self, i: usize) -> bool {
+        if self.app_remaining_slots[i] > 0 {
+            self.app_remaining_slots[i] -= 1;
+            if self.app_remaining_slots[i] == 0 {
+                self.current_app[i] = None;
             }
         }
-        match &mut self.phase {
+        match &mut self.phase[i] {
             TrainingPhase::Training {
                 remaining_slots, ..
             } => {
                 *remaining_slots -= 1;
                 if *remaining_slots == 0 {
-                    self.epochs_completed += 1;
+                    self.epochs_completed[i] += 1;
                     true
                 } else {
                     false
                 }
             }
             TrainingPhase::Waiting => {
-                self.waiting_slots += 1;
-                self.current_wait_slots += 1;
+                self.waiting_slots[i] += 1;
+                self.current_wait_slots[i] += 1;
                 false
             }
             TrainingPhase::RoundBarrier => false,
         }
     }
 
-    /// Puts the user back into the waiting state (after its upload was
-    /// applied and it re-downloaded the global model).
-    pub fn become_waiting(&mut self, new_base: ModelVersion) {
-        self.phase = TrainingPhase::Waiting;
-        self.base_version = new_base;
-        self.gap.reset();
-        self.current_wait_slots = 0;
-        self.last_decision_app = None;
-    }
-
-    /// Parks the user at the synchronous round barrier.
-    pub fn enter_barrier(&mut self) {
-        self.phase = TrainingPhase::RoundBarrier;
+    /// Applies `slots` idle slots to lane `i`'s gap by repeated addition.
+    pub fn gap_idle_slots(&mut self, i: usize, slots: u64) {
+        for _ in 0..slots {
+            self.gap[i] += self.epsilon;
+        }
     }
 }
 
@@ -193,97 +492,149 @@ impl SimUser {
 mod tests {
     use super::*;
 
-    fn user() -> SimUser {
-        SimUser::new(0, DeviceKind::Pixel2, 0.1)
+    fn arena() -> UserArena {
+        UserArena::build(1, 0.1, |_| DeviceKind::Pixel2)
     }
 
     #[test]
     fn new_user_waits_with_no_app() {
-        let u = user();
-        assert!(u.is_waiting());
-        assert!(!u.is_training());
-        assert!(!u.app_running());
-        assert_eq!(u.app_status(), AppStatus::NoApp);
-        assert_eq!(u.power_state(), PowerState::Idle);
-        assert_eq!(u.epochs_completed, 0);
+        let u = arena();
+        assert!(u.is_waiting(0));
+        assert!(!u.is_training(0));
+        assert!(!u.app_running(0));
+        assert_eq!(u.app_status(0), AppStatus::NoApp);
+        assert_eq!(u.power_state(0), PowerState::Idle);
+        assert_eq!(u.cold.epochs_completed[0], 0);
     }
 
     #[test]
     fn app_lifecycle() {
-        let mut u = user();
-        u.start_app(AppKind::Tiktok, 3);
-        assert!(u.app_running());
-        assert_eq!(u.app_status(), AppStatus::App(AppKind::Tiktok));
-        assert_eq!(u.power_state(), PowerState::AppOnly(AppKind::Tiktok));
-        u.tick();
-        u.tick();
-        assert!(u.app_running());
-        u.tick();
-        assert!(!u.app_running());
-        assert_eq!(u.current_app, None);
+        let mut u = arena();
+        u.start_app(0, AppKind::Tiktok, 3);
+        assert!(u.app_running(0));
+        assert_eq!(u.app_status(0), AppStatus::App(AppKind::Tiktok));
+        assert_eq!(u.power_state(0), PowerState::AppOnly(AppKind::Tiktok));
+        u.tick(0);
+        u.tick(0);
+        assert!(u.app_running(0));
+        u.tick(0);
+        assert!(!u.app_running(0));
+        assert_eq!(u.current_app[0], None);
     }
 
     #[test]
     fn training_lifecycle_and_power_states() {
-        let mut u = user();
-        u.start_app(AppKind::Map, 10);
-        u.start_training(2, true);
-        assert!(u.is_training());
-        assert_eq!(u.power_state(), PowerState::CoRunning(AppKind::Map));
-        assert_eq!(u.corun_epochs, 1);
-        assert!(!u.tick());
-        assert!(u.tick(), "second slot completes the epoch");
-        assert_eq!(u.epochs_completed, 1);
+        let mut u = arena();
+        u.start_app(0, AppKind::Map, 10);
+        u.start_training(0, 2, true);
+        assert!(u.is_training(0));
+        assert_eq!(u.power_state(0), PowerState::CoRunning(AppKind::Map));
+        assert_eq!(u.cold.corun_epochs[0], 1);
+        assert!(!u.tick(0));
+        assert!(u.tick(0), "second slot completes the epoch");
+        assert_eq!(u.cold.epochs_completed[0], 1);
         // Still in Training phase bookkeeping until the engine re-queues it.
-        u.become_waiting(ModelVersion(4));
-        assert!(u.is_waiting());
-        assert_eq!(u.base_version, ModelVersion(4));
+        u.become_waiting(0, ModelVersion(4));
+        assert!(u.is_waiting(0));
+        assert_eq!(u.base_version[0], ModelVersion(4));
     }
 
     #[test]
     fn training_without_app_is_background_state() {
-        let mut u = user();
-        u.start_training(5, false);
-        assert_eq!(u.power_state(), PowerState::TrainingOnly);
-        assert_eq!(u.corun_epochs, 0);
+        let mut u = arena();
+        u.start_training(0, 5, false);
+        assert_eq!(u.power_state(0), PowerState::TrainingOnly);
+        assert_eq!(u.cold.corun_epochs[0], 0);
     }
 
     #[test]
     fn waiting_slots_are_counted() {
-        let mut u = user();
-        u.tick();
-        u.tick();
-        assert_eq!(u.waiting_slots, 2);
-        u.start_training(1, false);
-        u.tick();
-        assert_eq!(u.waiting_slots, 2);
+        let mut u = arena();
+        u.tick(0);
+        u.tick(0);
+        assert_eq!(u.cold.waiting_slots[0], 2);
+        u.start_training(0, 1, false);
+        u.tick(0);
+        assert_eq!(u.cold.waiting_slots[0], 2);
     }
 
     #[test]
     fn barrier_state_is_inert() {
-        let mut u = user();
-        u.enter_barrier();
-        assert!(!u.is_waiting());
-        assert!(!u.is_training());
-        assert!(!u.tick());
-        assert_eq!(u.power_state(), PowerState::Idle);
+        let mut u = arena();
+        u.enter_barrier(0);
+        assert!(!u.is_waiting(0));
+        assert!(!u.is_training(0));
+        assert!(!u.tick(0));
+        assert_eq!(u.power_state(0), PowerState::Idle);
     }
 
     #[test]
     fn app_switch_replaces_current_app() {
-        let mut u = user();
-        u.start_app(AppKind::Map, 100);
-        u.start_app(AppKind::Zoom, 50);
-        assert_eq!(u.app_status(), AppStatus::App(AppKind::Zoom));
-        assert_eq!(u.app_remaining_slots, 50);
+        let mut u = arena();
+        u.start_app(0, AppKind::Map, 100);
+        u.start_app(0, AppKind::Zoom, 50);
+        assert_eq!(u.app_status(0), AppStatus::App(AppKind::Zoom));
+        assert_eq!(u.app_remaining_slots[0], 50);
     }
 
     #[test]
     fn zero_durations_are_clamped_to_one_slot() {
-        let mut u = user();
-        u.start_app(AppKind::News, 0);
-        assert!(u.app_running());
-        u.start_training(0, false);
-        assert!(u.tick());
+        let mut u = arena();
+        u.start_app(0, AppKind::News, 0);
+        assert!(u.app_running(0));
+        u.start_training(0, 0, false);
+        assert!(u.tick(0));
+    }
+
+    #[test]
+    fn profiles_are_deduplicated_per_device_kind() {
+        let kinds = [
+            DeviceKind::Pixel2,
+            DeviceKind::Nexus6,
+            DeviceKind::Pixel2,
+            DeviceKind::Nexus6,
+            DeviceKind::Pixel2,
+        ];
+        let u = UserArena::build(kinds.len(), 0.1, |i| kinds[i]);
+        assert_eq!(u.distinct_profiles(), 2);
+        assert!(Arc::ptr_eq(&u.shared_profile(0), &u.shared_profile(2)));
+        assert!(Arc::ptr_eq(&u.shared_profile(1), &u.shared_profile(3)));
+        assert!(!Arc::ptr_eq(&u.shared_profile(0), &u.shared_profile(1)));
+        assert_eq!(u.profile(0).kind, DeviceKind::Pixel2);
+        assert_eq!(u.profile(1).kind, DeviceKind::Nexus6);
+    }
+
+    #[test]
+    fn gap_bulk_update_matches_repeated_additions() {
+        let mut a = arena();
+        let mut b = arena();
+        for _ in 0..1000 {
+            a.gap_idle_slot(0);
+        }
+        b.gap_idle_slots(0, 1000);
+        assert_eq!(a.gap[0].to_bits(), b.gap[0].to_bits());
+        // A negative epsilon clamps to zero exactly like GapAccumulator.
+        let mut c = UserArena::build(1, -0.5, |_| DeviceKind::Pixel2);
+        c.gap_idle_slots(0, 10);
+        assert_eq!(c.gap[0], 0.0);
+        assert_eq!(c.epsilon(), 0.0);
+    }
+
+    #[test]
+    fn split_lanes_views_are_disjoint_and_complete() {
+        let mut u = UserArena::build(7, 0.1, |_| DeviceKind::Pixel2);
+        let bounds = [0..3usize, 3..5, 5..7];
+        let mut views = u.split_lanes(&bounds);
+        assert_eq!(views.len(), 3);
+        assert_eq!(views[0].len(), 3);
+        assert_eq!(views[1].len(), 2);
+        assert_eq!(views[2].len(), 2);
+        // Mutations through a view land on the right global users.
+        views[1].start_app(1, AppKind::Zoom, 9); // global user 4
+        views[2].start_training(0, 3, false); // global user 5
+        drop(views);
+        assert_eq!(u.current_app[4], Some(AppKind::Zoom));
+        assert!(u.is_training(5));
+        assert!(u.is_waiting(0));
     }
 }

@@ -205,6 +205,72 @@ fn field_errors_name_the_offending_token() {
 }
 
 #[test]
+fn scale_presets_are_registered_with_pinned_shapes() {
+    // The million-user engine ships two scale presets: `city-scale`
+    // (>= 100k users) and `mega` (one million users). Their shapes are
+    // pinned, they build valid (summary-only) configs for every registry
+    // policy, and their labels round-trip.
+    let city = ScenarioSpec::preset("city-scale").expect("registered preset");
+    assert!(city.users() >= 100_000, "city-scale is at least 100k users");
+    assert_eq!(city.users(), 120_000);
+    assert_eq!(city.slots(), 3600);
+    assert!(!city.traces(), "scale presets are summary-only");
+
+    let mega = ScenarioSpec::preset("mega").expect("registered preset");
+    assert_eq!(mega.users(), 1_000_000, "mega is the million-user preset");
+    assert_eq!(mega.slots(), 10_800);
+    assert!(!mega.traces(), "scale presets are summary-only");
+
+    for name in ["city-scale", "mega"] {
+        let spec = ScenarioSpec::preset(name).expect("registered preset");
+        assert!(
+            ScenarioSpec::default_registry()
+                .iter()
+                .any(|s| s.name() == name),
+            "{name} missing from the default registry"
+        );
+        let reparsed: ScenarioSpec = spec.label().parse().expect("label parses");
+        assert_eq!(reparsed, spec);
+        for policy in PolicyKind::ALL {
+            let config = spec.build_with_policy(policy).expect("builds");
+            assert!(config.is_valid(), "{name} x {policy:?}");
+            assert!(!config.collect_traces, "{name} builds summary-only");
+        }
+    }
+}
+
+#[test]
+fn shards_field_parses_builds_and_round_trips() {
+    // `shards` is a first-class scenario field: settable by key, visible in
+    // the label, carried into the built config, and rejected at zero.
+    let spec: ScenarioSpec = "mega:users=50:slots=100:shards=8"
+        .parse()
+        .expect("shards override parses");
+    assert_eq!(spec.shards(), 8);
+    let reparsed: ScenarioSpec = spec.label().parse().expect("label parses");
+    assert_eq!(reparsed, spec);
+    let config = spec.build_with_policy(PolicyKind::Online).expect("builds");
+    assert_eq!(config.shards, 8);
+
+    // The builder records the override just like `set` does.
+    let built = ScenarioSpec::preset("smoke")
+        .expect("preset")
+        .with_shards(4);
+    assert_eq!(built.shards(), 4);
+    assert_eq!(
+        built.label().parse::<ScenarioSpec>().expect("parses"),
+        built
+    );
+
+    let err = "smoke:shards=0"
+        .parse::<ScenarioSpec>()
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("shards=0"), "{err}");
+    assert!(err.contains("at least 1"), "{err}");
+}
+
+#[test]
 fn server_soak_preset_is_registered_and_round_trips() {
     // The churn-heavy service-soak scenario is a first-class preset: it is
     // in the registry, its shape is pinned, and its label survives the

@@ -1,0 +1,211 @@
+//! Shard-count invariance suite for the sharded simulation engine.
+//!
+//! `SimConfig::shards` partitions the fleet into contiguous user-id ranges
+//! whose per-user phases run on worker threads. Sharding is a pure execution
+//! strategy: **any** shard count — including the degenerate 1 — must produce
+//! byte-identical results. This suite pins that contract for every policy in
+//! the default registry, in both the event-driven and dense drivers, in
+//! traced and summary-only modes, and through the `ShardedSimulation` facade,
+//! comparing scalar bits, series, and serialized JSONL telemetry.
+
+use fedco::prelude::*;
+
+fn base_config(policy: impl Into<PolicySpec>) -> SimConfig {
+    SimConfig {
+        num_users: 7,
+        total_slots: 700,
+        arrival_probability: 0.02,
+        record_every_slots: 60,
+        ..SimConfig::default()
+    }
+    .with_policy(policy)
+}
+
+/// Asserts two results are bit-identical in every scalar and series.
+fn assert_identical(label: &str, one: &SimResult, sharded: &SimResult) {
+    assert_eq!(
+        one.total_energy_j.to_bits(),
+        sharded.total_energy_j.to_bits(),
+        "{label}: total energy diverged ({} vs {})",
+        one.total_energy_j,
+        sharded.total_energy_j
+    );
+    assert_eq!(one.total_updates, sharded.total_updates, "{label}: updates");
+    assert_eq!(one.corun_epochs, sharded.corun_epochs, "{label}: co-runs");
+    assert_eq!(
+        one.mean_lag.to_bits(),
+        sharded.mean_lag.to_bits(),
+        "{label}: mean lag"
+    );
+    assert_eq!(one.max_lag, sharded.max_lag, "{label}: max lag");
+    assert_eq!(
+        one.mean_queue.to_bits(),
+        sharded.mean_queue.to_bits(),
+        "{label}: mean queue"
+    );
+    assert_eq!(
+        one.mean_virtual_queue.to_bits(),
+        sharded.mean_virtual_queue.to_bits(),
+        "{label}: mean virtual queue"
+    );
+    assert_eq!(
+        one.final_queue.to_bits(),
+        sharded.final_queue.to_bits(),
+        "{label}: final queue"
+    );
+    assert_eq!(
+        one.final_virtual_queue.to_bits(),
+        sharded.final_virtual_queue.to_bits(),
+        "{label}: final virtual queue"
+    );
+    assert_eq!(
+        one.final_accuracy, sharded.final_accuracy,
+        "{label}: accuracy"
+    );
+    assert_eq!(
+        one.energy_by_component, sharded.energy_by_component,
+        "{label}: per-component energy"
+    );
+    assert_eq!(one.trace, sharded.trace, "{label}: trace series");
+    assert_eq!(one.user_gaps, sharded.user_gaps, "{label}: user gaps");
+    assert_eq!(one.updates, sharded.updates, "{label}: update events");
+}
+
+#[test]
+fn registry_is_byte_identical_across_shard_counts() {
+    for spec in PolicySpec::default_registry() {
+        let baseline = Simulation::try_new(base_config(spec.clone()))
+            .expect("valid config")
+            .run();
+        // 999 exercises the clamp-to-num_users path: more shards than users.
+        for shards in [2usize, 3, 5, 999] {
+            let config = base_config(spec.clone()).with_shards(shards);
+            let result = Simulation::try_new(config).expect("valid config").run();
+            assert_identical(&format!("{spec} shards={shards}"), &baseline, &result);
+        }
+    }
+}
+
+#[test]
+fn dense_driver_is_shard_count_invariant_too() {
+    for spec in PolicySpec::default_registry() {
+        let baseline = Simulation::try_new(base_config(spec.clone()))
+            .expect("valid config")
+            .run_dense();
+        let sharded = Simulation::try_new(base_config(spec.clone()).with_shards(3))
+            .expect("valid config")
+            .run_dense();
+        assert_identical(&format!("{spec} dense shards=3"), &baseline, &sharded);
+    }
+}
+
+#[test]
+fn summary_mode_is_shard_count_invariant() {
+    for spec in PolicySpec::default_registry() {
+        let config = base_config(spec.clone()).summary_only();
+        let baseline = Simulation::try_new(config.clone())
+            .expect("valid config")
+            .run();
+        let sharded = Simulation::try_new(config.with_shards(4))
+            .expect("valid config")
+            .run();
+        assert_identical(&format!("{spec} summary shards=4"), &baseline, &sharded);
+        assert!(sharded.trace.is_empty() && sharded.updates.is_empty());
+    }
+}
+
+#[test]
+fn serialized_telemetry_is_shard_count_invariant() {
+    let reference = {
+        let sink = BufferSink::shared();
+        let result = Simulation::try_new(base_config(PolicyKind::Online))
+            .expect("valid config")
+            .with_telemetry(sink.clone())
+            .run();
+        (result, events_to_jsonl(&sink.drain()))
+    };
+    assert!(!reference.1.is_empty(), "traced run must emit events");
+    for shards in [2usize, 7] {
+        let sink = BufferSink::shared();
+        let result = Simulation::try_new(base_config(PolicyKind::Online).with_shards(shards))
+            .expect("valid config")
+            .with_telemetry(sink.clone())
+            .run();
+        assert_identical(&format!("telemetry shards={shards}"), &reference.0, &result);
+        assert_eq!(
+            events_to_jsonl(&sink.drain()),
+            reference.1,
+            "serialized telemetry diverged on {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn sharded_facade_matches_plain_simulation() {
+    let config = base_config(PolicyKind::Online).with_shards(3);
+    let plain = Simulation::try_new(config.clone())
+        .expect("valid config")
+        .run();
+    let mut facade = ShardedSimulation::try_new(config).expect("valid config");
+    assert_eq!(facade.shard_count(), 3);
+    let via_facade = facade.run();
+    assert_identical("facade shards=3", &plain, &via_facade);
+}
+
+#[test]
+fn shard_plan_clamps_and_stays_contiguous() {
+    let sim = Simulation::try_new(base_config(PolicyKind::Immediate).with_shards(999))
+        .expect("valid config");
+    let plan = sim.shard_plan();
+    assert_eq!(plan.shard_count(), 7, "clamped to num_users");
+    assert_eq!(plan.num_users(), 7);
+    let mut next = 0usize;
+    for bound in plan.bounds() {
+        assert_eq!(bound.start, next, "ranges are contiguous and ascending");
+        assert!(bound.end > bound.start, "no empty shard after clamping");
+        next = bound.end;
+    }
+    assert_eq!(next, 7, "ranges cover every user exactly once");
+}
+
+#[test]
+fn event_engine_still_fast_forwards_when_sharded() {
+    let config = SimConfig {
+        num_users: 8,
+        total_slots: 3000,
+        arrival_probability: 0.001,
+        ..SimConfig::default()
+    }
+    .with_policy(PolicyKind::Immediate)
+    .with_shards(3)
+    .summary_only();
+    let mut sim = Simulation::try_new(config.clone()).expect("valid config");
+    let _ = sim.run();
+    let stats = sim.engine_stats();
+    assert_eq!(
+        stats.dense_slots + stats.fast_forwarded_slots,
+        config.total_slots,
+        "every slot is accounted exactly once"
+    );
+    assert!(
+        stats.skip_fraction() > 0.5,
+        "sharding must not disable fast-forwarding: {stats:?}"
+    );
+}
+
+#[test]
+fn ml_mode_is_shard_count_invariant() {
+    let mut config = base_config(PolicyKind::Online);
+    config.num_users = 3;
+    config.total_slots = 600;
+    config.ml = Some(MlConfig::tiny());
+    config.record_every_slots = 50;
+    let baseline = Simulation::try_new(config.clone())
+        .expect("valid config")
+        .run();
+    let sharded = Simulation::try_new(config.with_shards(3))
+        .expect("valid config")
+        .run();
+    assert_identical("online+ml shards=3", &baseline, &sharded);
+    assert!(sharded.final_accuracy.is_some());
+}
