@@ -27,7 +27,7 @@ cargo test -q --offline --test engine_equivalence
 
 echo "==> bench_engine throughput smoke (dense vs event slots/sec)"
 BENCH_SMOKE_JSON="$(mktemp)"
-FEDCO_BENCH_USERS=100 FEDCO_BENCH_SLOTS=2000 FEDCO_BENCH_REPS=1 \
+FEDCO_BENCH_USERS=100 FEDCO_BENCH_SLOTS=2000 FEDCO_BENCH_REPS=2 \
 FEDCO_BENCH_JSON="$BENCH_SMOKE_JSON" \
     timeout 300 cargo bench -q --offline -p fedco-bench --bench engine
 grep -q '"name":"engine/paper/' "$BENCH_SMOKE_JSON" \
@@ -67,6 +67,12 @@ timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
     --scenario "smoke:users=4:slots=300,hetero-devices:users=4:slots=300" \
     --axis "arrival_p=0.001,0.01" --axis "link=ideal,lte" \
     --replicates 1 --policies "online,immediate" >/dev/null
+
+echo "==> fleet_sweep world-dynamics sweep smoke (diurnal arrivals x compression, verified)"
+timeout 120 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- \
+    --scenario "diurnal-day:users=5:slots=400" \
+    --axis "compress=off,0.25,0.5" \
+    --replicates 1 --policies "online,immediate" --verify >/dev/null
 
 echo "==> fleet_sweep --trace/--metrics telemetry smoke (stable across reruns)"
 TRACE_A=/tmp/fedco_trace_a.jsonl; METRICS_A=/tmp/fedco_metrics_a.jsonl
@@ -113,6 +119,10 @@ echo "==> fleet_sweep registry listings + bad-spec error paths"
 SCENARIO_LIST="$(timeout 60 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- --list-scenarios)"
 echo "$SCENARIO_LIST" | grep -q "paper-default" \
     || { echo "--list-scenarios missing paper-default"; exit 1; }
+for world_preset in diurnal-day flash-crowd battery-constrained compressed-uplink; do
+    echo "$SCENARIO_LIST" | grep -q "$world_preset" \
+        || { echo "--list-scenarios missing $world_preset"; exit 1; }
+done
 POLICY_LIST="$(timeout 60 cargo run --release --offline -p fedco-fleet --bin fleet_sweep -- --list-policies)"
 echo "$POLICY_LIST" | grep -q "Threshold" \
     || { echo "--list-policies missing Threshold"; exit 1; }

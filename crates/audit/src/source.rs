@@ -74,16 +74,18 @@ impl SourceFile {
     }
 
     /// Whether the file is library code in one of the determinism-critical
-    /// crates (`core`, `sim`, `fl`, `fleet`, `telemetry`, `server`) whose
-    /// merged results must be bit-identical across runs and worker counts —
-    /// telemetry traces are part of that contract: they are slot-clocked
-    /// and byte-stable by construction, and the service's in-process soak
-    /// traces carry the same guarantee on its logical tick clock.
+    /// crates (`core`, `sim`, `fl`, `fleet`, `telemetry`, `server`,
+    /// `world`) whose merged results must be bit-identical across runs and
+    /// worker counts — telemetry traces are part of that contract: they are
+    /// slot-clocked and byte-stable by construction, and the service's
+    /// in-process soak traces carry the same guarantee on its logical tick
+    /// clock. The world crate's arrival/battery/churn models seed every
+    /// environment-dynamics decision, so it sits under the same discipline.
     pub fn in_determinism_critical_lib(&self) -> bool {
         self.class == FileClass::Lib
             && matches!(
                 self.crate_dir.as_str(),
-                "core" | "sim" | "fl" | "fleet" | "telemetry" | "server"
+                "core" | "sim" | "fl" | "fleet" | "telemetry" | "server" | "world"
             )
     }
 }
@@ -168,6 +170,11 @@ mod tests {
         assert!(
             !SourceFile::from_rel_path("crates/server/src/bin/fedco_serve.rs")
                 .in_determinism_critical_lib()
+        );
+        // The world crate's seeded arrival/battery/churn models drive the
+        // engine's environment dynamics; its library code is in scope.
+        assert!(
+            SourceFile::from_rel_path("crates/world/src/arrival.rs").in_determinism_critical_lib()
         );
     }
 

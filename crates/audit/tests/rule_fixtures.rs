@@ -172,6 +172,38 @@ fn unordered_iter_is_silent_elsewhere_and_for_btree() {
 }
 
 #[test]
+fn world_crate_is_determinism_critical_for_every_scoped_rule() {
+    // The world crate's seeded arrival/battery/churn models joined the
+    // determinism contract: the crate-scoped rules must fire in its library
+    // code exactly as they do in the engine.
+    assert_fires(
+        "unordered-iter",
+        "crates/world/src/churn.rs",
+        "use std::collections::HashMap;",
+    );
+    assert_fires(
+        "float-reduction",
+        "crates/world/src/battery.rs",
+        "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }",
+    );
+    assert_fires(
+        "wall-clock",
+        "crates/world/src/arrival.rs",
+        "use std::time::SystemTime;",
+    );
+    assert_fires(
+        "panic-surface",
+        "crates/world/src/compress.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+    );
+    // Its test code stays out of scope for the file-scoped rules.
+    assert_clean(
+        "crates/world/tests/models.rs",
+        "use std::collections::HashMap;",
+    );
+}
+
+#[test]
 fn unordered_iter_allow_annotation_suppresses() {
     assert_clean(
         "crates/core/src/policy.rs",

@@ -11,7 +11,10 @@
 //! * `burst`  — the `dense-burst` preset (p = 0.01), the dense end where
 //!   fast-forwarding buys the least;
 //! * `lte`    — the `lte-uplink` preset, exercising the transport-charged
-//!   radio path.
+//!   radio path;
+//! * `world`  — the `battery-constrained` preset (battery lifecycles plus
+//!   light churn), exercising the world-check lane that periodically forces
+//!   the event driver dense.
 //!
 //! Each (scenario, policy, driver) cell is timed `FEDCO_BENCH_REPS` times
 //! (default 3) and the best wall time is kept. Results are verified
@@ -110,6 +113,7 @@ fn main() {
         ("sparse", "sparse", Some(0.0001)),
         ("burst", "dense-burst", None),
         ("lte", "lte-uplink", None),
+        ("world", "battery-constrained", None),
     ];
     for (name, preset, p) in cells {
         let mut dense_total_s = 0.0;

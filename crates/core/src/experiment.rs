@@ -12,6 +12,7 @@ use crate::spec::{PolicySpec, PolicySpecError};
 use fedco_device::profiles::DeviceKind;
 use fedco_fl::transport::TransportModel;
 use fedco_neural::lenet::LeNetConfig;
+use fedco_world::WorldConfig;
 
 /// Error returned when a [`DeviceAssignment::Custom`] list is empty: an
 /// empty list assigns no device to anyone, so there is no sensible fallback.
@@ -193,6 +194,11 @@ pub struct SimConfig {
     /// more shards than users is clamped so every shard holds at least one
     /// user; `1` (the default) runs everything inline.
     pub shards: usize,
+    /// The environment dynamics of the run: arrival model, battery
+    /// lifecycles, churn and uplink compression. The default is the paper's
+    /// world (Bernoulli arrivals, everything else off), under which the
+    /// engine is bit-identical to its historical behaviour.
+    pub world: WorldConfig,
 }
 
 impl Default for SimConfig {
@@ -214,6 +220,7 @@ impl Default for SimConfig {
             collect_traces: true,
             transport: None,
             shards: 1,
+            world: WorldConfig::default(),
         }
     }
 }
@@ -299,6 +306,14 @@ impl SimConfig {
         self
     }
 
+    /// Returns a copy living in a different world (arrival model, battery
+    /// lifecycles, churn, uplink compression).
+    #[must_use]
+    pub fn with_world(mut self, world: WorldConfig) -> Self {
+        self.world = world;
+        self
+    }
+
     /// Returns a copy configured for summary-only execution: no time series,
     /// no per-user gap samples, no power segments. This is what the fleet
     /// runtime uses so sweeps never materialize traces.
@@ -338,6 +353,11 @@ impl SimConfig {
         if self.shards == 0 {
             return Err(ConfigError::ZeroShards);
         }
+        if let Some(ratio) = self.world.compression.ratio() {
+            if !(ratio.is_finite() && ratio > 0.0 && ratio <= 1.0) {
+                return Err(ConfigError::CompressionRatioOutOfRange(ratio));
+            }
+        }
         self.scheduler.validate().map_err(ConfigError::Scheduler)?;
         self.policy.validate().map_err(ConfigError::Policy)?;
         if !self.devices.is_valid() {
@@ -363,6 +383,9 @@ pub enum ConfigError {
     ZeroRecordEverySlots,
     /// `shards` is zero.
     ZeroShards,
+    /// The world's uplink-compression ratio is outside `(0, 1]` (value
+    /// attached).
+    CompressionRatioOutOfRange(f64),
     /// A `scheduler` field is out of range (field and value attached).
     Scheduler(SchedulerConfigError),
     /// A `policy` spec parameter is out of range (spec label, parameter and
@@ -388,6 +411,9 @@ impl std::fmt::Display for ConfigError {
                 f.write_str("record_every_slots must be at least 1 (got 0)")
             }
             ConfigError::ZeroShards => f.write_str("shards must be at least 1 (got 0)"),
+            ConfigError::CompressionRatioOutOfRange(v) => {
+                write!(f, "world compression ratio must lie in (0, 1] (got {v})")
+            }
             ConfigError::Scheduler(e) => write!(f, "{e}"),
             ConfigError::Policy(e) => write!(f, "{e}"),
             ConfigError::Devices(e) => write!(f, "devices: {e}"),
@@ -625,6 +651,31 @@ mod tests {
         let d = SimConfig::default();
         assert!(d.collect_traces);
         assert_eq!(d.transport, None);
+    }
+
+    #[test]
+    fn world_defaults_to_the_paper_world_and_validates_compression() {
+        use fedco_world::prelude::*;
+        let c = SimConfig::default();
+        assert!(c.world.is_paper_default());
+        let compressed = SimConfig::default().with_world(WorldConfig {
+            compression: CompressionSpec::Ratio(0.25),
+            ..WorldConfig::default()
+        });
+        assert!(compressed.is_valid());
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let c = SimConfig::default().with_world(WorldConfig {
+                compression: CompressionSpec::Ratio(bad),
+                ..WorldConfig::default()
+            });
+            match c.validate() {
+                Err(ConfigError::CompressionRatioOutOfRange(v)) => {
+                    assert!(v.is_nan() == bad.is_nan() && (v.is_nan() || v == bad));
+                    assert!(c.validate().unwrap_err().to_string().contains("(0, 1]"));
+                }
+                other => panic!("ratio {bad}: expected compression error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,11 @@ use crate::experiment::{ConfigError, DeviceAssignment, MlConfig, SimConfig};
 use crate::spec::PolicySpec;
 use fedco_device::profiles::DeviceKind;
 use fedco_fl::transport::TransportModel;
+use fedco_world::arrival::ArrivalSpec;
+use fedco_world::battery::BatterySpec;
+use fedco_world::churn::ChurnSpec;
+use fedco_world::compress::CompressionSpec;
+use fedco_world::WorldConfig;
 
 /// The transport link of a scenario: either the paper's ideal (radio-free)
 /// accounting or one of the named [`TransportModel`] presets.
@@ -137,7 +142,7 @@ impl MlMode {
 }
 
 /// The names of the built-in presets, in registry order.
-pub const PRESET_NAMES: [&str; 11] = [
+pub const PRESET_NAMES: [&str; 15] = [
     "paper-default",
     "smoke",
     "ml-smoke",
@@ -149,16 +154,24 @@ pub const PRESET_NAMES: [&str; 11] = [
     "server-soak",
     "city-scale",
     "mega",
+    "diurnal-day",
+    "flash-crowd",
+    "battery-constrained",
+    "compressed-uplink",
 ];
 
 /// The sweepable scenario fields, in canonical order. Every key is
 /// accepted by [`ScenarioSpec::set`], the `name:key=value…` CLI syntax and
 /// the scenario-file format, and any of them can back a fleet sweep axis.
-pub const FIELD_KEYS: [&str; 15] = [
+pub const FIELD_KEYS: [&str; 19] = [
     "users",
     "slots",
     "slot_seconds",
     "arrival_p",
+    "arrival",
+    "battery",
+    "churn",
+    "compress",
     "devices",
     "link",
     "seed",
@@ -193,6 +206,10 @@ pub struct ScenarioSpec {
     slots: u64,
     slot_seconds: f64,
     arrival_p: f64,
+    arrival: ArrivalSpec,
+    battery: BatterySpec,
+    churn: ChurnSpec,
+    compress: CompressionSpec,
     devices: DeviceAssignment,
     link: LinkKind,
     seed: u64,
@@ -214,6 +231,10 @@ impl ScenarioSpec {
             slots: 10_800,
             slot_seconds: 1.0,
             arrival_p: 0.001,
+            arrival: ArrivalSpec::Bernoulli,
+            battery: BatterySpec::Off,
+            churn: ChurnSpec::Off,
+            compress: CompressionSpec::Off,
             devices: DeviceAssignment::RoundRobinTestbed,
             link: LinkKind::Ideal,
             seed: 42,
@@ -241,6 +262,10 @@ impl ScenarioSpec {
     /// | `server-soak` | 1200 churn-heavy users at p = 0.02 over 20 min, summary-only — the `fedco-server` session-churn soak fleet |
     /// | `city-scale` | 120 000 users over one hour, summary-only — the struct-of-arrays throughput regime |
     /// | `mega` | 1 000 000 users over the full 3-hour horizon, summary-only — the million-user engine regime |
+    /// | `diurnal-day` | paper setting under the diurnal arrival curve (quiet nights, busy middays) |
+    /// | `flash-crowd` | 40 users whose arrivals spike 25× mid-horizon (a viral-event burst) |
+    /// | `battery-constrained` | paper setting with small half-charged batteries, light churn and a tight charging window — devices die and rejoin |
+    /// | `compressed-uplink` | LTE exchanges with 4× upload compression trading radio energy against update quality |
     pub fn preset(name: &str) -> Option<ScenarioSpec> {
         let mut s = ScenarioSpec::base(name);
         match name {
@@ -295,6 +320,24 @@ impl ScenarioSpec {
                 s.users = 1_000_000;
                 s.slots = 10_800;
                 s.traces = false;
+            }
+            "diurnal-day" => {
+                s.arrival = ArrivalSpec::Diurnal;
+                s.arrival_p = 0.002;
+            }
+            "flash-crowd" => {
+                s.users = 40;
+                s.slots = 3600;
+                s.arrival = ArrivalSpec::FlashCrowd;
+            }
+            "battery-constrained" => {
+                s.arrival_p = 0.005;
+                s.battery = BatterySpec::Constrained;
+                s.churn = ChurnSpec::Light;
+            }
+            "compressed-uplink" => {
+                s.link = LinkKind::Lte;
+                s.compress = CompressionSpec::Ratio(0.25);
             }
             _ => return None,
         }
@@ -362,6 +405,36 @@ impl ScenarioSpec {
     /// Per-slot Bernoulli application-arrival probability.
     pub fn arrival_p(&self) -> f64 {
         self.arrival_p
+    }
+
+    /// Application-arrival process (`arrival_p` is its base rate).
+    pub fn arrival(&self) -> ArrivalSpec {
+        self.arrival
+    }
+
+    /// Battery/charging lifecycle model.
+    pub fn battery(&self) -> BatterySpec {
+        self.battery
+    }
+
+    /// Mid-horizon dropout/rejoin model.
+    pub fn churn(&self) -> ChurnSpec {
+        self.churn
+    }
+
+    /// Uplink-compression policy.
+    pub fn compress(&self) -> CompressionSpec {
+        self.compress
+    }
+
+    /// The resolved environment-dynamics configuration of the scenario.
+    pub fn world(&self) -> WorldConfig {
+        WorldConfig {
+            arrival: self.arrival,
+            battery: self.battery,
+            churn: self.churn,
+            compression: self.compress,
+        }
     }
 
     /// Device assignment across users.
@@ -447,6 +520,38 @@ impl ScenarioSpec {
     pub fn with_arrival_p(mut self, p: f64) -> Self {
         self.arrival_p = p;
         self.record("arrival_p", p.to_string());
+        self
+    }
+
+    /// Returns a copy with a different arrival process.
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalSpec) -> Self {
+        self.arrival = arrival;
+        self.record("arrival", arrival.label().to_string());
+        self
+    }
+
+    /// Returns a copy with a different battery lifecycle.
+    #[must_use]
+    pub fn with_battery(mut self, battery: BatterySpec) -> Self {
+        self.battery = battery;
+        self.record("battery", battery.label().to_string());
+        self
+    }
+
+    /// Returns a copy with a different churn model.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = churn;
+        self.record("churn", churn.label().to_string());
+        self
+    }
+
+    /// Returns a copy with a different uplink-compression policy.
+    #[must_use]
+    pub fn with_compress(mut self, compress: CompressionSpec) -> Self {
+        self.compress = compress;
+        self.record("compress", compress.label());
         self
     }
 
@@ -582,6 +687,22 @@ impl ScenarioSpec {
                 }
                 *self = self.clone().with_arrival_p(x);
             }
+            "arrival" => {
+                let arrival = ArrivalSpec::parse(value).map_err(bad)?;
+                *self = self.clone().with_arrival(arrival);
+            }
+            "battery" => {
+                let battery = BatterySpec::parse(value).map_err(bad)?;
+                *self = self.clone().with_battery(battery);
+            }
+            "churn" => {
+                let churn = ChurnSpec::parse(value).map_err(bad)?;
+                *self = self.clone().with_churn(churn);
+            }
+            "compress" => {
+                let compress = CompressionSpec::parse(value).map_err(bad)?;
+                *self = self.clone().with_compress(compress);
+            }
             "devices" => {
                 let devices = parse_devices(value).map_err(bad)?;
                 *self = self.clone().with_devices(devices);
@@ -675,6 +796,7 @@ impl ScenarioSpec {
             collect_traces: self.traces,
             transport: self.link.model(),
             shards: self.shards,
+            world: self.world(),
         };
         config.validate()?;
         Ok(config)
@@ -1004,6 +1126,11 @@ mod tests {
             "lte-uplink:v=1000:lb=500:epsilon=0.1",
             "wifi-fleet:traces=on:overhead=off:ml=tiny:record_every=10",
             "dense-burst:slot_seconds=0.5:slots=600",
+            "paper-default:arrival=mmpp:battery=standard:churn=light",
+            "diurnal-day:arrival=flash-crowd:compress=0.5",
+            "flash-crowd:battery=constrained:churn=heavy:compress=0.25",
+            "battery-constrained:battery=off:churn=off",
+            "compressed-uplink:compress=off:arrival=diurnal",
         ];
         for input in inputs {
             let spec: ScenarioSpec = input.parse().unwrap_or_else(|e| panic!("{input}: {e}"));
@@ -1060,6 +1187,11 @@ mod tests {
             ("smoke:link=carrier-pigeon", "ideal, wifi, lte"),
             ("smoke:ml=huge", "off, tiny, full"),
             ("smoke:traces=maybe", "not on/off"),
+            ("smoke:arrival=poisson", "unknown arrival model `poisson`"),
+            ("smoke:battery=nuclear", "unknown battery model `nuclear`"),
+            ("smoke:churn=tidal", "unknown churn model `tidal`"),
+            ("smoke:compress=2.0", "(0, 1]"),
+            ("smoke:compress=gzip", "expected off or a ratio"),
         ] {
             let err = input.parse::<ScenarioSpec>().unwrap_err().to_string();
             assert!(err.contains(needle), "{input}: {err}");
@@ -1109,6 +1241,36 @@ mod tests {
         assert_eq!(MlMode::by_name("tiny"), Some(MlMode::Tiny));
         assert_eq!(MlMode::by_name("gigantic"), None);
         assert_eq!(MlMode::default(), MlMode::Off);
+    }
+
+    #[test]
+    fn world_fields_flow_into_the_built_config() {
+        let spec: ScenarioSpec = "smoke:arrival=mmpp:battery=constrained:churn=heavy:compress=0.5"
+            .parse()
+            .expect("parses");
+        assert_eq!(spec.arrival(), ArrivalSpec::Mmpp);
+        assert_eq!(spec.battery(), BatterySpec::Constrained);
+        assert_eq!(spec.churn(), ChurnSpec::Heavy);
+        assert_eq!(spec.compress(), CompressionSpec::Ratio(0.5));
+        let config = spec.build().expect("builds");
+        assert_eq!(config.world, spec.world());
+        assert!(!config.world.is_paper_default());
+        assert!(config.world.needs_check_slots());
+        // Presets that never mention the world get the paper's world.
+        let paper = ScenarioSpec::preset("paper-default").expect("preset");
+        assert!(paper.world().is_paper_default());
+        assert!(paper.build().expect("builds").world.is_paper_default());
+        // The world presets resolve the expected models.
+        let diurnal = ScenarioSpec::preset("diurnal-day").expect("preset");
+        assert_eq!(diurnal.arrival(), ArrivalSpec::Diurnal);
+        let flash = ScenarioSpec::preset("flash-crowd").expect("preset");
+        assert_eq!(flash.arrival(), ArrivalSpec::FlashCrowd);
+        let battery = ScenarioSpec::preset("battery-constrained").expect("preset");
+        assert_eq!(battery.battery(), BatterySpec::Constrained);
+        assert_eq!(battery.churn(), ChurnSpec::Light);
+        let compressed = ScenarioSpec::preset("compressed-uplink").expect("preset");
+        assert_eq!(compressed.compress(), CompressionSpec::Ratio(0.25));
+        assert_eq!(compressed.link(), LinkKind::Lte);
     }
 
     #[test]

@@ -74,6 +74,14 @@ impl TransportModel {
         self.download_time(bytes) + self.upload_time(bytes)
     }
 
+    /// Round-trip time of a compression-aware model exchange: the global
+    /// model downloads at full size (`bytes`), but the update uploads only
+    /// `upload_bytes` (the compressed payload). With `upload_bytes ==
+    /// bytes` this is exactly [`exchange_time`](TransportModel::exchange_time).
+    pub fn compressed_exchange_time(&self, bytes: usize, upload_bytes: usize) -> Seconds {
+        self.download_time(bytes) + self.upload_time(upload_bytes)
+    }
+
     /// Radio energy spent transferring for the given duration.
     pub fn radio_energy(&self, duration: Seconds) -> Joules {
         Watts(self.radio_power_w) * duration
@@ -125,6 +133,23 @@ mod tests {
         let e = t.exchange_time(1_000_000);
         let sum = t.download_time(1_000_000) + t.upload_time(1_000_000);
         assert!((e.value() - sum.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compressed_exchange_shrinks_only_the_upload() {
+        let t = TransportModel::lte();
+        let full = t.exchange_time(PAPER_MODEL_BYTES);
+        let quarter = t.compressed_exchange_time(PAPER_MODEL_BYTES, PAPER_MODEL_BYTES / 4);
+        assert!(quarter.value() < full.value());
+        // The download leg is untouched: the saving is exactly the upload
+        // airtime of the dropped bytes.
+        let saved = full.value() - quarter.value();
+        let expected =
+            t.upload_time(PAPER_MODEL_BYTES).value() - t.upload_time(PAPER_MODEL_BYTES / 4).value();
+        assert!((saved - expected).abs() < 1e-12);
+        // Identity at ratio 1: the uncompressed path is byte-identical.
+        let identity = t.compressed_exchange_time(PAPER_MODEL_BYTES, PAPER_MODEL_BYTES);
+        assert_eq!(identity.value().to_bits(), full.value().to_bits());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use fedco_rng::rngs::{SmallRng, SplitMix64};
 use fedco_rng::{Rng, SeedableRng};
 use fedco_telemetry::event::Event;
 use fedco_telemetry::sink::BufferSink;
+use fedco_world::churn::ChurnSpec;
 
 use crate::protocol::{Message, Refusal, WireError, WireUpdate};
 use crate::service::{ServerCore, ServerCoreConfig};
@@ -57,6 +58,11 @@ pub struct FleetDriverConfig {
     pub drain_per_tick: usize,
     /// Session heartbeat expiry, in ticks.
     pub heartbeat_timeout_ticks: u64,
+    /// World churn model: devices inside a seeded outage interval drop any
+    /// open session on the floor and stay dark until the interval ends —
+    /// deterministic, scenario-driven churn on top of the driver's own
+    /// RNG-ad-hoc silent deaths.
+    pub churn: ChurnSpec,
 }
 
 impl FleetDriverConfig {
@@ -77,6 +83,7 @@ impl FleetDriverConfig {
             queue_capacity: (devices / 32).max(4),
             drain_per_tick: (devices / 128).max(2),
             heartbeat_timeout_ticks: 12,
+            churn: spec.churn(),
         }
     }
 
@@ -113,6 +120,9 @@ pub struct DriverReport {
     pub backpressure_seen: u64,
     /// Devices that died silently mid-session (expiry fodder).
     pub silent_deaths: u64,
+    /// Sessions dropped because the world churn model took the device into
+    /// an outage interval (0 with churn off).
+    pub world_dropouts: u64,
     /// The server's lifetime churn counters.
     pub server: ChurnCounters,
     /// Final global model version.
@@ -131,7 +141,8 @@ impl DriverReport {
             "ticks={}\njoins_attempted={}\njoins_accepted={}\njoins_rejected={}\n\
              sessions_expired={}\nsessions_left={}\npushes_sent={}\npushes_applied={}\n\
              pushes_queued={}\npushes_refused={}\nbackpressure_seen={}\nsilent_deaths={}\n\
-             rounds_applied={}\nlive_sessions={}\nfinal_version={}\nmodel_checksum={:016x}\n",
+             world_dropouts={}\nrounds_applied={}\nlive_sessions={}\nfinal_version={}\n\
+             model_checksum={:016x}\n",
             self.ticks,
             self.joins_attempted,
             s.joins_accepted,
@@ -144,6 +155,7 @@ impl DriverReport {
             s.pushes_refused,
             self.backpressure_seen,
             self.silent_deaths,
+            self.world_dropouts,
             s.rounds_applied,
             self.live_sessions,
             self.final_version,
@@ -183,6 +195,8 @@ struct Device {
     rng: SmallRng,
     state: DeviceState,
     base_version: u64,
+    /// World churn outage intervals of this device (empty with churn off).
+    outages: Vec<(u64, u64)>,
 }
 
 /// Client-side tallies accumulated by one device/worker.
@@ -193,6 +207,7 @@ struct ClientTallies {
     pushes_sent: u64,
     backpressure_seen: u64,
     silent_deaths: u64,
+    world_dropouts: u64,
 }
 
 impl ClientTallies {
@@ -202,12 +217,13 @@ impl ClientTallies {
         self.pushes_sent += other.pushes_sent;
         self.backpressure_seen += other.backpressure_seen;
         self.silent_deaths += other.silent_deaths;
+        self.world_dropouts += other.world_dropouts;
     }
 }
 
 impl Device {
-    fn new(id: u64, master_seed: u64) -> Self {
-        let mut splitter = SplitMix64::seed_from_u64(master_seed);
+    fn new(id: u64, cfg: &FleetDriverConfig) -> Self {
+        let mut splitter = SplitMix64::seed_from_u64(cfg.seed);
         splitter.absorb(0x5E55_1014); // domain-separate the driver's streams
         let seed = splitter.absorb(id);
         Device {
@@ -215,6 +231,7 @@ impl Device {
             rng: SmallRng::seed_from_u64(seed),
             state: DeviceState::Offline { backoff: 0 },
             base_version: 0,
+            outages: cfg.churn.intervals_for(cfg.seed, id as usize, cfg.ticks),
         }
     }
 
@@ -248,6 +265,17 @@ impl Device {
         cfg: &FleetDriverConfig,
         tallies: &mut ClientTallies,
     ) -> Result<(), WireError> {
+        // World churn: inside an outage interval the device is dark. Any
+        // open session is dropped on the floor — no Leave frame, no RNG
+        // draw — and the server's heartbeat sweep discovers the corpse, so
+        // world churn shows up in the server's expiry counters.
+        if ChurnSpec::is_offline(&self.outages, tick) {
+            if !matches!(self.state, DeviceState::Offline { .. }) {
+                tallies.world_dropouts += 1;
+                self.state = DeviceState::Offline { backoff: 0 };
+            }
+            return Ok(());
+        }
         match self.state.clone() {
             DeviceState::Offline { backoff } => {
                 if backoff > 0 {
@@ -417,7 +445,7 @@ pub fn run_in_process(cfg: &FleetDriverConfig) -> Result<(DriverReport, Vec<Even
     let core = Arc::new(Mutex::new(core));
     let mut transport = ChannelTransport::new(core.clone());
     let mut devices: Vec<Device> = (0..cfg.devices as u64)
-        .map(|id| Device::new(id, cfg.seed))
+        .map(|id| Device::new(id, cfg))
         .collect();
     let mut tallies = ClientTallies::default();
     for tick in 0..cfg.ticks {
@@ -436,6 +464,7 @@ pub fn run_in_process(cfg: &FleetDriverConfig) -> Result<(DriverReport, Vec<Even
             pushes_sent: tallies.pushes_sent,
             backpressure_seen: tallies.backpressure_seen,
             silent_deaths: tallies.silent_deaths,
+            world_dropouts: tallies.world_dropouts,
             server: core.counters(),
             final_version,
             model_checksum: model_checksum(&params),
@@ -472,7 +501,7 @@ pub fn run_over_tcp(
                 let mut transport = TcpTransport::connect(&addr, timeout)?;
                 let mut devices: Vec<Device> = (0..cfg.devices as u64)
                     .filter(|id| (*id as usize) % workers == w)
-                    .map(|id| Device::new(id, cfg.seed))
+                    .map(|id| Device::new(id, &cfg))
                     .collect();
                 let mut tallies = ClientTallies::default();
                 for tick in 0..cfg.ticks {
@@ -501,6 +530,7 @@ pub fn run_over_tcp(
         pushes_sent: tallies.pushes_sent,
         backpressure_seen: tallies.backpressure_seen,
         silent_deaths: tallies.silent_deaths,
+        world_dropouts: tallies.world_dropouts,
         ..DriverReport::default()
     };
     if let Message::StatsIs {
@@ -542,6 +572,7 @@ mod tests {
             queue_capacity: 2,
             drain_per_tick: 1,
             heartbeat_timeout_ticks: 6,
+            churn: ChurnSpec::Off,
         }
     }
 
@@ -570,6 +601,25 @@ mod tests {
         assert!(report_a.backpressure_seen > 0, "{report_a:?}");
         assert!(report_a.server.pushes_applied > 0, "{report_a:?}");
         assert!(report_a.final_version > 0);
+    }
+
+    #[test]
+    fn world_churn_drops_sessions_deterministically() {
+        let off = small_cfg();
+        let heavy = FleetDriverConfig {
+            churn: ChurnSpec::Heavy,
+            ..off.clone()
+        };
+        let (base, _) = run_in_process(&off).unwrap();
+        assert_eq!(base.world_dropouts, 0, "churn off must drop nothing");
+        let (a, events_a) = run_in_process(&heavy).unwrap();
+        let (b, events_b) = run_in_process(&heavy).unwrap();
+        assert_eq!(a, b, "world churn broke determinism");
+        assert_eq!(events_a, events_b);
+        assert!(a.world_dropouts > 0, "heavy churn never dropped: {a:?}");
+        // Dropped sessions die silently, so the server's expiry counter
+        // reflects the world-driven churn too.
+        assert!(a.server.expired > 0, "{a:?}");
     }
 
     #[test]

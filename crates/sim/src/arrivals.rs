@@ -56,6 +56,41 @@ impl ArrivalSchedule {
         }
     }
 
+    /// Generates the schedule from a world arrival model
+    /// ([`fedco_world::arrival::ArrivalModel`]).
+    ///
+    /// `probability` is the base per-slot rate the model shapes (constant
+    /// for Bernoulli, a curve for diurnal/MMPP/flash-crowd). For
+    /// [`ArrivalSpec::Bernoulli`](fedco_world::arrival::ArrivalSpec) the
+    /// result is **bit-identical** to [`ArrivalSchedule::generate`] — the
+    /// world crate replicates the engine's historical per-user RNG stream —
+    /// which the `bernoulli_model_matches_historical_generator` test pins.
+    pub fn from_model(
+        model: &dyn fedco_world::arrival::ArrivalModel,
+        num_users: usize,
+        total_slots: u64,
+        probability: f64,
+        seed: u64,
+    ) -> Self {
+        let probability = probability.clamp(0.0, 1.0);
+        let per_user = (0..num_users)
+            .map(|user| {
+                model
+                    .sample_user(seed, user, total_slots, probability)
+                    .into_iter()
+                    .map(|e| AppArrival {
+                        slot: e.slot,
+                        app: e.app,
+                    })
+                    .collect()
+            })
+            .collect();
+        ArrivalSchedule {
+            per_user,
+            probability,
+        }
+    }
+
     /// The configured arrival probability.
     pub fn probability(&self) -> f64 {
         self.probability
@@ -250,6 +285,50 @@ mod tests {
             all.get(1)
         );
         assert_eq!(sched.first_at_or_after(1, 30_000), None);
+    }
+
+    #[test]
+    fn bernoulli_model_matches_historical_generator() {
+        // The world crate's Bernoulli model must replay the engine's
+        // historical arrival stream bit-for-bit: this is the contract that
+        // keeps `paper-default` runs byte-identical under `fedco-world`.
+        use fedco_world::arrival::{ArrivalSpec, Bernoulli};
+        for (users, slots, p, seed) in [
+            (25, 10_800, 0.001, 42),
+            (6, 1200, 0.005, 42),
+            (3, 5000, 0.25, 9),
+            (2, 300, 0.0, 1),
+            (2, 300, 1.0, 1),
+        ] {
+            let legacy = ArrivalSchedule::generate(users, slots, p, seed);
+            let world = ArrivalSchedule::from_model(&Bernoulli, users, slots, p, seed);
+            assert_eq!(legacy, world, "users={users} slots={slots} p={p}");
+            let via_spec = ArrivalSchedule::from_model(
+                ArrivalSpec::Bernoulli.model().as_ref(),
+                users,
+                slots,
+                p,
+                seed,
+            );
+            assert_eq!(legacy, via_spec);
+        }
+    }
+
+    #[test]
+    fn shaped_models_produce_sorted_per_user_streams() {
+        use fedco_world::arrival::ArrivalSpec;
+        for spec in ArrivalSpec::ALL {
+            let sched = ArrivalSchedule::from_model(spec.model().as_ref(), 8, 10_800, 0.01, 7);
+            for user in 0..8 {
+                let arrivals = sched.arrivals_for(user);
+                assert!(
+                    arrivals.windows(2).all(|w| w[0].slot < w[1].slot),
+                    "{spec:?} user {user} not strictly sorted"
+                );
+            }
+            let again = ArrivalSchedule::from_model(spec.model().as_ref(), 8, 10_800, 0.01, 7);
+            assert_eq!(sched, again, "{spec:?} not deterministic");
+        }
     }
 
     #[test]

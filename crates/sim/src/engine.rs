@@ -32,6 +32,9 @@ use fedco_neural::model::{ParamVector, Sequential};
 use fedco_telemetry::clock::SlotClock;
 use fedco_telemetry::event::{Event, EventKind};
 use fedco_telemetry::sink::{BufferSink, Telemetry};
+use fedco_world::battery::BatteryParams;
+use fedco_world::churn::ChurnSpec;
+use fedco_world::CHECK_EVERY_SLOTS;
 
 use crate::arrivals::{ArrivalCursor, ArrivalSchedule};
 use crate::clock::SimClock;
@@ -105,6 +108,48 @@ struct RunAccum {
     last_accuracy: Option<f32>,
 }
 
+/// Per-user battery bookkeeping of a world-enabled run, advanced only at
+/// world check slots on the driving thread.
+#[derive(Debug)]
+struct BatteryRuntime {
+    params: BatteryParams,
+    /// Full capacity of each user's battery, in joules.
+    capacity_j: Vec<f64>,
+    /// Energy currently stored in each user's battery, in joules.
+    stored_j: Vec<f64>,
+    /// Profiler total already debited from each battery, so each check
+    /// subtracts exactly the energy accrued since the previous check.
+    last_total_j: Vec<f64>,
+}
+
+/// Engine-side state of the `fedco-world` environment models that need slot
+/// bookkeeping (battery lifecycles and churn). Lives on the driving thread
+/// only; every transition happens at a world check slot — a multiple of
+/// [`CHECK_EVERY_SLOTS`], forced dense in the event driver — in ascending
+/// user order, so results are byte-identical across drivers and shard
+/// counts. `None` when the configured world needs no check slots (the
+/// paper-default world).
+#[derive(Debug)]
+struct WorldRuntime {
+    battery: Option<BatteryRuntime>,
+    /// Precomputed churn outage intervals per user (`None` when churn is
+    /// off).
+    churn_intervals: Option<Vec<Vec<(u64, u64)>>>,
+    /// Whether each user's battery is below the death threshold.
+    battery_dead: Vec<bool>,
+    /// Whether each user is inside a churn outage interval.
+    churned: Vec<bool>,
+    /// The slot of the previous world check (0 before the first).
+    last_check_slot: u64,
+}
+
+impl WorldRuntime {
+    /// Whether the world currently wants user `i` offline.
+    fn wants_offline(&self, i: usize) -> bool {
+        self.battery_dead[i] || self.churned[i]
+    }
+}
+
 /// The real machine-learning workload of one run.
 #[derive(Debug)]
 struct MlState {
@@ -152,6 +197,9 @@ pub struct Simulation {
     /// The deterministic user partition the per-user slot phases fan out
     /// over (a single full-range shard when `config.shards == 1`).
     shard_plan: ShardPlan,
+    /// World-model runtime (`None` when the configured world needs no check
+    /// slots — the paper-default world, which keeps this path zero-cost).
+    world: Option<WorldRuntime>,
     /// Telemetry attachment (`None` when disabled — the zero-cost default).
     telemetry: Option<SimTelemetry>,
 }
@@ -179,7 +227,12 @@ impl Simulation {
     pub fn try_new(config: SimConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let clock = SimClock::new(config.slot_seconds, config.total_slots);
-        let arrivals = ArrivalSchedule::generate(
+        // Arrivals come from the configured world model. The Bernoulli model
+        // replays the historical generator's RNG streams bit-for-bit (pinned
+        // by `arrivals::tests::bernoulli_model_matches_historical_generator`),
+        // so the paper-default world changes nothing.
+        let arrivals = ArrivalSchedule::from_model(
+            config.world.arrival.model().as_ref(),
             config.num_users,
             config.total_slots,
             config.arrival_probability,
@@ -274,6 +327,47 @@ impl Simulation {
         );
         let base_params = vec![initial_params; config.num_users];
 
+        // World runtime: battery state and churn outages, materialised once
+        // (both are pure functions of the config) when any model needs slot
+        // bookkeeping.
+        let world = if config.world.needs_check_slots() {
+            let battery = config.world.battery.params().map(|params| {
+                let capacity_j: Vec<f64> = (0..users.len())
+                    .map(|i| {
+                        config
+                            .world
+                            .battery
+                            .capacity_j(users.device(i))
+                            .unwrap_or(f64::MAX)
+                    })
+                    .collect();
+                let stored_j = capacity_j.iter().map(|c| c * params.initial_soc).collect();
+                BatteryRuntime {
+                    params,
+                    stored_j,
+                    last_total_j: vec![0.0; capacity_j.len()],
+                    capacity_j,
+                }
+            });
+            let churn_intervals = match config.world.churn {
+                ChurnSpec::Off => None,
+                spec => Some(
+                    (0..users.len())
+                        .map(|i| spec.intervals_for(config.seed, i, config.total_slots))
+                        .collect(),
+                ),
+            };
+            Some(WorldRuntime {
+                battery,
+                churn_intervals,
+                battery_dead: vec![false; users.len()],
+                churned: vec![false; users.len()],
+                last_check_slot: 0,
+            })
+        } else {
+            None
+        };
+
         let arrival_cursors = vec![ArrivalCursor::new(); users.len()];
         let pending_state = vec![PowerState::Idle; users.len()];
         let pending_slots = vec![0u64; users.len()];
@@ -300,6 +394,7 @@ impl Simulation {
             pending_state,
             pending_slots,
             shard_plan,
+            world,
             telemetry: None,
         };
         // Hand the initial global model to every ML client.
@@ -625,11 +720,48 @@ impl Simulation {
     }
 
     /// Re-downloads the global model for a user that just uploaded.
-    fn requeue_user(&mut self, user_id: usize) {
+    ///
+    /// `slot` stamps the compressed-upload telemetry event. A user the
+    /// world wants offline (its churn outage started, or its battery died,
+    /// while it was parked at the round barrier) goes dark here instead of
+    /// re-entering the waiting pool.
+    fn requeue_user(&mut self, user_id: usize, slot: u64) {
+        if self
+            .world
+            .as_ref()
+            .is_some_and(|w| w.wants_offline(user_id))
+        {
+            self.go_offline(user_id);
+            return;
+        }
         // One full model exchange per requeue: the update went up, the fresh
         // global model comes back down. Charge the radio if a link is set.
+        // A compressed uplink shrinks only the upload leg; with compression
+        // off the code path is exactly the historical one.
         if let Some(link) = &self.config.transport {
-            let energy = link.radio_energy(link.exchange_time(PAPER_MODEL_BYTES));
+            let energy = match self.config.world.compression.ratio() {
+                Some(ratio) => {
+                    let upload = self
+                        .config
+                        .world
+                        .compression
+                        .upload_bytes(PAPER_MODEL_BYTES as u64);
+                    if let Some(t) = &self.telemetry {
+                        t.sink.record(Event::new(
+                            slot,
+                            EventKind::CompressedUpload {
+                                user: user_id as u64,
+                                bytes: upload,
+                                ratio,
+                            },
+                        ));
+                    }
+                    link.radio_energy(
+                        link.compressed_exchange_time(PAPER_MODEL_BYTES, upload as usize),
+                    )
+                }
+                None => link.radio_energy(link.exchange_time(PAPER_MODEL_BYTES)),
+            };
             self.flush_pending(user_id);
             self.profilers[user_id].record_extra(EnergyComponent::Radio, energy);
         }
@@ -642,6 +774,116 @@ impl Simulation {
         }
         self.base_params[user_id] = snapshot.params;
         self.users.become_waiting(user_id, snapshot.version);
+    }
+
+    /// Takes user `i` dark: pending power lands first (the last energy the
+    /// device accrues), any running training epoch is aborted and its work
+    /// lost, and the foreground app is dropped. Mirrors a phone dying
+    /// mid-epoch — the server never hears from it.
+    fn go_offline(&mut self, i: usize) {
+        self.flush_pending(i);
+        self.users.phase[i] = TrainingPhase::Offline;
+        self.users.current_app[i] = None;
+        self.users.app_remaining_slots[i] = 0;
+        self.users.gap[i] = 0.0;
+        self.users.current_wait_slots[i] = 0;
+        self.users.last_decision_app[i] = None;
+    }
+
+    /// Brings user `i` back online: a fresh download of the current global
+    /// model (radio-free — the rejoin handshake is not a model exchange) and
+    /// back into the waiting pool.
+    fn come_online(&mut self, i: usize) {
+        let snapshot = self.server.download();
+        if let Some(ml) = self.ml.as_mut() {
+            ml.clients[i]
+                .receive_model(&snapshot)
+                // fedco-audit: allow(panic-surface): clients and server share the LeNet architecture built by the constructor
+                .expect("architectures match");
+        }
+        self.base_params[i] = snapshot.params;
+        self.users.become_waiting(i, snapshot.version);
+    }
+
+    /// The world check: battery accounting, churn transitions and the
+    /// resulting offline/online flips, in ascending user order on the
+    /// driving thread. Runs at every multiple of [`CHECK_EVERY_SLOTS`] —
+    /// forced dense in the event driver — so both drivers and every shard
+    /// count see byte-identical world dynamics.
+    fn world_check(&mut self, slot: u64) {
+        let Some(mut w) = self.world.take() else {
+            return;
+        };
+        let elapsed = slot - w.last_check_slot;
+        w.last_check_slot = slot;
+        for i in 0..self.users.len() {
+            if let Some(b) = w.battery.as_mut() {
+                // Debit exactly the energy accrued since the last check
+                // (pending spans land first so the profiler total is the
+                // dense-run value), then credit the charging window.
+                self.flush_pending(i);
+                let total = self.profilers[i].total_energy().value();
+                let drain = total - b.last_total_j[i];
+                b.last_total_j[i] = total;
+                b.stored_j[i] = (b.stored_j[i] - drain).max(0.0);
+                if elapsed > 0 && b.params.is_charging(i, slot) {
+                    let added = b.params.charge_added_j(elapsed, self.config.slot_seconds);
+                    b.stored_j[i] = (b.stored_j[i] + added).min(b.capacity_j[i]);
+                }
+                let soc = b.stored_j[i] / b.capacity_j[i];
+                if !w.battery_dead[i] && soc <= b.params.die_soc {
+                    w.battery_dead[i] = true;
+                    if let Some(t) = &self.telemetry {
+                        t.sink.record(Event::new(
+                            slot,
+                            EventKind::BatteryDepleted {
+                                user: i as u64,
+                                soc,
+                            },
+                        ));
+                    }
+                } else if w.battery_dead[i] && soc >= b.params.rejoin_soc {
+                    w.battery_dead[i] = false;
+                    if let Some(t) = &self.telemetry {
+                        t.sink.record(Event::new(
+                            slot,
+                            EventKind::Recharged {
+                                user: i as u64,
+                                soc,
+                            },
+                        ));
+                    }
+                }
+            }
+            if let Some(intervals) = w.churn_intervals.as_ref() {
+                let offline = ChurnSpec::is_offline(&intervals[i], slot);
+                if offline != w.churned[i] {
+                    w.churned[i] = offline;
+                    if let Some(t) = &self.telemetry {
+                        t.sink.record(Event::new(
+                            slot,
+                            EventKind::UserChurned {
+                                user: i as u64,
+                                offline,
+                            },
+                        ));
+                    }
+                }
+            }
+            // Reconcile the phase with the world's verdict. Users parked at
+            // the round barrier already uploaded; they go dark at requeue
+            // time instead, so the sync buffer stays consistent.
+            let wants_offline = w.wants_offline(i);
+            let is_offline = matches!(self.users.phase[i], TrainingPhase::Offline);
+            if wants_offline && !is_offline {
+                if !matches!(self.users.phase[i], TrainingPhase::RoundBarrier) {
+                    self.go_offline(i);
+                }
+            } else if !wants_offline && is_offline {
+                self.come_online(i);
+            }
+        }
+        self.world = Some(w);
     }
 
     /// Evaluates the current global model on the held-out test set.
@@ -701,6 +943,17 @@ impl Simulation {
         self.policy_quiescent = self.policy.quiescent_while_waiting();
         self.policy_waiting_capable = self.policy.can_fast_forward_waiting();
         self.pending_slots.iter_mut().for_each(|s| *s = 0);
+        if let Some(w) = self.world.as_mut() {
+            w.last_check_slot = 0;
+            w.battery_dead.iter_mut().for_each(|d| *d = false);
+            w.churned.iter_mut().for_each(|c| *c = false);
+            if let Some(b) = w.battery.as_mut() {
+                for i in 0..b.stored_j.len() {
+                    b.stored_j[i] = b.capacity_j[i] * b.params.initial_soc;
+                    b.last_total_j[i] = 0.0;
+                }
+            }
+        }
         if let Some(t) = self.telemetry.as_mut() {
             t.dense_span = 0;
             t.idle_decisions = 0;
@@ -730,6 +983,15 @@ impl Simulation {
             if let Some(t) = self.telemetry.as_mut() {
                 t.clock.set(slot);
                 t.dense_span += 1;
+            }
+
+            // (world) Battery accounting, churn transitions and the
+            // resulting offline/online flips, at every check-cadence slot.
+            // Runs before planning and arrivals so the rest of the slot
+            // sees the post-transition fleet. `skip_horizon` forces these
+            // slots dense, so both drivers check at exactly the same slots.
+            if self.world.is_some() && slot % CHECK_EVERY_SLOTS == 0 {
+                self.world_check(slot);
             }
 
             // (0) Look-ahead planning for policies that ask for it (the
@@ -870,7 +1132,22 @@ impl Simulation {
                 if corunning {
                     acc.corun_epochs += 1;
                 }
-                let update = self.make_update(user_id);
+                let mut update = self.make_update(user_id);
+                // A compressed uplink loses update information: the pushed
+                // parameters are pulled back toward the user's base
+                // snapshot by the compression ratio (identity at ratio 1;
+                // skipped entirely — bit-identically — when off).
+                if self.config.world.compression.ratio().is_some() {
+                    let spec = self.config.world.compression;
+                    let damped: Vec<f32> = update
+                        .params
+                        .values()
+                        .iter()
+                        .zip(self.base_params[user_id].values())
+                        .map(|(&p, &b)| spec.dampen(b, p))
+                        .collect();
+                    update.params = ParamVector::new(damped);
+                }
                 if self.policy.round_barrier() {
                     self.sync_buffer.push(update);
                     self.users.enter_barrier(user_id);
@@ -906,12 +1183,24 @@ impl Simulation {
                             corun: corunning,
                         });
                     }
-                    self.requeue_user(user_id);
+                    self.requeue_user(user_id, slot);
                 }
             }
 
-            // (6) Round barrier: aggregate once every participant is done.
-            if self.policy.round_barrier() && self.sync_buffer.len() == self.users.len() {
+            // (6) Round barrier: aggregate once every *online* participant
+            // is done. Offline users neither train nor push, so the round
+            // closes over the users the world left standing (with the
+            // paper-default world the count is exactly the fleet size).
+            let barrier_ready = self.policy.round_barrier() && !self.sync_buffer.is_empty() && {
+                let online = self
+                    .users
+                    .phase
+                    .iter()
+                    .filter(|p| !matches!(p, TrainingPhase::Offline))
+                    .count();
+                self.sync_buffer.len() == online
+            };
+            if barrier_ready {
                 let buffer = std::mem::take(&mut self.sync_buffer);
                 let mean_gap: f64 = if self.config.collect_traces {
                     buffer
@@ -942,7 +1231,9 @@ impl Simulation {
                     });
                 }
                 for i in 0..self.users.len() {
-                    self.requeue_user(i);
+                    if !matches!(self.users.phase[i], TrainingPhase::Offline) {
+                        self.requeue_user(i, slot);
+                    }
                 }
             }
 
@@ -1164,6 +1455,16 @@ impl Simulation {
             h = h.min(cur + (every - rem));
         }
 
+        // World check slots stay dense: battery and churn transitions only
+        // happen there, so both drivers must step them.
+        if self.world.is_some() {
+            let rem = cur % CHECK_EVERY_SLOTS;
+            if rem == 0 {
+                return cur;
+            }
+            h = h.min(cur + (CHECK_EVERY_SLOTS - rem));
+        }
+
         let quiescent = self.policy_quiescent;
         let overhead_charged =
             self.config.decision_overhead && self.policy.decision_energy_overhead() > 0.0;
@@ -1205,7 +1506,9 @@ impl Simulation {
                     // `cur + remaining - 1`, which must run densely.
                     h = h.min(cur + remaining_slots - 1);
                 }
-                TrainingPhase::RoundBarrier => {}
+                // Inert until a world check slot flips them — and those are
+                // already forced dense above.
+                TrainingPhase::RoundBarrier | TrainingPhase::Offline => {}
             }
             if h <= cur {
                 return cur;

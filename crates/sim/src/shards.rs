@@ -186,10 +186,11 @@ impl ShardCtx<'_> {
         );
     }
 
-    /// Slot phase 1: application arrivals (ignored while another app runs).
+    /// Slot phase 1: application arrivals (ignored while another app runs,
+    /// and while the device is offline — a dark phone launches nothing).
     pub fn phase_arrivals(&mut self, sh: &PhaseShared<'_>, slot: u64) {
         for j in 0..self.users.len() {
-            if self.users.app_running(j) {
+            if self.users.app_running(j) || matches!(self.users.phase[j], TrainingPhase::Offline) {
                 continue;
             }
             let user = self.base + j;
@@ -212,16 +213,21 @@ impl ShardCtx<'_> {
             match phase {
                 TrainingPhase::Training { .. } => training += 1,
                 TrainingPhase::Waiting => waiting += 1,
-                TrainingPhase::RoundBarrier => {}
+                TrainingPhase::RoundBarrier | TrainingPhase::Offline => {}
             }
         }
         (training, waiting)
     }
 
     /// Slot phase 3: per-user power accounting (deferred pending spans in
-    /// event mode, eager recording in dense mode).
+    /// event mode, eager recording in dense mode). Offline devices accrue
+    /// nothing — dead phones draw no simulated power — identically in both
+    /// modes.
     pub fn phase_power(&mut self, sh: &PhaseShared<'_>) {
         for j in 0..self.users.len() {
+            if matches!(self.users.phase[j], TrainingPhase::Offline) {
+                continue;
+            }
             let state = self.users.power_state(j);
             if sh.event_mode {
                 self.pend_power(j, state, 1, sh.slot_len);
@@ -268,6 +274,12 @@ impl ShardCtx<'_> {
     ) {
         let end = cur + n;
         for j in 0..self.users.len() {
+            if matches!(self.users.phase[j], TrainingPhase::Offline) {
+                // Offline devices are inert for the whole span: no power,
+                // no timers, no gap — exactly what `n` dense slots do. The
+                // world check that could bring them back bounds the span.
+                continue;
+            }
             if matches!(self.users.phase[j], TrainingPhase::Waiting) && replay_overhead {
                 // The dense loop charges this user's decision overhead
                 // every slot (flush, extra, then the slot's power), so the
@@ -354,7 +366,7 @@ impl ShardCtx<'_> {
                     self.users.current_wait_slots[j] += n;
                     self.users.gap_idle_slots(j, n);
                 }
-                TrainingPhase::RoundBarrier => {}
+                TrainingPhase::RoundBarrier | TrainingPhase::Offline => {}
             }
         }
     }

@@ -43,6 +43,12 @@ pub enum TrainingPhase {
     /// The user finished all work for this round and waits for the barrier
     /// (only used by the Sync-SGD baseline).
     RoundBarrier,
+    /// The device is dark: its battery drained to the death threshold or
+    /// the world churn model took it offline. Offline devices run no
+    /// applications, accrue no energy, see no scheduling decisions and hold
+    /// no model snapshot; the engine's world check brings them back through
+    /// a fresh download once the world model says so.
+    Offline,
 }
 
 /// Rarely-touched per-user counters, boxed out of the hot arrays.
@@ -476,7 +482,7 @@ impl<'a> UserLanesMut<'a> {
                 self.current_wait_slots[i] += 1;
                 false
             }
-            TrainingPhase::RoundBarrier => false,
+            TrainingPhase::RoundBarrier | TrainingPhase::Offline => false,
         }
     }
 
@@ -566,6 +572,19 @@ mod tests {
         assert!(!u.is_training(0));
         assert!(!u.tick(0));
         assert_eq!(u.power_state(0), PowerState::Idle);
+    }
+
+    #[test]
+    fn offline_state_is_inert() {
+        let mut u = arena();
+        u.phase[0] = TrainingPhase::Offline;
+        assert!(!u.is_waiting(0));
+        assert!(!u.is_training(0));
+        assert!(!u.tick(0));
+        assert_eq!(u.cold.waiting_slots[0], 0);
+        // A rejoin restores the ordinary waiting state.
+        u.become_waiting(0, ModelVersion(2));
+        assert!(u.is_waiting(0));
     }
 
     #[test]

@@ -187,6 +187,39 @@ pub enum EventKind {
         /// Number of participating updates.
         participants: u64,
     },
+    /// A user's battery drained to the death threshold and the device went
+    /// dark (semantic).
+    BatteryDepleted {
+        /// The user whose device died.
+        user: u64,
+        /// State of charge at death, in `[0, 1]`.
+        soc: f64,
+    },
+    /// A dead user's battery recharged past the rejoin threshold and the
+    /// device came back online (semantic).
+    Recharged {
+        /// The user whose device rejoined.
+        user: u64,
+        /// State of charge at rejoin, in `[0, 1]`.
+        soc: f64,
+    },
+    /// A user's world churn state flipped (semantic).
+    UserChurned {
+        /// The user that churned.
+        user: u64,
+        /// `true` when the user dropped out, `false` when it rejoined.
+        offline: bool,
+    },
+    /// A model update was uploaded through the compressed uplink
+    /// (semantic).
+    CompressedUpload {
+        /// The uploading user.
+        user: u64,
+        /// Bytes actually sent over the air.
+        bytes: u64,
+        /// The compression ratio applied.
+        ratio: f64,
+    },
 }
 
 impl EventKind {
@@ -211,6 +244,10 @@ impl EventKind {
             EventKind::PushApplied { .. } => "push-applied",
             EventKind::PushRefused { .. } => "push-refused",
             EventKind::RoundAdvance { .. } => "round-advance",
+            EventKind::BatteryDepleted { .. } => "battery-depleted",
+            EventKind::Recharged { .. } => "recharged",
+            EventKind::UserChurned { .. } => "user-churned",
+            EventKind::CompressedUpload { .. } => "compressed-upload",
         }
     }
 
@@ -244,6 +281,23 @@ mod tests {
         assert_eq!(fleet.channel(), Channel::Fleet);
         let server = Event::new(9, EventKind::SessionExpired { session: 4 });
         assert_eq!(server.channel(), Channel::Server);
+        // World lifecycle events describe the simulated system, so both
+        // engine drivers must emit them identically: semantic channel.
+        for kind in [
+            EventKind::BatteryDepleted { user: 1, soc: 0.05 },
+            EventKind::Recharged { user: 1, soc: 0.31 },
+            EventKind::UserChurned {
+                user: 2,
+                offline: true,
+            },
+            EventKind::CompressedUpload {
+                user: 3,
+                bytes: 625_000,
+                ratio: 0.25,
+            },
+        ] {
+            assert_eq!(kind.channel(), Channel::Semantic, "{}", kind.name());
+        }
     }
 
     #[test]

@@ -108,6 +108,14 @@ pub fn event_line(event: &Event) -> String {
             version,
             participants,
         } => format!(",\"version\":{version},\"participants\":{participants}"),
+        EventKind::BatteryDepleted { user, soc } => format!(",\"user\":{user},\"soc\":{soc}"),
+        EventKind::Recharged { user, soc } => format!(",\"user\":{user},\"soc\":{soc}"),
+        EventKind::UserChurned { user, offline } => {
+            format!(",\"user\":{user},\"offline\":{offline}")
+        }
+        EventKind::CompressedUpload { user, bytes, ratio } => {
+            format!(",\"user\":{user},\"bytes\":{bytes},\"ratio\":{ratio}")
+        }
     };
     format!("{head}{tail}}}")
 }
@@ -126,7 +134,7 @@ pub fn events_to_jsonl(events: &[Event]) -> String {
 /// blanks where a kind has no value for a column.
 pub const EVENT_CSV_HEADER: &str = "slot,event,user,corun,component,joules,lag,version,\
 participants,depth,updates,energy_j,slots,idle_decisions,job,users,scenario,policy,\
-session,client,reason";
+session,client,reason,soc,offline,bytes,ratio";
 
 /// A whole trace as CSV (wide layout: one column per possible field).
 pub fn events_to_csv(events: &[Event]) -> String {
@@ -134,7 +142,7 @@ pub fn events_to_csv(events: &[Event]) -> String {
     out.push_str(EVENT_CSV_HEADER);
     out.push('\n');
     for event in events {
-        let mut cols: [String; 21] = Default::default();
+        let mut cols: [String; 25] = Default::default();
         cols[0] = event.slot.to_string();
         cols[1] = event.kind.name().to_string();
         match &event.kind {
@@ -218,6 +226,19 @@ pub fn events_to_csv(events: &[Event]) -> String {
             } => {
                 cols[7] = version.to_string();
                 cols[8] = participants.to_string();
+            }
+            EventKind::BatteryDepleted { user, soc } | EventKind::Recharged { user, soc } => {
+                cols[2] = user.to_string();
+                cols[21] = soc.to_string();
+            }
+            EventKind::UserChurned { user, offline } => {
+                cols[2] = user.to_string();
+                cols[22] = offline.to_string();
+            }
+            EventKind::CompressedUpload { user, bytes, ratio } => {
+                cols[2] = user.to_string();
+                cols[23] = bytes.to_string();
+                cols[24] = ratio.to_string();
             }
         }
         out.push_str(&cols.join(","));
@@ -550,6 +571,23 @@ pub fn parse_event_line(line: &str) -> Result<Event, String> {
             version: fields.u64("version")?,
             participants: fields.u64("participants")?,
         },
+        "battery-depleted" => EventKind::BatteryDepleted {
+            user: fields.u64("user")?,
+            soc: fields.f64("soc")?,
+        },
+        "recharged" => EventKind::Recharged {
+            user: fields.u64("user")?,
+            soc: fields.f64("soc")?,
+        },
+        "user-churned" => EventKind::UserChurned {
+            user: fields.u64("user")?,
+            offline: fields.bool("offline")?,
+        },
+        "compressed-upload" => EventKind::CompressedUpload {
+            user: fields.u64("user")?,
+            bytes: fields.u64("bytes")?,
+            ratio: fields.f64("ratio")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     };
     Ok(Event { slot, kind })
@@ -672,6 +710,29 @@ mod tests {
                 EventKind::RoundAdvance {
                     version: 10,
                     participants: 6,
+                },
+            ),
+            Event::new(120, EventKind::BatteryDepleted { user: 5, soc: 0.05 }),
+            Event::new(
+                840,
+                EventKind::Recharged {
+                    user: 5,
+                    soc: 0.3125,
+                },
+            ),
+            Event::new(
+                900,
+                EventKind::UserChurned {
+                    user: 2,
+                    offline: true,
+                },
+            ),
+            Event::new(
+                960,
+                EventKind::CompressedUpload {
+                    user: 3,
+                    bytes: 625_000,
+                    ratio: 0.25,
                 },
             ),
         ]

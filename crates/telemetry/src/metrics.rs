@@ -300,6 +300,23 @@ impl MetricsRegistry {
                         *version as f64,
                     );
                 }
+                EventKind::BatteryDepleted { .. } => {
+                    registry.add_counter(&scenario, &policy, "battery_deaths_total", 1);
+                }
+                EventKind::Recharged { .. } => {
+                    registry.add_counter(&scenario, &policy, "recharges_total", 1);
+                }
+                EventKind::UserChurned { offline, .. } => {
+                    if *offline {
+                        registry.add_counter(&scenario, &policy, "churn_departures_total", 1);
+                    } else {
+                        registry.add_counter(&scenario, &policy, "churn_rejoins_total", 1);
+                    }
+                }
+                EventKind::CompressedUpload { bytes, .. } => {
+                    registry.add_counter(&scenario, &policy, "compressed_uploads_total", 1);
+                    registry.add_counter(&scenario, &policy, "compressed_bytes_total", *bytes);
+                }
             }
         }
         registry

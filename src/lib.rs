@@ -20,6 +20,7 @@
 //! | [`sim`] | the slotted simulator reproducing the paper's 3-hour, 25-user evaluation |
 //! | [`fleet`] | fleet-scale scenario-sweep runtime: grids, a thread-pool executor, streaming statistics, CSV/JSONL reports |
 //! | [`telemetry`] | deterministic tracing/metrics/profiling on the simulation-slot clock, plus the `fedco-trace` CLI |
+//! | [`world`] | environment dynamics: arrival processes (diurnal/MMPP/flash-crowd), battery lifecycles, device churn, compressed uplinks |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use fedco_rng as rng;
 pub use fedco_server as server;
 pub use fedco_sim as sim;
 pub use fedco_telemetry as telemetry;
+pub use fedco_world as world;
 
 /// One-stop imports for applications built on `fedco`.
 pub mod prelude {
@@ -71,6 +73,10 @@ pub mod prelude {
         diff, events_to_jsonl, parse_events_jsonl, summarize as summarize_trace, BufferSink,
         Channel, Event, EventKind, Measured, MetricKey, MetricValue, MetricsRegistry, NullSink,
         ShardedSink, SlotClock, Stopwatch, Telemetry,
+    };
+    pub use fedco_world::prelude::{
+        ArrivalModel, ArrivalSpec, BatterySpec, ChurnSpec, CompressionSpec, WorldConfig,
+        CHECK_EVERY_SLOTS,
     };
 }
 

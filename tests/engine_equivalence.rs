@@ -118,6 +118,53 @@ fn user_gap_recording_and_transport_are_preserved() {
 }
 
 #[test]
+fn world_dynamics_are_bit_identical_between_drivers() {
+    // Battery + churn + MMPP in one scenario: the event driver is forced
+    // dense across world-check slots, so both drivers must agree bit for
+    // bit — for every registry policy, traced and summary-only.
+    let spec: ScenarioSpec = "battery-constrained:arrival=mmpp:users=5:slots=700"
+        .parse()
+        .expect("world spec parses");
+    for policy in PolicySpec::default_registry() {
+        let config = spec.build_with_policy(policy.clone()).expect("builds");
+        assert!(!config.world.is_paper_default());
+        let (dense, event) = run_both(config.clone());
+        assert_identical(&format!("world {policy}"), &dense, &event);
+        let (dense, event) = run_both(config.summary_only());
+        assert_identical(&format!("world {policy} summary"), &dense, &event);
+    }
+}
+
+#[test]
+fn compressed_uplink_is_bit_identical_between_drivers() {
+    // Uplink compression changes radio energy and update quality at
+    // requeue time — on the driving thread, so the drivers still agree.
+    let spec: ScenarioSpec = "compressed-uplink:users=5:slots=700"
+        .parse()
+        .expect("compressed spec parses");
+    let config = spec.build_with_policy(PolicyKind::Online).expect("builds");
+    let (dense, event) = run_both(config.clone());
+    assert_identical("compressed-uplink", &dense, &event);
+    assert!(event.total_updates > 0, "compressed runs still train");
+
+    // And compression genuinely moves the numbers: the same shape with the
+    // paper world produces different energy bits.
+    let plain_spec: ScenarioSpec = "compressed-uplink:users=5:slots=700:compress=off"
+        .parse()
+        .expect("plain spec parses");
+    let plain = run_simulation(
+        plain_spec
+            .build_with_policy(PolicyKind::Online)
+            .expect("builds"),
+    );
+    assert_ne!(
+        plain.total_energy_j.to_bits(),
+        event.total_energy_j.to_bits(),
+        "compression had no effect on radio energy"
+    );
+}
+
+#[test]
 fn ml_mode_is_bit_identical() {
     let mut config = base_config(PolicyKind::Immediate);
     config.num_users = 3;

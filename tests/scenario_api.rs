@@ -271,6 +271,100 @@ fn shards_field_parses_builds_and_round_trips() {
 }
 
 #[test]
+fn world_presets_are_registered_and_round_trip() {
+    // The four world presets are first-class registry members: pinned
+    // shapes, label round-trips, and valid builds for every policy.
+    for name in [
+        "diurnal-day",
+        "flash-crowd",
+        "battery-constrained",
+        "compressed-uplink",
+    ] {
+        let spec = ScenarioSpec::preset(name).expect("registered preset");
+        assert!(
+            ScenarioSpec::default_registry()
+                .iter()
+                .any(|s| s.name() == name),
+            "{name} missing from the default registry"
+        );
+        let reparsed: ScenarioSpec = spec.label().parse().expect("label parses");
+        assert_eq!(reparsed, spec, "{name} label does not round-trip");
+        for policy in PolicyKind::ALL {
+            let config = spec.build_with_policy(policy).expect("builds");
+            assert!(config.is_valid(), "{name} x {policy:?}");
+            assert!(
+                !config.world.is_paper_default(),
+                "{name} must carry non-default world dynamics"
+            );
+        }
+    }
+
+    // Preset shapes: each preset turns on exactly its advertised dynamics.
+    let diurnal = ScenarioSpec::preset("diurnal-day").expect("preset");
+    assert_eq!(diurnal.arrival(), ArrivalSpec::Diurnal);
+    assert_eq!(diurnal.battery(), BatterySpec::Off);
+    let crowd = ScenarioSpec::preset("flash-crowd").expect("preset");
+    assert_eq!(crowd.arrival(), ArrivalSpec::FlashCrowd);
+    let constrained = ScenarioSpec::preset("battery-constrained").expect("preset");
+    assert_eq!(constrained.battery(), BatterySpec::Constrained);
+    assert_eq!(constrained.churn(), ChurnSpec::Light);
+    let compressed = ScenarioSpec::preset("compressed-uplink").expect("preset");
+    assert_eq!(compressed.compress(), CompressionSpec::Ratio(0.25));
+    assert_eq!(compressed.link(), LinkKind::Lte);
+}
+
+#[test]
+fn world_fields_parse_build_and_round_trip() {
+    // Every world field key is settable in one spec, survives the
+    // spec -> label -> parse round-trip, and lands in the built config.
+    let spec: ScenarioSpec = "smoke:arrival=mmpp:battery=standard:churn=heavy:compress=0.5"
+        .parse()
+        .expect("world overrides parse");
+    assert_eq!(spec.arrival(), ArrivalSpec::Mmpp);
+    assert_eq!(spec.battery(), BatterySpec::Standard);
+    assert_eq!(spec.churn(), ChurnSpec::Heavy);
+    assert_eq!(spec.compress(), CompressionSpec::Ratio(0.5));
+    let reparsed: ScenarioSpec = spec.label().parse().expect("label parses");
+    assert_eq!(reparsed, spec);
+
+    let config = spec.build_with_policy(PolicyKind::Online).expect("builds");
+    assert!(!config.world.is_paper_default());
+    assert_eq!(config.world.battery, BatterySpec::Standard);
+    assert_eq!(config.world.churn, ChurnSpec::Heavy);
+    assert_eq!(config.world.compression, CompressionSpec::Ratio(0.5));
+
+    // The builder methods record the same labels the parser accepts.
+    let built = ScenarioSpec::preset("smoke")
+        .expect("preset")
+        .with_arrival(ArrivalSpec::FlashCrowd)
+        .with_churn(ChurnSpec::Light);
+    assert_eq!(
+        built.label().parse::<ScenarioSpec>().expect("parses"),
+        built
+    );
+
+    // A preset field can be overridden back to `off`.
+    let plain: ScenarioSpec = "compressed-uplink:compress=off"
+        .parse()
+        .expect("override parses");
+    assert_eq!(plain.compress(), CompressionSpec::Off);
+
+    // Bad values name the offending token.
+    for (field, bad) in [
+        ("arrival", "smoke:arrival=warp"),
+        ("battery", "smoke:battery=nuclear"),
+        ("churn", "smoke:churn=extreme"),
+        ("compress", "smoke:compress=2"),
+    ] {
+        let err = bad.parse::<ScenarioSpec>().unwrap_err().to_string();
+        assert!(
+            err.contains(field),
+            "`{bad}` error does not name `{field}`: {err}"
+        );
+    }
+}
+
+#[test]
 fn server_soak_preset_is_registered_and_round_trips() {
     // The churn-heavy service-soak scenario is a first-class preset: it is
     // in the registry, its shape is pinned, and its label survives the

@@ -63,6 +63,40 @@ fn server_soak_churns_hard_and_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn world_churn_flows_from_scenario_into_the_soak_counters() {
+    // A scenario-level `churn=` override reaches the driver through
+    // `from_scenario`, and the resulting outages are world-driven: the
+    // devices drop their sessions at seeded intervals, the heartbeat sweep
+    // evicts the corpses, and the whole run stays byte-identical.
+    let spec: ScenarioSpec = "server-soak:users=300:slots=600:churn=heavy"
+        .parse()
+        .expect("soak spec with churn override");
+    let cfg = FleetDriverConfig::from_scenario(&spec);
+    let (report_a, events_a) = run_in_process(&cfg).expect("churny soak A");
+    let (report_b, events_b) = run_in_process(&cfg).expect("churny soak B");
+    assert_eq!(report_a, report_b, "world churn broke soak determinism");
+    assert_eq!(events_to_jsonl(&events_a), events_to_jsonl(&events_b));
+    assert!(
+        report_a.world_dropouts > 0,
+        "heavy world churn never dropped a session: {report_a:?}"
+    );
+    assert!(
+        report_a.server.expired > 0,
+        "world dropouts must surface as heartbeat expiries: {report_a:?}"
+    );
+    assert!(report_a.render().contains("world_dropouts="));
+
+    // The same scenario with churn off reports zero world dropouts — the
+    // counters separate world-driven churn from the driver's own RNG churn.
+    let calm_spec: ScenarioSpec = "server-soak:users=300:slots=600"
+        .parse()
+        .expect("soak spec without churn");
+    let calm = FleetDriverConfig::from_scenario(&calm_spec);
+    let (calm_report, _) = run_in_process(&calm).expect("calm soak");
+    assert_eq!(calm_report.world_dropouts, 0);
+}
+
+#[test]
 fn soak_is_seed_sensitive() {
     // The byte-stability above is meaningful only if the run actually
     // depends on the seed — a constant trace would pass it vacuously.

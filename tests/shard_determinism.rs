@@ -194,6 +194,66 @@ fn event_engine_still_fast_forwards_when_sharded() {
 }
 
 #[test]
+fn world_scenario_is_shard_count_invariant() {
+    // Battery lifecycles + churn + MMPP arrivals in one scenario: the world
+    // check lane must stay byte-identical for any shard count, in both
+    // drivers, traced and summary-only, down to the serialized telemetry.
+    let spec: ScenarioSpec = "battery-constrained:arrival=mmpp:users=7:slots=700"
+        .parse()
+        .expect("world spec parses");
+    let traced_config = spec.build_with_policy(PolicyKind::Online).expect("builds");
+    assert!(
+        !traced_config.world.is_paper_default(),
+        "the spec must carry non-trivial world dynamics"
+    );
+    for config in [traced_config.clone(), traced_config.clone().summary_only()] {
+        let reference = {
+            let sink = BufferSink::shared();
+            let result = Simulation::try_new(config.clone())
+                .expect("valid config")
+                .with_telemetry(sink.clone())
+                .run();
+            (result, events_to_jsonl(&sink.drain()))
+        };
+        for shards in [3usize, 5] {
+            let sink = BufferSink::shared();
+            let result = Simulation::try_new(config.clone().with_shards(shards))
+                .expect("valid config")
+                .with_telemetry(sink.clone())
+                .run();
+            assert_identical(&format!("world shards={shards}"), &reference.0, &result);
+            assert_eq!(
+                events_to_jsonl(&sink.drain()),
+                reference.1,
+                "world telemetry diverged on {shards} shards"
+            );
+        }
+        // The dense driver agrees with itself across shard counts too.
+        let dense = Simulation::try_new(config.clone())
+            .expect("valid config")
+            .run_dense();
+        let dense_sharded = Simulation::try_new(config.clone().with_shards(3))
+            .expect("valid config")
+            .run_dense();
+        assert_identical("world dense shards=3", &dense, &dense_sharded);
+    }
+    // The traced stream actually exercises the world lanes: constrained
+    // batteries die and light churn flips at least one user offline.
+    let sink = BufferSink::shared();
+    let _ = Simulation::try_new(traced_config)
+        .expect("valid config")
+        .with_telemetry(sink.clone())
+        .run();
+    let events = sink.drain();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind.name(), "battery-depleted" | "user-churned")),
+        "world scenario emitted no battery/churn events"
+    );
+}
+
+#[test]
 fn ml_mode_is_shard_count_invariant() {
     let mut config = base_config(PolicyKind::Online);
     config.num_users = 3;
